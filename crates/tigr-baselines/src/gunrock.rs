@@ -1,0 +1,256 @@
+//! Gunrock-style frontier engine (Wang et al., PPoPP 2016).
+//!
+//! Gunrock expresses analytics as *advance* (expand every out-edge of
+//! the frontier, load-balanced so each thread gets one edge) and
+//! *filter* (deduplicate/compact the advance output into the next
+//! frontier). The advance is edge-parallel — immune to degree skew, like
+//! Tigr — but each iteration pays two kernel launches, the filter pass,
+//! and large frontier buffers (whose footprint OOMs on the paper's
+//! largest graphs; see [`crate::Baseline::footprint_bytes`]).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crossbeam::queue::SegQueue;
+
+use tigr_engine::addr::{edge_addr, frontier_addr, value_addr};
+use tigr_engine::{AtomicFloats, AtomicValues, MonotoneProgram, PrOptions, PrOutput};
+use tigr_graph::{Csr, NodeId};
+use tigr_sim::{GpuSimulator, SimReport};
+
+use crate::common::FrameworkRun;
+
+/// Work unit of one advance: a (source node, flat edge index) pair, the
+/// product of Gunrock's load-balanced partitioning.
+fn expand_frontier(g: &Csr, frontier: &[u32]) -> Vec<(u32, u32)> {
+    let mut work = Vec::new();
+    for &v in frontier {
+        let node = NodeId::new(v);
+        for e in g.edge_start(node)..g.edge_end(node) {
+            work.push((v, e as u32));
+        }
+    }
+    work
+}
+
+/// Runs a monotone analytic with the advance/filter strategy.
+pub fn run_monotone(
+    sim: &GpuSimulator,
+    g: &Csr,
+    prog: MonotoneProgram,
+    source: Option<NodeId>,
+) -> FrameworkRun {
+    let n = g.num_nodes();
+    let values = AtomicValues::from_values(prog.initial_values(n, source));
+    let mut report = SimReport::new();
+    let mut frontier: Vec<u32> = prog.initial_frontier(n, source);
+    let enqueued: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+
+    while !frontier.is_empty() {
+        let work = expand_frontier(g, &frontier);
+        let next = SegQueue::new();
+
+        // Load-balancing scan: Gunrock's advance is preceded by a
+        // degree-gather plus prefix-sum over the frontier to give each
+        // thread exactly one edge (two extra kernel launches).
+        let mut metrics = sim.launch(frontier.len(), |tid, lane| {
+            lane.load(frontier_addr(tid), 4);
+            lane.load(tigr_engine::addr::row_ptr_addr(frontier[tid] as usize), 8);
+            lane.compute(2);
+            lane.store(frontier_addr(tid), 4);
+        });
+        let scan = sim.launch(frontier.len(), |tid, lane| {
+            lane.load(frontier_addr(tid), 4);
+            lane.compute(3); // up-sweep + down-sweep amortized
+            lane.store(frontier_addr(tid), 4);
+        });
+        metrics.merge(&scan);
+
+        // Advance: one thread per frontier edge.
+        let advance = sim.launch(work.len(), |tid, lane| {
+            let (src, e) = work[tid];
+            // Load-balance lookup table entry + source value + edge.
+            lane.load(frontier_addr(tid), 4);
+            lane.load(value_addr(src as usize), 4);
+            let d = values.load(src as usize);
+            lane.load(edge_addr(e as usize), 8);
+            let nbr = g.edge_target(e as usize).index();
+            let cand = prog.edge_op.apply(d, g.weight(e as usize));
+            lane.compute(2);
+            lane.load(value_addr(nbr), 4);
+            if prog.combine.improves(cand, values.load(nbr))
+                && values.try_improve(nbr, cand, prog.combine)
+            {
+                lane.atomic(value_addr(nbr), 4);
+                if enqueued[nbr].swap(1, Ordering::Relaxed) == 0 {
+                    next.push(nbr as u32);
+                    lane.atomic(frontier_addr(nbr), 4);
+                }
+            }
+        });
+
+        metrics.merge(&advance);
+
+        // Filter: compact and reset the dedup flags.
+        let mut nf: Vec<u32> = std::iter::from_fn(|| next.pop()).collect();
+        let filter = sim.launch(nf.len(), |tid, lane| {
+            lane.load(frontier_addr(tid), 4);
+            lane.compute(2);
+            lane.store(frontier_addr(tid), 4);
+        });
+        metrics.merge(&filter);
+        report.push(work.len(), metrics);
+
+        for &v in &nf {
+            enqueued[v as usize].store(0, Ordering::Relaxed);
+        }
+        nf.sort_unstable();
+        frontier = nf;
+    }
+
+    FrameworkRun {
+        values: values.snapshot(),
+        report,
+    }
+}
+
+/// Gunrock PageRank: an all-active advance per iteration plus the
+/// finalize pass (PR's frontier never shrinks, so filter is trivial).
+pub fn run_pagerank(sim: &GpuSimulator, g: &Csr, options: &PrOptions) -> PrOutput {
+    let n = g.num_nodes();
+    let m = g.num_edges();
+    if n == 0 {
+        return PrOutput {
+            ranks: Vec::new(),
+            report: SimReport::new(),
+            converged: true,
+        };
+    }
+    // Flat (src, edge) table, built once.
+    let mut work = Vec::with_capacity(m);
+    for v in g.nodes() {
+        for e in g.edge_start(v)..g.edge_end(v) {
+            work.push((v.raw(), e as u32));
+        }
+    }
+    let out_deg: Vec<u32> = g.nodes().map(|v| g.out_degree(v) as u32).collect();
+    let ranks = AtomicFloats::new(n, 1.0 / n as f32);
+    let accum = AtomicFloats::new(n, 0.0);
+    let mut report = SimReport::new();
+    let mut converged = false;
+
+    for _ in 0..options.max_iterations {
+        accum.fill(0.0);
+        let mut metrics = sim.launch(m, |tid, lane| {
+            let (src, e) = work[tid];
+            lane.load(frontier_addr(tid), 4);
+            lane.load(value_addr(src as usize), 4);
+            lane.load(edge_addr(e as usize), 8);
+            let nbr = g.edge_target(e as usize).index();
+            let deg = out_deg[src as usize].max(1);
+            accum.fetch_add(nbr, ranks.load(src as usize) / deg as f32);
+            lane.compute(2);
+            lane.atomic(tigr_engine::addr::aux_addr(0, nbr), 4);
+        });
+
+        let mut dangling = 0.0f64;
+        for v in 0..n {
+            if out_deg[v] == 0 {
+                dangling += ranks.load(v) as f64;
+            }
+        }
+        let base =
+            (1.0 - options.damping) / n as f32 + options.damping * dangling as f32 / n as f32;
+        let delta = AtomicFloats::new(1, 0.0);
+        let fin = sim.launch(n, |v, lane| {
+            lane.load(tigr_engine::addr::aux_addr(0, v), 4);
+            let new = base + options.damping * accum.load(v);
+            delta.fetch_add(0, (new - ranks.load(v)).abs());
+            ranks.store(v, new);
+            lane.compute(3);
+            lane.store(value_addr(v), 4);
+        });
+        metrics.merge(&fin);
+        report.push(m, metrics);
+        if delta.load(0) < options.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    PrOutput {
+        ranks: ranks.snapshot(),
+        report,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_graph::generators::{rmat, with_uniform_weights, RmatConfig};
+    use tigr_graph::properties::{dijkstra, pagerank};
+    use tigr_sim::GpuConfig;
+
+    fn fixture() -> Csr {
+        with_uniform_weights(&rmat(&RmatConfig::graph500(7, 6), 91), 1, 32, 9)
+    }
+
+    #[test]
+    fn gunrock_sssp_matches_dijkstra() {
+        let g = fixture();
+        let expect = dijkstra(&g, NodeId::new(0));
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let out = run_monotone(&sim, &g, MonotoneProgram::SSSP, Some(NodeId::new(0)));
+        assert_eq!(out.values, expect);
+    }
+
+    #[test]
+    fn gunrock_cc_matches_oracle() {
+        let mut b = tigr_graph::CsrBuilder::new(7);
+        b.symmetric(true);
+        b.edge(0, 1).edge(1, 2).edge(3, 4).edge(5, 6);
+        let g = b.build();
+        let sim = GpuSimulator::new(GpuConfig::tiny());
+        let out = run_monotone(&sim, &g, MonotoneProgram::CC, None);
+        assert_eq!(out.values, tigr_graph::properties::connected_components(&g));
+    }
+
+    #[test]
+    fn gunrock_pagerank_matches_oracle() {
+        let g = rmat(&RmatConfig::graph500(7, 6), 92);
+        let expect = pagerank(&g, 0.85, 50);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let out = run_pagerank(
+            &sim,
+            &g,
+            &PrOptions {
+                max_iterations: 50,
+                tolerance: 1e-7,
+                ..PrOptions::default()
+            },
+        );
+        for (i, (&got, &want)) in out.ranks.iter().zip(&expect).enumerate() {
+            assert!((got as f64 - want).abs() < 1e-4, "rank[{i}]");
+        }
+    }
+
+    #[test]
+    fn advance_is_edge_balanced_even_on_stars() {
+        let g = tigr_graph::generators::star_graph(2001);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let out = run_monotone(&sim, &g, MonotoneProgram::BFS, Some(NodeId::new(0)));
+        assert!(
+            out.report.warp_efficiency() > 0.9,
+            "edge-parallel advance stays balanced: {}",
+            out.report.warp_efficiency()
+        );
+    }
+
+    #[test]
+    fn frontier_work_expansion() {
+        let g = tigr_graph::CsrBuilder::new(3).edge(0, 1).edge(0, 2).edge(1, 2).build();
+        let work = expand_frontier(&g, &[0]);
+        assert_eq!(work, vec![(0, 0), (0, 1)]);
+        assert_eq!(expand_frontier(&g, &[2]), vec![]);
+    }
+}

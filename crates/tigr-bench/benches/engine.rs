@@ -1,0 +1,47 @@
+//! Criterion benches for the engine across representations: the
+//! micro-scale counterpart of Table 4 / Figure 13 (wall-clock of the
+//! simulated runs; relative ordering mirrors the simulated cycles).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tigr_core::{udt_transform, DumbWeight, VirtualGraph};
+use tigr_engine::{Engine, PushOptions, Representation};
+use tigr_graph::generators::{rmat, with_uniform_weights, RmatConfig};
+use tigr_graph::NodeId;
+use tigr_sim::GpuConfig;
+
+fn engine_benches(c: &mut Criterion) {
+    let g = with_uniform_weights(&rmat(&RmatConfig::graph500(12, 8), 2018), 1, 64, 7);
+    let src = NodeId::new(0);
+    let t = udt_transform(&g, 64, DumbWeight::Zero);
+    let ov = VirtualGraph::new(&g, 10);
+    let ovc = VirtualGraph::coalesced(&g, 10);
+    let engine = Engine::new(GpuConfig::default()).with_options(PushOptions::default());
+
+    let mut group = c.benchmark_group("sssp");
+    group.sample_size(10);
+    group.bench_function("baseline_original", |b| {
+        b.iter(|| engine.sssp(&Representation::Original(&g), src).unwrap());
+    });
+    group.bench_function("tigr_udt", |b| {
+        b.iter(|| engine.sssp(&Representation::Physical(&t), src).unwrap());
+    });
+    group.bench_function("tigr_v", |b| {
+        b.iter(|| {
+            engine
+                .sssp(&Representation::Virtual { graph: &g, overlay: &ov }, src)
+                .unwrap()
+        });
+    });
+    group.bench_function("tigr_v_plus", |b| {
+        b.iter(|| {
+            engine
+                .sssp(&Representation::Virtual { graph: &g, overlay: &ovc }, src)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_benches);
+criterion_main!(benches);

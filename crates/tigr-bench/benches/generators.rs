@@ -1,0 +1,35 @@
+//! Criterion benches for the synthetic workload generators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tigr_graph::generators::{barabasi_albert, erdos_renyi, rmat, BarabasiAlbertConfig, RmatConfig};
+
+fn generator_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+
+    for scale in [12u32, 14] {
+        group.bench_with_input(BenchmarkId::new("rmat", scale), &scale, |b, &s| {
+            b.iter(|| rmat(&RmatConfig::graph500(s, 8), 1));
+        });
+    }
+    group.bench_function("barabasi_albert_50k", |b| {
+        b.iter(|| {
+            barabasi_albert(
+                &BarabasiAlbertConfig {
+                    num_nodes: 50_000,
+                    edges_per_node: 4,
+                    symmetric: false,
+                },
+                1,
+            )
+        });
+    });
+    group.bench_function("erdos_renyi_400k_edges", |b| {
+        b.iter(|| erdos_renyi(50_000, 400_000, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, generator_benches);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benches for the simulator itself: replay throughput for
+//! balanced vs skewed kernels and coalesced vs strided memory traces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tigr_sim::{GpuConfig, GpuSimulator};
+
+fn simulator_benches(c: &mut Criterion) {
+    let sim = GpuSimulator::new(GpuConfig::default());
+    let n = 100_000;
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.bench_function("balanced_compute", |b| {
+        b.iter(|| sim.launch(n, |_, lane| lane.compute(16)));
+    });
+    group.bench_function("skewed_compute", |b| {
+        b.iter(|| {
+            sim.launch(n, |tid, lane| {
+                lane.compute(if tid % 1000 == 0 { 1000 } else { 1 })
+            })
+        });
+    });
+    group.bench_function("coalesced_loads", |b| {
+        b.iter(|| {
+            sim.launch(n, |tid, lane| {
+                for i in 0..8u64 {
+                    lane.load((tid as u64) * 32 + i * 4, 4);
+                }
+            })
+        });
+    });
+    group.bench_function("strided_loads", |b| {
+        b.iter(|| {
+            sim.launch(n, |tid, lane| {
+                for i in 0..8u64 {
+                    lane.load((tid as u64) * 4 + i * 40_000, 4);
+                }
+            })
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, simulator_benches);
+criterion_main!(benches);

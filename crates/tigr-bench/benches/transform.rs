@@ -1,0 +1,33 @@
+//! Criterion benches for the transformation costs (Table 7's
+//! micro-level counterpart): physical UDT versus virtual overlay
+//! construction, across degree bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tigr_core::{udt_transform, DumbWeight, VirtualGraph};
+use tigr_graph::generators::{rmat, RmatConfig};
+
+fn transform_benches(c: &mut Criterion) {
+    let g = rmat(&RmatConfig::graph500(14, 16), 2018);
+
+    let mut group = c.benchmark_group("transform");
+    group.sample_size(10);
+
+    for k in [32u32, 128, 512] {
+        group.bench_with_input(BenchmarkId::new("udt_physical", k), &k, |b, &k| {
+            b.iter(|| udt_transform(&g, k, DumbWeight::Zero));
+        });
+    }
+    for k in [4u32, 10, 32] {
+        group.bench_with_input(BenchmarkId::new("virtual", k), &k, |b, &k| {
+            b.iter(|| VirtualGraph::new(&g, k));
+        });
+        group.bench_with_input(BenchmarkId::new("virtual_coalesced", k), &k, |b, &k| {
+            b.iter(|| VirtualGraph::coalesced(&g, k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, transform_benches);
+criterion_main!(benches);

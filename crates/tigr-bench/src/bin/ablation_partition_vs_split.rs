@@ -1,0 +1,61 @@
+//! Partitioning vs splitting (§7.1): the paper argues vertex
+//! partitioning "often has to replicate both high-degree and low-degree
+//! vertices (called mirroring)" while split transformations create no
+//! partitions and nothing to synchronize.
+//!
+//! This binary quantifies the contrast on the analogs: the replication
+//! factor of a PowerGraph-style greedy vertex cut (mirrors per node)
+//! versus the bounded overhead of Tigr's virtual node array.
+
+use tigr_bench::{load_datasets, print_table, BenchConfig};
+use tigr_core::VirtualGraph;
+use tigr_graph::partition::{edge_cut_by_source, vertex_cut};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!(
+        "Partitioning vs splitting at 1/{} scale (14 parts = one per simulated SM)",
+        cfg.scale_denominator
+    );
+    let datasets = load_datasets(&cfg);
+    let parts = 14;
+
+    let mut rows = Vec::new();
+    for d in &datasets {
+        let g = &d.graph;
+        let cut = vertex_cut(g, parts);
+        let one_d = edge_cut_by_source(g, parts);
+        let overlay = VirtualGraph::new(g, 10);
+
+        rows.push(vec![
+            d.spec.name.to_string(),
+            format!("{:.2}x", cut.replication_factor(g)),
+            format!("{:.2}", cut.imbalance()),
+            format!("{:.2}", one_d.imbalance()),
+            format!(
+                "{:.2}x",
+                overlay.num_virtual_nodes() as f64 / g.num_nodes() as f64
+            ),
+            format!("{:.1}%", 100.0 * (overlay.space_cost_ratio(g) - 1.0)),
+        ]);
+    }
+
+    print_table(
+        "vertex-cut mirroring vs virtual splitting (K=10)",
+        &[
+            "dataset",
+            "replication",
+            "vcut imbal",
+            "1D imbal",
+            "vnodes/node",
+            "space ovh",
+        ],
+        &rows,
+    );
+    println!(
+        "\nvertex cuts balance load but mirror nodes (replication > 1) and must\n\
+         synchronize the mirrors; the 1D edge cut avoids mirrors but collapses\n\
+         under power-law imbalance. Tigr's virtual split balances load with a\n\
+         bounded overlay and no synchronization at all (implicit value sync)."
+    );
+}

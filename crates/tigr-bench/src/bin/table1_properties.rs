@@ -1,0 +1,76 @@
+//! Regenerates Table 1: properties of the split transformations.
+//!
+//! For each topology, prints the paper's closed-form columns (#new
+//! nodes, #new edges, new degree, max hops) at a representative
+//! `(d, K)`, checked against graphs actually produced by the
+//! implementations, plus the qualitative cost labels.
+
+use tigr_bench::print_table;
+use tigr_core::split::properties::{
+    circular_properties, clique_properties, star_properties, udt_properties, SplitProperties,
+};
+use tigr_core::{circular_transform, clique_transform, star_transform, udt_transform, DumbWeight};
+use tigr_graph::generators::star_graph;
+use tigr_graph::properties::bfs_levels;
+use tigr_graph::{Csr, NodeId};
+
+fn measured(
+    transform: impl Fn(&Csr, u32, DumbWeight) -> tigr_core::TransformedGraph,
+    d: usize,
+    k: u32,
+) -> SplitProperties {
+    let g = star_graph(d + 1);
+    let t = transform(&g, k, DumbWeight::Zero);
+    let levels = bfs_levels(t.graph(), NodeId::new(0));
+    let max_target_level = (1..=d).map(|v| levels[v]).max().unwrap();
+    SplitProperties {
+        new_nodes: t.num_split_nodes(),
+        new_edges: t.num_new_edges(),
+        new_degree: t.graph().max_out_degree(),
+        max_hops: max_target_level - 1,
+    }
+}
+
+fn main() {
+    let (d, k) = (1000usize, 10u32);
+    println!("Table 1 at d = {d}, K = {k} (formulas vs. measured constructions)");
+
+    let rows = vec![
+        row("T_cliq", clique_properties(d, k as usize), measured(clique_transform, d, k), "high", "low", "fast"),
+        row("T_circ", circular_properties(d, k as usize), measured(circular_transform, d, k), "low", "high", "slow"),
+        row("T_star", star_properties(d, k as usize), measured(star_transform, d, k), "low", "varies", "fast"),
+        row("T_udt", udt_properties(d, k as usize), measured(udt_transform, d, k), "low", "high", "fast (log)"),
+    ];
+
+    print_table(
+        "Table 1: split-transformation properties (formula | measured)",
+        &[
+            "transform", "#new nodes", "#new edges", "new degree", "max #hops", "space", "irreg. red.", "value prop.",
+        ],
+        &rows,
+    );
+    println!(
+        "\nnote: T_circ's measured #new edges includes the ring-closing edge back to the\n\
+         root (+1 vs the paper's count); UDT hops are the measured tree height."
+    );
+}
+
+fn row(
+    name: &str,
+    formula: SplitProperties,
+    measured: SplitProperties,
+    space: &str,
+    irreg: &str,
+    prop: &str,
+) -> Vec<String> {
+    vec![
+        name.to_string(),
+        format!("{} | {}", formula.new_nodes, measured.new_nodes),
+        format!("{} | {}", formula.new_edges, measured.new_edges),
+        format!("{} | {}", formula.new_degree, measured.new_degree),
+        format!("{} | {}", formula.max_hops, measured.max_hops),
+        space.to_string(),
+        irreg.to_string(),
+        prop.to_string(),
+    ]
+}

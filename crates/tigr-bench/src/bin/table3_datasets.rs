@@ -1,0 +1,47 @@
+//! Regenerates Table 3: dataset characteristics.
+//!
+//! Prints, for every analog: measured #nodes, #edges, d_max, estimated
+//! diameter, and the degree bounds (K_udt from the §5 heuristic, K_v =
+//! 10), side by side with the paper's reported values.
+
+use tigr_bench::{load_datasets, print_table, BenchConfig};
+use tigr_core::k_select;
+use tigr_graph::stats::estimate_diameter;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!(
+        "Table 3 analogs at 1/{} of the paper's node counts (TIGR_SCALE to change)",
+        cfg.scale_denominator
+    );
+    let datasets = load_datasets(&cfg);
+
+    let mut rows = Vec::new();
+    for d in &datasets {
+        let g = &d.graph;
+        let diameter = estimate_diameter(g, 16, cfg.seed);
+        rows.push(vec![
+            d.spec.name.to_string(),
+            g.num_nodes().to_string(),
+            g.num_edges().to_string(),
+            g.max_out_degree().to_string(),
+            diameter.to_string(),
+            k_select::physical_k(g).to_string(),
+            k_select::VIRTUAL_K.to_string(),
+            format!(
+                "{}M/{}M/{}K/{}",
+                d.spec.paper_nodes / 1_000_000,
+                d.spec.paper_edges / 1_000_000,
+                d.spec.paper_max_degree / 1000,
+                d.spec.paper_diameter
+            ),
+        ]);
+    }
+    print_table(
+        "Table 3: datasets (measured analog | paper nodes/edges/dmax/diam)",
+        &[
+            "dataset", "#nodes", "#edges", "dmax", "diam", "Kudt", "Kv", "paper",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates Table 6: space cost of the virtual transformation as a
+//! percentage of the original CSR size, for K ∈ {4, 8, 16, 32, 100}.
+
+use tigr_bench::{load_datasets, print_table, BenchConfig};
+use tigr_core::VirtualGraph;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!(
+        "Table 6 at 1/{} scale (paper: ~146-149% at K=4, ~124-127% at K=8, shrinking with K)",
+        cfg.scale_denominator
+    );
+    let datasets = load_datasets(&cfg);
+    let ks = [4u32, 8, 16, 32, 100];
+
+    let mut rows = Vec::new();
+    for d in &datasets {
+        let mut row = vec![d.spec.name.to_string()];
+        for &k in &ks {
+            let vg = VirtualGraph::new(&d.graph, k);
+            row.push(format!("{:.2}%", 100.0 * vg.space_cost_ratio(&d.graph)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 6: space cost of virtual transformation",
+        &["dataset", "K=4", "K=8", "K=16", "K=32", "K=100"],
+        &rows,
+    );
+}

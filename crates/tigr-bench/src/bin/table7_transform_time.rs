@@ -1,0 +1,56 @@
+//! Regenerates Table 7: wall-clock transformation time, physical (UDT)
+//! versus virtual, per dataset.
+//!
+//! Expected shape (paper): both linear in graph size; virtual is one to
+//! two orders of magnitude cheaper than physical for the same input.
+
+use std::time::Instant;
+
+use tigr_bench::{load_datasets, print_table, BenchConfig};
+use tigr_core::{k_select, udt_transform, DumbWeight, VirtualGraph};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!(
+        "Table 7 at 1/{} scale (times are host milliseconds; medians of {} runs)",
+        cfg.scale_denominator, 3
+    );
+    let datasets = load_datasets(&cfg);
+
+    let mut rows = Vec::new();
+    for d in &datasets {
+        let k_udt = k_select::physical_k(&d.graph);
+        let phys_ms = median_ms(|| {
+            let t = udt_transform(&d.graph, k_udt, DumbWeight::Zero);
+            std::hint::black_box(t.graph().num_edges());
+        });
+        let virt_ms = median_ms(|| {
+            let vg = VirtualGraph::coalesced(&d.graph, k_select::VIRTUAL_K);
+            std::hint::black_box(vg.num_virtual_nodes());
+        });
+        rows.push(vec![
+            d.spec.name.to_string(),
+            d.graph.num_edges().to_string(),
+            format!("{phys_ms:.1}"),
+            format!("{virt_ms:.1}"),
+            format!("{:.1}x", phys_ms / virt_ms.max(1e-6)),
+        ]);
+    }
+    print_table(
+        "Table 7: transformation time cost (ms)",
+        &["dataset", "#edges", "physical", "virtual", "phys/virt"],
+        &rows,
+    );
+}
+
+fn median_ms(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[1]
+}

@@ -1,0 +1,259 @@
+//! Benchmark harness regenerating the paper's evaluation (§6).
+//!
+//! Each binary under `src/bin/` regenerates one table or figure:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `profile_irregularity` | the §2.3 degree-distribution profile |
+//! | `table1_properties` | Table 1 (split-transformation properties) |
+//! | `table3_datasets` | Table 3 (dataset characteristics) |
+//! | `table4_comparison` | Table 4 (MW / CuSha / Gunrock / Tigr-V+) |
+//! | `fig13_speedups` | Figure 13 (Tigr-UDT / V / V+ over baseline, SSSP) |
+//! | `table5_udt_space` | Table 5 (physical space cost) |
+//! | `table6_virtual_space` | Table 6 (virtual space cost) |
+//! | `table7_transform_time` | Table 7 (transformation time) |
+//! | `table8_sssp_detail` | Table 8 (SSSP case study) |
+//! | `ablation_k_sweep` | §5 / §6.4 K-sensitivity observations |
+//!
+//! Run with `cargo run --release -p tigr-bench --bin <name>`. The analog
+//! scale is `1/TIGR_SCALE` of the paper's node counts
+//! (default 256; set `TIGR_SCALE=64` for larger, closer-to-paper runs).
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use tigr_graph::datasets::{DatasetSpec, PAPER_DATASETS};
+use tigr_graph::Csr;
+use tigr_sim::{GpuConfig, GpuSimulator};
+
+/// Harness configuration, read from the environment.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Analogs are `1/scale_denominator` of the paper's node counts.
+    pub scale_denominator: u64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            scale_denominator: 256,
+            seed: 2018, // ASPLOS '18
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Reads `TIGR_SCALE` and `TIGR_SEED` from the environment.
+    pub fn from_env() -> Self {
+        let mut cfg = BenchConfig::default();
+        if let Ok(s) = std::env::var("TIGR_SCALE") {
+            if let Ok(v) = s.parse() {
+                cfg.scale_denominator = v;
+            }
+        }
+        if let Ok(s) = std::env::var("TIGR_SEED") {
+            if let Ok(v) = s.parse() {
+                cfg.seed = v;
+            }
+        }
+        cfg
+    }
+
+    /// Simulated device budget preserving the paper's 8 GB-to-graph-size
+    /// ratio at analog scale.
+    pub fn device_budget(&self) -> u64 {
+        8 * 1024 * 1024 * 1024 / self.scale_denominator.max(1)
+    }
+
+    /// A parallel simulator with the default (P4000-like) configuration.
+    pub fn simulator(&self) -> GpuSimulator {
+        GpuSimulator::new_parallel(GpuConfig::default())
+    }
+}
+
+/// One generated dataset analog with weighted and unweighted variants.
+#[derive(Debug)]
+pub struct DatasetInstance {
+    /// The Table 3 spec this analog mirrors.
+    pub spec: &'static DatasetSpec,
+    /// Unweighted topology (BFS, CC, PR, BC).
+    pub graph: Csr,
+    /// Uniform-\[1,64\]-weighted variant (SSSP, SSWP).
+    pub weighted: Csr,
+}
+
+impl DatasetInstance {
+    /// Generates the analog for `spec`.
+    pub fn generate(spec: &'static DatasetSpec, cfg: &BenchConfig) -> Self {
+        let graph = spec.generate(cfg.scale_denominator, cfg.seed);
+        let weighted = tigr_graph::generators::with_uniform_weights(&graph, 1, 64, cfg.seed ^ 0xA5);
+        DatasetInstance {
+            spec,
+            graph,
+            weighted,
+        }
+    }
+
+    /// The highest-out-degree node: the source used for the
+    /// source-driven analytics (guarantees non-trivial propagation).
+    pub fn source(&self) -> tigr_graph::NodeId {
+        let mut best = tigr_graph::NodeId::new(0);
+        let mut best_deg = 0;
+        for v in self.graph.nodes() {
+            let d = self.graph.out_degree(v);
+            if d > best_deg {
+                best_deg = d;
+                best = v;
+            }
+        }
+        best
+    }
+}
+
+/// Generates all six Table 3 analogs, printing progress to stderr.
+pub fn load_datasets(cfg: &BenchConfig) -> Vec<DatasetInstance> {
+    PAPER_DATASETS
+        .iter()
+        .map(|spec| {
+            let t = Instant::now();
+            let d = DatasetInstance::generate(spec, cfg);
+            eprintln!(
+                "  generated {:<12} {:>9} nodes {:>10} edges in {:.1?}",
+                spec.name,
+                d.graph.num_nodes(),
+                d.graph.num_edges(),
+                t.elapsed()
+            );
+            d
+        })
+        .collect()
+}
+
+/// Generates a single dataset analog by name.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the Table 3 datasets.
+pub fn load_datasets_one(cfg: &BenchConfig, name: &str) -> DatasetInstance {
+    let spec = tigr_graph::datasets::by_name(name).expect("unknown dataset name");
+    DatasetInstance::generate(spec, cfg)
+}
+
+/// Formats a cell: milliseconds with two decimals, `OOM`, or `-`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Cell {
+    /// Simulated milliseconds.
+    Ms(f64),
+    /// Out of device memory (Table 4's `OOM`).
+    Oom,
+    /// Primitive not available in this framework (`-`).
+    Missing,
+}
+
+impl Cell {
+    /// Renders the cell as the paper's tables do.
+    pub fn render(&self) -> String {
+        match self {
+            Cell::Ms(v) => format!("{v:.2}"),
+            Cell::Oom => "OOM".to_string(),
+            Cell::Missing => "-".to_string(),
+        }
+    }
+
+    /// The numeric value if present.
+    pub fn as_ms(&self) -> Option<f64> {
+        match self {
+            Cell::Ms(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Converts total simulated cycles to nominal milliseconds under the
+/// default device clock.
+pub fn cycles_to_ms(cycles: u64) -> f64 {
+    GpuConfig::default().cycles_to_ms(cycles)
+}
+
+/// Geometric mean of a non-empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config() {
+        let cfg = BenchConfig::default();
+        assert_eq!(cfg.scale_denominator, 256);
+        assert_eq!(cfg.device_budget(), (8 << 30) / 256);
+    }
+
+    #[test]
+    fn cell_rendering() {
+        assert_eq!(Cell::Ms(12.345).render(), "12.35");
+        assert_eq!(Cell::Oom.render(), "OOM");
+        assert_eq!(Cell::Missing.render(), "-");
+        assert_eq!(Cell::Ms(1.0).as_ms(), Some(1.0));
+        assert_eq!(Cell::Oom.as_ms(), None);
+    }
+
+    #[test]
+    fn geomean_of_known_values() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn dataset_instance_generates_both_variants() {
+        let cfg = BenchConfig {
+            scale_denominator: 4096,
+            seed: 1,
+        };
+        let d = DatasetInstance::generate(&PAPER_DATASETS[0], &cfg);
+        assert!(!d.graph.is_weighted());
+        assert!(d.weighted.is_weighted());
+        assert_eq!(d.graph.num_edges(), d.weighted.num_edges());
+        let src = d.source();
+        assert_eq!(
+            d.graph.out_degree(src),
+            d.graph.max_out_degree(),
+            "source is the max-degree hub"
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! The CLI subcommands. Each returns its output as a `String` so the
+//! commands are unit-testable without spawning processes.
+
+pub mod analyze;
+pub mod generate;
+pub mod run;
+pub mod stats;
+pub mod transform;
+
+/// Result alias: rendered output or an error message for stderr.
+pub type CmdResult = Result<String, String>;

@@ -1,0 +1,173 @@
+//! `tigr run <analytic> --graph <file>` — run an analytic on the
+//! simulated GPU, optionally through a virtual transformation.
+
+use tigr_core::VirtualGraph;
+use tigr_engine::{pr, Engine, Representation};
+use tigr_graph::NodeId;
+use tigr_sim::GpuConfig;
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+use crate::io_util::load_graph;
+
+/// Runs the `run` command.
+pub fn run(args: &Args) -> CmdResult {
+    let analytic = args.positional(0).ok_or(USAGE)?;
+    let path: String = args.require("graph").map_err(|_| USAGE.to_string())?;
+    let g = load_graph(&path)?;
+    if g.num_nodes() == 0 {
+        return Err("graph is empty".into());
+    }
+    let source = NodeId::new(args.flag_or("source", 0u32)?);
+    if source.index() >= g.num_nodes() {
+        return Err(format!("--source {source} out of range"));
+    }
+
+    let engine = Engine::parallel(GpuConfig::default());
+    let overlay = args
+        .flag("virtual")
+        .map(|k| {
+            let k: u32 = k.parse().map_err(|_| "invalid --virtual K".to_string())?;
+            Ok::<_, String>(if args.switch("coalesced") {
+                VirtualGraph::coalesced(&g, k)
+            } else {
+                VirtualGraph::new(&g, k)
+            })
+        })
+        .transpose()?;
+    let rep = match &overlay {
+        Some(ov) => Representation::Virtual {
+            graph: &g,
+            overlay: ov,
+        },
+        None => Representation::Original(&g),
+    };
+
+    let mut out = String::new();
+    let report = match analytic {
+        "bfs" | "sssp" | "sswp" | "cc" => {
+            let result = match analytic {
+                "bfs" => engine.bfs(&rep, source),
+                "sssp" => engine.sssp(&rep, source),
+                "sswp" => engine.sswp(&rep, source),
+                _ => engine.cc(&rep),
+            }
+            .map_err(|e| e.to_string())?;
+            let finite = result
+                .values
+                .iter()
+                .filter(|&&v| v != u32::MAX && v != 0)
+                .count();
+            out.push_str(&format!(
+                "{analytic} from {source}: {} nodes with non-trivial values\n",
+                finite
+            ));
+            result.report
+        }
+        "pr" | "pagerank" => {
+            let result = engine
+                .pagerank(&rep, &pr::out_degrees(&g), &pr::PrOptions::default())
+                .map_err(|e| e.to_string())?;
+            let (top, rank) = result
+                .ranks
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty graph");
+            out.push_str(&format!("pagerank: top node {top} (rank {rank:.6})\n"));
+            result.report
+        }
+        "bc" => {
+            let result = engine.betweenness(&rep, source).map_err(|e| e.to_string())?;
+            let (top, score) = result
+                .centrality
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty graph");
+            out.push_str(&format!(
+                "bc from {source}: top broker {top} (dependency {score:.2})\n"
+            ));
+            result.report
+        }
+        other => return Err(format!("unknown analytic `{other}`\n{USAGE}")),
+    };
+
+    out.push_str(&format!(
+        "representation  {}\niterations      {}\nsim cycles      {} ({:.3} ms at 1.2 GHz)\nwarp efficiency {:.1}%\n",
+        rep.label(),
+        report.num_iterations(),
+        report.total_cycles(),
+        GpuConfig::default().cycles_to_ms(report.total_cycles()),
+        100.0 * report.warp_efficiency(),
+    ));
+    if args.switch("report") {
+        out.push_str("per-iteration cycles:\n");
+        for it in &report.iterations {
+            out.push_str(&format!(
+                "  iter {:>3}: {:>8} threads {:>12} cycles\n",
+                it.iteration, it.threads, it.metrics.cycles
+            ));
+        }
+    }
+    Ok(out)
+}
+
+const USAGE: &str = "usage: tigr run <bfs|sssp|sswp|cc|pr|bc> --graph <file> \
+[--source N] [--virtual K [--coalesced]] [--report]";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(&s.split_whitespace().map(str::to_string).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn fixture() -> String {
+        let dir = std::env::temp_dir().join("tigr_cli_run_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin").to_str().unwrap().to_string();
+        let g = tigr_graph::generators::with_uniform_weights(
+            &tigr_graph::generators::rmat(&tigr_graph::generators::RmatConfig::graph500(8, 6), 3),
+            1,
+            9,
+            4,
+        );
+        crate::io_util::save_graph(&g, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn runs_sssp_virtual_with_report() {
+        let path = fixture();
+        let out = run(&parse(&format!(
+            "sssp --graph {path} --source 0 --virtual 10 --coalesced --report"
+        )))
+        .unwrap();
+        assert!(out.contains("representation  virtual+"));
+        assert!(out.contains("per-iteration cycles"));
+    }
+
+    #[test]
+    fn runs_pagerank_original() {
+        let path = fixture();
+        let out = run(&parse(&format!("pr --graph {path}"))).unwrap();
+        assert!(out.contains("pagerank: top node"));
+        assert!(out.contains("representation  original"));
+    }
+
+    #[test]
+    fn rejects_bad_source() {
+        let path = fixture();
+        let err = run(&parse(&format!("bfs --graph {path} --source 99999"))).unwrap_err();
+        assert!(err.contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_unknown_analytic() {
+        let path = fixture();
+        let err = run(&parse(&format!("coloring --graph {path}"))).unwrap_err();
+        assert!(err.contains("unknown analytic"));
+    }
+}

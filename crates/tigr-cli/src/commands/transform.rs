@@ -1,0 +1,107 @@
+//! `tigr transform <topology> -i <in> -o <out>` — physical split
+//! transformations from the command line.
+
+use tigr_core::{
+    circular_transform, clique_transform, recursive_star_transform, star_transform,
+    udt_transform, DumbWeight, TransformedGraph,
+};
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+use crate::io_util::{load_graph, save_graph};
+
+/// Runs the `transform` command.
+pub fn run(args: &Args) -> CmdResult {
+    let topology = args.positional(0).ok_or(USAGE)?;
+    let input: String = args.require("i").map_err(|_| USAGE.to_string())?;
+    let output: String = args.require("o").map_err(|_| USAGE.to_string())?;
+    let g = load_graph(&input)?;
+
+    let k: u32 = match args.flag("k") {
+        Some(v) => v.parse().map_err(|_| "invalid --k".to_string())?,
+        None => tigr_core::k_select::physical_k(&g),
+    };
+    let dumb = match args.flag("dumb").unwrap_or("zero") {
+        "zero" => DumbWeight::Zero,
+        "inf" | "infinity" => DumbWeight::Infinity,
+        "none" | "unweighted" => DumbWeight::Unweighted,
+        other => return Err(format!("unknown dumb-weight policy `{other}`")),
+    };
+
+    let t: TransformedGraph = match topology {
+        "udt" => udt_transform(&g, k, dumb),
+        "star" => star_transform(&g, k, dumb),
+        "recursive-star" => recursive_star_transform(&g, k, dumb),
+        "circular" => circular_transform(&g, k, dumb),
+        "clique" => clique_transform(&g, k, dumb),
+        other => return Err(format!("unknown topology `{other}`\n{USAGE}")),
+    };
+
+    save_graph(t.graph(), &output)?;
+    Ok(format!(
+        "{} transform (K={k}, dumb={:?}):\n  {} -> {} nodes (+{} split)\n  {} -> {} edges (+{} new)\n  max degree {} -> {}\n  space {:.2}% of original CSR\nwrote {output}\n",
+        t.topology(),
+        dumb,
+        g.num_nodes(),
+        t.graph().num_nodes(),
+        t.num_split_nodes(),
+        g.num_edges(),
+        t.graph().num_edges(),
+        t.num_new_edges(),
+        g.max_out_degree(),
+        t.graph().max_out_degree(),
+        100.0 * t.space_cost_ratio(&g),
+    ))
+}
+
+const USAGE: &str = "usage: tigr transform <udt|star|recursive-star|circular|clique> \
+-i <in> -o <out> [--k K] [--dumb zero|inf|none]";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(&s.split_whitespace().map(str::to_string).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn fixture() -> (String, String) {
+        let dir = std::env::temp_dir().join("tigr_cli_transform_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.txt").to_str().unwrap().to_string();
+        let output = dir.join("out.bin").to_str().unwrap().to_string();
+        save_graph(&tigr_graph::generators::star_graph(50), &input).unwrap();
+        (input, output)
+    }
+
+    #[test]
+    fn udt_transform_end_to_end() {
+        let (input, output) = fixture();
+        let out = run(&parse(&format!("udt -i {input} -o {output} --k 4"))).unwrap();
+        assert!(out.contains("udt transform (K=4"));
+        let t = load_graph(&output).unwrap();
+        assert!(t.max_out_degree() <= 4);
+        assert!(t.num_nodes() > 50);
+    }
+
+    #[test]
+    fn k_defaults_to_heuristic() {
+        let (input, output) = fixture();
+        let out = run(&parse(&format!("udt -i {input} -o {output}"))).unwrap();
+        assert!(out.contains("K=100"), "{out}");
+    }
+
+    #[test]
+    fn bad_topology_rejected() {
+        let (input, output) = fixture();
+        let err = run(&parse(&format!("spiral -i {input} -o {output}"))).unwrap_err();
+        assert!(err.contains("unknown topology"));
+    }
+
+    #[test]
+    fn bad_dumb_policy_rejected() {
+        let (input, output) = fixture();
+        let err = run(&parse(&format!("udt -i {input} -o {output} --dumb heavy"))).unwrap_err();
+        assert!(err.contains("unknown dumb-weight"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Extension-driven graph loading and saving.
+
+use std::path::Path;
+
+use tigr_graph::{io, Csr};
+
+/// Loads a graph, picking the parser from the file extension:
+/// `.bin`/`.tigr` → binary, `.mtx` → MatrixMarket, `.gr` → DIMACS,
+/// anything else → whitespace edge list.
+///
+/// # Errors
+///
+/// Returns a human-readable message on I/O or parse failure.
+pub fn load_graph(path: &str) -> Result<Csr, String> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+        .to_lowercase();
+    let result = match ext.as_str() {
+        "bin" | "tigr" => io::binary::load_binary(path),
+        "mtx" => io::load_matrix_market(path),
+        "gr" => io::load_dimacs(path),
+        _ => io::load_edge_list(path),
+    };
+    result.map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+/// Saves a graph, picking the writer from the file extension (same
+/// mapping as [`load_graph`]).
+///
+/// # Errors
+///
+/// Returns a human-readable message on I/O failure.
+pub fn save_graph(g: &Csr, path: &str) -> Result<(), String> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+        .to_lowercase();
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let result = match ext.as_str() {
+        "bin" | "tigr" => io::write_binary(g, file),
+        "gr" => io::write_dimacs(g, file),
+        _ => io::write_edge_list(g, file),
+    };
+    result.map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_graph::CsrBuilder;
+
+    #[test]
+    fn round_trips_by_extension() {
+        let dir = std::env::temp_dir().join("tigr_cli_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = CsrBuilder::new(3).weighted_edge(0, 1, 5).weighted_edge(1, 2, 7).build();
+        for name in ["g.bin", "g.txt", "g.gr"] {
+            let path = dir.join(name);
+            let path = path.to_str().unwrap();
+            save_graph(&g, path).unwrap();
+            assert_eq!(load_graph(path).unwrap(), g, "{name}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_reports_path() {
+        let err = load_graph("/nonexistent/g.txt").unwrap_err();
+        assert!(err.contains("/nonexistent/g.txt"));
+    }
+}

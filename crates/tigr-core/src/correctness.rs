@@ -1,0 +1,409 @@
+//! Executable correctness statements (§3.3).
+//!
+//! Theorem 1 and Corollaries 1–4 are the paper's guarantees that UDT (and
+//! split transformations generally, given dumb weights) preserve analysis
+//! results. This module states each of them as a checkable function over
+//! a graph and its [`TransformedGraph`]; the test suites and the
+//! verification binaries run them against the oracles in
+//! [`tigr_graph::properties`].
+
+use std::collections::HashSet;
+
+use tigr_graph::properties::{
+    bfs_levels, connected_components, dijkstra, reachable, widest_path,
+};
+use tigr_graph::{Csr, NodeId};
+
+use crate::split::TransformedGraph;
+
+/// The outcome of a correctness check: `Ok(())` or a human-readable
+/// description of the first violation found.
+pub type CheckResult = Result<(), String>;
+
+/// **Definition 2** — the transformation is a *split transformation*:
+/// every original outgoing edge of every node is re-attached exactly once
+/// within that node's family (so `N_B ⊇ N_v`), and families are disjoint.
+pub fn verify_split_definition(original: &Csr, transformed: &TransformedGraph) -> CheckResult {
+    let tg = transformed.graph();
+    // Collect, per family root, the multiset of original targets reached
+    // by family members via original (re-attached) edges; introduced
+    // edges must stay inside their family.
+    let n = transformed.original_nodes();
+    let mut reattached: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for v in tg.nodes() {
+        let root = transformed.family_root(v);
+        for (off, &u) in tg.neighbors(v).iter().enumerate() {
+            let e = tg.edge_start(v) + off;
+            if !transformed.is_new_edge(e) {
+                reattached[root.index()].push(u);
+            } else if transformed.family_root(u) != root {
+                return Err(format!(
+                    "introduced edge {v} -> {u} crosses families ({} vs {})",
+                    root,
+                    transformed.family_root(u)
+                ));
+            }
+        }
+    }
+    for v in original.nodes() {
+        let mut expect: Vec<NodeId> = original.neighbors(v).to_vec();
+        expect.sort_unstable();
+        let mut got = reattached[v.index()].clone();
+        got.sort_unstable();
+        if expect != got {
+            return Err(format!(
+                "node {v}: original targets {expect:?} re-attached as {got:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **Theorem 1** — path preservation: for sampled node pairs `(v1, v2)`
+/// of the original graph, a path exists in the original iff one exists in
+/// the transformed graph.
+pub fn verify_path_preservation(
+    original: &Csr,
+    transformed: &TransformedGraph,
+    samples: usize,
+    seed: u64,
+) -> CheckResult {
+    let n = original.num_nodes();
+    if n == 0 {
+        return Ok(());
+    }
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    for _ in 0..samples {
+        let a = NodeId::from_index((next() % n as u64) as usize);
+        let b = NodeId::from_index((next() % n as u64) as usize);
+        let before = reachable(original, a, b);
+        let after = reachable(transformed.graph(), a, b);
+        if before != after {
+            return Err(format!(
+                "path {a} -> {b}: exists_before={before}, exists_after={after}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **Corollary 1** — connectivity preservation: the weak-component
+/// partition of the original nodes is identical before and after.
+pub fn verify_connectivity_preservation(
+    original: &Csr,
+    transformed: &TransformedGraph,
+) -> CheckResult {
+    let before = connected_components(original);
+    let after_all = connected_components(transformed.graph());
+    let n = original.num_nodes();
+    // Compare partitions (labels may differ): two original nodes share a
+    // component before iff they do after. Canonicalize by the first
+    // member of each label.
+    let canon = |labels: &[u32]| -> Vec<u32> {
+        let mut first: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        labels
+            .iter()
+            .take(n)
+            .enumerate()
+            .map(|(i, &l)| *first.entry(l).or_insert(i as u32))
+            .collect()
+    };
+    let (cb, ca) = (canon(&before), canon(&after_all));
+    if cb != ca {
+        for i in 0..n {
+            if cb[i] != ca[i] {
+                return Err(format!(
+                    "node {i}: component changed ({} -> {})",
+                    cb[i], ca[i]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **Corollary 2** — distance preservation under zero dumb weights:
+/// shortest-path distances from `src` to every original node are
+/// unchanged. (BFS is the all-weights-1 special case; BC depends only on
+/// distances.)
+pub fn verify_distance_preservation(
+    original: &Csr,
+    transformed: &TransformedGraph,
+    src: NodeId,
+) -> CheckResult {
+    let before = dijkstra(original, src);
+    let after = dijkstra(transformed.graph(), src);
+    for v in 0..original.num_nodes() {
+        if before[v] != after[v] {
+            return Err(format!(
+                "distance {src} -> {v}: {} before, {} after",
+                before[v], after[v]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **Corollary 3** — bottleneck preservation under infinite dumb weights:
+/// widest-path values from `src` to every original node are unchanged.
+pub fn verify_bottleneck_preservation(
+    original: &Csr,
+    transformed: &TransformedGraph,
+    src: NodeId,
+) -> CheckResult {
+    let before = widest_path(original, src);
+    let after = widest_path(transformed.graph(), src);
+    for v in 0..original.num_nodes() {
+        if before[v] != after[v] {
+            return Err(format!(
+                "width {src} -> {v}: {} before, {} after",
+                before[v], after[v]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **Corollary 4** (push-based direction) — in-degree preservation: every
+/// original node keeps exactly its original incoming edges from original
+/// nodes (split transformations never touch incoming edges of other
+/// nodes' families).
+pub fn verify_indegree_preservation(
+    original: &Csr,
+    transformed: &TransformedGraph,
+) -> CheckResult {
+    let n = original.num_nodes();
+    let count = |g: &Csr, limit_src: bool| -> Vec<usize> {
+        let mut indeg = vec![0usize; n];
+        for e in g.edges() {
+            if e.dst.index() < n && (!limit_src || e.src.index() < n) {
+                indeg[e.dst.index()] += 1;
+            }
+        }
+        indeg
+    };
+    let before = count(original, false);
+    // In the transformed graph, original targets may now be pointed at by
+    // split nodes standing in for their original sources; count all.
+    let after = count(transformed.graph(), false);
+    for v in 0..n {
+        if before[v] != after[v] {
+            return Err(format!(
+                "in-degree of {v}: {} before, {} after",
+                before[v], after[v]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **UDT degree bound** — after `udt_transform` with bound `K`, no node
+/// exceeds out-degree `K`.
+pub fn verify_degree_bound(transformed: &TransformedGraph) -> CheckResult {
+    let k = transformed.k() as usize;
+    let g = transformed.graph();
+    for v in g.nodes() {
+        if g.out_degree(v) > k {
+            return Err(format!(
+                "node {v} has degree {} > K = {k}",
+                g.out_degree(v)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **P3** — logarithmic hop growth: the extra BFS depth the
+/// transformation introduces from `src` is bounded by
+/// `⌈log_K d_max⌉ + slack` levels per original hop.
+pub fn verify_logarithmic_hops(
+    original: &Csr,
+    transformed: &TransformedGraph,
+    src: NodeId,
+) -> CheckResult {
+    let k = transformed.k().max(2) as f64;
+    let d_max = original.max_out_degree().max(2) as f64;
+    let per_hop = d_max.log(k).ceil() + 1.0;
+
+    let before = bfs_levels(original, src);
+    let after = bfs_levels(transformed.graph(), src);
+    for v in 0..original.num_nodes() {
+        if before[v] == usize::MAX {
+            continue;
+        }
+        let bound = ((before[v] as f64 + 1.0) * per_hop) as usize + 1;
+        if after[v] > bound {
+            return Err(format!(
+                "node {v}: {} hops before, {} after (bound {bound})",
+                before[v], after[v]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs every check applicable to a UDT transformation with zero dumb
+/// weights, sampling `sources` BFS/SSSP roots. Convenience used by the
+/// integration suite and the verification binary.
+pub fn verify_udt_full(
+    original: &Csr,
+    transformed: &TransformedGraph,
+    sources: &[NodeId],
+) -> CheckResult {
+    verify_split_definition(original, transformed)?;
+    verify_degree_bound(transformed)?;
+    verify_connectivity_preservation(original, transformed)?;
+    verify_indegree_preservation(original, transformed)?;
+    verify_path_preservation(original, transformed, 64, 0xDEC0DE)?;
+    for &s in sources {
+        verify_distance_preservation(original, transformed, s)?;
+        verify_logarithmic_hops(original, transformed, s)?;
+    }
+    Ok(())
+}
+
+/// Set of graph analyses whose results a transformation preserves, per
+/// the paper's applicability discussion (§3.3): connectivity-based,
+/// path-based, and degree-based analyses are safe; neighborhood-based
+/// ones (graph coloring, triangle counting, clique detection) are not.
+pub fn preserved_analyses() -> HashSet<&'static str> {
+    ["cc", "sssp", "sswp", "bc", "bfs", "pr"].into_iter().collect()
+}
+
+/// Analyses the paper explicitly lists as *not* preserved by split
+/// transformations.
+pub fn unpreserved_analyses() -> HashSet<&'static str> {
+    ["graph-coloring", "triangle-counting", "clique-detection"]
+        .into_iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{circular_transform, star_transform, udt_transform, DumbWeight};
+    use tigr_graph::generators::{barabasi_albert, with_uniform_weights, BarabasiAlbertConfig};
+
+    fn power_law() -> Csr {
+        // Symmetric BA so that node 0 is a hub and every node reaches the
+        // split families — otherwise the preservation checks hold
+        // trivially and the negative controls below cannot trigger.
+        let g = barabasi_albert(
+            &BarabasiAlbertConfig {
+                num_nodes: 400,
+                edges_per_node: 3,
+                symmetric: true,
+            },
+            21,
+        );
+        with_uniform_weights(&g, 1, 16, 5)
+    }
+
+    #[test]
+    fn udt_passes_all_checks_on_power_law_graph() {
+        let g = power_law();
+        let t = udt_transform(&g, 4, DumbWeight::Zero);
+        assert!(t.num_split_nodes() > 0, "fixture must actually split");
+        let sources = [NodeId::new(0), NodeId::new(1), NodeId::new(399)];
+        verify_udt_full(&g, &t, &sources).unwrap();
+    }
+
+    #[test]
+    fn udt_with_infinity_weights_preserves_bottlenecks() {
+        let g = power_law();
+        let t = udt_transform(&g, 4, DumbWeight::Infinity);
+        verify_bottleneck_preservation(&g, &t, NodeId::new(0)).unwrap();
+        verify_bottleneck_preservation(&g, &t, NodeId::new(2)).unwrap();
+    }
+
+    #[test]
+    fn star_and_circular_also_preserve_distances() {
+        let g = power_law();
+        for t in [
+            star_transform(&g, 4, DumbWeight::Zero),
+            circular_transform(&g, 4, DumbWeight::Zero),
+        ] {
+            verify_split_definition(&g, &t).unwrap();
+            verify_distance_preservation(&g, &t, NodeId::new(0)).unwrap();
+            verify_connectivity_preservation(&g, &t).unwrap();
+            verify_path_preservation(&g, &t, 32, 77).unwrap();
+        }
+    }
+
+    #[test]
+    fn degree_bound_check_rejects_star() {
+        // T_star's hub can exceed K; the UDT-specific check must say so.
+        let g = tigr_graph::generators::star_graph(101);
+        let t = star_transform(&g, 5, DumbWeight::Zero);
+        assert!(verify_degree_bound(&t).is_err());
+        let u = udt_transform(&g, 5, DumbWeight::Zero);
+        verify_degree_bound(&u).unwrap();
+    }
+
+    #[test]
+    fn wrong_dumb_weight_breaks_distances() {
+        // Negative control: infinity dumb weights do NOT preserve SSSP.
+        let g = power_law();
+        let t = udt_transform(&g, 4, DumbWeight::Infinity);
+        assert!(
+            verify_distance_preservation(&g, &t, NodeId::new(0)).is_err(),
+            "infinite tree edges must break distances (that is why Corollary 2 needs zero)"
+        );
+    }
+
+    #[test]
+    fn wrong_dumb_weight_breaks_bottlenecks() {
+        // Negative control: zero dumb weights do NOT preserve SSWP.
+        let g = power_law();
+        let t = udt_transform(&g, 4, DumbWeight::Zero);
+        assert!(verify_bottleneck_preservation(&g, &t, NodeId::new(0)).is_err());
+    }
+
+    #[test]
+    fn triangle_counting_is_not_preserved() {
+        // The paper's applicability boundary (§3.3): neighborhood-based
+        // analyses like triangle counting are NOT preserved by split
+        // transformations. Demonstrate it: splitting a triangle's corner
+        // re-routes the cycle through split nodes and changes the count.
+        use tigr_graph::properties::triangle_count;
+        // A triangle whose corner 0 also fans out to many leaves, forcing
+        // a split of node 0 at K=2.
+        let mut b = tigr_graph::CsrBuilder::new(10);
+        b.edge(0, 1).edge(1, 2).edge(2, 0);
+        for leaf in 3..10u32 {
+            b.edge(0, leaf);
+        }
+        let g = b.build();
+        assert_eq!(triangle_count(&g), 3);
+        let t = udt_transform(&g, 2, DumbWeight::Unweighted);
+        assert!(t.num_split_nodes() > 0);
+        assert_ne!(
+            triangle_count(t.graph()),
+            triangle_count(&g),
+            "UDT must break neighborhood-dependent analyses, as §3.3 states"
+        );
+    }
+
+    #[test]
+    fn applicability_sets_match_paper() {
+        let ok = preserved_analyses();
+        assert!(ok.contains("sssp") && ok.contains("cc") && ok.contains("pr"));
+        let bad = unpreserved_analyses();
+        assert!(bad.contains("triangle-counting"));
+        assert!(ok.is_disjoint(&bad));
+    }
+
+    #[test]
+    fn checks_pass_trivially_on_untransformed_graph() {
+        let g = power_law();
+        let t = udt_transform(&g, 100_000, DumbWeight::Zero);
+        assert_eq!(t.num_split_nodes(), 0);
+        verify_udt_full(&g, &t, &[NodeId::new(0)]).unwrap();
+    }
+}

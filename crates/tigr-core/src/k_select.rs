@@ -1,0 +1,78 @@
+//! Degree-bound selection heuristics (§5, "Selection of K").
+
+use tigr_graph::Csr;
+
+/// The virtual degree bound the paper settles on: `K = 10`, chosen
+/// empirically for "overall best performance across settings"; tuning it
+/// further brings only marginal improvements (§5, §6.4).
+pub const VIRTUAL_K: u32 = 10;
+
+/// Picks the *physical* (UDT) degree bound from the graph's maximum
+/// degree, following the paper's "simple heuristic that pre-defines a
+/// mapping between K and the maximum degree of a graph":
+///
+/// | max degree | K |
+/// |---|---|
+/// | < 2 000  | 100 |
+/// | < 10 000 | 500 |
+/// | < 100 000 | 1 000 |
+/// | ≥ 100 000 | 10 000 |
+///
+/// These thresholds reproduce the Table 3 choices (Pokec → 500,
+/// LiveJournal/Hollywood/Orkut → 1 000, Sinaweibo/Twitter → 10 000).
+pub fn physical_k_for_max_degree(max_degree: usize) -> u32 {
+    match max_degree {
+        0..=1_999 => 100,
+        2_000..=9_999 => 500,
+        10_000..=99_999 => 1_000,
+        _ => 10_000,
+    }
+}
+
+/// Convenience wrapper measuring the graph first.
+pub fn physical_k(g: &Csr) -> u32 {
+    physical_k_for_max_degree(g.max_out_degree())
+}
+
+/// Scales a paper-sized degree bound down to an analog graph: bounds are
+/// proportional to the maximum degree, which shrinks roughly with the
+/// scale denominator. Clamped below at 16 so families stay non-trivial.
+pub fn scaled_physical_k(paper_k: u32, scale_denominator: u64) -> u32 {
+    ((paper_k as u64 / scale_denominator.max(1)).max(16)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_graph::generators::star_graph;
+
+    #[test]
+    fn thresholds_reproduce_table_3() {
+        assert_eq!(physical_k_for_max_degree(8_800), 500); // pokec
+        assert_eq!(physical_k_for_max_degree(15_000), 1_000); // livejournal
+        assert_eq!(physical_k_for_max_degree(11_000), 1_000); // hollywood
+        assert_eq!(physical_k_for_max_degree(33_000), 1_000); // orkut
+        assert_eq!(physical_k_for_max_degree(278_000), 10_000); // sinaweibo
+        assert_eq!(physical_k_for_max_degree(698_000), 10_000); // twitter2010
+    }
+
+    #[test]
+    fn small_graphs_get_small_k() {
+        assert_eq!(physical_k_for_max_degree(100), 100);
+        let g = star_graph(500);
+        assert_eq!(physical_k(&g), 100);
+    }
+
+    #[test]
+    fn virtual_k_is_ten() {
+        assert_eq!(VIRTUAL_K, 10);
+    }
+
+    #[test]
+    fn scaling_clamps_at_16() {
+        assert_eq!(scaled_physical_k(1_000, 64), 16);
+        assert_eq!(scaled_physical_k(10_000, 64), 156);
+        assert_eq!(scaled_physical_k(500, 1), 500);
+        assert_eq!(scaled_physical_k(500, 0), 500);
+    }
+}

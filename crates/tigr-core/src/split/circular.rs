@@ -1,0 +1,132 @@
+//! Circular split transformation (`T_circ`, Figure 5b).
+
+use tigr_graph::{Csr, NodeId};
+
+use crate::dumb_weights::DumbWeight;
+use crate::split::{apply_split, EdgeStub, SplitContext, SplitTopology, TransformedGraph};
+
+/// The `T_circ` topology: the original edges are dealt out to `⌈d/K⌉`
+/// split nodes arranged in a ring, each pointing at its successor. The
+/// original node becomes the first ring member (so incoming edges land
+/// deterministically there — the paper assigns them randomly, which is
+/// immaterial because the ring reaches every member).
+///
+/// Tradeoffs (Table 1): the cheapest in space and the strongest
+/// irregularity reduction (family degree `K + 1`), but values need up to
+/// `⌈d/K⌉ − 1` hops to circle the ring — the slowest propagation of the
+/// three reference designs.
+///
+/// Note that the ring's closing edge points back at the root, so the
+/// root gains one (inert, dumb-weighted) incoming edge; Corollary 4's
+/// in-degree preservation therefore holds for UDT and star but not for
+/// this construction — immaterial for the path/connectivity analyses
+/// split transformations target.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CircularTopology;
+
+impl SplitTopology for CircularTopology {
+    fn name(&self) -> &'static str {
+        "circular"
+    }
+
+    fn split_node(&self, ctx: &mut SplitContext<'_>, root: NodeId, stubs: &[EdgeStub]) {
+        let k = ctx.k();
+        let num_members = stubs.len().div_ceil(k);
+        debug_assert!(num_members >= 2, "only high-degree nodes are split");
+
+        // Ring members: the root plus num_members - 1 fresh nodes.
+        let mut members = Vec::with_capacity(num_members);
+        members.push(root);
+        for _ in 1..num_members {
+            members.push(ctx.alloc_node(root));
+        }
+
+        for (i, chunk) in stubs.chunks(k).enumerate() {
+            for &stub in chunk {
+                ctx.attach_original(members[i], stub);
+            }
+            // Ring edge to the successor.
+            ctx.attach_new(members[i], members[(i + 1) % num_members]);
+        }
+    }
+}
+
+/// Applies `T_circ` with degree bound `k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use tigr_core::{circular_transform, DumbWeight};
+/// use tigr_graph::generators::star_graph;
+///
+/// let g = star_graph(13);                    // hub degree 12
+/// let t = circular_transform(&g, 4, DumbWeight::Zero);
+/// assert_eq!(t.num_split_nodes(), 2);        // ring of 3 = root + 2 new
+/// // Family degree is K + 1: K edges plus the ring edge.
+/// assert_eq!(t.graph().max_out_degree(), 5);
+/// ```
+pub fn circular_transform(g: &Csr, k: u32, dumb: DumbWeight) -> TransformedGraph {
+    apply_split(&CircularTopology, g, k, dumb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_graph::generators::{star_graph, with_uniform_weights};
+    use tigr_graph::properties::{bfs_levels, dijkstra};
+
+    #[test]
+    fn counts_match_table1() {
+        for (d, k) in [(12usize, 4u32), (100, 10), (7, 3)] {
+            let g = star_graph(d + 1);
+            let t = circular_transform(&g, k, DumbWeight::Zero);
+            let b = d.div_ceil(k as usize);
+            assert_eq!(t.num_split_nodes(), b - 1, "d={d} k={k}");
+            // The paper counts ring edges among B members; with the root in
+            // the ring there are exactly B ring edges, B-1 of which lead to
+            // *new* nodes plus one closing the cycle back to the root.
+            assert_eq!(t.num_new_edges(), b, "d={d} k={k}");
+        }
+    }
+
+    #[test]
+    fn family_degree_is_k_plus_one() {
+        let g = star_graph(101);
+        let t = circular_transform(&g, 10, DumbWeight::Zero);
+        assert_eq!(t.graph().max_out_degree(), 11);
+    }
+
+    #[test]
+    fn propagation_needs_ring_walk() {
+        // d=100, K=10 -> ring of 10; the farthest chunk of targets is 10
+        // hops away (9 ring hops + 1 edge).
+        let g = star_graph(101);
+        let t = circular_transform(&g, 10, DumbWeight::Zero);
+        let levels = bfs_levels(t.graph(), NodeId::new(0));
+        let max_target_level = (1..101).map(|v| levels[v]).max().unwrap();
+        assert_eq!(max_target_level, 10, "T_circ is slow: ⌈d/K⌉-1 ring hops");
+    }
+
+    #[test]
+    fn zero_dumb_weights_preserve_distances() {
+        let g = with_uniform_weights(&star_graph(30), 1, 20, 10);
+        let t = circular_transform(&g, 4, DumbWeight::Zero);
+        let orig = dijkstra(&g, NodeId::new(0));
+        let trans = dijkstra(t.graph(), NodeId::new(0));
+        assert_eq!(&trans[..30], &orig[..]);
+    }
+
+    #[test]
+    fn all_targets_reachable() {
+        let g = star_graph(27);
+        let t = circular_transform(&g, 5, DumbWeight::Zero);
+        let levels = bfs_levels(t.graph(), NodeId::new(0));
+        for v in 1..27 {
+            assert_ne!(levels[v], usize::MAX);
+        }
+    }
+}

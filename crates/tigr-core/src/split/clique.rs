@@ -1,0 +1,125 @@
+//! Clique split transformation (`T_cliq`, Figure 5a).
+
+use tigr_graph::{Csr, NodeId};
+
+use crate::dumb_weights::DumbWeight;
+use crate::split::{apply_split, EdgeStub, SplitContext, SplitTopology, TransformedGraph};
+
+/// The `T_cliq` topology: the original edges are dealt out to `⌈d/K⌉`
+/// split nodes that form a complete directed clique. The original node is
+/// the first clique member, so incoming edges land there (the paper
+/// assigns them randomly; any member works since the clique is one hop
+/// from everywhere).
+///
+/// Tradeoffs (Table 1): fastest propagation (1 hop to any member) but a
+/// quadratic `(⌈d/K⌉−1)·⌈d/K⌉` new-edge bill and family degree
+/// `K + ⌈d/K⌉ − 1` — the highest space cost and the weakest irregularity
+/// reduction of the three reference designs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CliqueTopology;
+
+impl SplitTopology for CliqueTopology {
+    fn name(&self) -> &'static str {
+        "clique"
+    }
+
+    fn split_node(&self, ctx: &mut SplitContext<'_>, root: NodeId, stubs: &[EdgeStub]) {
+        let k = ctx.k();
+        let num_members = stubs.len().div_ceil(k);
+        debug_assert!(num_members >= 2, "only high-degree nodes are split");
+
+        let mut members = Vec::with_capacity(num_members);
+        members.push(root);
+        for _ in 1..num_members {
+            members.push(ctx.alloc_node(root));
+        }
+
+        for (i, chunk) in stubs.chunks(k).enumerate() {
+            for &stub in chunk {
+                ctx.attach_original(members[i], stub);
+            }
+            for (j, &other) in members.iter().enumerate() {
+                if i != j {
+                    ctx.attach_new(members[i], other);
+                }
+            }
+        }
+    }
+}
+
+/// Applies `T_cliq` with degree bound `k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use tigr_core::{clique_transform, DumbWeight};
+/// use tigr_graph::generators::star_graph;
+///
+/// let g = star_graph(13);                   // hub degree 12
+/// let t = clique_transform(&g, 4, DumbWeight::Zero);
+/// // 3 clique members: 3·2 = 6 new edges.
+/// assert_eq!(t.num_new_edges(), 6);
+/// ```
+pub fn clique_transform(g: &Csr, k: u32, dumb: DumbWeight) -> TransformedGraph {
+    apply_split(&CliqueTopology, g, k, dumb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_graph::generators::{star_graph, with_uniform_weights};
+    use tigr_graph::properties::{bfs_levels, dijkstra};
+
+    #[test]
+    fn counts_match_table1() {
+        for (d, k) in [(12usize, 4u32), (100, 10), (9, 2)] {
+            let g = star_graph(d + 1);
+            let t = clique_transform(&g, k, DumbWeight::Zero);
+            let b = d.div_ceil(k as usize);
+            assert_eq!(t.num_split_nodes(), b - 1, "d={d} k={k}");
+            assert_eq!(t.num_new_edges(), b * (b - 1), "d={d} k={k}");
+        }
+    }
+
+    #[test]
+    fn family_degree_matches_table1() {
+        // new degree = K + ⌈d/K⌉ - 1.
+        let g = star_graph(101);
+        let t = clique_transform(&g, 10, DumbWeight::Zero);
+        assert_eq!(t.graph().max_out_degree(), 10 + 10 - 1);
+    }
+
+    #[test]
+    fn one_hop_propagation() {
+        // Any target is reachable in <= 2 hops from the root (root ->
+        // member -> target), i.e. 1 hop inside the family.
+        let g = star_graph(101);
+        let t = clique_transform(&g, 10, DumbWeight::Zero);
+        let levels = bfs_levels(t.graph(), NodeId::new(0));
+        let max_target_level = (1..101).map(|v| levels[v]).max().unwrap();
+        assert_eq!(max_target_level, 2);
+    }
+
+    #[test]
+    fn space_cost_is_quadratic_in_family_size() {
+        let g = star_graph(1001); // d = 1000
+        let cliq = clique_transform(&g, 10, DumbWeight::Zero);
+        let circ = crate::circular_transform(&g, 10, DumbWeight::Zero);
+        // 100 members: clique adds 9900 edges, ring adds 100.
+        assert_eq!(cliq.num_new_edges(), 100 * 99);
+        assert!(cliq.num_new_edges() > 50 * circ.num_new_edges());
+    }
+
+    #[test]
+    fn zero_dumb_weights_preserve_distances() {
+        let g = with_uniform_weights(&star_graph(30), 1, 20, 11);
+        let t = clique_transform(&g, 4, DumbWeight::Zero);
+        let orig = dijkstra(&g, NodeId::new(0));
+        let trans = dijkstra(t.graph(), NodeId::new(0));
+        assert_eq!(&trans[..30], &orig[..]);
+    }
+}

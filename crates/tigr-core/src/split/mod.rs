@@ -1,0 +1,343 @@
+//! Physical split transformations (§3).
+//!
+//! A split transformation rewrites every *high-degree node* — out-degree
+//! above the bound `K` (Definition 1) — into a family of bounded-degree
+//! nodes, redistributing its outgoing edges (Definition 2). The module
+//! provides the three reference connection topologies of Figure 5 plus
+//! the uniform-degree tree of §3.2:
+//!
+//! | transform | new nodes | new edges | hops | paper column |
+//! |---|---|---|---|---|
+//! | [`clique_transform`]   | `⌈d/K⌉-1` | `(⌈d/K⌉-1)·⌈d/K⌉` | 1 | `T_cliq` |
+//! | [`circular_transform`] | `⌈d/K⌉-1` | `⌈d/K⌉-1` | `⌈d/K⌉-1` | `T_circ` |
+//! | [`star_transform`]     | `⌈d/K⌉`   | `⌈d/K⌉` | 1 | `T_star` |
+//! | [`udt_transform`]      | ≈`(d-K)/(K-1)` | = new nodes | `O(log_K d)` | `T_udt` |
+//!
+//! All transforms keep the original node ids `0..n` (the family root
+//! retains the original id, so incoming edges need no rewriting), append
+//! split nodes after `n`, and tag introduced edges with the chosen
+//! [`DumbWeight`].
+
+mod circular;
+mod clique;
+pub mod properties;
+mod recursive_star;
+mod star;
+mod udt;
+
+pub use circular::circular_transform;
+pub use clique::clique_transform;
+pub use recursive_star::{count_residual_nodes, recursive_star_transform};
+pub use star::star_transform;
+pub use udt::udt_transform;
+
+use std::fmt;
+
+use tigr_graph::{Csr, CsrBuilder, Edge, NodeId, Weight};
+
+use crate::dumb_weights::DumbWeight;
+
+/// An original outgoing edge of a node being split: its target and
+/// weight, detached from its source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeStub {
+    /// Edge destination.
+    pub target: NodeId,
+    /// Original edge weight (1 for unweighted graphs).
+    pub weight: Weight,
+}
+
+/// Connection-topology strategy used by [`apply_split`].
+///
+/// Implementations receive each high-degree node together with its
+/// detached outgoing edges and rebuild them as a bounded-degree family
+/// through the [`SplitContext`].
+pub trait SplitTopology {
+    /// Short name used in reports ("udt", "star", ...).
+    fn name(&self) -> &'static str;
+
+    /// Splits one high-degree node. `root` keeps its original id; all
+    /// original `stubs` must be re-attached exactly once.
+    fn split_node(&self, ctx: &mut SplitContext<'_>, root: NodeId, stubs: &[EdgeStub]);
+}
+
+/// Mutable construction state handed to a [`SplitTopology`].
+#[derive(Debug)]
+pub struct SplitContext<'a> {
+    k: usize,
+    edges: &'a mut Vec<(NodeId, NodeId, Weight, bool)>,
+    family_root: &'a mut Vec<NodeId>,
+    next_node: &'a mut u32,
+    dumb_value: Weight,
+}
+
+impl SplitContext<'_> {
+    /// The degree bound `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Allocates a fresh split node belonging to `root`'s family.
+    pub fn alloc_node(&mut self, root: NodeId) -> NodeId {
+        let id = NodeId::new(*self.next_node);
+        *self.next_node += 1;
+        self.family_root.push(root);
+        id
+    }
+
+    /// Re-attaches an original edge at `src` (weight preserved).
+    pub fn attach_original(&mut self, src: NodeId, stub: EdgeStub) {
+        self.edges.push((src, stub.target, stub.weight, false));
+    }
+
+    /// Adds a transformation-introduced edge (`E_new`), carrying the dumb
+    /// weight.
+    pub fn attach_new(&mut self, src: NodeId, dst: NodeId) {
+        self.edges.push((src, dst, self.dumb_value, true));
+    }
+}
+
+/// Result of physically applying a split transformation to a graph.
+#[derive(Clone)]
+pub struct TransformedGraph {
+    graph: Csr,
+    original_nodes: usize,
+    family_root: Vec<NodeId>,
+    new_edge_flags: Vec<bool>,
+    num_new_edges: usize,
+    k: u32,
+    topology: &'static str,
+}
+
+impl TransformedGraph {
+    /// The transformed topology as a CSR.
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// Number of nodes in the *original* graph; node ids below this value
+    /// retain their original meaning, so algorithm results for original
+    /// nodes are simply `values[..original_nodes()]`.
+    pub fn original_nodes(&self) -> usize {
+        self.original_nodes
+    }
+
+    /// Number of split nodes the transformation introduced.
+    pub fn num_split_nodes(&self) -> usize {
+        self.graph.num_nodes() - self.original_nodes
+    }
+
+    /// Number of edges the transformation introduced (`|E_new|`).
+    pub fn num_new_edges(&self) -> usize {
+        self.num_new_edges
+    }
+
+    /// Whether the edge at flat index `e` of [`Self::graph`] was
+    /// introduced by the transformation (is in `E_new`, Theorem 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn is_new_edge(&self, e: usize) -> bool {
+        self.new_edge_flags[e]
+    }
+
+    /// The family root (original node) that `v` belongs to; identity for
+    /// original nodes.
+    pub fn family_root(&self, v: NodeId) -> NodeId {
+        self.family_root[v.index()]
+    }
+
+    /// Degree bound the transformation was applied with.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Topology name ("udt", "star", "circular", "clique").
+    pub fn topology(&self) -> &'static str {
+        self.topology
+    }
+
+    /// Size of the transformed graph relative to the original in CSR
+    /// bytes — the metric of Table 5 (`100%` = no growth).
+    pub fn space_cost_ratio(&self, original: &Csr) -> f64 {
+        self.graph.csr_size_bytes() as f64 / original.csr_size_bytes() as f64
+    }
+
+    /// Truncates per-node `values` of the transformed graph to the
+    /// original node range.
+    pub fn project_values<T: Copy>(&self, values: &[T]) -> Vec<T> {
+        values[..self.original_nodes].to_vec()
+    }
+}
+
+impl fmt::Debug for TransformedGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransformedGraph")
+            .field("topology", &self.topology)
+            .field("k", &self.k)
+            .field("original_nodes", &self.original_nodes)
+            .field("split_nodes", &self.num_split_nodes())
+            .field("new_edges", &self.num_new_edges)
+            .finish()
+    }
+}
+
+/// Applies `topology` to every high-degree node of `g` with degree bound
+/// `k`, tagging introduced edges per `dumb`.
+///
+/// Runs in `O(|V| + |E|)` plus the CSR rebuild, matching the paper's
+/// linear-time claim for UDT.
+///
+/// # Panics
+///
+/// Panics if `k == 0` (Definition 1 requires `K ≥ 1`).
+pub fn apply_split(
+    topology: &dyn SplitTopology,
+    g: &Csr,
+    k: u32,
+    dumb: DumbWeight,
+) -> TransformedGraph {
+    assert!(k >= 1, "degree bound K must be at least 1 (Definition 1)");
+    let k_usize = k as usize;
+    let n = g.num_nodes();
+
+    let mut edges: Vec<(NodeId, NodeId, Weight, bool)> = Vec::with_capacity(g.num_edges() + n / 4);
+    let mut family_root: Vec<NodeId> = g.nodes().collect();
+    let mut next_node = n as u32;
+    let mut stubs: Vec<EdgeStub> = Vec::new();
+
+    for v in g.nodes() {
+        let degree = g.out_degree(v);
+        if degree <= k_usize {
+            for (off, &target) in g.neighbors(v).iter().enumerate() {
+                let e = g.edge_start(v) + off;
+                edges.push((v, target, g.weight(e), false));
+            }
+        } else {
+            stubs.clear();
+            stubs.extend(g.neighbors(v).iter().enumerate().map(|(off, &target)| {
+                EdgeStub {
+                    target,
+                    weight: g.weight(g.edge_start(v) + off),
+                }
+            }));
+            let mut ctx = SplitContext {
+                k: k_usize,
+                edges: &mut edges,
+                family_root: &mut family_root,
+                next_node: &mut next_node,
+                dumb_value: dumb.value(),
+            };
+            topology.split_node(&mut ctx, v, &stubs);
+        }
+    }
+
+    let num_new_edges = edges.iter().filter(|e| e.3).count();
+    let total_nodes = next_node as usize;
+    let keep_weights = dumb.keeps_weights() && (g.is_weighted() || num_new_edges > 0);
+
+    // Mirror the builder's stable group-by-source so the new-edge flags
+    // line up with the CSR's flat edge order.
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_by_key(|&i| edges[i].0);
+    let new_edge_flags: Vec<bool> = order.iter().map(|&i| edges[i].3).collect();
+
+    let mut builder = CsrBuilder::new(total_nodes).with_edge_capacity(edges.len());
+    builder.sort_neighbors(false); // preserve the topology's edge order
+    builder.force_weighted(keep_weights);
+    for &(src, dst, w, _) in &edges {
+        builder.add(Edge::new(src, dst, if keep_weights { w } else { 1 }));
+    }
+
+    TransformedGraph {
+        graph: builder.build(),
+        original_nodes: n,
+        family_root,
+        new_edge_flags,
+        num_new_edges,
+        k,
+        topology: topology.name(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_graph::generators::star_graph;
+
+    struct NoopTopology;
+    impl SplitTopology for NoopTopology {
+        fn name(&self) -> &'static str {
+            "noop"
+        }
+        fn split_node(&self, ctx: &mut SplitContext<'_>, root: NodeId, stubs: &[EdgeStub]) {
+            // Pathological "split" that re-attaches everything to the root.
+            for &s in stubs {
+                ctx.attach_original(root, s);
+            }
+        }
+    }
+
+    #[test]
+    fn low_degree_graphs_pass_through() {
+        let g = tigr_graph::generators::ring_lattice(10, 2);
+        let t = apply_split(&NoopTopology, &g, 5, DumbWeight::Unweighted);
+        assert_eq!(t.graph().num_nodes(), 10);
+        assert_eq!(t.graph().num_edges(), 20);
+        assert_eq!(t.num_split_nodes(), 0);
+        assert_eq!(t.num_new_edges(), 0);
+        assert_eq!(t.topology(), "noop");
+        assert!(!t.graph().is_weighted());
+    }
+
+    #[test]
+    fn family_roots_identity_for_originals() {
+        let g = star_graph(5);
+        let t = apply_split(&NoopTopology, &g, 100, DumbWeight::Zero);
+        for v in g.nodes() {
+            assert_eq!(t.family_root(v), v);
+        }
+    }
+
+    #[test]
+    fn context_allocates_sequential_ids() {
+        struct OneNode;
+        impl SplitTopology for OneNode {
+            fn name(&self) -> &'static str {
+                "one"
+            }
+            fn split_node(&self, ctx: &mut SplitContext<'_>, root: NodeId, stubs: &[EdgeStub]) {
+                let s = ctx.alloc_node(root);
+                ctx.attach_new(root, s);
+                for &stub in stubs {
+                    ctx.attach_original(s, stub);
+                }
+            }
+        }
+        let g = star_graph(6); // hub degree 5
+        let t = apply_split(&OneNode, &g, 2, DumbWeight::Zero);
+        assert_eq!(t.original_nodes(), 6);
+        assert_eq!(t.num_split_nodes(), 1);
+        assert_eq!(t.family_root(NodeId::new(6)), NodeId::new(0));
+        assert_eq!(t.num_new_edges(), 1);
+        // New edge carries the dumb weight 0.
+        let w = t.graph().neighbor_weights(NodeId::new(0)).unwrap();
+        assert_eq!(w, &[0]);
+    }
+
+    #[test]
+    fn project_values_truncates() {
+        let g = star_graph(4);
+        let t = apply_split(&NoopTopology, &g, 1000, DumbWeight::Zero);
+        let vals = vec![9u32; t.graph().num_nodes()];
+        assert_eq!(t.project_values(&vals).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree bound K must be at least 1")]
+    fn k_zero_rejected() {
+        let g = star_graph(3);
+        let _ = apply_split(&NoopTopology, &g, 0, DumbWeight::Zero);
+    }
+}

@@ -1,0 +1,157 @@
+//! Recursive star transformation — the §3.2 stepping stone to UDT.
+//!
+//! "One straightforward solution to the hub node issue of `T_star` is
+//! recursively applying `T_star` to the hub node until its degree drops
+//! to K." The paper shows (Figure 6a) why this is *not* the final
+//! answer: each recursion level can strand a residual node, so a
+//! degree-5 node at K=3 ends with **two** residual nodes where UDT has
+//! none. This module implements the design so the comparison is
+//! executable.
+
+use tigr_graph::{Csr, NodeId};
+
+use crate::dumb_weights::DumbWeight;
+use crate::split::{apply_split, EdgeStub, SplitContext, SplitTopology, TransformedGraph};
+
+/// The recursive-`T_star` topology: boundary nodes adopt `K` original
+/// edges each; the hub then points at the boundary nodes, and if that
+/// fan-out still exceeds `K`, the hub is split again — building the
+/// family as layered stars until every node respects the bound.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecursiveStarTopology;
+
+impl SplitTopology for RecursiveStarTopology {
+    fn name(&self) -> &'static str {
+        "recursive-star"
+    }
+
+    fn split_node(&self, ctx: &mut SplitContext<'_>, root: NodeId, stubs: &[EdgeStub]) {
+        let k = ctx.k();
+        // Level 0: boundary nodes adopt the original edges.
+        let mut layer: Vec<NodeId> = Vec::with_capacity(stubs.len().div_ceil(k));
+        for chunk in stubs.chunks(k) {
+            let boundary = ctx.alloc_node(root);
+            for &stub in chunk {
+                ctx.attach_original(boundary, stub);
+            }
+            layer.push(boundary);
+        }
+        // Recursively star-split the hub fan-out until it fits.
+        while layer.len() > k {
+            let mut next: Vec<NodeId> = Vec::with_capacity(layer.len().div_ceil(k));
+            for chunk in layer.chunks(k) {
+                let hub = ctx.alloc_node(root);
+                for &member in chunk {
+                    ctx.attach_new(hub, member);
+                }
+                next.push(hub);
+            }
+            layer = next;
+        }
+        // The root becomes the top-level hub.
+        for &member in &layer {
+            ctx.attach_new(root, member);
+        }
+    }
+}
+
+/// Applies the recursive star transformation with degree bound `k`.
+///
+/// Kept for the design-space comparison with [`crate::udt_transform`]:
+/// both produce trees of height `O(log_K d)` and degree ≤ K, but the
+/// recursive star strands up to one residual node *per level* while UDT
+/// strands at most one overall (§3.2, Figure 6).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn recursive_star_transform(g: &Csr, k: u32, dumb: DumbWeight) -> TransformedGraph {
+    apply_split(&RecursiveStarTopology, g, k, dumb)
+}
+
+/// Number of *residual* nodes (out-degree in `1..K`) among the split
+/// nodes of a transformed graph — the quantity Figure 6 compares.
+pub fn count_residual_nodes(t: &TransformedGraph) -> usize {
+    let g = t.graph();
+    let k = t.k() as usize;
+    (t.original_nodes()..g.num_nodes())
+        .map(NodeId::from_index)
+        .filter(|&v| {
+            let d = g.out_degree(v);
+            d > 0 && d < k
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udt_transform;
+    use tigr_graph::generators::{star_graph, with_uniform_weights};
+    use tigr_graph::properties::{bfs_levels, dijkstra};
+
+    #[test]
+    fn figure_6_comparison_degree_5_k_3() {
+        // The paper's exact example: degree 5, K = 3.
+        let g = star_graph(6);
+        let rec = recursive_star_transform(&g, 3, DumbWeight::Zero);
+        let udt = udt_transform(&g, 3, DumbWeight::Zero);
+        // Recursive star: boundary nodes of degree 3 and 2 -> one
+        // residual boundary node, plus the root holding 2 < K edges.
+        // UDT: no residual among split nodes.
+        assert!(count_residual_nodes(&rec) >= 1, "Figure 6a shows residuals");
+        assert_eq!(count_residual_nodes(&udt), 0, "Figure 6b shows none");
+    }
+
+    #[test]
+    fn respects_degree_bound_at_all_levels() {
+        for d in [50usize, 100, 1000] {
+            let g = star_graph(d + 1);
+            let t = recursive_star_transform(&g, 4, DumbWeight::Zero);
+            assert!(
+                t.graph().max_out_degree() <= 4,
+                "d={d}: max degree {}",
+                t.graph().max_out_degree()
+            );
+        }
+    }
+
+    #[test]
+    fn produces_more_residuals_than_udt() {
+        // Across a spread of degrees, recursive star never beats UDT on
+        // residual count.
+        for d in [20usize, 47, 99, 500] {
+            let g = star_graph(d + 1);
+            let rec = count_residual_nodes(&recursive_star_transform(&g, 4, DumbWeight::Zero));
+            let udt = count_residual_nodes(&udt_transform(&g, 4, DumbWeight::Zero));
+            assert!(udt <= 1, "UDT guarantees at most one residual, got {udt}");
+            assert!(rec >= udt, "d={d}: recursive {rec} vs udt {udt}");
+        }
+    }
+
+    #[test]
+    fn height_is_logarithmic_like_udt() {
+        let g = star_graph(10_001);
+        let t = recursive_star_transform(&g, 10, DumbWeight::Zero);
+        let levels = bfs_levels(t.graph(), NodeId::new(0));
+        let max_level = (1..=10_000).map(|v| levels[v]).max().unwrap();
+        assert!(max_level <= 6, "height {max_level}");
+    }
+
+    #[test]
+    fn preserves_distances_with_zero_dumb_weights() {
+        let g = with_uniform_weights(&star_graph(40), 1, 9, 17);
+        let t = recursive_star_transform(&g, 3, DumbWeight::Zero);
+        let orig = dijkstra(&g, NodeId::new(0));
+        let trans = dijkstra(t.graph(), NodeId::new(0));
+        assert_eq!(&trans[..40], &orig[..]);
+    }
+
+    #[test]
+    fn is_a_valid_split_transformation() {
+        let g = star_graph(100);
+        let t = recursive_star_transform(&g, 7, DumbWeight::Zero);
+        crate::correctness::verify_split_definition(&g, &t).unwrap();
+        crate::correctness::verify_connectivity_preservation(&g, &t).unwrap();
+    }
+}

@@ -1,0 +1,120 @@
+//! Star-shaped split transformation (`T_star`, Figure 5c).
+
+use tigr_graph::{Csr, NodeId};
+
+use crate::dumb_weights::DumbWeight;
+use crate::split::{apply_split, EdgeStub, SplitContext, SplitTopology, TransformedGraph};
+
+/// The `T_star` topology: the original node becomes a *hub* keeping all
+/// incoming edges; `⌈d/K⌉` boundary nodes each adopt up to `K` of the
+/// original outgoing edges; the hub points at every boundary node.
+///
+/// Tradeoffs (Table 1): low space cost (`⌈d/K⌉` new edges) and fast
+/// propagation (1 hop), but the hub's degree is `⌈d/K⌉`, which can itself
+/// exceed `K` — the residual weakness UDT fixes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StarTopology;
+
+impl SplitTopology for StarTopology {
+    fn name(&self) -> &'static str {
+        "star"
+    }
+
+    fn split_node(&self, ctx: &mut SplitContext<'_>, root: NodeId, stubs: &[EdgeStub]) {
+        let k = ctx.k();
+        for chunk in stubs.chunks(k) {
+            let boundary = ctx.alloc_node(root);
+            ctx.attach_new(root, boundary);
+            for &stub in chunk {
+                ctx.attach_original(boundary, stub);
+            }
+        }
+    }
+}
+
+/// Applies `T_star` with degree bound `k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use tigr_core::{star_transform, DumbWeight};
+/// use tigr_graph::generators::star_graph;
+///
+/// let g = star_graph(13);                 // hub degree 12
+/// let t = star_transform(&g, 4, DumbWeight::Zero);
+/// assert_eq!(t.num_split_nodes(), 3);     // ⌈12/4⌉ boundary nodes
+/// assert_eq!(t.num_new_edges(), 3);       // hub -> each boundary node
+/// ```
+pub fn star_transform(g: &Csr, k: u32, dumb: DumbWeight) -> TransformedGraph {
+    apply_split(&StarTopology, g, k, dumb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_graph::generators::{star_graph, with_uniform_weights};
+    use tigr_graph::properties::{bfs_levels, dijkstra};
+
+    #[test]
+    fn node_and_edge_counts_match_table1() {
+        for (d, k) in [(12usize, 4u32), (13, 4), (100, 10), (5, 3)] {
+            let g = star_graph(d + 1);
+            let t = star_transform(&g, k, DumbWeight::Zero);
+            let b = d.div_ceil(k as usize);
+            assert_eq!(t.num_split_nodes(), b, "d={d} k={k}");
+            assert_eq!(t.num_new_edges(), b, "d={d} k={k}");
+        }
+    }
+
+    #[test]
+    fn hub_degree_is_ceil_d_over_k() {
+        let g = star_graph(101); // d = 100
+        let t = star_transform(&g, 10, DumbWeight::Zero);
+        assert_eq!(t.graph().out_degree(NodeId::new(0)), 10);
+    }
+
+    #[test]
+    fn one_hop_propagation() {
+        // Every original target is exactly 2 BFS hops from the hub
+        // (hub -> boundary -> target); boundary level is 1.
+        let g = star_graph(50);
+        let t = star_transform(&g, 7, DumbWeight::Zero);
+        let levels = bfs_levels(t.graph(), NodeId::new(0));
+        for target in 1..50 {
+            assert_eq!(levels[target], 2);
+        }
+    }
+
+    #[test]
+    fn residual_nodes_appear_as_figure_6_shows() {
+        // Figure 6(a): degree 5 with K=3 leaves residual boundary nodes.
+        let g = star_graph(6);
+        let t = star_transform(&g, 3, DumbWeight::Zero);
+        // Two boundary nodes with degrees 3 and 2: one residual.
+        let degs: Vec<usize> = (6..t.graph().num_nodes())
+            .map(|v| t.graph().out_degree(NodeId::from_index(v)))
+            .collect();
+        assert_eq!(degs, vec![3, 2]);
+    }
+
+    #[test]
+    fn zero_dumb_weights_preserve_distances() {
+        let g = with_uniform_weights(&star_graph(30), 1, 20, 9);
+        let t = star_transform(&g, 4, DumbWeight::Zero);
+        let orig = dijkstra(&g, NodeId::new(0));
+        let trans = dijkstra(t.graph(), NodeId::new(0));
+        assert_eq!(&trans[..30], &orig[..]);
+    }
+
+    #[test]
+    fn hub_may_still_exceed_k() {
+        // The documented weakness: d=100, K=5 -> hub degree 20 > 5.
+        let g = star_graph(101);
+        let t = star_transform(&g, 5, DumbWeight::Zero);
+        assert!(t.graph().out_degree(NodeId::new(0)) > 5);
+    }
+}

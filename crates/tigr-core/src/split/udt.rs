@@ -1,0 +1,265 @@
+//! Uniform-degree tree transformation (§3.2, Algorithm 1).
+
+use std::collections::VecDeque;
+
+use tigr_graph::{Csr, NodeId};
+
+use crate::dumb_weights::DumbWeight;
+use crate::split::{apply_split, EdgeStub, SplitContext, SplitTopology, TransformedGraph};
+
+/// Queue entry of Algorithm 1: either an original outgoing edge awaiting
+/// re-attachment, or a previously created split node.
+#[derive(Clone, Copy, Debug)]
+enum QueueEntry {
+    Original(EdgeStub),
+    SplitNode(NodeId),
+}
+
+/// The UDT topology (Algorithm 1): split nodes are created *on demand* by
+/// repeatedly popping `K` queue entries into a fresh node and pushing the
+/// node back, until at most `K` entries remain for the root.
+///
+/// Properties (paper §3.2):
+///
+/// * **P1** — it is a split transformation (Definition 2).
+/// * **P2** — a unique path connects the root (which keeps all incoming
+///   edges) to each original outgoing edge, because every queue entry is
+///   popped exactly once.
+/// * **P3** — tree height, and hence the extra propagation hops, grows as
+///   `O(log_K d)`.
+/// * At most one node of the family has degree `< K` (no residual-node
+///   pile-up, unlike recursive `T_star` — Figure 6).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UdtTopology;
+
+impl SplitTopology for UdtTopology {
+    fn name(&self) -> &'static str {
+        "udt"
+    }
+
+    fn split_node(&self, ctx: &mut SplitContext<'_>, root: NodeId, stubs: &[EdgeStub]) {
+        let k = ctx.k();
+        assert!(
+            k >= 2,
+            "UDT requires K >= 2: with K = 1 each split node consumes one \
+             queue entry and re-enqueues itself, so Algorithm 1 cannot make progress"
+        );
+        let mut queue: VecDeque<QueueEntry> =
+            stubs.iter().map(|&s| QueueEntry::Original(s)).collect();
+
+        // Lines 6-10: while more than K entries remain, a new node adopts
+        // K of them.
+        while queue.len() > k {
+            let vn = ctx.alloc_node(root);
+            for _ in 0..k {
+                let entry = queue.pop_front().expect("queue holds more than K entries");
+                attach(ctx, vn, entry);
+            }
+            queue.push_back(QueueEntry::SplitNode(vn));
+        }
+
+        // Lines 11-13: the root adopts the rest.
+        while let Some(entry) = queue.pop_front() {
+            attach(ctx, root, entry);
+        }
+    }
+}
+
+fn attach(ctx: &mut SplitContext<'_>, src: NodeId, entry: QueueEntry) {
+    match entry {
+        QueueEntry::Original(stub) => ctx.attach_original(src, stub),
+        QueueEntry::SplitNode(node) => ctx.attach_new(src, node),
+    }
+}
+
+/// Applies the uniform-degree tree transformation with degree bound `k`,
+/// tagging introduced edges per `dumb`.
+///
+/// # Panics
+///
+/// Panics if `k < 2`: Algorithm 1's queue shrinks by `K − 1` entries per
+/// split node, so `K = 1` cannot make progress (splitting into
+/// out-degree-1 nodes would require an unbounded chain anyway).
+///
+/// # Example
+///
+/// ```
+/// use tigr_core::{udt_transform, DumbWeight};
+/// use tigr_graph::generators::star_graph;
+///
+/// let g = star_graph(18);           // hub with out-degree 17
+/// let t = udt_transform(&g, 4, DumbWeight::Zero);
+/// // Every node in the transformed graph respects the bound.
+/// assert!(t.graph().max_out_degree() <= 4);
+/// // Original node ids are preserved.
+/// assert_eq!(t.original_nodes(), 18);
+/// ```
+pub fn udt_transform(g: &Csr, k: u32, dumb: DumbWeight) -> TransformedGraph {
+    apply_split(&UdtTopology, g, k, dumb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_graph::generators::{star_graph, with_uniform_weights};
+    use tigr_graph::{CsrBuilder, INFINITE_WEIGHT};
+
+    /// Out-degree histogram of the hub family in a transformed star.
+    fn family_degrees(t: &TransformedGraph) -> Vec<usize> {
+        let g = t.graph();
+        let mut degs = vec![g.out_degree(NodeId::new(0))];
+        for v in t.original_nodes()..g.num_nodes() {
+            degs.push(g.out_degree(NodeId::from_index(v)));
+        }
+        degs
+    }
+
+    #[test]
+    fn degree_five_example_from_figure_6() {
+        // The paper's Figure 6(b): splitting a degree-5 node with K=3
+        // yields no node of degree < K except possibly one.
+        let g = star_graph(6);
+        let t = udt_transform(&g, 3, DumbWeight::Zero);
+        // 5 stubs: one new node takes 3, root takes remaining 2 stubs + new node.
+        assert_eq!(t.num_split_nodes(), 1);
+        let degs = family_degrees(&t);
+        assert_eq!(degs.iter().filter(|&&d| d < 3 && d > 0).count() <= 1, true);
+        assert!(t.graph().max_out_degree() <= 3);
+    }
+
+    #[test]
+    fn all_nodes_respect_bound_k() {
+        for k in [2u32, 3, 4, 7, 10] {
+            let g = star_graph(101);
+            let t = udt_transform(&g, k, DumbWeight::Zero);
+            assert!(
+                t.graph().max_out_degree() <= k as usize,
+                "K={k}: max degree {}",
+                t.graph().max_out_degree()
+            );
+        }
+    }
+
+    #[test]
+    fn at_most_one_residual_node_per_family() {
+        for d in [5usize, 12, 13, 50, 99, 100] {
+            let g = star_graph(d + 1);
+            let k = 4;
+            let t = udt_transform(&g, k, DumbWeight::Zero);
+            let degs = family_degrees(&t);
+            let residuals = degs.iter().filter(|&&x| x > 0 && x < k as usize).count();
+            assert!(residuals <= 1, "d={d}: degrees {degs:?}");
+        }
+    }
+
+    #[test]
+    fn new_node_and_edge_counts_match_recurrence() {
+        // Each split node consumes K entries and produces 1: the queue
+        // shrinks by K-1 per node until <= K remain.
+        for (d, k) in [(10usize, 3u32), (100, 10), (17, 4), (32, 2)] {
+            let g = star_graph(d + 1);
+            let t = udt_transform(&g, k, DumbWeight::Zero);
+            let expected_nodes = {
+                let (mut q, mut nodes) = (d, 0usize);
+                while q > k as usize {
+                    q -= k as usize - 1;
+                    nodes += 1;
+                }
+                nodes
+            };
+            assert_eq!(t.num_split_nodes(), expected_nodes, "d={d} k={k}");
+            // P2: every split node is pointed to exactly once.
+            assert_eq!(t.num_new_edges(), expected_nodes, "d={d} k={k}");
+        }
+    }
+
+    #[test]
+    fn tree_height_is_logarithmic() {
+        // P3: hops from root to any original target grow as O(log_K d).
+        let d = 10_000;
+        let k = 10u32;
+        let g = star_graph(d + 1);
+        let t = udt_transform(&g, k, DumbWeight::Zero);
+        let levels = tigr_graph::properties::bfs_levels(t.graph(), NodeId::new(0));
+        let max_level = levels
+            .iter()
+            .filter(|&&l| l != usize::MAX)
+            .max()
+            .copied()
+            .unwrap();
+        // log_10(10000) = 4; allow one extra level for the residual chain.
+        assert!(max_level <= 6, "height {max_level} too deep");
+        assert!(max_level >= 4, "height {max_level} suspiciously shallow");
+    }
+
+    #[test]
+    fn original_targets_remain_reachable_exactly_once() {
+        let g = star_graph(23);
+        let t = udt_transform(&g, 3, DumbWeight::Zero);
+        // Each original neighbor keeps in-degree 1 within the family.
+        let mut indeg = vec![0usize; t.graph().num_nodes()];
+        for e in t.graph().edges() {
+            indeg[e.dst.index()] += 1;
+        }
+        for target in 1..23 {
+            assert_eq!(indeg[target], 1, "leaf {target}");
+        }
+    }
+
+    #[test]
+    fn incoming_edges_stay_on_root() {
+        // 5 -> 0 -> {1,2,3,4}: after UDT with K=2, edge 5->0 is untouched.
+        let mut b = CsrBuilder::new(6);
+        b.edge(5, 0);
+        for i in 1..5u32 {
+            b.edge(0, i);
+        }
+        let t = udt_transform(&b.build(), 2, DumbWeight::Zero);
+        assert_eq!(t.graph().neighbors(NodeId::new(5)), &[NodeId::new(0)]);
+    }
+
+    #[test]
+    fn dumb_zero_preserves_distances() {
+        let g = with_uniform_weights(&star_graph(40), 1, 9, 3);
+        let t = udt_transform(&g, 4, DumbWeight::Zero);
+        let orig = tigr_graph::properties::dijkstra(&g, NodeId::new(0));
+        let trans = tigr_graph::properties::dijkstra(t.graph(), NodeId::new(0));
+        assert_eq!(&trans[..40], &orig[..], "Corollary 2");
+    }
+
+    #[test]
+    fn dumb_infinity_preserves_widest_paths() {
+        let g = with_uniform_weights(&star_graph(40), 1, 9, 4);
+        let t = udt_transform(&g, 4, DumbWeight::Infinity);
+        let orig = tigr_graph::properties::widest_path(&g, NodeId::new(0));
+        let trans = tigr_graph::properties::widest_path(t.graph(), NodeId::new(0));
+        assert_eq!(&trans[..40], &orig[..], "Corollary 3");
+        // Introduced edges really carry infinity.
+        let hub_weights = t.graph().neighbor_weights(NodeId::new(0)).unwrap();
+        assert!(hub_weights.iter().any(|&w| w == INFINITE_WEIGHT));
+    }
+
+    #[test]
+    fn unweighted_policy_keeps_graph_unweighted() {
+        let g = star_graph(30);
+        let t = udt_transform(&g, 4, DumbWeight::Unweighted);
+        assert!(!t.graph().is_weighted());
+    }
+
+    #[test]
+    #[should_panic(expected = "UDT requires K >= 2")]
+    fn k_one_is_rejected() {
+        // K=1 cannot terminate: each split node consumes one entry and
+        // re-enqueues itself.
+        let g = star_graph(5);
+        let _ = udt_transform(&g, 1, DumbWeight::Zero);
+    }
+
+    #[test]
+    fn transformation_is_idempotent_when_bound_already_met() {
+        let g = star_graph(4);
+        let t = udt_transform(&g, 10, DumbWeight::Zero);
+        assert_eq!(t.num_split_nodes(), 0);
+        assert_eq!(t.graph().num_edges(), g.num_edges());
+    }
+}

@@ -1,0 +1,570 @@
+//! Virtual split transformation (§4) and edge-array coalescing (§4.4).
+//!
+//! Instead of physically rewriting the graph, a [`VirtualGraph`] overlays
+//! a *virtual node array* on the untouched physical CSR (Figure 10): each
+//! high-degree node is represented by `⌈d/K⌉` virtual nodes, each covering
+//! at most `K` of its edges. Computation is scheduled per virtual node;
+//! values are read and written at the *physical* node's slot, so all
+//! virtual nodes of a family observe each other's updates instantly —
+//! the implicit value synchronization that makes the transformation free
+//! of extra iterations (§4.1) and push-correct for every vertex-centric
+//! program (Theorem 2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use tigr_graph::{Csr, NodeId};
+
+/// One entry of the virtual node array.
+///
+/// A virtual node covers the edge flat-indices
+/// `first_edge + j·stride` for `j < count` of the physical CSR.
+/// Consecutive layout has `stride == 1`; the coalesced layout (§4.4)
+/// uses `stride == family size` so that warp lanes running sibling
+/// virtual nodes touch adjacent memory each step (Figure 12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VirtualNode {
+    /// The physical node this virtual node maps to (`map_v`, §4.1).
+    pub physical: NodeId,
+    /// Flat index of the first covered edge in the physical edge array.
+    pub first_edge: u32,
+    /// Distance between consecutive covered edges.
+    pub stride: u32,
+    /// Number of covered edges (`≤ K`).
+    pub count: u32,
+}
+
+impl VirtualNode {
+    /// Iterator over the flat edge indices this virtual node covers.
+    pub fn edge_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.count as usize).map(move |j| self.first_edge as usize + j * self.stride as usize)
+    }
+}
+
+/// The virtual node array overlaying a physical CSR.
+///
+/// Built by [`VirtualGraph::new`] (consecutive edge assignment) or
+/// [`VirtualGraph::coalesced`] (strided assignment, the `Tigr-V+`
+/// layout). The physical graph is *not* stored here — the engine passes
+/// graph and overlay together, mirroring how the CUDA implementation
+/// keeps both arrays on device.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VirtualGraph {
+    vnodes: Vec<VirtualNode>,
+    /// `first_vnode[v]..first_vnode[v+1]` indexes the virtual nodes of
+    /// physical node `v` (families are contiguous in `vnodes`).
+    first_vnode: Vec<u32>,
+    physical_nodes: usize,
+    physical_edges: usize,
+    k: u32,
+    coalesced: bool,
+}
+
+impl VirtualGraph {
+    /// Builds the virtual node array with *consecutive* edge assignment
+    /// (Figure 10b): virtual node `j` of a family covers edges
+    /// `[jK, (j+1)K)` of its physical node.
+    ///
+    /// Runs in `O(|V| + |E|/K)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(g: &Csr, k: u32) -> Self {
+        Self::build(g, k, false)
+    }
+
+    /// Builds the virtual node array with *strided* edge assignment
+    /// (§4.4, Figure 12): virtual node `j` of a `B`-member family covers
+    /// edges `j, j+B, j+2B, …`, so sibling virtual nodes scheduled into
+    /// the same warp access consecutive edge-array words each step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn coalesced(g: &Csr, k: u32) -> Self {
+        Self::build(g, k, true)
+    }
+
+    fn build(g: &Csr, k: u32, coalesced: bool) -> Self {
+        assert!(k >= 1, "degree bound K must be at least 1");
+        let kk = k as usize;
+        let mut vnodes = Vec::with_capacity(g.num_nodes() + g.num_edges() / kk);
+        let mut first_vnode = Vec::with_capacity(g.num_nodes() + 1);
+
+        for v in g.nodes() {
+            first_vnode.push(vnodes.len() as u32);
+            let d = g.out_degree(v);
+            let start = g.edge_start(v) as u32;
+            if d == 0 {
+                // Zero-degree nodes still get one virtual node so that
+                // pull-style programs can schedule them; it covers no edges.
+                vnodes.push(VirtualNode {
+                    physical: v,
+                    first_edge: start,
+                    stride: 1,
+                    count: 0,
+                });
+                continue;
+            }
+            let families = d.div_ceil(kk);
+            for j in 0..families {
+                let (first, stride, count) = if coalesced {
+                    // Member j takes edges j, j+B, j+2B, ...
+                    (
+                        start + j as u32,
+                        families as u32,
+                        ((d - j).div_ceil(families)) as u32,
+                    )
+                } else {
+                    let lo = j * kk;
+                    (start + lo as u32, 1u32, (d - lo).min(kk) as u32)
+                };
+                vnodes.push(VirtualNode {
+                    physical: v,
+                    first_edge: first,
+                    stride,
+                    count,
+                });
+            }
+        }
+
+        first_vnode.push(vnodes.len() as u32);
+        VirtualGraph {
+            vnodes,
+            first_vnode,
+            physical_nodes: g.num_nodes(),
+            physical_edges: g.num_edges(),
+            k,
+            coalesced,
+        }
+    }
+
+    /// The contiguous range of virtual-node indices belonging to physical
+    /// node `v` — used by worklist scheduling to activate a whole family
+    /// when its physical value improves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn vnode_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.first_vnode[v.index()] as usize..self.first_vnode[v.index() + 1] as usize
+    }
+
+    /// Number of virtual nodes (= threads to schedule).
+    pub fn num_virtual_nodes(&self) -> usize {
+        self.vnodes.len()
+    }
+
+    /// Number of physical nodes of the underlying graph.
+    pub fn num_physical_nodes(&self) -> usize {
+        self.physical_nodes
+    }
+
+    /// The degree bound `K`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// `true` for the edge-array-coalesced (`Tigr-V+`) layout.
+    pub fn is_coalesced(&self) -> bool {
+        self.coalesced
+    }
+
+    /// The virtual node at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn vnode(&self, i: usize) -> VirtualNode {
+        self.vnodes[i]
+    }
+
+    /// All virtual nodes, in schedule order (families are contiguous).
+    pub fn vnodes(&self) -> &[VirtualNode] {
+        &self.vnodes
+    }
+
+    /// Largest number of edges any virtual node covers (`≤ K`).
+    pub fn max_virtual_degree(&self) -> usize {
+        self.vnodes.iter().map(|v| v.count as usize).max().unwrap_or(0)
+    }
+
+    /// Size in bytes of the virtual node array under the paper's
+    /// accounting: 8 bytes per entry (physical id + edge pointer) for the
+    /// consecutive layout, 12 bytes (physical id + offset + stride) for
+    /// the coalesced layout of Algorithm 3.
+    pub fn size_bytes(&self) -> usize {
+        self.vnodes.len() * if self.coalesced { 12 } else { 8 }
+    }
+
+    /// Space cost of the virtually transformed graph relative to the
+    /// original CSR — the metric of Table 6: the edge array is shared, so
+    /// the overhead is exactly the virtual node array (minus the original
+    /// node array it replaces).
+    pub fn space_cost_ratio(&self, g: &Csr) -> f64 {
+        let original = g.csr_size_bytes();
+        let node_array = (g.num_nodes() + 1) * 4;
+        let transformed = original - node_array + self.size_bytes();
+        transformed as f64 / original as f64
+    }
+
+    /// Checks the overlay against its physical graph: every physical edge
+    /// must be covered by exactly one virtual node of its source's family
+    /// (the disjointness Theorem 3 relies on).
+    ///
+    /// Returns an error description on violation.
+    pub fn validate_against(&self, g: &Csr) -> Result<(), String> {
+        if self.physical_nodes != g.num_nodes() || self.physical_edges != g.num_edges() {
+            return Err(format!(
+                "overlay built for {}x{} graph, got {}x{}",
+                self.physical_nodes,
+                self.physical_edges,
+                g.num_nodes(),
+                g.num_edges()
+            ));
+        }
+        let mut covered = vec![0u8; g.num_edges()];
+        for vn in &self.vnodes {
+            let (lo, hi) = (g.edge_start(vn.physical), g.edge_end(vn.physical));
+            for e in vn.edge_indices() {
+                if e < lo || e >= hi {
+                    return Err(format!(
+                        "virtual node of {} covers edge {e} outside [{lo}, {hi})",
+                        vn.physical
+                    ));
+                }
+                if covered[e] != 0 {
+                    return Err(format!("edge {e} covered twice"));
+                }
+                covered[e] = 1;
+            }
+            if vn.count as usize > self.k as usize {
+                return Err(format!(
+                    "virtual node of {} covers {} edges > K={}",
+                    vn.physical, vn.count, self.k
+                ));
+            }
+        }
+        if let Some(e) = covered.iter().position(|&c| c == 0) {
+            return Err(format!("edge {e} not covered"));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for VirtualGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VirtualGraph")
+            .field("virtual_nodes", &self.vnodes.len())
+            .field("physical_nodes", &self.physical_nodes)
+            .field("k", &self.k)
+            .field("coalesced", &self.coalesced)
+            .finish()
+    }
+}
+
+/// Cursor yielding `(flat_edge_index, simulated_address_offset)` pairs —
+/// a small helper the engine uses to walk a virtual node's edges while
+/// issuing simulated memory traffic.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeCursor {
+    next: u32,
+    stride: u32,
+    remaining: u32,
+}
+
+impl EdgeCursor {
+    /// Creates a cursor over `vn`'s covered edges.
+    pub fn new(vn: &VirtualNode) -> Self {
+        EdgeCursor {
+            next: vn.first_edge,
+            stride: vn.stride,
+            remaining: vn.count,
+        }
+    }
+}
+
+impl Iterator for EdgeCursor {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let e = self.next as usize;
+        self.next += self.stride;
+        self.remaining -= 1;
+        Some(e)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for EdgeCursor {}
+
+/// Dynamic ("on-the-fly") mapping reasoning (§4.1, second design): no
+/// virtual node array is stored; instead each thread derives its edge
+/// range and physical source at kernel time.
+///
+/// Our realization blocks the flat edge array into chunks of `K`: thread
+/// `t` covers edges `[tK, (t+1)K)`, locating the owning physical node of
+/// its first edge by binary search over `row_ptr` and walking forward
+/// across node boundaries. This needs zero bytes of mapping state and
+/// bounds every thread's work by `K`, trading `O(log |V|)` extra compute
+/// per thread for memory — exactly the tradeoff the paper describes.
+#[derive(Clone, Copy, Debug)]
+pub struct OnTheFlyMapper {
+    k: u32,
+    num_edges: usize,
+    num_nodes: usize,
+}
+
+impl OnTheFlyMapper {
+    /// Creates a mapper for graph `g` with degree bound `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(g: &Csr, k: u32) -> Self {
+        assert!(k >= 1, "degree bound K must be at least 1");
+        OnTheFlyMapper {
+            k,
+            num_edges: g.num_edges(),
+            num_nodes: g.num_nodes(),
+        }
+    }
+
+    /// Number of threads to schedule: `⌈|E|/K⌉`.
+    pub fn num_threads(&self) -> usize {
+        self.num_edges.div_ceil(self.k as usize)
+    }
+
+    /// The degree bound `K`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Resolves thread `tid`'s edge block against `g`, returning the
+    /// half-open flat edge range and the physical node owning the first
+    /// edge, plus the number of binary-search probes performed (so the
+    /// engine can charge their cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid >= num_threads()` or `g` does not match the mapper.
+    pub fn resolve(&self, g: &Csr, tid: usize) -> ((usize, usize), NodeId, u32) {
+        assert!(tid < self.num_threads(), "thread id out of range");
+        assert_eq!(g.num_edges(), self.num_edges, "graph mismatch");
+        assert_eq!(g.num_nodes(), self.num_nodes, "graph mismatch");
+        let lo = tid * self.k as usize;
+        let hi = (lo + self.k as usize).min(self.num_edges);
+
+        // Binary search: the last node whose edge range starts at or
+        // before `lo`.
+        let row_ptr = g.row_ptr();
+        let mut probes = 0u32;
+        let (mut a, mut b) = (0usize, g.num_nodes());
+        while a + 1 < b {
+            probes += 1;
+            let mid = (a + b) / 2;
+            if row_ptr[mid] <= lo {
+                a = mid;
+            } else {
+                b = mid;
+            }
+        }
+        ((lo, hi), NodeId::from_index(a), probes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_graph::generators::{rmat, star_graph, RmatConfig};
+    use tigr_graph::CsrBuilder;
+
+    #[test]
+    fn consecutive_layout_matches_figure_10() {
+        // Figure 10: node v2 with 6 edges, K=3 -> two virtual nodes
+        // covering edges [start, start+3) and [start+3, start+6).
+        let mut b = CsrBuilder::new(9);
+        b.sort_neighbors(false);
+        for d in [5u32, 4, 5, 4, 6, 8] {
+            b.edge(2, d % 9);
+        }
+        b.edge(1, 2);
+        let g = b.build();
+        let vg = VirtualGraph::new(&g, 3);
+        let hub_vnodes: Vec<_> = vg
+            .vnodes()
+            .iter()
+            .filter(|v| v.physical == NodeId::new(2))
+            .collect();
+        assert_eq!(hub_vnodes.len(), 2);
+        assert_eq!(hub_vnodes[0].count, 3);
+        assert_eq!(hub_vnodes[1].count, 3);
+        assert_eq!(hub_vnodes[0].stride, 1);
+        assert_eq!(
+            hub_vnodes[1].first_edge,
+            hub_vnodes[0].first_edge + 3
+        );
+        vg.validate_against(&g).unwrap();
+    }
+
+    #[test]
+    fn coalesced_layout_matches_figure_12() {
+        // Family of 2 virtual nodes over 6 edges: member 0 takes edges
+        // 0,2,4; member 1 takes 1,3,5 (offset = member id, stride = 2).
+        let g = star_graph(7); // hub degree 6
+        let vg = VirtualGraph::coalesced(&g, 3);
+        let hub: Vec<_> = vg
+            .vnodes()
+            .iter()
+            .filter(|v| v.physical == NodeId::new(0))
+            .collect();
+        assert_eq!(hub.len(), 2);
+        assert_eq!(hub[0].stride, 2);
+        assert_eq!(hub[1].stride, 2);
+        assert_eq!(hub[0].edge_indices().collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert_eq!(hub[1].edge_indices().collect::<Vec<_>>(), vec![1, 3, 5]);
+        vg.validate_against(&g).unwrap();
+    }
+
+    #[test]
+    fn virtual_node_counts() {
+        let g = star_graph(101); // hub 100 + 100 leaves (degree 0)
+        let vg = VirtualGraph::new(&g, 10);
+        // 10 vnodes for the hub + 1 each for the 100 leaves.
+        assert_eq!(vg.num_virtual_nodes(), 110);
+        assert_eq!(vg.max_virtual_degree(), 10);
+        assert!(!vg.is_coalesced());
+        assert_eq!(vg.k(), 10);
+    }
+
+    #[test]
+    fn both_layouts_cover_every_edge_once_on_power_law_graphs() {
+        let g = rmat(&RmatConfig::graph500(10, 8), 3);
+        for k in [1u32, 4, 8, 10, 32] {
+            VirtualGraph::new(&g, k).validate_against(&g).unwrap();
+            VirtualGraph::coalesced(&g, k).validate_against(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn coalesced_counts_are_balanced_within_family() {
+        // d=7, K=3 -> B=3 members with counts 3,2,2 (within 1 of each other).
+        let g = star_graph(8);
+        let vg = VirtualGraph::coalesced(&g, 3);
+        let counts: Vec<u32> = vg
+            .vnodes()
+            .iter()
+            .filter(|v| v.physical == NodeId::new(0))
+            .map(|v| v.count)
+            .collect();
+        assert_eq!(counts, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn space_cost_shrinks_with_k_as_table_6() {
+        let g = rmat(&RmatConfig::graph500(12, 16), 5);
+        let r4 = VirtualGraph::new(&g, 4).space_cost_ratio(&g);
+        let r8 = VirtualGraph::new(&g, 8).space_cost_ratio(&g);
+        let r32 = VirtualGraph::new(&g, 32).space_cost_ratio(&g);
+        assert!(r4 > r8 && r8 > r32, "{r4} > {r8} > {r32}");
+        assert!(r4 > 1.2 && r4 < 1.8, "K=4 overhead ≈ 25-50%: {r4}");
+        assert!(r32 < 1.25, "K=32 overhead small: {r32}");
+    }
+
+    #[test]
+    fn validate_catches_mismatched_graph() {
+        let g = star_graph(10);
+        let other = star_graph(11);
+        let vg = VirtualGraph::new(&g, 3);
+        assert!(vg.validate_against(&other).is_err());
+    }
+
+    #[test]
+    fn edge_cursor_walks_strided() {
+        let vn = VirtualNode {
+            physical: NodeId::new(0),
+            first_edge: 5,
+            stride: 3,
+            count: 4,
+        };
+        let c = EdgeCursor::new(&vn);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.collect::<Vec<_>>(), vec![5, 8, 11, 14]);
+    }
+
+    #[test]
+    fn otf_mapper_resolves_blocks() {
+        let g = star_graph(11); // 10 edges, all from node 0
+        let m = OnTheFlyMapper::new(&g, 4);
+        assert_eq!(m.num_threads(), 3);
+        let ((lo, hi), src, probes) = m.resolve(&g, 0);
+        assert_eq!((lo, hi), (0, 4));
+        assert_eq!(src, NodeId::new(0));
+        assert!(probes <= 5);
+        let ((lo, hi), _, _) = m.resolve(&g, 2);
+        assert_eq!((lo, hi), (8, 10));
+    }
+
+    #[test]
+    fn otf_blocks_can_straddle_nodes() {
+        // Node 0 has 3 edges, node 1 has 3: with K=4 block 0 covers edges
+        // of both nodes; resolve reports node 0 as the owner of edge 0.
+        let mut b = CsrBuilder::new(8);
+        for i in 2..5u32 {
+            b.edge(0, i);
+        }
+        for i in 5..8u32 {
+            b.edge(1, i);
+        }
+        let g = b.build();
+        let m = OnTheFlyMapper::new(&g, 4);
+        assert_eq!(m.num_threads(), 2);
+        let ((lo, hi), src, _) = m.resolve(&g, 0);
+        assert_eq!((lo, hi), (0, 4));
+        assert_eq!(src, NodeId::new(0));
+        let ((_, _), src1, _) = m.resolve(&g, 1);
+        assert_eq!(src1, NodeId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "thread id out of range")]
+    fn otf_rejects_bad_tid() {
+        let g = star_graph(5);
+        let m = OnTheFlyMapper::new(&g, 2);
+        let _ = m.resolve(&g, 99);
+    }
+
+    #[test]
+    fn vnode_range_covers_families() {
+        let g = star_graph(25); // hub degree 24
+        let vg = VirtualGraph::new(&g, 10);
+        let hub = vg.vnode_range(NodeId::new(0));
+        assert_eq!(hub.len(), 3); // ⌈24/10⌉
+        for i in hub.clone() {
+            assert_eq!(vg.vnode(i).physical, NodeId::new(0));
+        }
+        // Every leaf family has exactly one (empty) virtual node.
+        for v in 1..25u32 {
+            assert_eq!(vg.vnode_range(NodeId::new(v)).len(), 1);
+        }
+        // Ranges tile the whole vnode array.
+        let total: usize = (0..25u32).map(|v| vg.vnode_range(NodeId::new(v)).len()).sum();
+        assert_eq!(total, vg.num_virtual_nodes());
+    }
+
+    #[test]
+    fn zero_degree_nodes_still_get_a_virtual_node() {
+        let g = CsrBuilder::new(3).edge(0, 1).build();
+        let vg = VirtualGraph::new(&g, 5);
+        assert_eq!(vg.num_virtual_nodes(), 3);
+        vg.validate_against(&g).unwrap();
+    }
+}

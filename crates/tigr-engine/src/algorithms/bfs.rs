@@ -1,0 +1,88 @@
+//! Breadth-first search: SSSP over unit edge weights (§3.3).
+
+use tigr_graph::NodeId;
+use tigr_sim::GpuSimulator;
+
+use crate::program::MonotoneProgram;
+use crate::push::{run_monotone, MonotoneOutput, PushOptions};
+use crate::representation::Representation;
+
+/// Runs BFS from `source` over `rep`, producing hop levels
+/// (`u32::MAX` = unreachable).
+///
+/// On unweighted graphs every edge counts 1 hop. On physically
+/// transformed graphs, run on a [`tigr_core::DumbWeight::Zero`]
+/// transformation of the unit-weight graph: original edges carry 1,
+/// introduced edges 0, so levels are preserved (Corollary 2 via the
+/// BFS-as-SSSP reduction).
+pub fn run(
+    sim: &GpuSimulator,
+    rep: &Representation<'_>,
+    source: NodeId,
+    options: &PushOptions,
+) -> MonotoneOutput {
+    run_monotone(sim, rep, MonotoneProgram::BFS, Some(source), options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_core::{udt_transform, DumbWeight, VirtualGraph};
+    use tigr_graph::generators::{rmat, RmatConfig};
+    use tigr_graph::properties::bfs_levels;
+    use tigr_sim::GpuConfig;
+
+    fn expect_levels(g: &tigr_graph::Csr, src: NodeId) -> Vec<u32> {
+        bfs_levels(g, src)
+            .into_iter()
+            .map(|l| if l == usize::MAX { u32::MAX } else { l as u32 })
+            .collect()
+    }
+
+    #[test]
+    fn levels_match_oracle_on_all_representations() {
+        let g = rmat(&RmatConfig::graph500(8, 6), 23);
+        let src = NodeId::new(3);
+        let expect = expect_levels(&g, src);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let o = PushOptions::default();
+
+        let orig = run(&sim, &Representation::Original(&g), src, &o);
+        assert_eq!(orig.values, expect);
+
+        // Physical: unit weights + zero dumb weights preserve levels.
+        let unit = g.with_weights_from(|_| 1);
+        let t = udt_transform(&unit, 4, DumbWeight::Zero);
+        let out = run(&sim, &Representation::Physical(&t), src, &o);
+        assert_eq!(t.project_values(&out.values), expect);
+
+        let ov = VirtualGraph::coalesced(&g, 10);
+        let out = run(
+            &sim,
+            &Representation::Virtual {
+                graph: &g,
+                overlay: &ov,
+            },
+            src,
+            &o,
+        );
+        assert_eq!(out.values, expect);
+    }
+
+    #[test]
+    fn bfs_iterations_track_eccentricity_with_worklist() {
+        // With a worklist the frontier advances exactly one level per
+        // iteration.
+        let g = tigr_graph::generators::grid_2d(5, 5);
+        let sim = GpuSimulator::new(GpuConfig::tiny());
+        let out = run(
+            &sim,
+            &Representation::Original(&g),
+            NodeId::new(0),
+            &PushOptions::default(),
+        );
+        let ecc = tigr_graph::stats::eccentricity(&g, NodeId::new(0));
+        // One iteration per level plus the final empty-frontier check.
+        assert_eq!(out.report.num_iterations(), ecc + 1);
+    }
+}

@@ -1,0 +1,325 @@
+//! Direction-optimizing BFS (Beamer et al., SC 2012) — the push/pull
+//! hybrid the paper's related work (§7.1) discusses as the complementary
+//! axis to data transformation.
+//!
+//! Top-down steps expand the frontier along out-edges; once the frontier
+//! covers a large fraction of the remaining edges, the traversal flips
+//! bottom-up: every unvisited node scans its *in*-edges for a visited
+//! parent and stops at the first hit. On low-diameter power-law graphs
+//! the middle levels touch most of the graph, where bottom-up's
+//! early-exit saves a large constant factor — orthogonal to, and
+//! composable with, Tigr's virtual splitting (both directions accept a
+//! virtual overlay).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::queue::SegQueue;
+
+use tigr_core::VirtualGraph;
+use tigr_graph::{Csr, NodeId};
+use tigr_sim::{GpuSimulator, SimReport};
+
+use crate::addr::{edge_addr, frontier_addr, row_ptr_addr, value_addr, vnode_addr};
+use crate::state::{AtomicValues, Combine};
+
+/// Which direction a BFS level ran in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Classic frontier push along out-edges.
+    TopDown,
+    /// Unvisited nodes pull along in-edges with early exit.
+    BottomUp,
+}
+
+/// Tuning knobs of the direction switch (Beamer's α/β heuristic).
+#[derive(Clone, Copy, Debug)]
+pub struct DoBfsOptions {
+    /// Switch to bottom-up when `frontier_out_edges × alpha` exceeds the
+    /// out-edges of all unvisited nodes.
+    pub alpha: f64,
+    /// Switch back to top-down when the frontier shrinks below
+    /// `nodes / beta`.
+    pub beta: f64,
+}
+
+impl Default for DoBfsOptions {
+    fn default() -> Self {
+        DoBfsOptions {
+            alpha: 14.0,
+            beta: 24.0,
+        }
+    }
+}
+
+/// Result of a direction-optimizing BFS.
+#[derive(Clone, Debug)]
+pub struct DoBfsOutput {
+    /// BFS levels (`u32::MAX` = unreachable).
+    pub levels: Vec<u32>,
+    /// Per-level simulator metrics.
+    pub report: SimReport,
+    /// Direction each level ran in.
+    pub directions: Vec<Direction>,
+}
+
+/// Runs direction-optimizing BFS from `source`.
+///
+/// `graph` is the forward CSR, `reverse` its transpose
+/// ([`tigr_graph::reverse::transpose`]); `overlays`, when given, are
+/// virtual overlays of the two — Tigr and direction switching compose.
+///
+/// # Panics
+///
+/// Panics if the graphs are not mutual transposes (checked by node/edge
+/// counts) or `source` is out of range.
+pub fn run(
+    sim: &GpuSimulator,
+    graph: &Csr,
+    reverse: &Csr,
+    overlays: Option<(&VirtualGraph, &VirtualGraph)>,
+    source: NodeId,
+    options: &DoBfsOptions,
+) -> DoBfsOutput {
+    assert_eq!(graph.num_nodes(), reverse.num_nodes(), "transpose mismatch");
+    assert_eq!(graph.num_edges(), reverse.num_edges(), "transpose mismatch");
+    let n = graph.num_nodes();
+    assert!(source.index() < n, "source out of range");
+
+    let levels = AtomicValues::new(n, u32::MAX);
+    levels.store(source.index(), 0);
+    let mut frontier: Vec<u32> = vec![source.raw()];
+    let mut report = SimReport::new();
+    let mut directions = Vec::new();
+    let mut level = 0u32;
+    let mut unvisited_edges: u64 = graph.num_edges() as u64;
+
+    while !frontier.is_empty() {
+        let frontier_edges: u64 = frontier
+            .iter()
+            .map(|&v| graph.out_degree(NodeId::new(v)) as u64)
+            .sum();
+        let bottom_up = frontier_edges as f64 * options.alpha > unvisited_edges as f64
+            && frontier.len() > n.div_ceil(options.beta.max(1.0) as usize).max(1);
+
+        let next = SegQueue::new();
+        let metrics = if bottom_up {
+            directions.push(Direction::BottomUp);
+            bottom_up_step(sim, reverse, overlays.map(|o| o.1), &levels, level, &next)
+        } else {
+            directions.push(Direction::TopDown);
+            top_down_step(sim, graph, overlays.map(|o| o.0), &levels, level, &frontier, &next)
+        };
+        report.push(frontier.len(), metrics);
+
+        let mut nf: Vec<u32> = std::iter::from_fn(|| next.pop()).collect();
+        nf.sort_unstable();
+        nf.dedup();
+        unvisited_edges = unvisited_edges.saturating_sub(
+            nf.iter().map(|&v| graph.out_degree(NodeId::new(v)) as u64).sum(),
+        );
+        frontier = nf;
+        level += 1;
+    }
+
+    DoBfsOutput {
+        levels: levels.snapshot(),
+        report,
+        directions,
+    }
+}
+
+fn top_down_step(
+    sim: &GpuSimulator,
+    graph: &Csr,
+    overlay: Option<&VirtualGraph>,
+    levels: &AtomicValues,
+    level: u32,
+    frontier: &[u32],
+    next: &SegQueue<u32>,
+) -> tigr_sim::KernelMetrics {
+    let body = |lane: &mut tigr_sim::Lane, edges: &mut dyn Iterator<Item = usize>| {
+        for e in edges {
+            lane.load(edge_addr(e), 8);
+            let nbr = graph.edge_target(e).index();
+            lane.load(value_addr(nbr), 4);
+            if levels.load(nbr) == u32::MAX && levels.try_improve(nbr, level + 1, Combine::Min) {
+                lane.atomic(value_addr(nbr), 4);
+                next.push(nbr as u32);
+            }
+            lane.compute(1);
+        }
+    };
+    match overlay {
+        None => sim.launch(frontier.len(), |tid, lane| {
+            lane.load(frontier_addr(tid), 4);
+            let v = NodeId::new(frontier[tid]);
+            lane.load(row_ptr_addr(v.index()), 8);
+            body(lane, &mut (graph.edge_start(v)..graph.edge_end(v)));
+        }),
+        Some(ov) => {
+            let mut active: Vec<u32> = Vec::with_capacity(frontier.len());
+            for &p in frontier {
+                for i in ov.vnode_range(NodeId::new(p)) {
+                    active.push(i as u32);
+                }
+            }
+            sim.launch(active.len(), |tid, lane| {
+                let vid = active[tid] as usize;
+                lane.load(vnode_addr(vid), 8);
+                let vn = ov.vnode(vid);
+                body(lane, &mut tigr_core::EdgeCursor::new(&vn));
+            })
+        }
+    }
+}
+
+fn bottom_up_step(
+    sim: &GpuSimulator,
+    reverse: &Csr,
+    overlay: Option<&VirtualGraph>,
+    levels: &AtomicValues,
+    level: u32,
+    next: &SegQueue<u32>,
+) -> tigr_sim::KernelMetrics {
+    let scanned = AtomicU64::new(0);
+    let body = |lane: &mut tigr_sim::Lane,
+                slot: usize,
+                edges: &mut dyn Iterator<Item = usize>| {
+        lane.load(value_addr(slot), 4);
+        if levels.load(slot) != u32::MAX {
+            return;
+        }
+        for e in edges {
+            lane.load(edge_addr(e), 8);
+            let parent = reverse.edge_target(e).index();
+            lane.load(value_addr(parent), 4);
+            lane.compute(1);
+            scanned.fetch_add(1, Ordering::Relaxed);
+            if levels.load(parent) == level {
+                // Early exit: claim the level and stop scanning.
+                if levels.try_improve(slot, level + 1, Combine::Min) {
+                    lane.atomic(value_addr(slot), 4);
+                    next.push(slot as u32);
+                }
+                break;
+            }
+        }
+    };
+    match overlay {
+        None => sim.launch(reverse.num_nodes(), |tid, lane| {
+            lane.load(row_ptr_addr(tid), 8);
+            let v = NodeId::from_index(tid);
+            body(lane, tid, &mut (reverse.edge_start(v)..reverse.edge_end(v)));
+        }),
+        Some(ov) => sim.launch(ov.num_virtual_nodes(), |tid, lane| {
+            lane.load(vnode_addr(tid), 8);
+            let vn = ov.vnode(tid);
+            body(lane, vn.physical.index(), &mut tigr_core::EdgeCursor::new(&vn));
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_graph::generators::{grid_2d, rmat, RmatConfig};
+    use tigr_graph::properties::bfs_levels;
+    use tigr_graph::reverse::transpose;
+    use tigr_sim::GpuConfig;
+
+    fn expect_levels(g: &Csr, src: NodeId) -> Vec<u32> {
+        bfs_levels(g, src)
+            .into_iter()
+            .map(|l| if l == usize::MAX { u32::MAX } else { l as u32 })
+            .collect()
+    }
+
+    #[test]
+    fn levels_match_oracle_on_power_law_graph() {
+        let g = rmat(&RmatConfig::graph500(10, 16), 77);
+        let rev = transpose(&g);
+        let src = NodeId::new(0);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let out = run(&sim, &g, &rev, None, src, &DoBfsOptions::default());
+        assert_eq!(out.levels, expect_levels(&g, src));
+        assert_eq!(out.directions.len(), out.report.num_iterations());
+    }
+
+    #[test]
+    fn engages_bottom_up_on_dense_low_diameter_graphs() {
+        let g = rmat(&RmatConfig::graph500(10, 16), 78);
+        let rev = transpose(&g);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let out = run(&sim, &g, &rev, None, NodeId::new(0), &DoBfsOptions::default());
+        assert!(
+            out.directions.contains(&Direction::BottomUp),
+            "dense RMAT should trigger the switch: {:?}",
+            out.directions
+        );
+    }
+
+    #[test]
+    fn stays_top_down_on_high_diameter_grids() {
+        // Large enough that frontier edges never dominate the remainder.
+        let g = grid_2d(60, 60);
+        let rev = transpose(&g);
+        let sim = GpuSimulator::new(GpuConfig::tiny());
+        let out = run(&sim, &g, &rev, None, NodeId::new(0), &DoBfsOptions::default());
+        assert!(out.directions.iter().all(|&d| d == Direction::TopDown));
+        assert_eq!(out.levels, expect_levels(&g, NodeId::new(0)));
+    }
+
+    #[test]
+    fn composes_with_virtual_overlays() {
+        let g = rmat(&RmatConfig::graph500(9, 12), 79);
+        let rev = transpose(&g);
+        let ov_fwd = VirtualGraph::coalesced(&g, 10);
+        let ov_rev = VirtualGraph::coalesced(&rev, 10);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let out = run(
+            &sim,
+            &g,
+            &rev,
+            Some((&ov_fwd, &ov_rev)),
+            NodeId::new(0),
+            &DoBfsOptions::default(),
+        );
+        assert_eq!(out.levels, expect_levels(&g, NodeId::new(0)));
+    }
+
+    #[test]
+    fn bottom_up_saves_instructions_on_dense_graphs() {
+        let g = rmat(&RmatConfig::graph500(10, 16), 80);
+        let rev = transpose(&g);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let hybrid = run(&sim, &g, &rev, None, NodeId::new(0), &DoBfsOptions::default());
+        // Force pure top-down with an unreachable switch threshold.
+        let pure = run(
+            &sim,
+            &g,
+            &rev,
+            None,
+            NodeId::new(0),
+            &DoBfsOptions {
+                alpha: 0.0, // the switch condition can never fire
+                beta: 24.0,
+            },
+        );
+        assert_eq!(hybrid.levels, pure.levels);
+        assert!(
+            hybrid.report.total().instructions < pure.report.total().instructions,
+            "hybrid {} vs pure {}",
+            hybrid.report.total().instructions,
+            pure.report.total().instructions
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "transpose mismatch")]
+    fn mismatched_transpose_rejected() {
+        let g = grid_2d(3, 3);
+        let other = grid_2d(4, 4);
+        let sim = GpuSimulator::new(GpuConfig::tiny());
+        let _ = run(&sim, &g, &other, None, NodeId::new(0), &DoBfsOptions::default());
+    }
+}

@@ -1,0 +1,420 @@
+//! PageRank (Corollary 4, Theorem 3).
+//!
+//! PageRank divides each node's rank by its *out-degree*. UDT changes
+//! out-degrees, so physical transformations are unsuitable; the virtual
+//! transformation keeps the physical out-degrees intact (Corollary 4) and
+//! its partial sums commute because addition is associative (Theorem 3).
+//! Both the paper's push-based Tigr variant and the CuSha-style pull
+//! variant are provided; pull mode is what lets shard/scan frameworks win
+//! PR in Table 4.
+
+use tigr_graph::{Csr, NodeId};
+use tigr_sim::{GpuSimulator, SimReport};
+
+use crate::addr::{aux_addr, edge_addr, row_ptr_addr, value_addr, vnode_addr};
+use crate::representation::Representation;
+use crate::state::AtomicFloats;
+
+/// Direction of rank propagation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PrMode {
+    /// Scatter `rank/outdeg` along *out*-edges with one atomic add per
+    /// edge — Tigr's scheme (the representation is built over the forward
+    /// graph). Simple, but atomic-heavy: the reason Tigr-V+ loses PR to
+    /// pull-based CuSha in Table 4.
+    #[default]
+    Push,
+    /// Gather `rank/outdeg` along *in*-edges, one atomic add per virtual
+    /// node — the representation must be built over the **transpose**
+    /// ([`tigr_graph::reverse::transpose`]).
+    Pull,
+}
+
+/// PageRank options.
+#[derive(Clone, Copy, Debug)]
+pub struct PrOptions {
+    /// Damping factor `d` (0.85 conventionally).
+    pub damping: f32,
+    /// Stop when the L1 rank change falls below this threshold.
+    pub tolerance: f32,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Propagation direction.
+    pub mode: PrMode,
+}
+
+impl Default for PrOptions {
+    fn default() -> Self {
+        PrOptions {
+            damping: 0.85,
+            tolerance: 1e-6,
+            max_iterations: 100,
+            mode: PrMode::Push,
+        }
+    }
+}
+
+/// PageRank result.
+#[derive(Clone, Debug)]
+pub struct PrOutput {
+    /// Final ranks, summing to ≈ 1.
+    pub ranks: Vec<f32>,
+    /// Per-iteration simulator metrics.
+    pub report: SimReport,
+    /// `false` if `max_iterations` hit before `tolerance`.
+    pub converged: bool,
+}
+
+/// Runs PageRank over `rep`.
+///
+/// `out_degrees` are the **original** per-node out-degrees (push: the
+/// degrees of `rep`'s own graph; pull: the degrees of the graph whose
+/// transpose `rep` wraps). Dangling nodes redistribute uniformly.
+///
+/// # Panics
+///
+/// Panics if `out_degrees.len()` differs from the representation's value
+/// slots or the representation is [`Representation::Physical`] (UDT
+/// changes the degrees PR depends on — use a virtual representation, as
+/// the paper does).
+pub fn run(
+    sim: &GpuSimulator,
+    rep: &Representation<'_>,
+    out_degrees: &[u32],
+    options: &PrOptions,
+) -> PrOutput {
+    let n = rep.num_value_slots();
+    assert_eq!(out_degrees.len(), n, "out-degree array must cover all nodes");
+    assert!(
+        !matches!(rep, Representation::Physical(_)),
+        "PageRank is undefined on physically transformed graphs: UDT alters out-degrees (Corollary 4)"
+    );
+    if n == 0 {
+        return PrOutput {
+            ranks: Vec::new(),
+            report: SimReport::new(),
+            converged: true,
+        };
+    }
+
+    let ranks = AtomicFloats::new(n, 1.0 / n as f32);
+    let accum = AtomicFloats::new(n, 0.0);
+    let mut report = SimReport::new();
+    let mut converged = false;
+
+    for _ in 0..options.max_iterations {
+        accum.fill(0.0);
+        let threads = rep.full_threads();
+
+        // Scatter/gather kernel.
+        let mut metrics = match options.mode {
+            PrMode::Push => push_kernel(sim, rep, &ranks, &accum, out_degrees),
+            PrMode::Pull => pull_kernel(sim, rep, &ranks, &accum, out_degrees),
+        };
+
+        // Dangling mass (host reduction mirrored as a small kernel).
+        let mut dangling = 0.0f64;
+        for v in 0..n {
+            if out_degrees[v] == 0 {
+                dangling += ranks.load(v) as f64;
+            }
+        }
+        let base =
+            (1.0 - options.damping) / n as f32 + options.damping * (dangling as f32) / n as f32;
+
+        // Finalize kernel: rank = base + d * accum, tracking the L1 delta.
+        let delta = AtomicFloats::new(1, 0.0);
+        let finalize = sim.launch(n, |v, lane| {
+            lane.load(aux_addr(0, v), 4);
+            lane.load(value_addr(v), 4);
+            let new = base + options.damping * accum.load(v);
+            let old = ranks.load(v);
+            ranks.store(v, new);
+            delta.fetch_add(0, (new - old).abs());
+            lane.compute(3);
+            lane.store(value_addr(v), 4);
+        });
+        metrics.merge(&finalize);
+        report.push(threads, metrics);
+
+        if delta.load(0) < options.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    PrOutput {
+        ranks: ranks.snapshot(),
+        report,
+        converged,
+    }
+}
+
+/// Push scatter: one atomic add per out-edge.
+fn push_kernel(
+    sim: &GpuSimulator,
+    rep: &Representation<'_>,
+    ranks: &AtomicFloats,
+    accum: &AtomicFloats,
+    out_degrees: &[u32],
+) -> tigr_sim::KernelMetrics {
+    let g = rep.graph();
+    let scatter = |lane: &mut tigr_sim::Lane,
+                   slot: usize,
+                   edges: &mut dyn Iterator<Item = usize>| {
+        lane.load(value_addr(slot), 4);
+        lane.load(aux_addr(1, slot), 4);
+        let deg = out_degrees[slot];
+        if deg == 0 {
+            return;
+        }
+        let share = ranks.load(slot) / deg as f32;
+        lane.compute(1);
+        for e in edges {
+            lane.load(edge_addr(e), 8);
+            let nbr = g.edge_target(e).index();
+            accum.fetch_add(nbr, share);
+            lane.atomic(aux_addr(0, nbr), 4);
+        }
+    };
+    launch_over(sim, rep, &scatter)
+}
+
+/// Pull gather: partial sum per (virtual) node, one atomic add per node.
+fn pull_kernel(
+    sim: &GpuSimulator,
+    rep: &Representation<'_>,
+    ranks: &AtomicFloats,
+    accum: &AtomicFloats,
+    out_degrees: &[u32],
+) -> tigr_sim::KernelMetrics {
+    let g = rep.graph(); // the transpose: edges lead to in-neighbors
+    let gather = |lane: &mut tigr_sim::Lane,
+                  slot: usize,
+                  edges: &mut dyn Iterator<Item = usize>| {
+        let mut partial = 0.0f32;
+        let mut any = false;
+        for e in edges {
+            lane.load(edge_addr(e), 8);
+            let src = g.edge_target(e).index();
+            lane.load(value_addr(src), 4);
+            lane.load(aux_addr(1, src), 4);
+            let deg = out_degrees[src].max(1);
+            partial += ranks.load(src) / deg as f32;
+            lane.compute(2);
+            any = true;
+        }
+        if any {
+            accum.fetch_add(slot, partial);
+            lane.atomic(aux_addr(0, slot), 4);
+        }
+    };
+    launch_over(sim, rep, &gather)
+}
+
+/// Dispatches a per-node/virtual-node kernel over the representation.
+fn launch_over(
+    sim: &GpuSimulator,
+    rep: &Representation<'_>,
+    body: &(dyn Fn(&mut tigr_sim::Lane, usize, &mut dyn Iterator<Item = usize>) + Sync),
+) -> tigr_sim::KernelMetrics {
+    match rep {
+        Representation::Original(g) => sim.launch(g.num_nodes(), |tid, lane| {
+            lane.load(row_ptr_addr(tid), 8);
+            let v = NodeId::from_index(tid);
+            body(lane, tid, &mut (g.edge_start(v)..g.edge_end(v)));
+        }),
+        Representation::Virtual { overlay, .. } => {
+            sim.launch(overlay.num_virtual_nodes(), |tid, lane| {
+                lane.load(vnode_addr(tid), 8);
+                let vn = overlay.vnode(tid);
+                body(lane, vn.physical.index(), &mut tigr_core::EdgeCursor::new(&vn));
+            })
+        }
+        Representation::OnTheFly { graph, mapper } => {
+            sim.launch(mapper.num_threads(), |tid, lane| {
+                let ((lo, hi), first, probes) = mapper.resolve(graph, tid);
+                lane.compute(probes as u64 * 2);
+                let mut src = first.index();
+                let mut start = graph.edge_start(first);
+                let mut end = graph.edge_end(first);
+                let mut e = lo;
+                while e < hi {
+                    while e >= end {
+                        src += 1;
+                        start = graph.edge_start(NodeId::from_index(src));
+                        end = graph.edge_end(NodeId::from_index(src));
+                        lane.load(row_ptr_addr(src + 1), 4);
+                    }
+                    let stop = hi.min(end);
+                    let _ = start;
+                    body(lane, src, &mut (e..stop));
+                    e = stop;
+                }
+            })
+        }
+        Representation::Physical(_) => unreachable!("rejected by run()"),
+    }
+}
+
+/// Per-node out-degrees of `g` as `u32` — the helper callers pass to
+/// [`run`].
+pub fn out_degrees(g: &Csr) -> Vec<u32> {
+    g.nodes().map(|v| g.out_degree(v) as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_core::VirtualGraph;
+    use tigr_graph::generators::{rmat, RmatConfig};
+    use tigr_graph::properties::pagerank;
+    use tigr_graph::reverse::transpose;
+    use tigr_sim::GpuConfig;
+
+    fn fixture() -> Csr {
+        rmat(&RmatConfig::graph500(7, 6), 41)
+    }
+
+    fn assert_close(got: &[f32], expect: &[f64], tol: f64) {
+        assert_eq!(got.len(), expect.len());
+        for (i, (&g, &e)) in got.iter().zip(expect).enumerate() {
+            assert!(
+                (g as f64 - e).abs() < tol,
+                "rank[{i}]: got {g}, expected {e}"
+            );
+        }
+    }
+
+    fn opts(mode: PrMode) -> PrOptions {
+        PrOptions {
+            damping: 0.85,
+            tolerance: 1e-7,
+            max_iterations: 60,
+            mode,
+        }
+    }
+
+    #[test]
+    fn push_pr_matches_power_iteration() {
+        let g = fixture();
+        let expect = pagerank(&g, 0.85, 60);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let out = run(
+            &sim,
+            &Representation::Original(&g),
+            &out_degrees(&g),
+            &opts(PrMode::Push),
+        );
+        assert!(out.converged);
+        assert_close(&out.ranks, &expect, 1e-4);
+        let total: f32 = out.ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "ranks sum to {total}");
+    }
+
+    #[test]
+    fn pull_pr_on_transpose_matches() {
+        let g = fixture();
+        let expect = pagerank(&g, 0.85, 60);
+        let rev = transpose(&g);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let out = run(
+            &sim,
+            &Representation::Original(&rev),
+            &out_degrees(&g),
+            &opts(PrMode::Pull),
+        );
+        assert_close(&out.ranks, &expect, 1e-4);
+    }
+
+    #[test]
+    fn virtual_push_pr_matches() {
+        let g = fixture();
+        let expect = pagerank(&g, 0.85, 60);
+        let ov = VirtualGraph::coalesced(&g, 10);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let out = run(
+            &sim,
+            &Representation::Virtual {
+                graph: &g,
+                overlay: &ov,
+            },
+            &out_degrees(&g),
+            &opts(PrMode::Push),
+        );
+        assert_close(&out.ranks, &expect, 1e-4);
+    }
+
+    #[test]
+    fn virtual_pull_pr_matches_theorem_3() {
+        // Pull over the transpose with a virtual overlay: the associative
+        // nested-sum case of Theorem 3.
+        let g = fixture();
+        let expect = pagerank(&g, 0.85, 60);
+        let rev = transpose(&g);
+        let ov = VirtualGraph::new(&rev, 4);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let out = run(
+            &sim,
+            &Representation::Virtual {
+                graph: &rev,
+                overlay: &ov,
+            },
+            &out_degrees(&g),
+            &opts(PrMode::Pull),
+        );
+        assert_close(&out.ranks, &expect, 1e-4);
+    }
+
+    #[test]
+    fn pull_uses_fewer_atomics_than_push() {
+        let g = fixture();
+        let rev = transpose(&g);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let push = run(
+            &sim,
+            &Representation::Original(&g),
+            &out_degrees(&g),
+            &PrOptions {
+                max_iterations: 5,
+                tolerance: 0.0,
+                ..opts(PrMode::Push)
+            },
+        );
+        let pull = run(
+            &sim,
+            &Representation::Original(&rev),
+            &out_degrees(&g),
+            &PrOptions {
+                max_iterations: 5,
+                tolerance: 0.0,
+                ..opts(PrMode::Pull)
+            },
+        );
+        assert!(
+            pull.report.total().atomic_ops < push.report.total().atomic_ops / 2,
+            "pull {} vs push {}",
+            pull.report.total().atomic_ops,
+            push.report.total().atomic_ops
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "PageRank is undefined on physically transformed graphs")]
+    fn physical_representation_rejected() {
+        let g = fixture();
+        let t = tigr_core::udt_transform(&g, 4, tigr_core::DumbWeight::Unweighted);
+        let sim = GpuSimulator::new(GpuConfig::tiny());
+        let degs = vec![0u32; t.graph().num_nodes()];
+        let _ = run(&sim, &Representation::Physical(&t), &degs, &PrOptions::default());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = tigr_graph::CsrBuilder::new(0).build();
+        let sim = GpuSimulator::new(GpuConfig::tiny());
+        let out = run(&sim, &Representation::Original(&g), &[], &PrOptions::default());
+        assert!(out.ranks.is_empty());
+        assert!(out.converged);
+    }
+}

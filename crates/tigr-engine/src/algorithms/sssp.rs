@@ -1,0 +1,105 @@
+//! Single-source shortest path — the paper's running example (Figure 2,
+//! Algorithms 2 and 3, the Table 8 case study).
+
+use tigr_graph::NodeId;
+use tigr_sim::GpuSimulator;
+
+use crate::program::MonotoneProgram;
+use crate::push::{run_monotone, MonotoneOutput, PushOptions};
+use crate::representation::Representation;
+
+/// Runs SSSP from `source` over `rep`.
+///
+/// Distances are `u32` with `u32::MAX` marking unreachable nodes. For a
+/// physically transformed representation, the graph must have been built
+/// with [`tigr_core::DumbWeight::Zero`] (Corollary 2).
+///
+/// # Example
+///
+/// ```
+/// use tigr_engine::{sssp, PushOptions, Representation};
+/// use tigr_graph::CsrBuilder;
+/// use tigr_sim::{GpuConfig, GpuSimulator};
+///
+/// let g = CsrBuilder::new(3)
+///     .weighted_edge(0, 1, 5)
+///     .weighted_edge(1, 2, 7)
+///     .build();
+/// let sim = GpuSimulator::new(GpuConfig::default());
+/// let out = sssp::run(
+///     &sim,
+///     &Representation::Original(&g),
+///     tigr_graph::NodeId::new(0),
+///     &PushOptions::default(),
+/// );
+/// assert_eq!(out.values, vec![0, 5, 12]);
+/// ```
+pub fn run(
+    sim: &GpuSimulator,
+    rep: &Representation<'_>,
+    source: NodeId,
+    options: &PushOptions,
+) -> MonotoneOutput {
+    run_monotone(sim, rep, MonotoneProgram::SSSP, Some(source), options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_core::{circular_transform, star_transform, udt_transform, DumbWeight, VirtualGraph};
+    use tigr_graph::generators::{rmat, with_uniform_weights, RmatConfig};
+    use tigr_graph::properties::dijkstra;
+    use tigr_sim::GpuConfig;
+
+    fn fixture() -> tigr_graph::Csr {
+        let g = rmat(&RmatConfig::graph500(8, 8), 17);
+        with_uniform_weights(&g, 1, 64, 3)
+    }
+
+    #[test]
+    fn every_representation_agrees_with_dijkstra() {
+        let g = fixture();
+        let src = NodeId::new(0);
+        let expect = dijkstra(&g, src);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let o = PushOptions::default();
+
+        let orig = run(&sim, &Representation::Original(&g), src, &o);
+        assert_eq!(orig.values, expect);
+
+        for t in [
+            udt_transform(&g, 4, DumbWeight::Zero),
+            star_transform(&g, 4, DumbWeight::Zero),
+            circular_transform(&g, 4, DumbWeight::Zero),
+        ] {
+            let out = run(&sim, &Representation::Physical(&t), src, &o);
+            assert_eq!(t.project_values(&out.values), expect, "{}", t.topology());
+        }
+
+        for ov in [VirtualGraph::new(&g, 10), VirtualGraph::coalesced(&g, 10)] {
+            let out = run(
+                &sim,
+                &Representation::Virtual {
+                    graph: &g,
+                    overlay: &ov,
+                },
+                src,
+                &o,
+            );
+            assert_eq!(out.values, expect, "coalesced={}", ov.is_coalesced());
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_infinite() {
+        let g = tigr_graph::CsrBuilder::new(4).weighted_edge(0, 1, 3).build();
+        let sim = GpuSimulator::new(GpuConfig::tiny());
+        let out = run(
+            &sim,
+            &Representation::Original(&g),
+            NodeId::new(0),
+            &PushOptions::default(),
+        );
+        assert_eq!(out.values, vec![0, 3, u32::MAX, u32::MAX]);
+    }
+}

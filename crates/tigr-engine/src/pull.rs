@@ -1,0 +1,280 @@
+//! Pull-based monotone driver (§2.1 footnote 3, Theorem 3).
+//!
+//! The pull scheme gathers values along *incoming* edges: each node folds
+//! candidates from its in-neighbors into its own slot. The engine runs it
+//! over the **transpose** CSR, optionally with a virtual overlay built on
+//! the transpose — in which case each virtual node folds a *subset* of
+//! the in-edges and the partial results combine at the shared physical
+//! slot. Theorem 3 guarantees correctness exactly when the fold is
+//! associative, which every [`MonotoneProgram`] combine (min/max) is;
+//! updates use atomics as §4.2 requires.
+//!
+//! Compared to push, pull issues at most **one atomic per (virtual)
+//! node** per iteration instead of one per improving edge — the property
+//! that makes gather-style frameworks strong on all-active workloads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use tigr_graph::NodeId;
+use tigr_sim::{GpuSimulator, KernelMetrics, SimReport};
+
+use crate::addr::{edge_addr, row_ptr_addr, value_addr, vnode_addr, FLAG_ADDR};
+use crate::program::MonotoneProgram;
+use crate::push::MonotoneOutput;
+use crate::representation::Representation;
+use crate::state::AtomicValues;
+
+/// Options of a pull run.
+#[derive(Clone, Copy, Debug)]
+pub struct PullOptions {
+    /// Safety cap on iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for PullOptions {
+    fn default() -> Self {
+        PullOptions {
+            max_iterations: 100_000,
+        }
+    }
+}
+
+/// Runs `prog` in pull mode over `rep`, which must wrap the **transpose**
+/// of the graph being analyzed (edges lead from a node to its
+/// in-neighbors). Results are indexed by the original node ids, which
+/// transposition preserves.
+///
+/// Pull processing has no frontier to worklist on (a node cannot know
+/// its inputs changed without reading them), so every (virtual) node is
+/// processed each iteration — the paper's pull frameworks behave the
+/// same way.
+///
+/// # Panics
+///
+/// Panics if the program needs a source and none is given, if the source
+/// is out of range, or if `rep` is a physical transformation (pull over
+/// split *out*-edge families mixes up in-edge ownership; use the virtual
+/// overlay instead, as §4.2 prescribes).
+pub fn run_monotone_pull(
+    sim: &GpuSimulator,
+    rep: &Representation<'_>,
+    prog: MonotoneProgram,
+    source: Option<NodeId>,
+    options: &PullOptions,
+) -> MonotoneOutput {
+    assert!(
+        !matches!(rep, Representation::Physical(_)),
+        "pull-based processing over a physically split graph is not meaningful; \
+         Theorem 3 covers the virtual transformation"
+    );
+    let n = rep.num_value_slots();
+    let values = AtomicValues::from_values(prog.initial_values(n, source));
+    let mut report = SimReport::new();
+    let mut converged = false;
+    let graph = rep.graph();
+
+    for _ in 0..options.max_iterations {
+        let changed = AtomicBool::new(false);
+
+        // One gather per (virtual) node: fold in-edge candidates locally,
+        // then a single atomic improvement on the shared slot.
+        let gather = |lane: &mut tigr_sim::Lane,
+                      slot: usize,
+                      edges: &mut dyn Iterator<Item = usize>| {
+            lane.load(value_addr(slot), 4);
+            let mut best = values.load(slot);
+            let mut improved_locally = false;
+            for e in edges {
+                lane.load(edge_addr(e), 8);
+                let src = graph.edge_target(e).index();
+                lane.load(value_addr(src), 4);
+                let cand = prog.edge_op.apply(values.load(src), graph.weight(e));
+                lane.compute(2);
+                if prog.combine.improves(cand, best) {
+                    best = cand;
+                    improved_locally = true;
+                }
+            }
+            if improved_locally && values.try_improve(slot, best, prog.combine) {
+                lane.atomic(value_addr(slot), 4);
+                lane.store(FLAG_ADDR, 1);
+                changed.store(true, Ordering::Relaxed);
+            }
+        };
+
+        let metrics: KernelMetrics = match rep {
+            Representation::Original(g) => sim.launch(g.num_nodes(), |tid, lane| {
+                lane.load(row_ptr_addr(tid), 8);
+                let v = NodeId::from_index(tid);
+                gather(lane, tid, &mut (g.edge_start(v)..g.edge_end(v)));
+            }),
+            Representation::Virtual { overlay, .. } => {
+                sim.launch(overlay.num_virtual_nodes(), |tid, lane| {
+                    lane.load(vnode_addr(tid), 8);
+                    let vn = overlay.vnode(tid);
+                    gather(lane, vn.physical.index(), &mut tigr_core::EdgeCursor::new(&vn));
+                })
+            }
+            Representation::OnTheFly { graph: g, mapper } => {
+                sim.launch(mapper.num_threads(), |tid, lane| {
+                    let ((lo, hi), first, probes) = mapper.resolve(g, tid);
+                    lane.compute(probes as u64 * 2);
+                    // Process the block per owning node so folds stay
+                    // within one slot.
+                    let mut src = first.index();
+                    let mut end = g.edge_end(first);
+                    let mut e = lo;
+                    while e < hi {
+                        while e >= end {
+                            src += 1;
+                            end = g.edge_end(NodeId::from_index(src));
+                            lane.load(row_ptr_addr(src + 1), 4);
+                        }
+                        let stop = hi.min(end);
+                        gather(lane, src, &mut (e..stop));
+                        e = stop;
+                    }
+                })
+            }
+            Representation::Physical(_) => unreachable!("rejected above"),
+        };
+        report.push(rep.full_threads(), metrics);
+
+        if !changed.load(Ordering::Relaxed) {
+            converged = true;
+            break;
+        }
+    }
+
+    MonotoneOutput {
+        values: values.snapshot(),
+        report,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_core::VirtualGraph;
+    use tigr_graph::generators::{rmat, with_uniform_weights, RmatConfig};
+    use tigr_graph::properties::{dijkstra, widest_path};
+    use tigr_graph::reverse::transpose;
+    use tigr_sim::GpuConfig;
+
+    fn fixture() -> (tigr_graph::Csr, tigr_graph::Csr) {
+        let g = with_uniform_weights(&rmat(&RmatConfig::graph500(8, 8), 123), 1, 32, 5);
+        let rev = transpose(&g);
+        (g, rev)
+    }
+
+    #[test]
+    fn pull_sssp_matches_dijkstra() {
+        let (g, rev) = fixture();
+        let src = NodeId::new(0);
+        let expect = dijkstra(&g, src);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let out = run_monotone_pull(
+            &sim,
+            &Representation::Original(&rev),
+            MonotoneProgram::SSSP,
+            Some(src),
+            &PullOptions::default(),
+        );
+        assert!(out.converged);
+        assert_eq!(out.values, expect);
+    }
+
+    #[test]
+    fn pull_over_virtual_overlay_matches_theorem_3() {
+        // The associative-fold case: virtual nodes gather disjoint
+        // in-edge subsets and combine at the physical slot.
+        let (g, rev) = fixture();
+        let src = NodeId::new(0);
+        let expect = dijkstra(&g, src);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        for overlay in [VirtualGraph::new(&rev, 4), VirtualGraph::coalesced(&rev, 4)] {
+            let out = run_monotone_pull(
+                &sim,
+                &Representation::Virtual {
+                    graph: &rev,
+                    overlay: &overlay,
+                },
+                MonotoneProgram::SSSP,
+                Some(src),
+                &PullOptions::default(),
+            );
+            assert_eq!(out.values, expect, "coalesced={}", overlay.is_coalesced());
+        }
+    }
+
+    #[test]
+    fn pull_sswp_matches_oracle() {
+        let (g, rev) = fixture();
+        let src = NodeId::new(2);
+        let expect = widest_path(&g, src);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let out = run_monotone_pull(
+            &sim,
+            &Representation::Original(&rev),
+            MonotoneProgram::SSWP,
+            Some(src),
+            &PullOptions::default(),
+        );
+        assert_eq!(out.values, expect);
+    }
+
+    #[test]
+    fn pull_uses_at_most_one_atomic_per_node_per_iteration() {
+        let (g, rev) = fixture();
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let pull = run_monotone_pull(
+            &sim,
+            &Representation::Original(&rev),
+            MonotoneProgram::SSSP,
+            Some(NodeId::new(0)),
+            &PullOptions::default(),
+        );
+        let total = pull.report.total();
+        let bound = (g.num_nodes() * pull.report.num_iterations()) as u64;
+        assert!(
+            total.atomic_ops <= bound,
+            "{} atomics > {} node-iterations",
+            total.atomic_ops,
+            bound
+        );
+    }
+
+    #[test]
+    fn pull_cc_converges_to_min_labels() {
+        let mut b = tigr_graph::CsrBuilder::new(5);
+        b.symmetric(true);
+        b.edge(0, 1).edge(1, 2).edge(3, 4);
+        let g = b.build();
+        let rev = transpose(&g); // symmetric, so identical topology
+        let sim = GpuSimulator::new(GpuConfig::tiny());
+        let out = run_monotone_pull(
+            &sim,
+            &Representation::Original(&rev),
+            MonotoneProgram::CC,
+            None,
+            &PullOptions::default(),
+        );
+        assert_eq!(out.values, tigr_graph::properties::connected_components(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "pull-based processing over a physically split graph")]
+    fn physical_representation_rejected() {
+        let (g, _) = fixture();
+        let t = tigr_core::udt_transform(&g, 4, tigr_core::DumbWeight::Zero);
+        let sim = GpuSimulator::new(GpuConfig::tiny());
+        let _ = run_monotone_pull(
+            &sim,
+            &Representation::Physical(&t),
+            MonotoneProgram::SSSP,
+            Some(NodeId::new(0)),
+            &PullOptions::default(),
+        );
+    }
+}

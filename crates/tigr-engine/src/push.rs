@@ -1,0 +1,721 @@
+//! Push-based BSP iteration driver (Figure 2, Algorithm 2, Algorithm 3).
+//!
+//! The driver runs a [`MonotoneProgram`] over any [`Representation`] on
+//! the simulated GPU, with the two engine optimizations of §5:
+//!
+//! * **worklist** — only active nodes are processed per iteration;
+//! * **synchronization relaxation** — values written in the current
+//!   iteration are visible immediately ([`SyncMode::Relaxed`], the
+//!   default, matching Algorithm 2's single value array); the strict
+//!   double-buffered alternative ([`SyncMode::Bsp`]) is kept for
+//!   deterministic tests and ablations.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use crossbeam::queue::SegQueue;
+
+use tigr_core::EdgeCursor;
+use tigr_graph::{Csr, NodeId};
+use tigr_sim::{GpuSimulator, KernelMetrics, Lane, SimReport};
+
+use crate::addr::{edge_addr, frontier_addr, row_ptr_addr, value_addr, FLAG_ADDR};
+use crate::program::MonotoneProgram;
+use crate::representation::Representation;
+use crate::state::AtomicValues;
+
+/// Value-visibility discipline across an iteration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Updates are visible within the iteration (single value array +
+    /// atomics — the paper's engine). Converges in fewer iterations.
+    #[default]
+    Relaxed,
+    /// Classic BSP double buffering: reads see only the previous
+    /// iteration's values. Deterministic regardless of schedule.
+    Bsp,
+}
+
+/// Options of a push run.
+#[derive(Clone, Copy, Debug)]
+pub struct PushOptions {
+    /// Track and process only active nodes (§5 "worklist").
+    pub worklist: bool,
+    /// Order each worklist by node degree so warps receive
+    /// similar-sized work items — the frontier-batching that lifts even
+    /// the *untransformed* graph's warp efficiency in the paper's
+    /// Table 8 (original + worklist: 60.53%). Only meaningful with
+    /// `worklist`; irrelevant for virtual representations, whose work
+    /// items are already bounded by `K`.
+    pub sort_frontier_by_degree: bool,
+    /// Visibility discipline.
+    pub sync: SyncMode,
+    /// Safety cap on iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for PushOptions {
+    fn default() -> Self {
+        PushOptions {
+            worklist: true,
+            sort_frontier_by_degree: false,
+            sync: SyncMode::Relaxed,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+/// Result of a monotone push run.
+#[derive(Clone, Debug)]
+pub struct MonotoneOutput {
+    /// Final per-slot values (length = `rep.num_value_slots()`). For
+    /// physical representations, project with
+    /// [`tigr_core::TransformedGraph::project_values`].
+    pub values: Vec<u32>,
+    /// Per-iteration simulator metrics.
+    pub report: SimReport,
+    /// `false` if the run hit `max_iterations` before converging.
+    pub converged: bool,
+}
+
+/// Shared per-iteration state threaded through the kernels.
+struct IterCtx<'a> {
+    graph: &'a Csr,
+    prog: MonotoneProgram,
+    values: &'a AtomicValues,
+    /// Previous-iteration snapshot in BSP mode.
+    prev: Option<&'a [u32]>,
+    changed: &'a AtomicBool,
+    frontier_sink: Option<&'a FrontierSink>,
+}
+
+/// Lock-free next-frontier collector with per-node dedup flags.
+struct FrontierSink {
+    queue: SegQueue<u32>,
+    enqueued: Vec<AtomicU32>,
+}
+
+impl FrontierSink {
+    fn new(n: usize) -> Self {
+        FrontierSink {
+            queue: SegQueue::new(),
+            enqueued: (0..n).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Enqueues `node` unless it is already pending. Returns whether an
+    /// enqueue happened (so the kernel can charge the store).
+    fn push(&self, node: usize) -> bool {
+        if self.enqueued[node].swap(1, Ordering::Relaxed) == 0 {
+            self.queue.push(node as u32);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drains the queue, resetting the dedup flags of drained nodes.
+    fn drain(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        while let Some(v) = self.queue.pop() {
+            self.enqueued[v as usize].store(0, Ordering::Relaxed);
+            out.push(v);
+        }
+        out
+    }
+}
+
+/// The per-edge body shared by every representation: the loop of
+/// Algorithm 2 lines 6–10 (and Algorithm 3 lines 6–11 for strided
+/// cursors), with each memory access mirrored onto the simulator lane.
+#[inline]
+fn process_slot(
+    lane: &mut Lane,
+    ctx: &IterCtx<'_>,
+    slot: usize,
+    edges: impl Iterator<Item = usize>,
+) {
+    // d = distance[nodeId] (Algorithm 2, line 3).
+    lane.load(value_addr(slot), 4);
+    let d = match ctx.prev {
+        Some(p) => p[slot],
+        None => ctx.values.load(slot),
+    };
+    for e in edges {
+        // Load the {nbr, weight} edge entry (line 6-7).
+        lane.load(edge_addr(e), 8);
+        let nbr = ctx.graph.edge_target(e).index();
+        let w = ctx.graph.weight(e);
+        let cand = ctx.prog.edge_op.apply(d, w);
+        // alt computation + comparison (lines 7-8).
+        lane.compute(2);
+        lane.load(value_addr(nbr), 4);
+        let cur = match ctx.prev {
+            Some(p) => p[nbr],
+            None => ctx.values.load(nbr),
+        };
+        if ctx.prog.combine.improves(cand, cur)
+            && ctx.values.try_improve(nbr, cand, ctx.prog.combine)
+        {
+            // atomicMin + finished flag (lines 9-10).
+            lane.atomic(value_addr(nbr), 4);
+            lane.store(FLAG_ADDR, 1);
+            ctx.changed.store(true, Ordering::Relaxed);
+            if let Some(sink) = ctx.frontier_sink {
+                if sink.push(nbr) {
+                    lane.atomic(frontier_addr(nbr), 4);
+                }
+            }
+        }
+    }
+}
+
+/// One full (non-worklist) sweep over all nodes of the representation.
+fn full_sweep(sim: &GpuSimulator, rep: &Representation<'_>, ctx: &IterCtx<'_>) -> KernelMetrics {
+    match rep {
+        Representation::Original(g) => sim.launch(g.num_nodes(), |tid, lane| {
+            lane.load(row_ptr_addr(tid), 8);
+            let v = NodeId::from_index(tid);
+            process_slot(lane, ctx, tid, g.edge_start(v)..g.edge_end(v));
+        }),
+        Representation::Physical(t) => {
+            let g = t.graph();
+            sim.launch(g.num_nodes(), |tid, lane| {
+                lane.load(row_ptr_addr(tid), 8);
+                let v = NodeId::from_index(tid);
+                process_slot(lane, ctx, tid, g.edge_start(v)..g.edge_end(v));
+            })
+        }
+        Representation::Virtual { overlay, .. } => {
+            sim.launch(overlay.num_virtual_nodes(), |tid, lane| {
+                // nodeId = virtualNodes[tid].physicalNodeId (Alg. 2 line 2).
+                lane.load(crate::addr::vnode_addr(tid), 8);
+                let vn = overlay.vnode(tid);
+                process_slot(lane, ctx, vn.physical.index(), EdgeCursor::new(&vn));
+            })
+        }
+        Representation::OnTheFly { graph, mapper } => {
+            sim.launch(mapper.num_threads(), |tid, lane| {
+                otf_block(lane, ctx, graph, mapper, tid);
+            })
+        }
+    }
+}
+
+/// Dynamic-mapping kernel: thread `tid` resolves and processes its edge
+/// block, walking across node boundaries.
+fn otf_block(
+    lane: &mut Lane,
+    ctx: &IterCtx<'_>,
+    graph: &Csr,
+    mapper: &tigr_core::OnTheFlyMapper,
+    tid: usize,
+) {
+    let ((lo, hi), first_src, probes) = mapper.resolve(graph, tid);
+    // Binary-search probes: scattered row_ptr loads plus compare/branch.
+    let n = graph.num_nodes().max(1);
+    for i in 0..probes {
+        let probe = (tid.wrapping_mul(2654435761) ^ (i as usize * 40503)) % n;
+        lane.load(row_ptr_addr(probe), 4);
+        lane.compute(2);
+    }
+
+    let mut src = first_src.index();
+    let mut src_end = graph.edge_end(first_src);
+    lane.load(value_addr(src), 4);
+    let mut d = match ctx.prev {
+        Some(p) => p[src],
+        None => ctx.values.load(src),
+    };
+    for e in lo..hi {
+        while e >= src_end {
+            src += 1;
+            src_end = graph.edge_end(NodeId::from_index(src));
+            lane.load(row_ptr_addr(src + 1), 4);
+        }
+        if e == graph.edge_start(NodeId::from_index(src)) && src != first_src.index() {
+            lane.load(value_addr(src), 4);
+            d = match ctx.prev {
+                Some(p) => p[src],
+                None => ctx.values.load(src),
+            };
+        }
+        lane.load(edge_addr(e), 8);
+        let nbr = ctx.graph.edge_target(e).index();
+        let w = ctx.graph.weight(e);
+        let cand = ctx.prog.edge_op.apply(d, w);
+        lane.compute(2);
+        lane.load(value_addr(nbr), 4);
+        let cur = match ctx.prev {
+            Some(p) => p[nbr],
+            None => ctx.values.load(nbr),
+        };
+        if ctx.prog.combine.improves(cand, cur)
+            && ctx.values.try_improve(nbr, cand, ctx.prog.combine)
+        {
+            lane.atomic(value_addr(nbr), 4);
+            lane.store(FLAG_ADDR, 1);
+            ctx.changed.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One worklist sweep over the active nodes.
+fn worklist_sweep(
+    sim: &GpuSimulator,
+    rep: &Representation<'_>,
+    ctx: &IterCtx<'_>,
+    frontier: &[u32],
+) -> KernelMetrics {
+    match rep {
+        Representation::Original(g) => sim.launch(frontier.len(), |tid, lane| {
+            lane.load(frontier_addr(tid), 4);
+            let v = NodeId::new(frontier[tid]);
+            lane.load(row_ptr_addr(v.index()), 8);
+            process_slot(lane, ctx, v.index(), g.edge_start(v)..g.edge_end(v));
+        }),
+        Representation::Physical(t) => {
+            let g = t.graph();
+            sim.launch(frontier.len(), |tid, lane| {
+                lane.load(frontier_addr(tid), 4);
+                let v = NodeId::new(frontier[tid]);
+                lane.load(row_ptr_addr(v.index()), 8);
+                process_slot(lane, ctx, v.index(), g.edge_start(v)..g.edge_end(v));
+            })
+        }
+        Representation::Virtual { overlay, .. } => {
+            // Expand active physical nodes into their virtual families and
+            // charge the compaction pass that a GPU implementation pays.
+            let mut active: Vec<u32> = Vec::with_capacity(frontier.len());
+            for &p in frontier {
+                for i in overlay.vnode_range(NodeId::new(p)) {
+                    active.push(i as u32);
+                }
+            }
+            let mut metrics = sim.launch(frontier.len(), |tid, lane| {
+                lane.load(frontier_addr(tid), 4);
+                lane.compute(2);
+                lane.store(frontier_addr(tid), 4);
+            });
+            let work = sim.launch(active.len(), |tid, lane| {
+                let vid = active[tid] as usize;
+                lane.load(frontier_addr(tid), 4);
+                lane.load(crate::addr::vnode_addr(vid), 8);
+                let vn = overlay.vnode(vid);
+                process_slot(lane, ctx, vn.physical.index(), EdgeCursor::new(&vn));
+            });
+            metrics.merge(&work);
+            metrics
+        }
+        Representation::OnTheFly { .. } => {
+            // Dynamic mapping has no stored node identity to enqueue on:
+            // fall back to full sweeps (documented limitation).
+            full_sweep(sim, rep, ctx)
+        }
+    }
+}
+
+/// Runs `prog` over `rep` to convergence.
+///
+/// # Panics
+///
+/// Panics if the program needs a source and none is given, or the source
+/// is out of range for the representation's value slots.
+pub fn run_monotone(
+    sim: &GpuSimulator,
+    rep: &Representation<'_>,
+    prog: MonotoneProgram,
+    source: Option<NodeId>,
+    options: &PushOptions,
+) -> MonotoneOutput {
+    let n = rep.num_value_slots();
+    let values = AtomicValues::from_values(prog.initial_values(n, source));
+    let mut report = SimReport::new();
+    let mut converged = false;
+
+    let sink = options.worklist.then(|| FrontierSink::new(n));
+    let mut frontier: Vec<u32> = prog.initial_frontier(n, source);
+    let mut prev_snapshot: Option<Vec<u32>> = match options.sync {
+        SyncMode::Bsp => Some(values.snapshot()),
+        SyncMode::Relaxed => None,
+    };
+
+    for _ in 0..options.max_iterations {
+        if options.worklist && frontier.is_empty() {
+            converged = true;
+            break;
+        }
+        let changed = AtomicBool::new(false);
+        let ctx = IterCtx {
+            graph: rep.graph(),
+            prog,
+            values: &values,
+            prev: prev_snapshot.as_deref(),
+            changed: &changed,
+            frontier_sink: sink.as_ref(),
+        };
+        let threads = if options.worklist {
+            frontier.len()
+        } else {
+            rep.full_threads()
+        };
+        let metrics = if options.worklist {
+            worklist_sweep(sim, rep, &ctx, &frontier)
+        } else {
+            full_sweep(sim, rep, &ctx)
+        };
+        report.push(threads, metrics);
+
+        if let Some(sink) = &sink {
+            frontier = sink.drain();
+            if options.sort_frontier_by_degree {
+                // Batch similar degrees into the same warps; ties broken
+                // by id for determinism.
+                let g = rep.graph();
+                frontier.sort_unstable_by_key(|&v| {
+                    (g.out_degree(NodeId::new(v)), v)
+                });
+            } else {
+                frontier.sort_unstable(); // deterministic schedule order
+            }
+        }
+        if !changed.load(Ordering::Relaxed) {
+            converged = true;
+            break;
+        }
+        if let Some(prev) = &mut prev_snapshot {
+            *prev = values.snapshot();
+        }
+    }
+
+    MonotoneOutput {
+        values: values.snapshot(),
+        report,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_core::{udt_transform, DumbWeight, OnTheFlyMapper, VirtualGraph};
+    use tigr_graph::generators::{barabasi_albert, with_uniform_weights, BarabasiAlbertConfig};
+    use tigr_graph::properties::dijkstra;
+    use tigr_sim::GpuConfig;
+
+    fn fixture() -> Csr {
+        let g = barabasi_albert(
+            &BarabasiAlbertConfig {
+                num_nodes: 300,
+                edges_per_node: 3,
+                symmetric: true,
+            },
+            9,
+        );
+        with_uniform_weights(&g, 1, 32, 2)
+    }
+
+    fn sim() -> GpuSimulator {
+        GpuSimulator::new(GpuConfig::default())
+    }
+
+    fn opts(worklist: bool, sync: SyncMode) -> PushOptions {
+        PushOptions {
+            worklist,
+            sort_frontier_by_degree: false,
+            sync,
+            max_iterations: 10_000,
+        }
+    }
+
+    #[test]
+    fn sssp_on_original_matches_dijkstra_all_modes() {
+        let g = fixture();
+        let expect = dijkstra(&g, NodeId::new(0));
+        for worklist in [false, true] {
+            for sync in [SyncMode::Relaxed, SyncMode::Bsp] {
+                let out = run_monotone(
+                    &sim(),
+                    &Representation::Original(&g),
+                    MonotoneProgram::SSSP,
+                    Some(NodeId::new(0)),
+                    &opts(worklist, sync),
+                );
+                assert!(out.converged);
+                assert_eq!(out.values, expect, "worklist={worklist} sync={sync:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_on_virtual_matches_dijkstra() {
+        let g = fixture();
+        let expect = dijkstra(&g, NodeId::new(0));
+        for overlay in [VirtualGraph::new(&g, 4), VirtualGraph::coalesced(&g, 4)] {
+            for worklist in [false, true] {
+                let out = run_monotone(
+                    &sim(),
+                    &Representation::Virtual {
+                        graph: &g,
+                        overlay: &overlay,
+                    },
+                    MonotoneProgram::SSSP,
+                    Some(NodeId::new(0)),
+                    &opts(worklist, SyncMode::Relaxed),
+                );
+                assert!(out.converged);
+                assert_eq!(out.values, expect, "coalesced={}", overlay.is_coalesced());
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_on_physical_udt_matches_dijkstra() {
+        let g = fixture();
+        let expect = dijkstra(&g, NodeId::new(0));
+        let t = udt_transform(&g, 4, DumbWeight::Zero);
+        assert!(t.num_split_nodes() > 0);
+        let out = run_monotone(
+            &sim(),
+            &Representation::Physical(&t),
+            MonotoneProgram::SSSP,
+            Some(NodeId::new(0)),
+            &opts(true, SyncMode::Relaxed),
+        );
+        assert!(out.converged);
+        assert_eq!(t.project_values(&out.values), expect);
+    }
+
+    #[test]
+    fn sssp_on_the_fly_matches_dijkstra() {
+        let g = fixture();
+        let expect = dijkstra(&g, NodeId::new(0));
+        let out = run_monotone(
+            &sim(),
+            &Representation::OnTheFly {
+                graph: &g,
+                mapper: OnTheFlyMapper::new(&g, 4),
+            },
+            MonotoneProgram::SSSP,
+            Some(NodeId::new(0)),
+            &opts(false, SyncMode::Relaxed),
+        );
+        assert!(out.converged);
+        assert_eq!(out.values, expect);
+    }
+
+    #[test]
+    fn physical_needs_more_iterations_than_virtual() {
+        // Table 8's core observation: physical splitting increases hop
+        // distances -> more iterations; virtual does not.
+        let g = fixture();
+        let t = udt_transform(&g, 3, DumbWeight::Zero);
+        assert!(t.num_split_nodes() > 0);
+        let overlay = VirtualGraph::new(&g, 3);
+        let o = opts(false, SyncMode::Bsp);
+        let run = |rep: &Representation<'_>| {
+            run_monotone(&sim(), rep, MonotoneProgram::SSSP, Some(NodeId::new(0)), &o)
+                .report
+                .num_iterations()
+        };
+        let orig_iters = run(&Representation::Original(&g));
+        let phys_iters = run(&Representation::Physical(&t));
+        let virt_iters = run(&Representation::Virtual {
+            graph: &g,
+            overlay: &overlay,
+        });
+        assert!(
+            phys_iters > orig_iters,
+            "physical {phys_iters} vs original {orig_iters}"
+        );
+        assert_eq!(virt_iters, orig_iters, "implicit sync: no extra iterations");
+    }
+
+    #[test]
+    fn virtual_raises_warp_efficiency() {
+        let g = fixture();
+        let overlay = VirtualGraph::new(&g, 4);
+        let o = opts(false, SyncMode::Bsp);
+        let orig = run_monotone(
+            &sim(),
+            &Representation::Original(&g),
+            MonotoneProgram::SSSP,
+            Some(NodeId::new(0)),
+            &o,
+        );
+        let virt = run_monotone(
+            &sim(),
+            &Representation::Virtual {
+                graph: &g,
+                overlay: &overlay,
+            },
+            MonotoneProgram::SSSP,
+            Some(NodeId::new(0)),
+            &o,
+        );
+        assert!(
+            virt.report.warp_efficiency() > orig.report.warp_efficiency(),
+            "virtual {} should beat original {}",
+            virt.report.warp_efficiency(),
+            orig.report.warp_efficiency()
+        );
+    }
+
+    #[test]
+    fn worklist_cuts_instructions() {
+        let g = fixture();
+        let o_full = opts(false, SyncMode::Relaxed);
+        let o_wl = opts(true, SyncMode::Relaxed);
+        let full = run_monotone(
+            &sim(),
+            &Representation::Original(&g),
+            MonotoneProgram::SSSP,
+            Some(NodeId::new(0)),
+            &o_full,
+        );
+        let wl = run_monotone(
+            &sim(),
+            &Representation::Original(&g),
+            MonotoneProgram::SSSP,
+            Some(NodeId::new(0)),
+            &o_wl,
+        );
+        assert!(
+            wl.report.total().instructions < full.report.total().instructions,
+            "worklist {} vs full {}",
+            wl.report.total().instructions,
+            full.report.total().instructions
+        );
+    }
+
+    #[test]
+    fn cc_labels_match_components() {
+        let g = fixture(); // symmetric -> weak components meaningful
+        let expect = tigr_graph::properties::connected_components(&g);
+        let out = run_monotone(
+            &sim(),
+            &Representation::Original(&g),
+            MonotoneProgram::CC,
+            None,
+            &opts(true, SyncMode::Relaxed),
+        );
+        assert_eq!(out.values, expect);
+    }
+
+    #[test]
+    fn sswp_matches_oracle_on_virtual() {
+        let g = fixture();
+        let expect = tigr_graph::properties::widest_path(&g, NodeId::new(0));
+        let overlay = VirtualGraph::coalesced(&g, 4);
+        let out = run_monotone(
+            &sim(),
+            &Representation::Virtual {
+                graph: &g,
+                overlay: &overlay,
+            },
+            MonotoneProgram::SSWP,
+            Some(NodeId::new(0)),
+            &opts(true, SyncMode::Relaxed),
+        );
+        assert_eq!(out.values, expect);
+    }
+
+    #[test]
+    fn bfs_levels_match_oracle() {
+        let g = fixture();
+        let expect: Vec<u32> = tigr_graph::properties::bfs_levels(&g, NodeId::new(5))
+            .into_iter()
+            .map(|l| if l == usize::MAX { u32::MAX } else { l as u32 })
+            .collect();
+        // BFS ignores weights: run on the unweighted topology.
+        let unweighted = g.without_weights();
+        let out = run_monotone(
+            &sim(),
+            &Representation::Original(&unweighted),
+            MonotoneProgram::BFS,
+            Some(NodeId::new(5)),
+            &opts(true, SyncMode::Relaxed),
+        );
+        assert_eq!(out.values, expect);
+    }
+
+    #[test]
+    fn degree_sorted_frontier_raises_baseline_efficiency() {
+        // The Table 8 effect on the *untransformed* graph: batching
+        // similar degrees into warps lifts efficiency without any
+        // transformation.
+        let g = fixture();
+        let src = NodeId::new(0);
+        let run = |sort: bool| {
+            run_monotone(
+                &sim(),
+                &Representation::Original(&g),
+                MonotoneProgram::SSSP,
+                Some(src),
+                &PushOptions {
+                    worklist: true,
+                    sort_frontier_by_degree: sort,
+                    sync: SyncMode::Bsp,
+                    max_iterations: 10_000,
+                },
+            )
+        };
+        let plain = run(false);
+        let sorted = run(true);
+        assert_eq!(plain.values, sorted.values);
+        assert!(
+            sorted.report.warp_efficiency() > plain.report.warp_efficiency(),
+            "sorted {} vs plain {}",
+            sorted.report.warp_efficiency(),
+            plain.report.warp_efficiency()
+        );
+    }
+
+    #[test]
+    fn max_iterations_caps_run() {
+        let g = fixture();
+        let out = run_monotone(
+            &sim(),
+            &Representation::Original(&g),
+            MonotoneProgram::SSSP,
+            Some(NodeId::new(0)),
+            &PushOptions {
+                worklist: false,
+                sort_frontier_by_degree: false,
+                sync: SyncMode::Bsp,
+                max_iterations: 1,
+            },
+        );
+        assert!(!out.converged);
+        assert_eq!(out.report.num_iterations(), 1);
+    }
+
+    #[test]
+    fn coalesced_overlay_reduces_memory_transactions() {
+        // The §4.4 effect: same work, fewer transactions per iteration.
+        let g = tigr_graph::generators::star_graph(20_001); // one huge hub
+        let plain = VirtualGraph::new(&g, 10);
+        let coal = VirtualGraph::coalesced(&g, 10);
+        let o = opts(false, SyncMode::Bsp);
+        let run = |ov: &VirtualGraph| {
+            run_monotone(
+                &sim(),
+                &Representation::Virtual {
+                    graph: &g,
+                    overlay: ov,
+                },
+                MonotoneProgram::BFS,
+                Some(NodeId::new(0)),
+                &o,
+            )
+            .report
+            .total()
+            .mem_transactions
+        };
+        let plain_tx = run(&plain);
+        let coal_tx = run(&coal);
+        assert!(
+            coal_tx < plain_tx,
+            "coalesced {coal_tx} should be below strided {plain_tx}"
+        );
+    }
+}

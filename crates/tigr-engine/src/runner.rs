@@ -1,0 +1,267 @@
+//! The engine facade: configuration, device-memory checks, and one-call
+//! runs of each analytic.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use tigr_graph::NodeId;
+use tigr_sim::{DeviceMemory, GpuConfig, GpuSimulator, OutOfMemory};
+
+use crate::algorithms::{bc, pr};
+use crate::program::MonotoneProgram;
+use crate::push::{run_monotone, MonotoneOutput, PushOptions};
+use crate::representation::Representation;
+
+/// Errors an engine run can produce.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The representation does not fit the configured device memory —
+    /// the `OOM` entries of Table 4.
+    OutOfMemory(OutOfMemory),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::OutOfMemory(e) => write!(f, "device {e}"),
+        }
+    }
+}
+
+impl StdError for EngineError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            EngineError::OutOfMemory(e) => Some(e),
+        }
+    }
+}
+
+/// The Tigr GPU graph-processing engine over the simulator.
+///
+/// # Example
+///
+/// ```
+/// use tigr_engine::{Engine, Representation};
+/// use tigr_graph::{CsrBuilder, NodeId};
+///
+/// let g = CsrBuilder::new(3).weighted_edge(0, 1, 2).weighted_edge(1, 2, 2).build();
+/// let engine = Engine::default();
+/// let out = engine.sssp(&Representation::Original(&g), NodeId::new(0))?;
+/// assert_eq!(out.values, vec![0, 2, 4]);
+/// # Ok::<(), tigr_engine::EngineError>(())
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    sim: GpuSimulator,
+    options: PushOptions,
+    device_memory: Option<u64>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(GpuConfig::default())
+    }
+}
+
+impl Engine {
+    /// Creates an engine over a sequential (deterministic) simulator.
+    pub fn new(config: GpuConfig) -> Self {
+        Engine {
+            sim: GpuSimulator::new(config),
+            options: PushOptions::default(),
+            device_memory: None,
+        }
+    }
+
+    /// Creates an engine whose simulator replays warps on all host cores
+    /// (identical metrics, faster wall clock).
+    pub fn parallel(config: GpuConfig) -> Self {
+        Engine {
+            sim: GpuSimulator::new_parallel(config),
+            options: PushOptions::default(),
+            device_memory: None,
+        }
+    }
+
+    /// Overrides the push options (worklist, sync mode, iteration cap).
+    pub fn with_options(mut self, options: PushOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Enforces a device-memory budget in bytes; representations whose
+    /// footprint exceeds it fail with [`EngineError::OutOfMemory`].
+    pub fn with_device_memory(mut self, bytes: u64) -> Self {
+        self.device_memory = Some(bytes);
+        self
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &GpuSimulator {
+        &self.sim
+    }
+
+    /// The engine's push options.
+    pub fn options(&self) -> &PushOptions {
+        &self.options
+    }
+
+    /// Checks `rep` against the configured device budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::OutOfMemory`] when it does not fit.
+    pub fn check_footprint(&self, rep: &Representation<'_>) -> Result<(), EngineError> {
+        if let Some(capacity) = self.device_memory {
+            let mut mem = DeviceMemory::new(capacity);
+            mem.alloc(rep.device_footprint_bytes())
+                .map_err(EngineError::OutOfMemory)?;
+        }
+        Ok(())
+    }
+
+    /// Runs an arbitrary monotone program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::OutOfMemory`] if the representation exceeds
+    /// the device budget.
+    pub fn run(
+        &self,
+        rep: &Representation<'_>,
+        prog: MonotoneProgram,
+        source: Option<NodeId>,
+    ) -> Result<MonotoneOutput, EngineError> {
+        self.check_footprint(rep)?;
+        Ok(run_monotone(&self.sim, rep, prog, source, &self.options))
+    }
+
+    /// Single-source shortest paths.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run`].
+    pub fn sssp(
+        &self,
+        rep: &Representation<'_>,
+        source: NodeId,
+    ) -> Result<MonotoneOutput, EngineError> {
+        self.run(rep, MonotoneProgram::SSSP, Some(source))
+    }
+
+    /// Breadth-first search.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run`].
+    pub fn bfs(
+        &self,
+        rep: &Representation<'_>,
+        source: NodeId,
+    ) -> Result<MonotoneOutput, EngineError> {
+        self.run(rep, MonotoneProgram::BFS, Some(source))
+    }
+
+    /// Single-source widest path.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run`].
+    pub fn sswp(
+        &self,
+        rep: &Representation<'_>,
+        source: NodeId,
+    ) -> Result<MonotoneOutput, EngineError> {
+        self.run(rep, MonotoneProgram::SSWP, Some(source))
+    }
+
+    /// Connected components.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run`].
+    pub fn cc(&self, rep: &Representation<'_>) -> Result<MonotoneOutput, EngineError> {
+        self.run(rep, MonotoneProgram::CC, None)
+    }
+
+    /// PageRank (see [`crate::algorithms::pr::run`] for the contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::OutOfMemory`] if the representation exceeds
+    /// the device budget.
+    pub fn pagerank(
+        &self,
+        rep: &Representation<'_>,
+        out_degrees: &[u32],
+        options: &pr::PrOptions,
+    ) -> Result<pr::PrOutput, EngineError> {
+        self.check_footprint(rep)?;
+        Ok(pr::run(&self.sim, rep, out_degrees, options))
+    }
+
+    /// Single-source betweenness centrality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::OutOfMemory`] if the representation exceeds
+    /// the device budget.
+    pub fn betweenness(
+        &self,
+        rep: &Representation<'_>,
+        source: NodeId,
+    ) -> Result<bc::BcOutput, EngineError> {
+        self.check_footprint(rep)?;
+        Ok(bc::run(&self.sim, rep, source))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_core::VirtualGraph;
+    use tigr_graph::generators::star_graph;
+
+    #[test]
+    fn facade_runs_sssp() {
+        let g = star_graph(10);
+        let engine = Engine::new(GpuConfig::tiny());
+        let out = engine.sssp(&Representation::Original(&g), NodeId::new(0)).unwrap();
+        assert_eq!(out.values[1], 1);
+    }
+
+    #[test]
+    fn oom_when_budget_too_small() {
+        let g = star_graph(1000);
+        let engine = Engine::new(GpuConfig::tiny()).with_device_memory(64);
+        let err = engine
+            .sssp(&Representation::Original(&g), NodeId::new(0))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::OutOfMemory(_)));
+        assert!(err.to_string().contains("out of device memory"));
+    }
+
+    #[test]
+    fn budget_large_enough_passes() {
+        let g = star_graph(100);
+        let ov = VirtualGraph::new(&g, 10);
+        let engine = Engine::new(GpuConfig::tiny()).with_device_memory(1 << 20);
+        let rep = Representation::Virtual {
+            graph: &g,
+            overlay: &ov,
+        };
+        assert!(engine.check_footprint(&rep).is_ok());
+        assert!(engine.bfs(&rep, NodeId::new(0)).is_ok());
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_results() {
+        let g = tigr_graph::generators::grid_2d(8, 8);
+        let seq = Engine::new(GpuConfig::default());
+        let par = Engine::parallel(GpuConfig::default());
+        let a = seq.bfs(&Representation::Original(&g), NodeId::new(0)).unwrap();
+        let b = par.bfs(&Representation::Original(&g), NodeId::new(0)).unwrap();
+        assert_eq!(a.values, b.values);
+    }
+}

@@ -1,0 +1,399 @@
+//! Immutable compressed-sparse-row graph storage.
+
+use std::fmt;
+
+use crate::edge::{Edge, NodeId, Weight};
+
+/// An immutable directed graph in compressed-sparse-row (CSR) form.
+///
+/// This is the physical representation the paper's engine and the Tigr
+/// transformations operate on (Figure 10a): a `row_ptr` array of length
+/// `n + 1` indexing into a flat `col_idx` edge array, plus an optional
+/// parallel `weights` array.
+///
+/// A `Csr` is deliberately immutable: the engine, the transformations, and
+/// the simulator can all share it freely across threads. Use
+/// [`CsrBuilder`](crate::CsrBuilder) to construct one.
+///
+/// # Example
+///
+/// ```
+/// use tigr_graph::{CsrBuilder, NodeId};
+///
+/// let g = CsrBuilder::new(3)
+///     .weighted_edge(0, 1, 4)
+///     .weighted_edge(0, 2, 7)
+///     .weighted_edge(1, 2, 1)
+///     .build();
+///
+/// let v0 = NodeId::new(0);
+/// assert_eq!(g.out_degree(v0), 2);
+/// let nbrs: Vec<_> = g.neighbors(v0).iter().map(|n| n.raw()).collect();
+/// assert_eq!(nbrs, vec![1, 2]);
+/// assert_eq!(g.weight(0), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Csr {
+    row_ptr: Vec<usize>,
+    col_idx: Vec<NodeId>,
+    weights: Option<Vec<Weight>>,
+}
+
+impl Csr {
+    /// Assembles a CSR directly from its component arrays.
+    ///
+    /// Most callers should use [`CsrBuilder`](crate::CsrBuilder) instead;
+    /// this constructor exists for loaders and transformations that already
+    /// produce CSR-shaped data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are inconsistent: `row_ptr` must be non-empty,
+    /// non-decreasing, start at `0`, and end at `col_idx.len()`; `weights`,
+    /// when present, must parallel `col_idx`.
+    pub fn from_parts(
+        row_ptr: Vec<usize>,
+        col_idx: Vec<NodeId>,
+        weights: Option<Vec<Weight>>,
+    ) -> Self {
+        assert!(!row_ptr.is_empty(), "row_ptr must have at least one entry");
+        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            col_idx.len(),
+            "row_ptr must end at the edge count"
+        );
+        assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr must be non-decreasing"
+        );
+        if let Some(w) = &weights {
+            assert_eq!(w.len(), col_idx.len(), "weights must parallel col_idx");
+        }
+        let n = row_ptr.len() - 1;
+        assert!(
+            col_idx.iter().all(|c| c.index() < n),
+            "col_idx entries must be < num_nodes"
+        );
+        Csr {
+            row_ptr,
+            col_idx,
+            weights,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// `true` if the graph carries an explicit weight array.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Outgoing degree of `v` — the quantity Definition 1 bounds with `K`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Start index of `v`'s edges in the flat edge array.
+    pub fn edge_start(&self, v: NodeId) -> usize {
+        self.row_ptr[v.index()]
+    }
+
+    /// One-past-the-end index of `v`'s edges in the flat edge array.
+    pub fn edge_end(&self, v: NodeId) -> usize {
+        self.row_ptr[v.index() + 1]
+    }
+
+    /// Out-neighbors of `v` as a contiguous slice.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.col_idx[self.edge_start(v)..self.edge_end(v)]
+    }
+
+    /// Weights parallel to [`Self::neighbors`], if the graph is weighted.
+    pub fn neighbor_weights(&self, v: NodeId) -> Option<&[Weight]> {
+        self.weights
+            .as_ref()
+            .map(|w| &w[self.edge_start(v)..self.edge_end(v)])
+    }
+
+    /// Destination of the edge at flat index `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= num_edges()`.
+    pub fn edge_target(&self, e: usize) -> NodeId {
+        self.col_idx[e]
+    }
+
+    /// Weight of the edge at flat index `e` (`1` when unweighted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= num_edges()` for weighted graphs.
+    pub fn weight(&self, e: usize) -> Weight {
+        match &self.weights {
+            Some(w) => w[e],
+            None => 1,
+        }
+    }
+
+    /// The raw `row_ptr` array (length `num_nodes() + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The raw flat edge-target array (length `num_edges()`).
+    pub fn col_idx(&self) -> &[NodeId] {
+        &self.col_idx
+    }
+
+    /// The raw flat weight array, if present.
+    pub fn weights(&self) -> Option<&[Weight]> {
+        self.weights.as_deref()
+    }
+
+    /// Iterator over all node identifiers, `0..num_nodes()`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId::new)
+    }
+
+    /// Iterator over all edges in flat order.
+    pub fn edges(&self) -> Edges<'_> {
+        Edges {
+            csr: self,
+            node: 0,
+            idx: 0,
+        }
+    }
+
+    /// Maximum outgoing degree, `d_max` in Table 3. `0` for empty graphs.
+    pub fn max_out_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|i| self.row_ptr[i + 1] - self.row_ptr[i])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average outgoing degree.
+    pub fn avg_out_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Size of the graph in bytes under the paper's CSR accounting
+    /// (Tables 5 and 6): `(n + 1)` row-pointer entries plus one edge entry
+    /// per edge, each 4 bytes, plus 4 bytes per weight when present.
+    pub fn csr_size_bytes(&self) -> usize {
+        let ptr = (self.num_nodes() + 1) * 4;
+        let edges = self.num_edges() * 4;
+        let weights = if self.is_weighted() {
+            self.num_edges() * 4
+        } else {
+            0
+        };
+        ptr + edges + weights
+    }
+
+    /// Returns a copy of this graph with every weight replaced by values
+    /// drawn from `f(edge_index)`. Used to attach synthetic weights.
+    pub fn with_weights_from(&self, mut f: impl FnMut(usize) -> Weight) -> Csr {
+        let weights = (0..self.num_edges()).map(|e| f(e)).collect();
+        Csr {
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            weights: Some(weights),
+        }
+    }
+
+    /// Returns the same topology with the weight array removed.
+    pub fn without_weights(&self) -> Csr {
+        Csr {
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            weights: None,
+        }
+    }
+}
+
+impl fmt::Debug for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Csr")
+            .field("num_nodes", &self.num_nodes())
+            .field("num_edges", &self.num_edges())
+            .field("weighted", &self.is_weighted())
+            .finish()
+    }
+}
+
+/// Iterator over every edge of a [`Csr`] in flat (row-major) order.
+///
+/// Produced by [`Csr::edges`].
+#[derive(Debug)]
+pub struct Edges<'a> {
+    csr: &'a Csr,
+    node: usize,
+    idx: usize,
+}
+
+impl Iterator for Edges<'_> {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        if self.idx >= self.csr.num_edges() {
+            return None;
+        }
+        // Advance `node` until the current flat index falls in its range.
+        while self.csr.row_ptr[self.node + 1] <= self.idx {
+            self.node += 1;
+        }
+        let e = Edge::new(
+            NodeId::from_index(self.node),
+            self.csr.col_idx[self.idx],
+            self.csr.weight(self.idx),
+        );
+        self.idx += 1;
+        Some(e)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.csr.num_edges() - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Edges<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrBuilder;
+
+    fn sample() -> Csr {
+        CsrBuilder::new(4)
+            .weighted_edge(0, 1, 10)
+            .weighted_edge(0, 2, 20)
+            .weighted_edge(1, 3, 30)
+            .weighted_edge(3, 0, 40)
+            .build()
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = sample();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.is_weighted());
+        assert_eq!(g.out_degree(NodeId::new(0)), 2);
+        assert_eq!(g.out_degree(NodeId::new(2)), 0);
+        assert_eq!(g.max_out_degree(), 2);
+        assert!((g.avg_out_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbor_slices_and_weights_parallel() {
+        let g = sample();
+        let v0 = NodeId::new(0);
+        assert_eq!(g.neighbors(v0), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(g.neighbor_weights(v0).unwrap(), &[10, 20]);
+        assert_eq!(g.neighbors(NodeId::new(2)), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn flat_edge_access() {
+        let g = sample();
+        assert_eq!(g.edge_target(2), NodeId::new(3));
+        assert_eq!(g.weight(2), 30);
+        assert_eq!(g.edge_start(NodeId::new(1)), 2);
+        assert_eq!(g.edge_end(NodeId::new(1)), 3);
+    }
+
+    #[test]
+    fn edges_iterator_covers_all_in_order() {
+        let g = sample();
+        let edges: Vec<Edge> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[0], Edge::new(NodeId::new(0), NodeId::new(1), 10));
+        assert_eq!(edges[3], Edge::new(NodeId::new(3), NodeId::new(0), 40));
+        assert_eq!(g.edges().len(), 4);
+    }
+
+    #[test]
+    fn edges_iterator_skips_isolated_nodes() {
+        let g = CsrBuilder::new(5).edge(0, 4).edge(4, 0).build();
+        let edges: Vec<Edge> = g.edges().collect();
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[1].src, NodeId::new(4));
+    }
+
+    #[test]
+    fn unweighted_weight_defaults_to_one() {
+        let g = CsrBuilder::new(2).edge(0, 1).build();
+        assert!(!g.is_weighted());
+        assert_eq!(g.weight(0), 1);
+    }
+
+    #[test]
+    fn csr_size_accounting() {
+        let g = sample();
+        // (4+1)*4 row ptr + 4*4 edges + 4*4 weights
+        assert_eq!(g.csr_size_bytes(), 20 + 16 + 16);
+        assert_eq!(g.without_weights().csr_size_bytes(), 20 + 16);
+    }
+
+    #[test]
+    fn with_weights_from_replaces_weights() {
+        let g = sample().with_weights_from(|e| (e as u32 + 1) * 100);
+        assert_eq!(g.weight(0), 100);
+        assert_eq!(g.weight(3), 400);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_out_degree(), 0);
+        assert_eq!(g.avg_out_degree(), 0.0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr must end at the edge count")]
+    fn from_parts_rejects_inconsistent_row_ptr() {
+        let _ = Csr::from_parts(vec![0, 5], vec![NodeId::new(0)], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "col_idx entries must be < num_nodes")]
+    fn from_parts_rejects_out_of_range_targets() {
+        let _ = Csr::from_parts(vec![0, 1], vec![NodeId::new(3)], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must parallel col_idx")]
+    fn from_parts_rejects_mismatched_weights() {
+        let _ = Csr::from_parts(vec![0, 1], vec![NodeId::new(0)], Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn csr_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Csr>();
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for graph construction and I/O.
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::io;
+
+/// Errors produced while building, loading, or saving graphs.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// A text file could not be parsed.
+    Parse {
+        /// 1-based line number at which parsing failed.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An edge referenced a node outside the declared node range.
+    NodeOutOfRange {
+        /// The offending node identifier.
+        node: u64,
+        /// The number of nodes the graph was declared with.
+        num_nodes: usize,
+    },
+    /// A binary container had a malformed or unsupported header.
+    InvalidFormat(String),
+    /// The operation requires a non-empty graph.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::InvalidFormat(msg) => write!(f, "invalid format: {msg}"),
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl StdError for GraphError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<GraphError> = vec![
+            GraphError::Io(io::Error::new(io::ErrorKind::NotFound, "missing")),
+            GraphError::Parse {
+                line: 3,
+                message: "bad token".into(),
+            },
+            GraphError::NodeOutOfRange {
+                node: 10,
+                num_nodes: 5,
+            },
+            GraphError::InvalidFormat("bad magic".into()),
+            GraphError::EmptyGraph,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+            assert!(!s.ends_with('.'), "{s}");
+        }
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let e = GraphError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,147 @@
+//! Deterministic regular and structured graphs.
+//!
+//! These shapes are used as fixtures by tests (stars are the worst-case
+//! input for SIMD load balance) and as low-irregularity contrast workloads
+//! (lattices and grids model road networks).
+
+use crate::builder::CsrBuilder;
+use crate::csr::Csr;
+
+/// A directed star: node 0 points at nodes `1..n` — the canonical
+/// high-degree node that split transformations (Figure 4) decompose.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star_graph(n: usize) -> Csr {
+    assert!(n > 0, "star graph needs at least the hub node");
+    let mut b = CsrBuilder::new(n);
+    for i in 1..n as u32 {
+        b.edge(0, i);
+    }
+    b.build()
+}
+
+/// A ring lattice: every node connects to its `k` clockwise successors.
+/// Perfectly regular — every node has out-degree exactly `k` (when
+/// `k < n`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ring_lattice(n: usize, k: usize) -> Csr {
+    assert!(n > 0, "ring lattice needs at least one node");
+    let mut b = CsrBuilder::new(n);
+    for v in 0..n as u32 {
+        for j in 1..=k.min(n - 1) as u32 {
+            b.edge(v, (v + j) % n as u32);
+        }
+    }
+    b.build()
+}
+
+/// A complete directed graph on `n` nodes (no self loops).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete_graph(n: usize) -> Csr {
+    assert!(n > 0, "complete graph needs at least one node");
+    let mut b = CsrBuilder::new(n).with_edge_capacity(n * (n - 1));
+    for v in 0..n as u32 {
+        for u in 0..n as u32 {
+            if v != u {
+                b.edge(v, u);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A 4-connected `rows × cols` grid with bidirectional edges — a stand-in
+/// for road networks: high diameter, bounded degree, no hubs.
+///
+/// Node `(r, c)` has index `r * cols + c`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid_2d(rows: usize, cols: usize) -> Csr {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = CsrBuilder::new(rows * cols);
+    b.symmetric(true);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_stats;
+    use crate::NodeId;
+
+    #[test]
+    fn star_shape() {
+        let g = star_graph(6);
+        assert_eq!(g.out_degree(NodeId::new(0)), 5);
+        for i in 1..6u32 {
+            assert_eq!(g.out_degree(NodeId::new(i)), 0);
+        }
+    }
+
+    #[test]
+    fn star_of_one_is_a_lone_node() {
+        let g = star_graph(1);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn ring_lattice_is_regular() {
+        let g = ring_lattice(10, 3);
+        let s = degree_stats(&g);
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.coefficient_of_variation, 0.0);
+        assert_eq!(g.num_edges(), 30);
+    }
+
+    #[test]
+    fn ring_lattice_caps_k_at_n_minus_one() {
+        let g = ring_lattice(4, 10);
+        assert_eq!(g.max_out_degree(), 3);
+    }
+
+    #[test]
+    fn complete_graph_edges() {
+        let g = complete_graph(5);
+        assert_eq!(g.num_edges(), 20);
+        assert_eq!(g.max_out_degree(), 4);
+    }
+
+    #[test]
+    fn grid_shape_and_degrees() {
+        let g = grid_2d(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        // 3*3 horizontal + 2*4 vertical undirected edges, doubled.
+        assert_eq!(g.num_edges(), 2 * (3 * 3 + 2 * 4));
+        // Corner has degree 2; interior node degree 4.
+        assert_eq!(g.out_degree(NodeId::new(0)), 2);
+        assert_eq!(g.out_degree(NodeId::new(5)), 4);
+    }
+
+    #[test]
+    fn grid_diameter_is_manhattan() {
+        let g = grid_2d(4, 4);
+        assert_eq!(crate::stats::eccentricity(&g, NodeId::new(0)), 6);
+    }
+}

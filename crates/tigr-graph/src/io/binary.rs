@@ -1,0 +1,264 @@
+//! Binary CSR container (`TIGRCSR1`).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [0..8)   magic  b"TIGRCSR1"
+//! [8..9)   flags  bit 0: weighted
+//! [9..17)  num_nodes  (u64)
+//! [17..25) num_edges  (u64)
+//! then     (num_nodes + 1) x u64  row_ptr
+//! then     num_edges x u32        col_idx
+//! then     num_edges x u32        weights (iff weighted)
+//! ```
+//!
+//! Used to cache generated or transformed graphs between benchmark runs;
+//! loading is an order of magnitude faster than re-parsing text.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut};
+
+use crate::csr::Csr;
+use crate::edge::NodeId;
+use crate::error::GraphError;
+use crate::Result;
+
+const MAGIC: &[u8; 8] = b"TIGRCSR1";
+const FLAG_WEIGHTED: u8 = 1;
+
+/// Serializes `g` into the `TIGRCSR1` binary format.
+///
+/// A mut reference to a writer can be passed (`&mut w`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failure.
+pub fn write_binary<W: Write>(g: &Csr, writer: W) -> Result<()> {
+    let mut out = BufWriter::new(writer);
+    let mut header = Vec::with_capacity(25);
+    header.put_slice(MAGIC);
+    header.put_u8(if g.is_weighted() { FLAG_WEIGHTED } else { 0 });
+    header.put_u64_le(g.num_nodes() as u64);
+    header.put_u64_le(g.num_edges() as u64);
+    out.write_all(&header)?;
+
+    let mut buf = Vec::with_capacity(8 * 1024);
+    for &p in g.row_ptr() {
+        buf.put_u64_le(p as u64);
+        flush_if_full(&mut out, &mut buf)?;
+    }
+    for &c in g.col_idx() {
+        buf.put_u32_le(c.raw());
+        flush_if_full(&mut out, &mut buf)?;
+    }
+    if let Some(w) = g.weights() {
+        for &x in w {
+            buf.put_u32_le(x);
+            flush_if_full(&mut out, &mut buf)?;
+        }
+    }
+    out.write_all(&buf)?;
+    out.flush()?;
+    Ok(())
+}
+
+fn flush_if_full<W: Write>(out: &mut BufWriter<W>, buf: &mut Vec<u8>) -> Result<()> {
+    if buf.len() >= 8 * 1024 {
+        out.write_all(buf)?;
+        buf.clear();
+    }
+    Ok(())
+}
+
+/// Deserializes a graph from the `TIGRCSR1` binary format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidFormat`] for bad magic, truncated
+/// payloads, or inconsistent arrays, and [`GraphError::Io`] on read
+/// failure.
+pub fn read_binary<R: Read>(reader: R) -> Result<Csr> {
+    let mut input = BufReader::new(reader);
+    let mut bytes = Vec::new();
+    input.read_to_end(&mut bytes)?;
+    let mut cur = bytes.as_slice();
+
+    if cur.len() < 25 {
+        return Err(GraphError::InvalidFormat("truncated header".into()));
+    }
+    let mut magic = [0u8; 8];
+    cur.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::InvalidFormat(format!(
+            "bad magic {magic:?}, expected TIGRCSR1"
+        )));
+    }
+    let flags = cur.get_u8();
+    let weighted = flags & FLAG_WEIGHTED != 0;
+    let n = cur.get_u64_le() as usize;
+    let m = cur.get_u64_le() as usize;
+
+    // Wide arithmetic: corrupted headers can carry absurd counts, and the
+    // size check must reject them rather than overflow.
+    let need = (n as u128 + 1) * 8 + (m as u128) * 4 + if weighted { m as u128 * 4 } else { 0 };
+    if (cur.remaining() as u128) < need {
+        return Err(GraphError::InvalidFormat(format!(
+            "truncated payload: need {need} bytes, have {}",
+            cur.remaining()
+        )));
+    }
+
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        row_ptr.push(cur.get_u64_le() as usize);
+    }
+    let mut col_idx = Vec::with_capacity(m);
+    for _ in 0..m {
+        col_idx.push(NodeId::new(cur.get_u32_le()));
+    }
+    let weights = if weighted {
+        let mut w = Vec::with_capacity(m);
+        for _ in 0..m {
+            w.push(cur.get_u32_le());
+        }
+        Some(w)
+    } else {
+        None
+    };
+
+    // Re-validate through the checked constructor, but convert panics into
+    // format errors for untrusted input.
+    if row_ptr.first() != Some(&0)
+        || row_ptr.last() != Some(&m)
+        || row_ptr.windows(2).any(|w| w[0] > w[1])
+        || col_idx.iter().any(|c| c.index() >= n.max(1))
+    {
+        return Err(GraphError::InvalidFormat(
+            "inconsistent CSR arrays in binary container".into(),
+        ));
+    }
+    if n == 0 && m > 0 {
+        return Err(GraphError::InvalidFormat(
+            "edges present in zero-node graph".into(),
+        ));
+    }
+    Ok(Csr::from_parts(row_ptr, col_idx, weights))
+}
+
+/// Writes `g` to `path` in binary form.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on failure.
+pub fn save_binary(g: &Csr, path: impl AsRef<Path>) -> Result<()> {
+    write_binary(g, File::create(path)?)
+}
+
+/// Reads a graph from a binary file at `path`.
+///
+/// # Errors
+///
+/// See [`read_binary`].
+pub fn load_binary(path: impl AsRef<Path>) -> Result<Csr> {
+    read_binary(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrBuilder;
+
+    fn sample(weighted: bool) -> Csr {
+        let mut b = CsrBuilder::new(5);
+        if weighted {
+            b.weighted_edge(0, 1, 3).weighted_edge(0, 4, 9).weighted_edge(3, 2, 1);
+        } else {
+            b.edge(0, 1).edge(0, 4).edge(3, 2);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn round_trips_weighted() {
+        let g = sample(true);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(buf.as_slice()).unwrap(), g);
+    }
+
+    #[test]
+    fn round_trips_unweighted() {
+        let g = sample(false);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(buf.as_slice()).unwrap(), g);
+    }
+
+    #[test]
+    fn round_trips_empty_graph() {
+        let g = CsrBuilder::new(0).build();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(buf.as_slice()).unwrap(), g);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_binary(&sample(false), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_binary(buf.as_slice()).unwrap_err(),
+            GraphError::InvalidFormat(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut buf = Vec::new();
+        write_binary(&sample(true), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_binary(buf.as_slice()).unwrap_err(),
+            GraphError::InvalidFormat(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_corrupted_row_ptr() {
+        let mut buf = Vec::new();
+        write_binary(&sample(false), &mut buf).unwrap();
+        // Corrupt the first row_ptr entry (offset 25).
+        buf[25] = 0xFF;
+        assert!(matches!(
+            read_binary(buf.as_slice()).unwrap_err(),
+            GraphError::InvalidFormat(_)
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("tigr_graph_bin_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        let g = sample(true);
+        save_binary(&g, &path).unwrap();
+        assert_eq!(load_binary(&path).unwrap(), g);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_is_denser_than_text() {
+        let g = crate::generators::ring_lattice(200, 4);
+        let mut bin = Vec::new();
+        write_binary(&g, &mut bin).unwrap();
+        let mut txt = Vec::new();
+        crate::io::write_edge_list(&g, &mut txt).unwrap();
+        // Not always true in general, but true for this shape; documents
+        // the purpose of the binary cache.
+        assert!(bin.len() < txt.len() * 4);
+    }
+}

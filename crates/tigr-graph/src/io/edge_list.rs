@@ -1,0 +1,222 @@
+//! Whitespace edge-list text format (SNAP-compatible).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::CsrBuilder;
+use crate::csr::Csr;
+use crate::edge::{Edge, NodeId};
+use crate::error::GraphError;
+use crate::Result;
+
+/// Parses an edge list from any reader.
+///
+/// Each non-comment line holds `src dst` or `src dst weight`, separated by
+/// arbitrary whitespace. Lines starting with `#`, `%`, or `//` and blank
+/// lines are ignored — this accepts SNAP downloads unmodified. Node ids
+/// may be sparse; the graph is sized to the largest id seen.
+///
+/// A mut reference to a reader can be passed (`&mut reader`) if the caller
+/// wants to keep using the reader afterwards.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed lines and
+/// [`GraphError::Io`] for read failures.
+///
+/// # Example
+///
+/// ```
+/// use tigr_graph::io::parse_edge_list;
+///
+/// let text = "# a comment\n0 1\n1 2 7\n";
+/// let g = parse_edge_list(text.as_bytes())?;
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// assert!(g.is_weighted());
+/// # Ok::<(), tigr_graph::GraphError>(())
+/// ```
+pub fn parse_edge_list<R: Read>(reader: R) -> Result<Csr> {
+    let buf = BufReader::new(reader);
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut max_node = 0u64;
+    let mut weighted = false;
+
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty()
+            || trimmed.starts_with('#')
+            || trimmed.starts_with('%')
+            || trimmed.starts_with("//")
+        {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let src = parse_node(it.next(), lineno + 1, "missing source")?;
+        let dst = parse_node(it.next(), lineno + 1, "missing destination")?;
+        let weight = match it.next() {
+            Some(tok) => {
+                weighted = true;
+                tok.parse::<u32>().map_err(|_| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("invalid weight `{tok}`"),
+                })?
+            }
+            None => 1,
+        };
+        max_node = max_node.max(src).max(dst);
+        if src > u32::MAX as u64 || dst > u32::MAX as u64 {
+            return Err(GraphError::NodeOutOfRange {
+                node: src.max(dst),
+                num_nodes: u32::MAX as usize,
+            });
+        }
+        edges.push(Edge::new(
+            NodeId::new(src as u32),
+            NodeId::new(dst as u32),
+            weight,
+        ));
+    }
+
+    let num_nodes = if edges.is_empty() {
+        0
+    } else {
+        max_node as usize + 1
+    };
+    let mut b = CsrBuilder::from_edges(num_nodes, edges);
+    b.force_weighted(weighted);
+    Ok(b.build())
+}
+
+fn parse_node(tok: Option<&str>, line: usize, what: &str) -> Result<u64> {
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: what.to_string(),
+    })?;
+    tok.parse::<u64>().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid node id `{tok}`"),
+    })
+}
+
+/// Loads an edge-list file from disk.
+///
+/// # Errors
+///
+/// Propagates I/O and parse failures; see [`parse_edge_list`].
+pub fn load_edge_list(path: impl AsRef<Path>) -> Result<Csr> {
+    parse_edge_list(File::open(path)?)
+}
+
+/// Writes `g` as an edge list. Weights are emitted only for weighted
+/// graphs. A mut reference to a writer can be passed.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failure.
+pub fn write_edge_list<W: Write>(g: &Csr, writer: W) -> Result<()> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "# tigr edge list: {} nodes, {} edges", g.num_nodes(), g.num_edges())?;
+    for e in g.edges() {
+        if g.is_weighted() {
+            writeln!(out, "{} {} {}", e.src, e.dst, e.weight)?;
+        } else {
+            writeln!(out, "{} {}", e.src, e.dst)?;
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_unweighted_with_comments() {
+        let text = "# header\n% matrix-style comment\n// c++ style\n\n0 1\n1 2\n";
+        let g = parse_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn parses_weighted_and_mixed_lines() {
+        // A weight on any line makes the whole graph weighted (missing
+        // weights default to 1).
+        let g = parse_edge_list("0 1 9\n1 0\n".as_bytes()).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.weight(0), 9);
+        assert_eq!(g.weight(1), 1);
+    }
+
+    #[test]
+    fn sizes_to_largest_id() {
+        let g = parse_edge_list("5 9\n".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = parse_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let err = parse_edge_list("0 1\nx 2\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains('x'));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_destination() {
+        let err = parse_edge_list("7\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_weight() {
+        let err = parse_edge_list("0 1 heavy\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let g = crate::CsrBuilder::new(3)
+            .weighted_edge(0, 1, 4)
+            .weighted_edge(2, 0, 8)
+            .build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = parse_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn round_trips_unweighted() {
+        let g = crate::CsrBuilder::new(2).edge(0, 1).edge(1, 0).build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        assert_eq!(parse_edge_list(buf.as_slice()).unwrap(), g);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("tigr_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let g = crate::CsrBuilder::new(4).edge(0, 3).edge(3, 1).build();
+        write_edge_list(&g, File::create(&path).unwrap()).unwrap();
+        assert_eq!(load_edge_list(&path).unwrap(), g);
+        std::fs::remove_file(&path).ok();
+    }
+}

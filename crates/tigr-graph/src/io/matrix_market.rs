@@ -1,0 +1,218 @@
+//! MatrixMarket coordinate format (the format used by network-repository,
+//! where the paper's Sinaweibo and Twitter2010 graphs are hosted).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+use crate::builder::CsrBuilder;
+use crate::csr::Csr;
+use crate::edge::{Edge, NodeId};
+use crate::error::GraphError;
+use crate::Result;
+
+/// Parses a MatrixMarket coordinate stream into a graph.
+///
+/// Supports the `matrix coordinate (pattern|integer|real) (general|symmetric)`
+/// headers. Symmetric matrices are expanded into both arc directions.
+/// Entries are 1-indexed per the spec; `real` values are rounded to the
+/// nearest non-negative integer weight.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidFormat`] for unsupported headers and
+/// [`GraphError::Parse`] for malformed entries.
+///
+/// # Example
+///
+/// ```
+/// use tigr_graph::io::parse_matrix_market;
+///
+/// let text = "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n3 1\n";
+/// let g = parse_matrix_market(text.as_bytes())?;
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok::<(), tigr_graph::GraphError>(())
+/// ```
+pub fn parse_matrix_market<R: Read>(reader: R) -> Result<Csr> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines().enumerate();
+
+    // Header line.
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| GraphError::InvalidFormat("empty matrix market stream".into()))?;
+    let header = header?;
+    let toks: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
+        return Err(GraphError::InvalidFormat(format!(
+            "unsupported matrix market header `{header}`"
+        )));
+    }
+    if toks[2] != "coordinate" {
+        return Err(GraphError::InvalidFormat(
+            "only coordinate matrices are supported".into(),
+        ));
+    }
+    let field = toks[3].as_str();
+    if !matches!(field, "pattern" | "integer" | "real") {
+        return Err(GraphError::InvalidFormat(format!(
+            "unsupported field type `{field}`"
+        )));
+    }
+    let symmetric = match toks[4].as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(GraphError::InvalidFormat(format!(
+                "unsupported symmetry `{other}`"
+            )))
+        }
+    };
+
+    // Size line (skipping comment lines).
+    let mut size: Option<(usize, usize, usize)> = None;
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut weighted = field != "pattern";
+
+    for (lineno, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        if size.is_none() {
+            let rows = parse_usize(it.next(), lineno + 1)?;
+            let cols = parse_usize(it.next(), lineno + 1)?;
+            let nnz = parse_usize(it.next(), lineno + 1)?;
+            size = Some((rows, cols, nnz));
+            edges.reserve(if symmetric { nnz * 2 } else { nnz });
+            continue;
+        }
+        let (rows, cols, _) = size.unwrap();
+        let r = parse_usize(it.next(), lineno + 1)?;
+        let c = parse_usize(it.next(), lineno + 1)?;
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: format!("entry ({r}, {c}) outside {rows}x{cols} matrix"),
+            });
+        }
+        let weight = match field {
+            "pattern" => 1u32,
+            "integer" => parse_usize(it.next(), lineno + 1)? as u32,
+            _real => {
+                let tok = it.next().ok_or_else(|| GraphError::Parse {
+                    line: lineno + 1,
+                    message: "missing value".into(),
+                })?;
+                let v: f64 = tok.parse().map_err(|_| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("invalid value `{tok}`"),
+                })?;
+                v.max(0.0).round() as u32
+            }
+        };
+        weighted = weighted || weight != 1;
+        let src = NodeId::from_index(r - 1);
+        let dst = NodeId::from_index(c - 1);
+        edges.push(Edge::new(src, dst, weight));
+        if symmetric && src != dst {
+            edges.push(Edge::new(dst, src, weight));
+        }
+    }
+
+    let (rows, cols, _) = size.ok_or_else(|| {
+        GraphError::InvalidFormat("matrix market stream has no size line".into())
+    })?;
+    let mut b = CsrBuilder::from_edges(rows.max(cols), edges);
+    b.force_weighted(weighted);
+    Ok(b.build())
+}
+
+fn parse_usize(tok: Option<&str>, line: usize) -> Result<usize> {
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "missing field".into(),
+    })?;
+    tok.parse::<usize>().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid integer `{tok}`"),
+    })
+}
+
+/// Loads a MatrixMarket file from disk.
+///
+/// # Errors
+///
+/// Propagates I/O and parse failures; see [`parse_matrix_market`].
+pub fn load_matrix_market(path: impl AsRef<Path>) -> Result<Csr> {
+    parse_matrix_market(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pattern_general() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n% comment\n4 4 3\n1 2\n2 3\n4 1\n";
+        let g = parse_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.is_weighted());
+        assert_eq!(g.neighbors(NodeId::new(0)), &[NodeId::new(1)]);
+    }
+
+    #[test]
+    fn parses_integer_weights() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 42\n";
+        let g = parse_matrix_market(text.as_bytes()).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.weight(0), 42);
+    }
+
+    #[test]
+    fn parses_real_weights_rounded() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.7\n";
+        let g = parse_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.weight(0), 4);
+    }
+
+    #[test]
+    fn symmetric_expands_both_directions() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n";
+        let g = parse_matrix_market(text.as_bytes()).unwrap();
+        // (2,1) expands to both arcs; the diagonal (3,3) does not duplicate.
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(NodeId::new(0)), &[NodeId::new(1)]);
+    }
+
+    #[test]
+    fn rejects_non_matrix_market() {
+        let err = parse_matrix_market("hello world\n1 1 0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidFormat(_)));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entries() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        let err = parse_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_size_line() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n";
+        let err = parse_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidFormat(_)));
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        let text = "%%MatrixMarket matrix array real general\n2 2\n1.0\n";
+        let err = parse_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidFormat(_)));
+    }
+}

@@ -1,0 +1,23 @@
+//! Graph loaders and writers.
+//!
+//! Supported formats:
+//!
+//! * [`edge_list`] — whitespace-separated `src dst [weight]` text, with
+//!   `#`/`%` comments. This covers the SNAP text files the paper's
+//!   datasets ship in.
+//! * [`matrix_market`] — MatrixMarket coordinate format (1-indexed), used
+//!   by network-repository (Sinaweibo, Twitter2010).
+//! * [`dimacs`] — the DIMACS shortest-path `.gr` format of road-network
+//!   benchmarks.
+//! * [`binary`] — a fast binary CSR container (`TIGRCSR1`) for caching
+//!   transformed graphs between runs.
+
+pub mod binary;
+pub mod dimacs;
+pub mod edge_list;
+pub mod matrix_market;
+
+pub use binary::{read_binary, write_binary};
+pub use dimacs::{load_dimacs, parse_dimacs, write_dimacs};
+pub use edge_list::{load_edge_list, parse_edge_list, write_edge_list};
+pub use matrix_market::{load_matrix_market, parse_matrix_market};

@@ -1,0 +1,377 @@
+//! Reference oracles for structural graph properties.
+//!
+//! The Tigr correctness results (Theorem 1 and Corollaries 1–4) are
+//! statements about connectivity, paths, distances, and degrees. This
+//! module provides simple, obviously-correct sequential implementations
+//! of those properties, used by the test suites as ground truth.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::csr::Csr;
+use crate::edge::{NodeId, Weight, INFINITE_WEIGHT};
+
+/// Returns `true` if a directed path from `src` to `dst` exists.
+pub fn reachable(g: &Csr, src: NodeId, dst: NodeId) -> bool {
+    if src == dst {
+        return true;
+    }
+    let mut seen = vec![false; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    seen[src.index()] = true;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v) {
+            if u == dst {
+                return true;
+            }
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    false
+}
+
+/// BFS hop distances from `src`; `usize::MAX` marks unreachable nodes.
+pub fn bfs_levels(g: &Csr, src: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for &u in g.neighbors(v) {
+            if dist[u.index()] == usize::MAX {
+                dist[u.index()] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra single-source shortest-path distances.
+/// [`INFINITE_WEIGHT`] marks unreachable nodes.
+///
+/// This is the oracle for the paper's SSSP (Figure 2, Algorithm 2) and for
+/// Corollary 2 (UDT + zero dumb weights preserves distances).
+pub fn dijkstra(g: &Csr, src: NodeId) -> Vec<Weight> {
+    let n = g.num_nodes();
+    let mut dist = vec![INFINITE_WEIGHT; n];
+    let mut heap: BinaryHeap<std::cmp::Reverse<(Weight, u32)>> = BinaryHeap::new();
+    dist[src.index()] = 0;
+    heap.push(std::cmp::Reverse((0, src.raw())));
+    while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+        let v = NodeId::new(v);
+        if d > dist[v.index()] {
+            continue;
+        }
+        for (off, &u) in g.neighbors(v).iter().enumerate() {
+            let e = g.edge_start(v) + off;
+            let alt = d.saturating_add(g.weight(e));
+            if alt < dist[u.index()] {
+                dist[u.index()] = alt;
+                heap.push(std::cmp::Reverse((alt, u.raw())));
+            }
+        }
+    }
+    dist
+}
+
+/// Single-source *widest path* values: for every node, the maximum over all
+/// paths of the minimum edge weight along the path. The source has width
+/// [`INFINITE_WEIGHT`]; unreachable nodes have width `0`.
+///
+/// Oracle for SSWP and Corollary 3 (UDT + infinite dumb weights preserves
+/// the minimal edge weight on paths).
+pub fn widest_path(g: &Csr, src: NodeId) -> Vec<Weight> {
+    let n = g.num_nodes();
+    let mut width = vec![0u32; n];
+    let mut heap: BinaryHeap<(Weight, u32)> = BinaryHeap::new();
+    width[src.index()] = INFINITE_WEIGHT;
+    heap.push((INFINITE_WEIGHT, src.raw()));
+    while let Some((wv, v)) = heap.pop() {
+        let v = NodeId::new(v);
+        if wv < width[v.index()] {
+            continue;
+        }
+        for (off, &u) in g.neighbors(v).iter().enumerate() {
+            let e = g.edge_start(v) + off;
+            let cand = wv.min(g.weight(e));
+            if cand > width[u.index()] {
+                width[u.index()] = cand;
+                heap.push((cand, u.raw()));
+            }
+        }
+    }
+    width
+}
+
+/// Weakly connected component labels: each node is labelled with the
+/// smallest node id in its component (edges treated as undirected).
+///
+/// Oracle for CC and Corollary 1 (UDT preserves connectivity).
+pub fn connected_components(g: &Csr) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+
+    for e in g.edges() {
+        let (a, b) = (find(&mut parent, e.src.raw()), find(&mut parent, e.dst.raw()));
+        if a != b {
+            // Union by minimum id so labels are canonical.
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            parent[hi as usize] = lo;
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// Number of distinct weakly connected components.
+pub fn num_components(g: &Csr) -> usize {
+    let labels = connected_components(g);
+    let mut sorted = labels;
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// Exact betweenness centrality via Brandes' algorithm over all sources,
+/// treating the graph as unweighted. Oracle for BC.
+///
+/// `O(|V|·|E|)` — intended for the small graphs used in tests.
+pub fn betweenness_centrality(g: &Csr) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut bc = vec![0.0f64; n];
+    for s in g.nodes() {
+        brandes_accumulate(g, s, &mut bc);
+    }
+    bc
+}
+
+/// Single-source Brandes pass: accumulates the dependency of `s` on every
+/// node into `bc`. Exposed separately because the GPU engine computes BC
+/// one source at a time.
+pub fn brandes_accumulate(g: &Csr, s: NodeId, bc: &mut [f64]) {
+    let n = g.num_nodes();
+    let mut stack: Vec<u32> = Vec::new();
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![i64::MAX; n];
+    sigma[s.index()] = 1.0;
+    dist[s.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(s.raw());
+    while let Some(v) = queue.pop_front() {
+        stack.push(v);
+        for &u in g.neighbors(NodeId::new(v)) {
+            let u = u.raw();
+            if dist[u as usize] == i64::MAX {
+                dist[u as usize] = dist[v as usize] + 1;
+                queue.push_back(u);
+            }
+            if dist[u as usize] == dist[v as usize] + 1 {
+                sigma[u as usize] += sigma[v as usize];
+                preds[u as usize].push(v);
+            }
+        }
+    }
+    let mut delta = vec![0.0f64; n];
+    while let Some(w) = stack.pop() {
+        for &v in &preds[w as usize] {
+            delta[v as usize] +=
+                sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+        }
+        if w != s.raw() {
+            bc[w as usize] += delta[w as usize];
+        }
+    }
+}
+
+/// Reference PageRank by dense power iteration with uniform teleport.
+///
+/// Dangling nodes (out-degree 0) redistribute their rank uniformly, the
+/// standard convention. Oracle for PR and Corollary 4 (UDT preserves the
+/// out-degrees PR divides by).
+pub fn pagerank(g: &Csr, damping: f64, iterations: usize) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        let mut dangling = 0.0;
+        for x in next.iter_mut() {
+            *x = 0.0;
+        }
+        for v in g.nodes() {
+            let deg = g.out_degree(v);
+            if deg == 0 {
+                dangling += rank[v.index()];
+            } else {
+                let share = rank[v.index()] / deg as f64;
+                for &u in g.neighbors(v) {
+                    next[u.index()] += share;
+                }
+            }
+        }
+        let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+        for x in next.iter_mut() {
+            *x = base + damping * *x;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// Counts directed triangles `u → v → w → u` (each cyclic triangle is
+/// counted once per rotation; divide by 3 for unique triangles).
+///
+/// Triangle counting is one of the *neighborhood-dependent* analyses the
+/// paper lists as **not preserved** by split transformations (§3.3
+/// applicability discussion); the test suites use this oracle to
+/// demonstrate that boundary.
+///
+/// `O(Σ d(v)²)` — intended for small test graphs.
+pub fn triangle_count(g: &Csr) -> usize {
+    let mut count = 0;
+    for u in g.nodes() {
+        for &v in g.neighbors(u) {
+            for &w in g.neighbors(v) {
+                if g.neighbors(w).contains(&u) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrBuilder;
+
+    fn diamond() -> Csr {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, weights make the lower path shorter.
+        CsrBuilder::new(4)
+            .weighted_edge(0, 1, 10)
+            .weighted_edge(1, 3, 10)
+            .weighted_edge(0, 2, 1)
+            .weighted_edge(2, 3, 2)
+            .build()
+    }
+
+    #[test]
+    fn reachability() {
+        let g = diamond();
+        assert!(reachable(&g, NodeId::new(0), NodeId::new(3)));
+        assert!(!reachable(&g, NodeId::new(3), NodeId::new(0)));
+        assert!(reachable(&g, NodeId::new(2), NodeId::new(2)));
+    }
+
+    #[test]
+    fn bfs_levels_on_diamond() {
+        let g = diamond();
+        assert_eq!(bfs_levels(&g, NodeId::new(0)), vec![0, 1, 1, 2]);
+        assert_eq!(bfs_levels(&g, NodeId::new(3)), vec![usize::MAX; 3].into_iter().chain([0]).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dijkstra_takes_cheaper_path() {
+        let d = dijkstra(&diamond(), NodeId::new(0));
+        assert_eq!(d, vec![0, 10, 1, 3]);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_infinite() {
+        let g = CsrBuilder::new(3).weighted_edge(0, 1, 2).build();
+        let d = dijkstra(&g, NodeId::new(0));
+        assert_eq!(d[2], INFINITE_WEIGHT);
+    }
+
+    #[test]
+    fn widest_path_maximizes_bottleneck() {
+        // Two paths 0->3: via 1 bottleneck 10, via 2 bottleneck 2.
+        let g = diamond();
+        let w = widest_path(&g, NodeId::new(0));
+        assert_eq!(w[0], INFINITE_WEIGHT);
+        assert_eq!(w[1], 10);
+        assert_eq!(w[3], 10); // takes the top path even though it is "longer"
+        assert_eq!(w[2], 1);
+    }
+
+    #[test]
+    fn widest_path_unreachable_is_zero() {
+        let g = CsrBuilder::new(2).build();
+        assert_eq!(widest_path(&g, NodeId::new(0))[1], 0);
+    }
+
+    #[test]
+    fn connected_components_on_two_islands() {
+        let g = CsrBuilder::new(5).edge(0, 1).edge(1, 2).edge(3, 4).build();
+        let labels = connected_components(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_eq!(num_components(&g), 2);
+    }
+
+    #[test]
+    fn cc_treats_edges_as_undirected() {
+        let g = CsrBuilder::new(2).edge(1, 0).build();
+        assert_eq!(num_components(&g), 1);
+    }
+
+    #[test]
+    fn betweenness_on_path_peaks_in_middle() {
+        // 0 <-> 1 <-> 2 (undirected path): node 1 lies on 0<->2 paths.
+        let mut b = CsrBuilder::new(3);
+        b.symmetric(true).edge(0, 1).edge(1, 2);
+        let bc = betweenness_centrality(&b.build());
+        assert!(bc[1] > bc[0]);
+        assert!(bc[1] > bc[2]);
+        assert_eq!(bc[0], 0.0);
+        // Node 1 is on exactly two shortest paths (0->2 and 2->0).
+        assert!((bc[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_hubs() {
+        // Two nodes pointing at a sink.
+        let g = CsrBuilder::new(3).edge(0, 2).edge(1, 2).build();
+        let pr = pagerank(&g, 0.85, 50);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+        assert!(pr[2] > pr[0]);
+        assert!((pr[0] - pr[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pagerank_on_empty_graph() {
+        let g = CsrBuilder::new(0).build();
+        assert!(pagerank(&g, 0.85, 10).is_empty());
+    }
+
+    #[test]
+    fn triangle_count_on_directed_cycle() {
+        let g = CsrBuilder::new(3).edge(0, 1).edge(1, 2).edge(2, 0).build();
+        assert_eq!(triangle_count(&g), 3); // one triangle, three rotations
+    }
+
+    #[test]
+    fn triangle_count_zero_without_cycles() {
+        let g = diamond();
+        assert_eq!(triangle_count(&g), 0);
+    }
+}

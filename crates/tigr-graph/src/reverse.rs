@@ -1,0 +1,127 @@
+//! Graph transposition for pull-based processing.
+//!
+//! The pull-based scheme (§2.1, §3.1 footnote 3) propagates values along
+//! *incoming* edges, so the engine needs the transpose of the push CSR.
+
+use crate::csr::Csr;
+use crate::edge::NodeId;
+
+/// Returns the transpose of `g`: an edge `u → v` (weight `w`) becomes
+/// `v → u` (weight `w`).
+///
+/// The transpose preserves weights, and each node's in-neighbors appear
+/// sorted by source, giving deterministic memory traces.
+///
+/// # Example
+///
+/// ```
+/// use tigr_graph::{CsrBuilder, NodeId, reverse::transpose};
+///
+/// let g = CsrBuilder::new(3).edge(0, 2).edge(1, 2).build();
+/// let t = transpose(&g);
+/// assert_eq!(t.neighbors(NodeId::new(2)), &[NodeId::new(0), NodeId::new(1)]);
+/// ```
+pub fn transpose(g: &Csr) -> Csr {
+    let n = g.num_nodes();
+    let m = g.num_edges();
+
+    // Counting sort by destination: O(|V| + |E|).
+    let mut row_ptr = vec![0usize; n + 1];
+    for e in 0..m {
+        row_ptr[g.edge_target(e).index() + 1] += 1;
+    }
+    for i in 0..n {
+        row_ptr[i + 1] += row_ptr[i];
+    }
+
+    let mut cursor = row_ptr.clone();
+    let mut col_idx = vec![NodeId::default(); m];
+    let mut weights = if g.is_weighted() {
+        Some(vec![0u32; m])
+    } else {
+        None
+    };
+
+    // Walk edges in flat order; since sources are non-decreasing in flat
+    // order, each in-neighbor list comes out sorted by source.
+    for src in g.nodes() {
+        for (off, &dst) in g.neighbors(src).iter().enumerate() {
+            let e = g.edge_start(src) + off;
+            let slot = cursor[dst.index()];
+            cursor[dst.index()] += 1;
+            col_idx[slot] = src;
+            if let Some(w) = &mut weights {
+                w[slot] = g.weight(e);
+            }
+        }
+    }
+
+    Csr::from_parts(row_ptr, col_idx, weights)
+}
+
+/// Per-node incoming degrees of `g` — `O(|E|)`, without materializing the
+/// transpose.
+pub fn in_degrees(g: &Csr) -> Vec<usize> {
+    let mut deg = vec![0usize; g.num_nodes()];
+    for e in 0..g.num_edges() {
+        deg[g.edge_target(e).index()] += 1;
+    }
+    deg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrBuilder;
+
+    #[test]
+    fn transpose_reverses_edges_and_weights() {
+        let g = CsrBuilder::new(3)
+            .weighted_edge(0, 1, 5)
+            .weighted_edge(0, 2, 7)
+            .weighted_edge(2, 1, 9)
+            .build();
+        let t = transpose(&g);
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_edges(), 3);
+        assert_eq!(t.neighbors(NodeId::new(1)), &[NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(t.neighbor_weights(NodeId::new(1)).unwrap(), &[5, 9]);
+        assert_eq!(t.neighbors(NodeId::new(0)), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let g = CsrBuilder::new(5)
+            .weighted_edge(0, 3, 1)
+            .weighted_edge(3, 4, 2)
+            .weighted_edge(4, 0, 3)
+            .weighted_edge(1, 1, 4)
+            .build();
+        let tt = transpose(&transpose(&g));
+        assert_eq!(tt, g);
+    }
+
+    #[test]
+    fn in_degrees_match_transpose_out_degrees() {
+        let g = CsrBuilder::new(4).edge(0, 3).edge(1, 3).edge(2, 3).edge(3, 0).build();
+        let deg = in_degrees(&g);
+        let t = transpose(&g);
+        for v in g.nodes() {
+            assert_eq!(deg[v.index()], t.out_degree(v));
+        }
+    }
+
+    #[test]
+    fn transpose_of_empty_graph() {
+        let g = CsrBuilder::new(0).build();
+        let t = transpose(&g);
+        assert_eq!(t.num_nodes(), 0);
+        assert_eq!(t.num_edges(), 0);
+    }
+
+    #[test]
+    fn transpose_unweighted_stays_unweighted() {
+        let g = CsrBuilder::new(2).edge(0, 1).build();
+        assert!(!transpose(&g).is_weighted());
+    }
+}

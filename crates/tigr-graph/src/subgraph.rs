@@ -1,0 +1,158 @@
+//! Subgraph extraction and preprocessing.
+//!
+//! Real evaluations preprocess raw downloads: keep the largest weakly
+//! connected component, extract induced subgraphs for scaling studies,
+//! relabel sparse ids. These utilities make the loaders' output usable
+//! the way the paper's datasets were.
+
+use crate::builder::CsrBuilder;
+use crate::csr::Csr;
+use crate::edge::{Edge, NodeId};
+use crate::properties::connected_components;
+
+/// The induced subgraph on `keep` (node ids of `g`), with nodes
+/// relabelled densely in the order given. Edges with either endpoint
+/// outside `keep` are dropped; weights survive.
+///
+/// Returns the subgraph and the mapping `new id → old id`.
+///
+/// # Panics
+///
+/// Panics if `keep` contains an out-of-range or duplicate id.
+pub fn induced_subgraph(g: &Csr, keep: &[NodeId]) -> (Csr, Vec<NodeId>) {
+    let mut new_id = vec![u32::MAX; g.num_nodes()];
+    for (i, &v) in keep.iter().enumerate() {
+        assert!(v.index() < g.num_nodes(), "node {v} out of range");
+        assert_eq!(new_id[v.index()], u32::MAX, "duplicate node {v} in keep set");
+        new_id[v.index()] = i as u32;
+    }
+
+    let mut b = CsrBuilder::new(keep.len());
+    if g.is_weighted() {
+        b.force_weighted(true);
+    }
+    for e in g.edges() {
+        let (s, d) = (new_id[e.src.index()], new_id[e.dst.index()]);
+        if s != u32::MAX && d != u32::MAX {
+            b.add(Edge::new(NodeId::new(s), NodeId::new(d), e.weight));
+        }
+    }
+    (b.build(), keep.to_vec())
+}
+
+/// The largest weakly connected component of `g`, relabelled densely
+/// (ascending original id order). Returns the subgraph and the
+/// `new id → old id` mapping.
+pub fn largest_component(g: &Csr) -> (Csr, Vec<NodeId>) {
+    if g.num_nodes() == 0 {
+        return (CsrBuilder::new(0).build(), Vec::new());
+    }
+    let labels = connected_components(g);
+    // Count component sizes and find the biggest label.
+    let mut counts = std::collections::HashMap::new();
+    for &l in &labels {
+        *counts.entry(l).or_insert(0usize) += 1;
+    }
+    let (&best, _) = counts.iter().max_by_key(|(_, &c)| c).expect("non-empty");
+    let keep: Vec<NodeId> = labels
+        .iter()
+        .enumerate()
+        .filter(|&(_, &l)| l == best)
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect();
+    induced_subgraph(g, &keep)
+}
+
+/// Drops isolated nodes (in-degree + out-degree zero) and relabels
+/// densely. Returns the compacted graph and the `new id → old id`
+/// mapping. Text loaders size graphs to the maximum id seen, which can
+/// leave gaps; this removes them.
+pub fn compact(g: &Csr) -> (Csr, Vec<NodeId>) {
+    let mut touched = vec![false; g.num_nodes()];
+    for e in g.edges() {
+        touched[e.src.index()] = true;
+        touched[e.dst.index()] = true;
+    }
+    let keep: Vec<NodeId> = touched
+        .iter()
+        .enumerate()
+        .filter(|&(_, &t)| t)
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect();
+    induced_subgraph(g, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrBuilder;
+
+    fn two_islands() -> Csr {
+        // Component A: 0-1-2 (sym). Component B: 3-4 (sym). Node 5 isolated.
+        let mut b = CsrBuilder::new(6);
+        b.symmetric(true);
+        b.edge(0, 1).edge(1, 2).edge(3, 4);
+        b.build()
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = two_islands();
+        let (sub, map) = induced_subgraph(&g, &[NodeId::new(0), NodeId::new(1), NodeId::new(4)]);
+        assert_eq!(sub.num_nodes(), 3);
+        // Only 0<->1 survives (4's partner 3 is outside).
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(map, vec![NodeId::new(0), NodeId::new(1), NodeId::new(4)]);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_weights() {
+        let g = CsrBuilder::new(3).weighted_edge(0, 1, 42).weighted_edge(1, 2, 7).build();
+        let (sub, _) = induced_subgraph(&g, &[NodeId::new(0), NodeId::new(1)]);
+        assert!(sub.is_weighted());
+        assert_eq!(sub.weight(0), 42);
+    }
+
+    #[test]
+    fn largest_component_picks_the_triple() {
+        let g = two_islands();
+        let (sub, map) = largest_component(&g);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 4);
+        assert_eq!(map, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        // Connected after extraction.
+        assert_eq!(crate::properties::num_components(&sub), 1);
+    }
+
+    #[test]
+    fn compact_drops_isolated_nodes() {
+        let g = two_islands();
+        let (sub, map) = compact(&g);
+        assert_eq!(sub.num_nodes(), 5, "node 5 dropped");
+        assert_eq!(sub.num_edges(), g.num_edges());
+        assert!(!map.contains(&NodeId::new(5)));
+    }
+
+    #[test]
+    fn compact_on_dense_graph_is_identity_shaped() {
+        let g = crate::generators::ring_lattice(10, 2);
+        let (sub, map) = compact(&g);
+        assert_eq!(sub, g);
+        assert_eq!(map.len(), 10);
+    }
+
+    #[test]
+    fn empty_graph_handled() {
+        let g = CsrBuilder::new(0).build();
+        let (sub, map) = largest_component(&g);
+        assert_eq!(sub.num_nodes(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn duplicate_keep_rejected() {
+        let g = two_islands();
+        let _ = induced_subgraph(&g, &[NodeId::new(0), NodeId::new(0)]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Deterministic GPU SIMD execution simulator.
+//!
+//! The Tigr paper's central claim is *architectural*: on GPUs, threads
+//! execute in lockstep warps (Figure 3), so skewed per-thread work —
+//! caused by power-law degree distributions — leaves SIMD lanes idle and
+//! memory accesses uncoalesced. This crate reproduces exactly those
+//! mechanisms in software, standing in for the paper's NVIDIA Quadro
+//! P4000 (see `DESIGN.md` §2):
+//!
+//! * **Warp-lockstep timing** — a warp advances at the pace of its
+//!   slowest lane; per-warp cost is the max over lanes per step
+//!   ([`GpuSimulator`]).
+//! * **Memory coalescing** — the addresses issued by a warp's lanes in
+//!   the same step are grouped into cache-line-sized transactions
+//!   ([`coalesce_transactions`]); strided access patterns cost more
+//!   transactions.
+//! * **SM occupancy** — warps are distributed over streaming
+//!   multiprocessors; kernel time is the busiest SM's cycle count,
+//!   capturing inter-warp imbalance.
+//! * **Warp efficiency, instruction, and transaction counters**
+//!   ([`KernelMetrics`]) — the quantities in the paper's Table 8.
+//! * **Device memory budget** ([`DeviceMemory`]) — reproduces the
+//!   out-of-memory failures of Table 4.
+//!
+//! Kernels are ordinary Rust closures that perform the *real* computation
+//! on host memory while recording a per-lane trace of compute and memory
+//! operations through [`Lane`]. The executor replays the traces in
+//! warp-lockstep order to produce timing.
+//!
+//! # Example
+//!
+//! ```
+//! use tigr_sim::{GpuConfig, GpuSimulator, Lane};
+//!
+//! let sim = GpuSimulator::new(GpuConfig::default());
+//! // 64 threads; thread i performs i%4+1 "instructions" -> intra-warp divergence.
+//! let metrics = sim.launch(64, |tid: usize, lane: &mut Lane| {
+//!     lane.compute((tid % 4) as u64 + 1);
+//! });
+//! assert!(metrics.warp_efficiency() < 1.0);
+//! assert!(metrics.cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod device_mem;
+mod executor;
+mod memory;
+mod metrics;
+mod warp;
+
+pub use config::{CostModel, GpuConfig, TimingModel};
+pub use device_mem::{DeviceMemory, OutOfMemory};
+pub use executor::{GpuSimulator, Lane};
+pub use memory::{coalesce_transactions, AccessKind, MemAccess};
+pub use metrics::{IterationTrace, KernelMetrics, SimReport};
+pub use warp::WarpStats;

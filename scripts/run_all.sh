@@ -1,0 +1,10 @@
+#!/bin/bash
+# Regenerates every table/figure and stores raw outputs under results/.
+set -u
+cd /root/repo
+BINS="profile_irregularity table1_properties table3_datasets table5_udt_space table6_virtual_space table7_transform_time fig13_speedups table8_sssp_detail ablation_k_sweep ablation_mapping ablation_simd_model ablation_partition_vs_split hardwired_comparison verify_correctness table4_comparison"
+for b in $BINS; do
+  echo "=== $b ==="
+  TIGR_SCALE=${TIGR_SCALE:-256} timeout 5400 cargo run --release -q -p tigr-bench --bin $b > results/$b.txt 2> results/$b.log
+  echo "exit: $?"
+done

@@ -1,0 +1,214 @@
+//! End-to-end integration: every analytic × every representation on a
+//! realistic power-law analog, validated against the sequential oracles.
+
+use tigr::core::k_select;
+use tigr::engine::{bc, pr, MonotoneProgram, PushOptions, SyncMode};
+use tigr::graph::datasets;
+use tigr::graph::properties as oracle;
+use tigr::graph::reverse::transpose;
+use tigr::{DumbWeight, Engine, NodeId, Representation, VirtualGraph};
+
+/// A small but genuinely irregular analog of Pokec.
+fn analog() -> (tigr::Csr, tigr::Csr) {
+    let spec = datasets::by_name("pokec").unwrap();
+    (spec.generate(4096, 7), spec.generate_weighted(4096, 7))
+}
+
+fn engine() -> Engine {
+    Engine::parallel(tigr::GpuConfig::default())
+}
+
+#[test]
+fn sssp_agrees_across_all_representations() {
+    let (_, g) = analog();
+    let src = NodeId::new(0);
+    let expect = oracle::dijkstra(&g, src);
+    let engine = engine();
+
+    let base = engine.sssp(&Representation::Original(&g), src).unwrap();
+    assert_eq!(base.values, expect);
+
+    let k = k_select::physical_k(&g);
+    let t = tigr::udt_transform(&g, k, DumbWeight::Zero);
+    let phys = engine.sssp(&Representation::Physical(&t), src).unwrap();
+    assert_eq!(t.project_values(&phys.values), expect);
+
+    for overlay in [VirtualGraph::new(&g, 10), VirtualGraph::coalesced(&g, 10)] {
+        let v = engine
+            .sssp(&Representation::Virtual { graph: &g, overlay: &overlay }, src)
+            .unwrap();
+        assert_eq!(v.values, expect);
+    }
+}
+
+#[test]
+fn bfs_and_sswp_agree_with_oracles() {
+    let (g, w) = analog();
+    let src = NodeId::new(3);
+    let engine = engine();
+    let overlay = VirtualGraph::coalesced(&g, 10);
+
+    let bfs = engine
+        .bfs(&Representation::Virtual { graph: &g, overlay: &overlay }, src)
+        .unwrap();
+    let expect: Vec<u32> = oracle::bfs_levels(&g, src)
+        .into_iter()
+        .map(|l| if l == usize::MAX { u32::MAX } else { l as u32 })
+        .collect();
+    assert_eq!(bfs.values, expect);
+
+    let overlay_w = VirtualGraph::coalesced(&w, 10);
+    let sswp = engine
+        .sswp(&Representation::Virtual { graph: &w, overlay: &overlay_w }, src)
+        .unwrap();
+    assert_eq!(sswp.values, oracle::widest_path(&w, src));
+}
+
+#[test]
+fn cc_component_structure_is_preserved() {
+    // Symmetrize the analog so weak components are well-defined.
+    let (g, _) = analog();
+    let mut b = tigr::CsrBuilder::new(g.num_nodes());
+    b.symmetric(true);
+    for e in g.edges() {
+        b.add(tigr::Edge::unweighted(e.src, e.dst));
+    }
+    let sym = b.build();
+    let expect = oracle::connected_components(&sym);
+
+    let engine = engine();
+    let overlay = VirtualGraph::new(&sym, 10);
+    let out = engine
+        .cc(&Representation::Virtual { graph: &sym, overlay: &overlay })
+        .unwrap();
+    assert_eq!(out.values, expect);
+
+    let t = tigr::udt_transform(&sym, 32, DumbWeight::Unweighted);
+    let phys = engine.cc(&Representation::Physical(&t)).unwrap();
+    assert_eq!(t.project_values(&phys.values), expect);
+}
+
+#[test]
+fn pagerank_push_and_pull_agree_with_power_iteration() {
+    let (g, _) = analog();
+    let expect = oracle::pagerank(&g, 0.85, 40);
+    let engine = engine();
+    let opts = pr::PrOptions {
+        max_iterations: 40,
+        tolerance: 1e-7,
+        ..pr::PrOptions::default()
+    };
+
+    let overlay = VirtualGraph::coalesced(&g, 10);
+    let push = engine
+        .pagerank(
+            &Representation::Virtual { graph: &g, overlay: &overlay },
+            &pr::out_degrees(&g),
+            &opts,
+        )
+        .unwrap();
+
+    let rev = transpose(&g);
+    let overlay_rev = VirtualGraph::new(&rev, 10);
+    let pull = engine
+        .pagerank(
+            &Representation::Virtual { graph: &rev, overlay: &overlay_rev },
+            &pr::out_degrees(&g),
+            &pr::PrOptions {
+                mode: pr::PrMode::Pull,
+                ..opts
+            },
+        )
+        .unwrap();
+
+    for v in 0..g.num_nodes() {
+        assert!(
+            (push.ranks[v] as f64 - expect[v]).abs() < 1e-4,
+            "push rank[{v}]"
+        );
+        assert!(
+            (pull.ranks[v] as f64 - expect[v]).abs() < 1e-4,
+            "pull rank[{v}]"
+        );
+    }
+}
+
+#[test]
+fn bc_matches_brandes_on_virtual_representation() {
+    let (g, _) = analog();
+    let src = NodeId::new(0);
+    let mut expect = vec![0.0f64; g.num_nodes()];
+    oracle::brandes_accumulate(&g, src, &mut expect);
+
+    let overlay = VirtualGraph::coalesced(&g, 10);
+    let out: bc::BcOutput = engine()
+        .betweenness(&Representation::Virtual { graph: &g, overlay: &overlay }, src)
+        .unwrap();
+    for v in 0..g.num_nodes() {
+        assert!(
+            (out.centrality[v] as f64 - expect[v]).abs() < 1e-2 * (1.0 + expect[v].abs()),
+            "bc[{v}]: {} vs {}",
+            out.centrality[v],
+            expect[v]
+        );
+    }
+}
+
+#[test]
+fn table8_shape_holds_end_to_end() {
+    // The three headline effects of the paper's case study, end to end:
+    // physical costs extra iterations, virtual does not, both raise warp
+    // efficiency.
+    let (_, g) = analog();
+    let src = NodeId::new(0);
+    let engine = Engine::new(tigr::GpuConfig::default()).with_options(PushOptions {
+        worklist: false,
+        sort_frontier_by_degree: false,
+        sync: SyncMode::Bsp,
+        max_iterations: 10_000,
+    });
+
+    let base = engine.sssp(&Representation::Original(&g), src).unwrap();
+    let t = tigr::udt_transform(&g, 8, DumbWeight::Zero);
+    let phys = engine.sssp(&Representation::Physical(&t), src).unwrap();
+    let overlay = VirtualGraph::new(&g, 8);
+    let virt = engine
+        .sssp(&Representation::Virtual { graph: &g, overlay: &overlay }, src)
+        .unwrap();
+
+    assert!(phys.report.num_iterations() > base.report.num_iterations());
+    assert_eq!(virt.report.num_iterations(), base.report.num_iterations());
+    assert!(phys.report.warp_efficiency() > base.report.warp_efficiency());
+    assert!(virt.report.warp_efficiency() > base.report.warp_efficiency());
+    assert!(virt.report.total_cycles() < base.report.total_cycles());
+}
+
+#[test]
+fn every_analytic_runs_on_the_engine_facade() {
+    let (g, w) = analog();
+    let engine = engine();
+    let src = NodeId::new(0);
+    let rep_g = Representation::Original(&g);
+    let rep_w = Representation::Original(&w);
+
+    assert!(engine.bfs(&rep_g, src).unwrap().converged);
+    assert!(engine.sssp(&rep_w, src).unwrap().converged);
+    assert!(engine.sswp(&rep_w, src).unwrap().converged);
+    assert!(engine.cc(&rep_g).unwrap().converged);
+    assert!(!engine
+        .pagerank(&rep_g, &pr::out_degrees(&g), &pr::PrOptions::default())
+        .unwrap()
+        .ranks
+        .is_empty());
+    assert!(!engine.betweenness(&rep_g, src).unwrap().centrality.is_empty());
+}
+
+#[test]
+fn monotone_program_enum_runs_via_generic_entry() {
+    let (g, _) = analog();
+    let engine = engine();
+    let out = engine
+        .run(&Representation::Original(&g), MonotoneProgram::CC, None)
+        .unwrap();
+    assert_eq!(out.values.len(), g.num_nodes());
+}

@@ -1,0 +1,71 @@
+//! Integration tests of the device-memory model: footprints, budgets,
+//! and the Table 4 OOM pattern.
+
+use tigr::baselines::{Baseline, CushaMode};
+use tigr::engine::MonotoneProgram;
+use tigr::graph::datasets;
+use tigr::{Engine, NodeId, Representation, VirtualGraph};
+use tigr_sim::GpuSimulator;
+
+#[test]
+fn oom_pattern_matches_table_4() {
+    // At the paper's 8GB-to-graph ratio, the largest graphs break CuSha
+    // and Gunrock but not MW or Tigr.
+    let denom = 1024;
+    let budget = 8 * 1024 * 1024 * 1024 / denom;
+    let spec = datasets::by_name("sinaweibo").unwrap();
+    let g = spec.generate_weighted(denom, 1);
+
+    let cusha = Baseline::CuSha {
+        mode: CushaMode::GShards,
+    };
+    assert!(
+        cusha.check_budget(&g, Some(budget)).is_err(),
+        "CuSha must OOM on the sinaweibo analog (footprint {} vs budget {budget})",
+        cusha.footprint_bytes(&g)
+    );
+    assert!(Baseline::Gunrock.check_budget(&g, Some(budget)).is_err());
+    assert!(Baseline::MaximumWarp { width: Some(8) }
+        .check_budget(&g, Some(budget))
+        .is_ok());
+
+    // Tigr-V+ fits: the virtual node array is a bounded overhead.
+    let overlay = VirtualGraph::coalesced(&g, 10);
+    let engine = Engine::parallel(tigr::GpuConfig::default()).with_device_memory(budget);
+    assert!(engine
+        .check_footprint(&Representation::Virtual { graph: &g, overlay: &overlay })
+        .is_ok());
+}
+
+#[test]
+fn small_graphs_fit_everywhere() {
+    let spec = datasets::by_name("pokec").unwrap();
+    let g = spec.generate(4096, 1);
+    let budget = 8 * 1024 * 1024 * 1024 / 1024;
+    for b in Baseline::ALL {
+        assert!(b.check_budget(&g, Some(budget)).is_ok(), "{}", b.name());
+    }
+}
+
+#[test]
+fn oom_error_is_reported_not_panicked() {
+    let spec = datasets::by_name("pokec").unwrap();
+    let g = spec.generate(4096, 1);
+    let sim = GpuSimulator::new(tigr::GpuConfig::default());
+    let err = Baseline::Gunrock
+        .run_monotone(&sim, &g, MonotoneProgram::BFS, Some(NodeId::new(0)), Some(1024))
+        .unwrap_err();
+    assert!(err.to_string().contains("out of device memory"));
+}
+
+#[test]
+fn virtual_overlay_footprint_shrinks_with_k() {
+    let spec = datasets::by_name("livejournal").unwrap();
+    let g = spec.generate(2048, 1);
+    let f = |k: u32| {
+        let ov = VirtualGraph::new(&g, k);
+        Representation::Virtual { graph: &g, overlay: &ov }.device_footprint_bytes()
+    };
+    assert!(f(4) > f(8));
+    assert!(f(8) > f(32));
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of the core invariants, across randomly
+//! generated graphs.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use tigr::core::correctness;
+use tigr::engine::{run_cpu, MonotoneProgram};
+use tigr::graph::properties as oracle;
+use tigr::graph::reverse::transpose;
+use tigr::{
+    circular_transform, clique_transform, star_transform, udt_transform, Csr, CsrBuilder,
+    DumbWeight, Edge, NodeId, VirtualGraph,
+};
+
+/// Strategy: an arbitrary weighted directed graph with up to `n` nodes
+/// and `m` edges.
+fn arb_graph(n: usize, m: usize) -> impl Strategy<Value = Csr> {
+    (2..n).prop_flat_map(move |nodes| {
+        vec((0..nodes as u32, 0..nodes as u32, 1..100u32), 0..m).prop_map(move |edges| {
+            let mut b = CsrBuilder::new(nodes);
+            for (s, d, w) in edges {
+                b.add(Edge::new(NodeId::new(s), NodeId::new(d), w));
+            }
+            b.force_weighted(true);
+            b.build()
+        })
+    })
+}
+
+/// Strategy: a graph guaranteed to contain at least one high-degree node
+/// (a hub wired to everything) so transformations actually fire.
+fn arb_hubbed_graph(n: usize, m: usize) -> impl Strategy<Value = Csr> {
+    arb_graph(n, m).prop_map(|g| {
+        let nodes = g.num_nodes();
+        let mut b = CsrBuilder::new(nodes);
+        for e in g.edges() {
+            b.add(e);
+        }
+        for t in 1..nodes as u32 {
+            b.add(Edge::new(NodeId::new(0), NodeId::new(t), 7));
+        }
+        b.force_weighted(true);
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn udt_respects_degree_bound(g in arb_hubbed_graph(40, 150), k in 2u32..12) {
+        let t = udt_transform(&g, k, DumbWeight::Zero);
+        prop_assert!(t.graph().max_out_degree() <= k as usize);
+    }
+
+    #[test]
+    fn udt_conserves_original_edges(g in arb_hubbed_graph(40, 150), k in 2u32..12) {
+        let t = udt_transform(&g, k, DumbWeight::Zero);
+        // Original edges are re-attached exactly once: total edges =
+        // original + introduced.
+        prop_assert_eq!(
+            t.graph().num_edges(),
+            g.num_edges() + t.num_new_edges()
+        );
+        prop_assert!(correctness::verify_split_definition(&g, &t).is_ok());
+    }
+
+    #[test]
+    fn udt_preserves_distances_from_every_source(
+        g in arb_hubbed_graph(24, 80),
+        k in 2u32..8,
+        src in 0u32..24,
+    ) {
+        let src = NodeId::new(src % g.num_nodes() as u32);
+        let t = udt_transform(&g, k, DumbWeight::Zero);
+        prop_assert!(correctness::verify_distance_preservation(&g, &t, src).is_ok());
+    }
+
+    #[test]
+    fn udt_with_infinity_preserves_bottlenecks(
+        g in arb_hubbed_graph(24, 80),
+        k in 2u32..8,
+        src in 0u32..24,
+    ) {
+        let src = NodeId::new(src % g.num_nodes() as u32);
+        let t = udt_transform(&g, k, DumbWeight::Infinity);
+        prop_assert!(correctness::verify_bottleneck_preservation(&g, &t, src).is_ok());
+    }
+
+    #[test]
+    fn all_split_topologies_preserve_connectivity(
+        g in arb_hubbed_graph(30, 100),
+        k in 2u32..8,
+    ) {
+        for t in [
+            udt_transform(&g, k, DumbWeight::Zero),
+            star_transform(&g, k, DumbWeight::Zero),
+            circular_transform(&g, k, DumbWeight::Zero),
+            clique_transform(&g, k, DumbWeight::Zero),
+        ] {
+            prop_assert!(correctness::verify_connectivity_preservation(&g, &t).is_ok(),
+                "{} broke connectivity", t.topology());
+            // Corollary 4 (in-degree preservation) is a UDT/star property:
+            // the circular and clique constructions route intra-family
+            // edges back into the root, adding inert incoming edges.
+            if matches!(t.topology(), "udt" | "star") {
+                prop_assert!(correctness::verify_indegree_preservation(&g, &t).is_ok(),
+                    "{} broke in-degrees", t.topology());
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_overlay_covers_every_edge_exactly_once(
+        g in arb_graph(60, 300),
+        k in 1u32..16,
+    ) {
+        let plain = VirtualGraph::new(&g, k);
+        prop_assert!(plain.validate_against(&g).is_ok());
+        let coal = VirtualGraph::coalesced(&g, k);
+        prop_assert!(coal.validate_against(&g).is_ok());
+        // Same virtual node count in both layouts.
+        prop_assert_eq!(plain.num_virtual_nodes(), coal.num_virtual_nodes());
+    }
+
+    #[test]
+    fn transpose_is_an_involution(g in arb_graph(50, 200)) {
+        prop_assert_eq!(transpose(&transpose(&g)), g);
+    }
+
+    #[test]
+    fn transpose_preserves_edge_multiset(g in arb_graph(50, 200)) {
+        let t = transpose(&g);
+        let mut fwd: Vec<(u32, u32, u32)> =
+            g.edges().map(|e| (e.src.raw(), e.dst.raw(), e.weight)).collect();
+        let mut rev: Vec<(u32, u32, u32)> =
+            t.edges().map(|e| (e.dst.raw(), e.src.raw(), e.weight)).collect();
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        prop_assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn cpu_engine_sssp_matches_dijkstra(g in arb_graph(40, 200), src in 0u32..40) {
+        let src = NodeId::new(src % g.num_nodes() as u32);
+        let out = run_cpu(&g, MonotoneProgram::SSSP, Some(src), 2);
+        prop_assert_eq!(out.values, oracle::dijkstra(&g, src));
+    }
+
+    #[test]
+    fn cpu_engine_sswp_matches_widest_path(g in arb_graph(40, 200), src in 0u32..40) {
+        let src = NodeId::new(src % g.num_nodes() as u32);
+        let out = run_cpu(&g, MonotoneProgram::SSWP, Some(src), 2);
+        prop_assert_eq!(out.values, oracle::widest_path(&g, src));
+    }
+
+    #[test]
+    fn csr_builder_edge_count_and_degrees_consistent(g in arb_graph(50, 250)) {
+        let total: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        prop_assert_eq!(total, g.num_edges());
+        prop_assert_eq!(g.edges().count(), g.num_edges());
+    }
+
+    #[test]
+    fn degree_stats_are_internally_consistent(g in arb_graph(50, 250)) {
+        let s = tigr::graph::stats::degree_stats(&g);
+        prop_assert_eq!(s.num_edges, g.num_edges());
+        prop_assert!(s.median_degree <= s.p99_degree);
+        prop_assert!(s.p99_degree <= s.max_degree);
+        prop_assert!((0.0..=1.0).contains(&s.frac_below_20));
+    }
+}

@@ -1,0 +1,123 @@
+//! Push and pull drivers must reach identical fixpoints — the
+//! cross-scheme differential test over all programs and overlays.
+
+use tigr::engine::{
+    run_monotone, run_monotone_pull, MonotoneProgram, PullOptions, PushOptions,
+};
+use tigr::graph::datasets;
+use tigr::graph::reverse::transpose;
+use tigr::{NodeId, Representation, VirtualGraph};
+use tigr_sim::{GpuConfig, GpuSimulator};
+
+fn fixture() -> (tigr::Csr, tigr::Csr) {
+    let g = datasets::by_name("pokec").unwrap().generate_weighted(8192, 13);
+    let rev = transpose(&g);
+    (g, rev)
+}
+
+#[test]
+fn push_and_pull_agree_on_every_monotone_program() {
+    let (g, rev) = fixture();
+    let sim = GpuSimulator::new_parallel(GpuConfig::default());
+    let src = NodeId::new(0);
+
+    for prog in [
+        MonotoneProgram::SSSP,
+        MonotoneProgram::BFS,
+        MonotoneProgram::SSWP,
+        MonotoneProgram::CC,
+    ] {
+        let source = prog.needs_source().then_some(src);
+        let push = run_monotone(
+            &sim,
+            &Representation::Original(&g),
+            prog,
+            source,
+            &PushOptions::default(),
+        );
+        let pull = run_monotone_pull(
+            &sim,
+            &Representation::Original(&rev),
+            prog,
+            source,
+            &PullOptions::default(),
+        );
+        assert!(push.converged && pull.converged, "{}", prog.name);
+        assert_eq!(push.values, pull.values, "{} differs", prog.name);
+    }
+}
+
+#[test]
+fn pull_over_coalesced_overlay_agrees() {
+    let (g, rev) = fixture();
+    let sim = GpuSimulator::new_parallel(GpuConfig::default());
+    let src = NodeId::new(0);
+    let overlay = VirtualGraph::coalesced(&rev, 10);
+
+    let push = run_monotone(
+        &sim,
+        &Representation::Original(&g),
+        MonotoneProgram::SSSP,
+        Some(src),
+        &PushOptions::default(),
+    );
+    let pull = run_monotone_pull(
+        &sim,
+        &Representation::Virtual {
+            graph: &rev,
+            overlay: &overlay,
+        },
+        MonotoneProgram::SSSP,
+        Some(src),
+        &PullOptions::default(),
+    );
+    assert_eq!(push.values, pull.values);
+}
+
+#[test]
+fn pull_over_otf_mapping_agrees() {
+    let (g, rev) = fixture();
+    let sim = GpuSimulator::new_parallel(GpuConfig::default());
+    let src = NodeId::new(3);
+
+    let push = run_monotone(
+        &sim,
+        &Representation::Original(&g),
+        MonotoneProgram::SSWP,
+        Some(src),
+        &PushOptions::default(),
+    );
+    let mapper = tigr::core::OnTheFlyMapper::new(&rev, 10);
+    let pull = run_monotone_pull(
+        &sim,
+        &Representation::OnTheFly { graph: &rev, mapper },
+        MonotoneProgram::SSWP,
+        Some(src),
+        &PullOptions::default(),
+    );
+    assert_eq!(push.values, pull.values);
+}
+
+#[test]
+fn direction_optimizing_bfs_agrees_with_both() {
+    let (g, rev) = fixture();
+    let sim = GpuSimulator::new_parallel(GpuConfig::default());
+    let src = NodeId::new(0);
+
+    let push = run_monotone(
+        &sim,
+        &Representation::Original(&g.without_weights()),
+        MonotoneProgram::BFS,
+        Some(src),
+        &PushOptions::default(),
+    );
+    let hybrid = tigr::engine::dobfs::run(
+        &sim,
+        &g,
+        &rev,
+        None,
+        src,
+        &tigr::engine::DoBfsOptions::default(),
+    );
+    assert_eq!(push.values, hybrid.levels);
+}

@@ -1,0 +1,101 @@
+//! The full topology × dumb-weight × analytic matrix: every physical
+//! split transformation must preserve exactly the analyses its dumb
+//! weights target, on a realistic power-law analog.
+
+use tigr::core::correctness::{
+    verify_bottleneck_preservation, verify_connectivity_preservation,
+    verify_distance_preservation, verify_split_definition,
+};
+use tigr::graph::datasets;
+use tigr::{
+    circular_transform, clique_transform, recursive_star_transform, star_transform,
+    udt_transform, Csr, DumbWeight, NodeId, TransformedGraph,
+};
+
+type Transform = fn(&Csr, u32, DumbWeight) -> TransformedGraph;
+
+const TOPOLOGIES: [(&str, Transform); 5] = [
+    ("udt", udt_transform),
+    ("star", star_transform),
+    ("recursive-star", recursive_star_transform),
+    ("circular", circular_transform),
+    ("clique", clique_transform),
+];
+
+fn fixture() -> Csr {
+    datasets::by_name("pokec").unwrap().generate_weighted(8192, 99)
+}
+
+#[test]
+fn every_topology_is_a_split_transformation() {
+    let g = fixture();
+    for (name, transform) in TOPOLOGIES {
+        let t = transform(&g, 8, DumbWeight::Zero);
+        assert!(t.num_split_nodes() > 0, "{name} must split the fixture");
+        verify_split_definition(&g, &t).unwrap_or_else(|e| panic!("{name}: {e}"));
+        verify_connectivity_preservation(&g, &t).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn zero_weights_preserve_distances_for_every_topology() {
+    let g = fixture();
+    let sources = [NodeId::new(0), NodeId::new(7)];
+    for (name, transform) in TOPOLOGIES {
+        let t = transform(&g, 8, DumbWeight::Zero);
+        for src in sources {
+            verify_distance_preservation(&g, &t, src)
+                .unwrap_or_else(|e| panic!("{name} from {src}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn infinity_weights_preserve_bottlenecks_for_every_topology() {
+    let g = fixture();
+    for (name, transform) in TOPOLOGIES {
+        let t = transform(&g, 8, DumbWeight::Infinity);
+        verify_bottleneck_preservation(&g, &t, NodeId::new(0))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn unweighted_policy_strips_weights_for_every_topology() {
+    let g = fixture();
+    for (name, transform) in TOPOLOGIES {
+        let t = transform(&g, 8, DumbWeight::Unweighted);
+        assert!(!t.graph().is_weighted(), "{name}");
+        verify_connectivity_preservation(&g, &t).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn only_udt_guarantees_the_degree_bound() {
+    let g = fixture();
+    let k = 8u32;
+    let udt = udt_transform(&g, k, DumbWeight::Zero);
+    assert!(udt.graph().max_out_degree() <= k as usize);
+    let rec = recursive_star_transform(&g, k, DumbWeight::Zero);
+    assert!(rec.graph().max_out_degree() <= k as usize, "recursive star also bounds");
+    // Circular tops out at K+1; star and clique can exceed it.
+    let circ = circular_transform(&g, k, DumbWeight::Zero);
+    assert!(circ.graph().max_out_degree() <= k as usize + 1);
+    let star = star_transform(&g, k, DumbWeight::Zero);
+    assert!(star.graph().max_out_degree() > k as usize);
+}
+
+#[test]
+fn size_costs_order_as_table_1_predicts() {
+    let g = fixture();
+    let k = 8u32;
+    let new_edges = |t: &TransformedGraph| t.num_new_edges();
+    let cliq = clique_transform(&g, k, DumbWeight::Zero);
+    let circ = circular_transform(&g, k, DumbWeight::Zero);
+    let star = star_transform(&g, k, DumbWeight::Zero);
+    let udt = udt_transform(&g, k, DumbWeight::Zero);
+    assert!(new_edges(&cliq) > 3 * new_edges(&circ), "clique is quadratic");
+    // Circ/star/udt are all linear in the number of families.
+    assert!(new_edges(&circ) < 2 * new_edges(&star));
+    assert!(new_edges(&udt) < 2 * new_edges(&star));
+}
