@@ -185,7 +185,9 @@ mod tests {
         assert!(b.check_budget(&g, Some(1024)).is_err());
         // MW fits where Gunrock does not.
         let tight = Baseline::MaximumWarp { width: Some(4) }.footprint_bytes(&g) + 1;
-        assert!(Baseline::MaximumWarp { width: Some(4) }.check_budget(&g, Some(tight)).is_ok());
+        assert!(Baseline::MaximumWarp { width: Some(4) }
+            .check_budget(&g, Some(tight))
+            .is_ok());
         assert!(Baseline::Gunrock.check_budget(&g, Some(tight)).is_err());
     }
 

@@ -133,12 +133,7 @@ pub fn run_monotone(
 /// PageRank with CuSha: the shard sweep gathers `rank/outdeg`
 /// contributions per destination window without atomics — the shape that
 /// wins PR in Table 4.
-pub fn run_pagerank(
-    sim: &GpuSimulator,
-    g: &Csr,
-    options: &PrOptions,
-    mode: CushaMode,
-) -> PrOutput {
+pub fn run_pagerank(sim: &GpuSimulator, g: &Csr, options: &PrOptions, mode: CushaMode) -> PrOutput {
     let n = g.num_nodes();
     let m = g.num_edges();
     if n == 0 {
@@ -172,14 +167,17 @@ pub fn run_pagerank(
             let entry = &shards[tid];
             lane.load(shard_addr(tid), 16);
             let deg = out_deg[entry.src as usize].max(1);
-            accum.fetch_add(entry.dst as usize, ranks.load(entry.src as usize) / deg as f32);
+            accum.fetch_add(
+                entry.dst as usize,
+                ranks.load(entry.src as usize) / deg as f32,
+            );
             lane.compute(3);
         });
         metrics.merge(&sweep);
 
         let mut dangling = 0.0f64;
-        for v in 0..n {
-            if out_deg[v] == 0 {
+        for (v, &deg) in out_deg.iter().enumerate() {
+            if deg == 0 {
                 dangling += ranks.load(v) as f64;
             }
         }
@@ -259,8 +257,18 @@ mod tests {
     fn shard_sweep_is_atomic_free() {
         let g = fixture();
         let sim = GpuSimulator::new(GpuConfig::default());
-        let out = run_monotone(&sim, &g, MonotoneProgram::BFS, Some(NodeId::new(0)), CushaMode::GShards);
-        assert_eq!(out.report.total().atomic_ops, 0, "window combining avoids atomics");
+        let out = run_monotone(
+            &sim,
+            &g,
+            MonotoneProgram::BFS,
+            Some(NodeId::new(0)),
+            CushaMode::GShards,
+        );
+        assert_eq!(
+            out.report.total().atomic_ops,
+            0,
+            "window combining avoids atomics"
+        );
     }
 
     #[test]
@@ -276,7 +284,13 @@ mod tests {
         // Edge-parallel processing is perfectly balanced even on a star.
         let g = tigr_graph::generators::star_graph(2001);
         let sim = GpuSimulator::new(GpuConfig::default());
-        let out = run_monotone(&sim, &g, MonotoneProgram::BFS, Some(NodeId::new(0)), CushaMode::GShards);
+        let out = run_monotone(
+            &sim,
+            &g,
+            MonotoneProgram::BFS,
+            Some(NodeId::new(0)),
+            CushaMode::GShards,
+        );
         assert!(
             out.report.warp_efficiency() > 0.9,
             "efficiency {}",

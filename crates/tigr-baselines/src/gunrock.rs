@@ -153,8 +153,8 @@ pub fn run_pagerank(sim: &GpuSimulator, g: &Csr, options: &PrOptions) -> PrOutpu
         });
 
         let mut dangling = 0.0f64;
-        for v in 0..n {
-            if out_deg[v] == 0 {
+        for (v, &deg) in out_deg.iter().enumerate() {
+            if deg == 0 {
                 dangling += ranks.load(v) as f64;
             }
         }
@@ -248,7 +248,11 @@ mod tests {
 
     #[test]
     fn frontier_work_expansion() {
-        let g = tigr_graph::CsrBuilder::new(3).edge(0, 1).edge(0, 2).edge(1, 2).build();
+        let g = tigr_graph::CsrBuilder::new(3)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(1, 2)
+            .build();
         let work = expand_frontier(&g, &[0]);
         assert_eq!(work, vec![(0, 0), (0, 1)]);
         assert_eq!(expand_frontier(&g, &[2]), vec![]);

@@ -225,10 +225,7 @@ pub fn hooking_cc(sim: &GpuSimulator, g: &Csr) -> FrameworkRun {
         })
         .collect();
 
-    FrameworkRun {
-        values,
-        report,
-    }
+    FrameworkRun { values, report }
 }
 
 /// Source of flat edge `e` (linear scan over row_ptr is avoided by
@@ -272,7 +269,9 @@ mod tests {
 
     #[test]
     fn delta_stepping_on_disconnected_graph() {
-        let g = tigr_graph::CsrBuilder::new(4).weighted_edge(0, 1, 5).build();
+        let g = tigr_graph::CsrBuilder::new(4)
+            .weighted_edge(0, 1, 5)
+            .build();
         let sim = GpuSimulator::new(GpuConfig::tiny());
         let out = delta_stepping_sssp(&sim, &g, NodeId::new(0), 2);
         assert_eq!(out.values, vec![0, 5, INFINITE_WEIGHT, INFINITE_WEIGHT]);
@@ -282,7 +281,12 @@ mod tests {
     fn hooking_cc_matches_union_find() {
         let mut b = tigr_graph::CsrBuilder::new(9);
         b.symmetric(true);
-        b.edge(0, 1).edge(1, 2).edge(3, 4).edge(5, 6).edge(6, 7).edge(7, 5);
+        b.edge(0, 1)
+            .edge(1, 2)
+            .edge(3, 4)
+            .edge(5, 6)
+            .edge(6, 7)
+            .edge(7, 5);
         let g = b.build();
         let sim = GpuSimulator::new(GpuConfig::tiny());
         let out = hooking_cc(&sim, &g);

@@ -57,7 +57,7 @@ fn run_with_width(
 ) -> FrameworkRun {
     let warp = sim.config().warp_size;
     assert!(
-        width > 0 && warp % width == 0,
+        width > 0 && warp.is_multiple_of(width),
         "virtual warp width {width} must divide the warp size {warp}"
     );
     let n = g.num_nodes();
@@ -202,7 +202,13 @@ mod tests {
         let expect = dijkstra(&g, NodeId::new(0));
         let sim = GpuSimulator::new(GpuConfig::default());
         for w in WIDTHS {
-            let out = run_monotone(&sim, &g, MonotoneProgram::SSSP, Some(NodeId::new(0)), Some(w));
+            let out = run_monotone(
+                &sim,
+                &g,
+                MonotoneProgram::SSSP,
+                Some(NodeId::new(0)),
+                Some(w),
+            );
             assert_eq!(out.values, expect, "width {w}");
         }
     }
@@ -213,8 +219,13 @@ mod tests {
         let sim = GpuSimulator::new(GpuConfig::default());
         let auto = run_monotone(&sim, &g, MonotoneProgram::SSSP, Some(NodeId::new(0)), None);
         for w in WIDTHS {
-            let fixed =
-                run_monotone(&sim, &g, MonotoneProgram::SSSP, Some(NodeId::new(0)), Some(w));
+            let fixed = run_monotone(
+                &sim,
+                &g,
+                MonotoneProgram::SSSP,
+                Some(NodeId::new(0)),
+                Some(w),
+            );
             assert!(auto.report.total_cycles() <= fixed.report.total_cycles());
         }
     }
@@ -225,8 +236,20 @@ mod tests {
         // W=2 leaves one pair doing all the work.
         let g = tigr_graph::generators::star_graph(4001);
         let sim = GpuSimulator::new(GpuConfig::default());
-        let narrow = run_monotone(&sim, &g, MonotoneProgram::BFS, Some(NodeId::new(0)), Some(2));
-        let wide = run_monotone(&sim, &g, MonotoneProgram::BFS, Some(NodeId::new(0)), Some(32));
+        let narrow = run_monotone(
+            &sim,
+            &g,
+            MonotoneProgram::BFS,
+            Some(NodeId::new(0)),
+            Some(2),
+        );
+        let wide = run_monotone(
+            &sim,
+            &g,
+            MonotoneProgram::BFS,
+            Some(NodeId::new(0)),
+            Some(32),
+        );
         assert!(
             wide.report.total_cycles() < narrow.report.total_cycles(),
             "wide {} < narrow {}",
@@ -260,6 +283,12 @@ mod tests {
     fn invalid_width_rejected() {
         let g = fixture();
         let sim = GpuSimulator::new(GpuConfig::default());
-        let _ = run_monotone(&sim, &g, MonotoneProgram::BFS, Some(NodeId::new(0)), Some(7));
+        let _ = run_monotone(
+            &sim,
+            &g,
+            MonotoneProgram::BFS,
+            Some(NodeId::new(0)),
+            Some(7),
+        );
     }
 }

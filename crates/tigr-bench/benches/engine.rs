@@ -29,14 +29,26 @@ fn engine_benches(c: &mut Criterion) {
     group.bench_function("tigr_v", |b| {
         b.iter(|| {
             engine
-                .sssp(&Representation::Virtual { graph: &g, overlay: &ov }, src)
+                .sssp(
+                    &Representation::Virtual {
+                        graph: &g,
+                        overlay: &ov,
+                    },
+                    src,
+                )
                 .unwrap()
         });
     });
     group.bench_function("tigr_v_plus", |b| {
         b.iter(|| {
             engine
-                .sssp(&Representation::Virtual { graph: &g, overlay: &ovc }, src)
+                .sssp(
+                    &Representation::Virtual {
+                        graph: &g,
+                        overlay: &ovc,
+                    },
+                    src,
+                )
                 .unwrap()
         });
     });

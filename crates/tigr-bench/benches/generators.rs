@@ -2,7 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use tigr_graph::generators::{barabasi_albert, erdos_renyi, rmat, BarabasiAlbertConfig, RmatConfig};
+use tigr_graph::generators::{
+    barabasi_albert, erdos_renyi, rmat, BarabasiAlbertConfig, RmatConfig,
+};
 
 fn generator_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("generators");

@@ -27,7 +27,13 @@ fn main() {
     for &k in &ks {
         let ov = VirtualGraph::coalesced(g, k);
         let v = engine
-            .sssp(&Representation::Virtual { graph: g, overlay: &ov }, src)
+            .sssp(
+                &Representation::Virtual {
+                    graph: g,
+                    overlay: &ov,
+                },
+                src,
+            )
             .unwrap();
         virt_cycles.push(v.report.total_cycles());
 
@@ -51,7 +57,13 @@ fn main() {
     }
     print_table(
         "K sweep: virtual vs physical (x = slowdown vs best K of that scheme)",
-        &["K", "virtual ms", "virt vs best", "physical ms", "phys vs best"],
+        &[
+            "K",
+            "virtual ms",
+            "virt vs best",
+            "physical ms",
+            "phys vs best",
+        ],
         &rows,
     );
 

@@ -8,7 +8,7 @@
 
 use tigr_bench::{cycles_to_ms, load_datasets, print_table, BenchConfig};
 use tigr_core::{k_select, OnTheFlyMapper, VirtualGraph};
-use tigr_engine::{Engine, PushOptions, Representation, SyncMode};
+use tigr_engine::{Engine, FrontierMode, PushOptions, Representation, SyncMode};
 use tigr_sim::GpuConfig;
 
 fn main() {
@@ -25,6 +25,7 @@ fn main() {
         sort_frontier_by_degree: false,
         sync: SyncMode::Relaxed,
         max_iterations: 100_000,
+        frontier: FrontierMode::Auto,
     });
     let k = k_select::VIRTUAL_K;
 
@@ -35,7 +36,13 @@ fn main() {
 
         let overlay = VirtualGraph::new(g, k);
         let vna = engine
-            .sssp(&Representation::Virtual { graph: g, overlay: &overlay }, src)
+            .sssp(
+                &Representation::Virtual {
+                    graph: g,
+                    overlay: &overlay,
+                },
+                src,
+            )
             .unwrap();
 
         let mapper = OnTheFlyMapper::new(g, k);
@@ -59,7 +66,9 @@ fn main() {
 
     print_table(
         "virtual node array vs on-the-fly mapping (SSSP)",
-        &["dataset", "VNA ms", "VNA KiB", "OTF ms", "OTF KiB", "OTF/VNA"],
+        &[
+            "dataset", "VNA ms", "VNA KiB", "OTF ms", "OTF KiB", "OTF/VNA",
+        ],
         &rows,
     );
     println!(

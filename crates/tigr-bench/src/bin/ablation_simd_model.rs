@@ -35,7 +35,13 @@ fn main() {
         .with_options(PushOptions::default());
         let base = engine.sssp(&Representation::Original(g), src).unwrap();
         let tigr = engine
-            .sssp(&Representation::Virtual { graph: g, overlay: &overlay }, src)
+            .sssp(
+                &Representation::Virtual {
+                    graph: g,
+                    overlay: &overlay,
+                },
+                src,
+            )
             .unwrap();
         assert_eq!(base.values, tigr.values);
         rows.push(vec![
@@ -52,7 +58,13 @@ fn main() {
 
     print_table(
         "SSSP: Tigr-V+ speedup under each execution model",
-        &["model", "baseline cycles", "Tigr-V+ cycles", "speedup", "base effi."],
+        &[
+            "model",
+            "baseline cycles",
+            "Tigr-V+ cycles",
+            "speedup",
+            "base effi.",
+        ],
         &rows,
     );
     println!(

@@ -39,12 +39,24 @@ fn main() {
         let k_v = k_select::VIRTUAL_K;
         let ov = VirtualGraph::new(g, k_v);
         let v = engine
-            .sssp(&Representation::Virtual { graph: g, overlay: &ov }, src)
+            .sssp(
+                &Representation::Virtual {
+                    graph: g,
+                    overlay: &ov,
+                },
+                src,
+            )
             .expect("virtual fits");
 
         let ovc = VirtualGraph::coalesced(g, k_v);
         let vp = engine
-            .sssp(&Representation::Virtual { graph: g, overlay: &ovc }, src)
+            .sssp(
+                &Representation::Virtual {
+                    graph: g,
+                    overlay: &ovc,
+                },
+                src,
+            )
             .expect("virtual+ fits");
 
         let speedup = |cycles: u64| base_cycles as f64 / cycles as f64;

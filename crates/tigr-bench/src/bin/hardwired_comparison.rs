@@ -61,13 +61,7 @@ fn main() {
 
     print_table(
         "hardwired vs Tigr-V+ (simulated ms)",
-        &[
-            "dataset",
-            "Δ-step SSSP",
-            "Tigr SSSP",
-            "hook CC",
-            "Tigr CC",
-        ],
+        &["dataset", "Δ-step SSSP", "Tigr SSSP", "hook CC", "Tigr CC"],
         &rows,
     );
     println!(

@@ -34,7 +34,15 @@ fn main() {
     print_table(
         "Section 2.3 profile (paper: >90% of nodes < 20, <2% around 1000+)",
         &[
-            "dataset", "avg", "median", "p99", "dmax", "deg<20", "deg>=1000", "CV", "alpha",
+            "dataset",
+            "avg",
+            "median",
+            "p99",
+            "dmax",
+            "deg<20",
+            "deg>=1000",
+            "CV",
+            "alpha",
         ],
         &rows,
     );

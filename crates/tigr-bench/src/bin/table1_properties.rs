@@ -36,16 +36,51 @@ fn main() {
     println!("Table 1 at d = {d}, K = {k} (formulas vs. measured constructions)");
 
     let rows = vec![
-        row("T_cliq", clique_properties(d, k as usize), measured(clique_transform, d, k), "high", "low", "fast"),
-        row("T_circ", circular_properties(d, k as usize), measured(circular_transform, d, k), "low", "high", "slow"),
-        row("T_star", star_properties(d, k as usize), measured(star_transform, d, k), "low", "varies", "fast"),
-        row("T_udt", udt_properties(d, k as usize), measured(udt_transform, d, k), "low", "high", "fast (log)"),
+        row(
+            "T_cliq",
+            clique_properties(d, k as usize),
+            measured(clique_transform, d, k),
+            "high",
+            "low",
+            "fast",
+        ),
+        row(
+            "T_circ",
+            circular_properties(d, k as usize),
+            measured(circular_transform, d, k),
+            "low",
+            "high",
+            "slow",
+        ),
+        row(
+            "T_star",
+            star_properties(d, k as usize),
+            measured(star_transform, d, k),
+            "low",
+            "varies",
+            "fast",
+        ),
+        row(
+            "T_udt",
+            udt_properties(d, k as usize),
+            measured(udt_transform, d, k),
+            "low",
+            "high",
+            "fast (log)",
+        ),
     ];
 
     print_table(
         "Table 1: split-transformation properties (formula | measured)",
         &[
-            "transform", "#new nodes", "#new edges", "new degree", "max #hops", "space", "irreg. red.", "value prop.",
+            "transform",
+            "#new nodes",
+            "#new edges",
+            "new degree",
+            "max #hops",
+            "space",
+            "irreg. red.",
+            "value prop.",
         ],
         &rows,
     );

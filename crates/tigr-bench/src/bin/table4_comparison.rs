@@ -32,7 +32,11 @@ fn main() {
 
     let datasets: Vec<DatasetInstance> = load_datasets(&cfg)
         .into_iter()
-        .filter(|d| dataset_filter.as_ref().map_or(true, |f| f.contains(d.spec.name)))
+        .filter(|d| {
+            dataset_filter
+                .as_ref()
+                .is_none_or(|f| f.contains(d.spec.name))
+        })
         .collect();
 
     let sim = cfg.simulator();
@@ -85,7 +89,11 @@ fn main() {
 
             let mut cells: Vec<Cell> = Vec::new();
             // MW: best virtual-warp width (or fixed in fast mode).
-            cells.push(if alg == "bc" { Cell::Missing } else { run_baseline(mw) });
+            cells.push(if alg == "bc" {
+                Cell::Missing
+            } else {
+                run_baseline(mw)
+            });
             // CuSha: the better of G-Shards and Concatenated Windows,
             // as the paper reports.
             cells.push(if alg == "bc" {
@@ -169,12 +177,17 @@ fn tigr_vplus(
     budget: u64,
 ) -> Cell {
     let overlay = VirtualGraph::coalesced(g, k_select::VIRTUAL_K);
-    let rep = Representation::Virtual { graph: g, overlay: &overlay };
+    let rep = Representation::Virtual {
+        graph: g,
+        overlay: &overlay,
+    };
     let engine = Engine::parallel(*sim.config()).with_device_memory(budget);
 
     let to_cell = |cycles: u64| Cell::Ms(cycles_to_ms(cycles));
     let result = match (prog, alg) {
-        (Some(p), _) => engine.run(&rep, p, source).map(|o| to_cell(o.report.total_cycles())),
+        (Some(p), _) => engine
+            .run(&rep, p, source)
+            .map(|o| to_cell(o.report.total_cycles())),
         (None, "pr") => engine
             .pagerank(&rep, &pr::out_degrees(g), &pr_options())
             .map(|o| to_cell(o.report.total_cycles())),

@@ -47,11 +47,7 @@ fn main() {
             mark(verify_distance_preservation(g, &t_zero, src)),
             mark(verify_bottleneck_preservation(g, &t_inf, src)),
             mark(verify_logarithmic_hops(g, &t_zero, src)),
-            mark(
-                VirtualGraph::coalesced(g, k_select::VIRTUAL_K)
-                    .validate_against(g)
-                    .map_err(|e| e),
-            ),
+            mark(VirtualGraph::coalesced(g, k_select::VIRTUAL_K).validate_against(g)),
         ];
         failures += checks.iter().filter(|c| c.starts_with("FAIL")).count();
 

@@ -14,15 +14,19 @@
 //! | `table7_transform_time` | Table 7 (transformation time) |
 //! | `table8_sssp_detail` | Table 8 (SSSP case study) |
 //! | `ablation_k_sweep` | §5 / §6.4 K-sensitivity observations |
+//! | `ablation_frontier` | full-sweep vs active-frontier scheduling |
 //!
 //! Run with `cargo run --release -p tigr-bench --bin <name>`. The analog
 //! scale is `1/TIGR_SCALE` of the paper's node counts
 //! (default 256; set `TIGR_SCALE=64` for larger, closer-to-paper runs).
+//! `TIGR_FRONTIER=auto|dense|sparse` selects the worklist scheduling
+//! policy for binaries that exercise it.
 
 #![warn(missing_docs)]
 
 use std::time::Instant;
 
+use tigr_engine::FrontierMode;
 use tigr_graph::datasets::{DatasetSpec, PAPER_DATASETS};
 use tigr_graph::Csr;
 use tigr_sim::{GpuConfig, GpuSimulator};
@@ -34,6 +38,8 @@ pub struct BenchConfig {
     pub scale_denominator: u64,
     /// Generator seed.
     pub seed: u64,
+    /// Frontier scheduling policy for worklist runs.
+    pub frontier: FrontierMode,
 }
 
 impl Default for BenchConfig {
@@ -41,12 +47,14 @@ impl Default for BenchConfig {
         BenchConfig {
             scale_denominator: 256,
             seed: 2018, // ASPLOS '18
+            frontier: FrontierMode::Auto,
         }
     }
 }
 
 impl BenchConfig {
-    /// Reads `TIGR_SCALE` and `TIGR_SEED` from the environment.
+    /// Reads `TIGR_SCALE`, `TIGR_SEED`, and `TIGR_FRONTIER` from the
+    /// environment.
     pub fn from_env() -> Self {
         let mut cfg = BenchConfig::default();
         if let Ok(s) = std::env::var("TIGR_SCALE") {
@@ -57,6 +65,11 @@ impl BenchConfig {
         if let Ok(s) = std::env::var("TIGR_SEED") {
             if let Ok(v) = s.parse() {
                 cfg.seed = v;
+            }
+        }
+        if let Ok(s) = std::env::var("TIGR_FRONTIER") {
+            if let Some(mode) = FrontierMode::parse(&s) {
+                cfg.frontier = mode;
             }
         }
         cfg
@@ -193,7 +206,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -244,6 +260,7 @@ mod tests {
         let cfg = BenchConfig {
             scale_denominator: 4096,
             seed: 1,
+            ..BenchConfig::default()
         };
         let d = DatasetInstance::generate(&PAPER_DATASETS[0], &cfg);
         assert!(!d.graph.is_weighted());

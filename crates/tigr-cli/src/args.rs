@@ -136,7 +136,9 @@ mod tests {
 
     #[test]
     fn missing_value_is_an_error() {
-        assert!(Args::parse(&toks("--k")).unwrap_err().contains("requires a value"));
+        assert!(Args::parse(&toks("--k"))
+            .unwrap_err()
+            .contains("requires a value"));
     }
 
     #[test]

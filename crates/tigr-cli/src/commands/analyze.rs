@@ -10,7 +10,9 @@ use crate::io_util::load_graph;
 
 /// Runs the `analyze` command.
 pub fn run(args: &Args) -> CmdResult {
-    let path = args.positional(0).ok_or("usage: tigr analyze <graph> [--k K]")?;
+    let path = args
+        .positional(0)
+        .ok_or("usage: tigr analyze <graph> [--k K]")?;
     let k: u32 = args.flag_or("k", 10)?;
     if k < 2 {
         return Err("--k must be at least 2".into());
@@ -56,7 +58,14 @@ mod tests {
 
         let args = Args::parse(&[path, "--k".into(), "8".into()]).unwrap();
         let out = run(&args).unwrap();
-        for design in ["udt", "star", "recursive-star", "circular", "clique", "virtual"] {
+        for design in [
+            "udt",
+            "star",
+            "recursive-star",
+            "circular",
+            "clique",
+            "virtual",
+        ] {
             assert!(out.contains(design), "{design} missing:\n{out}");
         }
         std::fs::remove_dir_all(&dir).ok();

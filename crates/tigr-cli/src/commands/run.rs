@@ -2,7 +2,7 @@
 //! simulated GPU, optionally through a virtual transformation.
 
 use tigr_core::VirtualGraph;
-use tigr_engine::{pr, Engine, Representation};
+use tigr_engine::{pr, Engine, FrontierMode, PushOptions, Representation};
 use tigr_graph::NodeId;
 use tigr_sim::GpuConfig;
 
@@ -23,7 +23,25 @@ pub fn run(args: &Args) -> CmdResult {
         return Err(format!("--source {source} out of range"));
     }
 
-    let engine = Engine::parallel(GpuConfig::default());
+    // --frontier selects the worklist scheduling policy: auto (default),
+    // dense, sparse, or off (full sweeps every iteration).
+    let frontier_flag = args.flag("frontier").unwrap_or("auto");
+    let (worklist, frontier) = match frontier_flag {
+        "off" => (false, FrontierMode::Auto),
+        other => match FrontierMode::parse(other) {
+            Some(mode) => (true, mode),
+            None => {
+                return Err(format!(
+                    "invalid --frontier `{other}` (expected auto, dense, sparse, or off)"
+                ))
+            }
+        },
+    };
+    let engine = Engine::parallel(GpuConfig::default()).with_options(PushOptions {
+        worklist,
+        frontier,
+        ..PushOptions::default()
+    });
     let overlay = args
         .flag("virtual")
         .map(|k| {
@@ -62,6 +80,11 @@ pub fn run(args: &Args) -> CmdResult {
                 "{analytic} from {source}: {} nodes with non-trivial values\n",
                 finite
             ));
+            out.push_str(&format!(
+                "frontier        {}\nedges touched   {}\n",
+                if worklist { frontier.label() } else { "off" },
+                result.edges_touched,
+            ));
             result.report
         }
         "pr" | "pagerank" => {
@@ -78,7 +101,9 @@ pub fn run(args: &Args) -> CmdResult {
             result.report
         }
         "bc" => {
-            let result = engine.betweenness(&rep, source).map_err(|e| e.to_string())?;
+            let result = engine
+                .betweenness(&rep, source)
+                .map_err(|e| e.to_string())?;
             let (top, score) = result
                 .centrality
                 .iter()
@@ -114,7 +139,7 @@ pub fn run(args: &Args) -> CmdResult {
 }
 
 const USAGE: &str = "usage: tigr run <bfs|sssp|sswp|cc|pr|bc> --graph <file> \
-[--source N] [--virtual K [--coalesced]] [--report]";
+[--source N] [--virtual K [--coalesced]] [--frontier auto|dense|sparse|off] [--report]";
 
 #[cfg(test)]
 mod tests {
@@ -155,6 +180,34 @@ mod tests {
         let out = run(&parse(&format!("pr --graph {path}"))).unwrap();
         assert!(out.contains("pagerank: top node"));
         assert!(out.contains("representation  original"));
+    }
+
+    #[test]
+    fn frontier_modes_report_and_match() {
+        let path = fixture();
+        let on = run(&parse(&format!("sssp --graph {path} --frontier sparse"))).unwrap();
+        assert!(on.contains("frontier        sparse"));
+        let off = run(&parse(&format!("sssp --graph {path} --frontier off"))).unwrap();
+        assert!(off.contains("frontier        off"));
+        let touched = |s: &str| -> u64 {
+            s.lines()
+                .find(|l| l.starts_with("edges touched"))
+                .and_then(|l| l.split_whitespace().last())
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            touched(&on) < touched(&off),
+            "frontier run should attempt fewer relaxations"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_frontier_mode() {
+        let path = fixture();
+        let err = run(&parse(&format!("bfs --graph {path} --frontier bitmap"))).unwrap_err();
+        assert!(err.contains("invalid --frontier"));
     }
 
     #[test]

@@ -28,9 +28,15 @@ pub fn run(args: &Args) -> CmdResult {
     out.push_str(&format!("median degree  {}\n", s.median_degree));
     out.push_str(&format!("p99 degree     {}\n", s.p99_degree));
     out.push_str(&format!("max degree     {}\n", s.max_degree));
-    out.push_str(&format!("degree CV      {:.2}\n", s.coefficient_of_variation));
+    out.push_str(&format!(
+        "degree CV      {:.2}\n",
+        s.coefficient_of_variation
+    ));
     out.push_str(&format!("deg < 20       {:.1}%\n", s.frac_below_20 * 100.0));
-    out.push_str(&format!("deg >= 1000    {:.2}%\n", s.frac_at_least_1000 * 100.0));
+    out.push_str(&format!(
+        "deg >= 1000    {:.2}%\n",
+        s.frac_at_least_1000 * 100.0
+    ));
     out.push_str(&format!("power-law α    {alpha}\n"));
     out.push_str(&format!("diameter (est) {diameter}\n"));
     out.push_str(&format!(

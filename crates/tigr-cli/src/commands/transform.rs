@@ -2,8 +2,8 @@
 //! transformations from the command line.
 
 use tigr_core::{
-    circular_transform, clique_transform, recursive_star_transform, star_transform,
-    udt_transform, DumbWeight, TransformedGraph,
+    circular_transform, clique_transform, recursive_star_transform, star_transform, udt_transform,
+    DumbWeight, TransformedGraph,
 };
 
 use crate::args::Args;

@@ -56,7 +56,10 @@ mod tests {
     fn round_trips_by_extension() {
         let dir = std::env::temp_dir().join("tigr_cli_io_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let g = CsrBuilder::new(3).weighted_edge(0, 1, 5).weighted_edge(1, 2, 7).build();
+        let g = CsrBuilder::new(3)
+            .weighted_edge(0, 1, 5)
+            .weighted_edge(1, 2, 7)
+            .build();
         for name in ["g.bin", "g.txt", "g.gr"] {
             let path = dir.join(name);
             let path = path.to_str().unwrap();

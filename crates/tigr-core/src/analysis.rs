@@ -9,8 +9,7 @@ use tigr_graph::Csr;
 
 use crate::dumb_weights::DumbWeight;
 use crate::split::{
-    circular_transform, clique_transform, recursive_star_transform, star_transform,
-    udt_transform,
+    circular_transform, clique_transform, recursive_star_transform, star_transform, udt_transform,
 };
 use crate::virtual_graph::VirtualGraph;
 
@@ -129,7 +128,11 @@ mod tests {
         let get = |name: &str| rows.iter().find(|r| r.name == name).unwrap();
         assert!(get("clique").edge_growth > get("udt").edge_growth);
         assert!(get("clique").edge_growth > get("circular").edge_growth);
-        assert_eq!(get("virtual").edge_growth, 1.0, "overlay shares the edge array");
+        assert_eq!(
+            get("virtual").edge_growth,
+            1.0,
+            "overlay shares the edge array"
+        );
     }
 
     #[test]
@@ -137,7 +140,10 @@ mod tests {
         let g = rmat(&RmatConfig::heavy_tail(11, 8), 21);
         let before = tigr_graph::stats::degree_stats(&g).coefficient_of_variation;
         let rows = compare_irregularity_reduction(&g, 8);
-        for r in rows.iter().filter(|r| r.name == "udt" || r.name == "virtual") {
+        for r in rows
+            .iter()
+            .filter(|r| r.name == "udt" || r.name == "virtual")
+        {
             assert!(
                 r.cv_after < before / 2.0,
                 "{}: CV {} vs input {before}",

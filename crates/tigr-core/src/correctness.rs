@@ -9,9 +9,7 @@
 
 use std::collections::HashSet;
 
-use tigr_graph::properties::{
-    bfs_levels, connected_components, dijkstra, reachable, widest_path,
-};
+use tigr_graph::properties::{bfs_levels, connected_components, dijkstra, reachable, widest_path};
 use tigr_graph::{Csr, NodeId};
 
 use crate::split::TransformedGraph;
@@ -174,10 +172,7 @@ pub fn verify_bottleneck_preservation(
 /// original node keeps exactly its original incoming edges from original
 /// nodes (split transformations never touch incoming edges of other
 /// nodes' families).
-pub fn verify_indegree_preservation(
-    original: &Csr,
-    transformed: &TransformedGraph,
-) -> CheckResult {
+pub fn verify_indegree_preservation(original: &Csr, transformed: &TransformedGraph) -> CheckResult {
     let n = original.num_nodes();
     let count = |g: &Csr, limit_src: bool| -> Vec<usize> {
         let mut indeg = vec![0usize; n];
@@ -210,10 +205,7 @@ pub fn verify_degree_bound(transformed: &TransformedGraph) -> CheckResult {
     let g = transformed.graph();
     for v in g.nodes() {
         if g.out_degree(v) > k {
-            return Err(format!(
-                "node {v} has degree {} > K = {k}",
-                g.out_degree(v)
-            ));
+            return Err(format!("node {v} has degree {} > K = {k}", g.out_degree(v)));
         }
     }
     Ok(())
@@ -273,7 +265,9 @@ pub fn verify_udt_full(
 /// path-based, and degree-based analyses are safe; neighborhood-based
 /// ones (graph coloring, triangle counting, clique detection) are not.
 pub fn preserved_analyses() -> HashSet<&'static str> {
-    ["cc", "sssp", "sswp", "bc", "bfs", "pr"].into_iter().collect()
+    ["cc", "sssp", "sswp", "bc", "bfs", "pr"]
+        .into_iter()
+        .collect()
 }
 
 /// Analyses the paper explicitly lists as *not* preserved by split

@@ -51,7 +51,7 @@ mod dumb_weights;
 
 pub use dumb_weights::DumbWeight;
 pub use split::{
-    circular_transform, clique_transform, recursive_star_transform, star_transform,
-    udt_transform, TransformedGraph,
+    circular_transform, clique_transform, recursive_star_transform, star_transform, udt_transform,
+    TransformedGraph,
 };
 pub use virtual_graph::{EdgeCursor, OnTheFlyMapper, VirtualGraph, VirtualNode};

@@ -125,8 +125,8 @@ mod tests {
         let g = star_graph(27);
         let t = circular_transform(&g, 5, DumbWeight::Zero);
         let levels = bfs_levels(t.graph(), NodeId::new(0));
-        for v in 1..27 {
-            assert_ne!(levels[v], usize::MAX);
+        for &level in &levels[1..27] {
+            assert_ne!(level, usize::MAX);
         }
     }
 }

@@ -216,12 +216,15 @@ pub fn apply_split(
             }
         } else {
             stubs.clear();
-            stubs.extend(g.neighbors(v).iter().enumerate().map(|(off, &target)| {
-                EdgeStub {
-                    target,
-                    weight: g.weight(g.edge_start(v) + off),
-                }
-            }));
+            stubs.extend(
+                g.neighbors(v)
+                    .iter()
+                    .enumerate()
+                    .map(|(off, &target)| EdgeStub {
+                        target,
+                        weight: g.weight(g.edge_start(v) + off),
+                    }),
+            );
             let mut ctx = SplitContext {
                 k: k_usize,
                 edges: &mut edges,

@@ -84,8 +84,8 @@ mod tests {
         let g = star_graph(50);
         let t = star_transform(&g, 7, DumbWeight::Zero);
         let levels = bfs_levels(t.graph(), NodeId::new(0));
-        for target in 1..50 {
-            assert_eq!(levels[target], 2);
+        for &level in &levels[1..50] {
+            assert_eq!(level, 2);
         }
     }
 

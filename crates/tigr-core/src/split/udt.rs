@@ -123,7 +123,7 @@ mod tests {
         // 5 stubs: one new node takes 3, root takes remaining 2 stubs + new node.
         assert_eq!(t.num_split_nodes(), 1);
         let degs = family_degrees(&t);
-        assert_eq!(degs.iter().filter(|&&d| d < 3 && d > 0).count() <= 1, true);
+        assert!(degs.iter().filter(|&&d| d < 3 && d > 0).count() <= 1);
         assert!(t.graph().max_out_degree() <= 3);
     }
 
@@ -201,8 +201,8 @@ mod tests {
         for e in t.graph().edges() {
             indeg[e.dst.index()] += 1;
         }
-        for target in 1..23 {
-            assert_eq!(indeg[target], 1, "leaf {target}");
+        for (target, &deg) in indeg.iter().enumerate().take(23).skip(1) {
+            assert_eq!(deg, 1, "leaf {target}");
         }
     }
 
@@ -236,7 +236,7 @@ mod tests {
         assert_eq!(&trans[..40], &orig[..], "Corollary 3");
         // Introduced edges really carry infinity.
         let hub_weights = t.graph().neighbor_weights(NodeId::new(0)).unwrap();
-        assert!(hub_weights.iter().any(|&w| w == INFINITE_WEIGHT));
+        assert!(hub_weights.contains(&INFINITE_WEIGHT));
     }
 
     #[test]

@@ -152,6 +152,25 @@ impl VirtualGraph {
         self.first_vnode[v.index()] as usize..self.first_vnode[v.index() + 1] as usize
     }
 
+    /// Expands a list of active *physical* nodes into the virtual-node
+    /// indices of their families, in family order — the frontier
+    /// expansion a worklist scheduler performs before launching one
+    /// thread per active virtual node (top-down direction-optimizing BFS
+    /// and the push engine's sparse frontier both use this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn expand_active(&self, active: &[u32]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(active.len());
+        for &p in active {
+            for i in self.vnode_range(NodeId::new(p)) {
+                out.push(i as u32);
+            }
+        }
+        out
+    }
+
     /// Number of virtual nodes (= threads to schedule).
     pub fn num_virtual_nodes(&self) -> usize {
         self.vnodes.len()
@@ -188,7 +207,11 @@ impl VirtualGraph {
 
     /// Largest number of edges any virtual node covers (`≤ K`).
     pub fn max_virtual_degree(&self) -> usize {
-        self.vnodes.iter().map(|v| v.count as usize).max().unwrap_or(0)
+        self.vnodes
+            .iter()
+            .map(|v| v.count as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Size in bytes of the virtual node array under the paper's
@@ -408,10 +431,7 @@ mod tests {
         assert_eq!(hub_vnodes[0].count, 3);
         assert_eq!(hub_vnodes[1].count, 3);
         assert_eq!(hub_vnodes[0].stride, 1);
-        assert_eq!(
-            hub_vnodes[1].first_edge,
-            hub_vnodes[0].first_edge + 3
-        );
+        assert_eq!(hub_vnodes[1].first_edge, hub_vnodes[0].first_edge + 3);
         vg.validate_against(&g).unwrap();
     }
 
@@ -556,8 +576,21 @@ mod tests {
             assert_eq!(vg.vnode_range(NodeId::new(v)).len(), 1);
         }
         // Ranges tile the whole vnode array.
-        let total: usize = (0..25u32).map(|v| vg.vnode_range(NodeId::new(v)).len()).sum();
+        let total: usize = (0..25u32)
+            .map(|v| vg.vnode_range(NodeId::new(v)).len())
+            .sum();
         assert_eq!(total, vg.num_virtual_nodes());
+    }
+
+    #[test]
+    fn expand_active_yields_whole_families_in_order() {
+        let g = star_graph(25); // hub degree 24 -> 3 vnodes with K=10
+        let vg = VirtualGraph::new(&g, 10);
+        let expanded = vg.expand_active(&[0, 2]);
+        let hub: Vec<u32> = vg.vnode_range(NodeId::new(0)).map(|i| i as u32).collect();
+        let leaf: Vec<u32> = vg.vnode_range(NodeId::new(2)).map(|i| i as u32).collect();
+        assert_eq!(expanded, [hub, leaf].concat());
+        assert!(vg.expand_active(&[]).is_empty());
     }
 
     #[test]

@@ -60,6 +60,16 @@ pub const fn frontier_addr(i: usize) -> u64 {
     FRONTIER_BASE + (i as u64) * 4
 }
 
+/// Base address of the dense frontier bitmap (one bit per node), placed
+/// past the compacted-list region so the two forms never share lines.
+pub const FRONTIER_BITMAP_BASE: u64 = 0x5800_0000;
+
+/// Address of the bitmap word holding node `v`'s active bit (32 bits per
+/// 4-byte word, so 32 consecutive nodes share one word).
+pub const fn frontier_bit_addr(v: usize) -> u64 {
+    FRONTIER_BITMAP_BASE + (v as u64 / 32) * 4
+}
+
 /// Address of auxiliary array slot `v` (array `which` ∈ 0..8).
 pub const fn aux_addr(which: u64, v: usize) -> u64 {
     AUX_BASE + which * 0x1000_0000 + (v as u64) * 4
@@ -77,7 +87,8 @@ mod tests {
         assert!(edge_addr(n) < VNODE_BASE);
         assert!(vnode_addr(n) < ROW_PTR_BASE);
         assert!(row_ptr_addr(n) < FRONTIER_BASE);
-        assert!(frontier_addr(n) < AUX_BASE);
+        assert!(frontier_addr(n) < FRONTIER_BITMAP_BASE);
+        assert!(frontier_bit_addr(n) < AUX_BASE);
         assert!(aux_addr(7, n) < FLAG_ADDR);
     }
 

@@ -67,9 +67,8 @@ pub fn run(sim: &GpuSimulator, rep: &Representation<'_>, source: NodeId) -> BcOu
                 lane.load(edge_addr(e), 8);
                 let nbr = g.edge_target(e).index();
                 lane.load(value_addr(nbr), 4); // level[nbr]
-                // Unvisited? claim it for level+1 (atomic CAS).
-                if levels.load(nbr) == u32::MAX
-                    && levels.try_improve(nbr, level + 1, Combine::Min)
+                                               // Unvisited? claim it for level+1 (atomic CAS).
+                if levels.load(nbr) == u32::MAX && levels.try_improve(nbr, level + 1, Combine::Min)
                 {
                     lane.atomic(value_addr(nbr), 4);
                     next.push(nbr as u32);
@@ -99,33 +98,32 @@ pub fn run(sim: &GpuSimulator, rep: &Representation<'_>, source: NodeId) -> BcOu
     for l in (0..level_buckets.len().saturating_sub(1)).rev() {
         let bucket = &level_buckets[l];
         let target_level = (l + 1) as u32;
-        let kernel = |lane: &mut tigr_sim::Lane,
-                      slot: usize,
-                      edges: &mut dyn Iterator<Item = usize>| {
-            lane.load(aux_addr(2, slot), 4); // sigma[v]
-            let sig_v = sigma.load(slot);
-            let mut partial = 0.0f32;
-            for e in edges {
-                lane.load(edge_addr(e), 8);
-                let nbr = g.edge_target(e).index();
-                lane.load(value_addr(nbr), 4); // level[nbr]
-                if levels.load(nbr) == target_level {
-                    lane.load(aux_addr(2, nbr), 4); // sigma[nbr]
-                    lane.load(aux_addr(3, nbr), 4); // delta[nbr]
-                    let sig_w = sigma.load(nbr);
-                    if sig_w > 0.0 {
-                        partial += sig_v / sig_w * (1.0 + delta.load(nbr));
+        let kernel =
+            |lane: &mut tigr_sim::Lane, slot: usize, edges: &mut dyn Iterator<Item = usize>| {
+                lane.load(aux_addr(2, slot), 4); // sigma[v]
+                let sig_v = sigma.load(slot);
+                let mut partial = 0.0f32;
+                for e in edges {
+                    lane.load(edge_addr(e), 8);
+                    let nbr = g.edge_target(e).index();
+                    lane.load(value_addr(nbr), 4); // level[nbr]
+                    if levels.load(nbr) == target_level {
+                        lane.load(aux_addr(2, nbr), 4); // sigma[nbr]
+                        lane.load(aux_addr(3, nbr), 4); // delta[nbr]
+                        let sig_w = sigma.load(nbr);
+                        if sig_w > 0.0 {
+                            partial += sig_v / sig_w * (1.0 + delta.load(nbr));
+                        }
+                        lane.compute(4);
+                    } else {
+                        lane.compute(1);
                     }
-                    lane.compute(4);
-                } else {
-                    lane.compute(1);
                 }
-            }
-            if partial != 0.0 {
-                delta.fetch_add(slot, partial);
-                lane.atomic(aux_addr(3, slot), 4);
-            }
-        };
+                if partial != 0.0 {
+                    delta.fetch_add(slot, partial);
+                    lane.atomic(aux_addr(3, slot), 4);
+                }
+            };
         let metrics = launch_frontier(sim, rep, bucket, &kernel);
         report.push(bucket.len(), metrics);
     }
@@ -262,7 +260,12 @@ mod tests {
     #[test]
     fn diamond_splits_sigma() {
         // 0->1, 0->2, 1->3, 2->3: two shortest paths to 3.
-        let g = CsrBuilder::new(4).edge(0, 1).edge(0, 2).edge(1, 3).edge(2, 3).build();
+        let g = CsrBuilder::new(4)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(1, 3)
+            .edge(2, 3)
+            .build();
         let sim = GpuSimulator::new(GpuConfig::tiny());
         let out = run(&sim, &Representation::Original(&g), NodeId::new(0));
         assert_eq!(out.sigma, vec![1.0, 1.0, 1.0, 2.0]);
@@ -327,7 +330,10 @@ mod tests {
         let (got, report) = run_sampled(&sim, &Representation::Original(&g), &sources);
         let expect = tigr_graph::properties::betweenness_centrality(&g);
         for (i, (&a, &b)) in got.iter().zip(&expect).enumerate() {
-            assert!((a - b).abs() < 1e-2 * (1.0 + b.abs()), "bc[{i}]: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-2 * (1.0 + b.abs()),
+                "bc[{i}]: {a} vs {b}"
+            );
         }
         assert!(report.num_iterations() > sources.len());
     }

@@ -44,7 +44,12 @@ mod tests {
     fn two_islands() -> tigr_graph::Csr {
         let mut b = CsrBuilder::new(8);
         b.symmetric(true);
-        b.edge(0, 1).edge(1, 2).edge(2, 3).edge(4, 5).edge(5, 6).edge(6, 7);
+        b.edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(4, 5)
+            .edge(5, 6)
+            .edge(6, 7);
         b.build()
     }
 

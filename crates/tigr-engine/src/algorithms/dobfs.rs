@@ -13,13 +13,14 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crossbeam::queue::SegQueue;
-
 use tigr_core::VirtualGraph;
 use tigr_graph::{Csr, NodeId};
 use tigr_sim::{GpuSimulator, SimReport};
 
-use crate::addr::{edge_addr, frontier_addr, row_ptr_addr, value_addr, vnode_addr};
+use crate::addr::{
+    edge_addr, frontier_addr, frontier_bit_addr, row_ptr_addr, value_addr, vnode_addr,
+};
+use crate::frontier::{FrontierBuilder, FrontierMode};
 use crate::state::{AtomicValues, Combine};
 
 /// Which direction a BFS level ran in.
@@ -101,23 +102,34 @@ pub fn run(
         let bottom_up = frontier_edges as f64 * options.alpha > unvisited_edges as f64
             && frontier.len() > n.div_ceil(options.beta.max(1.0) as usize).max(1);
 
-        let next = SegQueue::new();
+        let next = FrontierBuilder::new(n);
         let metrics = if bottom_up {
             directions.push(Direction::BottomUp);
             bottom_up_step(sim, reverse, overlays.map(|o| o.1), &levels, level, &next)
         } else {
             directions.push(Direction::TopDown);
-            top_down_step(sim, graph, overlays.map(|o| o.0), &levels, level, &frontier, &next)
+            top_down_step(
+                sim,
+                graph,
+                overlays.map(|o| o.0),
+                &levels,
+                level,
+                &frontier,
+                &next,
+            )
         };
         report.push(frontier.len(), metrics);
 
-        let mut nf: Vec<u32> = std::iter::from_fn(|| next.pop()).collect();
-        nf.sort_unstable();
-        nf.dedup();
+        // The builder drains sorted and deduplicated, so the next level's
+        // schedule is deterministic.
+        let nf = next.take(FrontierMode::Sparse);
         unvisited_edges = unvisited_edges.saturating_sub(
-            nf.iter().map(|&v| graph.out_degree(NodeId::new(v)) as u64).sum(),
+            nf.nodes()
+                .iter()
+                .map(|&v| graph.out_degree(NodeId::new(v)) as u64)
+                .sum(),
         );
-        frontier = nf;
+        frontier = nf.nodes().to_vec();
         level += 1;
     }
 
@@ -135,7 +147,7 @@ fn top_down_step(
     levels: &AtomicValues,
     level: u32,
     frontier: &[u32],
-    next: &SegQueue<u32>,
+    next: &FrontierBuilder,
 ) -> tigr_sim::KernelMetrics {
     let body = |lane: &mut tigr_sim::Lane, edges: &mut dyn Iterator<Item = usize>| {
         for e in edges {
@@ -144,7 +156,9 @@ fn top_down_step(
             lane.load(value_addr(nbr), 4);
             if levels.load(nbr) == u32::MAX && levels.try_improve(nbr, level + 1, Combine::Min) {
                 lane.atomic(value_addr(nbr), 4);
-                next.push(nbr as u32);
+                if next.activate(nbr) {
+                    lane.atomic(frontier_bit_addr(nbr), 4);
+                }
             }
             lane.compute(1);
         }
@@ -157,12 +171,7 @@ fn top_down_step(
             body(lane, &mut (graph.edge_start(v)..graph.edge_end(v)));
         }),
         Some(ov) => {
-            let mut active: Vec<u32> = Vec::with_capacity(frontier.len());
-            for &p in frontier {
-                for i in ov.vnode_range(NodeId::new(p)) {
-                    active.push(i as u32);
-                }
-            }
+            let active = ov.expand_active(frontier);
             sim.launch(active.len(), |tid, lane| {
                 let vid = active[tid] as usize;
                 lane.load(vnode_addr(vid), 8);
@@ -179,12 +188,10 @@ fn bottom_up_step(
     overlay: Option<&VirtualGraph>,
     levels: &AtomicValues,
     level: u32,
-    next: &SegQueue<u32>,
+    next: &FrontierBuilder,
 ) -> tigr_sim::KernelMetrics {
     let scanned = AtomicU64::new(0);
-    let body = |lane: &mut tigr_sim::Lane,
-                slot: usize,
-                edges: &mut dyn Iterator<Item = usize>| {
+    let body = |lane: &mut tigr_sim::Lane, slot: usize, edges: &mut dyn Iterator<Item = usize>| {
         lane.load(value_addr(slot), 4);
         if levels.load(slot) != u32::MAX {
             return;
@@ -199,7 +206,9 @@ fn bottom_up_step(
                 // Early exit: claim the level and stop scanning.
                 if levels.try_improve(slot, level + 1, Combine::Min) {
                     lane.atomic(value_addr(slot), 4);
-                    next.push(slot as u32);
+                    if next.activate(slot) {
+                        lane.atomic(frontier_bit_addr(slot), 4);
+                    }
                 }
                 break;
             }
@@ -214,7 +223,11 @@ fn bottom_up_step(
         Some(ov) => sim.launch(ov.num_virtual_nodes(), |tid, lane| {
             lane.load(vnode_addr(tid), 8);
             let vn = ov.vnode(tid);
-            body(lane, vn.physical.index(), &mut tigr_core::EdgeCursor::new(&vn));
+            body(
+                lane,
+                vn.physical.index(),
+                &mut tigr_core::EdgeCursor::new(&vn),
+            );
         }),
     }
 }
@@ -250,7 +263,14 @@ mod tests {
         let g = rmat(&RmatConfig::graph500(10, 16), 78);
         let rev = transpose(&g);
         let sim = GpuSimulator::new(GpuConfig::default());
-        let out = run(&sim, &g, &rev, None, NodeId::new(0), &DoBfsOptions::default());
+        let out = run(
+            &sim,
+            &g,
+            &rev,
+            None,
+            NodeId::new(0),
+            &DoBfsOptions::default(),
+        );
         assert!(
             out.directions.contains(&Direction::BottomUp),
             "dense RMAT should trigger the switch: {:?}",
@@ -264,7 +284,14 @@ mod tests {
         let g = grid_2d(60, 60);
         let rev = transpose(&g);
         let sim = GpuSimulator::new(GpuConfig::tiny());
-        let out = run(&sim, &g, &rev, None, NodeId::new(0), &DoBfsOptions::default());
+        let out = run(
+            &sim,
+            &g,
+            &rev,
+            None,
+            NodeId::new(0),
+            &DoBfsOptions::default(),
+        );
         assert!(out.directions.iter().all(|&d| d == Direction::TopDown));
         assert_eq!(out.levels, expect_levels(&g, NodeId::new(0)));
     }
@@ -292,7 +319,14 @@ mod tests {
         let g = rmat(&RmatConfig::graph500(10, 16), 80);
         let rev = transpose(&g);
         let sim = GpuSimulator::new(GpuConfig::default());
-        let hybrid = run(&sim, &g, &rev, None, NodeId::new(0), &DoBfsOptions::default());
+        let hybrid = run(
+            &sim,
+            &g,
+            &rev,
+            None,
+            NodeId::new(0),
+            &DoBfsOptions::default(),
+        );
         // Force pure top-down with an unreachable switch threshold.
         let pure = run(
             &sim,
@@ -320,6 +354,13 @@ mod tests {
         let g = grid_2d(3, 3);
         let other = grid_2d(4, 4);
         let sim = GpuSimulator::new(GpuConfig::tiny());
-        let _ = run(&sim, &g, &other, None, NodeId::new(0), &DoBfsOptions::default());
+        let _ = run(
+            &sim,
+            &g,
+            &other,
+            None,
+            NodeId::new(0),
+            &DoBfsOptions::default(),
+        );
     }
 }

@@ -84,7 +84,11 @@ pub fn run(
     options: &PrOptions,
 ) -> PrOutput {
     let n = rep.num_value_slots();
-    assert_eq!(out_degrees.len(), n, "out-degree array must cover all nodes");
+    assert_eq!(
+        out_degrees.len(),
+        n,
+        "out-degree array must cover all nodes"
+    );
     assert!(
         !matches!(rep, Representation::Physical(_)),
         "PageRank is undefined on physically transformed graphs: UDT alters out-degrees (Corollary 4)"
@@ -114,8 +118,8 @@ pub fn run(
 
         // Dangling mass (host reduction mirrored as a small kernel).
         let mut dangling = 0.0f64;
-        for v in 0..n {
-            if out_degrees[v] == 0 {
+        for (v, &deg) in out_degrees.iter().enumerate() {
+            if deg == 0 {
                 dangling += ranks.load(v) as f64;
             }
         }
@@ -159,24 +163,23 @@ fn push_kernel(
     out_degrees: &[u32],
 ) -> tigr_sim::KernelMetrics {
     let g = rep.graph();
-    let scatter = |lane: &mut tigr_sim::Lane,
-                   slot: usize,
-                   edges: &mut dyn Iterator<Item = usize>| {
-        lane.load(value_addr(slot), 4);
-        lane.load(aux_addr(1, slot), 4);
-        let deg = out_degrees[slot];
-        if deg == 0 {
-            return;
-        }
-        let share = ranks.load(slot) / deg as f32;
-        lane.compute(1);
-        for e in edges {
-            lane.load(edge_addr(e), 8);
-            let nbr = g.edge_target(e).index();
-            accum.fetch_add(nbr, share);
-            lane.atomic(aux_addr(0, nbr), 4);
-        }
-    };
+    let scatter =
+        |lane: &mut tigr_sim::Lane, slot: usize, edges: &mut dyn Iterator<Item = usize>| {
+            lane.load(value_addr(slot), 4);
+            lane.load(aux_addr(1, slot), 4);
+            let deg = out_degrees[slot];
+            if deg == 0 {
+                return;
+            }
+            let share = ranks.load(slot) / deg as f32;
+            lane.compute(1);
+            for e in edges {
+                lane.load(edge_addr(e), 8);
+                let nbr = g.edge_target(e).index();
+                accum.fetch_add(nbr, share);
+                lane.atomic(aux_addr(0, nbr), 4);
+            }
+        };
     launch_over(sim, rep, &scatter)
 }
 
@@ -189,26 +192,25 @@ fn pull_kernel(
     out_degrees: &[u32],
 ) -> tigr_sim::KernelMetrics {
     let g = rep.graph(); // the transpose: edges lead to in-neighbors
-    let gather = |lane: &mut tigr_sim::Lane,
-                  slot: usize,
-                  edges: &mut dyn Iterator<Item = usize>| {
-        let mut partial = 0.0f32;
-        let mut any = false;
-        for e in edges {
-            lane.load(edge_addr(e), 8);
-            let src = g.edge_target(e).index();
-            lane.load(value_addr(src), 4);
-            lane.load(aux_addr(1, src), 4);
-            let deg = out_degrees[src].max(1);
-            partial += ranks.load(src) / deg as f32;
-            lane.compute(2);
-            any = true;
-        }
-        if any {
-            accum.fetch_add(slot, partial);
-            lane.atomic(aux_addr(0, slot), 4);
-        }
-    };
+    let gather =
+        |lane: &mut tigr_sim::Lane, slot: usize, edges: &mut dyn Iterator<Item = usize>| {
+            let mut partial = 0.0f32;
+            let mut any = false;
+            for e in edges {
+                lane.load(edge_addr(e), 8);
+                let src = g.edge_target(e).index();
+                lane.load(value_addr(src), 4);
+                lane.load(aux_addr(1, src), 4);
+                let deg = out_degrees[src].max(1);
+                partial += ranks.load(src) / deg as f32;
+                lane.compute(2);
+                any = true;
+            }
+            if any {
+                accum.fetch_add(slot, partial);
+                lane.atomic(aux_addr(0, slot), 4);
+            }
+        };
     launch_over(sim, rep, &gather)
 }
 
@@ -228,7 +230,11 @@ fn launch_over(
             sim.launch(overlay.num_virtual_nodes(), |tid, lane| {
                 lane.load(vnode_addr(tid), 8);
                 let vn = overlay.vnode(tid);
-                body(lane, vn.physical.index(), &mut tigr_core::EdgeCursor::new(&vn));
+                body(
+                    lane,
+                    vn.physical.index(),
+                    &mut tigr_core::EdgeCursor::new(&vn),
+                );
             })
         }
         Representation::OnTheFly { graph, mapper } => {
@@ -406,14 +412,24 @@ mod tests {
         let t = tigr_core::udt_transform(&g, 4, tigr_core::DumbWeight::Unweighted);
         let sim = GpuSimulator::new(GpuConfig::tiny());
         let degs = vec![0u32; t.graph().num_nodes()];
-        let _ = run(&sim, &Representation::Physical(&t), &degs, &PrOptions::default());
+        let _ = run(
+            &sim,
+            &Representation::Physical(&t),
+            &degs,
+            &PrOptions::default(),
+        );
     }
 
     #[test]
     fn empty_graph() {
         let g = tigr_graph::CsrBuilder::new(0).build();
         let sim = GpuSimulator::new(GpuConfig::tiny());
-        let out = run(&sim, &Representation::Original(&g), &[], &PrOptions::default());
+        let out = run(
+            &sim,
+            &Representation::Original(&g),
+            &[],
+            &PrOptions::default(),
+        );
         assert!(out.ranks.is_empty());
         assert!(out.converged);
     }

@@ -92,7 +92,9 @@ mod tests {
 
     #[test]
     fn unreachable_nodes_stay_infinite() {
-        let g = tigr_graph::CsrBuilder::new(4).weighted_edge(0, 1, 3).build();
+        let g = tigr_graph::CsrBuilder::new(4)
+            .weighted_edge(0, 1, 3)
+            .build();
         let sim = GpuSimulator::new(GpuConfig::tiny());
         let out = run(
             &sim,

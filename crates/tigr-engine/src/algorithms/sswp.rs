@@ -76,7 +76,12 @@ mod tests {
             return; // nothing split, nothing to corrupt
         }
         let sim = GpuSimulator::new(GpuConfig::default());
-        let out = run(&sim, &Representation::Physical(&t), src, &PushOptions::default());
+        let out = run(
+            &sim,
+            &Representation::Physical(&t),
+            src,
+            &PushOptions::default(),
+        );
         assert_ne!(t.project_values(&out.values), expect);
     }
 }

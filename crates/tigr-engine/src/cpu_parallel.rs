@@ -3,14 +3,18 @@
 //! The simulator measures *GPU-architectural* cost; this module is the
 //! complementary "actually run it fast on this machine" path used by the
 //! examples and by sanity benches. It executes the same monotone
-//! programs with crossbeam-scoped worker threads over node chunks and
-//! the same atomic min/max value array.
+//! programs with scoped worker threads over node chunks and the same
+//! atomic min/max value array. [`CpuOptions::frontier`] switches the
+//! sweep from all nodes per iteration to only the nodes whose values
+//! changed last iteration, collected through the same deterministic
+//! [`FrontierBuilder`] the simulated engine uses.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use tigr_graph::{Csr, NodeId};
 
+use crate::frontier::{FrontierBuilder, FrontierMode};
 use crate::program::MonotoneProgram;
 use crate::state::AtomicValues;
 
@@ -23,12 +27,33 @@ pub struct CpuRunOutput {
     pub iterations: usize,
     /// Wall-clock time of the iteration loop.
     pub elapsed: Duration,
+    /// Edge relaxations attempted across all iterations.
+    pub edges_touched: u64,
+}
+
+/// Knobs for [`run_cpu_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct CpuOptions {
+    /// Worker threads; must be at least 1.
+    pub threads: usize,
+    /// Sweep only the active frontier each iteration instead of every
+    /// node. Same fixpoint, fewer edge relaxations on graphs where
+    /// activity is localized.
+    pub frontier: bool,
+}
+
+impl Default for CpuOptions {
+    fn default() -> CpuOptions {
+        CpuOptions {
+            threads: default_threads(),
+            frontier: false,
+        }
+    }
 }
 
 /// Runs `prog` over `g` with `threads` worker threads until convergence.
 ///
-/// Uses relaxed synchronization (updates visible within an iteration),
-/// which is safe for monotone programs and converges fastest.
+/// Full-sweep convenience wrapper around [`run_cpu_with`].
 ///
 /// # Panics
 ///
@@ -40,44 +65,116 @@ pub fn run_cpu(
     source: Option<NodeId>,
     threads: usize,
 ) -> CpuRunOutput {
+    run_cpu_with(
+        g,
+        prog,
+        source,
+        &CpuOptions {
+            threads,
+            frontier: false,
+        },
+    )
+}
+
+/// Runs `prog` over `g` until convergence, per `options`.
+///
+/// Uses relaxed synchronization (updates visible within an iteration),
+/// which is safe for monotone programs and converges fastest. With
+/// `options.frontier` set, each iteration relaxes only the out-edges of
+/// nodes improved in the previous iteration; the active set is drained
+/// in ascending node order, so the schedule is deterministic regardless
+/// of thread interleaving.
+///
+/// # Panics
+///
+/// Panics if the program needs a source and none is given, if the source
+/// is out of range, or if `options.threads == 0`.
+pub fn run_cpu_with(
+    g: &Csr,
+    prog: MonotoneProgram,
+    source: Option<NodeId>,
+    options: &CpuOptions,
+) -> CpuRunOutput {
+    let threads = options.threads;
     assert!(threads > 0, "need at least one worker thread");
     let n = g.num_nodes();
     let values = AtomicValues::from_values(prog.initial_values(n, source));
+    let edges_touched = AtomicU64::new(0);
     let start = Instant::now();
     let mut iterations = 0;
 
-    loop {
-        let changed = AtomicBool::new(false);
-        let chunk = n.div_ceil(threads).max(1);
-        std::thread::scope(|scope| {
-            for w in 0..threads {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(n);
-                if lo >= hi {
-                    continue;
-                }
-                let values = &values;
-                let changed = &changed;
-                scope.spawn(move || {
-                    for v in lo..hi {
-                        let node = NodeId::from_index(v);
-                        let d = values.load(v);
-                        for (off, &nbr) in g.neighbors(node).iter().enumerate() {
-                            let e = g.edge_start(node) + off;
-                            let cand = prog.edge_op.apply(d, g.weight(e));
-                            if prog.combine.improves(cand, values.load(nbr.index()))
-                                && values.try_improve(nbr.index(), cand, prog.combine)
-                            {
-                                changed.store(true, Ordering::Relaxed);
-                            }
-                        }
-                    }
-                });
+    // Relaxes every out-edge of `v`, returning how many were attempted
+    // and reporting each improved target to `improved`.
+    let relax = |v: usize, improved: &dyn Fn(usize)| -> u64 {
+        let node = NodeId::from_index(v);
+        let d = values.load(v);
+        let nbrs = g.neighbors(node);
+        for (off, &nbr) in nbrs.iter().enumerate() {
+            let e = g.edge_start(node) + off;
+            let cand = prog.edge_op.apply(d, g.weight(e));
+            if prog.combine.improves(cand, values.load(nbr.index()))
+                && values.try_improve(nbr.index(), cand, prog.combine)
+            {
+                improved(nbr.index());
             }
-        });
-        iterations += 1;
-        if !changed.load(Ordering::Relaxed) || n == 0 {
-            break;
+        }
+        nbrs.len() as u64
+    };
+
+    if options.frontier {
+        let mut active: Vec<u32> = prog.initial_frontier(n, source);
+        active.sort_unstable();
+        active.dedup();
+        let next = FrontierBuilder::new(n);
+        while !active.is_empty() {
+            let chunk = active.len().div_ceil(threads).max(1);
+            std::thread::scope(|scope| {
+                for slice in active.chunks(chunk) {
+                    let (next, edges_touched, relax) = (&next, &edges_touched, &relax);
+                    scope.spawn(move || {
+                        let mut touched = 0;
+                        for &v in slice {
+                            touched += relax(v as usize, &|t| {
+                                next.activate(t);
+                            });
+                        }
+                        edges_touched.fetch_add(touched, Ordering::Relaxed);
+                    });
+                }
+            });
+            iterations += 1;
+            active = next.take(FrontierMode::Sparse).nodes().to_vec();
+        }
+        // A frontier run with nothing initially active still counts as
+        // one (empty) inspection pass, matching the full-sweep loop.
+        iterations = iterations.max(1);
+    } else {
+        loop {
+            let changed = AtomicBool::new(false);
+            let chunk = n.div_ceil(threads).max(1);
+            std::thread::scope(|scope| {
+                for w in 0..threads {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    if lo >= hi {
+                        continue;
+                    }
+                    let (changed, edges_touched, relax) = (&changed, &edges_touched, &relax);
+                    scope.spawn(move || {
+                        let mut touched = 0;
+                        for v in lo..hi {
+                            touched += relax(v, &|_| {
+                                changed.store(true, Ordering::Relaxed);
+                            });
+                        }
+                        edges_touched.fetch_add(touched, Ordering::Relaxed);
+                    });
+                }
+            });
+            iterations += 1;
+            if !changed.load(Ordering::Relaxed) || n == 0 {
+                break;
+            }
         }
     }
 
@@ -85,12 +182,15 @@ pub fn run_cpu(
         values: values.snapshot(),
         iterations,
         elapsed: start.elapsed(),
+        edges_touched: edges_touched.into_inner(),
     }
 }
 
 /// Number of worker threads matching the host's parallelism.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -111,6 +211,49 @@ mod tests {
     }
 
     #[test]
+    fn frontier_matches_full_sweep_and_touches_fewer_edges() {
+        let g = with_uniform_weights(&rmat(&RmatConfig::graph500(9, 8), 61), 1, 32, 8);
+        let src = Some(NodeId::new(0));
+        let full = run_cpu_with(
+            &g,
+            MonotoneProgram::SSSP,
+            src,
+            &CpuOptions {
+                threads: 4,
+                frontier: false,
+            },
+        );
+        for threads in [1, 4] {
+            let frontier = run_cpu_with(
+                &g,
+                MonotoneProgram::SSSP,
+                src,
+                &CpuOptions {
+                    threads,
+                    frontier: true,
+                },
+            );
+            assert_eq!(frontier.values, full.values, "threads={threads}");
+            assert!(
+                frontier.edges_touched < full.edges_touched,
+                "threads={threads}: frontier {} vs full {}",
+                frontier.edges_touched,
+                full.edges_touched
+            );
+        }
+    }
+
+    #[test]
+    fn full_sweep_charges_all_edges_every_iteration() {
+        let g = with_uniform_weights(&rmat(&RmatConfig::graph500(8, 8), 7), 1, 32, 8);
+        let out = run_cpu(&g, MonotoneProgram::SSSP, Some(NodeId::new(0)), 2);
+        assert_eq!(
+            out.edges_touched,
+            g.num_edges() as u64 * out.iterations as u64
+        );
+    }
+
+    #[test]
     fn cpu_cc_matches_oracle() {
         let mut b = tigr_graph::CsrBuilder::new(6);
         b.symmetric(true);
@@ -121,10 +264,39 @@ mod tests {
     }
 
     #[test]
+    fn frontier_cc_matches_oracle() {
+        let mut b = tigr_graph::CsrBuilder::new(7);
+        b.symmetric(true);
+        b.edge(0, 1).edge(1, 2).edge(3, 4).edge(5, 5);
+        let g = b.build();
+        let out = run_cpu_with(
+            &g,
+            MonotoneProgram::CC,
+            None,
+            &CpuOptions {
+                threads: 3,
+                frontier: true,
+            },
+        );
+        assert_eq!(out.values, tigr_graph::properties::connected_components(&g));
+    }
+
+    #[test]
     fn empty_graph_terminates() {
         let g = tigr_graph::CsrBuilder::new(0).build();
-        let out = run_cpu(&g, MonotoneProgram::CC, None, 2);
-        assert!(out.values.is_empty());
+        for frontier in [false, true] {
+            let out = run_cpu_with(
+                &g,
+                MonotoneProgram::CC,
+                None,
+                &CpuOptions {
+                    threads: 2,
+                    frontier,
+                },
+            );
+            assert!(out.values.is_empty());
+            assert_eq!(out.iterations, 1);
+        }
     }
 
     #[test]

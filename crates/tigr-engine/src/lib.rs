@@ -1,8 +1,10 @@
 //! Vertex-centric graph-processing engine over the GPU simulator.
 //!
 //! This crate is the paper's "lightweight GPU graph processing engine"
-//! (§5): a push-based BSP driver with worklist and synchronization-
-//! relaxation optimizations, able to schedule over four representations
+//! (§5): a push-based BSP driver with active-frontier worklist
+//! scheduling (dense bitmap / sparse compacted list, density-switched —
+//! see [`frontier`]) and synchronization-relaxation optimizations, able
+//! to schedule over four representations
 //! — the original CSR, a physically split graph (`Tigr-UDT`), a virtual
 //! node array (`Tigr-V` / `Tigr-V+`), and dynamic on-the-fly mapping —
 //! plus the six analytics of the evaluation: BFS, CC, SSSP, SSWP, BC,
@@ -40,6 +42,7 @@
 pub mod addr;
 pub mod algorithms;
 pub mod cpu_parallel;
+pub mod frontier;
 mod program;
 mod pull;
 mod push;
@@ -51,7 +54,8 @@ pub use algorithms::bc::{self, BcOutput};
 pub use algorithms::dobfs::{self, DoBfsOptions, DoBfsOutput};
 pub use algorithms::pr::{self, PrMode, PrOptions, PrOutput};
 pub use algorithms::{bfs, cc, sssp, sswp, Analytic};
-pub use cpu_parallel::{default_threads, run_cpu, CpuRunOutput};
+pub use cpu_parallel::{default_threads, run_cpu, run_cpu_with, CpuOptions, CpuRunOutput};
+pub use frontier::{Frontier, FrontierBuilder, FrontierMode, FrontierRep, DENSE_FRACTION};
 pub use program::{EdgeOp, InitKind, MonotoneProgram};
 pub use pull::{run_monotone_pull, PullOptions};
 pub use push::{run_monotone, MonotoneOutput, PushOptions, SyncMode};

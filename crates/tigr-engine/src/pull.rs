@@ -13,12 +13,13 @@
 //! node** per iteration instead of one per improving edge — the property
 //! that makes gather-style frameworks strong on all-active workloads.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use tigr_graph::NodeId;
 use tigr_sim::{GpuSimulator, KernelMetrics, SimReport};
 
-use crate::addr::{edge_addr, row_ptr_addr, value_addr, vnode_addr, FLAG_ADDR};
+use crate::addr::{edge_addr, frontier_bit_addr, row_ptr_addr, value_addr, vnode_addr, FLAG_ADDR};
+use crate::frontier::{Frontier, FrontierBuilder, FrontierMode};
 use crate::program::MonotoneProgram;
 use crate::push::MonotoneOutput;
 use crate::representation::Representation;
@@ -27,6 +28,13 @@ use crate::state::AtomicValues;
 /// Options of a pull run.
 #[derive(Clone, Copy, Debug)]
 pub struct PullOptions {
+    /// Fold only candidates from *active* sources (nodes whose value
+    /// changed last iteration), tracked in a dense bitmap each gather
+    /// consults per in-edge. Every node is still scheduled every
+    /// iteration — pull cannot compact its launch the way push does —
+    /// but inactive edges skip the source-value load and candidate fold,
+    /// which is where all-active gather engines burn their bandwidth.
+    pub worklist: bool,
     /// Safety cap on iterations.
     pub max_iterations: usize,
 }
@@ -34,6 +42,7 @@ pub struct PullOptions {
 impl Default for PullOptions {
     fn default() -> Self {
         PullOptions {
+            worklist: false,
             max_iterations: 100_000,
         }
     }
@@ -44,10 +53,13 @@ impl Default for PullOptions {
 /// in-neighbors). Results are indexed by the original node ids, which
 /// transposition preserves.
 ///
-/// Pull processing has no frontier to worklist on (a node cannot know
-/// its inputs changed without reading them), so every (virtual) node is
-/// processed each iteration — the paper's pull frameworks behave the
-/// same way.
+/// Every (virtual) node is scheduled each iteration — a gathering node
+/// cannot be compacted away without knowing its inputs changed — but
+/// with [`PullOptions::worklist`] each gather folds only candidates from
+/// sources active in the previous iteration, consulting a dense frontier
+/// bitmap per in-edge. Monotone programs make this sound: a candidate
+/// from a source that did not change this round was already offered the
+/// round after that source last improved.
 ///
 /// # Panics
 ///
@@ -72,35 +84,62 @@ pub fn run_monotone_pull(
     let mut report = SimReport::new();
     let mut converged = false;
     let graph = rep.graph();
+    let edges_touched = AtomicU64::new(0);
+
+    // `n` here counts value slots = original nodes (physical reps are
+    // rejected), so source ids index the bitmap directly.
+    let next = options.worklist.then(|| FrontierBuilder::new(n));
+    let mut frontier: Option<Frontier> = options
+        .worklist
+        .then(|| Frontier::from_active(n, prog.initial_frontier(n, source), FrontierMode::Dense));
 
     for _ in 0..options.max_iterations {
+        if let Some(f) = &frontier {
+            if f.is_empty() {
+                converged = true;
+                break;
+            }
+        }
         let changed = AtomicBool::new(false);
 
         // One gather per (virtual) node: fold in-edge candidates locally,
         // then a single atomic improvement on the shared slot.
-        let gather = |lane: &mut tigr_sim::Lane,
-                      slot: usize,
-                      edges: &mut dyn Iterator<Item = usize>| {
-            lane.load(value_addr(slot), 4);
-            let mut best = values.load(slot);
-            let mut improved_locally = false;
-            for e in edges {
-                lane.load(edge_addr(e), 8);
-                let src = graph.edge_target(e).index();
-                lane.load(value_addr(src), 4);
-                let cand = prog.edge_op.apply(values.load(src), graph.weight(e));
-                lane.compute(2);
-                if prog.combine.improves(cand, best) {
-                    best = cand;
-                    improved_locally = true;
+        let gather =
+            |lane: &mut tigr_sim::Lane, slot: usize, edges: &mut dyn Iterator<Item = usize>| {
+                lane.load(value_addr(slot), 4);
+                let mut best = values.load(slot);
+                let mut improved_locally = false;
+                let mut touched = 0u64;
+                for e in edges {
+                    lane.load(edge_addr(e), 8);
+                    let src = graph.edge_target(e).index();
+                    if let Some(f) = &frontier {
+                        lane.load(frontier_bit_addr(src), 4);
+                        if !f.contains(src) {
+                            continue;
+                        }
+                    }
+                    lane.load(value_addr(src), 4);
+                    let cand = prog.edge_op.apply(values.load(src), graph.weight(e));
+                    lane.compute(2);
+                    touched += 1;
+                    if prog.combine.improves(cand, best) {
+                        best = cand;
+                        improved_locally = true;
+                    }
                 }
-            }
-            if improved_locally && values.try_improve(slot, best, prog.combine) {
-                lane.atomic(value_addr(slot), 4);
-                lane.store(FLAG_ADDR, 1);
-                changed.store(true, Ordering::Relaxed);
-            }
-        };
+                edges_touched.fetch_add(touched, Ordering::Relaxed);
+                if improved_locally && values.try_improve(slot, best, prog.combine) {
+                    lane.atomic(value_addr(slot), 4);
+                    lane.store(FLAG_ADDR, 1);
+                    changed.store(true, Ordering::Relaxed);
+                    if let Some(next) = &next {
+                        if next.activate(slot) {
+                            lane.atomic(frontier_bit_addr(slot), 4);
+                        }
+                    }
+                }
+            };
 
         let metrics: KernelMetrics = match rep {
             Representation::Original(g) => sim.launch(g.num_nodes(), |tid, lane| {
@@ -112,7 +151,11 @@ pub fn run_monotone_pull(
                 sim.launch(overlay.num_virtual_nodes(), |tid, lane| {
                     lane.load(vnode_addr(tid), 8);
                     let vn = overlay.vnode(tid);
-                    gather(lane, vn.physical.index(), &mut tigr_core::EdgeCursor::new(&vn));
+                    gather(
+                        lane,
+                        vn.physical.index(),
+                        &mut tigr_core::EdgeCursor::new(&vn),
+                    );
                 })
             }
             Representation::OnTheFly { graph: g, mapper } => {
@@ -140,6 +183,9 @@ pub fn run_monotone_pull(
         };
         report.push(rep.full_threads(), metrics);
 
+        if let Some(next) = &next {
+            frontier = Some(next.take(FrontierMode::Dense));
+        }
         if !changed.load(Ordering::Relaxed) {
             converged = true;
             break;
@@ -150,6 +196,7 @@ pub fn run_monotone_pull(
         values: values.snapshot(),
         report,
         converged,
+        edges_touched: edges_touched.into_inner(),
     }
 }
 
@@ -261,6 +308,61 @@ mod tests {
             &PullOptions::default(),
         );
         assert_eq!(out.values, tigr_graph::properties::connected_components(&g));
+    }
+
+    #[test]
+    fn frontier_pull_matches_full_pull_and_cuts_folds() {
+        let (g, rev) = fixture();
+        let src = NodeId::new(0);
+        let expect = dijkstra(&g, src);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let run = |worklist: bool| {
+            run_monotone_pull(
+                &sim,
+                &Representation::Original(&rev),
+                MonotoneProgram::SSSP,
+                Some(src),
+                &PullOptions {
+                    worklist,
+                    max_iterations: 100_000,
+                },
+            )
+        };
+        let full = run(false);
+        let frontier = run(true);
+        assert!(frontier.converged);
+        assert_eq!(frontier.values, expect);
+        assert_eq!(full.values, expect);
+        assert!(
+            frontier.edges_touched < full.edges_touched,
+            "frontier {} folds vs full {}",
+            frontier.edges_touched,
+            full.edges_touched
+        );
+    }
+
+    #[test]
+    fn frontier_pull_over_virtual_overlay_matches() {
+        let (g, rev) = fixture();
+        let src = NodeId::new(0);
+        let expect = dijkstra(&g, src);
+        let sim = GpuSimulator::new(GpuConfig::default());
+        let overlay = VirtualGraph::coalesced(&rev, 4);
+        let out = run_monotone_pull(
+            &sim,
+            &Representation::Virtual {
+                graph: &rev,
+                overlay: &overlay,
+            },
+            MonotoneProgram::SSSP,
+            Some(src),
+            &PullOptions {
+                worklist: true,
+                max_iterations: 100_000,
+            },
+        );
+        assert!(out.converged);
+        assert_eq!(out.values, expect);
     }
 
     #[test]

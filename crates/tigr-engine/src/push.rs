@@ -10,15 +10,16 @@
 //!   double-buffered alternative ([`SyncMode::Bsp`]) is kept for
 //!   deterministic tests and ablations.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-
-use crossbeam::queue::SegQueue;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use tigr_core::EdgeCursor;
 use tigr_graph::{Csr, NodeId};
 use tigr_sim::{GpuSimulator, KernelMetrics, Lane, SimReport};
 
-use crate::addr::{edge_addr, frontier_addr, row_ptr_addr, value_addr, FLAG_ADDR};
+use crate::addr::{
+    edge_addr, frontier_addr, frontier_bit_addr, row_ptr_addr, value_addr, FLAG_ADDR,
+};
+use crate::frontier::{Frontier, FrontierBuilder, FrontierMode, FrontierRep};
 use crate::program::MonotoneProgram;
 use crate::representation::Representation;
 use crate::state::AtomicValues;
@@ -40,6 +41,10 @@ pub enum SyncMode {
 pub struct PushOptions {
     /// Track and process only active nodes (§5 "worklist").
     pub worklist: bool,
+    /// How the active set is represented and scheduled (dense bitmap,
+    /// sparse compacted list, or density-based auto switching). Only
+    /// meaningful with `worklist`.
+    pub frontier: FrontierMode,
     /// Order each worklist by node degree so warps receive
     /// similar-sized work items — the frontier-batching that lifts even
     /// the *untransformed* graph's warp efficiency in the paper's
@@ -57,6 +62,7 @@ impl Default for PushOptions {
     fn default() -> Self {
         PushOptions {
             worklist: true,
+            frontier: FrontierMode::Auto,
             sort_frontier_by_degree: false,
             sync: SyncMode::Relaxed,
             max_iterations: 100_000,
@@ -75,6 +81,9 @@ pub struct MonotoneOutput {
     pub report: SimReport,
     /// `false` if the run hit `max_iterations` before converging.
     pub converged: bool,
+    /// Total edges whose relaxation was attempted across all iterations
+    /// — the work-efficiency metric frontier scheduling reduces.
+    pub edges_touched: u64,
 }
 
 /// Shared per-iteration state threaded through the kernels.
@@ -85,43 +94,8 @@ struct IterCtx<'a> {
     /// Previous-iteration snapshot in BSP mode.
     prev: Option<&'a [u32]>,
     changed: &'a AtomicBool,
-    frontier_sink: Option<&'a FrontierSink>,
-}
-
-/// Lock-free next-frontier collector with per-node dedup flags.
-struct FrontierSink {
-    queue: SegQueue<u32>,
-    enqueued: Vec<AtomicU32>,
-}
-
-impl FrontierSink {
-    fn new(n: usize) -> Self {
-        FrontierSink {
-            queue: SegQueue::new(),
-            enqueued: (0..n).map(|_| AtomicU32::new(0)).collect(),
-        }
-    }
-
-    /// Enqueues `node` unless it is already pending. Returns whether an
-    /// enqueue happened (so the kernel can charge the store).
-    fn push(&self, node: usize) -> bool {
-        if self.enqueued[node].swap(1, Ordering::Relaxed) == 0 {
-            self.queue.push(node as u32);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Drains the queue, resetting the dedup flags of drained nodes.
-    fn drain(&self) -> Vec<u32> {
-        let mut out = Vec::new();
-        while let Some(v) = self.queue.pop() {
-            self.enqueued[v as usize].store(0, Ordering::Relaxed);
-            out.push(v);
-        }
-        out
-    }
+    next_frontier: Option<&'a FrontierBuilder>,
+    edges_touched: &'a AtomicU64,
 }
 
 /// The per-edge body shared by every representation: the loop of
@@ -140,9 +114,11 @@ fn process_slot(
         Some(p) => p[slot],
         None => ctx.values.load(slot),
     };
+    let mut touched = 0u64;
     for e in edges {
         // Load the {nbr, weight} edge entry (line 6-7).
         lane.load(edge_addr(e), 8);
+        touched += 1;
         let nbr = ctx.graph.edge_target(e).index();
         let w = ctx.graph.weight(e);
         let cand = ctx.prog.edge_op.apply(d, w);
@@ -160,13 +136,14 @@ fn process_slot(
             lane.atomic(value_addr(nbr), 4);
             lane.store(FLAG_ADDR, 1);
             ctx.changed.store(true, Ordering::Relaxed);
-            if let Some(sink) = ctx.frontier_sink {
-                if sink.push(nbr) {
-                    lane.atomic(frontier_addr(nbr), 4);
+            if let Some(next) = ctx.next_frontier {
+                if next.activate(nbr) {
+                    lane.atomic(frontier_bit_addr(nbr), 4);
                 }
             }
         }
     }
+    ctx.edges_touched.fetch_add(touched, Ordering::Relaxed);
 }
 
 /// One full (non-worklist) sweep over all nodes of the representation.
@@ -226,6 +203,8 @@ fn otf_block(
         Some(p) => p[src],
         None => ctx.values.load(src),
     };
+    ctx.edges_touched
+        .fetch_add((hi - lo) as u64, Ordering::Relaxed);
     for e in lo..hi {
         while e >= src_end {
             src += 1;
@@ -259,58 +238,79 @@ fn otf_block(
     }
 }
 
-/// One worklist sweep over the active nodes.
+/// One worklist sweep over the active nodes, scheduled per the
+/// frontier's representation: sparse launches one thread per active
+/// (virtual) node off the compacted list; dense launches one thread per
+/// (virtual) node, each exiting after a bitmap-word load when inactive.
 fn worklist_sweep(
     sim: &GpuSimulator,
     rep: &Representation<'_>,
     ctx: &IterCtx<'_>,
-    frontier: &[u32],
+    frontier: &Frontier,
 ) -> KernelMetrics {
     match rep {
-        Representation::Original(g) => sim.launch(frontier.len(), |tid, lane| {
-            lane.load(frontier_addr(tid), 4);
-            let v = NodeId::new(frontier[tid]);
-            lane.load(row_ptr_addr(v.index()), 8);
-            process_slot(lane, ctx, v.index(), g.edge_start(v)..g.edge_end(v));
-        }),
-        Representation::Physical(t) => {
-            let g = t.graph();
-            sim.launch(frontier.len(), |tid, lane| {
-                lane.load(frontier_addr(tid), 4);
-                let v = NodeId::new(frontier[tid]);
-                lane.load(row_ptr_addr(v.index()), 8);
-                process_slot(lane, ctx, v.index(), g.edge_start(v)..g.edge_end(v));
-            })
-        }
-        Representation::Virtual { overlay, .. } => {
-            // Expand active physical nodes into their virtual families and
-            // charge the compaction pass that a GPU implementation pays.
-            let mut active: Vec<u32> = Vec::with_capacity(frontier.len());
-            for &p in frontier {
-                for i in overlay.vnode_range(NodeId::new(p)) {
-                    active.push(i as u32);
-                }
+        Representation::Original(g) => sweep_csr(sim, g, ctx, frontier),
+        Representation::Physical(t) => sweep_csr(sim, t.graph(), ctx, frontier),
+        Representation::Virtual { overlay, .. } => match frontier.rep() {
+            FrontierRep::Sparse => {
+                // Expand active physical nodes into their virtual
+                // families and charge the compaction pass that a GPU
+                // implementation pays.
+                let active = overlay.expand_active(frontier.nodes());
+                let mut metrics = sim.launch(frontier.len(), |tid, lane| {
+                    lane.load(frontier_addr(tid), 4);
+                    lane.compute(2);
+                    lane.store(frontier_addr(tid), 4);
+                });
+                let work = sim.launch(active.len(), |tid, lane| {
+                    let vid = active[tid] as usize;
+                    lane.load(frontier_addr(tid), 4);
+                    lane.load(crate::addr::vnode_addr(vid), 8);
+                    let vn = overlay.vnode(vid);
+                    process_slot(lane, ctx, vn.physical.index(), EdgeCursor::new(&vn));
+                });
+                metrics.merge(&work);
+                metrics
             }
-            let mut metrics = sim.launch(frontier.len(), |tid, lane| {
-                lane.load(frontier_addr(tid), 4);
-                lane.compute(2);
-                lane.store(frontier_addr(tid), 4);
-            });
-            let work = sim.launch(active.len(), |tid, lane| {
-                let vid = active[tid] as usize;
-                lane.load(frontier_addr(tid), 4);
-                lane.load(crate::addr::vnode_addr(vid), 8);
-                let vn = overlay.vnode(vid);
-                process_slot(lane, ctx, vn.physical.index(), EdgeCursor::new(&vn));
-            });
-            metrics.merge(&work);
-            metrics
-        }
+            FrontierRep::Dense => sim.launch(overlay.num_virtual_nodes(), |tid, lane| {
+                // No expansion or compaction: every virtual node checks
+                // its physical node's bit and exits when inactive.
+                lane.load(crate::addr::vnode_addr(tid), 8);
+                let vn = overlay.vnode(tid);
+                lane.load(frontier_bit_addr(vn.physical.index()), 4);
+                if frontier.contains(vn.physical.index()) {
+                    process_slot(lane, ctx, vn.physical.index(), EdgeCursor::new(&vn));
+                }
+            }),
+        },
         Representation::OnTheFly { .. } => {
             // Dynamic mapping has no stored node identity to enqueue on:
             // fall back to full sweeps (documented limitation).
             full_sweep(sim, rep, ctx)
         }
+    }
+}
+
+/// Worklist sweep over a plain CSR (original or physically split).
+fn sweep_csr(sim: &GpuSimulator, g: &Csr, ctx: &IterCtx<'_>, frontier: &Frontier) -> KernelMetrics {
+    match frontier.rep() {
+        FrontierRep::Sparse => {
+            let nodes = frontier.nodes();
+            sim.launch(nodes.len(), |tid, lane| {
+                lane.load(frontier_addr(tid), 4);
+                let v = NodeId::new(nodes[tid]);
+                lane.load(row_ptr_addr(v.index()), 8);
+                process_slot(lane, ctx, v.index(), g.edge_start(v)..g.edge_end(v));
+            })
+        }
+        FrontierRep::Dense => sim.launch(g.num_nodes(), |tid, lane| {
+            lane.load(frontier_bit_addr(tid), 4);
+            if frontier.contains(tid) {
+                let v = NodeId::from_index(tid);
+                lane.load(row_ptr_addr(tid), 8);
+                process_slot(lane, ctx, tid, g.edge_start(v)..g.edge_end(v));
+            }
+        }),
     }
 }
 
@@ -331,9 +331,10 @@ pub fn run_monotone(
     let values = AtomicValues::from_values(prog.initial_values(n, source));
     let mut report = SimReport::new();
     let mut converged = false;
+    let edges_touched = AtomicU64::new(0);
 
-    let sink = options.worklist.then(|| FrontierSink::new(n));
-    let mut frontier: Vec<u32> = prog.initial_frontier(n, source);
+    let next = options.worklist.then(|| FrontierBuilder::new(n));
+    let mut frontier = Frontier::from_active(n, prog.initial_frontier(n, source), options.frontier);
     let mut prev_snapshot: Option<Vec<u32>> = match options.sync {
         SyncMode::Bsp => Some(values.snapshot()),
         SyncMode::Relaxed => None,
@@ -351,10 +352,14 @@ pub fn run_monotone(
             values: &values,
             prev: prev_snapshot.as_deref(),
             changed: &changed,
-            frontier_sink: sink.as_ref(),
+            next_frontier: next.as_ref(),
+            edges_touched: &edges_touched,
         };
         let threads = if options.worklist {
-            frontier.len()
+            match frontier.rep() {
+                FrontierRep::Sparse => frontier.len(),
+                FrontierRep::Dense => rep.full_threads(),
+            }
         } else {
             rep.full_threads()
         };
@@ -365,17 +370,12 @@ pub fn run_monotone(
         };
         report.push(threads, metrics);
 
-        if let Some(sink) = &sink {
-            frontier = sink.drain();
+        if let Some(next) = &next {
+            frontier = next.take(options.frontier);
             if options.sort_frontier_by_degree {
                 // Batch similar degrees into the same warps; ties broken
                 // by id for determinism.
-                let g = rep.graph();
-                frontier.sort_unstable_by_key(|&v| {
-                    (g.out_degree(NodeId::new(v)), v)
-                });
-            } else {
-                frontier.sort_unstable(); // deterministic schedule order
+                frontier.sort_by_degree(rep.graph());
             }
         }
         if !changed.load(Ordering::Relaxed) {
@@ -391,6 +391,7 @@ pub fn run_monotone(
         values: values.snapshot(),
         report,
         converged,
+        edges_touched: edges_touched.into_inner(),
     }
 }
 
@@ -421,6 +422,7 @@ mod tests {
     fn opts(worklist: bool, sync: SyncMode) -> PushOptions {
         PushOptions {
             worklist,
+            frontier: FrontierMode::Auto,
             sort_frontier_by_degree: false,
             sync,
             max_iterations: 10_000,
@@ -653,6 +655,9 @@ mod tests {
                 Some(src),
                 &PushOptions {
                     worklist: true,
+                    // Degree batching reorders the compacted list, so it
+                    // only bites under sparse scheduling.
+                    frontier: FrontierMode::Sparse,
                     sort_frontier_by_degree: sort,
                     sync: SyncMode::Bsp,
                     max_iterations: 10_000,
@@ -680,6 +685,7 @@ mod tests {
             Some(NodeId::new(0)),
             &PushOptions {
                 worklist: false,
+                frontier: FrontierMode::Auto,
                 sort_frontier_by_degree: false,
                 sync: SyncMode::Bsp,
                 max_iterations: 1,
@@ -687,6 +693,88 @@ mod tests {
         );
         assert!(!out.converged);
         assert_eq!(out.report.num_iterations(), 1);
+    }
+
+    #[test]
+    fn frontier_modes_agree_and_cut_edges_touched() {
+        let g = fixture();
+        let src = NodeId::new(0);
+        let run = |worklist: bool, mode: FrontierMode| {
+            run_monotone(
+                &sim(),
+                &Representation::Original(&g),
+                MonotoneProgram::SSSP,
+                Some(src),
+                &PushOptions {
+                    worklist,
+                    frontier: mode,
+                    ..PushOptions::default()
+                },
+            )
+        };
+        let full = run(false, FrontierMode::Auto);
+        for mode in [
+            FrontierMode::Auto,
+            FrontierMode::Dense,
+            FrontierMode::Sparse,
+        ] {
+            let out = run(true, mode);
+            assert!(out.converged);
+            assert_eq!(out.values, full.values, "mode={mode:?}");
+            assert!(
+                out.edges_touched < full.edges_touched,
+                "mode={mode:?}: frontier {} should touch fewer edges than full {}",
+                out.edges_touched,
+                full.edges_touched
+            );
+        }
+    }
+
+    #[test]
+    fn dense_frontier_matches_sparse_on_virtual_overlay() {
+        let g = fixture();
+        let src = NodeId::new(0);
+        let expect = dijkstra(&g, src);
+        for overlay in [VirtualGraph::new(&g, 4), VirtualGraph::coalesced(&g, 4)] {
+            for mode in [FrontierMode::Dense, FrontierMode::Sparse] {
+                let out = run_monotone(
+                    &sim(),
+                    &Representation::Virtual {
+                        graph: &g,
+                        overlay: &overlay,
+                    },
+                    MonotoneProgram::SSSP,
+                    Some(src),
+                    &PushOptions {
+                        frontier: mode,
+                        ..PushOptions::default()
+                    },
+                );
+                assert!(out.converged);
+                assert_eq!(
+                    out.values,
+                    expect,
+                    "mode={mode:?} coalesced={}",
+                    overlay.is_coalesced()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_sweep_counts_every_edge_every_iteration() {
+        let g = fixture();
+        let out = run_monotone(
+            &sim(),
+            &Representation::Original(&g),
+            MonotoneProgram::SSSP,
+            Some(NodeId::new(0)),
+            &opts(false, SyncMode::Bsp),
+        );
+        assert_eq!(
+            out.edges_touched,
+            g.num_edges() as u64 * out.report.num_iterations() as u64
+        );
     }
 
     #[test]

@@ -132,10 +132,7 @@ mod tests {
         assert_eq!(rep.label(), "virtual+");
 
         let mapper = OnTheFlyMapper::new(&g, 10);
-        let rep = Representation::OnTheFly {
-            graph: &g,
-            mapper,
-        };
+        let rep = Representation::OnTheFly { graph: &g, mapper };
         assert_eq!(rep.label(), "otf");
         assert_eq!(rep.full_threads(), 10);
     }

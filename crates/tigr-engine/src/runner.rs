@@ -8,6 +8,7 @@ use tigr_graph::NodeId;
 use tigr_sim::{DeviceMemory, GpuConfig, GpuSimulator, OutOfMemory};
 
 use crate::algorithms::{bc, pr};
+use crate::frontier::FrontierMode;
 use crate::program::MonotoneProgram;
 use crate::push::{run_monotone, MonotoneOutput, PushOptions};
 use crate::representation::Representation;
@@ -87,6 +88,15 @@ impl Engine {
     /// Overrides the push options (worklist, sync mode, iteration cap).
     pub fn with_options(mut self, options: PushOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Enables worklist execution with the given frontier scheduling
+    /// policy (shorthand for setting `worklist` + `frontier` on the push
+    /// options).
+    pub fn with_frontier(mut self, mode: FrontierMode) -> Self {
+        self.options.worklist = true;
+        self.options.frontier = mode;
         self
     }
 
@@ -227,7 +237,9 @@ mod tests {
     fn facade_runs_sssp() {
         let g = star_graph(10);
         let engine = Engine::new(GpuConfig::tiny());
-        let out = engine.sssp(&Representation::Original(&g), NodeId::new(0)).unwrap();
+        let out = engine
+            .sssp(&Representation::Original(&g), NodeId::new(0))
+            .unwrap();
         assert_eq!(out.values[1], 1);
     }
 
@@ -256,12 +268,44 @@ mod tests {
     }
 
     #[test]
+    fn with_frontier_matches_full_sweep_with_fewer_relaxations() {
+        let g = tigr_graph::generators::grid_2d(8, 8);
+        let full = Engine::new(GpuConfig::tiny()).with_options(PushOptions {
+            worklist: false,
+            ..PushOptions::default()
+        });
+        let rep = Representation::Original(&g);
+        let a = full.bfs(&rep, NodeId::new(0)).unwrap();
+        for mode in [
+            FrontierMode::Auto,
+            FrontierMode::Dense,
+            FrontierMode::Sparse,
+        ] {
+            let engine = Engine::new(GpuConfig::tiny()).with_frontier(mode);
+            assert!(engine.options().worklist);
+            let b = engine.bfs(&rep, NodeId::new(0)).unwrap();
+            assert_eq!(a.values, b.values, "mode={}", mode.label());
+            assert!(
+                b.edges_touched < a.edges_touched,
+                "mode={}: {} vs {}",
+                mode.label(),
+                b.edges_touched,
+                a.edges_touched
+            );
+        }
+    }
+
+    #[test]
     fn parallel_engine_matches_sequential_results() {
         let g = tigr_graph::generators::grid_2d(8, 8);
         let seq = Engine::new(GpuConfig::default());
         let par = Engine::parallel(GpuConfig::default());
-        let a = seq.bfs(&Representation::Original(&g), NodeId::new(0)).unwrap();
-        let b = par.bfs(&Representation::Original(&g), NodeId::new(0)).unwrap();
+        let a = seq
+            .bfs(&Representation::Original(&g), NodeId::new(0))
+            .unwrap();
+        let b = par
+            .bfs(&Representation::Original(&g), NodeId::new(0))
+            .unwrap();
         assert_eq!(a.values, b.values);
     }
 }

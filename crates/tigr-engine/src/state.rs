@@ -109,7 +109,10 @@ impl AtomicValues {
 
     /// Copies the current values out.
     pub fn snapshot(&self) -> Vec<u32> {
-        self.values.iter().map(|v| v.load(Ordering::Relaxed)).collect()
+        self.values
+            .iter()
+            .map(|v| v.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
@@ -209,7 +212,10 @@ mod tests {
     fn try_improve_min_semantics() {
         let v = AtomicValues::new(3, u32::MAX);
         assert!(v.try_improve(0, 10, Combine::Min));
-        assert!(!v.try_improve(0, 10, Combine::Min), "equal is not improvement");
+        assert!(
+            !v.try_improve(0, 10, Combine::Min),
+            "equal is not improvement"
+        );
         assert!(!v.try_improve(0, 11, Combine::Min));
         assert!(v.try_improve(0, 9, Combine::Min));
         assert_eq!(v.load(0), 9);

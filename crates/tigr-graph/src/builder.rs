@@ -223,7 +223,10 @@ mod tests {
     #[test]
     fn builds_sorted_neighbor_lists() {
         let g = CsrBuilder::new(3).edge(0, 2).edge(0, 1).build();
-        assert_eq!(g.neighbors(NodeId::new(0)), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            g.neighbors(NodeId::new(0)),
+            &[NodeId::new(1), NodeId::new(2)]
+        );
     }
 
     #[test]
@@ -231,7 +234,10 @@ mod tests {
         let mut b = CsrBuilder::new(3);
         b.sort_neighbors(false).edge(0, 2).edge(0, 1);
         let g = b.build();
-        assert_eq!(g.neighbors(NodeId::new(0)), &[NodeId::new(2), NodeId::new(1)]);
+        assert_eq!(
+            g.neighbors(NodeId::new(0)),
+            &[NodeId::new(2), NodeId::new(1)]
+        );
     }
 
     #[test]
@@ -265,7 +271,10 @@ mod tests {
     #[test]
     fn weighted_flag_tracks_explicit_weights() {
         assert!(!CsrBuilder::new(2).edge(0, 1).build().is_weighted());
-        assert!(CsrBuilder::new(2).weighted_edge(0, 1, 2).build().is_weighted());
+        assert!(CsrBuilder::new(2)
+            .weighted_edge(0, 1, 2)
+            .build()
+            .is_weighted());
         let mut b = CsrBuilder::new(2);
         b.force_weighted(true).edge(0, 1);
         assert!(b.build().is_weighted());

@@ -212,8 +212,8 @@ impl Csr {
 
     /// Returns a copy of this graph with every weight replaced by values
     /// drawn from `f(edge_index)`. Used to attach synthetic weights.
-    pub fn with_weights_from(&self, mut f: impl FnMut(usize) -> Weight) -> Csr {
-        let weights = (0..self.num_edges()).map(|e| f(e)).collect();
+    pub fn with_weights_from(&self, f: impl FnMut(usize) -> Weight) -> Csr {
+        let weights = (0..self.num_edges()).map(f).collect();
         Csr {
             row_ptr: self.row_ptr.clone(),
             col_idx: self.col_idx.clone(),

@@ -187,13 +187,7 @@ mod tests {
     #[test]
     fn node_id_layout_is_transparent() {
         // Guarantees the CSR can expose `&[NodeId]` views over raw u32 data.
-        assert_eq!(
-            std::mem::size_of::<NodeId>(),
-            std::mem::size_of::<u32>()
-        );
-        assert_eq!(
-            std::mem::align_of::<NodeId>(),
-            std::mem::align_of::<u32>()
-        );
+        assert_eq!(std::mem::size_of::<NodeId>(), std::mem::size_of::<u32>());
+        assert_eq!(std::mem::align_of::<NodeId>(), std::mem::align_of::<u32>());
     }
 }

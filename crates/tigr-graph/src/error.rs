@@ -38,7 +38,10 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error at line {line}: {message}")
             }
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {num_nodes} nodes"
+                )
             }
             GraphError::InvalidFormat(msg) => write!(f, "invalid format: {msg}"),
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
@@ -90,7 +93,7 @@ mod tests {
 
     #[test]
     fn io_error_preserves_source() {
-        let e = GraphError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let e = GraphError::from(io::Error::other("boom"));
         assert!(e.source().is_some());
     }
 

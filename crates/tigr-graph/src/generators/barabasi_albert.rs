@@ -106,8 +106,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(barabasi_albert(&cfg(200, 3), 4), barabasi_albert(&cfg(200, 3), 4));
-        assert_ne!(barabasi_albert(&cfg(200, 3), 4), barabasi_albert(&cfg(200, 3), 5));
+        assert_eq!(
+            barabasi_albert(&cfg(200, 3), 4),
+            barabasi_albert(&cfg(200, 3), 4)
+        );
+        assert_ne!(
+            barabasi_albert(&cfg(200, 3), 4),
+            barabasi_albert(&cfg(200, 3), 5)
+        );
     }
 
     #[test]

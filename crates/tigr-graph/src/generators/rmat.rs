@@ -95,8 +95,14 @@ impl RmatConfig {
     ///
     /// Panics if any probability is negative or if `a+b+c > 1`.
     fn validate(&self) {
-        assert!(self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0, "negative quadrant probability");
-        assert!(self.a + self.b + self.c <= 1.0 + 1e-9, "quadrant probabilities exceed 1");
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0,
+            "negative quadrant probability"
+        );
+        assert!(
+            self.a + self.b + self.c <= 1.0 + 1e-9,
+            "quadrant probabilities exceed 1"
+        );
         assert!(self.scale <= 31, "scale too large for u32 node ids");
     }
 }

@@ -174,7 +174,9 @@ mod tests {
     fn sample(weighted: bool) -> Csr {
         let mut b = CsrBuilder::new(5);
         if weighted {
-            b.weighted_edge(0, 1, 3).weighted_edge(0, 4, 9).weighted_edge(3, 2, 1);
+            b.weighted_edge(0, 1, 3)
+                .weighted_edge(0, 4, 9)
+                .weighted_edge(3, 2, 1);
         } else {
             b.edge(0, 1).edge(0, 4).edge(3, 2);
         }

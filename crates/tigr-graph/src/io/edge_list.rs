@@ -118,7 +118,12 @@ pub fn load_edge_list(path: impl AsRef<Path>) -> Result<Csr> {
 /// Returns [`GraphError::Io`] on write failure.
 pub fn write_edge_list<W: Write>(g: &Csr, writer: W) -> Result<()> {
     let mut out = BufWriter::new(writer);
-    writeln!(out, "# tigr edge list: {} nodes, {} edges", g.num_nodes(), g.num_edges())?;
+    writeln!(
+        out,
+        "# tigr edge list: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    )?;
     for e in g.edges() {
         if g.is_weighted() {
             writeln!(out, "{} {} {}", e.src, e.dst, e.weight)?;

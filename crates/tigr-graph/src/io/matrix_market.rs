@@ -43,7 +43,10 @@ pub fn parse_matrix_market<R: Read>(reader: R) -> Result<Csr> {
         .next()
         .ok_or_else(|| GraphError::InvalidFormat("empty matrix market stream".into()))?;
     let header = header?;
-    let toks: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let toks: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
         return Err(GraphError::InvalidFormat(format!(
             "unsupported matrix market header `{header}`"
@@ -123,9 +126,8 @@ pub fn parse_matrix_market<R: Read>(reader: R) -> Result<Csr> {
         }
     }
 
-    let (rows, cols, _) = size.ok_or_else(|| {
-        GraphError::InvalidFormat("matrix market stream has no size line".into())
-    })?;
+    let (rows, cols, _) = size
+        .ok_or_else(|| GraphError::InvalidFormat("matrix market stream has no size line".into()))?;
     let mut b = CsrBuilder::from_edges(rows.max(cols), edges);
     b.force_weighted(weighted);
     Ok(b.build())
@@ -157,7 +159,8 @@ mod tests {
 
     #[test]
     fn parses_pattern_general() {
-        let text = "%%MatrixMarket matrix coordinate pattern general\n% comment\n4 4 3\n1 2\n2 3\n4 1\n";
+        let text =
+            "%%MatrixMarket matrix coordinate pattern general\n% comment\n4 4 3\n1 2\n2 3\n4 1\n";
         let g = parse_matrix_market(text.as_bytes()).unwrap();
         assert_eq!(g.num_nodes(), 4);
         assert_eq!(g.num_edges(), 3);

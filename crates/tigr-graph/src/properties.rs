@@ -125,7 +125,10 @@ pub fn connected_components(g: &Csr) -> Vec<u32> {
     }
 
     for e in g.edges() {
-        let (a, b) = (find(&mut parent, e.src.raw()), find(&mut parent, e.dst.raw()));
+        let (a, b) = (
+            find(&mut parent, e.src.raw()),
+            find(&mut parent, e.dst.raw()),
+        );
         if a != b {
             // Union by minimum id so labels are canonical.
             let (lo, hi) = if a < b { (a, b) } else { (b, a) };
@@ -187,8 +190,7 @@ pub fn brandes_accumulate(g: &Csr, s: NodeId, bc: &mut [f64]) {
     let mut delta = vec![0.0f64; n];
     while let Some(w) = stack.pop() {
         for &v in &preds[w as usize] {
-            delta[v as usize] +=
-                sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+            delta[v as usize] += sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
         }
         if w != s.raw() {
             bc[w as usize] += delta[w as usize];
@@ -283,7 +285,13 @@ mod tests {
     fn bfs_levels_on_diamond() {
         let g = diamond();
         assert_eq!(bfs_levels(&g, NodeId::new(0)), vec![0, 1, 1, 2]);
-        assert_eq!(bfs_levels(&g, NodeId::new(3)), vec![usize::MAX; 3].into_iter().chain([0]).collect::<Vec<_>>());
+        assert_eq!(
+            bfs_levels(&g, NodeId::new(3)),
+            vec![usize::MAX; 3]
+                .into_iter()
+                .chain([0])
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -84,7 +84,10 @@ mod tests {
         let t = transpose(&g);
         assert_eq!(t.num_nodes(), 3);
         assert_eq!(t.num_edges(), 3);
-        assert_eq!(t.neighbors(NodeId::new(1)), &[NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(
+            t.neighbors(NodeId::new(1)),
+            &[NodeId::new(0), NodeId::new(2)]
+        );
         assert_eq!(t.neighbor_weights(NodeId::new(1)).unwrap(), &[5, 9]);
         assert_eq!(t.neighbors(NodeId::new(0)), &[] as &[NodeId]);
     }
@@ -103,7 +106,12 @@ mod tests {
 
     #[test]
     fn in_degrees_match_transpose_out_degrees() {
-        let g = CsrBuilder::new(4).edge(0, 3).edge(1, 3).edge(2, 3).edge(3, 0).build();
+        let g = CsrBuilder::new(4)
+            .edge(0, 3)
+            .edge(1, 3)
+            .edge(2, 3)
+            .edge(3, 0)
+            .build();
         let deg = in_degrees(&g);
         let t = transpose(&g);
         for v in g.nodes() {

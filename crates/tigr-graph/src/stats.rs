@@ -57,7 +57,11 @@ pub fn degree_stats(g: &Csr) -> DegreeStats {
     degrees.sort_unstable();
 
     let num_edges = g.num_edges();
-    let avg = if n == 0 { 0.0 } else { num_edges as f64 / n as f64 };
+    let avg = if n == 0 {
+        0.0
+    } else {
+        num_edges as f64 / n as f64
+    };
     let var = if n == 0 {
         0.0
     } else {
@@ -91,7 +95,11 @@ pub fn degree_stats(g: &Csr) -> DegreeStats {
         p99_degree: pct(0.99),
         std_dev,
         coefficient_of_variation: if avg > 0.0 { std_dev / avg } else { 0.0 },
-        frac_below_20: if n == 0 { 0.0 } else { below_20 as f64 / n as f64 },
+        frac_below_20: if n == 0 {
+            0.0
+        } else {
+            below_20 as f64 / n as f64
+        },
         frac_at_least_1000: if n == 0 {
             0.0
         } else {
@@ -262,7 +270,10 @@ mod tests {
         assert_eq!(s.max_degree, 10);
         assert_eq!(s.median_degree, 0);
         assert!((s.avg_degree - 10.0 / 11.0).abs() < 1e-12);
-        assert!(s.coefficient_of_variation > 2.0, "star graphs are irregular");
+        assert!(
+            s.coefficient_of_variation > 2.0,
+            "star graphs are irregular"
+        );
         assert!((s.frac_below_20 - 1.0).abs() < 1e-12);
         assert_eq!(s.frac_at_least_1000, 0.0);
     }
@@ -336,7 +347,12 @@ mod tests {
         // Two triangles sharing a node.
         let mut b = CsrBuilder::new(5);
         b.symmetric(true);
-        b.edge(0, 1).edge(1, 2).edge(2, 0).edge(2, 3).edge(3, 4).edge(4, 2);
+        b.edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .edge(2, 3)
+            .edge(3, 4)
+            .edge(4, 2);
         let c = clustering_coefficient(&b.build(), 5, 3);
         assert!(c > 0.5, "c = {c}");
     }

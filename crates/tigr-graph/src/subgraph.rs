@@ -23,7 +23,11 @@ pub fn induced_subgraph(g: &Csr, keep: &[NodeId]) -> (Csr, Vec<NodeId>) {
     let mut new_id = vec![u32::MAX; g.num_nodes()];
     for (i, &v) in keep.iter().enumerate() {
         assert!(v.index() < g.num_nodes(), "node {v} out of range");
-        assert_eq!(new_id[v.index()], u32::MAX, "duplicate node {v} in keep set");
+        assert_eq!(
+            new_id[v.index()],
+            u32::MAX,
+            "duplicate node {v} in keep set"
+        );
         new_id[v.index()] = i as u32;
     }
 
@@ -107,7 +111,10 @@ mod tests {
 
     #[test]
     fn induced_subgraph_preserves_weights() {
-        let g = CsrBuilder::new(3).weighted_edge(0, 1, 42).weighted_edge(1, 2, 7).build();
+        let g = CsrBuilder::new(3)
+            .weighted_edge(0, 1, 42)
+            .weighted_edge(1, 2, 7)
+            .build();
         let (sub, _) = induced_subgraph(&g, &[NodeId::new(0), NodeId::new(1)]);
         assert!(sub.is_weighted());
         assert_eq!(sub.weight(0), 42);

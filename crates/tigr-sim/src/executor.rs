@@ -176,9 +176,9 @@ impl GpuSimulator {
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(num_warps);
                     let kernel = &kernel;
-                    handles.push(scope.spawn(move || {
-                        self.run_warp_range(lo, hi, num_threads, kernel)
-                    }));
+                    handles.push(
+                        scope.spawn(move || self.run_warp_range(lo, hi, num_threads, kernel)),
+                    );
                 }
                 for h in handles {
                     partials.push(h.join().expect("simulator worker panicked"));
@@ -310,9 +310,7 @@ mod tests {
     fn skewed_kernel_has_low_efficiency_and_high_sm_imbalance() {
         // Thread 0 does 100 instructions; others do 1. All heavy work in
         // warp 0 -> SM 0.
-        let m = sim().launch(8, |tid, lane| {
-            lane.compute(if tid == 0 { 100 } else { 1 })
-        });
+        let m = sim().launch(8, |tid, lane| lane.compute(if tid == 0 { 100 } else { 1 }));
         assert!(m.warp_efficiency() < 0.4, "eff = {}", m.warp_efficiency());
         assert!(m.sm_imbalance() > 1.5, "imbalance = {}", m.sm_imbalance());
     }
@@ -333,7 +331,7 @@ mod tests {
         let kernel = |tid: usize, lane: &mut Lane| {
             lane.compute((tid % 7) as u64 + 1);
             lane.load((tid as u64) * 4, 4);
-            if tid % 3 == 0 {
+            if tid.is_multiple_of(3) {
                 lane.atomic(1024 + (tid as u64 % 5) * 4, 4);
             }
         };

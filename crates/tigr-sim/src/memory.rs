@@ -137,7 +137,11 @@ mod tests {
 
     #[test]
     fn duplicate_addresses_collapse() {
-        let acc = vec![MemAccess::load4(0), MemAccess::load4(0), MemAccess::load4(4)];
+        let acc = vec![
+            MemAccess::load4(0),
+            MemAccess::load4(0),
+            MemAccess::load4(4),
+        ];
         assert_eq!(coalesce_transactions(&acc, 128).0, 1);
     }
 

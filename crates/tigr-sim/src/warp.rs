@@ -79,8 +79,8 @@ fn replay_lockstep(lanes: &[Vec<Op>], config: &GpuConfig) -> WarpStats {
         }
         if !step_accesses.is_empty() {
             let (tx, atomics) = coalesce_transactions(&step_accesses, config.cacheline_bytes);
-            stats.cycles += tx * config.cost.mem_transaction_cycles
-                + atomics * config.cost.atomic_extra_cycles;
+            stats.cycles +=
+                tx * config.cost.mem_transaction_cycles + atomics * config.cost.atomic_extra_cycles;
             stats.mem_transactions += tx;
             stats.atomic_ops += atomics;
             step_weight = step_weight.max(1);
@@ -118,9 +118,7 @@ fn replay_mimd(lanes: &[Vec<Op>], config: &GpuConfig) -> WarpStats {
     }
     stats.issued_slots = stats.useful_slots;
     stats.cycles = compute.div_ceil(config.warp_size as u64) * config.cost.compute_cycles
-        + stats
-            .mem_transactions
-            .div_ceil(config.warp_size as u64)
+        + stats.mem_transactions.div_ceil(config.warp_size as u64)
             * config.cost.mem_transaction_cycles
         + stats.atomic_ops * config.cost.atomic_extra_cycles / config.warp_size.max(1) as u64;
     stats
@@ -161,7 +159,12 @@ mod tests {
     #[test]
     fn divergent_compute_wastes_slots() {
         // One lane does 8 instructions, three do 1: SIMD runs 8 steps.
-        let lanes = vec![vec![compute(8)], vec![compute(1)], vec![compute(1)], vec![compute(1)]];
+        let lanes = vec![
+            vec![compute(8)],
+            vec![compute(1)],
+            vec![compute(1)],
+            vec![compute(1)],
+        ];
         let s = replay_warp(&lanes, &cfg());
         assert_eq!(s.cycles, 8);
         assert_eq!(s.useful_slots, 11);
@@ -217,7 +220,12 @@ mod tests {
         let mut cfg = cfg();
         cfg.timing = crate::config::TimingModel::IdealMimd;
         // Wildly skewed lanes: MIMD shares the work perfectly.
-        let lanes = vec![vec![compute(97)], vec![compute(1)], vec![compute(1)], vec![compute(1)]];
+        let lanes = vec![
+            vec![compute(97)],
+            vec![compute(1)],
+            vec![compute(1)],
+            vec![compute(1)],
+        ];
         let s = replay_warp(&lanes, &cfg);
         assert_eq!(s.useful_slots, 100);
         assert_eq!(s.issued_slots, 100, "no idle slots under MIMD");

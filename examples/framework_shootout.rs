@@ -32,7 +32,10 @@ fn main() {
     let engine = Engine::parallel(GpuConfig::default());
     let ms = |cycles: u64| GpuConfig::default().cycles_to_ms(cycles);
 
-    println!("\n{:<8} {:>10} {:>10} {:>10} {:>10}", "alg", "MW", "CuSha", "Gunrock", "Tigr-V+");
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "alg", "MW", "CuSha", "Gunrock", "Tigr-V+"
+    );
     for (alg, prog, g, ov) in [
         ("BFS", MonotoneProgram::BFS, &graph, &overlay),
         ("SSSP", MonotoneProgram::SSSP, &weighted, &overlay_w),
@@ -43,7 +46,14 @@ fn main() {
             cells.push(ms(r.report.total_cycles()));
         }
         let tigr = engine
-            .run(&Representation::Virtual { graph: g, overlay: ov }, prog, Some(src))
+            .run(
+                &Representation::Virtual {
+                    graph: g,
+                    overlay: ov,
+                },
+                prog,
+                Some(src),
+            )
             .unwrap();
         cells.push(ms(tigr.report.total_cycles()));
         println!(
@@ -66,7 +76,10 @@ fn main() {
     }
     let tigr = engine
         .pagerank(
-            &Representation::Virtual { graph: &graph, overlay: &overlay },
+            &Representation::Virtual {
+                graph: &graph,
+                overlay: &overlay,
+            },
             &pr::out_degrees(&graph),
             &opts,
         )

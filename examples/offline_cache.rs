@@ -55,7 +55,10 @@ fn main() {
     // --- The virtual overlay needs no cache at all. ---
     let t2 = Instant::now();
     let overlay = VirtualGraph::coalesced(&graph, 10);
-    println!("online: virtual overlay built in {:.2?} — no cache needed", t2.elapsed());
+    println!(
+        "online: virtual overlay built in {:.2?} — no cache needed",
+        t2.elapsed()
+    );
 
     // Both paths produce correct SSSP results.
     let engine = Engine::default();
@@ -66,7 +69,13 @@ fn main() {
         .expect("runs");
     assert_eq!(&phys.values[..graph.num_nodes()], &expect[..]);
     let virt = engine
-        .sssp(&Representation::Virtual { graph: &graph, overlay: &overlay }, src)
+        .sssp(
+            &Representation::Virtual {
+                graph: &graph,
+                overlay: &overlay,
+            },
+            src,
+        )
         .expect("runs");
     assert_eq!(virt.values, expect);
     println!("\nboth cached-physical and virtual runs match Dijkstra ✓");

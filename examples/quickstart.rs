@@ -43,7 +43,13 @@ fn main() {
     let base = engine.sssp(&Representation::Original(&graph), src).unwrap();
     let phys = engine.sssp(&Representation::Physical(&udt), src).unwrap();
     let virt = engine
-        .sssp(&Representation::Virtual { graph: &graph, overlay: &overlay }, src)
+        .sssp(
+            &Representation::Virtual {
+                graph: &graph,
+                overlay: &overlay,
+            },
+            src,
+        )
         .unwrap();
 
     // All agree with Dijkstra.
@@ -53,7 +59,10 @@ fn main() {
     assert_eq!(virt.values, oracle);
     println!("\nall three representations agree with Dijkstra ✓");
 
-    println!("\n{:<12} {:>8} {:>14} {:>12}", "repr", "#iter", "cycles", "warp effi.");
+    println!(
+        "\n{:<12} {:>8} {:>14} {:>12}",
+        "repr", "#iter", "cycles", "warp effi."
+    );
     for (name, out) in [("original", &base), ("udt", &phys), ("virtual+", &virt)] {
         println!(
             "{:<12} {:>8} {:>14} {:>11.1}%",
@@ -71,7 +80,10 @@ fn main() {
     // 4. PageRank works on the virtual layer too (Corollary 4).
     let ranks = engine
         .pagerank(
-            &Representation::Virtual { graph: &graph, overlay: &overlay },
+            &Representation::Virtual {
+                graph: &graph,
+                overlay: &overlay,
+            },
             &pr::out_degrees(&graph),
             &pr::PrOptions::default(),
         )

@@ -22,7 +22,13 @@ fn report(name: &str, g: &Csr, engine: &Engine) {
 
     let base = engine.sssp(&Representation::Original(g), src).unwrap();
     let tigr = engine
-        .sssp(&Representation::Virtual { graph: g, overlay: &overlay }, src)
+        .sssp(
+            &Representation::Virtual {
+                graph: g,
+                overlay: &overlay,
+            },
+            src,
+        )
         .unwrap();
     assert_eq!(base.values, tigr.values);
 

@@ -66,7 +66,10 @@ fn main() {
     let total_cycles = bc_report.total_cycles();
     let mut by_bc: Vec<(usize, f64)> = centrality.iter().copied().enumerate().collect();
     by_bc.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!("\ntop-5 brokers by sampled betweenness ({} sources):", sources.len());
+    println!(
+        "\ntop-5 brokers by sampled betweenness ({} sources):",
+        sources.len()
+    );
     for (v, c) in by_bc.iter().take(5) {
         println!("  member {v:>6}  score {c:.1}");
     }

@@ -1,0 +1,22 @@
+#!/bin/bash
+# Full verification gate: the tier-1 suite (ROADMAP.md) plus lints and
+# formatting. CI runs exactly this script; run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test -q --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --check
+
+echo "verify: all gates passed"

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the subset of the API the workspace's benches use
+//! (`Criterion`, benchmark groups, `BenchmarkId`, `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros). Measurement is a
+//! single timed pass per benchmark — enough to exercise every bench
+//! body under `cargo test`/`cargo bench` offline, not a statistics
+//! engine. Each registered closure runs exactly `sample_size` clamped
+//! iterations (default 1) so bench targets stay fast.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Top-level harness handle passed to every bench function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Registers and immediately runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this shim always runs one
+    /// measurement pass regardless of the requested sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Registers and immediately runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Registers a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher::default();
+        let start = Instant::now();
+        f(&mut b, input);
+        report(&label, start, b.iters);
+        self
+    }
+
+    /// Ends the group (no-op; results are reported as benches run).
+    pub fn finish(self) {}
+}
+
+/// Function-plus-parameter benchmark identifier.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing loop handle handed to each benchmark body.
+#[derive(Default)]
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs the routine once and keeps its output alive via
+    /// [`black_box`] so the work is not optimized away.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.iters += 1;
+        black_box(routine());
+    }
+}
+
+/// Opaque value barrier (re-exported shim over `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher::default();
+    let start = Instant::now();
+    f(&mut b);
+    report(label, start, b.iters);
+}
+
+fn report(label: &str, start: Instant, iters: u64) {
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.checked_div(iters.max(1) as u32).unwrap_or(elapsed);
+    println!("bench {label}: {per_iter:?}/iter ({iters} iters, {elapsed:?} total)");
+}
+
+/// Bundles bench functions under a name, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bench_bodies() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("f", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut seen = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| b.iter(|| seen = x));
+        g.finish();
+        assert_eq!(seen, 7);
+    }
+}

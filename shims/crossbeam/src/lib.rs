@@ -1,0 +1,85 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The workspace only uses `crossbeam::queue::SegQueue` as a
+//! multi-producer collector; this shim provides the same API over
+//! `Mutex<VecDeque>`. Throughput is lower than the real lock-free
+//! segment queue, but the queues in-tree hold at most a frontier's worth
+//! of node ids per iteration.
+
+/// Concurrent queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue, API-compatible with
+    /// `crossbeam::queue::SegQueue` for the operations used in-tree.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends `value` at the back.
+        pub fn push(&self, value: T) {
+            self.inner.lock().unwrap().push_back(value);
+        }
+
+        /// Removes and returns the front element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap().pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+
+        /// `true` if nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+
+    #[test]
+    fn fifo_order() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_pushes_all_arrive() {
+        let q = SegQueue::new();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        q.push(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let mut seen: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 4000);
+        assert_eq!(seen, (0..4000).collect::<Vec<_>>());
+    }
+}

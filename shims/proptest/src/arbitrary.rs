@@ -1,0 +1,84 @@
+//! `any::<T>()` and the `Arbitrary` trait for primitives and tuples.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for an [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! arbitrary_tuples {
+    ($(($($T:ident),+))*) => {$(
+        impl<$($T: Arbitrary),+> Arbitrary for ($($T,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($T::arbitrary(rng),)+)
+            }
+        }
+    )*};
+}
+arbitrary_tuples! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuples_of_primitives_generate() {
+        let mut rng = TestRng::from_name("arb");
+        let strat = any::<(u8, u8, u8, bool)>();
+        let mut trues = 0;
+        for _ in 0..200 {
+            let (_, _, _, b) = strat.generate(&mut rng);
+            trues += b as u32;
+        }
+        assert!(
+            trues > 50 && trues < 150,
+            "bool should be balanced: {trues}"
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach a crates.io registry, so this shim
+//! supplies the subset of serde the workspace actually relies on: the
+//! `Serialize` / `Deserialize` trait names (usable as derive targets and
+//! bounds) with blanket implementations. No serialization format is ever
+//! exercised in-tree, so the traits carry no methods.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -49,9 +49,11 @@ pub use tigr_sim as sim;
 
 pub use tigr_baselines::Baseline;
 pub use tigr_core::{
-    circular_transform, clique_transform, recursive_star_transform, star_transform,
-    udt_transform, DumbWeight, TransformedGraph, VirtualGraph,
+    circular_transform, clique_transform, recursive_star_transform, star_transform, udt_transform,
+    DumbWeight, TransformedGraph, VirtualGraph,
 };
-pub use tigr_engine::{Engine, MonotoneProgram, PushOptions, Representation, SyncMode};
+pub use tigr_engine::{
+    Engine, FrontierMode, MonotoneProgram, PushOptions, Representation, SyncMode,
+};
 pub use tigr_graph::{Csr, CsrBuilder, Edge, NodeId, Weight};
 pub use tigr_sim::{GpuConfig, GpuSimulator, SimReport};

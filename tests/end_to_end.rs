@@ -2,7 +2,7 @@
 //! realistic power-law analog, validated against the sequential oracles.
 
 use tigr::core::k_select;
-use tigr::engine::{bc, pr, MonotoneProgram, PushOptions, SyncMode};
+use tigr::engine::{bc, pr, FrontierMode, MonotoneProgram, PushOptions, SyncMode};
 use tigr::graph::datasets;
 use tigr::graph::properties as oracle;
 use tigr::graph::reverse::transpose;
@@ -35,7 +35,13 @@ fn sssp_agrees_across_all_representations() {
 
     for overlay in [VirtualGraph::new(&g, 10), VirtualGraph::coalesced(&g, 10)] {
         let v = engine
-            .sssp(&Representation::Virtual { graph: &g, overlay: &overlay }, src)
+            .sssp(
+                &Representation::Virtual {
+                    graph: &g,
+                    overlay: &overlay,
+                },
+                src,
+            )
             .unwrap();
         assert_eq!(v.values, expect);
     }
@@ -49,7 +55,13 @@ fn bfs_and_sswp_agree_with_oracles() {
     let overlay = VirtualGraph::coalesced(&g, 10);
 
     let bfs = engine
-        .bfs(&Representation::Virtual { graph: &g, overlay: &overlay }, src)
+        .bfs(
+            &Representation::Virtual {
+                graph: &g,
+                overlay: &overlay,
+            },
+            src,
+        )
         .unwrap();
     let expect: Vec<u32> = oracle::bfs_levels(&g, src)
         .into_iter()
@@ -59,7 +71,13 @@ fn bfs_and_sswp_agree_with_oracles() {
 
     let overlay_w = VirtualGraph::coalesced(&w, 10);
     let sswp = engine
-        .sswp(&Representation::Virtual { graph: &w, overlay: &overlay_w }, src)
+        .sswp(
+            &Representation::Virtual {
+                graph: &w,
+                overlay: &overlay_w,
+            },
+            src,
+        )
         .unwrap();
     assert_eq!(sswp.values, oracle::widest_path(&w, src));
 }
@@ -79,7 +97,10 @@ fn cc_component_structure_is_preserved() {
     let engine = engine();
     let overlay = VirtualGraph::new(&sym, 10);
     let out = engine
-        .cc(&Representation::Virtual { graph: &sym, overlay: &overlay })
+        .cc(&Representation::Virtual {
+            graph: &sym,
+            overlay: &overlay,
+        })
         .unwrap();
     assert_eq!(out.values, expect);
 
@@ -102,7 +123,10 @@ fn pagerank_push_and_pull_agree_with_power_iteration() {
     let overlay = VirtualGraph::coalesced(&g, 10);
     let push = engine
         .pagerank(
-            &Representation::Virtual { graph: &g, overlay: &overlay },
+            &Representation::Virtual {
+                graph: &g,
+                overlay: &overlay,
+            },
             &pr::out_degrees(&g),
             &opts,
         )
@@ -112,7 +136,10 @@ fn pagerank_push_and_pull_agree_with_power_iteration() {
     let overlay_rev = VirtualGraph::new(&rev, 10);
     let pull = engine
         .pagerank(
-            &Representation::Virtual { graph: &rev, overlay: &overlay_rev },
+            &Representation::Virtual {
+                graph: &rev,
+                overlay: &overlay_rev,
+            },
             &pr::out_degrees(&g),
             &pr::PrOptions {
                 mode: pr::PrMode::Pull,
@@ -121,15 +148,9 @@ fn pagerank_push_and_pull_agree_with_power_iteration() {
         )
         .unwrap();
 
-    for v in 0..g.num_nodes() {
-        assert!(
-            (push.ranks[v] as f64 - expect[v]).abs() < 1e-4,
-            "push rank[{v}]"
-        );
-        assert!(
-            (pull.ranks[v] as f64 - expect[v]).abs() < 1e-4,
-            "pull rank[{v}]"
-        );
+    for (v, &want) in expect.iter().enumerate() {
+        assert!((push.ranks[v] as f64 - want).abs() < 1e-4, "push rank[{v}]");
+        assert!((pull.ranks[v] as f64 - want).abs() < 1e-4, "pull rank[{v}]");
     }
 }
 
@@ -142,11 +163,17 @@ fn bc_matches_brandes_on_virtual_representation() {
 
     let overlay = VirtualGraph::coalesced(&g, 10);
     let out: bc::BcOutput = engine()
-        .betweenness(&Representation::Virtual { graph: &g, overlay: &overlay }, src)
+        .betweenness(
+            &Representation::Virtual {
+                graph: &g,
+                overlay: &overlay,
+            },
+            src,
+        )
         .unwrap();
-    for v in 0..g.num_nodes() {
+    for (v, &want) in expect.iter().enumerate() {
         assert!(
-            (out.centrality[v] as f64 - expect[v]).abs() < 1e-2 * (1.0 + expect[v].abs()),
+            (out.centrality[v] as f64 - want).abs() < 1e-2 * (1.0 + want.abs()),
             "bc[{v}]: {} vs {}",
             out.centrality[v],
             expect[v]
@@ -166,6 +193,7 @@ fn table8_shape_holds_end_to_end() {
         sort_frontier_by_degree: false,
         sync: SyncMode::Bsp,
         max_iterations: 10_000,
+        frontier: FrontierMode::Auto,
     });
 
     let base = engine.sssp(&Representation::Original(&g), src).unwrap();
@@ -173,7 +201,13 @@ fn table8_shape_holds_end_to_end() {
     let phys = engine.sssp(&Representation::Physical(&t), src).unwrap();
     let overlay = VirtualGraph::new(&g, 8);
     let virt = engine
-        .sssp(&Representation::Virtual { graph: &g, overlay: &overlay }, src)
+        .sssp(
+            &Representation::Virtual {
+                graph: &g,
+                overlay: &overlay,
+            },
+            src,
+        )
         .unwrap();
 
     assert!(phys.report.num_iterations() > base.report.num_iterations());
@@ -200,7 +234,11 @@ fn every_analytic_runs_on_the_engine_facade() {
         .unwrap()
         .ranks
         .is_empty());
-    assert!(!engine.betweenness(&rep_g, src).unwrap().centrality.is_empty());
+    assert!(!engine
+        .betweenness(&rep_g, src)
+        .unwrap()
+        .centrality
+        .is_empty());
 }
 
 #[test]

@@ -11,7 +11,9 @@ use tigr::{Engine, NodeId, Representation, VirtualGraph};
 use tigr_sim::GpuSimulator;
 
 fn fixture() -> tigr::Csr {
-    datasets::by_name("hollywood").unwrap().generate_weighted(8192, 3)
+    datasets::by_name("hollywood")
+        .unwrap()
+        .generate_weighted(8192, 3)
 }
 
 #[test]
@@ -40,7 +42,13 @@ fn five_implementations_one_sssp_answer() {
     let engine = Engine::parallel(tigr::GpuConfig::default());
     let overlay = VirtualGraph::coalesced(&g, 10);
     let tigr_out = engine
-        .sssp(&Representation::Virtual { graph: &g, overlay: &overlay }, src)
+        .sssp(
+            &Representation::Virtual {
+                graph: &g,
+                overlay: &overlay,
+            },
+            src,
+        )
         .unwrap();
     assert_eq!(tigr_out.values, expect, "Tigr-V+ disagrees");
 

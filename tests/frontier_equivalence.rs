@@ -1,0 +1,173 @@
+//! Differential harness for active-frontier scheduling: on every
+//! representation — original CSR, each physical split topology, and both
+//! virtual overlay layouts — every frontier mode must reach exactly the
+//! full-sweep fixpoint for every monotone program, while never
+//! attempting more edge relaxations. The CPU-parallel path is held to
+//! the same contract across thread counts.
+//!
+//! Each proptest below runs 24 random hubbed graphs through *all*
+//! program × transform × mode combinations, so every combination sees
+//! at least 20 generated cases.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use tigr::engine::{
+    run_cpu_with, run_monotone, CpuOptions, EdgeOp, FrontierMode, MonotoneProgram, PushOptions,
+    SyncMode,
+};
+use tigr::{
+    circular_transform, clique_transform, star_transform, udt_transform, Csr, CsrBuilder,
+    DumbWeight, Edge, NodeId, Representation, VirtualGraph,
+};
+use tigr_sim::{GpuConfig, GpuSimulator};
+
+const PROGRAMS: [MonotoneProgram; 4] = [
+    MonotoneProgram::BFS,
+    MonotoneProgram::SSSP,
+    MonotoneProgram::SSWP,
+    MonotoneProgram::CC,
+];
+
+const MODES: [FrontierMode; 3] = [
+    FrontierMode::Auto,
+    FrontierMode::Dense,
+    FrontierMode::Sparse,
+];
+
+fn opts(worklist: bool, frontier: FrontierMode) -> PushOptions {
+    PushOptions {
+        worklist,
+        frontier,
+        sort_frontier_by_degree: false,
+        sync: SyncMode::Relaxed,
+        max_iterations: 100_000,
+    }
+}
+
+/// The dumb weight that keeps `prog` exact on a physically split graph:
+/// zero for additive programs (and inert for label copying), infinity
+/// for the min-weight bottleneck fold.
+fn sound_dumb_weight(prog: MonotoneProgram) -> DumbWeight {
+    match prog.edge_op {
+        EdgeOp::MinWeight => DumbWeight::Infinity,
+        _ => DumbWeight::Zero,
+    }
+}
+
+/// Strategy: a weighted directed graph with a guaranteed hub so every
+/// split transformation actually fires.
+fn arb_hubbed_graph(n: usize, m: usize) -> impl Strategy<Value = Csr> {
+    (4..n).prop_flat_map(move |nodes| {
+        vec((0..nodes as u32, 0..nodes as u32, 1..100u32), 0..m).prop_map(move |edges| {
+            let mut b = CsrBuilder::new(nodes);
+            for (s, d, w) in edges {
+                b.add(Edge::new(NodeId::new(s), NodeId::new(d), w));
+            }
+            for t in 1..nodes as u32 {
+                b.add(Edge::new(NodeId::new(0), NodeId::new(t), 7));
+            }
+            b.force_weighted(true);
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn frontier_matches_full_sweep_on_original_and_virtual(
+        g in arb_hubbed_graph(28, 100),
+        k in 1u32..8,
+        src in 0u32..28,
+    ) {
+        let src = NodeId::new(src % g.num_nodes() as u32);
+        let sim = GpuSimulator::new(GpuConfig::tiny());
+        let plain = VirtualGraph::new(&g, k);
+        let coal = VirtualGraph::coalesced(&g, k);
+        let reps = [
+            ("original", Representation::Original(&g)),
+            ("virtual", Representation::Virtual { graph: &g, overlay: &plain }),
+            ("virtual+", Representation::Virtual { graph: &g, overlay: &coal }),
+        ];
+        for prog in PROGRAMS {
+            let source = prog.needs_source().then_some(src);
+            for (label, rep) in &reps {
+                let full = run_monotone(&sim, rep, prog, source, &opts(false, FrontierMode::Auto));
+                for mode in MODES {
+                    let out = run_monotone(&sim, rep, prog, source, &opts(true, mode));
+                    prop_assert_eq!(
+                        &out.values, &full.values,
+                        "{}/{}/{} diverged from full sweep", prog.name, label, mode.label()
+                    );
+                    prop_assert!(out.converged);
+                    prop_assert!(
+                        out.edges_touched <= full.edges_touched,
+                        "{}/{}/{}: frontier touched {} edges, full sweep {}",
+                        prog.name, label, mode.label(), out.edges_touched, full.edges_touched
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_matches_full_sweep_on_physical_splits(
+        g in arb_hubbed_graph(24, 80),
+        k in 2u32..8,
+        src in 0u32..24,
+    ) {
+        let src = NodeId::new(src % g.num_nodes() as u32);
+        let sim = GpuSimulator::new(GpuConfig::tiny());
+        for prog in PROGRAMS {
+            let source = prog.needs_source().then_some(src);
+            let dumb = sound_dumb_weight(prog);
+            for (label, t) in [
+                ("udt", udt_transform(&g, k, dumb)),
+                ("star", star_transform(&g, k, dumb)),
+                ("circular", circular_transform(&g, k, dumb)),
+                ("clique", clique_transform(&g, k, dumb)),
+            ] {
+                let rep = Representation::Physical(&t);
+                let full = run_monotone(&sim, &rep, prog, source, &opts(false, FrontierMode::Auto));
+                for mode in MODES {
+                    let out = run_monotone(&sim, &rep, prog, source, &opts(true, mode));
+                    prop_assert_eq!(
+                        &out.values, &full.values,
+                        "{}/{}/{} diverged from full sweep", prog.name, label, mode.label()
+                    );
+                    prop_assert!(
+                        out.edges_touched <= full.edges_touched,
+                        "{}/{}/{}: frontier touched {} edges, full sweep {}",
+                        prog.name, label, mode.label(), out.edges_touched, full.edges_touched
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_frontier_matches_full_sweep_across_thread_counts(
+        g in arb_hubbed_graph(32, 140),
+        src in 0u32..32,
+    ) {
+        let src = NodeId::new(src % g.num_nodes() as u32);
+        for prog in PROGRAMS {
+            let source = prog.needs_source().then_some(src);
+            let full = run_cpu_with(&g, prog, source, &CpuOptions { threads: 2, frontier: false });
+            for threads in [1usize, 4] {
+                let out = run_cpu_with(&g, prog, source, &CpuOptions { threads, frontier: true });
+                prop_assert_eq!(
+                    &out.values, &full.values,
+                    "{} with {} frontier threads diverged", prog.name, threads
+                );
+                prop_assert!(
+                    out.edges_touched <= full.edges_touched,
+                    "{}/threads={}: frontier touched {} edges, full sweep {}",
+                    prog.name, threads, out.edges_touched, full.edges_touched
+                );
+            }
+        }
+    }
+}

@@ -72,7 +72,8 @@ proptest! {
 #[test]
 fn matrix_market_round_trip_via_edge_list_semantics() {
     // Cross-format check on a fixed fixture.
-    let text = "%%MatrixMarket matrix coordinate integer general\n4 4 4\n1 2 5\n2 3 6\n3 4 7\n4 1 8\n";
+    let text =
+        "%%MatrixMarket matrix coordinate integer general\n4 4 4\n1 2 5\n2 3 6\n3 4 7\n4 1 8\n";
     let g = tigr::graph::io::parse_matrix_market(text.as_bytes()).unwrap();
     assert_eq!(g.num_nodes(), 4);
     assert_eq!(g.num_edges(), 4);

@@ -33,7 +33,10 @@ fn oom_pattern_matches_table_4() {
     let overlay = VirtualGraph::coalesced(&g, 10);
     let engine = Engine::parallel(tigr::GpuConfig::default()).with_device_memory(budget);
     assert!(engine
-        .check_footprint(&Representation::Virtual { graph: &g, overlay: &overlay })
+        .check_footprint(&Representation::Virtual {
+            graph: &g,
+            overlay: &overlay
+        })
         .is_ok());
 }
 
@@ -53,7 +56,13 @@ fn oom_error_is_reported_not_panicked() {
     let g = spec.generate(4096, 1);
     let sim = GpuSimulator::new(tigr::GpuConfig::default());
     let err = Baseline::Gunrock
-        .run_monotone(&sim, &g, MonotoneProgram::BFS, Some(NodeId::new(0)), Some(1024))
+        .run_monotone(
+            &sim,
+            &g,
+            MonotoneProgram::BFS,
+            Some(NodeId::new(0)),
+            Some(1024),
+        )
         .unwrap_err();
     assert!(err.to_string().contains("out of device memory"));
 }
@@ -64,7 +73,11 @@ fn virtual_overlay_footprint_shrinks_with_k() {
     let g = spec.generate(2048, 1);
     let f = |k: u32| {
         let ov = VirtualGraph::new(&g, k);
-        Representation::Virtual { graph: &g, overlay: &ov }.device_footprint_bytes()
+        Representation::Virtual {
+            graph: &g,
+            overlay: &ov,
+        }
+        .device_footprint_bytes()
     };
     assert!(f(4) > f(8));
     assert!(f(8) > f(32));

@@ -171,3 +171,73 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&s.frac_below_20));
     }
 }
+
+/// Deterministic edge-case regressions for `VirtualGraph::{new, coalesced}`
+/// — degenerate inputs the random strategies above rarely hit exactly.
+mod virtual_graph_edge_cases {
+    use super::*;
+
+    fn both(g: &Csr, k: u32) -> [VirtualGraph; 2] {
+        [VirtualGraph::new(g, k), VirtualGraph::coalesced(g, k)]
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_overlay() {
+        let g = CsrBuilder::new(0).build();
+        for ov in both(&g, 4) {
+            assert_eq!(ov.num_virtual_nodes(), 0);
+            assert_eq!(ov.num_physical_nodes(), 0);
+            ov.validate_against(&g).unwrap();
+            assert!(ov.expand_active(&[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn single_isolated_node_gets_one_empty_family() {
+        let g = CsrBuilder::new(1).build();
+        for ov in both(&g, 4) {
+            // Zero-degree nodes still get a virtual node covering no edges.
+            assert_eq!(ov.num_virtual_nodes(), 1);
+            assert_eq!(ov.vnode_range(NodeId::new(0)), 0..1);
+            assert_eq!(ov.vnode(0).count, 0);
+            ov.validate_against(&g).unwrap();
+            assert_eq!(ov.expand_active(&[0]), vec![0]);
+        }
+    }
+
+    #[test]
+    fn self_loops_are_covered_like_any_edge() {
+        let mut b = CsrBuilder::new(3);
+        b.edge(0, 0).edge(0, 1).edge(0, 0).edge(2, 2);
+        let g = b.build();
+        for ov in both(&g, 2) {
+            ov.validate_against(&g).unwrap();
+            // Node 0's three edges split into two virtual nodes at K = 2.
+            assert_eq!(ov.vnode_range(NodeId::new(0)).len(), 2);
+            let covered: usize = ov.vnodes().iter().map(|vn| vn.count as usize).sum();
+            assert_eq!(covered, g.num_edges());
+        }
+    }
+
+    #[test]
+    fn k_one_gives_one_virtual_node_per_edge() {
+        let mut b = CsrBuilder::new(4);
+        b.edge(0, 1).edge(0, 2).edge(0, 3).edge(1, 2);
+        let g = b.build();
+        for ov in both(&g, 1) {
+            ov.validate_against(&g).unwrap();
+            // Every edge-covering family has exactly one edge; zero-degree
+            // nodes contribute their placeholder.
+            assert!(ov.vnodes().iter().all(|vn| vn.count <= 1));
+            let zero_degree = g.nodes().filter(|&v| g.out_degree(v) == 0).count();
+            assert_eq!(ov.num_virtual_nodes(), g.num_edges() + zero_degree);
+            assert_eq!(ov.max_virtual_degree(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degree bound K must be at least 1")]
+    fn k_zero_rejected() {
+        let _ = VirtualGraph::new(&CsrBuilder::new(2).build(), 0);
+    }
+}

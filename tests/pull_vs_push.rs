@@ -1,16 +1,16 @@
 //! Push and pull drivers must reach identical fixpoints — the
 //! cross-scheme differential test over all programs and overlays.
 
-use tigr::engine::{
-    run_monotone, run_monotone_pull, MonotoneProgram, PullOptions, PushOptions,
-};
+use tigr::engine::{run_monotone, run_monotone_pull, MonotoneProgram, PullOptions, PushOptions};
 use tigr::graph::datasets;
 use tigr::graph::reverse::transpose;
 use tigr::{NodeId, Representation, VirtualGraph};
 use tigr_sim::{GpuConfig, GpuSimulator};
 
 fn fixture() -> (tigr::Csr, tigr::Csr) {
-    let g = datasets::by_name("pokec").unwrap().generate_weighted(8192, 13);
+    let g = datasets::by_name("pokec")
+        .unwrap()
+        .generate_weighted(8192, 13);
     let rev = transpose(&g);
     (g, rev)
 }
@@ -90,7 +90,10 @@ fn pull_over_otf_mapping_agrees() {
     let mapper = tigr::core::OnTheFlyMapper::new(&rev, 10);
     let pull = run_monotone_pull(
         &sim,
-        &Representation::OnTheFly { graph: &rev, mapper },
+        &Representation::OnTheFly {
+            graph: &rev,
+            mapper,
+        },
         MonotoneProgram::SSWP,
         Some(src),
         &PullOptions::default(),

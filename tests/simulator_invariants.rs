@@ -10,7 +10,11 @@ use tigr_sim::{GpuConfig, GpuSimulator, TimingModel};
 /// loads, load stride, issue atomic?).
 type ThreadSpec = (u8, u8, u8, bool);
 
-fn run_kernel(config: GpuConfig, specs: &[ThreadSpec], host_threads: usize) -> tigr_sim::KernelMetrics {
+fn run_kernel(
+    config: GpuConfig,
+    specs: &[ThreadSpec],
+    host_threads: usize,
+) -> tigr_sim::KernelMetrics {
     let sim = GpuSimulator::new(config).with_host_threads(host_threads);
     sim.launch(specs.len(), |tid, lane| {
         let (weight, loads, stride, atomic) = specs[tid];

@@ -3,13 +3,13 @@
 //! weights target, on a realistic power-law analog.
 
 use tigr::core::correctness::{
-    verify_bottleneck_preservation, verify_connectivity_preservation,
-    verify_distance_preservation, verify_split_definition,
+    verify_bottleneck_preservation, verify_connectivity_preservation, verify_distance_preservation,
+    verify_split_definition,
 };
 use tigr::graph::datasets;
 use tigr::{
-    circular_transform, clique_transform, recursive_star_transform, star_transform,
-    udt_transform, Csr, DumbWeight, NodeId, TransformedGraph,
+    circular_transform, clique_transform, recursive_star_transform, star_transform, udt_transform,
+    Csr, DumbWeight, NodeId, TransformedGraph,
 };
 
 type Transform = fn(&Csr, u32, DumbWeight) -> TransformedGraph;
@@ -23,7 +23,9 @@ const TOPOLOGIES: [(&str, Transform); 5] = [
 ];
 
 fn fixture() -> Csr {
-    datasets::by_name("pokec").unwrap().generate_weighted(8192, 99)
+    datasets::by_name("pokec")
+        .unwrap()
+        .generate_weighted(8192, 99)
 }
 
 #[test]
@@ -77,7 +79,10 @@ fn only_udt_guarantees_the_degree_bound() {
     let udt = udt_transform(&g, k, DumbWeight::Zero);
     assert!(udt.graph().max_out_degree() <= k as usize);
     let rec = recursive_star_transform(&g, k, DumbWeight::Zero);
-    assert!(rec.graph().max_out_degree() <= k as usize, "recursive star also bounds");
+    assert!(
+        rec.graph().max_out_degree() <= k as usize,
+        "recursive star also bounds"
+    );
     // Circular tops out at K+1; star and clique can exceed it.
     let circ = circular_transform(&g, k, DumbWeight::Zero);
     assert!(circ.graph().max_out_degree() <= k as usize + 1);
@@ -94,7 +99,10 @@ fn size_costs_order_as_table_1_predicts() {
     let circ = circular_transform(&g, k, DumbWeight::Zero);
     let star = star_transform(&g, k, DumbWeight::Zero);
     let udt = udt_transform(&g, k, DumbWeight::Zero);
-    assert!(new_edges(&cliq) > 3 * new_edges(&circ), "clique is quadratic");
+    assert!(
+        new_edges(&cliq) > 3 * new_edges(&circ),
+        "clique is quadratic"
+    );
     // Circ/star/udt are all linear in the number of families.
     assert!(new_edges(&circ) < 2 * new_edges(&star));
     assert!(new_edges(&udt) < 2 * new_edges(&star));
