@@ -1,0 +1,295 @@
+//! Ablation of CPU work-distribution policies: node-chunk (legacy
+//! spawn-per-iteration, no stealing) versus edge-balanced and virtual
+//! scheduling on the persistent work-stealing pool.
+//!
+//! Runs SSSP and CC (frontier worklist) and PageRank (full sweeps) on a
+//! power-law RMAT analog and reports, per policy: best-of-N wall clock,
+//! edge throughput, steal counts, and the max/mean edge-load imbalance
+//! across workers. Every policy must produce values identical to the
+//! node-chunk reference (bit-exact for the monotone analytics, within
+//! float rounding for PageRank) — asserted, not just printed.
+//!
+//! Output goes both to stdout (aligned table) and to a machine-readable
+//! JSON file so the perf trajectory across PRs has data:
+//! `BENCH_cpu_schedule.json` at the workspace root by default,
+//! `target/BENCH_cpu_schedule.smoke.json` under `--smoke` (the quick CI
+//! configuration: tiny graph, one repeat). `--out <path>` overrides the
+//! destination, `--threads <n>` the worker count (default
+//! `max(4, host parallelism)`, matching the ≥4-thread target the
+//! speedup claim is stated for).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tigr_bench::print_table;
+use tigr_engine::{
+    run_cpu_pr, run_cpu_with, CpuOptions, CpuSchedule, MonotoneProgram, PrMode, PrOptions,
+    ScheduleStats,
+};
+use tigr_graph::generators::{rmat, with_uniform_weights, RmatConfig};
+use tigr_graph::{Csr, NodeId};
+
+/// One measured (analytic, schedule) cell.
+struct Sample {
+    analytic: &'static str,
+    schedule: CpuSchedule,
+    wall_ms: f64,
+    edges_touched: u64,
+    iterations: usize,
+    sched: ScheduleStats,
+}
+
+impl Sample {
+    fn edges_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.edges_touched as f64 / (self.wall_ms / 1e3)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"analytic\": \"{}\", \"schedule\": \"{}\", \"wall_ms\": {:.3}, \
+             \"edges_touched\": {}, \"edges_per_sec\": {:.0}, \"iterations\": {}, \
+             \"steals\": {}, \"worker_edges_min\": {}, \"worker_edges_max\": {}, \
+             \"imbalance_ratio\": {:.4}}}",
+            self.analytic,
+            self.schedule.label(),
+            self.wall_ms,
+            self.edges_touched,
+            self.edges_per_sec(),
+            self.iterations,
+            self.sched.steals,
+            self.sched.worker_edges_min(),
+            self.sched.worker_edges_max(),
+            self.sched.imbalance_ratio(),
+        )
+    }
+
+    fn row(&self) -> Vec<String> {
+        vec![
+            self.schedule.label().to_string(),
+            self.iterations.to_string(),
+            self.edges_touched.to_string(),
+            format!("{:.2}", self.wall_ms),
+            format!("{:.1}", self.edges_per_sec() / 1e6),
+            self.sched.steals.to_string(),
+            format!("{:.2}", self.sched.imbalance_ratio()),
+        ]
+    }
+}
+
+fn max_degree_source(g: &Csr) -> NodeId {
+    g.nodes()
+        .max_by_key(|&v| (g.out_degree(v), std::cmp::Reverse(v.raw())))
+        .expect("non-empty graph")
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    // Smoke: a few thousand nodes, single repeat — a CI-speed regression
+    // gate. Full: a ≥100k-node power-law graph, best-of-3 timing.
+    // Best-of-5: relaxed intra-iteration visibility makes the BSP
+    // iteration count interleaving-dependent, so single runs mix
+    // scheduling cost with convergence luck; the minimum isolates the
+    // former.
+    let (scale, repeats, pr_iters) = if smoke {
+        (11u32, 1usize, 5)
+    } else {
+        (17, 5, 20)
+    };
+    let threads = flag("--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| tigr_engine::default_threads().max(4));
+    let out_path = flag("--out").unwrap_or_else(|| {
+        if smoke {
+            "target/BENCH_cpu_schedule.smoke.json".to_string()
+        } else {
+            "BENCH_cpu_schedule.json".to_string()
+        }
+    });
+
+    let seed = 2018;
+    let t = Instant::now();
+    let g = with_uniform_weights(&rmat(&RmatConfig::graph500(scale, 16), seed), 1, 64, seed);
+    let src = max_degree_source(&g);
+    eprintln!(
+        "rmat scale {scale}: {} nodes, {} edges, max degree {}, source {src}, generated in {:.1?}",
+        g.num_nodes(),
+        g.num_edges(),
+        g.max_out_degree(),
+        t.elapsed()
+    );
+    println!(
+        "CPU-schedule ablation: {} nodes, {} edges, {} threads, best of {} run(s)",
+        g.num_nodes(),
+        g.num_edges(),
+        threads,
+        repeats
+    );
+
+    let opts = |schedule: CpuSchedule, frontier: bool| CpuOptions {
+        threads,
+        frontier,
+        schedule,
+        ..CpuOptions::default()
+    };
+
+    let mut samples: Vec<Sample> = Vec::new();
+
+    // Frontier-worklist analytics: values must be bit-identical.
+    for (analytic, prog, source) in [
+        ("sssp", MonotoneProgram::SSSP, Some(src)),
+        ("cc", MonotoneProgram::CC, None),
+    ] {
+        let mut reference: Option<Vec<u32>> = None;
+        for schedule in CpuSchedule::ALL {
+            let mut best: Option<Sample> = None;
+            for _ in 0..repeats {
+                let run = run_cpu_with(&g, prog, source, &opts(schedule, true));
+                match &reference {
+                    None => reference = Some(run.values.clone()),
+                    Some(expect) => assert_eq!(
+                        &run.values,
+                        expect,
+                        "{analytic}/{}: diverged from node-chunk reference",
+                        schedule.label()
+                    ),
+                }
+                let wall_ms = run.elapsed.as_secs_f64() * 1e3;
+                if best.as_ref().is_none_or(|b| wall_ms < b.wall_ms) {
+                    best = Some(Sample {
+                        analytic,
+                        schedule,
+                        wall_ms,
+                        edges_touched: run.edges_touched,
+                        iterations: run.iterations,
+                        sched: run.sched,
+                    });
+                }
+            }
+            samples.push(best.expect("at least one repeat"));
+        }
+    }
+
+    // PageRank full sweeps: fixed iteration count so every policy does
+    // identical work; ranks agree to float rounding.
+    let pr_opts = PrOptions {
+        damping: 0.85,
+        tolerance: 0.0,
+        max_iterations: pr_iters,
+        mode: PrMode::Push,
+    };
+    let mut pr_reference: Option<Vec<f32>> = None;
+    for schedule in CpuSchedule::ALL {
+        let mut best: Option<Sample> = None;
+        for _ in 0..repeats {
+            let run = run_cpu_pr(&g, &pr_opts, &opts(schedule, false));
+            assert_eq!(run.iterations, pr_iters);
+            match &pr_reference {
+                None => pr_reference = Some(run.ranks.clone()),
+                Some(expect) => {
+                    for (i, (&got, &want)) in run.ranks.iter().zip(expect).enumerate() {
+                        assert!(
+                            (got - want).abs() < 1e-4,
+                            "pr/{}: rank[{i}] {got} vs {want}",
+                            schedule.label()
+                        );
+                    }
+                }
+            }
+            let wall_ms = run.elapsed.as_secs_f64() * 1e3;
+            if best.as_ref().is_none_or(|b| wall_ms < b.wall_ms) {
+                best = Some(Sample {
+                    analytic: "pr",
+                    schedule,
+                    wall_ms,
+                    edges_touched: run.edges_touched,
+                    iterations: run.iterations,
+                    sched: run.sched,
+                });
+            }
+        }
+        samples.push(best.expect("at least one repeat"));
+    }
+
+    for analytic in ["sssp", "cc", "pr"] {
+        let rows: Vec<Vec<String>> = samples
+            .iter()
+            .filter(|s| s.analytic == analytic)
+            .map(Sample::row)
+            .collect();
+        print_table(
+            &format!("{analytic}: scheduling policies"),
+            &[
+                "schedule",
+                "iters",
+                "edges",
+                "wall ms",
+                "Medges/s",
+                "steals",
+                "imbalance",
+            ],
+            &rows,
+        );
+    }
+
+    // Speedups of the pool policies over the spawn-per-iteration
+    // node-chunk baseline.
+    let baseline = |analytic: &str| {
+        samples
+            .iter()
+            .find(|s| s.analytic == analytic && s.schedule == CpuSchedule::NodeChunk)
+            .expect("baseline sample")
+            .wall_ms
+    };
+    let mut speedup_json = String::new();
+    println!("\nspeedup over node-chunk (wall clock):");
+    for analytic in ["sssp", "cc", "pr"] {
+        let base = baseline(analytic);
+        let mut parts = Vec::new();
+        for s in samples
+            .iter()
+            .filter(|s| s.analytic == analytic && s.schedule != CpuSchedule::NodeChunk)
+        {
+            let speedup = base / s.wall_ms;
+            println!("  {analytic:<5} {:<14} {speedup:.2}x", s.schedule.label());
+            parts.push(format!("\"{}\": {:.4}", s.schedule.label(), speedup));
+        }
+        let _ = write!(
+            speedup_json,
+            "{}\"{analytic}\": {{{}}}",
+            if speedup_json.is_empty() { "" } else { ", " },
+            parts.join(", ")
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"cpu_schedule\",\n  \"smoke\": {smoke},\n  \"graph\": \
+         {{\"generator\": \"rmat\", \"scale\": {scale}, \"nodes\": {}, \"edges\": {}, \
+         \"max_out_degree\": {}}},\n  \"threads\": {threads},\n  \"repeats\": {repeats},\n  \
+         \"results\": [\n    {}\n  ],\n  \"speedup_over_node_chunk\": {{{speedup_json}}}\n}}\n",
+        g.num_nodes(),
+        g.num_edges(),
+        g.max_out_degree(),
+        samples
+            .iter()
+            .map(Sample::json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write JSON output");
+    println!("\nwrote {out_path}");
+}

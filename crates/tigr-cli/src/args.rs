@@ -13,7 +13,15 @@ pub struct Args {
 }
 
 /// Flags that never take a value.
-const SWITCHES: &[&str] = &["coalesced", "weighted", "report", "help", "symmetric"];
+const SWITCHES: &[&str] = &[
+    "coalesced",
+    "weighted",
+    "report",
+    "help",
+    "symmetric",
+    "cpu",
+    "stats",
+];
 
 impl Args {
     /// Parses a raw token list (excluding the program name and command).

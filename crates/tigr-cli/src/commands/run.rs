@@ -2,8 +2,11 @@
 //! simulated GPU, optionally through a virtual transformation.
 
 use tigr_core::VirtualGraph;
-use tigr_engine::{pr, Engine, FrontierMode, PushOptions, Representation};
-use tigr_graph::NodeId;
+use tigr_engine::{
+    default_threads, pr, CpuOptions, CpuSchedule, Engine, FrontierMode, MonotoneProgram,
+    PushOptions, Representation, ScheduleStats,
+};
+use tigr_graph::{Csr, NodeId};
 use tigr_sim::GpuConfig;
 
 use crate::args::Args;
@@ -37,6 +40,19 @@ pub fn run(args: &Args) -> CmdResult {
             }
         },
     };
+    // --cpu runs the analytic on the wall-clock CPU engine instead of
+    // the simulator; --cpu-schedule (or TIGR_CPU_SCHEDULE) selects the
+    // work-distribution policy and implies --cpu.
+    let schedule = match args.flag("cpu-schedule") {
+        Some(s) => Some(CpuSchedule::parse(s).ok_or(format!(
+            "invalid --cpu-schedule `{s}` (expected node-chunk, edge-balanced, or virtual)"
+        ))?),
+        None => CpuSchedule::from_env(),
+    };
+    if args.switch("cpu") || args.flag("cpu-schedule").is_some() {
+        return run_cpu(args, &g, analytic, source, worklist, schedule);
+    }
+
     let engine = Engine::parallel(GpuConfig::default()).with_options(PushOptions {
         worklist,
         frontier,
@@ -138,8 +154,117 @@ pub fn run(args: &Args) -> CmdResult {
     Ok(out)
 }
 
+/// The `--cpu` branch: wall-clock execution with a scheduling policy.
+fn run_cpu(
+    args: &Args,
+    g: &Csr,
+    analytic: &str,
+    source: NodeId,
+    frontier: bool,
+    schedule: Option<CpuSchedule>,
+) -> CmdResult {
+    let mut cpu = CpuOptions {
+        threads: args.flag_or("threads", default_threads())?,
+        frontier,
+        schedule: schedule.unwrap_or_default(),
+        ..CpuOptions::default()
+    };
+    if let Some(k) = args.flag("virtual") {
+        cpu.virtual_k = k.parse().map_err(|_| "invalid --virtual K".to_string())?;
+    }
+    if cpu.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let engine = Engine::default().with_cpu_options(cpu);
+
+    let mut out = String::new();
+    let (iterations, edges, elapsed, sched) = match analytic {
+        "bfs" | "sssp" | "sswp" | "cc" => {
+            let prog = match analytic {
+                "bfs" => MonotoneProgram::BFS,
+                "sssp" => MonotoneProgram::SSSP,
+                "sswp" => MonotoneProgram::SSWP,
+                _ => MonotoneProgram::CC,
+            };
+            let src = prog.needs_source().then_some(source);
+            let result = engine.run_cpu(g, prog, src);
+            let finite = result
+                .values
+                .iter()
+                .filter(|&&v| v != u32::MAX && v != 0)
+                .count();
+            out.push_str(&format!(
+                "{analytic} on cpu: {finite} nodes with non-trivial values\n"
+            ));
+            (
+                result.iterations,
+                result.edges_touched,
+                result.elapsed,
+                result.sched,
+            )
+        }
+        "pr" | "pagerank" => {
+            let result = engine.cpu_pagerank(g, &pr::PrOptions::default());
+            let (top, rank) = result
+                .ranks
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty graph");
+            out.push_str(&format!(
+                "pagerank on cpu: top node {top} (rank {rank:.6}, converged: {})\n",
+                result.converged
+            ));
+            (
+                result.iterations,
+                result.edges_touched,
+                result.elapsed,
+                result.sched,
+            )
+        }
+        other => {
+            return Err(format!(
+                "analytic `{other}` is not supported on the CPU path\n{USAGE}"
+            ))
+        }
+    };
+
+    let secs = elapsed.as_secs_f64();
+    let meps = if secs > 0.0 {
+        edges as f64 / secs / 1e6
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "schedule        {}\nthreads         {}\nfrontier        {}\niterations      {}\nedges touched   {}\nwall time       {:.3} ms ({:.1} Medges/s)\n",
+        sched.schedule.label(),
+        engine.cpu_options().threads,
+        if frontier { "on" } else { "off" },
+        iterations,
+        edges,
+        secs * 1e3,
+        meps,
+    ));
+    if args.switch("stats") {
+        out.push_str(&format_schedule_stats(&sched));
+    }
+    Ok(out)
+}
+
+/// Formats the steal/imbalance counters for `--stats`.
+fn format_schedule_stats(sched: &ScheduleStats) -> String {
+    format!(
+        "steals          {}\nworker edges    min {} / max {} (imbalance {:.2})\n",
+        sched.steals,
+        sched.worker_edges_min(),
+        sched.worker_edges_max(),
+        sched.imbalance_ratio(),
+    )
+}
+
 const USAGE: &str = "usage: tigr run <bfs|sssp|sswp|cc|pr|bc> --graph <file> \
-[--source N] [--virtual K [--coalesced]] [--frontier auto|dense|sparse|off] [--report]";
+[--source N] [--virtual K [--coalesced]] [--frontier auto|dense|sparse|off] [--report] \
+[--cpu [--cpu-schedule node-chunk|edge-balanced|virtual] [--threads N] [--stats]]";
 
 #[cfg(test)]
 mod tests {
@@ -201,6 +326,47 @@ mod tests {
             touched(&on) < touched(&off),
             "frontier run should attempt fewer relaxations"
         );
+    }
+
+    #[test]
+    fn cpu_path_reports_schedule_and_stats() {
+        let path = fixture();
+        let out = run(&parse(&format!(
+            "sssp --graph {path} --cpu --cpu-schedule edge-balanced --threads 2 --stats"
+        )))
+        .unwrap();
+        assert!(out.contains("sssp on cpu:"));
+        assert!(out.contains("schedule        edge-balanced"));
+        assert!(out.contains("threads         2"));
+        assert!(out.contains("steals"));
+        assert!(out.contains("imbalance"));
+    }
+
+    #[test]
+    fn cpu_schedule_flag_implies_cpu_and_defaults_apply() {
+        let path = fixture();
+        let out = run(&parse(&format!(
+            "cc --graph {path} --cpu-schedule virtual --frontier off"
+        )))
+        .unwrap();
+        assert!(out.contains("cc on cpu:"));
+        assert!(out.contains("schedule        virtual"));
+        assert!(out.contains("frontier        off"));
+        // Without --stats the counters stay hidden.
+        assert!(!out.contains("steals"));
+        // Plain --cpu uses the default schedule.
+        let out = run(&parse(&format!("pr --graph {path} --cpu"))).unwrap();
+        assert!(out.contains("pagerank on cpu: top node"));
+        assert!(out.contains("schedule        edge-balanced"));
+    }
+
+    #[test]
+    fn cpu_path_rejects_bad_schedule_and_bc() {
+        let path = fixture();
+        let err = run(&parse(&format!("bfs --graph {path} --cpu-schedule chunky"))).unwrap_err();
+        assert!(err.contains("invalid --cpu-schedule"));
+        let err = run(&parse(&format!("bc --graph {path} --cpu"))).unwrap_err();
+        assert!(err.contains("not supported on the CPU path"));
     }
 
     #[test]

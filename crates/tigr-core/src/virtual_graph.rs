@@ -163,12 +163,25 @@ impl VirtualGraph {
     /// Panics if an id is out of range.
     pub fn expand_active(&self, active: &[u32]) -> Vec<u32> {
         let mut out = Vec::with_capacity(active.len());
+        self.expand_active_into(active, &mut out);
+        out
+    }
+
+    /// [`VirtualGraph::expand_active`] into a caller-owned buffer
+    /// (cleared first), so BSP drivers expanding a frontier every
+    /// iteration can reuse one allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn expand_active_into(&self, active: &[u32], out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(active.len());
         for &p in active {
             for i in self.vnode_range(NodeId::new(p)) {
                 out.push(i as u32);
             }
         }
-        out
     }
 
     /// Number of virtual nodes (= threads to schedule).

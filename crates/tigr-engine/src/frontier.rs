@@ -220,6 +220,23 @@ impl FrontierBuilder {
         self.len() == 0
     }
 
+    /// Drains the builder's active ids into `out` (cleared first) in
+    /// ascending order, resetting all bits — the allocation-free variant
+    /// of [`FrontierBuilder::take`] for drivers that only need the work
+    /// list, not a full [`Frontier`].
+    pub fn drain_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(self.count.swap(0, Ordering::Relaxed));
+        for (w, word) in self.bits.iter().enumerate() {
+            let mut bits = word.swap(0, Ordering::Relaxed);
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                out.push((w * 64) as u32 + b);
+                bits &= bits - 1;
+            }
+        }
+    }
+
     /// Drains the builder into a [`Frontier`], clearing all bits.
     pub fn take(&self, mode: FrontierMode) -> Frontier {
         let mut active = Vec::with_capacity(self.count.swap(0, Ordering::Relaxed));

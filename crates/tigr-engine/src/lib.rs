@@ -43,6 +43,7 @@ pub mod addr;
 pub mod algorithms;
 pub mod cpu_parallel;
 pub mod frontier;
+pub mod pool;
 mod program;
 mod pull;
 mod push;
@@ -54,7 +55,10 @@ pub use algorithms::bc::{self, BcOutput};
 pub use algorithms::dobfs::{self, DoBfsOptions, DoBfsOutput};
 pub use algorithms::pr::{self, PrMode, PrOptions, PrOutput};
 pub use algorithms::{bfs, cc, sssp, sswp, Analytic};
-pub use cpu_parallel::{default_threads, run_cpu, run_cpu_with, CpuOptions, CpuRunOutput};
+pub use cpu_parallel::{
+    default_threads, run_cpu, run_cpu_pr, run_cpu_virtual, run_cpu_with, CpuOptions, CpuPrOutput,
+    CpuRunOutput, CpuSchedule, ScheduleStats,
+};
 pub use frontier::{Frontier, FrontierBuilder, FrontierMode, FrontierRep, DENSE_FRACTION};
 pub use program::{EdgeOp, InitKind, MonotoneProgram};
 pub use pull::{run_monotone_pull, PullOptions};

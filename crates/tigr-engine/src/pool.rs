@@ -1,0 +1,385 @@
+//! Persistent worker pool with barrier-synchronized BSP epochs and
+//! chunked work-stealing.
+//!
+//! The CPU engine's BSP loop runs many short epochs (one per frontier
+//! iteration); spawning OS threads inside that loop costs more than the
+//! relaxation work of a sparse iteration. [`with_pool`] instead spawns
+//! the workers **once per run**: each epoch is a pair of barrier phases
+//! (release, join) over long-lived threads, so the per-iteration cost is
+//! a couple of futex wakes rather than thread creation.
+//!
+//! Work is distributed as index ranges. The driver hands each worker an
+//! initial `[lo, hi)` range per epoch; workers carve their range into
+//! chunks with an atomic cursor and, when their own range is exhausted,
+//! *steal* chunks from other workers' cursors round-robin. Because a
+//! claim is a single `fetch_add` on a monotone cursor, owner and thief
+//! claims are the same operation — there is no deque juggling and no
+//! ABA. A hub-heavy range therefore drains across all idle workers
+//! instead of pinning its owner (the load-balance argument of the
+//! paper's §4, applied to CPU scheduling).
+//!
+//! [`SpawnPerEpoch`] is the legacy executor kept as the ablation
+//! baseline: it implements the same [`EpochRunner`] contract by spawning
+//! scoped threads every epoch and never steals — exactly the engine's
+//! historical behavior, so benchmarks can quantify what the pool buys.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// Executes BSP epochs over per-worker index ranges.
+///
+/// `bounds[w]` is worker `w`'s initial `[lo, hi)` slice of an abstract
+/// index space; how indices map to work items (physical nodes, active
+/// list slots, virtual nodes) is the caller's business. `run_epoch`
+/// returns only after every index of every range has been processed by
+/// exactly one worker.
+pub trait EpochRunner: Sync {
+    /// Number of workers (and required length of `bounds`).
+    fn workers(&self) -> usize;
+
+    /// Runs one epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds.len() != self.workers()` or a range has
+    /// `lo > hi`.
+    fn run_epoch(&self, bounds: &[(usize, usize)]);
+
+    /// Cumulative chunks claimed from another worker's range.
+    fn steals(&self) -> u64;
+}
+
+/// One worker's share of an epoch: a monotone claim cursor over
+/// `[next, end)`. Owner and thieves all claim with `fetch_add`.
+struct StealQueue {
+    next: AtomicUsize,
+    end: AtomicUsize,
+}
+
+struct Shared<'b> {
+    queues: Vec<StealQueue>,
+    /// Claim granularity for the current epoch, in items.
+    chunk: AtomicUsize,
+    /// Entered twice per epoch (release + join) by workers and driver.
+    barrier: Barrier,
+    stop: AtomicBool,
+    steals: AtomicU64,
+    body: &'b (dyn Fn(usize, Range<usize>) + Sync),
+}
+
+/// The persistent pool: driver-side handle implementing [`EpochRunner`].
+///
+/// Constructed by [`with_pool`]; workers live for the whole closure.
+pub struct WorkerPool<'b> {
+    shared: Shared<'b>,
+}
+
+impl std::fmt::Debug for WorkerPool<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.shared.queues.len())
+            .field("steals", &self.shared.steals.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Spawns `threads` workers executing `body(worker_id, index_range)` for
+/// every claimed chunk, runs `driver` with the pool handle, then shuts
+/// the workers down. No thread is spawned after this returns control to
+/// `driver` — each [`EpochRunner::run_epoch`] call only cycles the
+/// already-running workers through a barrier pair.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`. `body` must not panic: a worker that
+/// unwinds mid-epoch would leave the driver waiting on the join barrier.
+pub fn with_pool<R>(
+    threads: usize,
+    body: &(dyn Fn(usize, Range<usize>) + Sync),
+    driver: impl FnOnce(&WorkerPool<'_>) -> R,
+) -> R {
+    assert!(threads > 0, "need at least one worker thread");
+    let pool = WorkerPool {
+        shared: Shared {
+            queues: (0..threads)
+                .map(|_| StealQueue {
+                    next: AtomicUsize::new(0),
+                    end: AtomicUsize::new(0),
+                })
+                .collect(),
+            chunk: AtomicUsize::new(1),
+            barrier: Barrier::new(threads + 1),
+            stop: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            body,
+        },
+    };
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let shared = &pool.shared;
+            scope.spawn(move || worker_loop(w, shared));
+        }
+        // Releases the workers even if `driver` unwinds, so the scope's
+        // implicit join cannot deadlock on an assertion failure.
+        let _stop = StopGuard(&pool.shared);
+        driver(&pool)
+    })
+}
+
+struct StopGuard<'a, 'b>(&'a Shared<'b>);
+
+impl Drop for StopGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.0.stop.store(true, Ordering::Release);
+        self.0.barrier.wait();
+    }
+}
+
+fn worker_loop(me: usize, shared: &Shared<'_>) {
+    loop {
+        shared.barrier.wait(); // epoch start (or shutdown)
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let chunk = shared.chunk.load(Ordering::Relaxed);
+        let mut stolen = 0u64;
+        while let Some((range, theft)) = claim(shared, me, chunk) {
+            stolen += theft as u64;
+            (shared.body)(me, range);
+        }
+        if stolen > 0 {
+            shared.steals.fetch_add(stolen, Ordering::Relaxed);
+        }
+        shared.barrier.wait(); // epoch join
+    }
+}
+
+/// Claims the next chunk: own queue first, then other queues
+/// round-robin. Returns the claimed range and whether it was stolen.
+fn claim(shared: &Shared<'_>, me: usize, chunk: usize) -> Option<(Range<usize>, bool)> {
+    let nq = shared.queues.len();
+    for i in 0..nq {
+        let q = &shared.queues[(me + i) % nq];
+        let end = q.end.load(Ordering::Relaxed);
+        if q.next.load(Ordering::Relaxed) >= end {
+            continue;
+        }
+        let lo = q.next.fetch_add(chunk, Ordering::Relaxed);
+        if lo < end {
+            return Some((lo..(lo + chunk).min(end), i != 0));
+        }
+    }
+    None
+}
+
+/// Claim granularity: enough chunks per worker that stealing can
+/// rebalance, large enough that cursor traffic stays cold.
+fn chunk_size(total: usize, workers: usize) -> usize {
+    (total / (workers * 8)).clamp(1, 2048)
+}
+
+impl EpochRunner for WorkerPool<'_> {
+    fn workers(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    fn run_epoch(&self, bounds: &[(usize, usize)]) {
+        let sh = &self.shared;
+        assert_eq!(bounds.len(), sh.queues.len(), "one bound per worker");
+        let mut total = 0;
+        for (q, &(lo, hi)) in sh.queues.iter().zip(bounds) {
+            assert!(lo <= hi, "invalid bound [{lo}, {hi})");
+            total += hi - lo;
+            q.next.store(lo, Ordering::Relaxed);
+            q.end.store(hi, Ordering::Relaxed);
+        }
+        sh.chunk
+            .store(chunk_size(total, bounds.len()), Ordering::Relaxed);
+        // The barrier's internal lock publishes the queue stores to the
+        // workers it releases.
+        sh.barrier.wait(); // release
+        sh.barrier.wait(); // join
+    }
+
+    fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+}
+
+/// The legacy executor: spawns scoped threads **every epoch**, one per
+/// non-empty range, with no stealing — the engine's historical
+/// node-chunk behavior, preserved as the scheduling-ablation baseline.
+pub struct SpawnPerEpoch<'b> {
+    threads: usize,
+    body: &'b (dyn Fn(usize, Range<usize>) + Sync),
+}
+
+impl std::fmt::Debug for SpawnPerEpoch<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpawnPerEpoch")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl<'b> SpawnPerEpoch<'b> {
+    /// A spawning executor with `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize, body: &'b (dyn Fn(usize, Range<usize>) + Sync)) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        SpawnPerEpoch { threads, body }
+    }
+}
+
+impl EpochRunner for SpawnPerEpoch<'_> {
+    fn workers(&self) -> usize {
+        self.threads
+    }
+
+    fn run_epoch(&self, bounds: &[(usize, usize)]) {
+        assert_eq!(bounds.len(), self.threads, "one bound per worker");
+        std::thread::scope(|scope| {
+            for (w, &(lo, hi)) in bounds.iter().enumerate() {
+                assert!(lo <= hi, "invalid bound [{lo}, {hi})");
+                if lo >= hi {
+                    continue;
+                }
+                let body = self.body;
+                scope.spawn(move || body(w, lo..hi));
+            }
+        });
+    }
+
+    fn steals(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Every index of every bound is processed exactly once.
+    fn coverage_check(runner: &dyn EpochRunner, hits: &[AtomicU64], bounds: &[(usize, usize)]) {
+        runner.run_epoch(bounds);
+        for (i, h) in hits.iter().enumerate() {
+            let expected = bounds.iter().any(|&(lo, hi)| lo <= i && i < hi) as u64;
+            assert_eq!(h.swap(0, Ordering::Relaxed), expected, "index {i}");
+        }
+    }
+
+    #[test]
+    fn pool_processes_every_index_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..10_000).map(|_| AtomicU64::new(0)).collect();
+        let body = |_w: usize, r: Range<usize>| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        with_pool(4, &body, |pool| {
+            assert_eq!(pool.workers(), 4);
+            // Even split, hub-heavy split, empty epoch, tiny epoch.
+            coverage_check(
+                pool,
+                &hits,
+                &[(0, 2500), (2500, 5000), (5000, 7500), (7500, 10_000)],
+            );
+            coverage_check(
+                pool,
+                &hits,
+                &[(0, 9700), (9700, 9800), (9800, 9900), (9900, 10_000)],
+            );
+            coverage_check(pool, &hits, &[(0, 0), (0, 0), (0, 0), (0, 0)]);
+            coverage_check(pool, &hits, &[(0, 1), (1, 2), (2, 3), (3, 3)]);
+        });
+    }
+
+    #[test]
+    fn skewed_bounds_are_stolen() {
+        let done = AtomicU64::new(0);
+        let body = |_w: usize, r: Range<usize>| {
+            done.fetch_add(r.len() as u64, Ordering::Relaxed);
+            // Yield the core between claims so sibling workers get
+            // scheduled mid-epoch even on a single-CPU host.
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        };
+        let steals = with_pool(4, &body, |pool| {
+            // All work on worker 0: the others must steal (each claim is
+            // chunked, so a 10k-item queue yields many chunks).
+            pool.run_epoch(&[(0, 10_000), (0, 0), (0, 0), (0, 0)]);
+            pool.steals()
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 10_000);
+        assert!(steals > 0, "idle workers never stole");
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_epochs() {
+        let sum = AtomicU64::new(0);
+        let body = |_w: usize, r: Range<usize>| {
+            sum.fetch_add(r.map(|i| i as u64).sum(), Ordering::Relaxed);
+        };
+        with_pool(2, &body, |pool| {
+            for _ in 0..100 {
+                pool.run_epoch(&[(0, 50), (50, 100)]);
+            }
+        });
+        // 100 epochs × sum(0..100)
+        assert_eq!(sum.load(Ordering::Relaxed), 100 * 4950);
+    }
+
+    #[test]
+    fn single_worker_pool_works() {
+        let sum = AtomicU64::new(0);
+        let body = |w: usize, r: Range<usize>| {
+            assert_eq!(w, 0);
+            sum.fetch_add(r.len() as u64, Ordering::Relaxed);
+        };
+        with_pool(1, &body, |pool| {
+            pool.run_epoch(&[(5, 25)]);
+            assert_eq!(pool.steals(), 0, "nothing to steal from");
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn spawn_per_epoch_matches_contract_without_steals() {
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        let body = |_w: usize, r: Range<usize>| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        let runner = SpawnPerEpoch::new(3, &body);
+        assert_eq!(runner.workers(), 3);
+        coverage_check(&runner, &hits, &[(0, 90), (90, 95), (95, 100)]);
+        assert_eq!(runner.steals(), 0);
+    }
+
+    #[test]
+    fn chunk_size_is_clamped() {
+        assert_eq!(chunk_size(0, 4), 1);
+        assert_eq!(chunk_size(10, 4), 1);
+        assert_eq!(chunk_size(3200, 4), 100);
+        assert_eq!(chunk_size(10_000_000, 4), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "one bound per worker")]
+    fn bounds_arity_is_checked() {
+        let body = |_w: usize, _r: Range<usize>| {};
+        with_pool(2, &body, |pool| pool.run_epoch(&[(0, 10)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let body = |_w: usize, _r: Range<usize>| {};
+        with_pool(0, &body, |_| {});
+    }
+}

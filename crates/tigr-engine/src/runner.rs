@@ -7,7 +7,12 @@ use std::fmt;
 use tigr_graph::NodeId;
 use tigr_sim::{DeviceMemory, GpuConfig, GpuSimulator, OutOfMemory};
 
+use tigr_graph::Csr;
+
 use crate::algorithms::{bc, pr};
+use crate::cpu_parallel::{
+    run_cpu_pr, run_cpu_with, CpuOptions, CpuPrOutput, CpuRunOutput, CpuSchedule,
+};
 use crate::frontier::FrontierMode;
 use crate::program::MonotoneProgram;
 use crate::push::{run_monotone, MonotoneOutput, PushOptions};
@@ -56,6 +61,7 @@ impl StdError for EngineError {
 pub struct Engine {
     sim: GpuSimulator,
     options: PushOptions,
+    cpu_options: CpuOptions,
     device_memory: Option<u64>,
 }
 
@@ -71,6 +77,7 @@ impl Engine {
         Engine {
             sim: GpuSimulator::new(config),
             options: PushOptions::default(),
+            cpu_options: CpuOptions::default(),
             device_memory: None,
         }
     }
@@ -81,6 +88,7 @@ impl Engine {
         Engine {
             sim: GpuSimulator::new_parallel(config),
             options: PushOptions::default(),
+            cpu_options: CpuOptions::default(),
             device_memory: None,
         }
     }
@@ -107,6 +115,21 @@ impl Engine {
         self
     }
 
+    /// Overrides the wall-clock CPU path's options (threads, frontier,
+    /// scheduling policy) used by [`Engine::run_cpu`] and
+    /// [`Engine::cpu_pagerank`].
+    pub fn with_cpu_options(mut self, options: CpuOptions) -> Self {
+        self.cpu_options = options;
+        self
+    }
+
+    /// Selects the CPU work-distribution policy (shorthand for setting
+    /// `schedule` on the CPU options).
+    pub fn with_cpu_schedule(mut self, schedule: CpuSchedule) -> Self {
+        self.cpu_options.schedule = schedule;
+        self
+    }
+
     /// The underlying simulator.
     pub fn sim(&self) -> &GpuSimulator {
         &self.sim
@@ -115,6 +138,11 @@ impl Engine {
     /// The engine's push options.
     pub fn options(&self) -> &PushOptions {
         &self.options
+    }
+
+    /// The engine's CPU-path options.
+    pub fn cpu_options(&self) -> &CpuOptions {
+        &self.cpu_options
     }
 
     /// Checks `rep` against the configured device budget.
@@ -211,6 +239,27 @@ impl Engine {
         Ok(pr::run(&self.sim, rep, out_degrees, options))
     }
 
+    /// Runs a monotone program on the wall-clock CPU path (no simulator)
+    /// with the engine's CPU options — threads, frontier, and the
+    /// [`CpuSchedule`] work-distribution policy all apply.
+    ///
+    /// # Panics
+    ///
+    /// See [`crate::cpu_parallel::run_cpu_with`].
+    pub fn run_cpu(&self, g: &Csr, prog: MonotoneProgram, source: Option<NodeId>) -> CpuRunOutput {
+        run_cpu_with(g, prog, source, &self.cpu_options)
+    }
+
+    /// Runs push-mode PageRank on the wall-clock CPU path with the
+    /// engine's CPU options.
+    ///
+    /// # Panics
+    ///
+    /// See [`crate::cpu_parallel::run_cpu_pr`].
+    pub fn cpu_pagerank(&self, g: &Csr, options: &pr::PrOptions) -> CpuPrOutput {
+        run_cpu_pr(g, options, &self.cpu_options)
+    }
+
     /// Single-source betweenness centrality.
     ///
     /// # Errors
@@ -293,6 +342,25 @@ mod tests {
                 a.edges_touched
             );
         }
+    }
+
+    #[test]
+    fn engine_cpu_path_honors_schedule() {
+        let g = tigr_graph::generators::grid_2d(8, 8);
+        let rep = Representation::Original(&g);
+        let sim = Engine::new(GpuConfig::tiny())
+            .bfs(&rep, NodeId::new(0))
+            .unwrap();
+        for schedule in crate::cpu_parallel::CpuSchedule::ALL {
+            let engine = Engine::new(GpuConfig::tiny()).with_cpu_schedule(schedule);
+            assert_eq!(engine.cpu_options().schedule, schedule);
+            let out = engine.run_cpu(&g, MonotoneProgram::BFS, Some(NodeId::new(0)));
+            assert_eq!(out.values, sim.values, "{}", schedule.label());
+            assert_eq!(out.sched.schedule, schedule);
+        }
+        let pr_out = Engine::default().cpu_pagerank(&g, &pr::PrOptions::default());
+        assert!(pr_out.converged);
+        assert!((pr_out.ranks.iter().sum::<f32>() - 1.0).abs() < 1e-3);
     }
 
     #[test]

@@ -13,6 +13,12 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
+echo "== benches compile =="
+cargo bench --workspace --no-run
+
+echo "== cpu-schedule ablation smoke =="
+cargo run --release -p tigr-bench --bin ablation_cpu_schedule -- --smoke
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

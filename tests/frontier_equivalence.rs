@@ -13,8 +13,8 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use tigr::engine::{
-    run_cpu_with, run_monotone, CpuOptions, EdgeOp, FrontierMode, MonotoneProgram, PushOptions,
-    SyncMode,
+    run_cpu_virtual, run_cpu_with, run_monotone, CpuOptions, CpuSchedule, EdgeOp, FrontierMode,
+    MonotoneProgram, PushOptions, SyncMode,
 };
 use tigr::{
     circular_transform, clique_transform, star_transform, udt_transform, Csr, CsrBuilder,
@@ -148,26 +148,88 @@ proptest! {
     }
 
     #[test]
-    fn cpu_frontier_matches_full_sweep_across_thread_counts(
+    fn cpu_schedules_match_sequential_sweep(
         g in arb_hubbed_graph(32, 140),
         src in 0u32..32,
+        k in 1u32..8,
     ) {
         let src = NodeId::new(src % g.num_nodes() as u32);
         for prog in PROGRAMS {
             let source = prog.needs_source().then_some(src);
-            let full = run_cpu_with(&g, prog, source, &CpuOptions { threads: 2, frontier: false });
-            for threads in [1usize, 4] {
-                let out = run_cpu_with(&g, prog, source, &CpuOptions { threads, frontier: true });
-                prop_assert_eq!(
-                    &out.values, &full.values,
-                    "{} with {} frontier threads diverged", prog.name, threads
-                );
-                prop_assert!(
-                    out.edges_touched <= full.edges_touched,
-                    "{}/threads={}: frontier touched {} edges, full sweep {}",
-                    prog.name, threads, out.edges_touched, full.edges_touched
-                );
+            // The reference: a sequential (1-thread, no-steal) full sweep
+            // over the original representation.
+            let seq = run_cpu_with(&g, prog, source, &cpu_opts(1, false, CpuSchedule::NodeChunk));
+            for schedule in CpuSchedule::ALL {
+                for frontier in [false, true] {
+                    for threads in [1usize, 4] {
+                        let mut o = cpu_opts(threads, frontier, schedule);
+                        o.virtual_k = k.max(1);
+                        let out = run_cpu_with(&g, prog, source, &o);
+                        prop_assert_eq!(
+                            &out.values, &seq.values,
+                            "{}/{}/frontier={}/threads={} diverged from sequential sweep",
+                            prog.name, schedule.label(), frontier, threads
+                        );
+                        if frontier {
+                            prop_assert!(
+                                out.edges_touched <= seq.edges_touched,
+                                "{}/{}/threads={}: frontier touched {} edges, full sweep {}",
+                                prog.name, schedule.label(), threads,
+                                out.edges_touched, seq.edges_touched
+                            );
+                        }
+                        prop_assert_eq!(out.sched.worker_edges.len(), threads);
+                        prop_assert_eq!(
+                            out.sched.worker_edges.iter().sum::<u64>(),
+                            out.edges_touched
+                        );
+                    }
+                }
+            }
+            // A prebuilt coalesced overlay must reach the same fixpoint
+            // as the internally built consecutive one.
+            let coal = VirtualGraph::coalesced(&g, k.max(1));
+            let out = run_cpu_virtual(&g, &coal, prog, source, &cpu_opts(3, true, CpuSchedule::Virtual));
+            prop_assert_eq!(
+                &out.values, &seq.values,
+                "{} on coalesced overlay diverged from sequential sweep", prog.name
+            );
+        }
+    }
+
+    /// Work-stealing and edge-balanced cuts change only *which worker*
+    /// relaxes an edge: repeated runs of the same configuration must
+    /// produce bit-identical value arrays.
+    #[test]
+    fn cpu_schedules_are_deterministic_across_runs(
+        g in arb_hubbed_graph(28, 120),
+        src in 0u32..28,
+    ) {
+        let src = NodeId::new(src % g.num_nodes() as u32);
+        for prog in [MonotoneProgram::SSSP, MonotoneProgram::CC] {
+            let source = prog.needs_source().then_some(src);
+            for schedule in [CpuSchedule::EdgeBalanced, CpuSchedule::Virtual] {
+                for frontier in [false, true] {
+                    let o = cpu_opts(4, frontier, schedule);
+                    let first = run_cpu_with(&g, prog, source, &o);
+                    for _ in 0..2 {
+                        let again = run_cpu_with(&g, prog, source, &o);
+                        prop_assert_eq!(
+                            &again.values, &first.values,
+                            "{}/{}/frontier={} nondeterministic", prog.name, schedule.label(), frontier
+                        );
+                    }
+                }
             }
         }
+    }
+}
+
+fn cpu_opts(threads: usize, frontier: bool, schedule: CpuSchedule) -> CpuOptions {
+    CpuOptions {
+        threads,
+        frontier,
+        schedule,
+        ..CpuOptions::default()
     }
 }
