@@ -3,8 +3,8 @@
 
 use tigr_core::VirtualGraph;
 use tigr_engine::{
-    default_threads, pr, CpuOptions, CpuSchedule, Engine, FrontierMode, MonotoneProgram,
-    PushOptions, Representation, ScheduleStats,
+    default_threads, pr, CpuOptions, CpuSchedule, Direction, Engine, FrontierMode, MonotoneProgram,
+    PrMode, PushOptions, Representation, ScheduleStats,
 };
 use tigr_graph::{Csr, NodeId};
 use tigr_sim::GpuConfig;
@@ -40,6 +40,15 @@ pub fn run(args: &Args) -> CmdResult {
             }
         },
     };
+    // --direction selects push (top-down), pull (bottom-up over an
+    // internally built transpose), or auto (the Beamer-style density
+    // switch generalized to every monotone program).
+    let direction = match args.flag("direction") {
+        Some(s) => Direction::parse(s).ok_or(format!(
+            "invalid --direction `{s}` (expected push, pull, or auto)"
+        ))?,
+        None => Direction::Push,
+    };
     // --cpu runs the analytic on the wall-clock CPU engine instead of
     // the simulator; --cpu-schedule (or TIGR_CPU_SCHEDULE) selects the
     // work-distribution policy and implies --cpu.
@@ -50,14 +59,22 @@ pub fn run(args: &Args) -> CmdResult {
         None => CpuSchedule::from_env(),
     };
     if args.switch("cpu") || args.flag("cpu-schedule").is_some() {
+        if direction == Direction::Pull {
+            return Err(
+                "the CPU engine has no pull execution path; drop --cpu or use --direction push/auto"
+                    .into(),
+            );
+        }
         return run_cpu(args, &g, analytic, source, worklist, schedule);
     }
 
-    let engine = Engine::parallel(GpuConfig::default()).with_options(PushOptions {
-        worklist,
-        frontier,
-        ..PushOptions::default()
-    });
+    let engine = Engine::parallel(GpuConfig::default())
+        .with_options(PushOptions {
+            worklist,
+            frontier,
+            ..PushOptions::default()
+        })
+        .with_direction(direction);
     let overlay = args
         .flag("virtual")
         .map(|k| {
@@ -96,16 +113,67 @@ pub fn run(args: &Args) -> CmdResult {
                 "{analytic} from {source}: {} nodes with non-trivial values\n",
                 finite
             ));
+            let pulls = result
+                .directions
+                .iter()
+                .filter(|&&d| d == Direction::Pull)
+                .count();
+            let direction_line = match direction {
+                Direction::Auto => format!(
+                    "auto ({} push / {} pull)",
+                    result.directions.len() - pulls,
+                    pulls
+                ),
+                other => other.label().to_string(),
+            };
             out.push_str(&format!(
-                "frontier        {}\nedges touched   {}\n",
+                "direction       {direction_line}\nfrontier        {}\nedges touched   {}\n",
                 if worklist { frontier.label() } else { "off" },
                 result.edges_touched,
             ));
             result.report
         }
         "pr" | "pagerank" => {
+            // Pull-mode PR gathers along in-edges: build the same shape
+            // of representation over the transpose (PageRank has no
+            // density switch, so auto means push here).
+            let options = pr::PrOptions {
+                mode: if direction == Direction::Pull {
+                    PrMode::Pull
+                } else {
+                    PrMode::Push
+                },
+                ..pr::PrOptions::default()
+            };
+            let rev;
+            let rev_overlay;
+            let pr_rep = if options.mode == PrMode::Pull {
+                rev = tigr_graph::reverse::transpose(&g);
+                match &overlay {
+                    Some(ov) => {
+                        rev_overlay = if ov.is_coalesced() {
+                            VirtualGraph::coalesced(&rev, ov.k())
+                        } else {
+                            VirtualGraph::new(&rev, ov.k())
+                        };
+                        Representation::Virtual {
+                            graph: &rev,
+                            overlay: &rev_overlay,
+                        }
+                    }
+                    None => Representation::Original(&rev),
+                }
+            } else {
+                match &overlay {
+                    Some(ov) => Representation::Virtual {
+                        graph: &g,
+                        overlay: ov,
+                    },
+                    None => Representation::Original(&g),
+                }
+            };
             let result = engine
-                .pagerank(&rep, &pr::out_degrees(&g), &pr::PrOptions::default())
+                .pagerank(&pr_rep, &pr::out_degrees(&g), &options)
                 .map_err(|e| e.to_string())?;
             let (top, rank) = result
                 .ranks
@@ -113,7 +181,14 @@ pub fn run(args: &Args) -> CmdResult {
                 .enumerate()
                 .max_by(|a, b| a.1.total_cmp(b.1))
                 .expect("non-empty graph");
-            out.push_str(&format!("pagerank: top node {top} (rank {rank:.6})\n"));
+            out.push_str(&format!(
+                "pagerank: top node {top} (rank {rank:.6})\ndirection       {}\n",
+                if options.mode == PrMode::Pull {
+                    "pull"
+                } else {
+                    "push"
+                }
+            ));
             result.report
         }
         "bc" => {
@@ -129,6 +204,9 @@ pub fn run(args: &Args) -> CmdResult {
             out.push_str(&format!(
                 "bc from {source}: top broker {top} (dependency {score:.2})\n"
             ));
+            if direction != Direction::Push {
+                out.push_str("direction       push (bc schedules the forward frontier only)\n");
+            }
             result.report
         }
         other => return Err(format!("unknown analytic `{other}`\n{USAGE}")),
@@ -263,7 +341,8 @@ fn format_schedule_stats(sched: &ScheduleStats) -> String {
 }
 
 const USAGE: &str = "usage: tigr run <bfs|sssp|sswp|cc|pr|bc> --graph <file> \
-[--source N] [--virtual K [--coalesced]] [--frontier auto|dense|sparse|off] [--report] \
+[--source N] [--virtual K [--coalesced]] [--direction push|pull|auto] \
+[--frontier auto|dense|sparse|off] [--report] \
 [--cpu [--cpu-schedule node-chunk|edge-balanced|virtual] [--threads N] [--stats]]";
 
 #[cfg(test)]
@@ -367,6 +446,50 @@ mod tests {
         assert!(err.contains("invalid --cpu-schedule"));
         let err = run(&parse(&format!("bc --graph {path} --cpu"))).unwrap_err();
         assert!(err.contains("not supported on the CPU path"));
+    }
+
+    #[test]
+    fn direction_flag_runs_and_reports_every_analytic() {
+        let path = fixture();
+        let values = |s: &str| -> u64 {
+            s.lines()
+                .find(|l| l.contains("non-trivial values"))
+                .and_then(|l| l.split(':').nth(1))
+                .and_then(|l| l.split_whitespace().next())
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let push = run(&parse(&format!("bfs --graph {path} --direction push"))).unwrap();
+        assert!(push.contains("direction       push"));
+        for d in ["pull", "auto"] {
+            let out = run(&parse(&format!("bfs --graph {path} --direction {d}"))).unwrap();
+            assert!(out.contains(&format!("direction       {d}")), "{out}");
+            assert_eq!(values(&out), values(&push), "--direction {d}");
+        }
+        // Auto runs every analytic, even the push-only ones.
+        for analytic in ["sssp", "sswp", "cc", "pr", "bc"] {
+            let out = run(&parse(&format!(
+                "{analytic} --graph {path} --direction auto"
+            )))
+            .unwrap();
+            assert!(!out.is_empty(), "{analytic}");
+        }
+        // Pull PR gathers over the transpose and says so.
+        let out = run(&parse(&format!("pr --graph {path} --direction pull"))).unwrap();
+        assert!(out.contains("direction       pull"));
+    }
+
+    #[test]
+    fn rejects_bad_direction_and_cpu_pull() {
+        let path = fixture();
+        let err = run(&parse(&format!("bfs --graph {path} --direction sideways"))).unwrap_err();
+        assert!(err.contains("invalid --direction"));
+        let err = run(&parse(&format!(
+            "bfs --graph {path} --cpu --direction pull"
+        )))
+        .unwrap_err();
+        assert!(err.contains("no pull execution path"));
     }
 
     #[test]

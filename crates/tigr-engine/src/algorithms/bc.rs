@@ -12,7 +12,8 @@ use crossbeam::queue::SegQueue;
 use tigr_graph::NodeId;
 use tigr_sim::{GpuSimulator, KernelMetrics, SimReport};
 
-use crate::addr::{aux_addr, edge_addr, frontier_addr, row_ptr_addr, value_addr, vnode_addr};
+use crate::addr::{aux_addr, frontier_addr, row_ptr_addr, value_addr, vnode_addr};
+use crate::kernel::{csr_edges, relax_kernel, AccessMirror, EdgeFlow, LaneMirror};
 use crate::representation::Representation;
 use crate::state::{AtomicFloats, AtomicValues, Combine};
 
@@ -63,22 +64,22 @@ pub fn run(sim: &GpuSimulator, rep: &Representation<'_>, source: NodeId) -> BcOu
                       edges: &mut dyn Iterator<Item = usize>| {
             lane.load(aux_addr(2, slot), 4); // sigma[v]
             let sig_v = sigma.load(slot);
-            for e in edges {
-                lane.load(edge_addr(e), 8);
-                let nbr = g.edge_target(e).index();
-                lane.load(value_addr(nbr), 4); // level[nbr]
-                                               // Unvisited? claim it for level+1 (atomic CAS).
+            relax_kernel(&mut LaneMirror(lane), csr_edges(g, edges), |m, edge| {
+                let nbr = edge.target;
+                m.load(value_addr(nbr), 4); // level[nbr]
+                                            // Unvisited? claim it for level+1 (atomic CAS).
                 if levels.load(nbr) == u32::MAX && levels.try_improve(nbr, level + 1, Combine::Min)
                 {
-                    lane.atomic(value_addr(nbr), 4);
+                    m.atomic(value_addr(nbr), 4);
                     next.push(nbr as u32);
                 }
                 if levels.load(nbr) == level + 1 {
                     sigma.fetch_add(nbr, sig_v);
-                    lane.atomic(aux_addr(2, nbr), 4);
+                    m.atomic(aux_addr(2, nbr), 4);
                 }
-                lane.compute(2);
-            }
+                m.compute(2);
+                EdgeFlow::Continue
+            });
         };
         let metrics = launch_frontier(sim, rep, &frontier, &kernel);
         report.push(frontier.len(), metrics);
@@ -103,22 +104,22 @@ pub fn run(sim: &GpuSimulator, rep: &Representation<'_>, source: NodeId) -> BcOu
                 lane.load(aux_addr(2, slot), 4); // sigma[v]
                 let sig_v = sigma.load(slot);
                 let mut partial = 0.0f32;
-                for e in edges {
-                    lane.load(edge_addr(e), 8);
-                    let nbr = g.edge_target(e).index();
-                    lane.load(value_addr(nbr), 4); // level[nbr]
+                relax_kernel(&mut LaneMirror(lane), csr_edges(g, edges), |m, edge| {
+                    let nbr = edge.target;
+                    m.load(value_addr(nbr), 4); // level[nbr]
                     if levels.load(nbr) == target_level {
-                        lane.load(aux_addr(2, nbr), 4); // sigma[nbr]
-                        lane.load(aux_addr(3, nbr), 4); // delta[nbr]
+                        m.load(aux_addr(2, nbr), 4); // sigma[nbr]
+                        m.load(aux_addr(3, nbr), 4); // delta[nbr]
                         let sig_w = sigma.load(nbr);
                         if sig_w > 0.0 {
                             partial += sig_v / sig_w * (1.0 + delta.load(nbr));
                         }
-                        lane.compute(4);
+                        m.compute(4);
                     } else {
-                        lane.compute(1);
+                        m.compute(1);
                     }
-                }
+                    EdgeFlow::Continue
+                });
                 if partial != 0.0 {
                     delta.fetch_add(slot, partial);
                     lane.atomic(aux_addr(3, slot), 4);

@@ -10,18 +10,22 @@
 //! early-exit saves a large constant factor — orthogonal to, and
 //! composable with, Tigr's virtual splitting (both directions accept a
 //! virtual overlay).
-
-use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! This module is a thin facade: the switch itself lives in the plan
+//! layer ([`crate::plan::Direction::Auto`]) and the driver is the
+//! generic [`crate::backend`] auto loop, so BFS is just the monotone
+//! BFS program run under an auto-direction plan with a caller-supplied
+//! transpose.
 
 use tigr_core::VirtualGraph;
 use tigr_graph::{Csr, NodeId};
 use tigr_sim::{GpuSimulator, SimReport};
 
-use crate::addr::{
-    edge_addr, frontier_addr, frontier_bit_addr, row_ptr_addr, value_addr, vnode_addr,
-};
-use crate::frontier::{FrontierBuilder, FrontierMode};
-use crate::state::{AtomicValues, Combine};
+use crate::backend::{run_monotone_auto, PullSide};
+use crate::frontier::FrontierMode;
+use crate::plan::{self, AutoOptions, ExecutionPlan};
+use crate::program::MonotoneProgram;
+use crate::push::PushOptions;
 
 /// Which direction a BFS level ran in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,9 +49,10 @@ pub struct DoBfsOptions {
 
 impl Default for DoBfsOptions {
     fn default() -> Self {
+        let auto = AutoOptions::default();
         DoBfsOptions {
-            alpha: 14.0,
-            beta: 24.0,
+            alpha: auto.alpha,
+            beta: auto.beta,
         }
     }
 }
@@ -68,6 +73,7 @@ pub struct DoBfsOutput {
 /// `graph` is the forward CSR, `reverse` its transpose
 /// ([`tigr_graph::reverse::transpose`]); `overlays`, when given, are
 /// virtual overlays of the two — Tigr and direction switching compose.
+/// Weights, if present, are ignored (BFS counts hops).
 ///
 /// # Panics
 ///
@@ -83,152 +89,65 @@ pub fn run(
 ) -> DoBfsOutput {
     assert_eq!(graph.num_nodes(), reverse.num_nodes(), "transpose mismatch");
     assert_eq!(graph.num_edges(), reverse.num_edges(), "transpose mismatch");
-    let n = graph.num_nodes();
-    assert!(source.index() < n, "source out of range");
+    assert!(source.index() < graph.num_nodes(), "source out of range");
 
-    let levels = AtomicValues::new(n, u32::MAX);
-    levels.store(source.index(), 0);
-    let mut frontier: Vec<u32> = vec![source.raw()];
-    let mut report = SimReport::new();
-    let mut directions = Vec::new();
-    let mut level = 0u32;
-    let mut unvisited_edges: u64 = graph.num_edges() as u64;
+    // BFS counts hops, and the pull side's per-slot early exit is only
+    // exact on unweighted graphs — strip weights up front (edge order,
+    // and therefore any overlay's edge indices, is preserved).
+    let stripped_fwd;
+    let stripped_rev;
+    let (graph, reverse) = if graph.weights().is_some() || reverse.weights().is_some() {
+        stripped_fwd = graph.without_weights();
+        stripped_rev = reverse.without_weights();
+        (&stripped_fwd, &stripped_rev)
+    } else {
+        (graph, reverse)
+    };
 
-    while !frontier.is_empty() {
-        let frontier_edges: u64 = frontier
-            .iter()
-            .map(|&v| graph.out_degree(NodeId::new(v)) as u64)
-            .sum();
-        let bottom_up = frontier_edges as f64 * options.alpha > unvisited_edges as f64
-            && frontier.len() > n.div_ceil(options.beta.max(1.0) as usize).max(1);
+    let rep = match overlays {
+        None => crate::representation::Representation::Original(graph),
+        Some((fwd, _)) => crate::representation::Representation::Virtual {
+            graph,
+            overlay: fwd,
+        },
+    };
+    let pull_side = PullSide {
+        reverse,
+        overlay: overlays.map(|o| o.1),
+    };
+    let exec = ExecutionPlan {
+        direction: plan::Direction::Auto,
+        auto: AutoOptions {
+            alpha: options.alpha,
+            beta: options.beta,
+        },
+        push: PushOptions {
+            worklist: true,
+            frontier: FrontierMode::Sparse,
+            ..PushOptions::default()
+        },
+        ..ExecutionPlan::default()
+    };
 
-        let next = FrontierBuilder::new(n);
-        let metrics = if bottom_up {
-            directions.push(Direction::BottomUp);
-            bottom_up_step(sim, reverse, overlays.map(|o| o.1), &levels, level, &next)
-        } else {
-            directions.push(Direction::TopDown);
-            top_down_step(
-                sim,
-                graph,
-                overlays.map(|o| o.0),
-                &levels,
-                level,
-                &frontier,
-                &next,
-            )
-        };
-        report.push(frontier.len(), metrics);
-
-        // The builder drains sorted and deduplicated, so the next level's
-        // schedule is deterministic.
-        let nf = next.take(FrontierMode::Sparse);
-        unvisited_edges = unvisited_edges.saturating_sub(
-            nf.nodes()
-                .iter()
-                .map(|&v| graph.out_degree(NodeId::new(v)) as u64)
-                .sum(),
-        );
-        frontier = nf.nodes().to_vec();
-        level += 1;
-    }
-
+    let out = run_monotone_auto(
+        sim,
+        &rep,
+        Some(pull_side),
+        MonotoneProgram::BFS,
+        Some(source),
+        &exec,
+    );
     DoBfsOutput {
-        levels: levels.snapshot(),
-        report,
-        directions,
-    }
-}
-
-fn top_down_step(
-    sim: &GpuSimulator,
-    graph: &Csr,
-    overlay: Option<&VirtualGraph>,
-    levels: &AtomicValues,
-    level: u32,
-    frontier: &[u32],
-    next: &FrontierBuilder,
-) -> tigr_sim::KernelMetrics {
-    let body = |lane: &mut tigr_sim::Lane, edges: &mut dyn Iterator<Item = usize>| {
-        for e in edges {
-            lane.load(edge_addr(e), 8);
-            let nbr = graph.edge_target(e).index();
-            lane.load(value_addr(nbr), 4);
-            if levels.load(nbr) == u32::MAX && levels.try_improve(nbr, level + 1, Combine::Min) {
-                lane.atomic(value_addr(nbr), 4);
-                if next.activate(nbr) {
-                    lane.atomic(frontier_bit_addr(nbr), 4);
-                }
-            }
-            lane.compute(1);
-        }
-    };
-    match overlay {
-        None => sim.launch(frontier.len(), |tid, lane| {
-            lane.load(frontier_addr(tid), 4);
-            let v = NodeId::new(frontier[tid]);
-            lane.load(row_ptr_addr(v.index()), 8);
-            body(lane, &mut (graph.edge_start(v)..graph.edge_end(v)));
-        }),
-        Some(ov) => {
-            let active = ov.expand_active(frontier);
-            sim.launch(active.len(), |tid, lane| {
-                let vid = active[tid] as usize;
-                lane.load(vnode_addr(vid), 8);
-                let vn = ov.vnode(vid);
-                body(lane, &mut tigr_core::EdgeCursor::new(&vn));
+        levels: out.values,
+        report: out.report,
+        directions: out
+            .directions
+            .iter()
+            .map(|d| match d {
+                plan::Direction::Pull => Direction::BottomUp,
+                _ => Direction::TopDown,
             })
-        }
-    }
-}
-
-fn bottom_up_step(
-    sim: &GpuSimulator,
-    reverse: &Csr,
-    overlay: Option<&VirtualGraph>,
-    levels: &AtomicValues,
-    level: u32,
-    next: &FrontierBuilder,
-) -> tigr_sim::KernelMetrics {
-    let scanned = AtomicU64::new(0);
-    let body = |lane: &mut tigr_sim::Lane, slot: usize, edges: &mut dyn Iterator<Item = usize>| {
-        lane.load(value_addr(slot), 4);
-        if levels.load(slot) != u32::MAX {
-            return;
-        }
-        for e in edges {
-            lane.load(edge_addr(e), 8);
-            let parent = reverse.edge_target(e).index();
-            lane.load(value_addr(parent), 4);
-            lane.compute(1);
-            scanned.fetch_add(1, Ordering::Relaxed);
-            if levels.load(parent) == level {
-                // Early exit: claim the level and stop scanning.
-                if levels.try_improve(slot, level + 1, Combine::Min) {
-                    lane.atomic(value_addr(slot), 4);
-                    if next.activate(slot) {
-                        lane.atomic(frontier_bit_addr(slot), 4);
-                    }
-                }
-                break;
-            }
-        }
-    };
-    match overlay {
-        None => sim.launch(reverse.num_nodes(), |tid, lane| {
-            lane.load(row_ptr_addr(tid), 8);
-            let v = NodeId::from_index(tid);
-            body(lane, tid, &mut (reverse.edge_start(v)..reverse.edge_end(v)));
-        }),
-        Some(ov) => sim.launch(ov.num_virtual_nodes(), |tid, lane| {
-            lane.load(vnode_addr(tid), 8);
-            let vn = ov.vnode(tid);
-            body(
-                lane,
-                vn.physical.index(),
-                &mut tigr_core::EdgeCursor::new(&vn),
-            );
-        }),
+            .collect(),
     }
 }
 

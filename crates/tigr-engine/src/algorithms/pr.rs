@@ -11,7 +11,8 @@
 use tigr_graph::{Csr, NodeId};
 use tigr_sim::{GpuSimulator, SimReport};
 
-use crate::addr::{aux_addr, edge_addr, row_ptr_addr, value_addr, vnode_addr};
+use crate::addr::{aux_addr, row_ptr_addr, value_addr, vnode_addr};
+use crate::kernel::{csr_edges, relax_kernel, walk_segments, AccessMirror, EdgeFlow, LaneMirror};
 use crate::representation::Representation;
 use crate::state::AtomicFloats;
 
@@ -173,12 +174,11 @@ fn push_kernel(
             }
             let share = ranks.load(slot) / deg as f32;
             lane.compute(1);
-            for e in edges {
-                lane.load(edge_addr(e), 8);
-                let nbr = g.edge_target(e).index();
-                accum.fetch_add(nbr, share);
-                lane.atomic(aux_addr(0, nbr), 4);
-            }
+            relax_kernel(&mut LaneMirror(lane), csr_edges(g, edges), |m, edge| {
+                accum.fetch_add(edge.target, share);
+                m.atomic(aux_addr(0, edge.target), 4);
+                EdgeFlow::Continue
+            });
         };
     launch_over(sim, rep, &scatter)
 }
@@ -196,16 +196,16 @@ fn pull_kernel(
         |lane: &mut tigr_sim::Lane, slot: usize, edges: &mut dyn Iterator<Item = usize>| {
             let mut partial = 0.0f32;
             let mut any = false;
-            for e in edges {
-                lane.load(edge_addr(e), 8);
-                let src = g.edge_target(e).index();
-                lane.load(value_addr(src), 4);
-                lane.load(aux_addr(1, src), 4);
+            relax_kernel(&mut LaneMirror(lane), csr_edges(g, edges), |m, edge| {
+                let src = edge.target;
+                m.load(value_addr(src), 4);
+                m.load(aux_addr(1, src), 4);
                 let deg = out_degrees[src].max(1);
                 partial += ranks.load(src) / deg as f32;
-                lane.compute(2);
+                m.compute(2);
                 any = true;
-            }
+                EdgeFlow::Continue
+            });
             if any {
                 accum.fetch_add(slot, partial);
                 lane.atomic(aux_addr(0, slot), 4);
@@ -241,22 +241,13 @@ fn launch_over(
             sim.launch(mapper.num_threads(), |tid, lane| {
                 let ((lo, hi), first, probes) = mapper.resolve(graph, tid);
                 lane.compute(probes as u64 * 2);
-                let mut src = first.index();
-                let mut start = graph.edge_start(first);
-                let mut end = graph.edge_end(first);
-                let mut e = lo;
-                while e < hi {
-                    while e >= end {
-                        src += 1;
-                        start = graph.edge_start(NodeId::from_index(src));
-                        end = graph.edge_end(NodeId::from_index(src));
-                        lane.load(row_ptr_addr(src + 1), 4);
-                    }
-                    let stop = hi.min(end);
-                    let _ = start;
-                    body(lane, src, &mut (e..stop));
-                    e = stop;
-                }
+                walk_segments(
+                    &mut LaneMirror(lane),
+                    graph,
+                    (lo, hi),
+                    first,
+                    |m, src, seg| body(m.0, src, &mut seg.into_iter()),
+                );
             })
         }
         Representation::Physical(_) => unreachable!("rejected by run()"),

@@ -41,6 +41,9 @@ use tigr_graph::{Csr, NodeId};
 
 use crate::algorithms::pr::{PrMode, PrOptions};
 use crate::frontier::FrontierBuilder;
+use crate::kernel::{
+    csr_edges, push_relax, relax_kernel, slice_edges, EdgeFlow, EdgeRef, NoMirror,
+};
 use crate::pool::{self, EpochRunner};
 use crate::program::MonotoneProgram;
 use crate::state::{AtomicFloats, AtomicValues};
@@ -327,9 +330,14 @@ impl SweepState<'_> {
         let d = self.values.load(v);
         // Neighbor and weight slices are loop-invariant: index `row_ptr`
         // once per node, not per edge.
-        let nbrs = self.g.neighbors(node);
-        self.relax_edges(d, nbrs, self.g.neighbor_weights(node));
-        nbrs.len() as u64
+        self.relax_edges(
+            d,
+            slice_edges(
+                self.g.edge_start(node),
+                self.g.neighbors(node),
+                self.g.neighbor_weights(node),
+            ),
+        )
     }
 
     /// Relaxes the ≤ K edges covered by virtual node `i`. Values are
@@ -343,44 +351,23 @@ impl SweepState<'_> {
             // a physical node, just over ≤ K edges.
             let (lo, hi) = (vn.first_edge as usize, (vn.first_edge + vn.count) as usize);
             let ws = self.g.weights().map(|w| &w[lo..hi]);
-            self.relax_edges(d, &self.g.col_idx()[lo..hi], ws);
+            self.relax_edges(d, slice_edges(lo, &self.g.col_idx()[lo..hi], ws))
         } else {
-            for e in vn.edge_indices() {
-                self.relax_one(d, self.g.edge_target(e), self.g.weight(e));
-            }
-        }
-        vn.count as u64
-    }
-
-    #[inline]
-    fn relax_edges(&self, d: u32, nbrs: &[NodeId], weights: Option<&[tigr_graph::Weight]>) {
-        match weights {
-            Some(ws) => {
-                for (&nbr, &w) in nbrs.iter().zip(ws) {
-                    self.relax_one(d, nbr, w);
-                }
-            }
-            None => {
-                for &nbr in nbrs {
-                    self.relax_one(d, nbr, 1);
-                }
-            }
+            self.relax_edges(d, csr_edges(self.g, vn.edge_indices()))
         }
     }
 
     #[inline]
-    fn relax_one(&self, d: u32, nbr: NodeId, w: tigr_graph::Weight) {
-        let cand = self.prog.edge_op.apply(d, w);
-        if self
-            .prog
-            .combine
-            .improves(cand, self.values.load(nbr.index()))
-            && self
-                .values
-                .try_improve(nbr.index(), cand, self.prog.combine)
-        {
-            self.improved(nbr.index());
-        }
+    fn relax_edges(&self, d: u32, edges: impl Iterator<Item = EdgeRef>) -> u64 {
+        push_relax(
+            &mut NoMirror,
+            self.prog,
+            &self.values,
+            None,
+            d,
+            edges,
+            |_, target| self.improved(target),
+        )
     }
 }
 
@@ -610,6 +597,12 @@ impl PrState<'_> {
     /// (physical nodes, or virtual nodes under an overlay).
     fn scatter(&self, w: usize, r: Range<usize>) {
         let mut touched = 0u64;
+        let spread = |share: f32| {
+            move |_: &mut NoMirror, edge: EdgeRef| {
+                self.accum.fetch_add(edge.target, share);
+                EdgeFlow::Continue
+            }
+        };
         match self.overlay {
             None => {
                 for v in r {
@@ -618,10 +611,12 @@ impl PrState<'_> {
                         continue;
                     }
                     let share = self.ranks.load(v) / deg as f32;
-                    for &nbr in self.g.neighbors(NodeId::from_index(v)) {
-                        self.accum.fetch_add(nbr.index(), share);
-                    }
-                    touched += deg as u64;
+                    let node = NodeId::from_index(v);
+                    touched += relax_kernel(
+                        &mut NoMirror,
+                        slice_edges(self.g.edge_start(node), self.g.neighbors(node), None),
+                        spread(share),
+                    );
                 }
             }
             Some(ov) => {
@@ -632,18 +627,21 @@ impl PrState<'_> {
                     }
                     let p = vn.physical.index();
                     let share = self.ranks.load(p) / self.out_degrees[p] as f32;
-                    if vn.stride == 1 {
+                    touched += if vn.stride == 1 {
                         let (lo, hi) =
                             (vn.first_edge as usize, (vn.first_edge + vn.count) as usize);
-                        for &nbr in &self.g.col_idx()[lo..hi] {
-                            self.accum.fetch_add(nbr.index(), share);
-                        }
+                        relax_kernel(
+                            &mut NoMirror,
+                            slice_edges(lo, &self.g.col_idx()[lo..hi], None),
+                            spread(share),
+                        )
                     } else {
-                        for e in vn.edge_indices() {
-                            self.accum.fetch_add(self.g.edge_target(e).index(), share);
-                        }
-                    }
-                    touched += vn.count as u64;
+                        relax_kernel(
+                            &mut NoMirror,
+                            csr_edges(self.g, vn.edge_indices()),
+                            spread(share),
+                        )
+                    };
                 }
             }
         }

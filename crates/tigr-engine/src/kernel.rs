@@ -1,0 +1,414 @@
+//! The single edge-relaxation inner loop (§5, Algorithm 2 lines 6–10).
+//!
+//! Every driver in this crate — simulated push ([`crate::push`]),
+//! simulated pull ([`crate::pull`]), the wall-clock CPU engine
+//! ([`crate::cpu_parallel`]), PageRank and betweenness centrality
+//! ([`crate::algorithms`]) — routes its per-edge work through
+//! [`relax_kernel`]. The loop is parameterized along two axes:
+//!
+//! * an **edge source**: any `Iterator<Item = EdgeRef>` — a contiguous
+//!   CSR range, a strided virtual-node cursor, or a slice zip on the CPU
+//!   fast path (see [`csr_edges`] and friends);
+//! * an **access mirror**: how each architectural memory access is
+//!   accounted. [`LaneMirror`] charges a simulator [`Lane`]; [`NoMirror`]
+//!   compiles every charge away for the wall-clock CPU backends, so both
+//!   executors share one loop with zero overhead on the native path.
+//!
+//! On top of the raw loop sit the two monotone functor bodies,
+//! [`push_relax`] (scatter: one atomic per improving edge) and
+//! [`pull_gather`] (gather: local fold, at most one atomic per slot) —
+//! direction is a *schedule*, not a reimplementation.
+
+use tigr_graph::{Csr, Weight};
+use tigr_sim::Lane;
+
+use crate::addr::{edge_addr, frontier_bit_addr, value_addr, EDGE_ENTRY_BYTES};
+use crate::frontier::Frontier;
+use crate::program::MonotoneProgram;
+use crate::state::AtomicValues;
+
+/// One edge as seen by the kernel: its CSR index (for address
+/// accounting), the slot it leads to, and its weight.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeRef {
+    /// Global edge index (addresses the `{target, weight}` entry).
+    pub index: usize,
+    /// Destination slot (push: the neighbor written; pull: the source
+    /// read).
+    pub target: usize,
+    /// Edge weight (1 on unweighted graphs).
+    pub weight: Weight,
+}
+
+/// Control flow returned by a per-edge body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeFlow {
+    /// The edge was processed: count it and continue.
+    Continue,
+    /// The edge was skipped (e.g. inactive source under a worklist
+    /// filter): do not count it.
+    Skip,
+    /// The edge was processed; stop walking the range (bottom-up BFS
+    /// early exit).
+    Stop,
+}
+
+/// How a kernel's memory traffic is accounted. The methods mirror the
+/// simulator's [`Lane`]; the CPU backends plug in [`NoMirror`] and the
+/// optimizer deletes every call.
+pub trait AccessMirror {
+    /// Mirror of [`Lane::load`].
+    fn load(&mut self, addr: u64, bytes: u64);
+    /// Mirror of [`Lane::store`].
+    fn store(&mut self, addr: u64, bytes: u64);
+    /// Mirror of [`Lane::atomic`].
+    fn atomic(&mut self, addr: u64, bytes: u64);
+    /// Mirror of [`Lane::compute`].
+    fn compute(&mut self, n: u64);
+}
+
+/// Mirrors accesses onto a simulator lane (warp-lockstep accounting).
+#[derive(Debug)]
+pub struct LaneMirror<'a>(pub &'a mut Lane);
+
+impl AccessMirror for LaneMirror<'_> {
+    #[inline]
+    fn load(&mut self, addr: u64, bytes: u64) {
+        self.0.load(addr, bytes);
+    }
+    #[inline]
+    fn store(&mut self, addr: u64, bytes: u64) {
+        self.0.store(addr, bytes);
+    }
+    #[inline]
+    fn atomic(&mut self, addr: u64, bytes: u64) {
+        self.0.atomic(addr, bytes);
+    }
+    #[inline]
+    fn compute(&mut self, n: u64) {
+        self.0.compute(n);
+    }
+}
+
+/// Zero-cost mirror for the wall-clock CPU backends.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoMirror;
+
+impl AccessMirror for NoMirror {
+    #[inline]
+    fn load(&mut self, _addr: u64, _bytes: u64) {}
+    #[inline]
+    fn store(&mut self, _addr: u64, _bytes: u64) {}
+    #[inline]
+    fn atomic(&mut self, _addr: u64, _bytes: u64) {}
+    #[inline]
+    fn compute(&mut self, _n: u64) {}
+}
+
+/// THE edge-relaxation inner loop: charges the `{target, weight}` entry
+/// load for every edge and hands it to `per_edge`. Returns how many
+/// edges were processed (relaxation attempted, [`EdgeFlow::Skip`] not
+/// counted).
+///
+/// This is the only per-edge loop in the engine; every driver builds its
+/// body as a `per_edge` closure over it.
+#[inline]
+pub fn relax_kernel<M, I, F>(mirror: &mut M, edges: I, mut per_edge: F) -> u64
+where
+    M: AccessMirror,
+    I: Iterator<Item = EdgeRef>,
+    F: FnMut(&mut M, EdgeRef) -> EdgeFlow,
+{
+    let mut touched = 0u64;
+    for edge in edges {
+        mirror.load(edge_addr(edge.index), EDGE_ENTRY_BYTES);
+        match per_edge(mirror, edge) {
+            EdgeFlow::Continue => touched += 1,
+            EdgeFlow::Skip => {}
+            EdgeFlow::Stop => {
+                touched += 1;
+                break;
+            }
+        }
+    }
+    touched
+}
+
+/// Push-relaxes `edges` whose owning slot currently holds `d`: computes
+/// the candidate, compares against the destination (through `prev` under
+/// BSP double buffering), and atomically improves it. `on_improve` runs
+/// once per newly improving edge, after the value atomic is charged —
+/// callers hang frontier activation and finished-flag traffic there.
+///
+/// Returns the number of edges relaxed.
+#[inline]
+pub fn push_relax<M: AccessMirror>(
+    mirror: &mut M,
+    prog: MonotoneProgram,
+    values: &AtomicValues,
+    prev: Option<&[u32]>,
+    d: u32,
+    edges: impl Iterator<Item = EdgeRef>,
+    mut on_improve: impl FnMut(&mut M, usize),
+) -> u64 {
+    relax_kernel(mirror, edges, |m, edge| {
+        let cand = prog.edge_op.apply(d, edge.weight);
+        // alt computation + comparison (Algorithm 2 lines 7-8).
+        m.compute(2);
+        m.load(value_addr(edge.target), 4);
+        let cur = match prev {
+            Some(p) => p[edge.target],
+            None => values.load(edge.target),
+        };
+        if prog.combine.improves(cand, cur) && values.try_improve(edge.target, cand, prog.combine) {
+            // atomicMin (Algorithm 2 line 9).
+            m.atomic(value_addr(edge.target), 4);
+            on_improve(m, edge.target);
+        }
+        EdgeFlow::Continue
+    })
+}
+
+/// Worklist filter and early-exit policy of a [`pull_gather`] call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GatherFilter<'a> {
+    /// Fold only candidates from sources active last iteration,
+    /// consulting this dense bitmap per in-edge.
+    pub active: Option<&'a Frontier>,
+    /// Bottom-up BFS shape: skip already-claimed slots entirely and stop
+    /// at the first improving candidate. Sound only for unweighted
+    /// source-zero min-plus programs under a worklist — the level of a
+    /// claimed node can never improve again, and any active parent
+    /// offers the same `level + 1`.
+    pub early_exit: bool,
+}
+
+/// Pull-gathers `edges` (in-edges of `slot`, i.e. a transpose range):
+/// folds candidates locally and issues at most **one** value atomic on
+/// the slot — the Theorem 3 gather scheme. `on_improve` runs after that
+/// atomic when the slot improved.
+///
+/// Returns the number of candidates folded (edges skipped by the
+/// worklist filter are not counted).
+#[inline]
+pub fn pull_gather<M: AccessMirror>(
+    mirror: &mut M,
+    prog: MonotoneProgram,
+    values: &AtomicValues,
+    slot: usize,
+    edges: impl Iterator<Item = EdgeRef>,
+    filter: GatherFilter<'_>,
+    mut on_improve: impl FnMut(&mut M, usize),
+) -> u64 {
+    mirror.load(value_addr(slot), 4);
+    let start = values.load(slot);
+    if filter.early_exit && start != u32::MAX {
+        // Already claimed: a monotone level never improves again.
+        return 0;
+    }
+    let mut best = start;
+    let mut improved_locally = false;
+    let touched = relax_kernel(mirror, edges, |m, edge| {
+        if let Some(f) = filter.active {
+            m.load(frontier_bit_addr(edge.target), 4);
+            if !f.contains(edge.target) {
+                return EdgeFlow::Skip;
+            }
+        }
+        m.load(value_addr(edge.target), 4);
+        let cand = prog.edge_op.apply(values.load(edge.target), edge.weight);
+        m.compute(2);
+        if prog.combine.improves(cand, best) {
+            best = cand;
+            improved_locally = true;
+            if filter.early_exit {
+                return EdgeFlow::Stop;
+            }
+        }
+        EdgeFlow::Continue
+    });
+    if improved_locally && values.try_improve(slot, best, prog.combine) {
+        mirror.atomic(value_addr(slot), 4);
+        on_improve(mirror, slot);
+    }
+    touched
+}
+
+/// Walks a contiguous global edge range `[lo, hi)` that may span node
+/// boundaries — the on-the-fly mapping shape (Algorithm 4) — invoking
+/// `body` once per `(owning node, edge subrange)` segment and charging
+/// one `row_ptr` boundary load per crossing. The binary-search probe
+/// traffic that *found* the range differs per caller (push charges
+/// scattered loads, gather charges compute) and is charged before
+/// calling this.
+#[inline]
+pub fn walk_segments<M: AccessMirror>(
+    mirror: &mut M,
+    graph: &Csr,
+    range: (usize, usize),
+    first_src: tigr_graph::NodeId,
+    mut body: impl FnMut(&mut M, usize, std::ops::Range<usize>),
+) {
+    let (lo, hi) = range;
+    let mut src = first_src.index();
+    let mut src_end = graph.edge_end(first_src);
+    let mut e = lo;
+    while e < hi {
+        while e >= src_end {
+            src += 1;
+            src_end = graph.edge_end(tigr_graph::NodeId::from_index(src));
+            mirror.load(crate::addr::row_ptr_addr(src + 1), 4);
+        }
+        let seg_end = src_end.min(hi);
+        body(mirror, src, e..seg_end);
+        e = seg_end;
+    }
+}
+
+/// Edge source over global CSR edge indices: the common case for
+/// simulated kernels (contiguous `edge_start..edge_end` ranges and
+/// strided [`tigr_core::EdgeCursor`]s alike).
+#[inline]
+pub fn csr_edges<'a>(
+    g: &'a Csr,
+    indices: impl Iterator<Item = usize> + 'a,
+) -> impl Iterator<Item = EdgeRef> + 'a {
+    indices.map(move |e| EdgeRef {
+        index: e,
+        target: g.edge_target(e).index(),
+        weight: g.weight(e),
+    })
+}
+
+/// Edge source over pre-sliced neighbor/weight arrays — the CPU hot
+/// path, which indexes `row_ptr` once per node and then walks
+/// contiguous slices.
+#[inline]
+pub fn slice_edges<'a>(
+    first_edge: usize,
+    targets: &'a [tigr_graph::NodeId],
+    weights: Option<&'a [Weight]>,
+) -> impl Iterator<Item = EdgeRef> + 'a {
+    let mut ws = weights.map(|w| w.iter());
+    targets.iter().enumerate().map(move |(i, &t)| EdgeRef {
+        index: first_edge + i,
+        target: t.index(),
+        weight: match &mut ws {
+            Some(it) => *it.next().expect("weights cover targets"),
+            None => 1,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Combine;
+    use tigr_graph::CsrBuilder;
+
+    #[test]
+    fn relax_kernel_counts_and_stops() {
+        let g = CsrBuilder::new(4)
+            .weighted_edge(0, 1, 5)
+            .weighted_edge(0, 2, 7)
+            .weighted_edge(0, 3, 9)
+            .build();
+        let mut seen = Vec::new();
+        let touched = relax_kernel(&mut NoMirror, csr_edges(&g, 0..3), |_, e| {
+            seen.push((e.target, e.weight));
+            if e.target == 2 {
+                EdgeFlow::Stop
+            } else {
+                EdgeFlow::Continue
+            }
+        });
+        assert_eq!(touched, 2, "stop counts the stopping edge");
+        assert_eq!(seen, vec![(1, 5), (2, 7)]);
+        let skipped = relax_kernel(&mut NoMirror, csr_edges(&g, 0..3), |_, _| EdgeFlow::Skip);
+        assert_eq!(skipped, 0, "skips are not counted");
+    }
+
+    #[test]
+    fn push_relax_improves_and_reports() {
+        let g = CsrBuilder::new(3)
+            .weighted_edge(0, 1, 4)
+            .weighted_edge(0, 2, 2)
+            .build();
+        let values = AtomicValues::from_values(vec![0, u32::MAX, 1]);
+        let mut improved = Vec::new();
+        let touched = push_relax(
+            &mut NoMirror,
+            MonotoneProgram::SSSP,
+            &values,
+            None,
+            0,
+            csr_edges(&g, 0..2),
+            |_, t| improved.push(t),
+        );
+        assert_eq!(touched, 2);
+        assert_eq!(improved, vec![1], "slot 2 already held a better value");
+        assert_eq!(values.snapshot(), vec![0, 4, 1]);
+    }
+
+    #[test]
+    fn pull_gather_folds_locally() {
+        // Transpose view of 1->0 (w=3), 2->0 (w=1): node 0 gathers.
+        let rev = CsrBuilder::new(3)
+            .weighted_edge(0, 1, 3)
+            .weighted_edge(0, 2, 1)
+            .build();
+        let values = AtomicValues::from_values(vec![u32::MAX, 2, 5]);
+        let mut improved = Vec::new();
+        let touched = pull_gather(
+            &mut NoMirror,
+            MonotoneProgram::SSSP,
+            &values,
+            0,
+            csr_edges(&rev, 0..2),
+            GatherFilter::default(),
+            |_, s| improved.push(s),
+        );
+        assert_eq!(touched, 2);
+        assert_eq!(improved, vec![0]);
+        assert_eq!(values.load(0), 5, "min(2+3, 5+1)");
+        assert!(MonotoneProgram::SSSP.combine == Combine::Min);
+    }
+
+    #[test]
+    fn early_exit_skips_claimed_slots() {
+        let rev = CsrBuilder::new(2).edge(0, 1).build();
+        let values = AtomicValues::from_values(vec![3, 0]);
+        let filter = GatherFilter {
+            active: None,
+            early_exit: true,
+        };
+        let touched = pull_gather(
+            &mut NoMirror,
+            MonotoneProgram::BFS,
+            &values,
+            0,
+            csr_edges(&rev, 0..1),
+            filter,
+            |_, _| {},
+        );
+        assert_eq!(touched, 0, "claimed slot folds nothing");
+        assert_eq!(values.load(0), 3);
+    }
+
+    #[test]
+    fn slice_edges_matches_csr_edges() {
+        let g = CsrBuilder::new(4)
+            .weighted_edge(1, 2, 8)
+            .weighted_edge(1, 3, 9)
+            .build();
+        let v = tigr_graph::NodeId::new(1);
+        let lo = g.edge_start(v);
+        let a: Vec<(usize, usize, Weight)> = csr_edges(&g, lo..g.edge_end(v))
+            .map(|e| (e.index, e.target, e.weight))
+            .collect();
+        let b: Vec<(usize, usize, Weight)> = slice_edges(lo, g.neighbors(v), g.neighbor_weights(v))
+            .map(|e| (e.index, e.target, e.weight))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -41,8 +41,11 @@
 
 pub mod addr;
 pub mod algorithms;
+pub mod backend;
 pub mod cpu_parallel;
 pub mod frontier;
+pub mod kernel;
+pub mod plan;
 pub mod pool;
 mod program;
 mod pull;
@@ -55,11 +58,17 @@ pub use algorithms::bc::{self, BcOutput};
 pub use algorithms::dobfs::{self, DoBfsOptions, DoBfsOutput};
 pub use algorithms::pr::{self, PrMode, PrOptions, PrOutput};
 pub use algorithms::{bfs, cc, sssp, sswp, Analytic};
+pub use backend::{Backend, CpuPool, Sequential, WarpSim};
 pub use cpu_parallel::{
     default_threads, run_cpu, run_cpu_pr, run_cpu_virtual, run_cpu_with, CpuOptions, CpuPrOutput,
     CpuRunOutput, CpuSchedule, ScheduleStats,
 };
 pub use frontier::{Frontier, FrontierBuilder, FrontierMode, FrontierRep, DENSE_FRACTION};
+pub use kernel::{
+    csr_edges, pull_gather, push_relax, relax_kernel, slice_edges, walk_segments, AccessMirror,
+    EdgeFlow, EdgeRef, GatherFilter, LaneMirror, NoMirror,
+};
+pub use plan::{AutoOptions, BackendKind, Direction, ExecutionPlan, PlanError};
 pub use program::{EdgeOp, InitKind, MonotoneProgram};
 pub use pull::{run_monotone_pull, PullOptions};
 pub use push::{run_monotone, MonotoneOutput, PushOptions, SyncMode};

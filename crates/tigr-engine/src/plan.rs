@@ -1,0 +1,375 @@
+//! Execution plans: representation × direction × frontier × schedule as
+//! *data*, validated against the paper's correctness theorems before
+//! anything runs.
+//!
+//! A [`ExecutionPlan`] is assembled by [`crate::Engine`]'s builder
+//! methods (or literally) and handed to a [`crate::backend::Backend`].
+//! Validation encodes what the paper proves rather than what a comment
+//! promises:
+//!
+//! * **Theorem 3** — pull/gather over a split (virtual or on-the-fly)
+//!   representation partitions a node's in-edge fold across threads, so
+//!   the combine operator must be associative and applied atomically.
+//!   Non-associative programs over split views are a [`PlanError`], not
+//!   a wrong answer.
+//! * **Corollary 4 analog** — pull over a *physical* (UDT) split is
+//!   rejected: the split vertices are real nodes with rewired in-edges,
+//!   so gathering over them computes a different fixpoint.
+//! * `CpuSchedule::Virtual` needs a virtual view to chunk by; a plan
+//!   that disables overlay construction (`virtual_k == 0`) without
+//!   supplying one is rejected up front instead of silently degrading.
+
+use std::fmt;
+
+use crate::cpu_parallel::{CpuOptions, CpuSchedule};
+use crate::program::MonotoneProgram;
+use crate::push::PushOptions;
+use crate::representation::Representation;
+
+/// Traversal direction of a plan: which side of each edge does the work.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Scatter: active nodes push candidates along out-edges (one
+    /// atomic per improving edge). Always valid (Theorem 2).
+    #[default]
+    Push,
+    /// Gather: every node folds candidates over in-edges (at most one
+    /// atomic per node per iteration). Over split representations this
+    /// requires an associative combine (Theorem 3).
+    Pull,
+    /// Direction-optimizing: start pushing, switch to pull when the
+    /// frontier grows dense (Beamer's α/β heuristic generalized from
+    /// BFS to any monotone program), and fall back to push as it
+    /// thins.
+    Auto,
+}
+
+impl Direction {
+    /// All directions, in ablation order.
+    pub const ALL: [Direction; 3] = [Direction::Push, Direction::Pull, Direction::Auto];
+
+    /// Parses a CLI/env spelling (`push`, `pull`, `auto`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "push" | "td" | "top-down" => Some(Direction::Push),
+            "pull" | "bu" | "bottom-up" => Some(Direction::Pull),
+            "auto" | "do" | "hybrid" => Some(Direction::Auto),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label for tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Push => "push",
+            Direction::Pull => "pull",
+            Direction::Auto => "auto",
+        }
+    }
+}
+
+/// Tuning knobs of the [`Direction::Auto`] density switch, after Beamer
+/// et al.'s direction-optimizing BFS.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AutoOptions {
+    /// Switch to pull when `frontier_edges * alpha > unvisited_edges`.
+    /// `0.0` never pulls.
+    pub alpha: f64,
+    /// Additionally require the frontier to span more than `n / beta`
+    /// nodes, guarding against pulling on deep, thin frontiers.
+    pub beta: f64,
+}
+
+impl Default for AutoOptions {
+    fn default() -> Self {
+        AutoOptions {
+            alpha: 14.0,
+            beta: 24.0,
+        }
+    }
+}
+
+/// Which executor runs the plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The warp-lockstep GPU simulator (`tigr-sim`): architectural
+    /// metrics, values via shared atomics.
+    #[default]
+    WarpSim,
+    /// The persistent work-stealing CPU pool: wall-clock numbers.
+    CpuPool,
+    /// Single-threaded deterministic sweeps: the differential-testing
+    /// reference.
+    Sequential,
+}
+
+impl BackendKind {
+    /// Parses a CLI/env spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "sim" | "warpsim" | "warp-sim" | "gpu" => Some(BackendKind::WarpSim),
+            "cpu" | "cpupool" | "cpu-pool" => Some(BackendKind::CpuPool),
+            "seq" | "sequential" => Some(BackendKind::Sequential),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::WarpSim => "warpsim",
+            BackendKind::CpuPool => "cpupool",
+            BackendKind::Sequential => "sequential",
+        }
+    }
+}
+
+/// A fully specified execution: backend × direction × the existing
+/// frontier/sync knobs ([`PushOptions`]) × CPU scheduling
+/// ([`CpuOptions`]). Representation stays a per-run argument — one plan
+/// runs against many graphs.
+#[derive(Clone, Debug, Default)]
+pub struct ExecutionPlan {
+    /// Executor the plan targets.
+    pub backend: BackendKind,
+    /// Traversal direction (push / pull / auto).
+    pub direction: Direction,
+    /// Density-switch tuning for [`Direction::Auto`].
+    pub auto: AutoOptions,
+    /// Frontier mode, sync mode, worklist toggle, iteration cap.
+    pub push: PushOptions,
+    /// CPU worker count, schedule, and virtual-chunk size.
+    pub cpu: CpuOptions,
+}
+
+impl ExecutionPlan {
+    /// Checks the plan against `rep` and `prog` per the paper's
+    /// theorems. Called by every backend before launching; exposed so
+    /// callers can validate eagerly.
+    pub fn validate(
+        &self,
+        rep: &Representation<'_>,
+        prog: &MonotoneProgram,
+    ) -> Result<(), PlanError> {
+        match self.direction {
+            Direction::Pull => {
+                if matches!(rep, Representation::Physical(_)) {
+                    return Err(PlanError::PullOverPhysical);
+                }
+                if matches!(
+                    rep,
+                    Representation::Virtual { .. } | Representation::OnTheFly { .. }
+                ) && !prog.associative
+                {
+                    return Err(PlanError::PullNeedsAssociativity { program: prog.name });
+                }
+                if self.backend == BackendKind::CpuPool {
+                    return Err(PlanError::PullUnsupportedOnBackend {
+                        backend: self.backend.label(),
+                    });
+                }
+            }
+            // Auto degrades to push where pull would be invalid, so it
+            // never errors on direction grounds.
+            Direction::Push | Direction::Auto => {}
+        }
+        if self.backend == BackendKind::CpuPool
+            && self.cpu.schedule == CpuSchedule::Virtual
+            && self.cpu.virtual_k == 0
+            && !matches!(rep, Representation::Virtual { .. })
+        {
+            return Err(PlanError::VirtualScheduleWithoutView);
+        }
+        Ok(())
+    }
+}
+
+/// A plan combination the paper's theorems do not license.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// Pull over a UDT physical split: split vertices are real nodes
+    /// with rewired in-edges, so the gather computes a different
+    /// fixpoint (the Corollary 4 failure mode).
+    PullOverPhysical,
+    /// Pull over a virtual/on-the-fly split partitions a node's in-edge
+    /// fold across threads; Theorem 3 requires the combine to be
+    /// associative (applied via atomics), and this program's is not.
+    PullNeedsAssociativity {
+        /// Name of the offending program.
+        program: &'static str,
+    },
+    /// `CpuSchedule::Virtual` with overlay construction disabled
+    /// (`virtual_k == 0`) and no virtual representation supplied:
+    /// there is nothing to chunk by.
+    VirtualScheduleWithoutView,
+    /// The chosen backend has no pull path.
+    PullUnsupportedOnBackend {
+        /// Label of the backend that cannot pull.
+        backend: &'static str,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::PullOverPhysical => write!(
+                f,
+                "pull direction over a physically split graph: UDT split vertices have \
+                 rewired in-edges, so a gather computes a different fixpoint"
+            ),
+            PlanError::PullNeedsAssociativity { program } => write!(
+                f,
+                "pull direction over a split representation partitions each node's in-edge \
+                 fold across threads; Theorem 3 requires an associative combine, which \
+                 program `{program}` does not provide"
+            ),
+            PlanError::VirtualScheduleWithoutView => write!(
+                f,
+                "CpuSchedule::Virtual with virtual_k = 0 and no virtual representation: \
+                 there is no virtual view to schedule by"
+            ),
+            PlanError::PullUnsupportedOnBackend { backend } => {
+                write!(f, "backend `{backend}` has no pull execution path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_core::VirtualGraph;
+    use tigr_graph::generators::star_graph;
+
+    fn non_associative() -> MonotoneProgram {
+        MonotoneProgram {
+            associative: false,
+            ..MonotoneProgram::SSSP
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for d in Direction::ALL {
+            assert_eq!(Direction::parse(d.label()), Some(d));
+        }
+        assert_eq!(Direction::parse("bogus"), None);
+        for b in [
+            BackendKind::WarpSim,
+            BackendKind::CpuPool,
+            BackendKind::Sequential,
+        ] {
+            assert_eq!(BackendKind::parse(b.label()), Some(b));
+        }
+    }
+
+    #[test]
+    fn pull_on_virtual_needs_associativity() {
+        let g = star_graph(32);
+        let ov = VirtualGraph::new(&g, 4);
+        let rep = Representation::Virtual {
+            graph: &g,
+            overlay: &ov,
+        };
+        let plan = ExecutionPlan {
+            direction: Direction::Pull,
+            ..ExecutionPlan::default()
+        };
+        assert!(matches!(
+            plan.validate(&rep, &non_associative()),
+            Err(PlanError::PullNeedsAssociativity { program: "sssp" })
+        ));
+        // The real SSSP combine (min) is associative: licensed.
+        assert!(plan.validate(&rep, &MonotoneProgram::SSSP).is_ok());
+        // Pull over the *original* graph folds each node in one thread;
+        // no split, no Theorem 3 obligation.
+        assert!(plan
+            .validate(&Representation::Original(&g), &non_associative())
+            .is_ok());
+    }
+
+    #[test]
+    fn pull_on_physical_rejected() {
+        let g = star_graph(32);
+        let t = tigr_core::udt_transform(&g, 4, tigr_core::DumbWeight::Zero);
+        let plan = ExecutionPlan {
+            direction: Direction::Pull,
+            ..ExecutionPlan::default()
+        };
+        let err = plan
+            .validate(&Representation::Physical(&t), &MonotoneProgram::BFS)
+            .unwrap_err();
+        assert_eq!(err, PlanError::PullOverPhysical);
+        assert!(err.to_string().contains("physically split"));
+    }
+
+    #[test]
+    fn virtual_schedule_needs_a_view() {
+        let g = star_graph(32);
+        let plan = ExecutionPlan {
+            backend: BackendKind::CpuPool,
+            cpu: CpuOptions {
+                schedule: CpuSchedule::Virtual,
+                virtual_k: 0,
+                ..CpuOptions::default()
+            },
+            ..ExecutionPlan::default()
+        };
+        assert_eq!(
+            plan.validate(&Representation::Original(&g), &MonotoneProgram::CC),
+            Err(PlanError::VirtualScheduleWithoutView)
+        );
+        // With a chunk size the engine can build its own overlay.
+        let ok = ExecutionPlan {
+            cpu: CpuOptions {
+                virtual_k: 64,
+                ..plan.cpu
+            },
+            ..plan.clone()
+        };
+        assert!(ok
+            .validate(&Representation::Original(&g), &MonotoneProgram::CC)
+            .is_ok());
+        // Or the caller supplies the virtual view directly.
+        let ov = VirtualGraph::new(&g, 4);
+        assert!(plan
+            .validate(
+                &Representation::Virtual {
+                    graph: &g,
+                    overlay: &ov
+                },
+                &MonotoneProgram::CC
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn cpu_pool_cannot_pull() {
+        let g = star_graph(8);
+        let plan = ExecutionPlan {
+            backend: BackendKind::CpuPool,
+            direction: Direction::Pull,
+            ..ExecutionPlan::default()
+        };
+        let err = plan
+            .validate(&Representation::Original(&g), &MonotoneProgram::BFS)
+            .unwrap_err();
+        assert!(err.to_string().contains("no pull execution path"));
+    }
+
+    #[test]
+    fn auto_never_errors_on_direction() {
+        let g = star_graph(32);
+        let t = tigr_core::udt_transform(&g, 4, tigr_core::DumbWeight::Zero);
+        let plan = ExecutionPlan {
+            direction: Direction::Auto,
+            ..ExecutionPlan::default()
+        };
+        assert!(plan
+            .validate(&Representation::Physical(&t), &non_associative())
+            .is_ok());
+    }
+}

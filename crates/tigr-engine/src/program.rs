@@ -62,6 +62,11 @@ pub struct MonotoneProgram {
     pub combine: Combine,
     /// Initialization scheme.
     pub init: InitKind,
+    /// Whether `combine` is associative (and commutative). Theorem 3
+    /// licenses pull/gather over split representations — where one
+    /// node's fold is partitioned across threads — only for associative
+    /// combines applied atomically; plan validation enforces this.
+    pub associative: bool,
 }
 
 impl MonotoneProgram {
@@ -71,6 +76,7 @@ impl MonotoneProgram {
         edge_op: EdgeOp::AddWeight,
         combine: Combine::Min,
         init: InitKind::SourceZero,
+        associative: true,
     };
 
     /// Breadth-first search: SSSP over unit weights (§3.3).
@@ -79,6 +85,7 @@ impl MonotoneProgram {
         edge_op: EdgeOp::AddWeight,
         combine: Combine::Min,
         init: InitKind::SourceZero,
+        associative: true,
     };
 
     /// Single-source widest path.
@@ -87,6 +94,7 @@ impl MonotoneProgram {
         edge_op: EdgeOp::MinWeight,
         combine: Combine::Max,
         init: InitKind::SourceMax,
+        associative: true,
     };
 
     /// Connected components by min-label propagation. On directed inputs
@@ -97,6 +105,7 @@ impl MonotoneProgram {
         edge_op: EdgeOp::Copy,
         combine: Combine::Min,
         init: InitKind::OwnId,
+        associative: true,
     };
 
     /// Whether the program needs a source node.

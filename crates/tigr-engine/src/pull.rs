@@ -18,8 +18,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use tigr_graph::NodeId;
 use tigr_sim::{GpuSimulator, KernelMetrics, SimReport};
 
-use crate::addr::{edge_addr, frontier_bit_addr, row_ptr_addr, value_addr, vnode_addr, FLAG_ADDR};
+use crate::addr::{frontier_bit_addr, row_ptr_addr, vnode_addr, FLAG_ADDR};
 use crate::frontier::{Frontier, FrontierBuilder, FrontierMode};
+use crate::kernel::{
+    csr_edges, pull_gather, walk_segments, AccessMirror, GatherFilter, LaneMirror,
+};
+use crate::plan::Direction;
 use crate::program::MonotoneProgram;
 use crate::push::MonotoneOutput;
 use crate::representation::Representation;
@@ -45,6 +49,92 @@ impl Default for PullOptions {
             worklist: false,
             max_iterations: 100_000,
         }
+    }
+}
+
+/// Per-iteration state of a gather sweep, shared between the standalone
+/// pull driver below and the `Auto` direction driver in
+/// [`crate::backend`].
+pub(crate) struct GatherCtx<'a> {
+    pub(crate) prog: MonotoneProgram,
+    pub(crate) values: &'a AtomicValues,
+    /// Fold only candidates from these active sources.
+    pub(crate) frontier: Option<&'a Frontier>,
+    pub(crate) next: Option<&'a FrontierBuilder>,
+    pub(crate) changed: &'a AtomicBool,
+    pub(crate) edges_touched: &'a AtomicU64,
+    /// Bottom-up BFS shape (see [`GatherFilter::early_exit`]).
+    pub(crate) early_exit: bool,
+}
+
+/// One gather sweep over every (virtual) node of `rep`, which must wrap
+/// a transpose view: each node folds in-edge candidates through the
+/// shared relax loop and issues at most one atomic on its slot.
+pub(crate) fn pull_step(
+    sim: &GpuSimulator,
+    rep: &Representation<'_>,
+    ctx: &GatherCtx<'_>,
+) -> KernelMetrics {
+    let graph = rep.graph();
+    let gather =
+        |lane: &mut tigr_sim::Lane, slot: usize, edges: &mut dyn Iterator<Item = usize>| {
+            let mut mirror = LaneMirror(lane);
+            let touched = pull_gather(
+                &mut mirror,
+                ctx.prog,
+                ctx.values,
+                slot,
+                csr_edges(graph, edges),
+                GatherFilter {
+                    active: ctx.frontier,
+                    early_exit: ctx.early_exit,
+                },
+                |m, slot| {
+                    m.store(FLAG_ADDR, 1);
+                    ctx.changed.store(true, Ordering::Relaxed);
+                    if let Some(next) = ctx.next {
+                        if next.activate(slot) {
+                            m.atomic(frontier_bit_addr(slot), 4);
+                        }
+                    }
+                },
+            );
+            ctx.edges_touched.fetch_add(touched, Ordering::Relaxed);
+        };
+
+    match rep {
+        Representation::Original(g) => sim.launch(g.num_nodes(), |tid, lane| {
+            lane.load(row_ptr_addr(tid), 8);
+            let v = NodeId::from_index(tid);
+            gather(lane, tid, &mut (g.edge_start(v)..g.edge_end(v)));
+        }),
+        Representation::Virtual { overlay, .. } => {
+            sim.launch(overlay.num_virtual_nodes(), |tid, lane| {
+                lane.load(vnode_addr(tid), 8);
+                let vn = overlay.vnode(tid);
+                gather(
+                    lane,
+                    vn.physical.index(),
+                    &mut tigr_core::EdgeCursor::new(&vn),
+                )
+            })
+        }
+        Representation::OnTheFly { graph: g, mapper } => {
+            sim.launch(mapper.num_threads(), |tid, lane| {
+                let (range, first, probes) = mapper.resolve(g, tid);
+                lane.compute(probes as u64 * 2);
+                // Process the block per owning node so folds stay within
+                // one slot.
+                let mut mirror = LaneMirror(lane);
+                walk_segments(&mut mirror, g, range, first, |m, src, seg| {
+                    gather(m.0, src, &mut { seg });
+                });
+            })
+        }
+        Representation::Physical(_) => panic!(
+            "pull-based processing over a physically split graph is not meaningful; \
+             Theorem 3 covers the virtual transformation"
+        ),
     }
 }
 
@@ -83,7 +173,6 @@ pub fn run_monotone_pull(
     let values = AtomicValues::from_values(prog.initial_values(n, source));
     let mut report = SimReport::new();
     let mut converged = false;
-    let graph = rep.graph();
     let edges_touched = AtomicU64::new(0);
 
     // `n` here counts value slots = original nodes (physical reps are
@@ -101,86 +190,16 @@ pub fn run_monotone_pull(
             }
         }
         let changed = AtomicBool::new(false);
-
-        // One gather per (virtual) node: fold in-edge candidates locally,
-        // then a single atomic improvement on the shared slot.
-        let gather =
-            |lane: &mut tigr_sim::Lane, slot: usize, edges: &mut dyn Iterator<Item = usize>| {
-                lane.load(value_addr(slot), 4);
-                let mut best = values.load(slot);
-                let mut improved_locally = false;
-                let mut touched = 0u64;
-                for e in edges {
-                    lane.load(edge_addr(e), 8);
-                    let src = graph.edge_target(e).index();
-                    if let Some(f) = &frontier {
-                        lane.load(frontier_bit_addr(src), 4);
-                        if !f.contains(src) {
-                            continue;
-                        }
-                    }
-                    lane.load(value_addr(src), 4);
-                    let cand = prog.edge_op.apply(values.load(src), graph.weight(e));
-                    lane.compute(2);
-                    touched += 1;
-                    if prog.combine.improves(cand, best) {
-                        best = cand;
-                        improved_locally = true;
-                    }
-                }
-                edges_touched.fetch_add(touched, Ordering::Relaxed);
-                if improved_locally && values.try_improve(slot, best, prog.combine) {
-                    lane.atomic(value_addr(slot), 4);
-                    lane.store(FLAG_ADDR, 1);
-                    changed.store(true, Ordering::Relaxed);
-                    if let Some(next) = &next {
-                        if next.activate(slot) {
-                            lane.atomic(frontier_bit_addr(slot), 4);
-                        }
-                    }
-                }
-            };
-
-        let metrics: KernelMetrics = match rep {
-            Representation::Original(g) => sim.launch(g.num_nodes(), |tid, lane| {
-                lane.load(row_ptr_addr(tid), 8);
-                let v = NodeId::from_index(tid);
-                gather(lane, tid, &mut (g.edge_start(v)..g.edge_end(v)));
-            }),
-            Representation::Virtual { overlay, .. } => {
-                sim.launch(overlay.num_virtual_nodes(), |tid, lane| {
-                    lane.load(vnode_addr(tid), 8);
-                    let vn = overlay.vnode(tid);
-                    gather(
-                        lane,
-                        vn.physical.index(),
-                        &mut tigr_core::EdgeCursor::new(&vn),
-                    );
-                })
-            }
-            Representation::OnTheFly { graph: g, mapper } => {
-                sim.launch(mapper.num_threads(), |tid, lane| {
-                    let ((lo, hi), first, probes) = mapper.resolve(g, tid);
-                    lane.compute(probes as u64 * 2);
-                    // Process the block per owning node so folds stay
-                    // within one slot.
-                    let mut src = first.index();
-                    let mut end = g.edge_end(first);
-                    let mut e = lo;
-                    while e < hi {
-                        while e >= end {
-                            src += 1;
-                            end = g.edge_end(NodeId::from_index(src));
-                            lane.load(row_ptr_addr(src + 1), 4);
-                        }
-                        let stop = hi.min(end);
-                        gather(lane, src, &mut (e..stop));
-                        e = stop;
-                    }
-                })
-            }
-            Representation::Physical(_) => unreachable!("rejected above"),
+        let ctx = GatherCtx {
+            prog,
+            values: &values,
+            frontier: frontier.as_ref(),
+            next: next.as_ref(),
+            changed: &changed,
+            edges_touched: &edges_touched,
+            early_exit: false,
         };
+        let metrics = pull_step(sim, rep, &ctx);
         report.push(rep.full_threads(), metrics);
 
         if let Some(next) = &next {
@@ -192,11 +211,13 @@ pub fn run_monotone_pull(
         }
     }
 
+    let directions = vec![Direction::Pull; report.num_iterations()];
     MonotoneOutput {
         values: values.snapshot(),
         report,
         converged,
         edges_touched: edges_touched.into_inner(),
+        directions,
     }
 }
 

@@ -16,10 +16,10 @@ use tigr_core::EdgeCursor;
 use tigr_graph::{Csr, NodeId};
 use tigr_sim::{GpuSimulator, KernelMetrics, Lane, SimReport};
 
-use crate::addr::{
-    edge_addr, frontier_addr, frontier_bit_addr, row_ptr_addr, value_addr, FLAG_ADDR,
-};
+use crate::addr::{frontier_addr, frontier_bit_addr, row_ptr_addr, value_addr, FLAG_ADDR};
 use crate::frontier::{Frontier, FrontierBuilder, FrontierMode, FrontierRep};
+use crate::kernel::{csr_edges, push_relax, walk_segments, AccessMirror, LaneMirror};
+use crate::plan::Direction;
 use crate::program::MonotoneProgram;
 use crate::representation::Representation;
 use crate::state::AtomicValues;
@@ -84,23 +84,28 @@ pub struct MonotoneOutput {
     /// Total edges whose relaxation was attempted across all iterations
     /// — the work-efficiency metric frontier scheduling reduces.
     pub edges_touched: u64,
+    /// Direction each iteration ran in (same length as the report's
+    /// iterations). All `Push` here; the `Auto` plan driver mixes pull
+    /// iterations in.
+    pub directions: Vec<Direction>,
 }
 
 /// Shared per-iteration state threaded through the kernels.
-struct IterCtx<'a> {
-    graph: &'a Csr,
-    prog: MonotoneProgram,
-    values: &'a AtomicValues,
+pub(crate) struct IterCtx<'a> {
+    pub(crate) graph: &'a Csr,
+    pub(crate) prog: MonotoneProgram,
+    pub(crate) values: &'a AtomicValues,
     /// Previous-iteration snapshot in BSP mode.
-    prev: Option<&'a [u32]>,
-    changed: &'a AtomicBool,
-    next_frontier: Option<&'a FrontierBuilder>,
-    edges_touched: &'a AtomicU64,
+    pub(crate) prev: Option<&'a [u32]>,
+    pub(crate) changed: &'a AtomicBool,
+    pub(crate) next_frontier: Option<&'a FrontierBuilder>,
+    pub(crate) edges_touched: &'a AtomicU64,
 }
 
-/// The per-edge body shared by every representation: the loop of
-/// Algorithm 2 lines 6–10 (and Algorithm 3 lines 6–11 for strided
-/// cursors), with each memory access mirrored onto the simulator lane.
+/// Scatter body shared by every representation: reads the slot's value
+/// and routes its edge range through the [`crate::kernel`] relax loop
+/// (Algorithm 2 lines 3, 6–10; Algorithm 3 for strided cursors), with
+/// each memory access mirrored onto the simulator lane.
 #[inline]
 fn process_slot(
     lane: &mut Lane,
@@ -114,40 +119,34 @@ fn process_slot(
         Some(p) => p[slot],
         None => ctx.values.load(slot),
     };
-    let mut touched = 0u64;
-    for e in edges {
-        // Load the {nbr, weight} edge entry (line 6-7).
-        lane.load(edge_addr(e), 8);
-        touched += 1;
-        let nbr = ctx.graph.edge_target(e).index();
-        let w = ctx.graph.weight(e);
-        let cand = ctx.prog.edge_op.apply(d, w);
-        // alt computation + comparison (lines 7-8).
-        lane.compute(2);
-        lane.load(value_addr(nbr), 4);
-        let cur = match ctx.prev {
-            Some(p) => p[nbr],
-            None => ctx.values.load(nbr),
-        };
-        if ctx.prog.combine.improves(cand, cur)
-            && ctx.values.try_improve(nbr, cand, ctx.prog.combine)
-        {
-            // atomicMin + finished flag (lines 9-10).
-            lane.atomic(value_addr(nbr), 4);
-            lane.store(FLAG_ADDR, 1);
+    let mut mirror = LaneMirror(lane);
+    let touched = push_relax(
+        &mut mirror,
+        ctx.prog,
+        ctx.values,
+        ctx.prev,
+        d,
+        csr_edges(ctx.graph, edges),
+        |m, nbr| {
+            // finished flag (line 10).
+            m.store(FLAG_ADDR, 1);
             ctx.changed.store(true, Ordering::Relaxed);
             if let Some(next) = ctx.next_frontier {
                 if next.activate(nbr) {
-                    lane.atomic(frontier_bit_addr(nbr), 4);
+                    m.atomic(frontier_bit_addr(nbr), 4);
                 }
             }
-        }
-    }
+        },
+    );
     ctx.edges_touched.fetch_add(touched, Ordering::Relaxed);
 }
 
 /// One full (non-worklist) sweep over all nodes of the representation.
-fn full_sweep(sim: &GpuSimulator, rep: &Representation<'_>, ctx: &IterCtx<'_>) -> KernelMetrics {
+pub(crate) fn full_sweep(
+    sim: &GpuSimulator,
+    rep: &Representation<'_>,
+    ctx: &IterCtx<'_>,
+) -> KernelMetrics {
     match rep {
         Representation::Original(g) => sim.launch(g.num_nodes(), |tid, lane| {
             lane.load(row_ptr_addr(tid), 8);
@@ -178,8 +177,8 @@ fn full_sweep(sim: &GpuSimulator, rep: &Representation<'_>, ctx: &IterCtx<'_>) -
     }
 }
 
-/// Dynamic-mapping kernel: thread `tid` resolves and processes its edge
-/// block, walking across node boundaries.
+/// Dynamic-mapping kernel: thread `tid` resolves its edge block and
+/// walks it segment by segment through the shared relax loop.
 fn otf_block(
     lane: &mut Lane,
     ctx: &IterCtx<'_>,
@@ -187,7 +186,7 @@ fn otf_block(
     mapper: &tigr_core::OnTheFlyMapper,
     tid: usize,
 ) {
-    let ((lo, hi), first_src, probes) = mapper.resolve(graph, tid);
+    let (range, first_src, probes) = mapper.resolve(graph, tid);
     // Binary-search probes: scattered row_ptr loads plus compare/branch.
     let n = graph.num_nodes().max(1);
     for i in 0..probes {
@@ -195,54 +194,17 @@ fn otf_block(
         lane.load(row_ptr_addr(probe), 4);
         lane.compute(2);
     }
-
-    let mut src = first_src.index();
-    let mut src_end = graph.edge_end(first_src);
-    lane.load(value_addr(src), 4);
-    let mut d = match ctx.prev {
-        Some(p) => p[src],
-        None => ctx.values.load(src),
-    };
-    ctx.edges_touched
-        .fetch_add((hi - lo) as u64, Ordering::Relaxed);
-    for e in lo..hi {
-        while e >= src_end {
-            src += 1;
-            src_end = graph.edge_end(NodeId::from_index(src));
-            lane.load(row_ptr_addr(src + 1), 4);
-        }
-        if e == graph.edge_start(NodeId::from_index(src)) && src != first_src.index() {
-            lane.load(value_addr(src), 4);
-            d = match ctx.prev {
-                Some(p) => p[src],
-                None => ctx.values.load(src),
-            };
-        }
-        lane.load(edge_addr(e), 8);
-        let nbr = ctx.graph.edge_target(e).index();
-        let w = ctx.graph.weight(e);
-        let cand = ctx.prog.edge_op.apply(d, w);
-        lane.compute(2);
-        lane.load(value_addr(nbr), 4);
-        let cur = match ctx.prev {
-            Some(p) => p[nbr],
-            None => ctx.values.load(nbr),
-        };
-        if ctx.prog.combine.improves(cand, cur)
-            && ctx.values.try_improve(nbr, cand, ctx.prog.combine)
-        {
-            lane.atomic(value_addr(nbr), 4);
-            lane.store(FLAG_ADDR, 1);
-            ctx.changed.store(true, Ordering::Relaxed);
-        }
-    }
+    let mut mirror = LaneMirror(lane);
+    walk_segments(&mut mirror, graph, range, first_src, |m, src, seg| {
+        process_slot(m.0, ctx, src, seg);
+    });
 }
 
 /// One worklist sweep over the active nodes, scheduled per the
 /// frontier's representation: sparse launches one thread per active
 /// (virtual) node off the compacted list; dense launches one thread per
 /// (virtual) node, each exiting after a bitmap-word load when inactive.
-fn worklist_sweep(
+pub(crate) fn worklist_sweep(
     sim: &GpuSimulator,
     rep: &Representation<'_>,
     ctx: &IterCtx<'_>,
@@ -387,11 +349,13 @@ pub fn run_monotone(
         }
     }
 
+    let directions = vec![Direction::Push; report.num_iterations()];
     MonotoneOutput {
         values: values.snapshot(),
         report,
         converged,
         edges_touched: edges_touched.into_inner(),
+        directions,
     }
 }
 

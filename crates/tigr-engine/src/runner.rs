@@ -1,5 +1,5 @@
-//! The engine facade: configuration, device-memory checks, and one-call
-//! runs of each analytic.
+//! The engine facade: a builder assembling an [`ExecutionPlan`],
+//! device-memory checks, and one-call runs of each analytic.
 
 use std::error::Error as StdError;
 use std::fmt;
@@ -10,12 +10,14 @@ use tigr_sim::{DeviceMemory, GpuConfig, GpuSimulator, OutOfMemory};
 use tigr_graph::Csr;
 
 use crate::algorithms::{bc, pr};
+use crate::backend::{run_sim_plan, Backend, CpuPool, Sequential};
 use crate::cpu_parallel::{
     run_cpu_pr, run_cpu_with, CpuOptions, CpuPrOutput, CpuRunOutput, CpuSchedule,
 };
 use crate::frontier::FrontierMode;
+use crate::plan::{BackendKind, Direction, ExecutionPlan, PlanError};
 use crate::program::MonotoneProgram;
-use crate::push::{run_monotone, MonotoneOutput, PushOptions};
+use crate::push::{MonotoneOutput, PushOptions};
 use crate::representation::Representation;
 
 /// Errors an engine run can produce.
@@ -25,12 +27,16 @@ pub enum EngineError {
     /// The representation does not fit the configured device memory —
     /// the `OOM` entries of Table 4.
     OutOfMemory(OutOfMemory),
+    /// The plan combination is not licensed by the paper's theorems
+    /// (e.g. pull over a non-associative program on a virtual view).
+    InvalidPlan(PlanError),
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::OutOfMemory(e) => write!(f, "device {e}"),
+            EngineError::InvalidPlan(e) => write!(f, "invalid plan: {e}"),
         }
     }
 }
@@ -39,11 +45,20 @@ impl StdError for EngineError {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             EngineError::OutOfMemory(e) => Some(e),
+            EngineError::InvalidPlan(e) => Some(e),
         }
     }
 }
 
-/// The Tigr GPU graph-processing engine over the simulator.
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::InvalidPlan(e)
+    }
+}
+
+/// The Tigr graph-processing engine: assembles an [`ExecutionPlan`] via
+/// builder knobs and runs it on the configured backend (the warp
+/// simulator by default).
 ///
 /// # Example
 ///
@@ -60,8 +75,7 @@ impl StdError for EngineError {
 #[derive(Debug)]
 pub struct Engine {
     sim: GpuSimulator,
-    options: PushOptions,
-    cpu_options: CpuOptions,
+    plan: ExecutionPlan,
     device_memory: Option<u64>,
 }
 
@@ -76,8 +90,7 @@ impl Engine {
     pub fn new(config: GpuConfig) -> Self {
         Engine {
             sim: GpuSimulator::new(config),
-            options: PushOptions::default(),
-            cpu_options: CpuOptions::default(),
+            plan: ExecutionPlan::default(),
             device_memory: None,
         }
     }
@@ -87,15 +100,33 @@ impl Engine {
     pub fn parallel(config: GpuConfig) -> Self {
         Engine {
             sim: GpuSimulator::new_parallel(config),
-            options: PushOptions::default(),
-            cpu_options: CpuOptions::default(),
+            plan: ExecutionPlan::default(),
             device_memory: None,
         }
     }
 
+    /// Replaces the whole execution plan.
+    pub fn with_plan(mut self, plan: ExecutionPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Selects the traversal direction (push, pull, or the
+    /// direction-optimizing auto switch).
+    pub fn with_direction(mut self, direction: Direction) -> Self {
+        self.plan.direction = direction;
+        self
+    }
+
+    /// Selects which executor runs monotone programs.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.plan.backend = backend;
+        self
+    }
+
     /// Overrides the push options (worklist, sync mode, iteration cap).
     pub fn with_options(mut self, options: PushOptions) -> Self {
-        self.options = options;
+        self.plan.push = options;
         self
     }
 
@@ -103,8 +134,8 @@ impl Engine {
     /// policy (shorthand for setting `worklist` + `frontier` on the push
     /// options).
     pub fn with_frontier(mut self, mode: FrontierMode) -> Self {
-        self.options.worklist = true;
-        self.options.frontier = mode;
+        self.plan.push.worklist = true;
+        self.plan.push.frontier = mode;
         self
     }
 
@@ -119,14 +150,14 @@ impl Engine {
     /// scheduling policy) used by [`Engine::run_cpu`] and
     /// [`Engine::cpu_pagerank`].
     pub fn with_cpu_options(mut self, options: CpuOptions) -> Self {
-        self.cpu_options = options;
+        self.plan.cpu = options;
         self
     }
 
     /// Selects the CPU work-distribution policy (shorthand for setting
     /// `schedule` on the CPU options).
     pub fn with_cpu_schedule(mut self, schedule: CpuSchedule) -> Self {
-        self.cpu_options.schedule = schedule;
+        self.plan.cpu.schedule = schedule;
         self
     }
 
@@ -135,14 +166,19 @@ impl Engine {
         &self.sim
     }
 
-    /// The engine's push options.
-    pub fn options(&self) -> &PushOptions {
-        &self.options
+    /// The assembled execution plan.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
     }
 
-    /// The engine's CPU-path options.
+    /// The plan's push options.
+    pub fn options(&self) -> &PushOptions {
+        &self.plan.push
+    }
+
+    /// The plan's CPU-path options.
     pub fn cpu_options(&self) -> &CpuOptions {
-        &self.cpu_options
+        &self.plan.cpu
     }
 
     /// Checks `rep` against the configured device budget.
@@ -159,68 +195,93 @@ impl Engine {
         Ok(())
     }
 
-    /// Runs an arbitrary monotone program.
+    /// Runs an arbitrary monotone program under the assembled plan: the
+    /// single entry point every per-algorithm wrapper aliases.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::OutOfMemory`] if the representation exceeds
-    /// the device budget.
-    pub fn run(
+    /// the device budget, or [`EngineError::InvalidPlan`] if the plan
+    /// combination is not licensed for `rep`/`prog` (Theorem 3 and
+    /// friends — see [`PlanError`]).
+    pub fn run_program(
         &self,
         rep: &Representation<'_>,
         prog: MonotoneProgram,
         source: Option<NodeId>,
     ) -> Result<MonotoneOutput, EngineError> {
         self.check_footprint(rep)?;
-        Ok(run_monotone(&self.sim, rep, prog, source, &self.options))
+        self.plan.validate(rep, &prog)?;
+        match self.plan.backend {
+            // The engine owns the simulator, so it dispatches directly
+            // rather than constructing a throwaway WarpSim.
+            BackendKind::WarpSim => Ok(run_sim_plan(&self.sim, rep, prog, source, &self.plan)),
+            BackendKind::CpuPool => CpuPool.run_monotone(rep, prog, source, &self.plan),
+            BackendKind::Sequential => Sequential.run_monotone(rep, prog, source, &self.plan),
+        }
+    }
+
+    /// Runs an arbitrary monotone program (alias of
+    /// [`Engine::run_program`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run_program`].
+    pub fn run(
+        &self,
+        rep: &Representation<'_>,
+        prog: MonotoneProgram,
+        source: Option<NodeId>,
+    ) -> Result<MonotoneOutput, EngineError> {
+        self.run_program(rep, prog, source)
     }
 
     /// Single-source shortest paths.
     ///
     /// # Errors
     ///
-    /// See [`Engine::run`].
+    /// See [`Engine::run_program`].
     pub fn sssp(
         &self,
         rep: &Representation<'_>,
         source: NodeId,
     ) -> Result<MonotoneOutput, EngineError> {
-        self.run(rep, MonotoneProgram::SSSP, Some(source))
+        self.run_program(rep, MonotoneProgram::SSSP, Some(source))
     }
 
     /// Breadth-first search.
     ///
     /// # Errors
     ///
-    /// See [`Engine::run`].
+    /// See [`Engine::run_program`].
     pub fn bfs(
         &self,
         rep: &Representation<'_>,
         source: NodeId,
     ) -> Result<MonotoneOutput, EngineError> {
-        self.run(rep, MonotoneProgram::BFS, Some(source))
+        self.run_program(rep, MonotoneProgram::BFS, Some(source))
     }
 
     /// Single-source widest path.
     ///
     /// # Errors
     ///
-    /// See [`Engine::run`].
+    /// See [`Engine::run_program`].
     pub fn sswp(
         &self,
         rep: &Representation<'_>,
         source: NodeId,
     ) -> Result<MonotoneOutput, EngineError> {
-        self.run(rep, MonotoneProgram::SSWP, Some(source))
+        self.run_program(rep, MonotoneProgram::SSWP, Some(source))
     }
 
     /// Connected components.
     ///
     /// # Errors
     ///
-    /// See [`Engine::run`].
+    /// See [`Engine::run_program`].
     pub fn cc(&self, rep: &Representation<'_>) -> Result<MonotoneOutput, EngineError> {
-        self.run(rep, MonotoneProgram::CC, None)
+        self.run_program(rep, MonotoneProgram::CC, None)
     }
 
     /// PageRank (see [`crate::algorithms::pr::run`] for the contract).
@@ -240,24 +301,24 @@ impl Engine {
     }
 
     /// Runs a monotone program on the wall-clock CPU path (no simulator)
-    /// with the engine's CPU options — threads, frontier, and the
+    /// with the plan's CPU options — threads, frontier, and the
     /// [`CpuSchedule`] work-distribution policy all apply.
     ///
     /// # Panics
     ///
     /// See [`crate::cpu_parallel::run_cpu_with`].
     pub fn run_cpu(&self, g: &Csr, prog: MonotoneProgram, source: Option<NodeId>) -> CpuRunOutput {
-        run_cpu_with(g, prog, source, &self.cpu_options)
+        run_cpu_with(g, prog, source, &self.plan.cpu)
     }
 
     /// Runs push-mode PageRank on the wall-clock CPU path with the
-    /// engine's CPU options.
+    /// plan's CPU options.
     ///
     /// # Panics
     ///
     /// See [`crate::cpu_parallel::run_cpu_pr`].
     pub fn cpu_pagerank(&self, g: &Csr, options: &pr::PrOptions) -> CpuPrOutput {
-        run_cpu_pr(g, options, &self.cpu_options)
+        run_cpu_pr(g, options, &self.plan.cpu)
     }
 
     /// Single-source betweenness centrality.
@@ -375,5 +436,49 @@ mod tests {
             .bfs(&Representation::Original(&g), NodeId::new(0))
             .unwrap();
         assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn every_direction_runs_through_the_facade() {
+        let g = tigr_graph::generators::grid_2d(8, 8);
+        let rep = Representation::Original(&g);
+        let reference = Engine::new(GpuConfig::tiny())
+            .bfs(&rep, NodeId::new(0))
+            .unwrap();
+        for direction in crate::plan::Direction::ALL {
+            let engine = Engine::new(GpuConfig::tiny()).with_direction(direction);
+            let out = engine.bfs(&rep, NodeId::new(0)).unwrap();
+            assert_eq!(out.values, reference.values, "{}", direction.label());
+        }
+    }
+
+    #[test]
+    fn invalid_plan_surfaces_as_typed_engine_error() {
+        let g = star_graph(64);
+        let t = tigr_core::udt_transform(&g, 8, tigr_core::DumbWeight::Zero);
+        let engine = Engine::new(GpuConfig::tiny()).with_direction(Direction::Pull);
+        let err = engine
+            .bfs(&Representation::Physical(&t), NodeId::new(0))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidPlan(PlanError::PullOverPhysical)
+        ));
+        assert!(err.to_string().contains("invalid plan"));
+    }
+
+    #[test]
+    fn sequential_backend_through_facade() {
+        let g = tigr_graph::generators::grid_2d(6, 6);
+        let rep = Representation::Original(&g);
+        let warp = Engine::new(GpuConfig::tiny())
+            .bfs(&rep, NodeId::new(0))
+            .unwrap();
+        let seq = Engine::new(GpuConfig::tiny())
+            .with_backend(BackendKind::Sequential)
+            .bfs(&rep, NodeId::new(0))
+            .unwrap();
+        assert_eq!(warp.values, seq.values);
+        assert_eq!(seq.report.num_iterations(), 0, "no simulator accounting");
     }
 }

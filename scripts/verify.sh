@@ -19,6 +19,9 @@ cargo bench --workspace --no-run
 echo "== cpu-schedule ablation smoke =="
 cargo run --release -p tigr-bench --bin ablation_cpu_schedule -- --smoke
 
+echo "== direction ablation smoke =="
+cargo run --release -p tigr-bench --bin ablation_direction -- --smoke
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
