@@ -21,13 +21,11 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use tigr_bench::print_table;
+use tigr_bench::{max_degree_source, prepare_input, print_table};
 use tigr_engine::{
     run_cpu_pr, run_cpu_with, CpuOptions, CpuSchedule, MonotoneProgram, PrMode, PrOptions,
     ScheduleStats,
 };
-use tigr_graph::generators::{rmat, with_uniform_weights, RmatConfig};
-use tigr_graph::{Csr, NodeId};
 
 /// One measured (analytic, schedule) cell.
 struct Sample {
@@ -79,12 +77,6 @@ impl Sample {
     }
 }
 
-fn max_degree_source(g: &Csr) -> NodeId {
-    g.nodes()
-        .max_by_key(|&v| (g.out_degree(v), std::cmp::Reverse(v.raw())))
-        .expect("non-empty graph")
-}
-
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let smoke = argv.iter().any(|a| a == "--smoke");
@@ -118,10 +110,12 @@ fn main() {
 
     let seed = 2018;
     let t = Instant::now();
-    let g = with_uniform_weights(&rmat(&RmatConfig::graph500(scale, 16), seed), 1, 64, seed);
+    // Resolved through the shared GraphStore artifact layer; set
+    // TIGR_CACHE_DIR to skip regeneration on repeat runs.
+    let g = prepare_input(&format!("rmat:{scale}:16"), seed, Some((1, 64, seed))).into_graph();
     let src = max_degree_source(&g);
     eprintln!(
-        "rmat scale {scale}: {} nodes, {} edges, max degree {}, source {src}, generated in {:.1?}",
+        "rmat scale {scale}: {} nodes, {} edges, max degree {}, source {src}, prepared in {:.1?}",
         g.num_nodes(),
         g.num_edges(),
         g.max_out_degree(),

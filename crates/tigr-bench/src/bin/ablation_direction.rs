@@ -19,10 +19,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use tigr_bench::{cycles_to_ms, print_table, BenchConfig};
+use tigr_bench::{cycles_to_ms, max_degree_source, prepare_input, print_table, BenchConfig};
+use tigr_core::PreparedGraph;
 use tigr_engine::{Direction, Engine, MonotoneProgram, PushOptions, Representation};
-use tigr_graph::generators::{rmat, star_graph, with_uniform_weights, RmatConfig};
-use tigr_graph::{Csr, NodeId};
 use tigr_sim::GpuConfig;
 
 /// One measured (graph, analytic, direction) cell.
@@ -78,12 +77,6 @@ impl Sample {
     }
 }
 
-fn max_degree_source(g: &Csr) -> NodeId {
-    g.nodes()
-        .max_by_key(|&v| (g.out_degree(v), std::cmp::Reverse(v.raw())))
-        .expect("non-empty graph")
-}
-
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let smoke = argv.iter().any(|a| a == "--smoke");
@@ -112,19 +105,38 @@ fn main() {
 
     let cfg = BenchConfig::from_env();
     let t = Instant::now();
-    let graphs: Vec<(&'static str, Csr)> = vec![
-        ("rmat", rmat(&RmatConfig::graph500(scale, 16), cfg.seed)),
-        ("star", star_graph(star_leaves + 1)),
+    // Inputs resolve through the shared GraphStore artifact layer; set
+    // TIGR_CACHE_DIR to skip regeneration on repeat runs.
+    let weight_seed = cfg.seed ^ 0xD1;
+    let graphs: Vec<(&'static str, PreparedGraph, PreparedGraph)> = vec![
+        (
+            "rmat",
+            prepare_input(&format!("rmat:{scale}:16"), cfg.seed, None),
+            prepare_input(
+                &format!("rmat:{scale}:16"),
+                cfg.seed,
+                Some((1, 64, weight_seed)),
+            ),
+        ),
+        (
+            "star",
+            prepare_input(&format!("star:{}", star_leaves + 1), cfg.seed, None),
+            prepare_input(
+                &format!("star:{}", star_leaves + 1),
+                cfg.seed,
+                Some((1, 64, weight_seed)),
+            ),
+        ),
     ];
-    eprintln!("generated inputs in {:.1?}", t.elapsed());
+    eprintln!("prepared inputs in {:.1?}", t.elapsed());
     println!(
         "Direction ablation (frontier: {}): push vs pull vs auto",
         cfg.frontier.label()
     );
 
     let mut samples: Vec<Sample> = Vec::new();
-    for (name, g) in &graphs {
-        let weighted = with_uniform_weights(g, 1, 64, cfg.seed ^ 0xD1);
+    for (name, unweighted, weighted) in &graphs {
+        let g = unweighted.graph();
         let src = max_degree_source(g);
         eprintln!(
             "  {name}: {} nodes, {} edges, source {src}",
@@ -133,7 +145,7 @@ fn main() {
         );
         for (analytic, graph, prog) in [
             ("bfs", g, MonotoneProgram::BFS),
-            ("sssp", &weighted, MonotoneProgram::SSSP),
+            ("sssp", weighted.graph(), MonotoneProgram::SSSP),
         ] {
             let rep = Representation::Original(graph);
             let mut reference: Option<Vec<u32>> = None;
@@ -176,7 +188,7 @@ fn main() {
         }
     }
 
-    for (name, _) in &graphs {
+    for (name, ..) in &graphs {
         for analytic in ["bfs", "sssp"] {
             let rows: Vec<Vec<String>> = samples
                 .iter()
@@ -213,7 +225,7 @@ fn main() {
     // Simulated-time ratios of pull/auto against the push baseline.
     let mut speedup_json = String::new();
     println!("\nsim-time speedup over push:");
-    for (name, _) in &graphs {
+    for (name, ..) in &graphs {
         for analytic in ["bfs", "sssp"] {
             let base = samples
                 .iter()
@@ -244,7 +256,8 @@ fn main() {
 
     let graph_json = graphs
         .iter()
-        .map(|(name, g)| {
+        .map(|(name, p, _)| {
+            let g = p.graph();
             format!(
                 "{{\"name\": \"{name}\", \"nodes\": {}, \"edges\": {}, \"max_out_degree\": {}}}",
                 g.num_nodes(),

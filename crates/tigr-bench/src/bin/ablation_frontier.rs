@@ -12,13 +12,9 @@
 
 use std::time::Instant;
 
-use tigr_bench::{cycles_to_ms, print_table, BenchConfig};
-use tigr_core::VirtualGraph;
+use tigr_bench::{cycles_to_ms, max_degree_source, prepare_input, print_table, BenchConfig};
+use tigr_core::{PreparedGraph, VirtualGraph};
 use tigr_engine::{Engine, FrontierMode, MonotoneOutput, PushOptions, Representation};
-use tigr_graph::generators::{
-    barabasi_albert, rmat, with_uniform_weights, BarabasiAlbertConfig, RmatConfig,
-};
-use tigr_graph::Csr;
 use tigr_sim::GpuConfig;
 
 fn engine_with(worklist: bool, frontier: FrontierMode) -> Engine {
@@ -27,12 +23,6 @@ fn engine_with(worklist: bool, frontier: FrontierMode) -> Engine {
         frontier,
         ..PushOptions::default()
     })
-}
-
-fn max_degree_source(g: &Csr) -> tigr_graph::NodeId {
-    g.nodes()
-        .max_by_key(|&v| (g.out_degree(v), std::cmp::Reverse(v.raw())))
-        .expect("non-empty graph")
 }
 
 fn row(label: &str, out: &MonotoneOutput, wall: f64) -> Vec<String> {
@@ -56,37 +46,31 @@ fn main() {
         cfg.frontier.label()
     );
 
-    let datasets: Vec<(&str, Csr)> = vec![
+    // Inputs resolve through the shared GraphStore artifact layer; set
+    // TIGR_CACHE_DIR to skip regeneration on repeat runs. The BA analog
+    // is symmetric (undirected, as the social graphs BA models are — and
+    // so the traversal reaches the whole graph).
+    let datasets: Vec<(&str, PreparedGraph)> = vec![
         (
             "rmat",
-            with_uniform_weights(
-                &rmat(&RmatConfig::graph500(scale, 16), cfg.seed),
-                1,
-                64,
+            prepare_input(
+                &format!("rmat:{scale}:16"),
                 cfg.seed,
+                Some((1, 64, cfg.seed)),
             ),
         ),
         (
             "barabasi-albert",
-            with_uniform_weights(
-                &barabasi_albert(
-                    &BarabasiAlbertConfig {
-                        num_nodes: ba_nodes,
-                        edges_per_node: 8,
-                        // Undirected, as the social graphs BA models are —
-                        // and so the traversal reaches the whole graph.
-                        symmetric: true,
-                    },
-                    cfg.seed,
-                ),
-                1,
-                64,
-                cfg.seed ^ 0xBA,
+            prepare_input(
+                &format!("ba:{ba_nodes}:8:sym"),
+                cfg.seed,
+                Some((1, 64, cfg.seed ^ 0xBA)),
             ),
         ),
     ];
 
-    for (name, g) in &datasets {
+    for (name, prepared) in &datasets {
+        let g = prepared.graph();
         let src = max_degree_source(g);
         eprintln!(
             "  {name}: {} nodes, {} edges, source {src}",

@@ -28,9 +28,10 @@
 
 use std::time::Instant;
 
+use tigr_core::{GraphStore, PrepareSpec, PreparedGraph};
 use tigr_engine::{Direction, FrontierMode};
 use tigr_graph::datasets::{DatasetSpec, PAPER_DATASETS};
-use tigr_graph::Csr;
+use tigr_graph::{Csr, NodeId};
 use tigr_sim::{GpuConfig, GpuSimulator};
 
 /// Harness configuration, read from the environment.
@@ -98,6 +99,42 @@ impl BenchConfig {
     }
 }
 
+/// Resolves a generator tag (`rmat:<scale>:<ef>`, `star:<nodes>`,
+/// `ba:<n>:<m>[:sym]`, `dataset:<name>[:<denom>[:weighted]]`) through
+/// the shared [`GraphStore`] artifact layer — the one load/generate
+/// path every bench binary uses. With `TIGR_CACHE_DIR` set, repeated
+/// invocations load the cached `TIGRCSR2` artifact instead of
+/// regenerating; without it, the store builds in memory.
+///
+/// `weights` overlays uniform random `[lo, hi]` edge weights drawn with
+/// the given seed (the SSSP/SSWP variants).
+///
+/// # Panics
+///
+/// Panics on a malformed tag — bench inputs are hard-coded, so a bad
+/// tag is a bug, not an input error.
+pub fn prepare_input(tag: &str, seed: u64, weights: Option<(u32, u32, u64)>) -> PreparedGraph {
+    let mut spec = PrepareSpec::generated(tag, seed);
+    if let Some((lo, hi, wseed)) = weights {
+        spec = spec.with_uniform_weights(lo, hi, wseed);
+    }
+    GraphStore::from_env()
+        .prepare(&spec)
+        .unwrap_or_else(|e| panic!("prepare_input(`{tag}`): {e}"))
+}
+
+/// The highest-out-degree node (ties broken toward the lowest id): the
+/// source every source-driven bench uses so propagation is non-trivial.
+///
+/// # Panics
+///
+/// Panics on an empty graph.
+pub fn max_degree_source(g: &Csr) -> NodeId {
+    g.nodes()
+        .max_by_key(|&v| (g.out_degree(v), std::cmp::Reverse(v.raw())))
+        .expect("non-empty graph")
+}
+
 /// One generated dataset analog with weighted and unweighted variants.
 #[derive(Debug)]
 pub struct DatasetInstance {
@@ -110,10 +147,12 @@ pub struct DatasetInstance {
 }
 
 impl DatasetInstance {
-    /// Generates the analog for `spec`.
+    /// Generates the analog for `spec` through the [`GraphStore`]
+    /// artifact layer (cached under `TIGR_CACHE_DIR` when set).
     pub fn generate(spec: &'static DatasetSpec, cfg: &BenchConfig) -> Self {
-        let graph = spec.generate(cfg.scale_denominator, cfg.seed);
-        let weighted = tigr_graph::generators::with_uniform_weights(&graph, 1, 64, cfg.seed ^ 0xA5);
+        let tag = format!("dataset:{}:{}", spec.name, cfg.scale_denominator);
+        let graph = prepare_input(&tag, cfg.seed, None).into_graph();
+        let weighted = prepare_input(&tag, cfg.seed, Some((1, 64, cfg.seed ^ 0xA5))).into_graph();
         DatasetInstance {
             spec,
             graph,
@@ -123,17 +162,8 @@ impl DatasetInstance {
 
     /// The highest-out-degree node: the source used for the
     /// source-driven analytics (guarantees non-trivial propagation).
-    pub fn source(&self) -> tigr_graph::NodeId {
-        let mut best = tigr_graph::NodeId::new(0);
-        let mut best_deg = 0;
-        for v in self.graph.nodes() {
-            let d = self.graph.out_degree(v);
-            if d > best_deg {
-                best_deg = d;
-                best = v;
-            }
-        }
-        best
+    pub fn source(&self) -> NodeId {
+        max_degree_source(&self.graph)
     }
 }
 
@@ -266,6 +296,18 @@ mod tests {
     fn geomean_of_known_values() {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn prepare_input_matches_direct_generation() {
+        let p = prepare_input("rmat:7:8", 11, None);
+        let direct =
+            tigr_graph::generators::rmat(&tigr_graph::generators::RmatConfig::graph500(7, 8), 11);
+        assert_eq!(p.graph(), &direct);
+        let w = prepare_input("rmat:7:8", 11, Some((1, 9, 5)));
+        assert!(w.graph().is_weighted());
+        assert_eq!(w.graph().num_edges(), direct.num_edges());
+        assert_eq!(w.into_graph().num_nodes(), direct.num_nodes());
     }
 
     #[test]

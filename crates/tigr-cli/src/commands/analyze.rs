@@ -2,24 +2,27 @@
 //! irregularity reduction on one input (the quantitative Figure 1).
 
 use tigr_core::analysis::compare_irregularity_reduction;
+use tigr_core::PrepareSpec;
 use tigr_graph::stats::degree_stats;
 
 use crate::args::Args;
-use crate::commands::CmdResult;
-use crate::io_util::load_graph;
+use crate::commands::{store_from_args, CmdResult};
 
 /// Runs the `analyze` command.
 pub fn run(args: &Args) -> CmdResult {
     let path = args
         .positional(0)
-        .ok_or("usage: tigr analyze <graph> [--k K]")?;
+        .ok_or("usage: tigr analyze <graph> [--k K] [--cache-dir DIR]")?;
     let k: u32 = args.flag_or("k", 10)?;
     if k < 2 {
         return Err("--k must be at least 2".into());
     }
-    let g = load_graph(path)?;
+    let prepared = store_from_args(args)
+        .prepare(&PrepareSpec::from_file(path))
+        .map_err(|e| format!("cannot load {path}: {e}"))?;
+    let g = prepared.graph();
 
-    let before = degree_stats(&g);
+    let before = degree_stats(g);
     let mut out = format!(
         "input: {} nodes, {} edges, max degree {}, degree CV {:.2}\n\n\
          {:<16} {:>10} {:>8} {:>10} {:>10}\n",
@@ -33,7 +36,7 @@ pub fn run(args: &Args) -> CmdResult {
         "nodes x",
         "edges x",
     );
-    for r in compare_irregularity_reduction(&g, k) {
+    for r in compare_irregularity_reduction(g, k) {
         out.push_str(&format!(
             "{:<16} {:>10} {:>8.2} {:>10.2} {:>10.2}\n",
             r.name, r.max_degree_after, r.cv_after, r.node_growth, r.edge_growth

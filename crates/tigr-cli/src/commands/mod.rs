@@ -1,11 +1,38 @@
 //! The CLI subcommands. Each returns its output as a `String` so the
 //! commands are unit-testable without spawning processes.
 
+use tigr_core::GraphStore;
+
+use crate::args::Args;
+
 pub mod analyze;
 pub mod generate;
+pub mod prepare;
 pub mod run;
 pub mod stats;
 pub mod transform;
 
 /// Result alias: rendered output or an error message for stderr.
 pub type CmdResult = Result<String, String>;
+
+/// The artifact store every graph-consuming command resolves inputs
+/// through: `--cache-dir DIR` wins, then the `TIGR_CACHE_DIR`
+/// environment variable; with neither, caching is off.
+pub fn store_from_args(args: &Args) -> GraphStore {
+    match args.flag("cache-dir") {
+        Some(dir) => GraphStore::new(Some(dir.into())),
+        None => GraphStore::from_env(),
+    }
+}
+
+/// Renders the cache/prep-work report lines appended under `--stats`.
+pub fn format_prepare_report(report: &tigr_core::PrepareReport) -> String {
+    format!(
+        "cache           {} (key {})\nprep work       {} transforms, {} transposes, {} overlays\n",
+        report.cache.label(),
+        report.key,
+        report.transforms_built,
+        report.transposes_built,
+        report.overlays_built,
+    )
+}

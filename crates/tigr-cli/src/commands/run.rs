@@ -1,7 +1,14 @@
 //! `tigr run <analytic> --graph <file>` — run an analytic on the
 //! simulated GPU, optionally through a virtual transformation.
+//!
+//! Inputs resolve through the [`tigr_core::GraphStore`] artifact layer:
+//! with `--cache-dir` (or `TIGR_CACHE_DIR`) set, the loaded graph and
+//! every derived view the run needs — virtual overlay, pull-direction
+//! transpose, mirrored reverse overlay — are cached as one `TIGRCSR2`
+//! artifact, so a warm rerun performs zero transform/transpose work
+//! (`--stats` shows the cache outcome and work counters).
 
-use tigr_core::VirtualGraph;
+use tigr_core::PrepareSpec;
 use tigr_engine::{
     default_threads, pr, CpuOptions, CpuSchedule, Direction, Engine, FrontierMode, MonotoneProgram,
     PrMode, PushOptions, Representation, ScheduleStats,
@@ -10,21 +17,12 @@ use tigr_graph::{Csr, NodeId};
 use tigr_sim::GpuConfig;
 
 use crate::args::Args;
-use crate::commands::CmdResult;
-use crate::io_util::load_graph;
+use crate::commands::{format_prepare_report, store_from_args, CmdResult};
 
 /// Runs the `run` command.
 pub fn run(args: &Args) -> CmdResult {
     let analytic = args.positional(0).ok_or(USAGE)?;
     let path: String = args.require("graph").map_err(|_| USAGE.to_string())?;
-    let g = load_graph(&path)?;
-    if g.num_nodes() == 0 {
-        return Err("graph is empty".into());
-    }
-    let source = NodeId::new(args.flag_or("source", 0u32)?);
-    if source.index() >= g.num_nodes() {
-        return Err(format!("--source {source} out of range"));
-    }
 
     // --frontier selects the worklist scheduling policy: auto (default),
     // dense, sparse, or off (full sweeps every iteration).
@@ -58,14 +56,50 @@ pub fn run(args: &Args) -> CmdResult {
         ))?),
         None => CpuSchedule::from_env(),
     };
-    if args.switch("cpu") || args.flag("cpu-schedule").is_some() {
+    let cpu = args.switch("cpu") || args.flag("cpu-schedule").is_some();
+    let virtual_k: Option<u32> = args
+        .flag("virtual")
+        .map(|k| k.parse().map_err(|_| "invalid --virtual K".to_string()))
+        .transpose()?;
+
+    // Describe everything this run derives from the input as one
+    // PrepareSpec, so the store can cache it all in a single artifact.
+    // The CPU engine builds its own overlay from CpuOptions and never
+    // pulls, so its spec is just the loaded graph.
+    let needs_transpose = !cpu
+        && match analytic {
+            "bfs" | "sssp" | "sswp" | "cc" => direction != Direction::Push,
+            "pr" | "pagerank" => direction == Direction::Pull,
+            _ => false,
+        };
+    let mut spec = PrepareSpec::from_file(&path).with_transpose(needs_transpose);
+    if let (Some(k), false) = (virtual_k, cpu) {
+        spec = spec.with_virtual(k, args.switch("coalesced"));
+    }
+    let prepared = store_from_args(args)
+        .prepare(&spec)
+        .map_err(|e| format!("cannot load {path}: {e}"))?;
+    let g = prepared.graph();
+    if g.num_nodes() == 0 {
+        return Err("graph is empty".into());
+    }
+    let source = NodeId::new(args.flag_or("source", 0u32)?);
+    if source.index() >= g.num_nodes() {
+        return Err(format!("--source {source} out of range"));
+    }
+
+    if cpu {
         if direction == Direction::Pull {
             return Err(
                 "the CPU engine has no pull execution path; drop --cpu or use --direction push/auto"
                     .into(),
             );
         }
-        return run_cpu(args, &g, analytic, source, worklist, schedule);
+        let mut out = run_cpu(args, g, analytic, source, worklist, schedule)?;
+        if args.switch("stats") {
+            out.push_str(&format_prepare_report(prepared.report()));
+        }
+        return Ok(out);
     }
 
     let engine = Engine::parallel(GpuConfig::default())
@@ -75,35 +109,21 @@ pub fn run(args: &Args) -> CmdResult {
             ..PushOptions::default()
         })
         .with_direction(direction);
-    let overlay = args
-        .flag("virtual")
-        .map(|k| {
-            let k: u32 = k.parse().map_err(|_| "invalid --virtual K".to_string())?;
-            Ok::<_, String>(if args.switch("coalesced") {
-                VirtualGraph::coalesced(&g, k)
-            } else {
-                VirtualGraph::new(&g, k)
-            })
-        })
-        .transpose()?;
-    let rep = match &overlay {
-        Some(ov) => Representation::Virtual {
-            graph: &g,
-            overlay: ov,
-        },
-        None => Representation::Original(&g),
-    };
+    let rep = Representation::from_prepared(&prepared);
 
     let mut out = String::new();
     let report = match analytic {
         "bfs" | "sssp" | "sswp" | "cc" => {
-            let result = match analytic {
-                "bfs" => engine.bfs(&rep, source),
-                "sssp" => engine.sssp(&rep, source),
-                "sswp" => engine.sswp(&rep, source),
-                _ => engine.cc(&rep),
-            }
-            .map_err(|e| e.to_string())?;
+            let prog = match analytic {
+                "bfs" => MonotoneProgram::BFS,
+                "sssp" => MonotoneProgram::SSSP,
+                "sswp" => MonotoneProgram::SSWP,
+                _ => MonotoneProgram::CC,
+            };
+            let src = prog.needs_source().then_some(source);
+            let result = engine
+                .run_prepared(&prepared, prog, src)
+                .map_err(|e| e.to_string())?;
             let finite = result
                 .values
                 .iter()
@@ -134,9 +154,9 @@ pub fn run(args: &Args) -> CmdResult {
             result.report
         }
         "pr" | "pagerank" => {
-            // Pull-mode PR gathers along in-edges: build the same shape
-            // of representation over the transpose (PageRank has no
-            // density switch, so auto means push here).
+            // Pull-mode PR gathers along in-edges: the prepared
+            // transpose (and mirrored overlay) feeds it directly
+            // (PageRank has no density switch, so auto means push here).
             let options = pr::PrOptions {
                 mode: if direction == Direction::Pull {
                     PrMode::Pull
@@ -145,35 +165,8 @@ pub fn run(args: &Args) -> CmdResult {
                 },
                 ..pr::PrOptions::default()
             };
-            let rev;
-            let rev_overlay;
-            let pr_rep = if options.mode == PrMode::Pull {
-                rev = tigr_graph::reverse::transpose(&g);
-                match &overlay {
-                    Some(ov) => {
-                        rev_overlay = if ov.is_coalesced() {
-                            VirtualGraph::coalesced(&rev, ov.k())
-                        } else {
-                            VirtualGraph::new(&rev, ov.k())
-                        };
-                        Representation::Virtual {
-                            graph: &rev,
-                            overlay: &rev_overlay,
-                        }
-                    }
-                    None => Representation::Original(&rev),
-                }
-            } else {
-                match &overlay {
-                    Some(ov) => Representation::Virtual {
-                        graph: &g,
-                        overlay: ov,
-                    },
-                    None => Representation::Original(&g),
-                }
-            };
             let result = engine
-                .pagerank(&pr_rep, &pr::out_degrees(&g), &options)
+                .pagerank_prepared(&prepared, &options)
                 .map_err(|e| e.to_string())?;
             let (top, rank) = result
                 .ranks
@@ -220,6 +213,9 @@ pub fn run(args: &Args) -> CmdResult {
         GpuConfig::default().cycles_to_ms(report.total_cycles()),
         100.0 * report.warp_efficiency(),
     ));
+    if args.switch("stats") {
+        out.push_str(&format_prepare_report(prepared.report()));
+    }
     if args.switch("report") {
         out.push_str("per-iteration cycles:\n");
         for it in &report.iterations {
@@ -342,8 +338,8 @@ fn format_schedule_stats(sched: &ScheduleStats) -> String {
 
 const USAGE: &str = "usage: tigr run <bfs|sssp|sswp|cc|pr|bc> --graph <file> \
 [--source N] [--virtual K [--coalesced]] [--direction push|pull|auto] \
-[--frontier auto|dense|sparse|off] [--report] \
-[--cpu [--cpu-schedule node-chunk|edge-balanced|virtual] [--threads N] [--stats]]";
+[--frontier auto|dense|sparse|off] [--report] [--stats] [--cache-dir DIR] \
+[--cpu [--cpu-schedule node-chunk|edge-balanced|virtual] [--threads N]]";
 
 #[cfg(test)]
 mod tests {
@@ -497,6 +493,48 @@ mod tests {
         let path = fixture();
         let err = run(&parse(&format!("bfs --graph {path} --frontier bitmap"))).unwrap_err();
         assert!(err.contains("invalid --frontier"));
+    }
+
+    #[test]
+    fn cache_dir_hits_on_second_run_with_zero_work() {
+        let path = fixture();
+        let cache = std::env::temp_dir().join("tigr_cli_run_cache_test");
+        std::fs::remove_dir_all(&cache).ok();
+        let cache = cache.to_str().unwrap().to_string();
+        let cmd = format!(
+            "sssp --graph {path} --virtual 10 --coalesced --direction auto --stats --cache-dir {cache}"
+        );
+        let cold = run(&parse(&cmd)).unwrap();
+        assert!(cold.contains("cache           miss"), "{cold}");
+        let warm = run(&parse(&cmd)).unwrap();
+        assert!(warm.contains("cache           hit"), "{warm}");
+        assert!(
+            warm.contains("prep work       0 transforms, 0 transposes, 0 overlays"),
+            "{warm}"
+        );
+        // The cached run is bit-for-bit the same computation: only the
+        // cache-outcome lines differ.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("cache") && !l.starts_with("prep work"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&cold), strip(&warm));
+    }
+
+    #[test]
+    fn stats_without_cache_dir_reports_off() {
+        if std::env::var_os("TIGR_CACHE_DIR").is_some() {
+            return; // ambient cache directory: outcome is miss/hit, not off
+        }
+        let path = fixture();
+        let out = run(&parse(&format!("bfs --graph {path} --stats"))).unwrap();
+        assert!(out.contains("cache           off"), "{out}");
+        // The CPU path appends the same cache lines after its own stats.
+        let out = run(&parse(&format!("bfs --graph {path} --cpu --stats"))).unwrap();
+        assert!(out.contains("steals"), "{out}");
+        assert!(out.contains("cache           off"), "{out}");
     }
 
     #[test]

@@ -1,26 +1,26 @@
 //! `tigr transform <topology> -i <in> -o <out>` — physical split
-//! transformations from the command line.
+//! transformations from the command line, resolved through the
+//! [`tigr_core::GraphStore`] artifact layer (so with `--cache-dir` or
+//! `TIGR_CACHE_DIR` set, repeating a transform reuses the cached
+//! artifact instead of re-splitting).
 
-use tigr_core::{
-    circular_transform, clique_transform, recursive_star_transform, star_transform, udt_transform,
-    DumbWeight, TransformedGraph,
-};
+use tigr_core::{DumbWeight, PrepareSpec, TransformKind};
 
 use crate::args::Args;
-use crate::commands::CmdResult;
-use crate::io_util::{load_graph, save_graph};
+use crate::commands::{format_prepare_report, store_from_args, CmdResult};
+use crate::io_util::save_graph;
 
 /// Runs the `transform` command.
 pub fn run(args: &Args) -> CmdResult {
     let topology = args.positional(0).ok_or(USAGE)?;
     let input: String = args.require("i").map_err(|_| USAGE.to_string())?;
     let output: String = args.require("o").map_err(|_| USAGE.to_string())?;
-    let g = load_graph(&input)?;
-
-    let k: u32 = match args.flag("k") {
-        Some(v) => v.parse().map_err(|_| "invalid --k".to_string())?,
-        None => tigr_core::k_select::physical_k(&g),
-    };
+    let kind =
+        TransformKind::parse(topology).ok_or(format!("unknown topology `{topology}`\n{USAGE}"))?;
+    let k: Option<u32> = args
+        .flag("k")
+        .map(|v| v.parse().map_err(|_| "invalid --k".to_string()))
+        .transpose()?;
     let dumb = match args.flag("dumb").unwrap_or("zero") {
         "zero" => DumbWeight::Zero,
         "inf" | "infinity" => DumbWeight::Infinity,
@@ -28,20 +28,18 @@ pub fn run(args: &Args) -> CmdResult {
         other => return Err(format!("unknown dumb-weight policy `{other}`")),
     };
 
-    let t: TransformedGraph = match topology {
-        "udt" => udt_transform(&g, k, dumb),
-        "star" => star_transform(&g, k, dumb),
-        "recursive-star" => recursive_star_transform(&g, k, dumb),
-        "circular" => circular_transform(&g, k, dumb),
-        "clique" => clique_transform(&g, k, dumb),
-        other => return Err(format!("unknown topology `{other}`\n{USAGE}")),
-    };
+    let spec = PrepareSpec::from_file(&input).with_transform(kind, k, dumb);
+    let prepared = store_from_args(args)
+        .prepare(&spec)
+        .map_err(|e| format!("cannot load {input}: {e}"))?;
+    let g = prepared.graph();
+    let t = prepared.transformed().expect("spec requested a transform");
 
     save_graph(t.graph(), &output)?;
-    Ok(format!(
-        "{} transform (K={k}, dumb={:?}):\n  {} -> {} nodes (+{} split)\n  {} -> {} edges (+{} new)\n  max degree {} -> {}\n  space {:.2}% of original CSR\nwrote {output}\n",
+    let mut out = format!(
+        "{} transform (K={}, dumb={dumb:?}):\n  {} -> {} nodes (+{} split)\n  {} -> {} edges (+{} new)\n  max degree {} -> {}\n  space {:.2}% of original CSR\nwrote {output}\n",
         t.topology(),
-        dumb,
+        t.k(),
         g.num_nodes(),
         t.graph().num_nodes(),
         t.num_split_nodes(),
@@ -50,16 +48,21 @@ pub fn run(args: &Args) -> CmdResult {
         t.num_new_edges(),
         g.max_out_degree(),
         t.graph().max_out_degree(),
-        100.0 * t.space_cost_ratio(&g),
-    ))
+        100.0 * t.space_cost_ratio(g),
+    );
+    if args.switch("stats") {
+        out.push_str(&format_prepare_report(prepared.report()));
+    }
+    Ok(out)
 }
 
 const USAGE: &str = "usage: tigr transform <udt|star|recursive-star|circular|clique> \
--i <in> -o <out> [--k K] [--dumb zero|inf|none]";
+-i <in> -o <out> [--k K] [--dumb zero|inf|none] [--stats] [--cache-dir DIR]";
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io_util::load_graph;
 
     fn parse(s: &str) -> Args {
         Args::parse(&s.split_whitespace().map(str::to_string).collect::<Vec<_>>()).unwrap()
@@ -89,6 +92,21 @@ mod tests {
         let (input, output) = fixture();
         let out = run(&parse(&format!("udt -i {input} -o {output}"))).unwrap();
         assert!(out.contains("K=100"), "{out}");
+    }
+
+    #[test]
+    fn cached_transform_hits_on_repeat() {
+        let (input, output) = fixture();
+        let cache = std::env::temp_dir().join("tigr_cli_transform_cache_test");
+        std::fs::remove_dir_all(&cache).ok();
+        let cache = cache.to_str().unwrap().to_string();
+        let cmd = format!("udt -i {input} -o {output} --k 4 --stats --cache-dir {cache}");
+        let cold = run(&parse(&cmd)).unwrap();
+        assert!(cold.contains("cache           miss"), "{cold}");
+        let warm = run(&parse(&cmd)).unwrap();
+        assert!(warm.contains("cache           hit"), "{warm}");
+        assert!(warm.contains("prep work       0 transforms"), "{warm}");
+        assert!(warm.contains("udt transform (K=4"), "{warm}");
     }
 
     #[test]

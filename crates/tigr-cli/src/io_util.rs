@@ -1,6 +1,5 @@
-//! Extension-driven graph loading and saving.
-
-use std::path::Path;
+//! Extension-driven graph loading and saving: thin error-formatting
+//! wrappers over [`tigr_graph::io::load_path`]/[`tigr_graph::io::save_path`].
 
 use tigr_graph::{io, Csr};
 
@@ -12,39 +11,17 @@ use tigr_graph::{io, Csr};
 ///
 /// Returns a human-readable message on I/O or parse failure.
 pub fn load_graph(path: &str) -> Result<Csr, String> {
-    let ext = Path::new(path)
-        .extension()
-        .and_then(|e| e.to_str())
-        .unwrap_or("")
-        .to_lowercase();
-    let result = match ext.as_str() {
-        "bin" | "tigr" => io::binary::load_binary(path),
-        "mtx" => io::load_matrix_market(path),
-        "gr" => io::load_dimacs(path),
-        _ => io::load_edge_list(path),
-    };
-    result.map_err(|e| format!("cannot load {path}: {e}"))
+    io::load_path(path).map_err(|e| format!("cannot load {path}: {e}"))
 }
 
 /// Saves a graph, picking the writer from the file extension (same
-/// mapping as [`load_graph`]).
+/// mapping as [`load_graph`], plus `.mtx` → MatrixMarket).
 ///
 /// # Errors
 ///
 /// Returns a human-readable message on I/O failure.
 pub fn save_graph(g: &Csr, path: &str) -> Result<(), String> {
-    let ext = Path::new(path)
-        .extension()
-        .and_then(|e| e.to_str())
-        .unwrap_or("")
-        .to_lowercase();
-    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-    let result = match ext.as_str() {
-        "bin" | "tigr" => io::write_binary(g, file),
-        "gr" => io::write_dimacs(g, file),
-        _ => io::write_edge_list(g, file),
-    };
-    result.map_err(|e| format!("cannot write {path}: {e}"))
+    io::save_path(g, path).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 #[cfg(test)]
@@ -60,7 +37,7 @@ mod tests {
             .weighted_edge(0, 1, 5)
             .weighted_edge(1, 2, 7)
             .build();
-        for name in ["g.bin", "g.txt", "g.gr"] {
+        for name in ["g.bin", "g.txt", "g.gr", "g.mtx"] {
             let path = dir.join(name);
             let path = path.to_str().unwrap();
             save_graph(&g, path).unwrap();

@@ -5,6 +5,7 @@
 //! tigr stats <graph>                         degree statistics & K suggestions
 //! tigr generate <model> -o <file>            synthetic graphs (rmat/ba/er/ws/grid/dataset)
 //! tigr transform <topology> -i <in> -o <out> physical split transformations
+//! tigr prepare --graph <file>                warm the prepared-graph artifact cache
 //! tigr run <analytic> --graph <file>         analytics on the simulated GPU
 //! tigr convert -i <in> -o <out>              format conversion by extension
 //! ```
@@ -38,6 +39,7 @@ fn dispatch(raw: &[String]) -> commands::CmdResult {
         "analyze" => commands::analyze::run(&args),
         "generate" => commands::generate::run(&args),
         "transform" => commands::transform::run(&args),
+        "prepare" => commands::prepare::run(&args),
         "run" => commands::run::run(&args),
         "convert" => convert(&args),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
@@ -64,10 +66,12 @@ commands:
   analyze <graph> [--k K]                irregularity reduction per transformation
   generate <model> -o <file>             rmat | ba | er | ws | grid | dataset
   transform <topology> -i <in> -o <out>  udt | star | recursive-star | circular | clique
+  prepare --graph <file>                 warm the artifact cache for later runs
   run <analytic> --graph <file>          bfs | sssp | sswp | cc | pr | bc
   convert -i <in> -o <out>               formats by extension: .txt .mtx .gr .bin
 
 formats: edge list (.txt), MatrixMarket (.mtx), DIMACS (.gr), binary (.bin/.tigr)
+caching: --cache-dir DIR (or TIGR_CACHE_DIR) stores prepared TIGRCSR2 artifacts
 ";
 
 #[cfg(test)]
@@ -104,11 +108,18 @@ mod tests {
         .unwrap();
         let out = dispatch(&toks(&format!("transform udt -i {raw} -o {trans} --k 8"))).unwrap();
         assert!(out.contains("udt transform"));
+        let cache = dir.join("cache").to_str().unwrap().to_string();
         let out = dispatch(&toks(&format!(
-            "run sssp --graph {raw} --virtual 10 --coalesced"
+            "prepare --graph {raw} --virtual 10 --coalesced --cache-dir {cache}"
+        )))
+        .unwrap();
+        assert!(out.contains("prepared"), "{out}");
+        let out = dispatch(&toks(&format!(
+            "run sssp --graph {raw} --virtual 10 --coalesced --direction auto --stats --cache-dir {cache}"
         )))
         .unwrap();
         assert!(out.contains("virtual+"));
+        assert!(out.contains("cache           hit"), "{out}");
         let out = dispatch(&toks(&format!("stats {trans}"))).unwrap();
         assert!(out.contains("max degree"));
         let out = dispatch(&toks(&format!("analyze {raw} --k 8"))).unwrap();

@@ -45,6 +45,7 @@ pub mod analysis;
 pub mod correctness;
 pub mod k_select;
 pub mod split;
+pub mod store;
 mod virtual_graph;
 
 mod dumb_weights;
@@ -53,5 +54,9 @@ pub use dumb_weights::DumbWeight;
 pub use split::{
     circular_transform, clique_transform, recursive_star_transform, star_transform, udt_transform,
     TransformedGraph,
+};
+pub use store::{
+    CacheStatus, GraphSource, GraphStore, PrepareReport, PrepareSpec, PreparedGraph, TransformKind,
+    TransformSpec,
 };
 pub use virtual_graph::{EdgeCursor, OnTheFlyMapper, VirtualGraph, VirtualNode};

@@ -169,6 +169,112 @@ impl TransformedGraph {
     pub fn project_values<T: Copy>(&self, values: &[T]) -> Vec<T> {
         values[..self.original_nodes].to_vec()
     }
+
+    /// Encodes the transform as a `TIGRCSR2` section payload: `k`, a
+    /// topology tag, original counts, the embedded transformed CSR
+    /// (length-prefixed), the family-root map, and the new-edge flags.
+    pub fn to_section_bytes(&self) -> Vec<u8> {
+        use bytes::BufMut;
+        let csr = tigr_graph::io::encode_csr(&self.graph);
+        let total_nodes = self.graph.num_nodes();
+        let mut buf =
+            Vec::with_capacity(32 + csr.len() + total_nodes * 4 + self.new_edge_flags.len());
+        buf.put_u32_le(self.k);
+        buf.put_u32_le(topology_tag(self.topology));
+        buf.put_u64_le(self.original_nodes as u64);
+        buf.put_u64_le(self.num_new_edges as u64);
+        buf.put_u64_le(csr.len() as u64);
+        buf.put_slice(&csr);
+        for &r in &self.family_root {
+            buf.put_u32_le(r.raw());
+        }
+        for &f in &self.new_edge_flags {
+            buf.put_u8(f as u8);
+        }
+        buf
+    }
+
+    /// Decodes a transform from a section payload produced by
+    /// [`TransformedGraph::to_section_bytes`], validating the embedded
+    /// CSR and every auxiliary array before construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violation on malformed input.
+    pub fn from_section_bytes(payload: &[u8]) -> Result<Self, String> {
+        use bytes::Buf;
+        let mut cur = payload;
+        if cur.len() < 32 {
+            return Err("truncated transform section".into());
+        }
+        let k = cur.get_u32_le();
+        let tag = cur.get_u32_le();
+        let topology = topology_name(tag).ok_or_else(|| format!("unknown topology tag {tag}"))?;
+        let original_nodes = cur.get_u64_le() as usize;
+        let num_new_edges = cur.get_u64_le() as usize;
+        let csr_len = cur.get_u64_le() as usize;
+        if (cur.remaining() as u128) < csr_len as u128 {
+            return Err("truncated embedded CSR".into());
+        }
+        let graph = tigr_graph::io::decode_csr(&cur[..csr_len]).map_err(|e| e.to_string())?;
+        cur = &cur[csr_len..];
+
+        let total_nodes = graph.num_nodes();
+        let num_edges = graph.num_edges();
+        let need = total_nodes as u128 * 4 + num_edges as u128;
+        if cur.remaining() as u128 != need {
+            return Err(format!(
+                "transform payload size mismatch: need {need} trailing bytes, have {}",
+                cur.remaining()
+            ));
+        }
+        let mut family_root = Vec::with_capacity(total_nodes);
+        for _ in 0..total_nodes {
+            family_root.push(NodeId::new(cur.get_u32_le()));
+        }
+        let mut new_edge_flags = Vec::with_capacity(num_edges);
+        for _ in 0..num_edges {
+            new_edge_flags.push(cur.get_u8() != 0);
+        }
+        if original_nodes > total_nodes
+            || num_new_edges > num_edges
+            || family_root.iter().any(|r| r.index() >= total_nodes)
+            || new_edge_flags.iter().filter(|&&f| f).count() != num_new_edges
+        {
+            return Err("inconsistent transform metadata".into());
+        }
+        Ok(TransformedGraph {
+            graph,
+            original_nodes,
+            family_root,
+            new_edge_flags,
+            num_new_edges,
+            k,
+            topology,
+        })
+    }
+}
+
+fn topology_tag(name: &str) -> u32 {
+    match name {
+        "udt" => 1,
+        "star" => 2,
+        "recursive-star" => 3,
+        "circular" => 4,
+        "clique" => 5,
+        _ => 0,
+    }
+}
+
+fn topology_name(tag: u32) -> Option<&'static str> {
+    match tag {
+        1 => Some("udt"),
+        2 => Some("star"),
+        3 => Some("recursive-star"),
+        4 => Some("circular"),
+        5 => Some("clique"),
+        _ => None,
+    }
 }
 
 impl fmt::Debug for TransformedGraph {
@@ -335,6 +441,41 @@ mod tests {
         let t = apply_split(&NoopTopology, &g, 1000, DumbWeight::Zero);
         let vals = vec![9u32; t.graph().num_nodes()];
         assert_eq!(t.project_values(&vals).len(), 4);
+    }
+
+    #[test]
+    fn section_bytes_round_trip() {
+        let g = star_graph(20); // hub degree 19
+        let t = udt_transform(&g, 4, DumbWeight::Zero);
+        let bytes = t.to_section_bytes();
+        let back = TransformedGraph::from_section_bytes(&bytes).unwrap();
+        assert_eq!(back.graph(), t.graph());
+        assert_eq!(back.original_nodes(), t.original_nodes());
+        assert_eq!(back.num_new_edges(), t.num_new_edges());
+        assert_eq!(back.k(), t.k());
+        assert_eq!(back.topology(), t.topology());
+        for v in back.graph().nodes() {
+            assert_eq!(back.family_root(v), t.family_root(v));
+        }
+        for e in 0..back.graph().num_edges() {
+            assert_eq!(back.is_new_edge(e), t.is_new_edge(e));
+        }
+    }
+
+    #[test]
+    fn section_bytes_reject_corruption() {
+        let g = star_graph(12);
+        let t = udt_transform(&g, 3, DumbWeight::Zero);
+        let bytes = t.to_section_bytes();
+        assert!(TransformedGraph::from_section_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad_tag = bytes.clone();
+        bad_tag[4] = 99;
+        assert!(TransformedGraph::from_section_bytes(&bad_tag).is_err());
+        // Flipping a new-edge flag breaks the num_new_edges invariant.
+        let mut bad_flag = bytes.clone();
+        let last = bad_flag.len() - 1;
+        bad_flag[last] ^= 1;
+        assert!(TransformedGraph::from_section_bytes(&bad_flag).is_err());
     }
 
     #[test]

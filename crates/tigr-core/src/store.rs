@@ -1,0 +1,866 @@
+//! The prepared-graph artifact layer: `PrepareSpec` → [`GraphStore`] →
+//! [`PreparedGraph`].
+//!
+//! Tigr's transformations are a one-time preprocessing cost the paper
+//! amortizes across runs (§5, Table 7), so re-deriving the UDT/virtual
+//! overlay and the pull-direction transpose on every invocation wastes
+//! exactly the work the transformation was supposed to save. This module
+//! makes preparation a first-class cached artifact:
+//!
+//! * A [`PrepareSpec`] fully describes the input (source file or
+//!   generator tag + seed, optional uniform weights), the transformation
+//!   (physical split kind + `K` + dumb-weight policy, or a virtual
+//!   overlay + coalescing), and whether a transpose is needed.
+//! * [`GraphStore::prepare`] resolves the spec into a [`PreparedGraph`]
+//!   owning the CSR and every derived view, consulting a content-hash
+//!   keyed on-disk cache of `TIGRCSR2` containers when a cache directory
+//!   is configured. A hit loads the artifact and performs **zero**
+//!   transform/transpose/overlay construction; a miss builds the views
+//!   and writes the artifact for the next run.
+//!
+//! Cache keys hash the *canonical spec string* — which for file sources
+//! embeds an FNV-1a hash of the file's bytes, and for generated sources
+//! the generator tag and seed — so edits to the input file or any spec
+//! field change the key. The canonical string is also embedded in the
+//! artifact (`SECTION_SPEC`) and compared on load, guarding against hash
+//! collisions and stale artifacts. Writes are deterministic: the same
+//! spec always produces a byte-identical artifact.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use tigr_graph::io::{
+    self, find_section, fnv1a64, Section, SECTION_CSR, SECTION_OVERLAY, SECTION_REV_OVERLAY,
+    SECTION_SPEC, SECTION_TRANSFORM, SECTION_TRANSPOSE,
+};
+use tigr_graph::reverse::transpose;
+use tigr_graph::{generators, Csr, GraphError, Result};
+
+use crate::dumb_weights::DumbWeight;
+use crate::k_select;
+use crate::split::{
+    circular_transform, clique_transform, recursive_star_transform, star_transform, udt_transform,
+    TransformedGraph,
+};
+use crate::virtual_graph::VirtualGraph;
+
+/// Where a graph comes from: a file on disk or a deterministic
+/// generator invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphSource {
+    /// Load from a file; the cache key hashes the file's bytes, so
+    /// editing the file invalidates cached artifacts.
+    File(PathBuf),
+    /// Generate deterministically from a tag and seed. Supported tags:
+    ///
+    /// * `dataset:<name>[:<denominator>[:weighted]]` — a paper dataset
+    ///   proxy from `tigr_graph::datasets` at the given scale denominator
+    ///   (default [`tigr_graph::datasets::DEFAULT_SCALE_DENOMINATOR`]).
+    /// * `rmat:<scale>:<edge_factor>` — a Graph500 R-MAT instance.
+    /// * `star:<nodes>` — a star graph (seed unused).
+    /// * `ba:<nodes>:<edges_per_node>[:sym]` — Barabási–Albert.
+    Generated {
+        /// Generator tag (see variant docs for the grammar).
+        tag: String,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+/// Physical split topology selector for [`PrepareSpec::transform`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransformKind {
+    /// Uniform-degree tree (§3.2, the paper's sweet spot).
+    Udt,
+    /// Single-level star (Figure 5c).
+    Star,
+    /// Recursive star.
+    RecursiveStar,
+    /// Circular chain (Figure 5b).
+    Circular,
+    /// Clique (Figure 5a).
+    Clique,
+}
+
+impl TransformKind {
+    /// Stable label used in canonical spec strings and CLI parsing.
+    pub fn label(self) -> &'static str {
+        match self {
+            TransformKind::Udt => "udt",
+            TransformKind::Star => "star",
+            TransformKind::RecursiveStar => "recursive-star",
+            TransformKind::Circular => "circular",
+            TransformKind::Clique => "clique",
+        }
+    }
+
+    /// Parses a label produced by [`TransformKind::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "udt" => TransformKind::Udt,
+            "star" => TransformKind::Star,
+            "recursive-star" => TransformKind::RecursiveStar,
+            "circular" => TransformKind::Circular,
+            "clique" => TransformKind::Clique,
+            _ => return None,
+        })
+    }
+
+    /// Applies the transform to `g` with degree bound `k`.
+    pub fn apply(self, g: &Csr, k: u32, dumb: DumbWeight) -> TransformedGraph {
+        match self {
+            TransformKind::Udt => udt_transform(g, k, dumb),
+            TransformKind::Star => star_transform(g, k, dumb),
+            TransformKind::RecursiveStar => recursive_star_transform(g, k, dumb),
+            TransformKind::Circular => circular_transform(g, k, dumb),
+            TransformKind::Clique => clique_transform(g, k, dumb),
+        }
+    }
+}
+
+/// Physical-transform request inside a [`PrepareSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransformSpec {
+    /// Split topology to apply.
+    pub kind: TransformKind,
+    /// Degree bound; `None` selects [`k_select::physical_k`] for the
+    /// resolved graph (deterministic per source).
+    pub k: Option<u32>,
+    /// Dumb-weight policy for introduced edges.
+    pub dumb: DumbWeight,
+}
+
+/// A complete, hashable description of graph preparation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrepareSpec {
+    /// Input graph source.
+    pub source: GraphSource,
+    /// Overlay `(lo, hi, seed)` uniform random weights after loading.
+    pub uniform_weights: Option<(u32, u32, u64)>,
+    /// Physical split transformation to apply.
+    pub transform: Option<TransformSpec>,
+    /// Build a virtual overlay with this degree bound `K`.
+    pub virtual_k: Option<u32>,
+    /// Use the coalesced (`Tigr-V+`) overlay layout.
+    pub coalesced: bool,
+    /// Build the transpose (and, for virtual specs, its mirrored
+    /// overlay) — required for pull/auto direction.
+    pub transpose: bool,
+}
+
+impl PrepareSpec {
+    /// Spec loading `path` with no derived views.
+    pub fn from_file(path: impl Into<PathBuf>) -> Self {
+        PrepareSpec {
+            source: GraphSource::File(path.into()),
+            uniform_weights: None,
+            transform: None,
+            virtual_k: None,
+            coalesced: false,
+            transpose: false,
+        }
+    }
+
+    /// Spec generating from `tag` + `seed` with no derived views.
+    pub fn generated(tag: impl Into<String>, seed: u64) -> Self {
+        PrepareSpec {
+            source: GraphSource::Generated {
+                tag: tag.into(),
+                seed,
+            },
+            uniform_weights: None,
+            transform: None,
+            virtual_k: None,
+            coalesced: false,
+            transpose: false,
+        }
+    }
+
+    /// Adds uniform random weights in `[lo, hi]` drawn with `seed`.
+    #[must_use]
+    pub fn with_uniform_weights(mut self, lo: u32, hi: u32, seed: u64) -> Self {
+        self.uniform_weights = Some((lo, hi, seed));
+        self
+    }
+
+    /// Requests a physical split transform.
+    #[must_use]
+    pub fn with_transform(mut self, kind: TransformKind, k: Option<u32>, dumb: DumbWeight) -> Self {
+        self.transform = Some(TransformSpec { kind, k, dumb });
+        self
+    }
+
+    /// Requests a virtual overlay with degree bound `k`.
+    #[must_use]
+    pub fn with_virtual(mut self, k: u32, coalesced: bool) -> Self {
+        self.virtual_k = Some(k);
+        self.coalesced = coalesced;
+        self
+    }
+
+    /// Requests the transpose views (needed for pull/auto direction).
+    #[must_use]
+    pub fn with_transpose(mut self, yes: bool) -> Self {
+        self.transpose = yes;
+        self
+    }
+
+    /// The canonical spec string the cache key hashes, with the source
+    /// identity resolved: file sources embed `content_hash`, generated
+    /// sources their tag and seed.
+    fn canonical(&self, content_hash: Option<u64>) -> String {
+        let source = match (&self.source, content_hash) {
+            (GraphSource::File(_), Some(h)) => format!("file:{h:016x}"),
+            (GraphSource::File(p), None) => format!("file-path:{}", p.display()),
+            (GraphSource::Generated { tag, seed }, _) => format!("gen:{tag}:{seed}"),
+        };
+        let weights = match self.uniform_weights {
+            Some((lo, hi, seed)) => format!("{lo}:{hi}:{seed}"),
+            None => "none".into(),
+        };
+        let transform = match &self.transform {
+            Some(t) => format!(
+                "{}:{}:{}",
+                t.kind.label(),
+                t.k.map_or_else(|| "auto".into(), |k| k.to_string()),
+                match t.dumb {
+                    DumbWeight::Zero => "zero",
+                    DumbWeight::Infinity => "inf",
+                    DumbWeight::Unweighted => "none",
+                }
+            ),
+            None => "none".into(),
+        };
+        let overlay = match self.virtual_k {
+            Some(k) if self.coalesced => format!("{k}:coalesced"),
+            Some(k) => format!("{k}:consecutive"),
+            None => "none".into(),
+        };
+        format!(
+            "tigr-prepare-v2|source={source}|weights={weights}|transform={transform}|virtual={overlay}|transpose={}",
+            self.transpose as u8
+        )
+    }
+}
+
+/// Outcome of the cache consultation for one [`GraphStore::prepare`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Artifact found and loaded; no derivation work performed.
+    Hit,
+    /// No valid artifact; views were built (and the artifact written).
+    Miss,
+    /// The store has no cache directory.
+    Disabled,
+}
+
+impl CacheStatus {
+    /// Stable lowercase label (`hit`/`miss`/`off`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Disabled => "off",
+        }
+    }
+}
+
+/// What [`GraphStore::prepare`] did: cache outcome plus the number of
+/// derivation steps actually executed (all zero on a hit).
+#[derive(Clone, Debug)]
+pub struct PrepareReport {
+    /// Cache outcome.
+    pub cache: CacheStatus,
+    /// Cache key (16 hex digits), also the artifact file stem.
+    pub key: String,
+    /// Artifact path consulted/written, when caching is enabled.
+    pub artifact: Option<PathBuf>,
+    /// Physical split transforms built this call.
+    pub transforms_built: u32,
+    /// Transposes built this call.
+    pub transposes_built: u32,
+    /// Virtual overlays built this call (forward and reverse count
+    /// separately).
+    pub overlays_built: u32,
+}
+
+impl PrepareReport {
+    /// Total derivation steps executed (`0` proves a warm run).
+    pub fn work_items(&self) -> u32 {
+        self.transforms_built + self.transposes_built + self.overlays_built
+    }
+}
+
+/// A graph together with every derived view its spec requested, all
+/// owned — the engine borrows from this one struct instead of each call
+/// site threading separately constructed pieces.
+pub struct PreparedGraph {
+    graph: Csr,
+    transpose: Option<Csr>,
+    overlay: Option<VirtualGraph>,
+    rev_overlay: Option<VirtualGraph>,
+    transformed: Option<TransformedGraph>,
+    report: PrepareReport,
+}
+
+impl PreparedGraph {
+    /// The base (post-weights) graph.
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// The transpose of [`Self::graph`], when the spec requested it.
+    pub fn transpose(&self) -> Option<&Csr> {
+        self.transpose.as_ref()
+    }
+
+    /// The forward virtual overlay, when the spec requested one.
+    pub fn overlay(&self) -> Option<&VirtualGraph> {
+        self.overlay.as_ref()
+    }
+
+    /// The overlay mirrored onto the transpose (present iff both
+    /// `virtual_k` and `transpose` were requested).
+    pub fn rev_overlay(&self) -> Option<&VirtualGraph> {
+        self.rev_overlay.as_ref()
+    }
+
+    /// The physical split transform, when the spec requested one.
+    pub fn transformed(&self) -> Option<&TransformedGraph> {
+        self.transformed.as_ref()
+    }
+
+    /// What preparation did (cache outcome, work counters).
+    pub fn report(&self) -> &PrepareReport {
+        &self.report
+    }
+
+    /// Consumes the prepared graph, returning the owned base CSR (for
+    /// callers that only need the graph itself).
+    pub fn into_graph(self) -> Csr {
+        self.graph
+    }
+}
+
+impl fmt::Debug for PreparedGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreparedGraph")
+            .field("nodes", &self.graph.num_nodes())
+            .field("edges", &self.graph.num_edges())
+            .field("transpose", &self.transpose.is_some())
+            .field("overlay", &self.overlay.is_some())
+            .field("transformed", &self.transformed.is_some())
+            .field("cache", &self.report.cache)
+            .finish()
+    }
+}
+
+/// Resolves [`PrepareSpec`]s into [`PreparedGraph`]s through an optional
+/// on-disk artifact cache.
+#[derive(Clone, Debug)]
+pub struct GraphStore {
+    cache_dir: Option<PathBuf>,
+}
+
+impl GraphStore {
+    /// Store caching under `cache_dir` (`None` disables caching).
+    pub fn new(cache_dir: Option<PathBuf>) -> Self {
+        GraphStore { cache_dir }
+    }
+
+    /// Store with caching disabled.
+    pub fn disabled() -> Self {
+        GraphStore { cache_dir: None }
+    }
+
+    /// Store configured from the `TIGR_CACHE_DIR` environment variable.
+    pub fn from_env() -> Self {
+        GraphStore {
+            cache_dir: std::env::var_os("TIGR_CACHE_DIR").map(PathBuf::from),
+        }
+    }
+
+    /// The configured cache directory, if any.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// Resolves `spec` into a [`PreparedGraph`]: loads a cached artifact
+    /// when one matches, otherwise loads/generates the graph, builds the
+    /// requested views, and (if caching is enabled) writes the artifact.
+    ///
+    /// A corrupt or stale artifact is treated as a miss and rebuilt; the
+    /// condition is reported on stderr but never fails the call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] when the source cannot be loaded or the
+    /// generator tag is malformed.
+    pub fn prepare(&self, spec: &PrepareSpec) -> Result<PreparedGraph> {
+        // Resolve the source identity first: file bytes are read exactly
+        // once and reused for parsing on a miss.
+        let file_bytes = match &spec.source {
+            GraphSource::File(path) => Some(fs::read(path)?),
+            GraphSource::Generated { .. } => None,
+        };
+        let canonical = spec.canonical(file_bytes.as_deref().map(fnv1a64));
+        let key = format!("{:016x}", fnv1a64(canonical.as_bytes()));
+        let artifact = self
+            .cache_dir
+            .as_ref()
+            .map(|d| d.join(format!("{key}.tigr")));
+
+        if let Some(path) = &artifact {
+            if path.exists() {
+                match load_artifact(path, spec, &canonical) {
+                    Ok(mut prepared) => {
+                        prepared.report = PrepareReport {
+                            cache: CacheStatus::Hit,
+                            key,
+                            artifact: artifact.clone(),
+                            transforms_built: 0,
+                            transposes_built: 0,
+                            overlays_built: 0,
+                        };
+                        return Ok(prepared);
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "tigr: cache artifact {} unusable ({e}); rebuilding",
+                            path.display()
+                        );
+                    }
+                }
+            }
+        }
+
+        let mut report = PrepareReport {
+            cache: if artifact.is_some() {
+                CacheStatus::Miss
+            } else {
+                CacheStatus::Disabled
+            },
+            key,
+            artifact: artifact.clone(),
+            transforms_built: 0,
+            transposes_built: 0,
+            overlays_built: 0,
+        };
+
+        let mut graph = match &spec.source {
+            GraphSource::File(path) => parse_graph_bytes(path, &file_bytes.unwrap())?,
+            GraphSource::Generated { tag, seed } => generate_from_tag(tag, *seed)?,
+        };
+        if let Some((lo, hi, seed)) = spec.uniform_weights {
+            graph = generators::with_uniform_weights(&graph, lo, hi, seed);
+        }
+
+        let transformed = spec.transform.as_ref().map(|t| {
+            report.transforms_built += 1;
+            let k = t.k.unwrap_or_else(|| k_select::physical_k(&graph));
+            t.kind.apply(&graph, k, t.dumb)
+        });
+        let overlay = spec.virtual_k.map(|k| {
+            report.overlays_built += 1;
+            if spec.coalesced {
+                VirtualGraph::coalesced(&graph, k)
+            } else {
+                VirtualGraph::new(&graph, k)
+            }
+        });
+        let rev = if spec.transpose {
+            report.transposes_built += 1;
+            Some(transpose(&graph))
+        } else {
+            None
+        };
+        let rev_overlay = match (&rev, spec.virtual_k) {
+            (Some(rev), Some(k)) => {
+                report.overlays_built += 1;
+                Some(if spec.coalesced {
+                    VirtualGraph::coalesced(rev, k)
+                } else {
+                    VirtualGraph::new(rev, k)
+                })
+            }
+            _ => None,
+        };
+
+        let prepared = PreparedGraph {
+            graph,
+            transpose: rev,
+            overlay,
+            rev_overlay,
+            transformed,
+            report,
+        };
+
+        if let Some(path) = &artifact {
+            if let Err(e) = write_artifact(path, &prepared, &canonical) {
+                eprintln!(
+                    "tigr: failed to write cache artifact {} ({e})",
+                    path.display()
+                );
+            }
+        }
+        Ok(prepared)
+    }
+}
+
+/// Parses graph bytes using the format implied by `path`'s extension
+/// (mirrors `tigr_graph::io::load_path`, but over already-read bytes).
+fn parse_graph_bytes(path: &Path, bytes: &[u8]) -> Result<Csr> {
+    let ext = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+        .to_lowercase();
+    match ext.as_str() {
+        "bin" | "tigr" => io::read_binary(bytes),
+        "mtx" => io::parse_matrix_market(bytes),
+        "gr" => io::parse_dimacs(bytes),
+        _ => io::parse_edge_list(bytes),
+    }
+}
+
+/// Resolves a generator tag (see [`GraphSource::Generated`]).
+fn generate_from_tag(tag: &str, seed: u64) -> Result<Csr> {
+    let bad = |msg: String| GraphError::InvalidFormat(msg);
+    let parts: Vec<&str> = tag.split(':').collect();
+    let int = |s: &str, what: &str| -> Result<u64> {
+        s.parse::<u64>()
+            .map_err(|_| bad(format!("generator tag `{tag}`: invalid {what} `{s}`")))
+    };
+    match parts.as_slice() {
+        ["dataset", name, rest @ ..] => {
+            let ds = tigr_graph::datasets::by_name(name)
+                .ok_or_else(|| bad(format!("unknown dataset `{name}` in tag `{tag}`")))?;
+            let (denom, weighted) = match rest {
+                [] => (tigr_graph::datasets::DEFAULT_SCALE_DENOMINATOR, false),
+                [d] => (int(d, "denominator")?, false),
+                [d, "weighted"] => (int(d, "denominator")?, true),
+                _ => return Err(bad(format!("malformed dataset tag `{tag}`"))),
+            };
+            Ok(if weighted {
+                ds.generate_weighted(denom, seed)
+            } else {
+                ds.generate(denom, seed)
+            })
+        }
+        ["rmat", scale, ef] => {
+            let config = generators::RmatConfig::graph500(
+                int(scale, "scale")? as u32,
+                int(ef, "edge factor")? as usize,
+            );
+            Ok(generators::rmat(&config, seed))
+        }
+        ["star", n] => Ok(generators::star_graph(int(n, "node count")? as usize)),
+        ["ba", n, m, rest @ ..] => {
+            let symmetric = match rest {
+                [] => false,
+                ["sym"] => true,
+                _ => return Err(bad(format!("malformed ba tag `{tag}`"))),
+            };
+            let config = generators::BarabasiAlbertConfig {
+                num_nodes: int(n, "node count")? as usize,
+                edges_per_node: int(m, "edges per node")? as usize,
+                symmetric,
+            };
+            Ok(generators::barabasi_albert(&config, seed))
+        }
+        _ => Err(bad(format!("unknown generator tag `{tag}`"))),
+    }
+}
+
+/// Loads and validates a cached artifact against `spec`: the embedded
+/// canonical string must match, and every view the spec requires must be
+/// present. Any failure is an error the caller downgrades to a miss.
+fn load_artifact(path: &Path, spec: &PrepareSpec, canonical: &str) -> Result<PreparedGraph> {
+    let sections = io::read_container(fs::File::open(path)?)?;
+    let stale = |what: &str| GraphError::InvalidFormat(format!("artifact {what}"));
+
+    let echoed =
+        find_section(&sections, SECTION_SPEC).ok_or_else(|| stale("has no spec section"))?;
+    if echoed.payload != canonical.as_bytes() {
+        return Err(stale("spec echo mismatch (stale or hash collision)"));
+    }
+    let csr = find_section(&sections, SECTION_CSR).ok_or_else(|| stale("has no CSR section"))?;
+    let graph = io::decode_csr(&csr.payload)?;
+
+    let rev = if spec.transpose {
+        let s = find_section(&sections, SECTION_TRANSPOSE)
+            .ok_or_else(|| stale("lacks required transpose section"))?;
+        Some(io::decode_csr(&s.payload)?)
+    } else {
+        None
+    };
+    let overlay = if spec.virtual_k.is_some() {
+        let s = find_section(&sections, SECTION_OVERLAY)
+            .ok_or_else(|| stale("lacks required overlay section"))?;
+        let vg = VirtualGraph::from_section_bytes(&s.payload).map_err(GraphError::InvalidFormat)?;
+        if vg.num_physical_nodes() != graph.num_nodes() {
+            return Err(stale("overlay does not match CSR"));
+        }
+        Some(vg)
+    } else {
+        None
+    };
+    let rev_overlay = match (&rev, spec.virtual_k) {
+        (Some(rev), Some(_)) => {
+            let s = find_section(&sections, SECTION_REV_OVERLAY)
+                .ok_or_else(|| stale("lacks required reverse-overlay section"))?;
+            let vg =
+                VirtualGraph::from_section_bytes(&s.payload).map_err(GraphError::InvalidFormat)?;
+            if vg.num_physical_nodes() != rev.num_nodes() {
+                return Err(stale("reverse overlay does not match transpose"));
+            }
+            Some(vg)
+        }
+        _ => None,
+    };
+    let transformed = if spec.transform.is_some() {
+        let s = find_section(&sections, SECTION_TRANSFORM)
+            .ok_or_else(|| stale("lacks required transform section"))?;
+        Some(TransformedGraph::from_section_bytes(&s.payload).map_err(GraphError::InvalidFormat)?)
+    } else {
+        None
+    };
+
+    Ok(PreparedGraph {
+        graph,
+        transpose: rev,
+        overlay,
+        rev_overlay,
+        transformed,
+        // Placeholder; the caller installs the real report.
+        report: PrepareReport {
+            cache: CacheStatus::Hit,
+            key: String::new(),
+            artifact: None,
+            transforms_built: 0,
+            transposes_built: 0,
+            overlays_built: 0,
+        },
+    })
+}
+
+/// Writes the artifact atomically (temp file + rename) so a concurrent
+/// reader never observes a partial container.
+fn write_artifact(path: &Path, prepared: &PreparedGraph, canonical: &str) -> Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut sections = vec![
+        Section::new(SECTION_SPEC, canonical.as_bytes().to_vec()),
+        Section::new(SECTION_CSR, io::encode_csr(&prepared.graph)),
+    ];
+    if let Some(rev) = &prepared.transpose {
+        sections.push(Section::new(SECTION_TRANSPOSE, io::encode_csr(rev)));
+    }
+    if let Some(vg) = &prepared.overlay {
+        sections.push(Section::new(SECTION_OVERLAY, vg.to_section_bytes()));
+    }
+    if let Some(vg) = &prepared.rev_overlay {
+        sections.push(Section::new(SECTION_REV_OVERLAY, vg.to_section_bytes()));
+    }
+    if let Some(t) = &prepared.transformed {
+        sections.push(Section::new(SECTION_TRANSFORM, t.to_section_bytes()));
+    }
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    io::write_container(&sections, fs::File::create(&tmp)?)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tigr_store_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn full_spec() -> PrepareSpec {
+        PrepareSpec::generated("rmat:8:8", 42)
+            .with_uniform_weights(1, 64, 7)
+            .with_virtual(8, true)
+            .with_transpose(true)
+    }
+
+    #[test]
+    fn disabled_store_builds_everything() {
+        let store = GraphStore::disabled();
+        let p = store.prepare(&full_spec()).unwrap();
+        assert_eq!(p.report().cache, CacheStatus::Disabled);
+        assert_eq!(p.report().transposes_built, 1);
+        assert_eq!(p.report().overlays_built, 2);
+        assert!(p.transpose().is_some());
+        assert!(p.overlay().unwrap().is_coalesced());
+        assert!(p.rev_overlay().is_some());
+        p.overlay().unwrap().validate_against(p.graph()).unwrap();
+        p.rev_overlay()
+            .unwrap()
+            .validate_against(p.transpose().unwrap())
+            .unwrap();
+    }
+
+    #[test]
+    fn miss_then_hit_with_zero_work() {
+        let dir = temp_dir("hit");
+        let store = GraphStore::new(Some(dir.clone()));
+        let spec = full_spec();
+
+        let first = store.prepare(&spec).unwrap();
+        assert_eq!(first.report().cache, CacheStatus::Miss);
+        assert!(first.report().work_items() > 0);
+        assert!(first.report().artifact.as_ref().unwrap().exists());
+
+        let second = store.prepare(&spec).unwrap();
+        assert_eq!(second.report().cache, CacheStatus::Hit);
+        assert_eq!(second.report().work_items(), 0);
+        assert_eq!(second.graph(), first.graph());
+        assert_eq!(second.transpose(), first.transpose());
+        assert_eq!(second.overlay(), first.overlay());
+        assert_eq!(second.rev_overlay(), first.rev_overlay());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spec_mutation_changes_key() {
+        let dir = temp_dir("mutate");
+        let store = GraphStore::new(Some(dir.clone()));
+        let spec = full_spec();
+        let base = store.prepare(&spec).unwrap();
+
+        for mutated in [
+            PrepareSpec {
+                virtual_k: Some(9),
+                ..spec.clone()
+            },
+            PrepareSpec {
+                coalesced: false,
+                ..spec.clone()
+            },
+            PrepareSpec {
+                transpose: false,
+                ..spec.clone()
+            },
+            spec.clone()
+                .with_transform(TransformKind::Udt, Some(4), DumbWeight::Zero),
+            PrepareSpec {
+                source: GraphSource::Generated {
+                    tag: "rmat:8:8".into(),
+                    seed: 43,
+                },
+                ..spec.clone()
+            },
+        ] {
+            let p = store.prepare(&mutated).unwrap();
+            assert_eq!(p.report().cache, CacheStatus::Miss, "{mutated:?}");
+            assert_ne!(p.report().key, base.report().key, "{mutated:?}");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn artifacts_are_byte_identical_across_writes() {
+        let dir_a = temp_dir("det_a");
+        let dir_b = temp_dir("det_b");
+        let spec = full_spec().with_transform(TransformKind::Udt, None, DumbWeight::Zero);
+        let a = GraphStore::new(Some(dir_a.clone())).prepare(&spec).unwrap();
+        let b = GraphStore::new(Some(dir_b.clone())).prepare(&spec).unwrap();
+        let bytes_a = fs::read(a.report().artifact.as_ref().unwrap()).unwrap();
+        let bytes_b = fs::read(b.report().artifact.as_ref().unwrap()).unwrap();
+        assert_eq!(bytes_a, bytes_b);
+        assert!(!bytes_a.is_empty());
+        fs::remove_dir_all(&dir_a).ok();
+        fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn corrupt_artifact_is_rebuilt() {
+        let dir = temp_dir("corrupt");
+        let store = GraphStore::new(Some(dir.clone()));
+        let spec = full_spec();
+        let first = store.prepare(&spec).unwrap();
+        let path = first.report().artifact.clone().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let second = store.prepare(&spec).unwrap();
+        assert_eq!(second.report().cache, CacheStatus::Miss);
+        assert_eq!(second.graph(), first.graph());
+        // The rebuild restored a valid artifact.
+        let third = store.prepare(&spec).unwrap();
+        assert_eq!(third.report().cache, CacheStatus::Hit);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_source_key_tracks_content() {
+        let dir = temp_dir("file");
+        let input = dir.join("g.el");
+        fs::write(&input, "0 1\n1 2\n").unwrap();
+        let store = GraphStore::new(Some(dir.clone()));
+        let spec = PrepareSpec::from_file(&input).with_transpose(true);
+
+        let first = store.prepare(&spec).unwrap();
+        assert_eq!(first.report().cache, CacheStatus::Miss);
+        assert_eq!(
+            store.prepare(&spec).unwrap().report().cache,
+            CacheStatus::Hit
+        );
+
+        // Editing the file invalidates the key.
+        fs::write(&input, "0 1\n1 2\n2 0\n").unwrap();
+        let third = store.prepare(&spec).unwrap();
+        assert_eq!(third.report().cache, CacheStatus::Miss);
+        assert_ne!(third.report().key, first.report().key);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transform_spec_round_trips_through_cache() {
+        let dir = temp_dir("transform");
+        let store = GraphStore::new(Some(dir.clone()));
+        let spec = PrepareSpec::generated("star:40", 0).with_transform(
+            TransformKind::Udt,
+            Some(4),
+            DumbWeight::Zero,
+        );
+        let first = store.prepare(&spec).unwrap();
+        assert_eq!(first.report().transforms_built, 1);
+        let second = store.prepare(&spec).unwrap();
+        assert_eq!(second.report().cache, CacheStatus::Hit);
+        let (a, b) = (first.transformed().unwrap(), second.transformed().unwrap());
+        assert_eq!(a.graph(), b.graph());
+        assert_eq!(a.topology(), b.topology());
+        assert_eq!(a.num_new_edges(), b.num_new_edges());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generator_tags_resolve() {
+        assert!(generate_from_tag("rmat:6:4", 1).is_ok());
+        assert!(generate_from_tag("star:10", 0).is_ok());
+        assert!(generate_from_tag("ba:50:3", 2).is_ok());
+        assert!(generate_from_tag("ba:50:3:sym", 2).is_ok());
+        assert!(generate_from_tag("nope:1", 0).is_err());
+        assert!(generate_from_tag("rmat:x:4", 0).is_err());
+        assert!(generate_from_tag("dataset:no-such-dataset", 0).is_err());
+    }
+
+    #[test]
+    fn dataset_tags_resolve() {
+        let name = tigr_graph::datasets::PAPER_DATASETS[0].name;
+        assert!(generate_from_tag(&format!("dataset:{name}:2048"), 1).is_ok());
+        let g = generate_from_tag(&format!("dataset:{name}:2048:weighted"), 1).unwrap();
+        assert!(g.is_weighted());
+    }
+}

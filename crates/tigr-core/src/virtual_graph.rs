@@ -246,6 +246,92 @@ impl VirtualGraph {
         transformed as f64 / original as f64
     }
 
+    /// Encodes the overlay as a `TIGRCSR2` section payload (see
+    /// `tigr_graph::io::binary`): `k`, coalesced flag, physical counts,
+    /// then the virtual node array and the family index, all
+    /// little-endian.
+    pub fn to_section_bytes(&self) -> Vec<u8> {
+        use bytes::BufMut;
+        let mut buf = Vec::with_capacity(32 + self.vnodes.len() * 16 + self.first_vnode.len() * 4);
+        buf.put_u32_le(self.k);
+        buf.put_u32_le(self.coalesced as u32);
+        buf.put_u64_le(self.physical_nodes as u64);
+        buf.put_u64_le(self.physical_edges as u64);
+        buf.put_u64_le(self.vnodes.len() as u64);
+        for vn in &self.vnodes {
+            buf.put_u32_le(vn.physical.raw());
+            buf.put_u32_le(vn.first_edge);
+            buf.put_u32_le(vn.stride);
+            buf.put_u32_le(vn.count);
+        }
+        for &f in &self.first_vnode {
+            buf.put_u32_le(f);
+        }
+        buf
+    }
+
+    /// Decodes an overlay from a section payload produced by
+    /// [`VirtualGraph::to_section_bytes`], validating sizes and the
+    /// family-index invariants before construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violation on malformed input.
+    pub fn from_section_bytes(payload: &[u8]) -> Result<Self, String> {
+        use bytes::Buf;
+        let mut cur = payload;
+        if cur.len() < 32 {
+            return Err("truncated overlay section".into());
+        }
+        let k = cur.get_u32_le();
+        let coalesced = match cur.get_u32_le() {
+            0 => false,
+            1 => true,
+            other => return Err(format!("bad coalesced flag {other}")),
+        };
+        let physical_nodes = cur.get_u64_le() as usize;
+        let physical_edges = cur.get_u64_le() as usize;
+        let count = cur.get_u64_le() as usize;
+        let need = count as u128 * 16 + (physical_nodes as u128 + 1) * 4;
+        if cur.remaining() as u128 != need {
+            return Err(format!(
+                "overlay payload size mismatch: need {need} bytes, have {}",
+                cur.remaining()
+            ));
+        }
+        if k == 0 {
+            return Err("overlay has K = 0".into());
+        }
+        let mut vnodes = Vec::with_capacity(count);
+        for _ in 0..count {
+            vnodes.push(VirtualNode {
+                physical: NodeId::new(cur.get_u32_le()),
+                first_edge: cur.get_u32_le(),
+                stride: cur.get_u32_le(),
+                count: cur.get_u32_le(),
+            });
+        }
+        let mut first_vnode = Vec::with_capacity(physical_nodes + 1);
+        for _ in 0..=physical_nodes {
+            first_vnode.push(cur.get_u32_le());
+        }
+        if first_vnode.first() != Some(&0)
+            || first_vnode.last() != Some(&(count as u32))
+            || first_vnode.windows(2).any(|w| w[0] > w[1])
+            || vnodes.iter().any(|v| v.physical.index() >= physical_nodes)
+        {
+            return Err("inconsistent overlay family index".into());
+        }
+        Ok(VirtualGraph {
+            vnodes,
+            first_vnode,
+            physical_nodes,
+            physical_edges,
+            k,
+            coalesced,
+        })
+    }
+
     /// Checks the overlay against its physical graph: every physical edge
     /// must be covered by exactly one virtual node of its source's family
     /// (the disjointness Theorem 3 relies on).
@@ -604,6 +690,33 @@ mod tests {
         let leaf: Vec<u32> = vg.vnode_range(NodeId::new(2)).map(|i| i as u32).collect();
         assert_eq!(expanded, [hub, leaf].concat());
         assert!(vg.expand_active(&[]).is_empty());
+    }
+
+    #[test]
+    fn section_bytes_round_trip() {
+        let g = rmat(&RmatConfig::graph500(9, 8), 7);
+        for vg in [VirtualGraph::new(&g, 6), VirtualGraph::coalesced(&g, 6)] {
+            let bytes = vg.to_section_bytes();
+            let back = VirtualGraph::from_section_bytes(&bytes).unwrap();
+            assert_eq!(back, vg);
+            back.validate_against(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn section_bytes_reject_corruption() {
+        let g = star_graph(20);
+        let vg = VirtualGraph::new(&g, 4);
+        let bytes = vg.to_section_bytes();
+        assert!(VirtualGraph::from_section_bytes(&bytes[..bytes.len() - 2]).is_err());
+        let mut bad_flag = bytes.clone();
+        bad_flag[4] = 9;
+        assert!(VirtualGraph::from_section_bytes(&bad_flag).is_err());
+        let mut bad_index = bytes.clone();
+        // First first_vnode entry must be zero.
+        let fv_start = bytes.len() - (vg.num_physical_nodes() + 1) * 4;
+        bad_index[fv_start] = 3;
+        assert!(VirtualGraph::from_section_bytes(&bad_index).is_err());
     }
 
     #[test]

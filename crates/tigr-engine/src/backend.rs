@@ -62,11 +62,13 @@ pub(crate) struct PullSide<'a> {
 }
 
 /// Runs `plan` on the simulator, dispatching on direction. Pull runs
-/// over an internally built transpose view mirroring the forward
-/// representation (Theorem 3 overlays included); auto interleaves both.
+/// over a transpose view mirroring the forward representation (Theorem 3
+/// overlays included) — supplied via `pull_side` when the caller holds
+/// prepared views, built internally otherwise; auto interleaves both.
 pub(crate) fn run_sim_plan(
     sim: &GpuSimulator,
     rep: &Representation<'_>,
+    pull_side: Option<PullSide<'_>>,
     prog: MonotoneProgram,
     source: Option<NodeId>,
     plan: &ExecutionPlan,
@@ -83,17 +85,40 @@ pub(crate) fn run_sim_plan(
                 // message.
                 Representation::Physical(_) => run_monotone_pull(sim, rep, prog, source, &options),
                 Representation::Original(g) => {
-                    let rev = transpose(g);
-                    run_monotone_pull(sim, &Representation::Original(&rev), prog, source, &options)
+                    let rev_owned;
+                    let rev = match &pull_side {
+                        Some(ps) => ps.reverse,
+                        None => {
+                            rev_owned = transpose(g);
+                            &rev_owned
+                        }
+                    };
+                    run_monotone_pull(sim, &Representation::Original(rev), prog, source, &options)
                 }
                 Representation::Virtual { graph, overlay } => {
-                    let rev = transpose(graph);
-                    let rov = transpose_overlay(&rev, overlay);
+                    let rev_owned;
+                    let rev = match &pull_side {
+                        Some(ps) => ps.reverse,
+                        None => {
+                            rev_owned = transpose(graph);
+                            &rev_owned
+                        }
+                    };
+                    let rov_owned;
+                    let rov = match &pull_side {
+                        Some(PullSide {
+                            overlay: Some(o), ..
+                        }) => *o,
+                        _ => {
+                            rov_owned = transpose_overlay(rev, overlay);
+                            &rov_owned
+                        }
+                    };
                     run_monotone_pull(
                         sim,
                         &Representation::Virtual {
-                            graph: &rev,
-                            overlay: &rov,
+                            graph: rev,
+                            overlay: rov,
                         },
                         prog,
                         source,
@@ -116,7 +141,7 @@ pub(crate) fn run_sim_plan(
                 }
             }
         }
-        Direction::Auto => run_monotone_auto(sim, rep, None, prog, source, plan),
+        Direction::Auto => run_monotone_auto(sim, rep, pull_side, prog, source, plan),
     }
 }
 
@@ -321,7 +346,7 @@ impl Backend for WarpSim {
         plan: &ExecutionPlan,
     ) -> Result<MonotoneOutput, EngineError> {
         plan.validate(rep, &prog)?;
-        Ok(run_sim_plan(&self.sim, rep, prog, source, plan))
+        Ok(run_sim_plan(&self.sim, rep, None, prog, source, plan))
     }
 }
 

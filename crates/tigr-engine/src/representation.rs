@@ -32,6 +32,22 @@ pub enum Representation<'a> {
 }
 
 impl<'a> Representation<'a> {
+    /// The natural representation of a [`tigr_core::PreparedGraph`]:
+    /// `Physical` when a split transform was prepared, `Virtual` when an
+    /// overlay was, `Original` otherwise.
+    pub fn from_prepared(p: &'a tigr_core::PreparedGraph) -> Self {
+        if let Some(t) = p.transformed() {
+            Representation::Physical(t)
+        } else if let Some(ov) = p.overlay() {
+            Representation::Virtual {
+                graph: p.graph(),
+                overlay: ov,
+            }
+        } else {
+            Representation::Original(p.graph())
+        }
+    }
+
     /// The CSR whose edges the kernels walk.
     pub fn graph(&self) -> &'a Csr {
         match self {

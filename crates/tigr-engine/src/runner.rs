@@ -9,8 +9,10 @@ use tigr_sim::{DeviceMemory, GpuConfig, GpuSimulator, OutOfMemory};
 
 use tigr_graph::Csr;
 
+use tigr_core::PreparedGraph;
+
 use crate::algorithms::{bc, pr};
-use crate::backend::{run_sim_plan, Backend, CpuPool, Sequential};
+use crate::backend::{run_sim_plan, Backend, CpuPool, PullSide, Sequential};
 use crate::cpu_parallel::{
     run_cpu_pr, run_cpu_with, CpuOptions, CpuPrOutput, CpuRunOutput, CpuSchedule,
 };
@@ -215,10 +217,97 @@ impl Engine {
         match self.plan.backend {
             // The engine owns the simulator, so it dispatches directly
             // rather than constructing a throwaway WarpSim.
-            BackendKind::WarpSim => Ok(run_sim_plan(&self.sim, rep, prog, source, &self.plan)),
+            BackendKind::WarpSim => {
+                Ok(run_sim_plan(&self.sim, rep, None, prog, source, &self.plan))
+            }
             BackendKind::CpuPool => CpuPool.run_monotone(rep, prog, source, &self.plan),
             BackendKind::Sequential => Sequential.run_monotone(rep, prog, source, &self.plan),
         }
+    }
+
+    /// Runs a monotone program over a [`PreparedGraph`]: the
+    /// representation is derived from the prepared views
+    /// ([`Representation::from_prepared`]), and — on the simulator
+    /// backend — a prepared transpose (plus mirrored overlay) feeds the
+    /// pull/auto drivers directly, so a cache-warm run performs no
+    /// transpose or overlay construction at all.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run_program`].
+    pub fn run_prepared(
+        &self,
+        prepared: &PreparedGraph,
+        prog: MonotoneProgram,
+        source: Option<NodeId>,
+    ) -> Result<MonotoneOutput, EngineError> {
+        let rep = Representation::from_prepared(prepared);
+        self.check_footprint(&rep)?;
+        self.plan.validate(&rep, &prog)?;
+        match self.plan.backend {
+            BackendKind::WarpSim => {
+                let pull_side = prepared.transpose().map(|reverse| PullSide {
+                    reverse,
+                    overlay: prepared.rev_overlay(),
+                });
+                Ok(run_sim_plan(
+                    &self.sim, &rep, pull_side, prog, source, &self.plan,
+                ))
+            }
+            BackendKind::CpuPool => CpuPool.run_monotone(&rep, prog, source, &self.plan),
+            BackendKind::Sequential => Sequential.run_monotone(&rep, prog, source, &self.plan),
+        }
+    }
+
+    /// PageRank over a [`PreparedGraph`]. Pull mode gathers along
+    /// in-edges: the prepared transpose (and mirrored overlay) is used
+    /// when present, and built on the fly otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::OutOfMemory`] if the representation exceeds
+    /// the device budget.
+    pub fn pagerank_prepared(
+        &self,
+        prepared: &PreparedGraph,
+        options: &pr::PrOptions,
+    ) -> Result<pr::PrOutput, EngineError> {
+        let out_degrees = pr::out_degrees(prepared.graph());
+        if options.mode != pr::PrMode::Pull {
+            return self.pagerank(
+                &Representation::from_prepared(prepared),
+                &out_degrees,
+                options,
+            );
+        }
+        let rev_owned;
+        let rev = match prepared.transpose() {
+            Some(rev) => rev,
+            None => {
+                rev_owned = tigr_graph::reverse::transpose(prepared.graph());
+                &rev_owned
+            }
+        };
+        let rov_owned;
+        let rep = match (prepared.overlay(), prepared.rev_overlay()) {
+            (Some(_), Some(rov)) => Representation::Virtual {
+                graph: rev,
+                overlay: rov,
+            },
+            (Some(ov), None) => {
+                rov_owned = if ov.is_coalesced() {
+                    tigr_core::VirtualGraph::coalesced(rev, ov.k())
+                } else {
+                    tigr_core::VirtualGraph::new(rev, ov.k())
+                };
+                Representation::Virtual {
+                    graph: rev,
+                    overlay: &rov_owned,
+                }
+            }
+            _ => Representation::Original(rev),
+        };
+        self.pagerank(&rep, &out_degrees, options)
     }
 
     /// Runs an arbitrary monotone program (alias of
@@ -465,6 +554,93 @@ mod tests {
             EngineError::InvalidPlan(PlanError::PullOverPhysical)
         ));
         assert!(err.to_string().contains("invalid plan"));
+    }
+
+    #[test]
+    fn run_prepared_matches_adhoc_plumbing_every_direction() {
+        let store = tigr_core::GraphStore::disabled();
+        let spec = tigr_core::PrepareSpec::generated("rmat:8:6", 3)
+            .with_virtual(8, true)
+            .with_transpose(true);
+        let prepared = store.prepare(&spec).unwrap();
+        assert!(prepared.transpose().is_some());
+        assert!(prepared.rev_overlay().is_some());
+
+        let g = prepared.graph().clone();
+        let ov = VirtualGraph::coalesced(&g, 8);
+        let adhoc_rep = Representation::Virtual {
+            graph: &g,
+            overlay: &ov,
+        };
+        for direction in crate::plan::Direction::ALL {
+            let engine = Engine::new(GpuConfig::tiny()).with_direction(direction);
+            let prep = engine
+                .run_prepared(&prepared, MonotoneProgram::BFS, Some(NodeId::new(0)))
+                .unwrap();
+            let adhoc = engine.bfs(&adhoc_rep, NodeId::new(0)).unwrap();
+            assert_eq!(prep.values, adhoc.values, "{}", direction.label());
+        }
+    }
+
+    #[test]
+    fn run_prepared_agrees_across_backends() {
+        let store = tigr_core::GraphStore::disabled();
+        let spec = tigr_core::PrepareSpec::generated("rmat:8:6", 5)
+            .with_uniform_weights(1, 9, 2)
+            .with_transpose(true);
+        let prepared = store.prepare(&spec).unwrap();
+        let reference = Engine::new(GpuConfig::tiny())
+            .run_prepared(&prepared, MonotoneProgram::SSSP, Some(NodeId::new(0)))
+            .unwrap();
+        for backend in [BackendKind::CpuPool, BackendKind::Sequential] {
+            let out = Engine::new(GpuConfig::tiny())
+                .with_backend(backend)
+                .run_prepared(&prepared, MonotoneProgram::SSSP, Some(NodeId::new(0)))
+                .unwrap();
+            assert_eq!(out.values, reference.values, "{}", backend.label());
+        }
+    }
+
+    #[test]
+    fn prepared_transform_runs_as_physical() {
+        let store = tigr_core::GraphStore::disabled();
+        let spec = tigr_core::PrepareSpec::generated("star:64", 0).with_transform(
+            tigr_core::TransformKind::Udt,
+            Some(8),
+            tigr_core::DumbWeight::Zero,
+        );
+        let prepared = store.prepare(&spec).unwrap();
+        let rep = Representation::from_prepared(&prepared);
+        assert_eq!(rep.label(), "physical");
+        let engine = Engine::new(GpuConfig::tiny());
+        let out = engine
+            .run_prepared(&prepared, MonotoneProgram::BFS, Some(NodeId::new(0)))
+            .unwrap();
+        let projected = prepared.transformed().unwrap().project_values(&out.values);
+        // Every leaf of the star is reachable despite the split.
+        assert!(projected[1..].iter().all(|&v| v != u32::MAX));
+    }
+
+    #[test]
+    fn pagerank_prepared_pull_uses_prepared_transpose() {
+        let store = tigr_core::GraphStore::disabled();
+        let spec = tigr_core::PrepareSpec::generated("rmat:8:6", 3)
+            .with_virtual(8, false)
+            .with_transpose(true);
+        let prepared = store.prepare(&spec).unwrap();
+        let options = pr::PrOptions {
+            mode: pr::PrMode::Pull,
+            ..pr::PrOptions::default()
+        };
+        let engine = Engine::new(GpuConfig::tiny());
+        let with_views = engine.pagerank_prepared(&prepared, &options).unwrap();
+
+        // Same spec without prepared pull views: built on the fly.
+        let bare = store
+            .prepare(&tigr_core::PrepareSpec::generated("rmat:8:6", 3).with_virtual(8, false))
+            .unwrap();
+        let without_views = engine.pagerank_prepared(&bare, &options).unwrap();
+        assert_eq!(with_views.ranks, without_views.ranks);
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub enum GraphError {
     },
     /// A binary container had a malformed or unsupported header.
     InvalidFormat(String),
+    /// A binary container section failed checksum validation.
+    Checksum {
+        /// Section id whose payload hash did not match the table entry.
+        section: u32,
+    },
     /// The operation requires a non-empty graph.
     EmptyGraph,
 }
@@ -44,6 +49,9 @@ impl fmt::Display for GraphError {
                 )
             }
             GraphError::InvalidFormat(msg) => write!(f, "invalid format: {msg}"),
+            GraphError::Checksum { section } => {
+                write!(f, "checksum mismatch in container section {section}")
+            }
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
         }
     }
@@ -81,6 +89,7 @@ mod tests {
                 num_nodes: 5,
             },
             GraphError::InvalidFormat("bad magic".into()),
+            GraphError::Checksum { section: 1 },
             GraphError::EmptyGraph,
         ];
         for e in errs {

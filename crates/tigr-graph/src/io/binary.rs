@@ -1,6 +1,7 @@
-//! Binary CSR container (`TIGRCSR1`).
+//! Binary CSR containers: the legacy single-graph `TIGRCSR1` layout and
+//! the versioned, sectioned `TIGRCSR2` artifact container.
 //!
-//! Layout (all integers little-endian):
+//! ## `TIGRCSR1` (legacy, read-only compatibility)
 //!
 //! ```text
 //! [0..8)   magic  b"TIGRCSR1"
@@ -12,8 +13,39 @@
 //! then     num_edges x u32        weights (iff weighted)
 //! ```
 //!
-//! Used to cache generated or transformed graphs between benchmark runs;
-//! loading is an order of magnitude faster than re-parsing text.
+//! ## `TIGRCSR2` (current)
+//!
+//! A generic container of typed sections, designed for the prepared-graph
+//! artifact cache: one file can carry a CSR plus its derived views
+//! (transpose, virtual overlay, physical transform map) so repeated runs
+//! skip re-deriving them.
+//!
+//! ```text
+//! [0..8)    magic  b"TIGRCSR2"
+//! [8..12)   format version (u32, = 2)
+//! [12..16)  section count  (u32)
+//! then per section, 32 bytes:
+//!   [+0..4)   section id (u32)
+//!   [+4..8)   reserved (u32, 0)
+//!   [+8..16)  payload offset from file start (u64, 8-byte aligned)
+//!   [+16..24) payload length in bytes (u64)
+//!   [+24..32) FNV-1a-64 checksum of the payload (u64)
+//! then the payloads, each starting at its 8-byte-aligned offset
+//! (zero padding in the gaps), in table order.
+//! ```
+//!
+//! Payload offsets are 8-byte aligned so a future loader can map the file
+//! and reinterpret integer arrays in place (zero-copy load). Checksums
+//! are validated on every read; corruption surfaces as a typed
+//! [`GraphError::Checksum`] rather than a wrong graph.
+//!
+//! Section ids are allocated here ([`SECTION_CSR`] and friends) so every
+//! crate serializing into the container agrees on the namespace; payload
+//! encodings for overlay/transform sections live next to their types in
+//! `tigr-core`.
+//!
+//! Writing is deterministic: the same sections always produce
+//! byte-identical files, which the artifact cache relies on.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -26,20 +58,309 @@ use crate::edge::NodeId;
 use crate::error::GraphError;
 use crate::Result;
 
-const MAGIC: &[u8; 8] = b"TIGRCSR1";
+const MAGIC_V1: &[u8; 8] = b"TIGRCSR1";
+const MAGIC_V2: &[u8; 8] = b"TIGRCSR2";
 const FLAG_WEIGHTED: u8 = 1;
+const FORMAT_VERSION: u32 = 2;
+const SECTION_ENTRY_LEN: usize = 32;
+const HEADER_LEN: usize = 16;
+/// Upper bound on the section count a reader will accept; a corrupted
+/// header cannot make us allocate unboundedly.
+const MAX_SECTIONS: u32 = 1024;
 
-/// Serializes `g` into the `TIGRCSR1` binary format.
+/// Section id: the primary CSR (always present).
+pub const SECTION_CSR: u32 = 1;
+/// Section id: the transpose CSR (pull/auto direction support).
+pub const SECTION_TRANSPOSE: u32 = 2;
+/// Section id: the forward virtual-node overlay (`Tigr-V`/`V+`).
+pub const SECTION_OVERLAY: u32 = 3;
+/// Section id: the overlay mirrored onto the transpose.
+pub const SECTION_REV_OVERLAY: u32 = 4;
+/// Section id: a physical split transform (embedded CSR + UDT split map).
+pub const SECTION_TRANSFORM: u32 = 5;
+/// Section id: the canonical prepare-spec echo used as a cache-key
+/// collision guard.
+pub const SECTION_SPEC: u32 = 6;
+
+/// One typed section of a `TIGRCSR2` container.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Section {
+    /// Section type tag (`SECTION_*`).
+    pub id: u32,
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Section {
+    /// Convenience constructor.
+    pub fn new(id: u32, payload: Vec<u8>) -> Self {
+        Section { id, payload }
+    }
+}
+
+/// FNV-1a 64-bit hash — the per-section checksum and the cache-key hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn align8(x: usize) -> usize {
+    x.div_ceil(8) * 8
+}
+
+/// Writes `sections` as a `TIGRCSR2` container.
 ///
-/// A mut reference to a writer can be passed (`&mut w`).
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failure and
+/// [`GraphError::InvalidFormat`] when more than [`MAX_SECTIONS`] sections
+/// are supplied.
+pub fn write_container<W: Write>(sections: &[Section], writer: W) -> Result<()> {
+    if sections.len() as u32 > MAX_SECTIONS {
+        return Err(GraphError::InvalidFormat(format!(
+            "too many sections: {} > {MAX_SECTIONS}",
+            sections.len()
+        )));
+    }
+    let mut out = BufWriter::new(writer);
+    let table_end = HEADER_LEN + SECTION_ENTRY_LEN * sections.len();
+
+    let mut header = Vec::with_capacity(table_end);
+    header.put_slice(MAGIC_V2);
+    header.put_u32_le(FORMAT_VERSION);
+    header.put_u32_le(sections.len() as u32);
+    let mut offset = align8(table_end);
+    for s in sections {
+        header.put_u32_le(s.id);
+        header.put_u32_le(0);
+        header.put_u64_le(offset as u64);
+        header.put_u64_le(s.payload.len() as u64);
+        header.put_u64_le(fnv1a64(&s.payload));
+        offset = align8(offset + s.payload.len());
+    }
+    out.write_all(&header)?;
+
+    let mut cursor = table_end;
+    for s in sections {
+        let start = align8(cursor);
+        out.write_all(&vec![0u8; start - cursor])?;
+        out.write_all(&s.payload)?;
+        cursor = start + s.payload.len();
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a `TIGRCSR2` container, validating the header, the section
+/// table, and every payload checksum.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidFormat`] for bad magic/version/table
+/// geometry, [`GraphError::Checksum`] for a payload whose checksum does
+/// not match, and [`GraphError::Io`] on read failure.
+pub fn read_container<R: Read>(reader: R) -> Result<Vec<Section>> {
+    let mut input = BufReader::new(reader);
+    let mut bytes = Vec::new();
+    input.read_to_end(&mut bytes)?;
+    parse_container(&bytes)
+}
+
+/// [`read_container`] over an in-memory byte slice.
+///
+/// # Errors
+///
+/// See [`read_container`].
+pub fn parse_container(bytes: &[u8]) -> Result<Vec<Section>> {
+    if bytes.len() < HEADER_LEN {
+        return Err(GraphError::InvalidFormat(
+            "truncated container header".into(),
+        ));
+    }
+    let mut cur = bytes;
+    let mut magic = [0u8; 8];
+    cur.copy_to_slice(&mut magic);
+    if &magic != MAGIC_V2 {
+        return Err(GraphError::InvalidFormat(format!(
+            "bad magic {magic:?}, expected TIGRCSR2"
+        )));
+    }
+    let version = cur.get_u32_le();
+    if version != FORMAT_VERSION {
+        return Err(GraphError::InvalidFormat(format!(
+            "unsupported container version {version} (expected {FORMAT_VERSION})"
+        )));
+    }
+    let count = cur.get_u32_le();
+    if count > MAX_SECTIONS {
+        return Err(GraphError::InvalidFormat(format!(
+            "section count {count} exceeds limit {MAX_SECTIONS}"
+        )));
+    }
+    let table_end = HEADER_LEN + SECTION_ENTRY_LEN * count as usize;
+    if bytes.len() < table_end {
+        return Err(GraphError::InvalidFormat("truncated section table".into()));
+    }
+
+    let mut sections = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let id = cur.get_u32_le();
+        let _reserved = cur.get_u32_le();
+        let offset = cur.get_u64_le();
+        let len = cur.get_u64_le();
+        let checksum = cur.get_u64_le();
+        if !offset.is_multiple_of(8) {
+            return Err(GraphError::InvalidFormat(format!(
+                "section {i} payload offset {offset} is not 8-byte aligned"
+            )));
+        }
+        // Wide arithmetic: a corrupted table must fail the bounds check,
+        // not overflow past it.
+        let end = offset as u128 + len as u128;
+        if (offset as usize) < table_end || end > bytes.len() as u128 {
+            return Err(GraphError::InvalidFormat(format!(
+                "section {i} range [{offset}, {end}) escapes container of {} bytes",
+                bytes.len()
+            )));
+        }
+        let payload = bytes[offset as usize..(offset + len) as usize].to_vec();
+        if fnv1a64(&payload) != checksum {
+            return Err(GraphError::Checksum { section: id });
+        }
+        sections.push(Section { id, payload });
+    }
+    Ok(sections)
+}
+
+/// Returns the first section with the given id, if present.
+pub fn find_section(sections: &[Section], id: u32) -> Option<&Section> {
+    sections.iter().find(|s| s.id == id)
+}
+
+/// Encodes `g` as a CSR section payload (flags, counts, `row_ptr`,
+/// `col_idx`, optional weights — all little-endian).
+pub fn encode_csr(g: &Csr) -> Vec<u8> {
+    let n = g.num_nodes();
+    let m = g.num_edges();
+    let mut buf = Vec::with_capacity(24 + (n + 1) * 8 + m * 8);
+    buf.put_u64_le(if g.is_weighted() {
+        FLAG_WEIGHTED as u64
+    } else {
+        0
+    });
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(m as u64);
+    for &p in g.row_ptr() {
+        buf.put_u64_le(p as u64);
+    }
+    for &c in g.col_idx() {
+        buf.put_u32_le(c.raw());
+    }
+    if let Some(w) = g.weights() {
+        for &x in w {
+            buf.put_u32_le(x);
+        }
+    }
+    buf
+}
+
+/// Decodes a CSR section payload, fully validating it before
+/// construction: the payload length must match the declared counts
+/// exactly, `row_ptr` must be monotone with `row_ptr[0] == 0` and
+/// `row_ptr[n] == num_edges`, and every `col_idx` entry must be in
+/// range.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidFormat`] on any violation — untrusted
+/// input never panics or indexes out of bounds.
+pub fn decode_csr(payload: &[u8]) -> Result<Csr> {
+    let mut cur = payload;
+    if cur.len() < 24 {
+        return Err(GraphError::InvalidFormat("truncated CSR section".into()));
+    }
+    let flags = cur.get_u64_le();
+    let weighted = flags & FLAG_WEIGHTED as u64 != 0;
+    let n = cur.get_u64_le() as usize;
+    let m = cur.get_u64_le() as usize;
+    read_csr_arrays(cur, n, m, weighted, true)
+}
+
+/// Shared tail of the v1 and v2 CSR decoders: validates the byte budget
+/// against the declared counts (exactly for v2 payloads, at-least for
+/// the legacy stream), then the arrays themselves.
+fn read_csr_arrays(mut cur: &[u8], n: usize, m: usize, weighted: bool, exact: bool) -> Result<Csr> {
+    // Wide arithmetic: corrupted headers can carry absurd counts, and the
+    // size check must reject them rather than overflow.
+    let need = (n as u128 + 1) * 8 + (m as u128) * 4 + if weighted { m as u128 * 4 } else { 0 };
+    if (cur.remaining() as u128) < need || (exact && cur.remaining() as u128 != need) {
+        return Err(GraphError::InvalidFormat(format!(
+            "CSR payload size mismatch: need {need} bytes, have {}",
+            cur.remaining()
+        )));
+    }
+
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        row_ptr.push(cur.get_u64_le() as usize);
+    }
+    let mut col_idx = Vec::with_capacity(m);
+    for _ in 0..m {
+        col_idx.push(NodeId::new(cur.get_u32_le()));
+    }
+    let weights = if weighted {
+        let mut w = Vec::with_capacity(m);
+        for _ in 0..m {
+            w.push(cur.get_u32_le());
+        }
+        Some(w)
+    } else {
+        None
+    };
+
+    // Re-validate through explicit checks rather than the panicking
+    // constructor: untrusted input gets format errors.
+    if row_ptr.first() != Some(&0)
+        || row_ptr.last() != Some(&m)
+        || row_ptr.windows(2).any(|w| w[0] > w[1])
+        || col_idx.iter().any(|c| c.index() >= n.max(1))
+    {
+        return Err(GraphError::InvalidFormat(
+            "inconsistent CSR arrays in binary container".into(),
+        ));
+    }
+    if n == 0 && m > 0 {
+        return Err(GraphError::InvalidFormat(
+            "edges present in zero-node graph".into(),
+        ));
+    }
+    Ok(Csr::from_parts(row_ptr, col_idx, weights))
+}
+
+/// Serializes `g` into the current (`TIGRCSR2`) binary format as a
+/// single-CSR container.
 ///
 /// # Errors
 ///
 /// Returns [`GraphError::Io`] on write failure.
 pub fn write_binary<W: Write>(g: &Csr, writer: W) -> Result<()> {
+    write_container(&[Section::new(SECTION_CSR, encode_csr(g))], writer)
+}
+
+/// Serializes `g` into the legacy `TIGRCSR1` layout. Kept for
+/// compatibility fixtures; new files should use [`write_binary`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failure.
+pub fn write_binary_v1<W: Write>(g: &Csr, writer: W) -> Result<()> {
     let mut out = BufWriter::new(writer);
     let mut header = Vec::with_capacity(25);
-    header.put_slice(MAGIC);
+    header.put_slice(MAGIC_V1);
     header.put_u8(if g.is_weighted() { FLAG_WEIGHTED } else { 0 });
     header.put_u64_le(g.num_nodes() as u64);
     header.put_u64_le(g.num_edges() as u64);
@@ -73,82 +394,50 @@ fn flush_if_full<W: Write>(out: &mut BufWriter<W>, buf: &mut Vec<u8>) -> Result<
     Ok(())
 }
 
-/// Deserializes a graph from the `TIGRCSR1` binary format.
+/// Deserializes a graph from either binary format, auto-detecting the
+/// magic: legacy `TIGRCSR1` files keep loading (and upgrade to v2 the
+/// next time they are saved), `TIGRCSR2` containers yield their CSR
+/// section.
 ///
 /// # Errors
 ///
 /// Returns [`GraphError::InvalidFormat`] for bad magic, truncated
-/// payloads, or inconsistent arrays, and [`GraphError::Io`] on read
-/// failure.
+/// payloads, or inconsistent arrays, [`GraphError::Checksum`] for a
+/// corrupt v2 section, and [`GraphError::Io`] on read failure.
 pub fn read_binary<R: Read>(reader: R) -> Result<Csr> {
     let mut input = BufReader::new(reader);
     let mut bytes = Vec::new();
     input.read_to_end(&mut bytes)?;
-    let mut cur = bytes.as_slice();
+    if bytes.len() >= 8 && &bytes[..8] == MAGIC_V2 {
+        let sections = parse_container(&bytes)?;
+        let csr = find_section(&sections, SECTION_CSR)
+            .ok_or_else(|| GraphError::InvalidFormat("container has no CSR section".into()))?;
+        return decode_csr(&csr.payload);
+    }
+    read_binary_v1(&bytes)
+}
 
+/// The legacy `TIGRCSR1` reader over raw bytes.
+fn read_binary_v1(bytes: &[u8]) -> Result<Csr> {
+    let mut cur = bytes;
     if cur.len() < 25 {
         return Err(GraphError::InvalidFormat("truncated header".into()));
     }
     let mut magic = [0u8; 8];
     cur.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if &magic != MAGIC_V1 {
         return Err(GraphError::InvalidFormat(format!(
-            "bad magic {magic:?}, expected TIGRCSR1"
+            "bad magic {magic:?}, expected TIGRCSR1 or TIGRCSR2"
         )));
     }
     let flags = cur.get_u8();
     let weighted = flags & FLAG_WEIGHTED != 0;
     let n = cur.get_u64_le() as usize;
     let m = cur.get_u64_le() as usize;
-
-    // Wide arithmetic: corrupted headers can carry absurd counts, and the
-    // size check must reject them rather than overflow.
-    let need = (n as u128 + 1) * 8 + (m as u128) * 4 + if weighted { m as u128 * 4 } else { 0 };
-    if (cur.remaining() as u128) < need {
-        return Err(GraphError::InvalidFormat(format!(
-            "truncated payload: need {need} bytes, have {}",
-            cur.remaining()
-        )));
-    }
-
-    let mut row_ptr = Vec::with_capacity(n + 1);
-    for _ in 0..=n {
-        row_ptr.push(cur.get_u64_le() as usize);
-    }
-    let mut col_idx = Vec::with_capacity(m);
-    for _ in 0..m {
-        col_idx.push(NodeId::new(cur.get_u32_le()));
-    }
-    let weights = if weighted {
-        let mut w = Vec::with_capacity(m);
-        for _ in 0..m {
-            w.push(cur.get_u32_le());
-        }
-        Some(w)
-    } else {
-        None
-    };
-
-    // Re-validate through the checked constructor, but convert panics into
-    // format errors for untrusted input.
-    if row_ptr.first() != Some(&0)
-        || row_ptr.last() != Some(&m)
-        || row_ptr.windows(2).any(|w| w[0] > w[1])
-        || col_idx.iter().any(|c| c.index() >= n.max(1))
-    {
-        return Err(GraphError::InvalidFormat(
-            "inconsistent CSR arrays in binary container".into(),
-        ));
-    }
-    if n == 0 && m > 0 {
-        return Err(GraphError::InvalidFormat(
-            "edges present in zero-node graph".into(),
-        ));
-    }
-    Ok(Csr::from_parts(row_ptr, col_idx, weights))
+    read_csr_arrays(cur, n, m, weighted, false)
 }
 
-/// Writes `g` to `path` in binary form.
+/// Writes `g` to `path` in binary form (v2 container).
 ///
 /// # Errors
 ///
@@ -157,7 +446,7 @@ pub fn save_binary(g: &Csr, path: impl AsRef<Path>) -> Result<()> {
     write_binary(g, File::create(path)?)
 }
 
-/// Reads a graph from a binary file at `path`.
+/// Reads a graph from a binary file at `path` (either format version).
 ///
 /// # Errors
 ///
@@ -208,6 +497,31 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_round_trips_through_autodetect() {
+        for weighted in [false, true] {
+            let g = sample(weighted);
+            let mut buf = Vec::new();
+            write_binary_v1(&g, &mut buf).unwrap();
+            assert_eq!(&buf[..8], MAGIC_V1);
+            assert_eq!(
+                read_binary(buf.as_slice()).unwrap(),
+                g,
+                "weighted={weighted}"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_writes_are_deterministic() {
+        let g = sample(true);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        write_binary(&g, &mut a).unwrap();
+        write_binary(&g, &mut b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(&a[..8], MAGIC_V2);
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let mut buf = Vec::new();
         write_binary(&sample(false), &mut buf).unwrap();
@@ -220,9 +534,39 @@ mod tests {
 
     #[test]
     fn rejects_truncation() {
+        let g = sample(true);
+        let mut v2 = Vec::new();
+        write_binary(&g, &mut v2).unwrap();
+        v2.truncate(v2.len() - 3);
+        assert!(read_binary(v2.as_slice()).is_err());
+
+        let mut v1 = Vec::new();
+        write_binary_v1(&g, &mut v1).unwrap();
+        v1.truncate(v1.len() - 3);
+        assert!(read_binary(v1.as_slice()).is_err());
+    }
+
+    #[test]
+    fn payload_corruption_fails_checksum() {
         let mut buf = Vec::new();
-        write_binary(&sample(true), &mut buf).unwrap();
-        buf.truncate(buf.len() - 3);
+        write_binary(&sample(false), &mut buf).unwrap();
+        // Flip a byte in the payload region (after the 16 + 32 byte table).
+        let idx = buf.len() - 1;
+        buf[idx] ^= 0xFF;
+        assert!(matches!(
+            read_binary(buf.as_slice()).unwrap_err(),
+            GraphError::Checksum {
+                section: SECTION_CSR
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_corrupted_row_ptr_in_v1() {
+        let mut buf = Vec::new();
+        write_binary_v1(&sample(false), &mut buf).unwrap();
+        // Corrupt the first row_ptr entry (offset 25 in the v1 layout).
+        buf[25] = 0xFF;
         assert!(matches!(
             read_binary(buf.as_slice()).unwrap_err(),
             GraphError::InvalidFormat(_)
@@ -230,13 +574,54 @@ mod tests {
     }
 
     #[test]
-    fn rejects_corrupted_row_ptr() {
-        let mut buf = Vec::new();
-        write_binary(&sample(false), &mut buf).unwrap();
-        // Corrupt the first row_ptr entry (offset 25).
-        buf[25] = 0xFF;
+    fn decode_csr_rejects_inconsistent_arrays() {
+        let g = sample(false);
+        let mut payload = encode_csr(&g);
+        // row_ptr[0] starts at byte 24; make it non-zero.
+        payload[24] = 7;
         assert!(matches!(
-            read_binary(buf.as_slice()).unwrap_err(),
+            decode_csr(&payload).unwrap_err(),
+            GraphError::InvalidFormat(_)
+        ));
+        // Oversized declared edge count must be caught by the byte budget.
+        let mut payload = encode_csr(&g);
+        payload[16] = 0xFF;
+        assert!(decode_csr(&payload).is_err());
+    }
+
+    #[test]
+    fn container_round_trips_multiple_sections() {
+        let sections = vec![
+            Section::new(SECTION_CSR, encode_csr(&sample(true))),
+            Section::new(SECTION_SPEC, b"spec echo".to_vec()),
+            Section::new(SECTION_TRANSPOSE, vec![1, 2, 3, 4, 5]),
+        ];
+        let mut buf = Vec::new();
+        write_container(&sections, &mut buf).unwrap();
+        let back = read_container(buf.as_slice()).unwrap();
+        assert_eq!(back, sections);
+        // Every payload sits at an 8-byte-aligned offset.
+        let mut cur = &buf[8..];
+        let _version = cur.get_u32_le();
+        let count = cur.get_u32_le();
+        for _ in 0..count {
+            let _id = cur.get_u32_le();
+            let _r = cur.get_u32_le();
+            let offset = cur.get_u64_le();
+            assert_eq!(offset % 8, 0);
+            let _len = cur.get_u64_le();
+            let _sum = cur.get_u64_le();
+        }
+    }
+
+    #[test]
+    fn container_rejects_escaping_section_range() {
+        let mut buf = Vec::new();
+        write_container(&[Section::new(SECTION_SPEC, vec![9; 16])], &mut buf).unwrap();
+        // Inflate the declared length past the end of the file.
+        buf[16 + 16] = 0xFF;
+        assert!(matches!(
+            read_container(buf.as_slice()).unwrap_err(),
             GraphError::InvalidFormat(_)
         ));
     }

@@ -3,10 +3,12 @@
 //! amortized across different runs. For virtual transformation, it can
 //! be easily integrated into the graph loading phase."
 //!
-//! This example transforms a graph once, caches the result in the
-//! `TIGRCSR1` binary container, and shows that later runs pay only a
-//! fast binary load — while the virtual overlay is rebuilt at load time
-//! in microseconds.
+//! This example resolves a UDT-transformed graph through the
+//! [`GraphStore`] artifact layer once — a cache miss that builds the
+//! transform and writes a checksummed `TIGRCSR2` artifact — and shows
+//! that later runs are a pure load: a cache hit reporting zero
+//! transform/transpose/overlay work. The virtual overlay, by contrast,
+//! is cheap enough to build at load time even with no cache at all.
 //!
 //! ```sh
 //! cargo run --release --example offline_cache
@@ -14,47 +16,63 @@
 
 use std::time::Instant;
 
-use tigr::graph::io::binary::{load_binary, save_binary};
-use tigr::graph::{datasets, properties};
+use tigr::core::{CacheStatus, GraphStore, PrepareSpec, TransformKind};
+use tigr::graph::properties;
 use tigr::{DumbWeight, Engine, NodeId, Representation, VirtualGraph};
 
 fn main() {
     let dir = std::env::temp_dir().join("tigr_offline_cache_example");
     std::fs::create_dir_all(&dir).expect("temp dir");
-    let cache = dir.join("livejournal_udt.bin");
+    let store = GraphStore::new(Some(dir.clone()));
 
-    let spec = datasets::by_name("livejournal").expect("table 3 dataset");
-    let graph = spec.generate_weighted(512, 2018);
+    // One spec describes everything this workload derives from the
+    // input: a LiveJournal analog plus its offline UDT transform.
+    let spec = PrepareSpec::generated("dataset:livejournal:512:weighted", 2018).with_transform(
+        TransformKind::Udt,
+        Some(64),
+        DumbWeight::Zero,
+    );
+
+    // --- One-time offline step: generate + transform + write artifact. ---
+    let t0 = Instant::now();
+    let cold = store.prepare(&spec).expect("prepare");
+    let offline_time = t0.elapsed();
+    let graph = cold.graph();
+    let transformed = cold.transformed().expect("spec requested a transform");
+    assert_eq!(cold.report().cache, CacheStatus::Miss);
     println!(
         "input: {} nodes, {} edges (LiveJournal analog)",
         graph.num_nodes(),
         graph.num_edges()
     );
-
-    // --- One-time offline step: physical UDT transformation + cache. ---
-    let t0 = Instant::now();
-    let transformed = tigr::udt_transform(&graph, 64, DumbWeight::Zero);
-    let transform_time = t0.elapsed();
-    save_binary(transformed.graph(), &cache).expect("write cache");
     println!(
-        "offline: UDT transform took {transform_time:.2?}; cached {} nodes to {}",
+        "offline: generate + UDT transform took {offline_time:.2?}; cached {} nodes to {}",
         transformed.graph().num_nodes(),
-        cache.display()
+        cold.report()
+            .artifact
+            .as_ref()
+            .expect("store has a cache dir")
+            .display()
     );
 
-    // --- Every subsequent run: load the cache instead of transforming. ---
+    // --- Every subsequent run: load the artifact instead of transforming. ---
     let t1 = Instant::now();
-    let cached = load_binary(&cache).expect("read cache");
+    let warm = store.prepare(&spec).expect("prepare");
     let load_time = t1.elapsed();
-    println!(
-        "online: binary load took {load_time:.2?} ({}x faster than transforming)",
-        (transform_time.as_nanos() / load_time.as_nanos().max(1))
+    assert_eq!(warm.report().cache, CacheStatus::Hit);
+    assert_eq!(warm.report().work_items(), 0, "warm run derives nothing");
+    assert_eq!(
+        warm.transformed().expect("loaded from artifact").graph(),
+        transformed.graph()
     );
-    assert_eq!(&cached, transformed.graph());
+    println!(
+        "online: artifact load took {load_time:.2?} ({}x faster than transforming)",
+        (offline_time.as_nanos() / load_time.as_nanos().max(1))
+    );
 
     // --- The virtual overlay needs no cache at all. ---
     let t2 = Instant::now();
-    let overlay = VirtualGraph::coalesced(&graph, 10);
+    let overlay = VirtualGraph::coalesced(graph, 10);
     println!(
         "online: virtual overlay built in {:.2?} — no cache needed",
         t2.elapsed()
@@ -63,15 +81,18 @@ fn main() {
     // Both paths produce correct SSSP results.
     let engine = Engine::default();
     let src = NodeId::new(0);
-    let expect = properties::dijkstra(&graph, src);
+    let expect = properties::dijkstra(graph, src);
     let phys = engine
-        .sssp(&Representation::Original(&cached), src)
+        .sssp(
+            &Representation::Original(warm.transformed().expect("transform").graph()),
+            src,
+        )
         .expect("runs");
     assert_eq!(&phys.values[..graph.num_nodes()], &expect[..]);
     let virt = engine
         .sssp(
             &Representation::Virtual {
-                graph: &graph,
+                graph,
                 overlay: &overlay,
             },
             src,

@@ -22,6 +22,24 @@ cargo run --release -p tigr-bench --bin ablation_cpu_schedule -- --smoke
 echo "== direction ablation smoke =="
 cargo run --release -p tigr-bench --bin ablation_direction -- --smoke
 
+echo "== prepared-graph cache smoke =="
+# A warmed cache must make the second run pure load: cache hit, zero
+# transform/transpose/overlay construction.
+cache_dir="$(mktemp -d)"
+trap 'rm -rf "$cache_dir"' EXIT
+graph_file="$cache_dir/smoke.bin"
+cargo run --release -q -p tigr-cli --bin tigr -- generate er --nodes 2000 --edges 16000 --weighted \
+    -o "$graph_file" > /dev/null
+cargo run --release -q -p tigr-cli --bin tigr -- run sssp --graph "$graph_file" --direction auto \
+    --virtual 8 --stats --cache-dir "$cache_dir" > /dev/null
+warm="$(cargo run --release -q -p tigr-cli --bin tigr -- run sssp --graph "$graph_file" --direction auto \
+    --virtual 8 --stats --cache-dir "$cache_dir")"
+echo "$warm" | grep -q "cache           hit" \
+    || { echo "cache smoke: second run did not hit"; echo "$warm"; exit 1; }
+echo "$warm" | grep -q "prep work       0 transforms, 0 transposes, 0 overlays" \
+    || { echo "cache smoke: second run rebuilt derived views"; echo "$warm"; exit 1; }
+echo "cache smoke: warm run loaded every view from the artifact"
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

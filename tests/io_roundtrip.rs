@@ -1,9 +1,13 @@
-//! Property-based round-trip tests of the graph I/O formats.
+//! Property-based round-trip tests of the graph I/O formats: every
+//! format × weighted/unweighted × arbitrary/empty/singleton inputs.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use tigr::graph::io::{parse_edge_list, read_binary, write_binary, write_edge_list};
+use tigr::graph::io::{
+    parse_dimacs, parse_edge_list, parse_matrix_market, read_binary, write_binary, write_binary_v1,
+    write_dimacs, write_edge_list, write_matrix_market,
+};
 use tigr::{Csr, CsrBuilder, Edge, NodeId};
 
 fn arb_graph() -> impl Strategy<Value = Csr> {
@@ -49,6 +53,41 @@ proptest! {
     }
 
     #[test]
+    fn legacy_v1_binary_round_trip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        write_binary_v1(&g, &mut buf).unwrap();
+        // read_binary auto-detects the legacy magic.
+        prop_assert_eq!(read_binary(buf.as_slice()).unwrap(), g);
+    }
+
+    #[test]
+    fn matrix_market_round_trip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        // The dims header preserves the node count exactly.
+        prop_assert_eq!(parse_matrix_market(buf.as_slice()).unwrap(), g);
+    }
+
+    #[test]
+    fn dimacs_round_trip_preserves_edges(g in arb_graph()) {
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        let back = parse_dimacs(buf.as_slice()).unwrap();
+        // DIMACS always carries weights, so an unweighted input comes
+        // back weighted — but node count and the exact edge multiset
+        // (weights included) must survive.
+        prop_assert_eq!(back.num_nodes(), g.num_nodes());
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = back.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        if g.is_weighted() {
+            prop_assert_eq!(back, g);
+        }
+    }
+
+    #[test]
     fn binary_rejects_random_corruption(g in arb_graph(), flip in 0usize..200, val in any::<u8>()) {
         prop_assume!(g.num_edges() > 0);
         let mut buf = Vec::new();
@@ -67,6 +106,77 @@ proptest! {
             }
         }
     }
+}
+
+/// Degenerate inputs — the empty graph, a single isolated node, and a
+/// weighted single self-loop — must survive every format that preserves
+/// node counts, and keep their edge multiset in the text formats that
+/// may drop trailing isolated nodes.
+#[test]
+fn every_format_handles_empty_and_singleton() {
+    let empty = CsrBuilder::new(0).build();
+    let singleton = CsrBuilder::new(1).build();
+    let self_loop = CsrBuilder::new(1).weighted_edge(0, 0, 42).build();
+
+    for (name, g) in [
+        ("empty", &empty),
+        ("singleton", &singleton),
+        ("self-loop", &self_loop),
+    ] {
+        // Binary v2, binary v1, and MatrixMarket store the node count:
+        // exact equality.
+        let mut buf = Vec::new();
+        write_binary(g, &mut buf).unwrap();
+        assert_eq!(&read_binary(buf.as_slice()).unwrap(), g, "{name} v2");
+
+        let mut buf = Vec::new();
+        write_binary_v1(g, &mut buf).unwrap();
+        assert_eq!(&read_binary(buf.as_slice()).unwrap(), g, "{name} v1");
+
+        let mut buf = Vec::new();
+        write_matrix_market(g, &mut buf).unwrap();
+        assert_eq!(
+            &parse_matrix_market(buf.as_slice()).unwrap(),
+            g,
+            "{name} mtx"
+        );
+
+        // DIMACS keeps the node count but always carries weights; edge
+        // lists may drop trailing isolated nodes. Both must keep the
+        // edge multiset without erroring.
+        let mut buf = Vec::new();
+        write_dimacs(g, &mut buf).unwrap();
+        let back = parse_dimacs(buf.as_slice()).unwrap();
+        assert_eq!(back.num_nodes(), g.num_nodes(), "{name} gr");
+        assert_eq!(back.num_edges(), g.num_edges(), "{name} gr");
+
+        let mut buf = Vec::new();
+        write_edge_list(g, &mut buf).unwrap();
+        let back = parse_edge_list(buf.as_slice()).unwrap();
+        assert!(back.num_nodes() <= g.num_nodes(), "{name} txt");
+        assert_eq!(back.num_edges(), g.num_edges(), "{name} txt");
+    }
+}
+
+/// The committed legacy `TIGRCSR1` fixture must stay readable forever:
+/// auto-detected on load and upgraded to `TIGRCSR2` on save.
+#[test]
+fn committed_legacy_fixture_upgrades_on_load() {
+    let bytes = include_bytes!("fixtures/legacy_v1.bin");
+    assert_eq!(&bytes[..8], b"TIGRCSR1");
+    let g = read_binary(&bytes[..]).unwrap();
+    assert_eq!(g.num_nodes(), 3);
+    assert_eq!(g.num_edges(), 3);
+    assert!(g.is_weighted());
+    assert_eq!(g.neighbors(NodeId::new(0)), &[NodeId::new(1)]);
+    assert_eq!(g.neighbors(NodeId::new(1)), &[NodeId::new(2)]);
+    assert_eq!(g.neighbors(NodeId::new(2)), &[NodeId::new(0)]);
+    assert_eq!(g.weights(), Some(&[5, 7, 9][..]));
+    // Saving writes the current container version.
+    let mut upgraded = Vec::new();
+    write_binary(&g, &mut upgraded).unwrap();
+    assert_eq!(&upgraded[..8], b"TIGRCSR2");
+    assert_eq!(read_binary(upgraded.as_slice()).unwrap(), g);
 }
 
 #[test]

@@ -1,0 +1,147 @@
+//! Cache-coherence integration tests of the prepared-graph artifact
+//! layer: miss → hit with zero derivation work, byte-identical artifact
+//! writes, spec mutations changing the key, corruption detection via
+//! section checksums, and identical analytic results across every
+//! backend whether the views were built or loaded.
+
+use std::fs;
+
+use tigr::core::{CacheStatus, GraphStore, PrepareSpec, TransformKind};
+use tigr::engine::{BackendKind, MonotoneProgram};
+use tigr::{DumbWeight, Engine, GpuConfig, NodeId};
+
+fn temp_store(name: &str) -> GraphStore {
+    let dir = std::env::temp_dir().join(name);
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).unwrap();
+    GraphStore::new(Some(dir))
+}
+
+/// A spec exercising every optional view: weights, coalesced virtual
+/// overlay, transpose (and thus the mirrored reverse overlay).
+fn base_spec() -> PrepareSpec {
+    PrepareSpec::generated("rmat:8:8", 7)
+        .with_uniform_weights(1, 9, 3)
+        .with_virtual(8, true)
+        .with_transpose(true)
+}
+
+#[test]
+fn miss_then_hit_is_coherent_and_byte_identical() {
+    let store = temp_store("tigr_it_prepared_store");
+    let spec = base_spec();
+
+    let cold = store.prepare(&spec).unwrap();
+    assert_eq!(cold.report().cache, CacheStatus::Miss);
+    assert!(cold.report().work_items() > 0);
+    let bytes = fs::read(cold.report().artifact.as_ref().unwrap()).unwrap();
+
+    let warm = store.prepare(&spec).unwrap();
+    assert_eq!(warm.report().cache, CacheStatus::Hit);
+    assert_eq!(
+        warm.report().work_items(),
+        0,
+        "warm run must derive nothing"
+    );
+    assert_eq!(warm.graph(), cold.graph());
+    assert_eq!(warm.transpose(), cold.transpose());
+    assert!(warm.overlay().is_some());
+    assert!(warm.rev_overlay().is_some());
+
+    // An independent store resolving the same spec writes a
+    // byte-identical artifact (deterministic container encoding).
+    let other = temp_store("tigr_it_prepared_store_other");
+    let again = other.prepare(&spec).unwrap();
+    assert_eq!(again.report().cache, CacheStatus::Miss);
+    assert_eq!(again.report().key, cold.report().key);
+    let bytes2 = fs::read(again.report().artifact.as_ref().unwrap()).unwrap();
+    assert_eq!(bytes, bytes2);
+}
+
+#[test]
+fn built_and_loaded_views_agree_on_every_backend() {
+    let store = temp_store("tigr_it_prepared_backends");
+    let spec = base_spec();
+    let cold = store.prepare(&spec).unwrap();
+    let warm = store.prepare(&spec).unwrap();
+    assert_eq!(warm.report().cache, CacheStatus::Hit);
+
+    let src = Some(NodeId::new(0));
+    let mut reference: Option<Vec<u32>> = None;
+    for (label, prepared) in [("cold", &cold), ("warm", &warm)] {
+        for backend in [
+            BackendKind::WarpSim,
+            BackendKind::CpuPool,
+            BackendKind::Sequential,
+        ] {
+            let engine = Engine::parallel(GpuConfig::default()).with_backend(backend);
+            let out = engine
+                .run_prepared(prepared, MonotoneProgram::SSSP, src)
+                .unwrap();
+            match &reference {
+                None => reference = Some(out.values.clone()),
+                Some(expect) => {
+                    assert_eq!(&out.values, expect, "{label}/{backend:?} diverged")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn spec_mutations_change_the_key() {
+    let store = temp_store("tigr_it_prepared_mutations");
+    let cold = store.prepare(&base_spec()).unwrap();
+    let key = cold.report().key.clone();
+
+    let mutations: [(&str, PrepareSpec); 6] = [
+        ("virtual k", base_spec().with_virtual(9, true)),
+        ("overlay layout", base_spec().with_virtual(8, false)),
+        ("transpose", base_spec().with_transpose(false)),
+        ("weight range", base_spec().with_uniform_weights(1, 10, 3)),
+        ("generator seed", {
+            let mut s = base_spec();
+            s.source = tigr::core::GraphSource::Generated {
+                tag: "rmat:8:8".into(),
+                seed: 8,
+            };
+            s
+        }),
+        (
+            "physical transform",
+            base_spec().with_transform(TransformKind::Udt, Some(8), DumbWeight::Zero),
+        ),
+    ];
+    for (label, spec) in mutations {
+        let p = store.prepare(&spec).unwrap();
+        assert_eq!(p.report().cache, CacheStatus::Miss, "{label}");
+        assert_ne!(p.report().key, key, "{label} must change the cache key");
+    }
+
+    // And the original spec still hits afterwards.
+    let again = store.prepare(&base_spec()).unwrap();
+    assert_eq!(again.report().cache, CacheStatus::Hit);
+}
+
+#[test]
+fn corrupt_artifact_is_detected_and_rebuilt() {
+    let store = temp_store("tigr_it_prepared_corrupt");
+    let spec = base_spec();
+    let cold = store.prepare(&spec).unwrap();
+    let artifact = cold.report().artifact.clone().unwrap();
+
+    let mut bytes = fs::read(&artifact).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    fs::write(&artifact, &bytes).unwrap();
+
+    // The checksum mismatch downgrades to a miss and rewrites the
+    // artifact; the next prepare hits again with identical content.
+    let rebuilt = store.prepare(&spec).unwrap();
+    assert_eq!(rebuilt.report().cache, CacheStatus::Miss);
+    assert!(rebuilt.report().work_items() > 0);
+    assert_eq!(rebuilt.graph(), cold.graph());
+    let again = store.prepare(&spec).unwrap();
+    assert_eq!(again.report().cache, CacheStatus::Hit);
+    assert_eq!(again.graph(), cold.graph());
+}
