@@ -141,6 +141,7 @@ pub fn run_pagerank(sim: &GpuSimulator, g: &Csr, options: &PrOptions, mode: Cush
             ranks: Vec::new(),
             report: SimReport::new(),
             converged: true,
+            cancelled: false,
         };
     }
     let shards = build_shards(g);
@@ -208,6 +209,7 @@ pub fn run_pagerank(sim: &GpuSimulator, g: &Csr, options: &PrOptions, mode: Cush
         ranks: ranks.snapshot(),
         report,
         converged,
+        cancelled: false,
     }
 }
 

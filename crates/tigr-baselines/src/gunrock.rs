@@ -123,6 +123,7 @@ pub fn run_pagerank(sim: &GpuSimulator, g: &Csr, options: &PrOptions) -> PrOutpu
             ranks: Vec::new(),
             report: SimReport::new(),
             converged: true,
+            cancelled: false,
         };
     }
     // Flat (src, edge) table, built once.
@@ -181,6 +182,7 @@ pub fn run_pagerank(sim: &GpuSimulator, g: &Csr, options: &PrOptions) -> PrOutpu
         ranks: ranks.snapshot(),
         report,
         converged,
+        cancelled: false,
     }
 }
 

@@ -120,6 +120,7 @@ pub fn run_pagerank(
             ranks: Vec::new(),
             report: SimReport::new(),
             converged: true,
+            cancelled: false,
         };
     }
     let ranks = AtomicFloats::new(n, 1.0 / n as f32);
@@ -182,6 +183,7 @@ pub fn run_pagerank(
         ranks: ranks.snapshot(),
         report,
         converged,
+        cancelled: false,
     }
 }
 

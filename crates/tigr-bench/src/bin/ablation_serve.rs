@@ -1,0 +1,374 @@
+//! Ablation of the serving subsystem: closed-loop query throughput
+//! against worker-thread count with the result cache on versus off,
+//! plus the repeated-source cold-vs-hit latency comparison the cache
+//! exists for.
+//!
+//! Each throughput cell spins up a fresh in-process [`ServerCore`] and
+//! drives it with one closed-loop client thread per server worker
+//! (every client keeps exactly one query in flight), cycling BFS, SSSP,
+//! SSWP, and CC over a fixed pool of sources. Checksums are collected
+//! per (algorithm, source) and every cell must agree with the first —
+//! caching and concurrency may change speed, never answers.
+//!
+//! The cold-vs-hit workload then measures the server-reported
+//! end-to-end latency of first-touch (miss) versus repeated-source
+//! (hit) SSSP queries; the committed acceptance bar is a ≥5x median
+//! speedup for hits (asserted in the full configuration, relaxed to
+//! ≥2x under `--smoke` where the cold runs are already tiny).
+//!
+//! Output goes both to stdout (aligned tables) and to a
+//! machine-readable JSON file: `BENCH_serve.json` at the workspace root
+//! by default, `target/BENCH_serve.smoke.json` under `--smoke`.
+//! `--out <path>` overrides the destination, `--threads <n>` caps the
+//! largest worker count in the sweep.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use tigr_bench::{prepare_input, print_table};
+use tigr_core::PreparedGraph;
+use tigr_server::{Algo, Client, QueryRequest, ServerConfig, ServerCore};
+
+/// Query mix for the throughput cells: every monotone analytic the
+/// protocol serves. PageRank is excluded here (it is a fixed-cost full
+/// sweep that would drown the per-query signal) and exercised once in
+/// the checksum cross-check instead.
+const MIX: [Algo; 4] = [Algo::Bfs, Algo::Sssp, Algo::Sswp, Algo::Cc];
+const GRAPH_NAME: &str = "bench";
+
+/// (algo label, source) -> FNV-1a64 value checksum.
+type ChecksumMap = BTreeMap<(String, Option<u32>), u64>;
+
+/// One measured (workers, cache) throughput cell.
+struct Cell {
+    workers: usize,
+    cache: bool,
+    completed: u64,
+    rejected: u64,
+    cache_hits: u64,
+    wall_s: f64,
+    qps: f64,
+}
+
+impl Cell {
+    fn json(&self) -> String {
+        format!(
+            "{{\"workers\": {}, \"cache\": {}, \"completed\": {}, \"rejected\": {}, \
+             \"cache_hits\": {}, \"wall_s\": {:.4}, \"qps\": {:.1}}}",
+            self.workers,
+            self.cache,
+            self.completed,
+            self.rejected,
+            self.cache_hits,
+            self.wall_s,
+            self.qps
+        )
+    }
+
+    fn row(&self) -> Vec<String> {
+        vec![
+            self.workers.to_string(),
+            if self.cache { "on" } else { "off" }.to_string(),
+            self.completed.to_string(),
+            self.rejected.to_string(),
+            self.cache_hits.to_string(),
+            format!("{:.3}", self.wall_s),
+            format!("{:.0}", self.qps),
+        ]
+    }
+}
+
+/// Runs one closed-loop cell: `workers` server workers, `workers`
+/// client threads, `per_thread` queries each over `sources`. Returns
+/// the cell plus the (algo, source) -> checksum map it observed.
+fn run_cell(
+    prepared: &Arc<PreparedGraph>,
+    workers: usize,
+    cache: bool,
+    per_thread: usize,
+    sources: &[u32],
+) -> (Cell, ChecksumMap) {
+    let core = ServerCore::new(ServerConfig {
+        workers,
+        queue_capacity: 1024,
+        cache_capacity: if cache { 1024 } else { 0 },
+        default_deadline_ms: None,
+    });
+    core.add_graph(GRAPH_NAME, Arc::clone(prepared));
+
+    let checksums: Arc<Mutex<ChecksumMap>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let rejected = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let t = Instant::now();
+    let handles: Vec<_> = (0..workers)
+        .map(|tid| {
+            let core = Arc::clone(&core);
+            let sources = sources.to_vec();
+            let checksums = Arc::clone(&checksums);
+            let rejected = Arc::clone(&rejected);
+            std::thread::spawn(move || {
+                let mut client = Client::local(core);
+                let mut completed = 0u64;
+                let mut hits = 0u64;
+                for q in 0..per_thread {
+                    let algo = MIX[(tid + q) % MIX.len()];
+                    // CC is global: the protocol rejects a source for it.
+                    let source =
+                        (algo != Algo::Cc).then(|| sources[(tid * per_thread + q) % sources.len()]);
+                    let mut request = QueryRequest::new(GRAPH_NAME, algo, source);
+                    request.cache = cache;
+                    match client.query(request) {
+                        Ok(r) => {
+                            completed += 1;
+                            if r.cached {
+                                hits += 1;
+                            }
+                            checksums
+                                .lock()
+                                .unwrap()
+                                .entry((algo.label().to_string(), source))
+                                .or_insert(r.checksum);
+                        }
+                        Err(tigr_server::ClientError::Protocol(p))
+                            if p.code == tigr_server::ErrorCode::QueueFull =>
+                        {
+                            rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("workers={workers} cache={cache}: {e}"),
+                    }
+                }
+                (completed, hits)
+            })
+        })
+        .collect();
+    let mut completed = 0u64;
+    let mut cache_hits = 0u64;
+    for h in handles {
+        let (c, hits) = h.join().expect("client thread");
+        completed += c;
+        cache_hits += hits;
+    }
+    let wall_s = t.elapsed().as_secs_f64();
+    let cell = Cell {
+        workers,
+        cache,
+        completed,
+        rejected: rejected.load(std::sync::atomic::Ordering::Relaxed),
+        cache_hits,
+        wall_s,
+        qps: completed as f64 / wall_s.max(1e-9),
+    };
+    let checksums = Arc::try_unwrap(checksums)
+        .expect("threads joined")
+        .into_inner()
+        .unwrap();
+    (cell, checksums)
+}
+
+fn median(sorted: &mut [u64]) -> u64 {
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    // Smoke: tiny graph, short sweep — a CI-speed regression gate.
+    // Full: a 65k-node power-law graph, the published configuration.
+    let (scale, per_thread, num_sources, hit_repeats) = if smoke {
+        (11u32, 16usize, 8usize, 4usize)
+    } else {
+        (16, 48, 16, 8)
+    };
+    let max_workers: usize = flag("--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+        .max(1);
+    let out_path = flag("--out").unwrap_or_else(|| {
+        if smoke {
+            "target/BENCH_serve.smoke.json".to_string()
+        } else {
+            "BENCH_serve.json".to_string()
+        }
+    });
+
+    let seed = 2018;
+    let t = Instant::now();
+    let prepared = Arc::new(prepare_input(
+        &format!("rmat:{scale}:16"),
+        seed,
+        Some((1, 64, seed)),
+    ));
+    let g = prepared.graph();
+    eprintln!(
+        "rmat scale {scale}: {} nodes, {} edges, prepared in {:.1?}",
+        g.num_nodes(),
+        g.num_edges(),
+        t.elapsed()
+    );
+    // Spread the source pool across the id space so queries touch
+    // different regions; all ids are valid sources.
+    let stride = (g.num_nodes() / num_sources).max(1) as u32;
+    let sources: Vec<u32> = (0..num_sources as u32).map(|i| i * stride).collect();
+    println!(
+        "serve ablation: {} nodes, {} edges, {} sources, {} queries/client",
+        g.num_nodes(),
+        g.num_edges(),
+        sources.len(),
+        per_thread
+    );
+
+    // Exhaustive answer key: every (algo, source) pair, computed once
+    // through a single-worker uncached core. Each throughput cell is
+    // checked against it — caching and concurrency may change speed,
+    // never answers.
+    let reference: ChecksumMap = {
+        let core = ServerCore::new(ServerConfig {
+            workers: 1,
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        });
+        core.add_graph(GRAPH_NAME, Arc::clone(&prepared));
+        let mut client = Client::local(core);
+        let mut map = BTreeMap::new();
+        for algo in MIX {
+            for &source in &sources {
+                let source = (algo != Algo::Cc).then_some(source);
+                let r = client
+                    .query(QueryRequest::new(GRAPH_NAME, algo, source))
+                    .expect("reference query");
+                map.insert((algo.label().to_string(), source), r.checksum);
+            }
+        }
+        map
+    };
+
+    // --- Closed-loop throughput: workers x cache on/off -------------
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut workers = 1;
+    while workers <= max_workers {
+        for cache in [false, true] {
+            eprintln!(
+                "cell: {workers} worker(s), cache {}",
+                if cache { "on" } else { "off" }
+            );
+            let (cell, checksums) = run_cell(&prepared, workers, cache, per_thread, &sources);
+            for (key, sum) in &checksums {
+                assert_eq!(
+                    reference.get(key),
+                    Some(sum),
+                    "{key:?}: checksum diverged at workers={workers} cache={cache}"
+                );
+            }
+            cells.push(cell);
+        }
+        workers *= 2;
+    }
+    print_table(
+        "closed-loop throughput",
+        &[
+            "workers",
+            "cache",
+            "completed",
+            "rejected",
+            "hits",
+            "wall s",
+            "qps",
+        ],
+        &cells.iter().map(Cell::row).collect::<Vec<_>>(),
+    );
+
+    // PageRank checksum cross-check: cached snapshot must be bit-equal
+    // to a fresh uncached run.
+    {
+        let core = ServerCore::new(ServerConfig::default());
+        core.add_graph(GRAPH_NAME, Arc::clone(&prepared));
+        let mut client = Client::local(Arc::clone(&core));
+        let cold = client
+            .query(QueryRequest::new(GRAPH_NAME, Algo::Pr, None))
+            .expect("pagerank cold");
+        let warm = client
+            .query(QueryRequest::new(GRAPH_NAME, Algo::Pr, None))
+            .expect("pagerank warm");
+        assert!(!cold.cached && warm.cached, "pagerank cache behaviour");
+        assert_eq!(cold.checksum, warm.checksum, "pagerank snapshot diverged");
+        println!(
+            "pagerank snapshot checksum {:016x} (cold == cached)",
+            cold.checksum
+        );
+    }
+
+    // --- Repeated-source cold vs hit --------------------------------
+    let core = ServerCore::new(ServerConfig {
+        workers: 1,
+        cache_capacity: 1024,
+        ..ServerConfig::default()
+    });
+    core.add_graph(GRAPH_NAME, Arc::clone(&prepared));
+    let mut client = Client::local(core);
+    let mut cold_us: Vec<u64> = Vec::new();
+    let mut hit_us: Vec<u64> = Vec::new();
+    for &source in &sources {
+        let r = client
+            .query(QueryRequest::new(GRAPH_NAME, Algo::Sssp, Some(source)))
+            .expect("cold query");
+        assert!(!r.cached, "source {source} unexpectedly cached");
+        cold_us.push(r.wall_us);
+        for _ in 0..hit_repeats {
+            let r = client
+                .query(QueryRequest::new(GRAPH_NAME, Algo::Sssp, Some(source)))
+                .expect("hit query");
+            assert!(r.cached, "source {source} repeat missed the cache");
+            hit_us.push(r.wall_us);
+        }
+    }
+    let median_cold_us = median(&mut cold_us);
+    let median_hit_us = median(&mut hit_us).max(1);
+    let speedup = median_cold_us as f64 / median_hit_us as f64;
+    println!(
+        "\ncold vs hit (sssp, {} sources x {} repeats): \
+         median cold {} us, median hit {} us, speedup {:.1}x",
+        sources.len(),
+        hit_repeats,
+        median_cold_us,
+        median_hit_us,
+        speedup
+    );
+    let bar = if smoke { 2.0 } else { 5.0 };
+    assert!(
+        speedup >= bar,
+        "cache speedup {speedup:.1}x below the {bar}x acceptance bar"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"smoke\": {smoke},\n  \"graph\": \
+         {{\"generator\": \"rmat\", \"scale\": {scale}, \"nodes\": {}, \"edges\": {}}},\n  \
+         \"queries_per_client\": {per_thread},\n  \"sources\": {},\n  \
+         \"throughput\": [\n    {}\n  ],\n  \"cold_vs_hit\": {{\"algo\": \"sssp\", \
+         \"cold_samples\": {}, \"hit_samples\": {}, \"median_cold_us\": {median_cold_us}, \
+         \"median_hit_us\": {median_hit_us}, \"speedup\": {speedup:.2}}}\n}}\n",
+        g.num_nodes(),
+        g.num_edges(),
+        sources.len(),
+        cells
+            .iter()
+            .map(Cell::json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+        cold_us.len(),
+        hit_us.len(),
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write JSON output");
+    println!("\nwrote {out_path}");
+}

@@ -16,6 +16,7 @@
 //! | `ablation_k_sweep` | §5 / §6.4 K-sensitivity observations |
 //! | `ablation_frontier` | full-sweep vs active-frontier scheduling |
 //! | `ablation_direction` | push vs pull vs auto traversal direction |
+//! | `ablation_serve` | serving throughput and result-cache cold-vs-hit |
 //!
 //! Run with `cargo run --release -p tigr-bench --bin <name>`. The analog
 //! scale is `1/TIGR_SCALE` of the paper's node counts

@@ -21,6 +21,8 @@ const SWITCHES: &[&str] = &[
     "symmetric",
     "cpu",
     "stats",
+    "no-cache",
+    "values",
 ];
 
 impl Args {

@@ -8,12 +8,27 @@ use crate::args::Args;
 pub mod analyze;
 pub mod generate;
 pub mod prepare;
+pub mod query;
 pub mod run;
+pub mod serve;
 pub mod stats;
 pub mod transform;
 
 /// Result alias: rendered output or an error message for stderr.
 pub type CmdResult = Result<String, String>;
+
+/// Exit code for deadline expiry (`--deadline-ms`), distinct from the
+/// generic error code 2 so scripts can tell a timeout from a failure.
+pub const EXIT_TIMEOUT: i32 = 3;
+
+/// Prefix marking an error message as a deadline expiry; `main`
+/// translates it into [`EXIT_TIMEOUT`].
+pub const TIMEOUT_PREFIX: &str = "deadline exceeded";
+
+/// Builds the error message for an expired `--deadline-ms`.
+pub fn timeout_message(detail: impl std::fmt::Display) -> String {
+    format!("{TIMEOUT_PREFIX}: {detail}")
+}
 
 /// The artifact store every graph-consuming command resolves inputs
 /// through: `--cache-dir DIR` wins, then the `TIGR_CACHE_DIR`
@@ -25,10 +40,17 @@ pub fn store_from_args(args: &Args) -> GraphStore {
     }
 }
 
-/// Renders the cache/prep-work report lines appended under `--stats`.
+/// Renders the cache/prep-work report lines appended under `--stats`:
+/// cache outcome, the cache key, the resolved artifact path, and the
+/// derivation-work counters — everything an operator needs to pre-warm
+/// a server's cache deterministically.
 pub fn format_prepare_report(report: &tigr_core::PrepareReport) -> String {
+    let artifact = match &report.artifact {
+        Some(path) => path.display().to_string(),
+        None => "none (caching disabled; set --cache-dir or TIGR_CACHE_DIR)".to_string(),
+    };
     format!(
-        "cache           {} (key {})\nprep work       {} transforms, {} transposes, {} overlays\n",
+        "cache           {} (key {})\nartifact        {artifact}\nprep work       {} transforms, {} transposes, {} overlays\n",
         report.cache.label(),
         report.key,
         report.transforms_built,

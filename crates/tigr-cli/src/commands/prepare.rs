@@ -8,11 +8,12 @@
 //! directory configured this degenerates to a dry build that reports
 //! what a run would derive.
 
-use tigr_core::{DumbWeight, PrepareSpec, TransformKind};
+use tigr_core::{CancelToken, DumbWeight, PrepareSpec, TransformKind};
 use tigr_engine::Direction;
+use tigr_graph::GraphError;
 
 use crate::args::Args;
-use crate::commands::{format_prepare_report, store_from_args, CmdResult};
+use crate::commands::{format_prepare_report, store_from_args, timeout_message, CmdResult};
 
 /// Runs the `prepare` command.
 pub fn run(args: &Args) -> CmdResult {
@@ -47,10 +48,27 @@ pub fn run(args: &Args) -> CmdResult {
         spec = spec.with_transform(kind, k, dumb);
     }
 
+    // --deadline-ms bounds the whole preparation (load + transforms +
+    // transposes) with the cooperative-cancellation hook; expiry exits
+    // with the distinct timeout code.
+    let cancel = match args.flag("deadline-ms") {
+        Some(ms) => {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| "invalid --deadline-ms".to_string())?;
+            CancelToken::with_deadline(std::time::Duration::from_millis(ms))
+        }
+        None => CancelToken::never(),
+    };
     let store = store_from_args(args);
     let prepared = store
-        .prepare(&spec)
-        .map_err(|e| format!("cannot prepare {path}: {e}"))?;
+        .prepare_cancellable(&spec, &cancel)
+        .map_err(|e| match e {
+            GraphError::Cancelled => {
+                timeout_message(format!("preparation of {path} hit --deadline-ms"))
+            }
+            other => format!("cannot prepare {path}: {other}"),
+        })?;
 
     let mut views = Vec::new();
     if prepared.transpose().is_some() {
@@ -73,13 +91,8 @@ pub fn run(args: &Args) -> CmdResult {
     if let Some(t) = prepared.transformed() {
         views.push(format!("{} transform K={}", t.topology(), t.k()));
     }
-    let report = prepared.report();
-    let artifact = match &report.artifact {
-        Some(p) => p.display().to_string(),
-        None => "none (caching disabled; set --cache-dir or TIGR_CACHE_DIR)".to_string(),
-    };
     Ok(format!(
-        "prepared {path}: {} nodes, {} edges\nviews           {}\nartifact        {artifact}\n{}",
+        "prepared {path}: {} nodes, {} edges\nviews           {}\n{}",
         prepared.graph().num_nodes(),
         prepared.graph().num_edges(),
         if views.is_empty() {
@@ -87,13 +100,13 @@ pub fn run(args: &Args) -> CmdResult {
         } else {
             views.join(", ")
         },
-        format_prepare_report(report),
+        format_prepare_report(prepared.report()),
     ))
 }
 
 const USAGE: &str = "usage: tigr prepare --graph <file> [--virtual K [--coalesced]] \
 [--transform udt|star|recursive-star|circular|clique [--k K] [--dumb zero|inf|none]] \
-[--direction push|pull|auto] [--cache-dir DIR]";
+[--direction push|pull|auto] [--deadline-ms MS] [--cache-dir DIR]";
 
 #[cfg(test)]
 mod tests {
@@ -165,6 +178,31 @@ mod tests {
         let out = run(&parse(&format!("--graph {path}"))).unwrap();
         assert!(out.contains("cache           off"), "{out}");
         assert!(out.contains("caching disabled"), "{out}");
+    }
+
+    #[test]
+    fn stats_lines_include_artifact_path_and_key() {
+        let (path, cache) = fixture("tigr_cli_prepare_artifact_test");
+        let out = run(&parse(&format!("--graph {path} --cache-dir {cache}"))).unwrap();
+        let artifact = out.lines().find(|l| l.starts_with("artifact")).unwrap();
+        assert!(artifact.contains(&cache), "{out}");
+        let key = out
+            .lines()
+            .find(|l| l.starts_with("cache"))
+            .and_then(|l| l.split("key ").nth(1))
+            .and_then(|rest| rest.strip_suffix(')'))
+            .unwrap()
+            .to_string();
+        // The key is the artifact file stem: operators can pre-warm a
+        // server cache and know exactly which file serves which spec.
+        assert!(artifact.contains(&key), "{out}");
+    }
+
+    #[test]
+    fn zero_deadline_times_out_with_marker() {
+        let (path, _) = fixture("tigr_cli_prepare_deadline_test");
+        let err = run(&parse(&format!("--graph {path} --deadline-ms 0"))).unwrap_err();
+        assert!(err.starts_with(crate::commands::TIMEOUT_PREFIX), "{err}");
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! `tigr query` — client side of the serving protocol.
+//!
+//! ```text
+//! tigr query bfs --addr 127.0.0.1:7171 --graph-name web --source 42
+//! tigr query stats --socket /tmp/tigr.sock
+//! ```
+//!
+//! Typed server rejections map onto exit codes: `deadline-exceeded`
+//! exits with the distinct timeout code (like `tigr run --deadline-ms`),
+//! everything else with the generic error code.
+
+use tigr_server::{Algo, Client, ClientError, ErrorCode, QueryRequest};
+
+use crate::args::Args;
+use crate::commands::{timeout_message, CmdResult};
+
+/// Runs the `query` command.
+pub fn run(args: &Args) -> CmdResult {
+    let verb = args.positional(0).ok_or(USAGE)?;
+    let mut client = connect(args)?;
+    match verb {
+        "ping" => {
+            client.ping().map_err(render_client_error)?;
+            Ok("pong\n".to_string())
+        }
+        "stats" => {
+            let s = client.stats().map_err(render_client_error)?;
+            Ok(format!(
+                "queries         {} received / {} completed / {} rejected / {} failed\n\
+                 queue depth     {} (workers {})\n\
+                 latency         p50 {} us / p95 {} us\n\
+                 cache           {} hits / {} misses / {} evictions ({} resident, ratio {:.2})\n",
+                s.received,
+                s.completed,
+                s.rejected,
+                s.failed,
+                s.queue_depth,
+                s.workers,
+                s.p50_us,
+                s.p95_us,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_evictions,
+                s.cache_entries,
+                s.cache_hit_ratio(),
+            ))
+        }
+        algo_label => {
+            let algo = Algo::parse(algo_label)
+                .ok_or_else(|| format!("unknown query verb `{algo_label}`\n{USAGE}"))?;
+            let graph: String = args.require("graph-name").map_err(|_| USAGE.to_string())?;
+            let source = if algo.needs_source() {
+                Some(args.flag_or("source", 0u32)?)
+            } else {
+                None
+            };
+            let mut query = QueryRequest::new(graph, algo, source);
+            query.deadline_ms = args
+                .flag("deadline-ms")
+                .map(|v| v.parse().map_err(|_| "invalid --deadline-ms"))
+                .transpose()?;
+            query.cache = !args.switch("no-cache");
+            query.include_values = args.switch("values");
+            let r = client.query(query).map_err(render_client_error)?;
+            let mut out = format!(
+                "{} on {}{}: {} nodes in {} iterations\nchecksum        {:016x}\ncache           {}\nserver wall     {} us\n",
+                r.algo.label(),
+                r.graph,
+                r.source.map(|s| format!(" from {s}")).unwrap_or_default(),
+                r.nodes,
+                r.iterations,
+                r.checksum,
+                if r.cached { "hit" } else { "miss" },
+                r.wall_us,
+            );
+            if let Some(values) = &r.values {
+                out.push_str("values          ");
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    out.push_str(&v.to_string());
+                }
+                out.push('\n');
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn connect(args: &Args) -> Result<Client, String> {
+    match (args.flag("socket"), args.flag("addr")) {
+        (Some(path), _) => {
+            Client::connect_unix(path).map_err(|e| format!("cannot connect to {path}: {e}"))
+        }
+        (None, Some(addr)) => {
+            Client::connect_tcp(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+        }
+        (None, None) => Err(format!("missing --addr or --socket\n{USAGE}")),
+    }
+}
+
+/// Maps client/server failures onto CLI error messages; the server's
+/// `deadline-exceeded` becomes the timeout-marked message so `main`
+/// exits with the distinct code.
+fn render_client_error(e: ClientError) -> String {
+    match e {
+        ClientError::Protocol(p) if p.code == ErrorCode::DeadlineExceeded => {
+            timeout_message(p.message)
+        }
+        other => other.to_string(),
+    }
+}
+
+const USAGE: &str = "usage: tigr query <bfs|sssp|sswp|cc|pr|stats|ping> \
+(--addr HOST:PORT | --socket PATH) [--graph-name NAME] [--source N] \
+[--deadline-ms MS] [--no-cache] [--values]";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tigr_core::{GraphStore, PrepareSpec};
+    use tigr_server::{Server, ServerConfig, ServerCore};
+
+    fn parse(s: &str) -> Args {
+        Args::parse(&s.split_whitespace().map(str::to_string).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn ephemeral_server() -> (Server, String) {
+        let store = GraphStore::disabled();
+        let prepared = store
+            .prepare(&PrepareSpec::generated("rmat:7:6", 3).with_uniform_weights(1, 9, 4))
+            .unwrap();
+        let core = ServerCore::new(ServerConfig::default());
+        core.add_graph("demo", Arc::new(prepared));
+        let server = Server::bind_tcp(core, "127.0.0.1:0").unwrap();
+        let addr = match server.addr() {
+            tigr_server::ServerAddr::Tcp(a) => a.to_string(),
+            other => panic!("{other:?}"),
+        };
+        (server, addr)
+    }
+
+    #[test]
+    fn queries_ping_and_stats_over_tcp() {
+        let (server, addr) = ephemeral_server();
+        let out = run(&parse(&format!("ping --addr {addr}"))).unwrap();
+        assert_eq!(out, "pong\n");
+        let out = run(&parse(&format!(
+            "sssp --addr {addr} --graph-name demo --source 1 --values"
+        )))
+        .unwrap();
+        assert!(out.contains("sssp on demo from 1"), "{out}");
+        assert!(out.contains("cache           miss"), "{out}");
+        assert!(out.contains("values          "), "{out}");
+        let warm = run(&parse(&format!(
+            "sssp --addr {addr} --graph-name demo --source 1"
+        )))
+        .unwrap();
+        assert!(warm.contains("cache           hit"), "{warm}");
+        let stats = run(&parse(&format!("stats --addr {addr}"))).unwrap();
+        assert!(stats.contains("2 completed"), "{stats}");
+        assert!(stats.contains("1 hits"), "{stats}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_rejection_is_timeout_marked() {
+        let (server, addr) = ephemeral_server();
+        let err = run(&parse(&format!(
+            "sssp --addr {addr} --graph-name demo --source 0 --deadline-ms 0"
+        )))
+        .unwrap_err();
+        assert!(err.starts_with(crate::commands::TIMEOUT_PREFIX), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_targets_and_verbs_error() {
+        let err = run(&parse("bfs --graph-name demo")).unwrap_err();
+        assert!(err.contains("--addr or --socket"), "{err}");
+        let (server, addr) = ephemeral_server();
+        let err = run(&parse(&format!("warp --addr {addr}"))).unwrap_err();
+        assert!(err.contains("unknown query verb"), "{err}");
+        let err = run(&parse(&format!(
+            "bfs --addr {addr} --graph-name missing --source 0"
+        )))
+        .unwrap_err();
+        assert!(err.contains("unknown-graph"), "{err}");
+        server.shutdown();
+    }
+}

@@ -8,7 +8,7 @@
 //! artifact, so a warm rerun performs zero transform/transpose work
 //! (`--stats` shows the cache outcome and work counters).
 
-use tigr_core::PrepareSpec;
+use tigr_core::{CancelToken, PrepareSpec};
 use tigr_engine::{
     default_threads, pr, CpuOptions, CpuSchedule, Direction, Engine, FrontierMode, MonotoneProgram,
     PrMode, PushOptions, Representation, ScheduleStats,
@@ -17,7 +17,7 @@ use tigr_graph::{Csr, NodeId};
 use tigr_sim::GpuConfig;
 
 use crate::args::Args;
-use crate::commands::{format_prepare_report, store_from_args, CmdResult};
+use crate::commands::{format_prepare_report, store_from_args, timeout_message, CmdResult};
 
 /// Runs the `run` command.
 pub fn run(args: &Args) -> CmdResult {
@@ -76,9 +76,26 @@ pub fn run(args: &Args) -> CmdResult {
     if let (Some(k), false) = (virtual_k, cpu) {
         spec = spec.with_virtual(k, args.switch("coalesced"));
     }
+    // --deadline-ms bounds preparation *and* execution with one
+    // cooperative cancel token, polled at iteration boundaries; expiry
+    // exits with the distinct timeout code.
+    let cancel = match args.flag("deadline-ms") {
+        Some(ms) => {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| "invalid --deadline-ms".to_string())?;
+            CancelToken::with_deadline(std::time::Duration::from_millis(ms))
+        }
+        None => CancelToken::never(),
+    };
     let prepared = store_from_args(args)
-        .prepare(&spec)
-        .map_err(|e| format!("cannot load {path}: {e}"))?;
+        .prepare_cancellable(&spec, &cancel)
+        .map_err(|e| match e {
+            tigr_graph::GraphError::Cancelled => {
+                timeout_message(format!("loading {path} hit --deadline-ms"))
+            }
+            other => format!("cannot load {path}: {other}"),
+        })?;
     let g = prepared.graph();
     if g.num_nodes() == 0 {
         return Err("graph is empty".into());
@@ -95,7 +112,7 @@ pub fn run(args: &Args) -> CmdResult {
                     .into(),
             );
         }
-        let mut out = run_cpu(args, g, analytic, source, worklist, schedule)?;
+        let mut out = run_cpu(args, g, analytic, source, worklist, schedule, &cancel)?;
         if args.switch("stats") {
             out.push_str(&format_prepare_report(prepared.report()));
         }
@@ -108,7 +125,8 @@ pub fn run(args: &Args) -> CmdResult {
             frontier,
             ..PushOptions::default()
         })
-        .with_direction(direction);
+        .with_direction(direction)
+        .with_cancel(cancel.clone());
     let rep = Representation::from_prepared(&prepared);
 
     let mut out = String::new();
@@ -124,6 +142,12 @@ pub fn run(args: &Args) -> CmdResult {
             let result = engine
                 .run_prepared(&prepared, prog, src)
                 .map_err(|e| e.to_string())?;
+            if result.cancelled {
+                return Err(timeout_message(format!(
+                    "{analytic} stopped after {} iterations",
+                    result.directions.len()
+                )));
+            }
             let finite = result
                 .values
                 .iter()
@@ -168,6 +192,12 @@ pub fn run(args: &Args) -> CmdResult {
             let result = engine
                 .pagerank_prepared(&prepared, &options)
                 .map_err(|e| e.to_string())?;
+            if result.cancelled {
+                return Err(timeout_message(format!(
+                    "pagerank stopped after {} iterations",
+                    result.report.num_iterations()
+                )));
+            }
             let (top, rank) = result
                 .ranks
                 .iter()
@@ -236,6 +266,7 @@ fn run_cpu(
     source: NodeId,
     frontier: bool,
     schedule: Option<CpuSchedule>,
+    cancel: &CancelToken,
 ) -> CmdResult {
     let mut cpu = CpuOptions {
         threads: args.flag_or("threads", default_threads())?,
@@ -249,7 +280,9 @@ fn run_cpu(
     if cpu.threads == 0 {
         return Err("--threads must be at least 1".into());
     }
-    let engine = Engine::default().with_cpu_options(cpu);
+    let engine = Engine::default()
+        .with_cpu_options(cpu)
+        .with_cancel(cancel.clone());
 
     let mut out = String::new();
     let (iterations, edges, elapsed, sched) = match analytic {
@@ -262,6 +295,12 @@ fn run_cpu(
             };
             let src = prog.needs_source().then_some(source);
             let result = engine.run_cpu(g, prog, src);
+            if result.cancelled {
+                return Err(timeout_message(format!(
+                    "{analytic} on cpu stopped after {} iterations",
+                    result.iterations
+                )));
+            }
             let finite = result
                 .values
                 .iter()
@@ -279,6 +318,12 @@ fn run_cpu(
         }
         "pr" | "pagerank" => {
             let result = engine.cpu_pagerank(g, &pr::PrOptions::default());
+            if result.cancelled {
+                return Err(timeout_message(format!(
+                    "pagerank on cpu stopped after {} iterations",
+                    result.iterations
+                )));
+            }
             let (top, rank) = result
                 .ranks
                 .iter()
@@ -338,7 +383,8 @@ fn format_schedule_stats(sched: &ScheduleStats) -> String {
 
 const USAGE: &str = "usage: tigr run <bfs|sssp|sswp|cc|pr|bc> --graph <file> \
 [--source N] [--virtual K [--coalesced]] [--direction push|pull|auto] \
-[--frontier auto|dense|sparse|off] [--report] [--stats] [--cache-dir DIR] \
+[--frontier auto|dense|sparse|off] [--deadline-ms MS] [--report] [--stats] \
+[--cache-dir DIR] \
 [--cpu [--cpu-schedule node-chunk|edge-balanced|virtual] [--threads N]]";
 
 #[cfg(test)]
@@ -535,6 +581,30 @@ mod tests {
         let out = run(&parse(&format!("bfs --graph {path} --cpu --stats"))).unwrap();
         assert!(out.contains("steals"), "{out}");
         assert!(out.contains("cache           off"), "{out}");
+    }
+
+    #[test]
+    fn zero_deadline_times_out_with_marker() {
+        let path = fixture();
+        for cmd in [
+            format!("sssp --graph {path} --deadline-ms 0"),
+            format!("sssp --graph {path} --cpu --deadline-ms 0"),
+        ] {
+            let err = run(&parse(&cmd)).unwrap_err();
+            assert!(
+                err.starts_with(crate::commands::TIMEOUT_PREFIX),
+                "{cmd}: {err}"
+            );
+        }
+        let err = run(&parse(&format!("sssp --graph {path} --deadline-ms soon"))).unwrap_err();
+        assert!(err.contains("invalid --deadline-ms"));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let path = fixture();
+        let out = run(&parse(&format!("bfs --graph {path} --deadline-ms 60000"))).unwrap();
+        assert!(out.contains("non-trivial values"), "{out}");
     }
 
     #[test]

@@ -25,7 +25,11 @@ fn main() {
         }
         Err(message) => {
             eprintln!("error: {message}");
-            2
+            if message.starts_with(commands::TIMEOUT_PREFIX) {
+                commands::EXIT_TIMEOUT
+            } else {
+                2
+            }
         }
     });
 }
@@ -41,6 +45,8 @@ fn dispatch(raw: &[String]) -> commands::CmdResult {
         "transform" => commands::transform::run(&args),
         "prepare" => commands::prepare::run(&args),
         "run" => commands::run::run(&args),
+        "serve" => commands::serve::run(&args),
+        "query" => commands::query::run(&args),
         "convert" => convert(&args),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(format!("unknown command `{other}`\n{HELP}")),
@@ -68,10 +74,13 @@ commands:
   transform <topology> -i <in> -o <out>  udt | star | recursive-star | circular | clique
   prepare --graph <file>                 warm the artifact cache for later runs
   run <analytic> --graph <file>          bfs | sssp | sswp | cc | pr | bc
+  serve --graph <file>                   long-lived query daemon (TCP/Unix socket)
+  query <verb> --addr HOST:PORT          bfs | sssp | sswp | cc | pr | stats | ping
   convert -i <in> -o <out>               formats by extension: .txt .mtx .gr .bin
 
 formats: edge list (.txt), MatrixMarket (.mtx), DIMACS (.gr), binary (.bin/.tigr)
 caching: --cache-dir DIR (or TIGR_CACHE_DIR) stores prepared TIGRCSR2 artifacts
+deadlines: run/prepare/query accept --deadline-ms; expiry exits with code 3
 ";
 
 #[cfg(test)]

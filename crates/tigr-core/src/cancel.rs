@@ -1,0 +1,174 @@
+//! Cooperative cancellation for long-running derivations and engine
+//! runs.
+//!
+//! A [`CancelToken`] is a cheaply cloneable handle that execution loops
+//! poll at iteration boundaries: the engine's BSP drivers check it once
+//! per iteration, and [`crate::GraphStore`] checks it between derivation
+//! steps. Cancellation is *cooperative* — a run never stops mid-sweep,
+//! so the values array always holds a consistent monotone prefix of the
+//! fixpoint computation, never a torn write.
+//!
+//! Tokens carry two triggers that are checked together:
+//!
+//! * an explicit flag, set by [`CancelToken::cancel`] (a client
+//!   disconnecting, a server draining its queue);
+//! * an optional deadline, armed by [`CancelToken::with_deadline`] (a
+//!   per-request latency budget, `tigr run --deadline-ms`).
+//!
+//! The default token ([`CancelToken::never`]) has neither and costs one
+//! branch per check, so un-cancellable call sites pay essentially
+//! nothing.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle polled at iteration boundaries.
+///
+/// Clones share the same state: cancelling any clone cancels them all.
+///
+/// # Example
+///
+/// ```
+/// use tigr_core::CancelToken;
+///
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+///
+/// // The default token can never fire.
+/// assert!(!CancelToken::never().is_cancelled());
+/// ```
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that can only be cancelled explicitly.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// A token that can never fire; checks compile to a single branch.
+    pub fn never() -> CancelToken {
+        CancelToken { inner: None }
+    }
+
+    /// A token that fires once `budget` has elapsed (or when cancelled
+    /// explicitly, whichever comes first).
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+            })),
+        }
+    }
+
+    /// Sets the explicit flag; every clone observes it.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether the token has fired (explicit cancel or elapsed
+    /// deadline). The check loops poll.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.flag.load(Ordering::Acquire)
+                    || inner.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+
+    /// Whether the token fired *because its deadline elapsed* (rather
+    /// than an explicit [`CancelToken::cancel`]): lets callers report
+    /// "deadline exceeded" distinctly from "cancelled".
+    pub fn deadline_exceeded(&self) -> bool {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.deadline)
+            .is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Time left before the deadline fires; `None` when no deadline is
+    /// armed, `Some(0)` once it has passed.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.deadline)
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("armed", &self.inner.is_some())
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_is_inert() {
+        let t = CancelToken::never();
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(!t.deadline_exceeded());
+        assert_eq!(t.remaining(), None);
+        assert!(!CancelToken::default().is_cancelled());
+    }
+
+    #[test]
+    fn explicit_cancel_propagates_to_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!clone.is_cancelled());
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert!(!clone.deadline_exceeded(), "no deadline was armed");
+    }
+
+    #[test]
+    fn deadline_fires_and_is_distinguishable() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert!(t.deadline_exceeded());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+
+        let slow = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!slow.is_cancelled());
+        assert!(!slow.deadline_exceeded());
+        assert!(slow.remaining().unwrap() > Duration::from_secs(3000));
+        slow.cancel();
+        assert!(slow.is_cancelled());
+        assert!(!slow.deadline_exceeded(), "cancelled, but deadline unmet");
+    }
+
+    #[test]
+    fn token_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CancelToken>();
+    }
+}

@@ -42,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod cancel;
 pub mod correctness;
 pub mod k_select;
 pub mod split;
@@ -50,6 +51,7 @@ mod virtual_graph;
 
 mod dumb_weights;
 
+pub use cancel::CancelToken;
 pub use dumb_weights::DumbWeight;
 pub use split::{
     circular_transform, clique_transform, recursive_star_transform, star_transform, udt_transform,

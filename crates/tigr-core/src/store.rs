@@ -29,6 +29,7 @@
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use tigr_graph::io::{
     self, find_section, fnv1a64, Section, SECTION_CSR, SECTION_OVERLAY, SECTION_REV_OVERLAY,
@@ -37,6 +38,7 @@ use tigr_graph::io::{
 use tigr_graph::reverse::transpose;
 use tigr_graph::{generators, Csr, GraphError, Result};
 
+use crate::cancel::CancelToken;
 use crate::dumb_weights::DumbWeight;
 use crate::k_select;
 use crate::split::{
@@ -393,11 +395,37 @@ impl GraphStore {
     /// A corrupt or stale artifact is treated as a miss and rebuilt; the
     /// condition is reported on stderr but never fails the call.
     ///
+    /// Resolution is safe under concurrency: any number of threads (or
+    /// processes) may warm the same key at once. Each racer writes the
+    /// artifact through its own uniquely named temp file and publishes it
+    /// with an atomic rename, so every racer succeeds and returns a
+    /// coherent [`PreparedGraph`]; the artifacts are byte-identical, so
+    /// it does not matter whose rename lands last.
+    ///
     /// # Errors
     ///
     /// Returns [`GraphError`] when the source cannot be loaded or the
     /// generator tag is malformed.
     pub fn prepare(&self, spec: &PrepareSpec) -> Result<PreparedGraph> {
+        self.prepare_cancellable(spec, &CancelToken::never())
+    }
+
+    /// [`GraphStore::prepare`] with a cooperative cancellation hook: the
+    /// token is polled between derivation steps (after the source
+    /// resolves, and before each transform / overlay / transpose build),
+    /// so a deadline-bound caller never waits out an expensive
+    /// derivation it no longer wants. A fired token aborts with
+    /// [`GraphError::Cancelled`] and writes no artifact.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`GraphStore::prepare`] returns, plus
+    /// [`GraphError::Cancelled`] when `cancel` fires mid-derivation.
+    pub fn prepare_cancellable(
+        &self,
+        spec: &PrepareSpec,
+        cancel: &CancelToken,
+    ) -> Result<PreparedGraph> {
         // Resolve the source identity first: file bytes are read exactly
         // once and reused for parsing on a miss.
         let file_bytes = match &spec.source {
@@ -448,6 +476,9 @@ impl GraphStore {
             overlays_built: 0,
         };
 
+        if cancel.is_cancelled() {
+            return Err(GraphError::Cancelled);
+        }
         let mut graph = match &spec.source {
             GraphSource::File(path) => parse_graph_bytes(path, &file_bytes.unwrap())?,
             GraphSource::Generated { tag, seed } => generate_from_tag(tag, *seed)?,
@@ -456,11 +487,17 @@ impl GraphStore {
             graph = generators::with_uniform_weights(&graph, lo, hi, seed);
         }
 
+        if cancel.is_cancelled() {
+            return Err(GraphError::Cancelled);
+        }
         let transformed = spec.transform.as_ref().map(|t| {
             report.transforms_built += 1;
             let k = t.k.unwrap_or_else(|| k_select::physical_k(&graph));
             t.kind.apply(&graph, k, t.dumb)
         });
+        if cancel.is_cancelled() {
+            return Err(GraphError::Cancelled);
+        }
         let overlay = spec.virtual_k.map(|k| {
             report.overlays_built += 1;
             if spec.coalesced {
@@ -469,12 +506,18 @@ impl GraphStore {
                 VirtualGraph::new(&graph, k)
             }
         });
+        if cancel.is_cancelled() {
+            return Err(GraphError::Cancelled);
+        }
         let rev = if spec.transpose {
             report.transposes_built += 1;
             Some(transpose(&graph))
         } else {
             None
         };
+        if cancel.is_cancelled() {
+            return Err(GraphError::Cancelled);
+        }
         let rev_overlay = match (&rev, spec.virtual_k) {
             (Some(rev), Some(k)) => {
                 report.overlays_built += 1;
@@ -645,8 +688,14 @@ fn load_artifact(path: &Path, spec: &PrepareSpec, canonical: &str) -> Result<Pre
     })
 }
 
-/// Writes the artifact atomically (temp file + rename) so a concurrent
-/// reader never observes a partial container.
+/// Monotone counter distinguishing concurrent temp files within one
+/// process; the process id alone is not unique across threads racing
+/// the same key.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Writes the artifact atomically (uniquely named temp file + rename) so
+/// a concurrent reader never observes a partial container and same-key
+/// racers never clobber each other's in-progress temp file.
 fn write_artifact(path: &Path, prepared: &PreparedGraph, canonical: &str) -> Result<()> {
     if let Some(dir) = path.parent() {
         fs::create_dir_all(dir)?;
@@ -667,7 +716,11 @@ fn write_artifact(path: &Path, prepared: &PreparedGraph, canonical: &str) -> Res
     if let Some(t) = &prepared.transformed {
         sections.push(Section::new(SECTION_TRANSFORM, t.to_section_bytes()));
     }
-    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    let tmp = path.with_extension(format!(
+        "tmp{}-{}",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
     io::write_container(&sections, fs::File::create(&tmp)?)?;
     fs::rename(&tmp, path)?;
     Ok(())
@@ -843,6 +896,81 @@ mod tests {
         assert_eq!(a.topology(), b.topology());
         assert_eq!(a.num_new_edges(), b.num_new_edges());
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_warmup_of_same_key_both_succeed() {
+        use std::sync::{Arc, Barrier};
+
+        let dir = temp_dir("race");
+        let store = GraphStore::new(Some(dir.clone()));
+        let spec = full_spec();
+        let barrier = Arc::new(Barrier::new(2));
+
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let store = store.clone();
+                let spec = spec.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    store.prepare(&spec).unwrap()
+                })
+            })
+            .collect();
+        let results: Vec<PreparedGraph> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        // Both racers return coherent, equal prepared graphs.
+        assert_eq!(results[0].graph(), results[1].graph());
+        assert_eq!(results[0].transpose(), results[1].transpose());
+        assert_eq!(results[0].overlay(), results[1].overlay());
+        assert_eq!(results[0].rev_overlay(), results[1].rev_overlay());
+        assert_eq!(results[0].report().key, results[1].report().key);
+
+        // Whoever renamed last left a valid artifact; no stray temp
+        // files survive the race.
+        let after = store.prepare(&spec).unwrap();
+        assert_eq!(after.report().cache, CacheStatus::Hit);
+        assert_eq!(after.graph(), results[0].graph());
+        for entry in fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name().into_string().unwrap();
+            assert!(!name.contains("tmp"), "leftover temp file {name}");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cancelled_prepare_aborts_without_artifact() {
+        let dir = temp_dir("cancel");
+        let store = GraphStore::new(Some(dir.clone()));
+        let spec = full_spec();
+
+        let token = CancelToken::new();
+        token.cancel();
+        match store.prepare_cancellable(&spec, &token) {
+            Err(GraphError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // No artifact was written for the aborted derivation.
+        let probe = store.prepare(&spec).unwrap();
+        assert_eq!(probe.report().cache, CacheStatus::Miss);
+
+        // An inert token leaves behaviour identical to plain prepare.
+        let warm = store
+            .prepare_cancellable(&spec, &CancelToken::never())
+            .unwrap();
+        assert_eq!(warm.report().cache, CacheStatus::Hit);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prepared_graph_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        // The server shares PreparedGraphs across worker threads via
+        // Arc<PreparedGraph>; that requires Send + Sync here.
+        assert_send_sync::<PreparedGraph>();
+        assert_send_sync::<GraphStore>();
+        assert_send_sync::<PrepareReport>();
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! variant are provided; pull mode is what lets shard/scan frameworks win
 //! PR in Table 4.
 
+use tigr_core::CancelToken;
 use tigr_graph::{Csr, NodeId};
 use tigr_sim::{GpuSimulator, SimReport};
 
@@ -64,6 +65,9 @@ pub struct PrOutput {
     pub report: SimReport,
     /// `false` if `max_iterations` hit before `tolerance`.
     pub converged: bool,
+    /// `true` if a [`CancelToken`] fired between power iterations before
+    /// `tolerance` was reached.
+    pub cancelled: bool,
 }
 
 /// Runs PageRank over `rep`.
@@ -84,6 +88,23 @@ pub fn run(
     out_degrees: &[u32],
     options: &PrOptions,
 ) -> PrOutput {
+    run_cancellable(sim, rep, out_degrees, options, &CancelToken::never())
+}
+
+/// [`run`] with a cooperative cancellation hook polled between power
+/// iterations: a fired token stops the run with `cancelled = true`,
+/// returning the ranks of the last completed iteration.
+///
+/// # Panics
+///
+/// See [`run`].
+pub fn run_cancellable(
+    sim: &GpuSimulator,
+    rep: &Representation<'_>,
+    out_degrees: &[u32],
+    options: &PrOptions,
+    cancel: &CancelToken,
+) -> PrOutput {
     let n = rep.num_value_slots();
     assert_eq!(
         out_degrees.len(),
@@ -99,6 +120,7 @@ pub fn run(
             ranks: Vec::new(),
             report: SimReport::new(),
             converged: true,
+            cancelled: false,
         };
     }
 
@@ -106,8 +128,13 @@ pub fn run(
     let accum = AtomicFloats::new(n, 0.0);
     let mut report = SimReport::new();
     let mut converged = false;
+    let mut cancelled = false;
 
     for _ in 0..options.max_iterations {
+        if cancel.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         accum.fill(0.0);
         let threads = rep.full_threads();
 
@@ -152,6 +179,7 @@ pub fn run(
         ranks: ranks.snapshot(),
         report,
         converged,
+        cancelled,
     }
 }
 

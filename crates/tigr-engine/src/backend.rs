@@ -27,8 +27,8 @@ use crate::frontier::{Frontier, FrontierBuilder, FrontierRep};
 use crate::kernel::{csr_edges, pull_gather, push_relax, GatherFilter, NoMirror};
 use crate::plan::{BackendKind, Direction, ExecutionPlan};
 use crate::program::{EdgeOp, InitKind, MonotoneProgram};
-use crate::pull::{pull_step, run_monotone_pull, GatherCtx, PullOptions};
-use crate::push::{run_monotone, worklist_sweep, IterCtx, MonotoneOutput, SyncMode};
+use crate::pull::{pull_step, run_monotone_pull_cancellable, GatherCtx, PullOptions};
+use crate::push::{run_monotone_cancellable, worklist_sweep, IterCtx, MonotoneOutput, SyncMode};
 use crate::representation::Representation;
 use crate::runner::EngineError;
 use crate::state::{AtomicValues, Combine};
@@ -73,8 +73,9 @@ pub(crate) fn run_sim_plan(
     source: Option<NodeId>,
     plan: &ExecutionPlan,
 ) -> MonotoneOutput {
+    let cancel = &plan.cancel;
     match plan.direction {
-        Direction::Push => run_monotone(sim, rep, prog, source, &plan.push),
+        Direction::Push => run_monotone_cancellable(sim, rep, prog, source, &plan.push, cancel),
         Direction::Pull => {
             let options = PullOptions {
                 worklist: plan.push.worklist,
@@ -83,7 +84,9 @@ pub(crate) fn run_sim_plan(
             match rep {
                 // Let the pull driver reject the split with its canonical
                 // message.
-                Representation::Physical(_) => run_monotone_pull(sim, rep, prog, source, &options),
+                Representation::Physical(_) => {
+                    run_monotone_pull_cancellable(sim, rep, prog, source, &options, cancel)
+                }
                 Representation::Original(g) => {
                     let rev_owned;
                     let rev = match &pull_side {
@@ -93,7 +96,14 @@ pub(crate) fn run_sim_plan(
                             &rev_owned
                         }
                     };
-                    run_monotone_pull(sim, &Representation::Original(rev), prog, source, &options)
+                    run_monotone_pull_cancellable(
+                        sim,
+                        &Representation::Original(rev),
+                        prog,
+                        source,
+                        &options,
+                        cancel,
+                    )
                 }
                 Representation::Virtual { graph, overlay } => {
                     let rev_owned;
@@ -114,7 +124,7 @@ pub(crate) fn run_sim_plan(
                             &rov_owned
                         }
                     };
-                    run_monotone_pull(
+                    run_monotone_pull_cancellable(
                         sim,
                         &Representation::Virtual {
                             graph: rev,
@@ -123,12 +133,13 @@ pub(crate) fn run_sim_plan(
                         prog,
                         source,
                         &options,
+                        cancel,
                     )
                 }
                 Representation::OnTheFly { graph, mapper } => {
                     let rev = transpose(graph);
                     let m = tigr_core::OnTheFlyMapper::new(&rev, mapper.k());
-                    run_monotone_pull(
+                    run_monotone_pull_cancellable(
                         sim,
                         &Representation::OnTheFly {
                             graph: &rev,
@@ -137,6 +148,7 @@ pub(crate) fn run_sim_plan(
                         prog,
                         source,
                         &options,
+                        cancel,
                     )
                 }
             }
@@ -190,7 +202,7 @@ pub(crate) fn run_monotone_auto(
     };
     if !plan.push.worklist || plan.push.sync == SyncMode::Bsp || !can_pull || plan.auto.alpha <= 0.0
     {
-        return run_monotone(sim, rep, prog, source, &plan.push);
+        return run_monotone_cancellable(sim, rep, prog, source, &plan.push, &plan.cancel);
     }
 
     let g = rep.graph();
@@ -218,9 +230,14 @@ pub(crate) fn run_monotone_auto(
     let mut rev_owned: Option<Csr> = None;
     let mut rev_ov_owned: Option<VirtualGraph> = None;
 
+    let mut cancelled = false;
     for _ in 0..plan.push.max_iterations {
         if frontier.is_empty() {
             converged = true;
+            break;
+        }
+        if plan.cancel.is_cancelled() {
+            cancelled = true;
             break;
         }
         let frontier_edges = out_edges(frontier.nodes());
@@ -297,6 +314,7 @@ pub(crate) fn run_monotone_auto(
         converged,
         edges_touched: edges_touched.into_inner(),
         directions,
+        cancelled,
     }
 }
 
@@ -375,23 +393,31 @@ impl Backend for CpuPool {
             plan.direction = Direction::Push;
         }
         plan.validate(rep, &prog)?;
+        let cancel = &plan.cancel;
         let out = match rep {
             Representation::Virtual { graph, overlay } => {
-                crate::cpu_parallel::run_cpu_virtual(graph, overlay, prog, source, &plan.cpu)
+                crate::cpu_parallel::run_cpu_virtual_cancellable(
+                    graph, overlay, prog, source, &plan.cpu, cancel,
+                )
             }
-            Representation::Physical(t) => {
-                crate::cpu_parallel::run_cpu_with(t.graph(), prog, source, &plan.cpu)
-            }
+            Representation::Physical(t) => crate::cpu_parallel::run_cpu_with_cancellable(
+                t.graph(),
+                prog,
+                source,
+                &plan.cpu,
+                cancel,
+            ),
             Representation::Original(g) | Representation::OnTheFly { graph: g, .. } => {
-                crate::cpu_parallel::run_cpu_with(g, prog, source, &plan.cpu)
+                crate::cpu_parallel::run_cpu_with_cancellable(g, prog, source, &plan.cpu, cancel)
             }
         };
         Ok(MonotoneOutput {
             values: out.values,
             report: SimReport::new(),
-            converged: true,
+            converged: !out.cancelled,
             edges_touched: out.edges_touched,
             directions: vec![Direction::Push; out.iterations],
+            cancelled: out.cancelled,
         })
     }
 }
@@ -441,9 +467,14 @@ fn sequential_push(
     let mut edges_touched = 0u64;
     let mut iterations = 0usize;
     let mut converged = false;
+    let mut cancelled = false;
     for _ in 0..plan.push.max_iterations {
         if plan.push.worklist && active.is_empty() {
             converged = true;
+            break;
+        }
+        if plan.cancel.is_cancelled() {
+            cancelled = true;
             break;
         }
         iterations += 1;
@@ -486,6 +517,7 @@ fn sequential_push(
         converged,
         edges_touched,
         directions: vec![Direction::Push; iterations],
+        cancelled,
     }
 }
 
@@ -511,12 +543,17 @@ fn sequential_pull(
     let mut edges_touched = 0u64;
     let mut iterations = 0usize;
     let mut converged = false;
+    let mut cancelled = false;
     for _ in 0..plan.push.max_iterations {
         if let Some(f) = &frontier {
             if f.is_empty() {
                 converged = true;
                 break;
             }
+        }
+        if plan.cancel.is_cancelled() {
+            cancelled = true;
+            break;
         }
         iterations += 1;
         let mut changed = false;
@@ -552,6 +589,7 @@ fn sequential_pull(
         converged,
         edges_touched,
         directions: vec![Direction::Pull; iterations],
+        cancelled,
     }
 }
 

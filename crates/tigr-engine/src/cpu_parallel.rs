@@ -36,7 +36,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::RwLock;
 use std::time::{Duration, Instant};
 
-use tigr_core::VirtualGraph;
+use tigr_core::{CancelToken, VirtualGraph};
 use tigr_graph::{Csr, NodeId};
 
 use crate::algorithms::pr::{PrMode, PrOptions};
@@ -158,6 +158,10 @@ pub struct CpuRunOutput {
     pub edges_touched: u64,
     /// Steal and load-balance counters.
     pub sched: ScheduleStats,
+    /// `true` if a [`CancelToken`] fired at a BSP iteration boundary
+    /// before the fixpoint was reached; the values hold the consistent
+    /// monotone prefix computed so far.
+    pub cancelled: bool,
 }
 
 /// Knobs for [`run_cpu_with`].
@@ -244,12 +248,30 @@ pub fn run_cpu_with(
     source: Option<NodeId>,
     options: &CpuOptions,
 ) -> CpuRunOutput {
+    run_cpu_with_cancellable(g, prog, source, options, &CancelToken::never())
+}
+
+/// [`run_cpu_with`] with a cooperative cancellation hook: `cancel` is
+/// polled between BSP iterations (never mid-sweep), so a fired token
+/// stops the run with `cancelled = true` and a consistent monotone
+/// value prefix.
+///
+/// # Panics
+///
+/// See [`run_cpu_with`].
+pub fn run_cpu_with_cancellable(
+    g: &Csr,
+    prog: MonotoneProgram,
+    source: Option<NodeId>,
+    options: &CpuOptions,
+    cancel: &CancelToken,
+) -> CpuRunOutput {
     match options.schedule {
         CpuSchedule::Virtual => {
             let overlay = VirtualGraph::new(g, options.virtual_k.max(1));
-            run_monotone_cpu(g, Some(&overlay), prog, source, options)
+            run_monotone_cpu(g, Some(&overlay), prog, source, options, cancel)
         }
-        _ => run_monotone_cpu(g, None, prog, source, options),
+        _ => run_monotone_cpu(g, None, prog, source, options, cancel),
     }
 }
 
@@ -268,11 +290,28 @@ pub fn run_cpu_virtual(
     source: Option<NodeId>,
     options: &CpuOptions,
 ) -> CpuRunOutput {
+    run_cpu_virtual_cancellable(g, overlay, prog, source, options, &CancelToken::never())
+}
+
+/// [`run_cpu_virtual`] with a cooperative cancellation hook (see
+/// [`run_cpu_with_cancellable`] for the contract).
+///
+/// # Panics
+///
+/// See [`run_cpu_virtual`].
+pub fn run_cpu_virtual_cancellable(
+    g: &Csr,
+    overlay: &VirtualGraph,
+    prog: MonotoneProgram,
+    source: Option<NodeId>,
+    options: &CpuOptions,
+    cancel: &CancelToken,
+) -> CpuRunOutput {
     assert!(
         overlay.num_physical_nodes() == g.num_nodes(),
         "overlay built for a different graph"
     );
-    run_monotone_cpu(g, Some(overlay), prog, source, options)
+    run_monotone_cpu(g, Some(overlay), prog, source, options, cancel)
 }
 
 /// Shared sweep state the worker body closures capture.
@@ -377,6 +416,7 @@ fn run_monotone_cpu(
     prog: MonotoneProgram,
     source: Option<NodeId>,
     options: &CpuOptions,
+    cancel: &CancelToken,
 ) -> CpuRunOutput {
     let threads = options.threads;
     assert!(threads > 0, "need at least one worker thread");
@@ -397,6 +437,7 @@ fn run_monotone_cpu(
             elapsed: start.elapsed(),
             edges_touched: 0,
             sched: ScheduleStats::new(schedule, vec![0; threads]),
+            cancelled: false,
         };
     }
 
@@ -413,12 +454,15 @@ fn run_monotone_cpu(
     };
     let body = |w: usize, r: Range<usize>| state.process(w, r);
 
-    let (iterations, steals) = if schedule == CpuSchedule::NodeChunk {
+    let ((iterations, cancelled), steals) = if schedule == CpuSchedule::NodeChunk {
         let runner = pool::SpawnPerEpoch::new(threads, &body);
-        (drive_monotone(&state, &runner, source, schedule), 0)
+        (drive_monotone(&state, &runner, source, schedule, cancel), 0)
     } else {
         pool::with_pool(threads, &body, |p| {
-            (drive_monotone(&state, p, source, schedule), p.steals())
+            (
+                drive_monotone(&state, p, source, schedule, cancel),
+                p.steals(),
+            )
         })
     };
 
@@ -437,16 +481,20 @@ fn run_monotone_cpu(
             steals,
             worker_edges,
         },
+        cancelled,
     }
 }
 
-/// The BSP driver loop, shared by all schedules and executors.
+/// The BSP driver loop, shared by all schedules and executors. Returns
+/// `(iterations, cancelled)`; the token is polled between epochs only,
+/// so a cancelled run still ends on a consistent iteration boundary.
 fn drive_monotone(
     state: &SweepState<'_>,
     runner: &dyn EpochRunner,
     source: Option<NodeId>,
     schedule: CpuSchedule,
-) -> usize {
+    cancel: &CancelToken,
+) -> (usize, bool) {
     let g = state.g;
     let n = g.num_nodes();
     let threads = runner.workers();
@@ -459,6 +507,9 @@ fn drive_monotone(
         active.dedup();
         let mut degree_prefix: Vec<u64> = Vec::new();
         while !active.is_empty() {
+            if cancel.is_cancelled() {
+                return (iterations.max(1), true);
+            }
             let nitems = {
                 let mut items = state.items.write().unwrap();
                 match state.overlay {
@@ -491,7 +542,7 @@ fn drive_monotone(
         }
         // A frontier run with nothing initially active still counts as
         // one (empty) inspection pass, matching the full-sweep loop.
-        iterations.max(1)
+        (iterations.max(1), false)
     } else {
         // Static partition, computed once: the item space never changes.
         match (schedule, state.overlay) {
@@ -503,6 +554,9 @@ fn drive_monotone(
             _ => count_bounds(n, &mut bounds),
         }
         loop {
+            if cancel.is_cancelled() {
+                return (iterations, true);
+            }
             state.changed.store(false, Ordering::Relaxed);
             runner.run_epoch(&bounds);
             iterations += 1;
@@ -510,7 +564,7 @@ fn drive_monotone(
                 break;
             }
         }
-        iterations
+        (iterations, false)
     }
 }
 
@@ -561,6 +615,9 @@ pub struct CpuPrOutput {
     pub edges_touched: u64,
     /// Steal and load-balance counters.
     pub sched: ScheduleStats,
+    /// `true` if a [`CancelToken`] fired between power iterations before
+    /// `tolerance` was reached.
+    pub cancelled: bool,
 }
 
 /// Shared PageRank state; the worker body dispatches on `phase`.
@@ -681,6 +738,21 @@ impl PrState<'_> {
 /// Panics if `options.mode` is [`PrMode::Pull`] (the CPU path schedules
 /// the forward graph only) or `cpu_options.threads == 0`.
 pub fn run_cpu_pr(g: &Csr, options: &PrOptions, cpu_options: &CpuOptions) -> CpuPrOutput {
+    run_cpu_pr_cancellable(g, options, cpu_options, &CancelToken::never())
+}
+
+/// [`run_cpu_pr`] with a cooperative cancellation hook polled between
+/// power iterations (see [`run_cpu_with_cancellable`] for the contract).
+///
+/// # Panics
+///
+/// See [`run_cpu_pr`].
+pub fn run_cpu_pr_cancellable(
+    g: &Csr,
+    options: &PrOptions,
+    cpu_options: &CpuOptions,
+    cancel: &CancelToken,
+) -> CpuPrOutput {
     assert!(
         options.mode == PrMode::Push,
         "CPU PageRank supports push mode only"
@@ -698,6 +770,7 @@ pub fn run_cpu_pr(g: &Csr, options: &PrOptions, cpu_options: &CpuOptions) -> Cpu
             elapsed: start.elapsed(),
             edges_touched: 0,
             sched: ScheduleStats::new(schedule, vec![0; threads]),
+            cancelled: false,
         };
     }
 
@@ -719,14 +792,12 @@ pub fn run_cpu_pr(g: &Csr, options: &PrOptions, cpu_options: &CpuOptions) -> Cpu
     };
     let body = |w: usize, r: Range<usize>| state.process(w, r);
 
-    let (iterations, converged, steals) = if schedule == CpuSchedule::NodeChunk {
+    let ((iterations, converged, cancelled), steals) = if schedule == CpuSchedule::NodeChunk {
         let runner = pool::SpawnPerEpoch::new(threads, &body);
-        let (it, conv) = drive_pr(&state, &runner, options, schedule);
-        (it, conv, 0)
+        (drive_pr(&state, &runner, options, schedule, cancel), 0)
     } else {
         pool::with_pool(threads, &body, |p| {
-            let (it, conv) = drive_pr(&state, p, options, schedule);
-            (it, conv, p.steals())
+            (drive_pr(&state, p, options, schedule, cancel), p.steals())
         })
     };
 
@@ -746,6 +817,7 @@ pub fn run_cpu_pr(g: &Csr, options: &PrOptions, cpu_options: &CpuOptions) -> Cpu
             steals,
             worker_edges,
         },
+        cancelled,
     }
 }
 
@@ -754,7 +826,8 @@ fn drive_pr(
     runner: &dyn EpochRunner,
     options: &PrOptions,
     schedule: CpuSchedule,
-) -> (usize, bool) {
+    cancel: &CancelToken,
+) -> (usize, bool, bool) {
     let g = state.g;
     let n = g.num_nodes();
     let threads = runner.workers();
@@ -778,6 +851,9 @@ fn drive_pr(
 
     let mut iterations = 0usize;
     for _ in 0..options.max_iterations {
+        if cancel.is_cancelled() {
+            return (iterations, false, true);
+        }
         state.accum.fill(0.0);
         state.phase.store(PHASE_SCATTER, Ordering::Relaxed);
         runner.run_epoch(&scatter_bounds);
@@ -801,10 +877,10 @@ fn drive_pr(
             .map(|s| f64::from_bits(s.load(Ordering::Relaxed)))
             .sum();
         if delta < options.tolerance as f64 {
-            return (iterations, true);
+            return (iterations, true, false);
         }
     }
-    (iterations, false)
+    (iterations, false, false)
 }
 
 /// Number of worker threads matching the host's parallelism.

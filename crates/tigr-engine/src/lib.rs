@@ -60,7 +60,8 @@ pub use algorithms::pr::{self, PrMode, PrOptions, PrOutput};
 pub use algorithms::{bfs, cc, sssp, sswp, Analytic};
 pub use backend::{Backend, CpuPool, Sequential, WarpSim};
 pub use cpu_parallel::{
-    default_threads, run_cpu, run_cpu_pr, run_cpu_virtual, run_cpu_with, CpuOptions, CpuPrOutput,
+    default_threads, run_cpu, run_cpu_pr, run_cpu_pr_cancellable, run_cpu_virtual,
+    run_cpu_virtual_cancellable, run_cpu_with, run_cpu_with_cancellable, CpuOptions, CpuPrOutput,
     CpuRunOutput, CpuSchedule, ScheduleStats,
 };
 pub use frontier::{Frontier, FrontierBuilder, FrontierMode, FrontierRep, DENSE_FRACTION};
@@ -70,8 +71,8 @@ pub use kernel::{
 };
 pub use plan::{AutoOptions, BackendKind, Direction, ExecutionPlan, PlanError};
 pub use program::{EdgeOp, InitKind, MonotoneProgram};
-pub use pull::{run_monotone_pull, PullOptions};
-pub use push::{run_monotone, MonotoneOutput, PushOptions, SyncMode};
+pub use pull::{run_monotone_pull, run_monotone_pull_cancellable, PullOptions};
+pub use push::{run_monotone, run_monotone_cancellable, MonotoneOutput, PushOptions, SyncMode};
 pub use representation::Representation;
 pub use runner::{Engine, EngineError};
 pub use state::{AtomicFloats, AtomicValues, Combine};

@@ -21,6 +21,8 @@
 
 use std::fmt;
 
+use tigr_core::CancelToken;
+
 use crate::cpu_parallel::{CpuOptions, CpuSchedule};
 use crate::program::MonotoneProgram;
 use crate::push::PushOptions;
@@ -140,6 +142,12 @@ pub struct ExecutionPlan {
     pub push: PushOptions,
     /// CPU worker count, schedule, and virtual-chunk size.
     pub cpu: CpuOptions,
+    /// Cooperative cancellation token, polled by every backend driver at
+    /// iteration boundaries. The default ([`CancelToken::never`]) costs
+    /// one branch per iteration; arm it for per-request deadlines or
+    /// client-initiated aborts. A cancelled run returns its consistent
+    /// monotone prefix with `cancelled = true` and `converged = false`.
+    pub cancel: CancelToken,
 }
 
 impl ExecutionPlan {

@@ -15,6 +15,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+use tigr_core::CancelToken;
 use tigr_graph::NodeId;
 use tigr_sim::{GpuSimulator, KernelMetrics, SimReport};
 
@@ -164,6 +165,24 @@ pub fn run_monotone_pull(
     source: Option<NodeId>,
     options: &PullOptions,
 ) -> MonotoneOutput {
+    run_monotone_pull_cancellable(sim, rep, prog, source, options, &CancelToken::never())
+}
+
+/// [`run_monotone_pull`] with a cooperative cancellation hook polled
+/// once per iteration before the gather launches (see
+/// [`crate::push::run_monotone_cancellable`] for the contract).
+///
+/// # Panics
+///
+/// See [`run_monotone_pull`].
+pub fn run_monotone_pull_cancellable(
+    sim: &GpuSimulator,
+    rep: &Representation<'_>,
+    prog: MonotoneProgram,
+    source: Option<NodeId>,
+    options: &PullOptions,
+    cancel: &CancelToken,
+) -> MonotoneOutput {
     assert!(
         !matches!(rep, Representation::Physical(_)),
         "pull-based processing over a physically split graph is not meaningful; \
@@ -182,12 +201,17 @@ pub fn run_monotone_pull(
         .worklist
         .then(|| Frontier::from_active(n, prog.initial_frontier(n, source), FrontierMode::Dense));
 
+    let mut cancelled = false;
     for _ in 0..options.max_iterations {
         if let Some(f) = &frontier {
             if f.is_empty() {
                 converged = true;
                 break;
             }
+        }
+        if cancel.is_cancelled() {
+            cancelled = true;
+            break;
         }
         let changed = AtomicBool::new(false);
         let ctx = GatherCtx {
@@ -218,6 +242,7 @@ pub fn run_monotone_pull(
         converged,
         edges_touched: edges_touched.into_inner(),
         directions,
+        cancelled,
     }
 }
 

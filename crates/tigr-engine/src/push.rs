@@ -12,7 +12,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use tigr_core::EdgeCursor;
+use tigr_core::{CancelToken, EdgeCursor};
 use tigr_graph::{Csr, NodeId};
 use tigr_sim::{GpuSimulator, KernelMetrics, Lane, SimReport};
 
@@ -88,6 +88,11 @@ pub struct MonotoneOutput {
     /// iterations). All `Push` here; the `Auto` plan driver mixes pull
     /// iterations in.
     pub directions: Vec<Direction>,
+    /// `true` if a [`CancelToken`] fired at an iteration boundary before
+    /// the run converged. The values then hold the consistent monotone
+    /// prefix reached so far (never a torn write), and `converged` is
+    /// `false`.
+    pub cancelled: bool,
 }
 
 /// Shared per-iteration state threaded through the kernels.
@@ -289,6 +294,25 @@ pub fn run_monotone(
     source: Option<NodeId>,
     options: &PushOptions,
 ) -> MonotoneOutput {
+    run_monotone_cancellable(sim, rep, prog, source, options, &CancelToken::never())
+}
+
+/// [`run_monotone`] with a cooperative cancellation hook: `cancel` is
+/// polled once per BSP iteration, before the sweep launches, so a fired
+/// token stops the run at the last completed iteration — the values are
+/// the consistent monotone prefix reached so far.
+///
+/// # Panics
+///
+/// See [`run_monotone`].
+pub fn run_monotone_cancellable(
+    sim: &GpuSimulator,
+    rep: &Representation<'_>,
+    prog: MonotoneProgram,
+    source: Option<NodeId>,
+    options: &PushOptions,
+    cancel: &CancelToken,
+) -> MonotoneOutput {
     let n = rep.num_value_slots();
     let values = AtomicValues::from_values(prog.initial_values(n, source));
     let mut report = SimReport::new();
@@ -302,9 +326,14 @@ pub fn run_monotone(
         SyncMode::Relaxed => None,
     };
 
+    let mut cancelled = false;
     for _ in 0..options.max_iterations {
         if options.worklist && frontier.is_empty() {
             converged = true;
+            break;
+        }
+        if cancel.is_cancelled() {
+            cancelled = true;
             break;
         }
         let changed = AtomicBool::new(false);
@@ -356,6 +385,7 @@ pub fn run_monotone(
         converged,
         edges_touched: edges_touched.into_inner(),
         directions,
+        cancelled,
     }
 }
 

@@ -9,12 +9,13 @@ use tigr_sim::{DeviceMemory, GpuConfig, GpuSimulator, OutOfMemory};
 
 use tigr_graph::Csr;
 
-use tigr_core::PreparedGraph;
+use tigr_core::{CancelToken, PreparedGraph};
 
 use crate::algorithms::{bc, pr};
 use crate::backend::{run_sim_plan, Backend, CpuPool, PullSide, Sequential};
 use crate::cpu_parallel::{
-    run_cpu_pr, run_cpu_with, CpuOptions, CpuPrOutput, CpuRunOutput, CpuSchedule,
+    run_cpu_pr_cancellable, run_cpu_with_cancellable, CpuOptions, CpuPrOutput, CpuRunOutput,
+    CpuSchedule,
 };
 use crate::frontier::FrontierMode;
 use crate::plan::{BackendKind, Direction, ExecutionPlan, PlanError};
@@ -160,6 +161,17 @@ impl Engine {
     /// `schedule` on the CPU options).
     pub fn with_cpu_schedule(mut self, schedule: CpuSchedule) -> Self {
         self.plan.cpu.schedule = schedule;
+        self
+    }
+
+    /// Installs a cooperative cancellation token, polled by every run at
+    /// iteration boundaries. Arm it with a deadline
+    /// ([`CancelToken::with_deadline`]) for per-request latency budgets,
+    /// or keep a clone and call [`CancelToken::cancel`] to abort from
+    /// another thread; a cancelled run returns with `cancelled = true`
+    /// and a consistent monotone value prefix.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.plan.cancel = cancel;
         self
     }
 
@@ -386,7 +398,13 @@ impl Engine {
         options: &pr::PrOptions,
     ) -> Result<pr::PrOutput, EngineError> {
         self.check_footprint(rep)?;
-        Ok(pr::run(&self.sim, rep, out_degrees, options))
+        Ok(pr::run_cancellable(
+            &self.sim,
+            rep,
+            out_degrees,
+            options,
+            &self.plan.cancel,
+        ))
     }
 
     /// Runs a monotone program on the wall-clock CPU path (no simulator)
@@ -397,7 +415,7 @@ impl Engine {
     ///
     /// See [`crate::cpu_parallel::run_cpu_with`].
     pub fn run_cpu(&self, g: &Csr, prog: MonotoneProgram, source: Option<NodeId>) -> CpuRunOutput {
-        run_cpu_with(g, prog, source, &self.plan.cpu)
+        run_cpu_with_cancellable(g, prog, source, &self.plan.cpu, &self.plan.cancel)
     }
 
     /// Runs push-mode PageRank on the wall-clock CPU path with the
@@ -407,7 +425,7 @@ impl Engine {
     ///
     /// See [`crate::cpu_parallel::run_cpu_pr`].
     pub fn cpu_pagerank(&self, g: &Csr, options: &pr::PrOptions) -> CpuPrOutput {
-        run_cpu_pr(g, options, &self.plan.cpu)
+        run_cpu_pr_cancellable(g, options, &self.plan.cpu, &self.plan.cancel)
     }
 
     /// Single-source betweenness centrality.
@@ -641,6 +659,74 @@ mod tests {
             .unwrap();
         let without_views = engine.pagerank_prepared(&bare, &options).unwrap();
         assert_eq!(with_views.ranks, without_views.ranks);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_every_backend_at_iteration_zero() {
+        let g = tigr_graph::generators::grid_2d(8, 8);
+        let rep = Representation::Original(&g);
+        let token = CancelToken::new();
+        token.cancel();
+        for backend in [
+            BackendKind::WarpSim,
+            BackendKind::CpuPool,
+            BackendKind::Sequential,
+        ] {
+            let engine = Engine::new(GpuConfig::tiny())
+                .with_backend(backend)
+                .with_cancel(token.clone());
+            let out = engine.bfs(&rep, NodeId::new(0)).unwrap();
+            assert!(out.cancelled, "{}", backend.label());
+            assert!(!out.converged, "{}", backend.label());
+            // Cancellation at iteration zero leaves the initial values:
+            // the source is 0, everything else unreached.
+            assert_eq!(out.values[0], 0, "{}", backend.label());
+            assert!(
+                out.values[1..].iter().all(|&v| v == u32::MAX),
+                "{}",
+                backend.label()
+            );
+        }
+    }
+
+    #[test]
+    fn cancelled_runs_cover_every_direction_and_pagerank() {
+        let g = tigr_graph::generators::grid_2d(8, 8);
+        let rep = Representation::Original(&g);
+        let token = CancelToken::new();
+        token.cancel();
+        for direction in crate::plan::Direction::ALL {
+            let engine = Engine::new(GpuConfig::tiny())
+                .with_direction(direction)
+                .with_cancel(token.clone());
+            let out = engine.bfs(&rep, NodeId::new(0)).unwrap();
+            assert!(out.cancelled && !out.converged, "{}", direction.label());
+        }
+        let engine = Engine::new(GpuConfig::tiny()).with_cancel(token.clone());
+        let pr_out = engine
+            .pagerank(&rep, &pr::out_degrees(&g), &pr::PrOptions::default())
+            .unwrap();
+        assert!(pr_out.cancelled && !pr_out.converged);
+        let cpu_pr = engine.cpu_pagerank(&g, &pr::PrOptions::default());
+        assert!(cpu_pr.cancelled && !cpu_pr.converged);
+        let cpu = engine.run_cpu(&g, MonotoneProgram::BFS, Some(NodeId::new(0)));
+        assert!(cpu.cancelled);
+    }
+
+    #[test]
+    fn inert_token_changes_nothing() {
+        let g = tigr_graph::generators::grid_2d(8, 8);
+        let rep = Representation::Original(&g);
+        let plain = Engine::new(GpuConfig::tiny())
+            .bfs(&rep, NodeId::new(0))
+            .unwrap();
+        let inert = Engine::new(GpuConfig::tiny())
+            .with_cancel(CancelToken::new())
+            .bfs(&rep, NodeId::new(0))
+            .unwrap();
+        assert!(!inert.cancelled);
+        assert!(inert.converged);
+        assert_eq!(plain.values, inert.values);
     }
 
     #[test]

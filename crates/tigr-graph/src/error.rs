@@ -33,6 +33,9 @@ pub enum GraphError {
     },
     /// The operation requires a non-empty graph.
     EmptyGraph,
+    /// A cooperative cancellation token fired before the operation
+    /// completed (explicit cancel or elapsed deadline).
+    Cancelled,
 }
 
 impl fmt::Display for GraphError {
@@ -53,6 +56,7 @@ impl fmt::Display for GraphError {
                 write!(f, "checksum mismatch in container section {section}")
             }
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::Cancelled => write!(f, "operation cancelled before completion"),
         }
     }
 }
@@ -91,6 +95,7 @@ mod tests {
             GraphError::InvalidFormat("bad magic".into()),
             GraphError::Checksum { section: 1 },
             GraphError::EmptyGraph,
+            GraphError::Cancelled,
         ];
         for e in errs {
             let s = e.to_string();

@@ -1,0 +1,201 @@
+//! Client for the serving protocol: in-process (direct calls into a
+//! shared [`ServerCore`], no socket) or over TCP / Unix sockets.
+//!
+//! One client is one logical connection: requests are answered in
+//! order. For concurrent load, open one client per thread — that is
+//! what the `ablation_serve` benchmark and the integration tests do.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::protocol::{
+    decode_response, encode_request, ProtocolError, QueryRequest, QueryResult, Request, Response,
+};
+use crate::server::ServerCore;
+use crate::stats::StatsSnapshot;
+
+/// A client-side failure: transport I/O, or a typed protocol error
+/// returned by the server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed mid-request.
+    Io(std::io::Error),
+    /// The server answered with a typed error (`queue-full`,
+    /// `deadline-exceeded`, ...), or sent something undecodable.
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+enum Transport {
+    Local(Arc<ServerCore>),
+    Tcp {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    },
+    Unix {
+        reader: BufReader<UnixStream>,
+        writer: UnixStream,
+    },
+}
+
+/// A protocol client over any supported transport.
+pub struct Client {
+    transport: Transport,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.transport {
+            Transport::Local(_) => "local",
+            Transport::Tcp { .. } => "tcp",
+            Transport::Unix { .. } => "unix",
+        };
+        f.debug_struct("Client").field("transport", &kind).finish()
+    }
+}
+
+impl Client {
+    /// An in-process client: requests go straight through the core's
+    /// admission queue with no serialization. Same semantics as the
+    /// socket transports (including `queue-full` rejections).
+    pub fn local(core: Arc<ServerCore>) -> Self {
+        Client {
+            transport: Transport::Local(core),
+        }
+    }
+
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            transport: Transport::Tcp { reader, writer },
+        })
+    }
+
+    /// Connects over a Unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_unix(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let writer = UnixStream::connect(path)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            transport: Transport::Unix { reader, writer },
+        })
+    }
+
+    /// Sends one request and waits for its response. Server-side typed
+    /// errors come back as `Ok(Response::Error(..))` — use the
+    /// convenience wrappers to fold them into [`ClientError`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and undecodable responses.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match &mut self.transport {
+            Transport::Local(core) => Ok(core.submit(request.clone())),
+            Transport::Tcp { reader, writer } => Self::roundtrip(request, reader, writer),
+            Transport::Unix { reader, writer } => Self::roundtrip(request, reader, writer),
+        }
+    }
+
+    fn roundtrip(
+        request: &Request,
+        reader: &mut impl BufRead,
+        writer: &mut impl Write,
+    ) -> Result<Response, ClientError> {
+        let line = encode_request(request);
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut reply = String::new();
+        if reader.read_line(&mut reply)? == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(decode_response(&reply)?)
+    }
+
+    /// Runs one query, folding typed rejections into the error.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] carries the server's typed rejection
+    /// (`queue-full`, `deadline-exceeded`, ...).
+    pub fn query(&mut self, query: QueryRequest) -> Result<QueryResult, ClientError> {
+        match self.request(&Request::Query(query))? {
+            Response::Query(result) => Ok(result),
+            Response::Error(error) => Err(ClientError::Protocol(error)),
+            other => Err(ClientError::Protocol(ProtocolError::new(
+                crate::protocol::ErrorCode::BadRequest,
+                format!("unexpected response {other:?}"),
+            ))),
+        }
+    }
+
+    /// Fetches the server stats snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::query`].
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(snapshot) => Ok(snapshot),
+            Response::Error(error) => Err(ClientError::Protocol(error)),
+            other => Err(ClientError::Protocol(ProtocolError::new(
+                crate::protocol::ErrorCode::BadRequest,
+                format!("unexpected response {other:?}"),
+            ))),
+        }
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::query`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error(error) => Err(ClientError::Protocol(error)),
+            other => Err(ClientError::Protocol(ProtocolError::new(
+                crate::protocol::ErrorCode::BadRequest,
+                format!("unexpected response {other:?}"),
+            ))),
+        }
+    }
+}

@@ -1,0 +1,545 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! Grammar (one JSON object per line, newline-terminated):
+//!
+//! ```text
+//! request  = query | stats | ping
+//! query    = {"op":"query", "graph":<name>, "algo":"bfs"|"sssp"|"sswp"|"cc"|"pr",
+//!             "source":<u32>?, "deadline_ms":<u64>?, "cache":<bool>?,
+//!             "values":<bool>?}
+//! stats    = {"op":"stats"}
+//! ping     = {"op":"ping"}
+//!
+//! response = ok-query | ok-stats | pong | error
+//! ok-query = {"ok":true, "algo":..., "graph":..., "source":<u32>|null,
+//!             "nodes":<u64>, "iterations":<u64>, "checksum":"<16 hex>",
+//!             "cached":<bool>, "wall_us":<u64>, "values":[<u32>...]?}
+//! error    = {"ok":false, "error":{"code":<code>, "message":<text>}}
+//! code     = "queue-full" | "deadline-exceeded" | "bad-request"
+//!          | "unknown-graph" | "invalid-plan" | "internal" | "shutdown"
+//! ```
+//!
+//! All node values travel as `u32`; PageRank ranks are sent as the IEEE
+//! 754 bit patterns of their `f32` values (`f32::to_bits`), so results
+//! compare byte-for-byte with a local run — no float formatting drift.
+
+use std::fmt;
+
+use crate::json::{obj, parse, Json};
+use crate::stats::StatsSnapshot;
+
+/// The analytics the server can execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// Breadth-first search (hop counts).
+    Bfs,
+    /// Single-source shortest paths.
+    Sssp,
+    /// Single-source widest paths.
+    Sswp,
+    /// Connected components (no source).
+    Cc,
+    /// PageRank snapshot (no source; ranks as `f32` bit patterns).
+    Pr,
+}
+
+impl Algo {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algo::Bfs => "bfs",
+            Algo::Sssp => "sssp",
+            Algo::Sswp => "sswp",
+            Algo::Cc => "cc",
+            Algo::Pr => "pr",
+        }
+    }
+
+    /// Parses a label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "bfs" => Some(Algo::Bfs),
+            "sssp" => Some(Algo::Sssp),
+            "sswp" => Some(Algo::Sswp),
+            "cc" => Some(Algo::Cc),
+            "pr" | "pagerank" => Some(Algo::Pr),
+            _ => None,
+        }
+    }
+
+    /// Whether this analytic takes a source node.
+    pub fn needs_source(self) -> bool {
+        matches!(self, Algo::Bfs | Algo::Sssp | Algo::Sswp)
+    }
+}
+
+/// A single algorithm query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Registered graph name.
+    pub graph: String,
+    /// Analytic to run.
+    pub algo: Algo,
+    /// Source node (required iff [`Algo::needs_source`]).
+    pub source: Option<u32>,
+    /// Per-request deadline; `None` uses the server default.
+    pub deadline_ms: Option<u64>,
+    /// Consult/populate the result cache (default `true`).
+    pub cache: bool,
+    /// Include the full value array in the response (default `false`;
+    /// the checksum is always present).
+    pub include_values: bool,
+}
+
+impl QueryRequest {
+    /// A cacheable query with defaults: cache on, values omitted.
+    pub fn new(graph: impl Into<String>, algo: Algo, source: Option<u32>) -> Self {
+        QueryRequest {
+            graph: graph.into(),
+            algo,
+            source,
+            deadline_ms: None,
+            cache: true,
+            include_values: false,
+        }
+    }
+}
+
+/// A decoded client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Run an analytic.
+    Query(QueryRequest),
+    /// Return a [`StatsSnapshot`].
+    Stats,
+    /// Liveness check.
+    Ping,
+}
+
+/// Typed failure codes — every rejection a client can observe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The bounded admission queue is full (backpressure).
+    QueueFull,
+    /// The deadline expired before the run finished; any partial work
+    /// was discarded and never cached.
+    DeadlineExceeded,
+    /// The request line failed to parse or validate.
+    BadRequest,
+    /// No graph is registered under the requested name.
+    UnknownGraph,
+    /// The requested execution plan is invalid for this graph/program.
+    InvalidPlan,
+    /// The server failed internally (e.g. out of device memory).
+    Internal,
+    /// The server is shutting down; the query was not run.
+    Shutdown,
+}
+
+impl ErrorCode {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCode::QueueFull => "queue-full",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownGraph => "unknown-graph",
+            ErrorCode::InvalidPlan => "invalid-plan",
+            ErrorCode::Internal => "internal",
+            ErrorCode::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a wire label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "queue-full" => Some(ErrorCode::QueueFull),
+            "deadline-exceeded" => Some(ErrorCode::DeadlineExceeded),
+            "bad-request" => Some(ErrorCode::BadRequest),
+            "unknown-graph" => Some(ErrorCode::UnknownGraph),
+            "invalid-plan" => Some(ErrorCode::InvalidPlan),
+            "internal" => Some(ErrorCode::Internal),
+            "shutdown" => Some(ErrorCode::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// A typed protocol error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Machine-readable failure class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtocolError {
+    /// Builds an error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ProtocolError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code.label(), self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// A successful query result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Analytic that ran.
+    pub algo: Algo,
+    /// Graph it ran over.
+    pub graph: String,
+    /// Source node, when the analytic takes one.
+    pub source: Option<u32>,
+    /// Number of per-node values (original node count).
+    pub nodes: u64,
+    /// BSP iterations the run took (as reported by the producing run;
+    /// cache hits replay the original count).
+    pub iterations: u64,
+    /// FNV-1a over the little-endian bytes of the value array.
+    pub checksum: u64,
+    /// Whether this response was served from the result cache.
+    pub cached: bool,
+    /// Server-side wall time for this request, microseconds.
+    pub wall_us: u64,
+    /// Full value array, when the request set `"values": true`.
+    pub values: Option<Vec<u32>>,
+}
+
+/// A decoded server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Query succeeded.
+    Query(QueryResult),
+    /// Stats snapshot.
+    Stats(StatsSnapshot),
+    /// Ping reply.
+    Pong,
+    /// Typed failure.
+    Error(ProtocolError),
+}
+
+impl Response {
+    /// Shorthand for an error response.
+    pub fn error(code: ErrorCode, message: impl Into<String>) -> Self {
+        Response::Error(ProtocolError::new(code, message))
+    }
+}
+
+/// FNV-1a over the little-endian byte serialization of `values` — the
+/// wire checksum clients compare against local runs.
+pub fn checksum(values: &[u32]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Encodes a request as one JSON line (no trailing newline).
+pub fn encode_request(req: &Request) -> String {
+    match req {
+        Request::Ping => obj([("op", "ping".into())]).to_string(),
+        Request::Stats => obj([("op", "stats".into())]).to_string(),
+        Request::Query(q) => {
+            let mut pairs = vec![
+                ("op".to_owned(), Json::from("query")),
+                ("graph".to_owned(), Json::from(q.graph.as_str())),
+                ("algo".to_owned(), Json::from(q.algo.label())),
+            ];
+            if let Some(s) = q.source {
+                pairs.push(("source".to_owned(), s.into()));
+            }
+            if let Some(d) = q.deadline_ms {
+                pairs.push(("deadline_ms".to_owned(), d.into()));
+            }
+            if !q.cache {
+                pairs.push(("cache".to_owned(), false.into()));
+            }
+            if q.include_values {
+                pairs.push(("values".to_owned(), true.into()));
+            }
+            Json::Obj(pairs.into_iter().collect()).to_string()
+        }
+    }
+}
+
+/// Decodes one request line. Malformed input comes back as a
+/// [`ErrorCode::BadRequest`] `ProtocolError` the server echoes to the
+/// client verbatim.
+pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
+    let bad = |m: &str| ProtocolError::new(ErrorCode::BadRequest, m);
+    let v = parse(line.trim()).map_err(|e| bad(&format!("malformed JSON: {e}")))?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing \"op\""))?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "query" => {
+            let graph = v
+                .get("graph")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("query requires \"graph\""))?
+                .to_owned();
+            let algo_label = v
+                .get("algo")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("query requires \"algo\""))?;
+            let algo = Algo::parse(algo_label)
+                .ok_or_else(|| bad(&format!("unknown algo {algo_label:?}")))?;
+            let source = match v.get("source") {
+                None | Some(Json::Null) => None,
+                Some(s) => Some(
+                    s.as_u64()
+                        .filter(|&n| n <= u64::from(u32::MAX))
+                        .ok_or_else(|| bad("\"source\" must be a u32"))? as u32,
+                ),
+            };
+            if algo.needs_source() && source.is_none() {
+                return Err(bad(&format!("{} requires \"source\"", algo.label())));
+            }
+            if !algo.needs_source() && source.is_some() {
+                return Err(bad(&format!("{} takes no \"source\"", algo.label())));
+            }
+            let deadline_ms = match v.get("deadline_ms") {
+                None | Some(Json::Null) => None,
+                Some(d) => Some(
+                    d.as_u64()
+                        .ok_or_else(|| bad("\"deadline_ms\" must be a u64"))?,
+                ),
+            };
+            let cache = match v.get("cache") {
+                None => true,
+                Some(c) => c.as_bool().ok_or_else(|| bad("\"cache\" must be a bool"))?,
+            };
+            let include_values = match v.get("values") {
+                None => false,
+                Some(c) => c
+                    .as_bool()
+                    .ok_or_else(|| bad("\"values\" must be a bool"))?,
+            };
+            Ok(Request::Query(QueryRequest {
+                graph,
+                algo,
+                source,
+                deadline_ms,
+                cache,
+                include_values,
+            }))
+        }
+        other => Err(bad(&format!("unknown op {other:?}"))),
+    }
+}
+
+/// Encodes a response as one JSON line (no trailing newline).
+pub fn encode_response(resp: &Response) -> String {
+    match resp {
+        Response::Pong => obj([("ok", true.into()), ("pong", true.into())]).to_string(),
+        Response::Stats(s) => obj([("ok", true.into()), ("stats", s.to_json())]).to_string(),
+        Response::Error(e) => obj([
+            ("ok", false.into()),
+            (
+                "error",
+                obj([
+                    ("code", e.code.label().into()),
+                    ("message", e.message.as_str().into()),
+                ]),
+            ),
+        ])
+        .to_string(),
+        Response::Query(q) => {
+            let mut pairs = vec![
+                ("ok".to_owned(), Json::from(true)),
+                ("algo".to_owned(), Json::from(q.algo.label())),
+                ("graph".to_owned(), Json::from(q.graph.as_str())),
+                ("source".to_owned(), q.source.map_or(Json::Null, Json::from)),
+                ("nodes".to_owned(), Json::from(q.nodes)),
+                ("iterations".to_owned(), Json::from(q.iterations)),
+                (
+                    "checksum".to_owned(),
+                    Json::from(format!("{:016x}", q.checksum)),
+                ),
+                ("cached".to_owned(), Json::from(q.cached)),
+                ("wall_us".to_owned(), Json::from(q.wall_us)),
+            ];
+            if let Some(values) = &q.values {
+                pairs.push((
+                    "values".to_owned(),
+                    Json::Arr(values.iter().map(|&v| Json::from(v)).collect()),
+                ));
+            }
+            Json::Obj(pairs.into_iter().collect()).to_string()
+        }
+    }
+}
+
+/// Decodes one response line (the client side of the wire).
+pub fn decode_response(line: &str) -> Result<Response, ProtocolError> {
+    let bad = |m: &str| ProtocolError::new(ErrorCode::BadRequest, m);
+    let v = parse(line.trim()).map_err(|e| bad(&format!("malformed response: {e}")))?;
+    let ok = v
+        .get("ok")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| bad("missing \"ok\""))?;
+    if !ok {
+        let e = v.get("error").ok_or_else(|| bad("missing \"error\""))?;
+        let code = e
+            .get("code")
+            .and_then(Json::as_str)
+            .and_then(ErrorCode::parse)
+            .ok_or_else(|| bad("bad error code"))?;
+        let message = e
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_owned();
+        return Ok(Response::Error(ProtocolError { code, message }));
+    }
+    if v.get("pong").is_some() {
+        return Ok(Response::Pong);
+    }
+    if let Some(s) = v.get("stats") {
+        return Ok(Response::Stats(
+            StatsSnapshot::from_json(s).ok_or_else(|| bad("bad stats payload"))?,
+        ));
+    }
+    let algo = v
+        .get("algo")
+        .and_then(Json::as_str)
+        .and_then(Algo::parse)
+        .ok_or_else(|| bad("missing \"algo\""))?;
+    let graph = v
+        .get("graph")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing \"graph\""))?
+        .to_owned();
+    let source = match v.get("source") {
+        None | Some(Json::Null) => None,
+        Some(s) => Some(s.as_u64().ok_or_else(|| bad("bad \"source\""))? as u32),
+    };
+    let checksum_hex = v
+        .get("checksum")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing \"checksum\""))?;
+    let checksum = u64::from_str_radix(checksum_hex, 16).map_err(|_| bad("bad \"checksum\""))?;
+    let values = match v.get("values") {
+        None => None,
+        Some(arr) => {
+            let items = arr.as_arr().ok_or_else(|| bad("bad \"values\""))?;
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(
+                    item.as_u64()
+                        .filter(|&n| n <= u64::from(u32::MAX))
+                        .ok_or_else(|| bad("bad value entry"))? as u32,
+                );
+            }
+            Some(out)
+        }
+    };
+    Ok(Response::Query(QueryResult {
+        algo,
+        graph,
+        source,
+        nodes: v.get("nodes").and_then(Json::as_u64).unwrap_or(0),
+        iterations: v.get("iterations").and_then(Json::as_u64).unwrap_or(0),
+        checksum,
+        cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+        wall_us: v.get("wall_us").and_then(Json::as_u64).unwrap_or(0),
+        values,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_round_trip() {
+        let req = Request::Query(QueryRequest {
+            graph: "road".into(),
+            algo: Algo::Sssp,
+            source: Some(17),
+            deadline_ms: Some(250),
+            cache: false,
+            include_values: true,
+        });
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+
+        let resp = Response::Query(QueryResult {
+            algo: Algo::Sssp,
+            graph: "road".into(),
+            source: Some(17),
+            nodes: 3,
+            iterations: 4,
+            checksum: checksum(&[0, 1, u32::MAX]),
+            cached: false,
+            wall_us: 1234,
+            values: Some(vec![0, 1, u32::MAX]),
+        });
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn stats_ping_and_error_round_trip() {
+        for req in [Request::Stats, Request::Ping] {
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
+        let resp = Response::error(ErrorCode::QueueFull, "admission queue at capacity (64)");
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        assert_eq!(
+            decode_response(&encode_response(&Response::Pong)).unwrap(),
+            Response::Pong
+        );
+    }
+
+    #[test]
+    fn source_rules_enforced() {
+        // Missing source on a sourced analytic.
+        let err = decode_request(r#"{"op":"query","graph":"g","algo":"bfs"}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        // Source on a global analytic.
+        let err =
+            decode_request(r#"{"op":"query","graph":"g","algo":"cc","source":3}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        // CC and PR without source are fine.
+        assert!(decode_request(r#"{"op":"query","graph":"g","algo":"pr"}"#).is_ok());
+    }
+
+    #[test]
+    fn malformed_lines_are_bad_request() {
+        for line in [
+            "",
+            "not json",
+            "{}",
+            r#"{"op":"nope"}"#,
+            r#"{"op":"query","graph":"g","algo":"warp"}"#,
+            r#"{"op":"query","graph":"g","algo":"bfs","source":-1}"#,
+            r#"{"op":"query","graph":"g","algo":"bfs","source":1.5}"#,
+        ] {
+            let err = decode_request(line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
+        }
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive_fnv() {
+        assert_ne!(checksum(&[1, 2]), checksum(&[2, 1]));
+        assert_eq!(checksum(&[]), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,185 @@
+//! The bounded admission queue.
+//!
+//! Producers never block: [`Bounded::try_push`] either admits the job
+//! or returns it with a typed rejection — that is the server's
+//! backpressure signal, surfaced to clients as a `queue-full` protocol
+//! error. Workers block on [`Bounded::pop`] until a job arrives or the
+//! queue is closed and drained.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue holds `capacity` jobs; the item comes back to the
+    /// caller so it can be failed without cloning.
+    Full(T),
+    /// The queue was closed by shutdown.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue: non-blocking producers, blocking consumers.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// Creates a queue admitting at most `capacity` jobs (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission limit.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting (not including ones being executed).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits `item`, or returns it with the typed reason it was
+    /// refused. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available and returns it, or returns
+    /// `None` once the queue is closed and empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// and consumers drain what remains then observe `None`. Returns
+    /// the jobs still queued so the caller can fail them individually
+    /// (the server replies `shutdown` to each).
+    pub fn close(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        let drained = inner.items.drain(..).collect();
+        drop(inner);
+        self.ready.notify_all();
+        drained
+    }
+}
+
+impl<T> std::fmt::Debug for Bounded<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bounded")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_beyond_capacity_is_typed_rejection() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_and_wakes_consumers() {
+        let q = Arc::new(Bounded::new(4));
+        q.try_push(7).unwrap();
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                // First pop gets the queued item; second observes close.
+                let a = q.pop();
+                let b = q.pop();
+                (a, b)
+            })
+        };
+        // Give the consumer a chance to drain and block.
+        while !q.is_empty() {
+            thread::yield_now();
+        }
+        let leftovers = q.close();
+        assert!(leftovers.is_empty());
+        assert_eq!(consumer.join().unwrap(), (Some(7), None));
+        assert_eq!(q.try_push(9), Err(PushError::Closed(9)));
+    }
+
+    #[test]
+    fn close_returns_unserved_jobs() {
+        let q = Bounded::new(8);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        assert_eq!(q.close(), vec!["a", "b"]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let q = Arc::new(Bounded::new(1024));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || {
+                for i in 0..100 {
+                    q.try_push(t * 100 + i).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut seen = q.close();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..800).collect::<Vec<_>>());
+    }
+}

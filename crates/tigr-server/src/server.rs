@@ -1,0 +1,764 @@
+//! The serving core and its socket front-ends.
+//!
+//! Request flow: **admission → plan → backend → cache** —
+//!
+//! 1. *Admission*: [`ServerCore::submit`] validates the query, arms a
+//!    [`CancelToken`] with the request (or server-default) deadline,
+//!    and offers the job to the bounded [`Bounded`] queue. A full queue
+//!    is a typed `queue-full` rejection, never a block — that is the
+//!    backpressure contract.
+//! 2. *Plan*: a worker builds a per-request [`ExecutionPlan`] (the
+//!    deterministic `Sequential` backend, push direction) carrying the
+//!    cancel token.
+//! 3. *Backend*: the engine runs the analytic over the shared
+//!    [`PreparedGraph`]; the token is polled at iteration boundaries,
+//!    so an expired deadline surfaces as a consistent monotone prefix
+//!    that the server then *discards* — clients get `deadline-exceeded`,
+//!    never partial values.
+//! 4. *Cache*: converged results are published to the source-keyed LRU;
+//!    hits skip straight from admission to reply.
+//!
+//! The socket front-ends ([`Server::bind_tcp`] / [`Server::bind_unix`])
+//! speak the line-delimited JSON protocol of [`crate::protocol`]; each
+//! connection gets a reader thread, and requests on one connection are
+//! answered in order.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::unix::net::UnixListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tigr_core::{CancelToken, PreparedGraph};
+use tigr_engine::{pr, BackendKind, Engine, EngineError};
+use tigr_graph::NodeId;
+
+use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::protocol::{
+    checksum, decode_request, encode_response, Algo, ErrorCode, QueryRequest, QueryResult, Request,
+    Response,
+};
+use crate::queue::{Bounded, PushError};
+use crate::stats::StatsRecorder;
+
+/// Plan fingerprint for the cache key: the server always executes with
+/// the deterministic sequential push backend, so results are
+/// reproducible across runs and byte-comparable with `tigr run`.
+const PLAN_FINGERPRINT: &str = "sequential:push";
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Bounded admission-queue capacity; pushes beyond it are rejected
+    /// with `queue-full`.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Deadline applied to queries that don't carry their own.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 128,
+            cache_capacity: 256,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// One admitted query waiting for a worker.
+struct Job {
+    request: QueryRequest,
+    token: CancelToken,
+    received: Instant,
+    slot: Arc<ReplySlot>,
+}
+
+/// A one-shot rendezvous between the submitting thread and the worker.
+struct ReplySlot {
+    cell: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ReplySlot {
+            cell: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn set(&self, response: Response) {
+        *self.cell.lock().unwrap() = Some(response);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Response {
+        let mut cell = self.cell.lock().unwrap();
+        loop {
+            if let Some(response) = cell.take() {
+                return response;
+            }
+            cell = self.ready.wait(cell).unwrap();
+        }
+    }
+}
+
+/// The serving core: graph registry, admission queue, worker pool,
+/// result cache, and stats. Socket front-ends and the in-process
+/// [`crate::Client`] both drive it through [`ServerCore::submit`].
+pub struct ServerCore {
+    config: ServerConfig,
+    graphs: Mutex<HashMap<String, Arc<PreparedGraph>>>,
+    queue: Bounded<Job>,
+    cache: ResultCache,
+    stats: StatsRecorder,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    closed: AtomicBool,
+}
+
+impl ServerCore {
+    /// Creates the core and spawns its worker pool.
+    pub fn new(config: ServerConfig) -> Arc<Self> {
+        let core = Arc::new(ServerCore {
+            config,
+            graphs: Mutex::new(HashMap::new()),
+            queue: Bounded::new(config.queue_capacity),
+            cache: ResultCache::new(config.cache_capacity),
+            stats: StatsRecorder::default(),
+            workers: Mutex::new(Vec::new()),
+            closed: AtomicBool::new(false),
+        });
+        let mut workers = core.workers.lock().unwrap();
+        for i in 0..config.workers.max(1) {
+            let core = Arc::clone(&core);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tigr-serve-{i}"))
+                    .spawn(move || core.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        drop(workers);
+        core
+    }
+
+    /// The configuration the core was built with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Registers `prepared` under `name`, replacing any previous graph
+    /// of that name. Queries refer to graphs by this name.
+    pub fn add_graph(&self, name: impl Into<String>, prepared: Arc<PreparedGraph>) {
+        self.graphs.lock().unwrap().insert(name.into(), prepared);
+    }
+
+    /// Names of the registered graphs, sorted.
+    pub fn graph_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.graphs.lock().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Handles one request synchronously: `stats` and `ping` answer
+    /// inline; queries go through admission and block until a worker
+    /// replies. Safe to call from many threads at once.
+    pub fn submit(&self, request: Request) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats(self.stats.snapshot(
+                self.queue.len() as u64,
+                self.config.workers.max(1) as u64,
+                self.cache.counters(),
+            )),
+            Request::Query(query) => self.submit_query(query),
+        }
+    }
+
+    fn submit_query(&self, query: QueryRequest) -> Response {
+        self.stats.record_received();
+        // Validate against the registry before spending a queue slot.
+        let prepared = match self.graphs.lock().unwrap().get(&query.graph) {
+            Some(p) => Arc::clone(p),
+            None => {
+                self.stats.record_failed();
+                return Response::error(
+                    ErrorCode::UnknownGraph,
+                    format!("no graph registered as {:?}", query.graph),
+                );
+            }
+        };
+        // Enforce source arity here, not just in the wire decoder, so
+        // in-process clients get the same typed rejection as sockets.
+        if query.algo.needs_source() && query.source.is_none() {
+            self.stats.record_failed();
+            return Response::error(
+                ErrorCode::BadRequest,
+                format!("{} requires a source", query.algo.label()),
+            );
+        }
+        if !query.algo.needs_source() && query.source.is_some() {
+            self.stats.record_failed();
+            return Response::error(
+                ErrorCode::BadRequest,
+                format!("{} takes no source", query.algo.label()),
+            );
+        }
+        if let Some(source) = query.source {
+            let nodes = prepared.graph().num_nodes();
+            if source as usize >= nodes {
+                self.stats.record_failed();
+                return Response::error(
+                    ErrorCode::BadRequest,
+                    format!("source {source} out of range (graph has {nodes} nodes)"),
+                );
+            }
+        }
+        let deadline_ms = query.deadline_ms.or(self.config.default_deadline_ms);
+        let token = match deadline_ms {
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            None => CancelToken::never(),
+        };
+        let slot = ReplySlot::new();
+        let job = Job {
+            request: query,
+            token,
+            received: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        match self.queue.try_push(job) {
+            Ok(()) => slot.wait(),
+            Err(PushError::Full(_)) => {
+                self.stats.record_rejected();
+                Response::error(
+                    ErrorCode::QueueFull,
+                    format!("admission queue at capacity ({})", self.queue.capacity()),
+                )
+            }
+            Err(PushError::Closed(_)) => {
+                self.stats.record_rejected();
+                Response::error(ErrorCode::Shutdown, "server is shutting down")
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        while let Some(job) = self.queue.pop() {
+            let slot = Arc::clone(&job.slot);
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.execute(job)));
+            let response = outcome.unwrap_or_else(|_| {
+                self.stats.record_failed();
+                Response::error(ErrorCode::Internal, "query execution panicked")
+            });
+            slot.set(response);
+        }
+    }
+
+    fn execute(&self, job: Job) -> Response {
+        let query = &job.request;
+        if job.token.is_cancelled() {
+            self.stats.record_failed();
+            return Response::error(ErrorCode::DeadlineExceeded, "deadline expired while queued");
+        }
+        let key = CacheKey {
+            graph: query.graph.clone(),
+            algo: query.algo,
+            source: query.source,
+            plan: PLAN_FINGERPRINT,
+        };
+        if query.cache {
+            if let Some(hit) = self.cache.get(&key) {
+                let wall_us = job.received.elapsed().as_micros() as u64;
+                self.stats.record_completed(wall_us);
+                return Response::Query(QueryResult {
+                    algo: query.algo,
+                    graph: query.graph.clone(),
+                    source: query.source,
+                    nodes: hit.values.len() as u64,
+                    iterations: hit.iterations,
+                    checksum: hit.checksum,
+                    cached: true,
+                    wall_us,
+                    values: query.include_values.then(|| hit.values.as_ref().clone()),
+                });
+            }
+        }
+        // The registry was checked at admission; the graph may have been
+        // replaced since, but a re-resolved Arc is still a valid target.
+        let prepared = match self.graphs.lock().unwrap().get(&query.graph) {
+            Some(p) => Arc::clone(p),
+            None => {
+                self.stats.record_failed();
+                return Response::error(
+                    ErrorCode::UnknownGraph,
+                    format!("graph {:?} was unregistered", query.graph),
+                );
+            }
+        };
+        match run_query(&prepared, query.algo, query.source, job.token.clone()) {
+            Ok((values, iterations)) => {
+                let sum = checksum(&values);
+                let values = Arc::new(values);
+                if query.cache {
+                    self.cache.insert(
+                        key,
+                        CachedResult {
+                            values: Arc::clone(&values),
+                            iterations,
+                            checksum: sum,
+                        },
+                    );
+                }
+                let wall_us = job.received.elapsed().as_micros() as u64;
+                self.stats.record_completed(wall_us);
+                Response::Query(QueryResult {
+                    algo: query.algo,
+                    graph: query.graph.clone(),
+                    source: query.source,
+                    nodes: values.len() as u64,
+                    iterations,
+                    checksum: sum,
+                    cached: false,
+                    wall_us,
+                    values: query.include_values.then(|| values.as_ref().clone()),
+                })
+            }
+            Err(error) => {
+                self.stats.record_failed();
+                error
+            }
+        }
+    }
+
+    /// Stops accepting work, fails queued jobs with `shutdown`, and
+    /// joins the worker pool. Idempotent.
+    pub fn shutdown(&self) {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for job in self.queue.close() {
+            self.stats.record_rejected();
+            job.slot.set(Response::error(
+                ErrorCode::Shutdown,
+                "server is shutting down",
+            ));
+        }
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerCore")
+            .field("graphs", &self.graph_names())
+            .field("queue", &self.queue)
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl Drop for ServerCore {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Executes one analytic over a prepared graph with the server's
+/// deterministic plan. Returns per-original-node values (physical
+/// transforms are projected back) and the iteration count, or a typed
+/// error response.
+fn run_query(
+    prepared: &PreparedGraph,
+    algo: Algo,
+    source: Option<u32>,
+    token: CancelToken,
+) -> Result<(Vec<u32>, u64), Response> {
+    let engine = Engine::default()
+        .with_backend(BackendKind::Sequential)
+        .with_device_memory(u64::MAX)
+        .with_cancel(token);
+    let deadline = || {
+        Response::error(
+            ErrorCode::DeadlineExceeded,
+            "deadline expired during execution; partial state discarded",
+        )
+    };
+    let map_engine_err = |e: EngineError| match e {
+        EngineError::InvalidPlan(p) => Response::error(ErrorCode::InvalidPlan, p.to_string()),
+        other => Response::error(ErrorCode::Internal, other.to_string()),
+    };
+    if algo == Algo::Pr {
+        let out = engine
+            .pagerank_prepared(prepared, &pr::PrOptions::default())
+            .map_err(map_engine_err)?;
+        if out.cancelled {
+            return Err(deadline());
+        }
+        let bits: Vec<u32> = out.ranks.iter().map(|r| r.to_bits()).collect();
+        let values = match prepared.transformed() {
+            Some(t) => t.project_values(&bits),
+            None => bits,
+        };
+        return Ok((values, out.report.num_iterations() as u64));
+    }
+    let prog = match algo {
+        Algo::Bfs => tigr_engine::MonotoneProgram::BFS,
+        Algo::Sssp => tigr_engine::MonotoneProgram::SSSP,
+        Algo::Sswp => tigr_engine::MonotoneProgram::SSWP,
+        Algo::Cc => tigr_engine::MonotoneProgram::CC,
+        Algo::Pr => unreachable!(),
+    };
+    let out = engine
+        .run_prepared(prepared, prog, source.map(NodeId::new))
+        .map_err(map_engine_err)?;
+    if out.cancelled {
+        return Err(deadline());
+    }
+    let values = match prepared.transformed() {
+        Some(t) => t.project_values(&out.values),
+        None => out.values,
+    };
+    Ok((values, out.directions.len() as u64))
+}
+
+/// Where a [`Server`] is listening.
+#[derive(Clone, Debug)]
+pub enum ServerAddr {
+    /// TCP socket address (use for `--port 0` ephemeral binds).
+    Tcp(SocketAddr),
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+/// A running socket front-end over a [`ServerCore`].
+#[derive(Debug)]
+pub struct Server {
+    core: Arc<ServerCore>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    addr: ServerAddr,
+}
+
+impl Server {
+    /// Binds a TCP listener (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port) and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures.
+    pub fn bind_tcp(core: Arc<ServerCore>, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("tigr-serve-accept".into())
+                .spawn(move || accept_loop_tcp(&core, &listener, &stop))?
+        };
+        Ok(Server {
+            core,
+            stop,
+            accept: Some(accept),
+            addr: ServerAddr::Tcp(local),
+        })
+    }
+
+    /// Binds a Unix-domain socket at `path` (removing a stale socket
+    /// file first) and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures.
+    pub fn bind_unix(core: Arc<ServerCore>, path: impl AsRef<Path>) -> std::io::Result<Server> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("tigr-serve-accept".into())
+                .spawn(move || accept_loop_unix(&core, &listener, &stop))?
+        };
+        Ok(Server {
+            core,
+            stop,
+            accept: Some(accept),
+            addr: ServerAddr::Unix(path),
+        })
+    }
+
+    /// Where the server is listening (for ephemeral TCP ports this is
+    /// the resolved address).
+    pub fn addr(&self) -> &ServerAddr {
+        &self.addr
+    }
+
+    /// The shared core (register graphs, build local clients).
+    pub fn core(&self) -> &Arc<ServerCore> {
+        &self.core
+    }
+
+    /// Stops the accept loop, then shuts the core down (failing queued
+    /// jobs with typed `shutdown` errors and joining workers).
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+        self.core.shutdown();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let ServerAddr::Unix(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+fn accept_loop_tcp(core: &Arc<ServerCore>, listener: &TcpListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let core = Arc::clone(core);
+                let _ = std::thread::Builder::new()
+                    .name("tigr-serve-conn".into())
+                    .spawn(move || {
+                        let reader = match stream.try_clone() {
+                            Ok(r) => r,
+                            Err(_) => return,
+                        };
+                        serve_connection(&core, reader, stream);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn accept_loop_unix(core: &Arc<ServerCore>, listener: &UnixListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let core = Arc::clone(core);
+                let _ = std::thread::Builder::new()
+                    .name("tigr-serve-conn".into())
+                    .spawn(move || {
+                        let reader = match stream.try_clone() {
+                            Ok(r) => r,
+                            Err(_) => return,
+                        };
+                        serve_connection(&core, reader, stream);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Reads request lines and writes response lines until EOF. Requests on
+/// one connection are answered in order; concurrency comes from many
+/// connections.
+fn serve_connection(core: &Arc<ServerCore>, reader: impl std::io::Read, mut writer: impl Write) {
+    // Accepted connections inherit the listener's non-blocking flag on
+    // some platforms; the per-connection protocol is blocking.
+    let reader = BufReader::new(reader);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match decode_request(&line) {
+            Ok(request) => core.submit(request),
+            Err(error) => Response::Error(error),
+        };
+        let payload = encode_response(&response);
+        if writer
+            .write_all(payload.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigr_core::{GraphStore, PrepareSpec};
+
+    fn small_core(config: ServerConfig) -> Arc<ServerCore> {
+        let store = GraphStore::disabled();
+        let spec = PrepareSpec::generated("rmat:8:8", 42).with_uniform_weights(1, 64, 7);
+        let prepared = Arc::new(store.prepare(&spec).unwrap());
+        let core = ServerCore::new(config);
+        core.add_graph("rmat8", prepared);
+        core
+    }
+
+    fn bfs_query(source: u32) -> Request {
+        Request::Query(QueryRequest::new("rmat8", Algo::Bfs, Some(source)))
+    }
+
+    #[test]
+    fn query_runs_and_caches() {
+        let core = small_core(ServerConfig::default());
+        let first = match core.submit(bfs_query(0)) {
+            Response::Query(q) => q,
+            other => panic!("{other:?}"),
+        };
+        assert!(!first.cached);
+        let second = match core.submit(bfs_query(0)) {
+            Response::Query(q) => q,
+            other => panic!("{other:?}"),
+        };
+        assert!(second.cached);
+        assert_eq!(first.checksum, second.checksum);
+        assert_eq!(first.iterations, second.iterations);
+        let stats = match core.submit(Request::Stats) {
+            Response::Stats(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cache_hits, 1);
+        core.shutdown();
+    }
+
+    #[test]
+    fn unknown_graph_and_bad_source_are_typed() {
+        let core = small_core(ServerConfig::default());
+        let resp = core.submit(Request::Query(QueryRequest::new(
+            "nope",
+            Algo::Bfs,
+            Some(0),
+        )));
+        match resp {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::UnknownGraph),
+            other => panic!("{other:?}"),
+        }
+        let resp = core.submit(bfs_query(u32::MAX));
+        match resp {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest),
+            other => panic!("{other:?}"),
+        }
+        core.shutdown();
+    }
+
+    #[test]
+    fn values_match_direct_sequential_run() {
+        let core = small_core(ServerConfig::default());
+        let mut req = QueryRequest::new("rmat8", Algo::Sssp, Some(3));
+        req.include_values = true;
+        let served = match core.submit(Request::Query(req)) {
+            Response::Query(q) => q,
+            other => panic!("{other:?}"),
+        };
+        let store = GraphStore::disabled();
+        let spec = PrepareSpec::generated("rmat:8:8", 42).with_uniform_weights(1, 64, 7);
+        let prepared = store.prepare(&spec).unwrap();
+        let engine = Engine::default().with_backend(BackendKind::Sequential);
+        let direct = engine
+            .run_prepared(
+                &prepared,
+                tigr_engine::MonotoneProgram::SSSP,
+                Some(NodeId::new(3)),
+            )
+            .unwrap();
+        assert_eq!(served.values.as_deref(), Some(direct.values.as_slice()));
+        assert_eq!(served.checksum, checksum(&direct.values));
+        core.shutdown();
+    }
+
+    #[test]
+    fn pagerank_ranks_travel_as_bit_patterns() {
+        let core = small_core(ServerConfig::default());
+        let mut req = QueryRequest::new("rmat8", Algo::Pr, None);
+        req.include_values = true;
+        let served = match core.submit(Request::Query(req)) {
+            Response::Query(q) => q,
+            other => panic!("{other:?}"),
+        };
+        let values = served.values.unwrap();
+        let sum: f64 = values
+            .iter()
+            .map(|&bits| f64::from(f32::from_bits(bits)))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-3, "ranks sum to {sum}");
+        core.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_is_rejected_not_cached() {
+        let core = small_core(ServerConfig::default());
+        let mut req = QueryRequest::new("rmat8", Algo::Sssp, Some(5));
+        req.deadline_ms = Some(0);
+        match core.submit(Request::Query(req)) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::DeadlineExceeded),
+            other => panic!("{other:?}"),
+        }
+        // The failed run must not have poisoned the cache: the next
+        // uncapped query is a miss, then computes fresh.
+        let ok = match core.submit(Request::Query(QueryRequest::new(
+            "rmat8",
+            Algo::Sssp,
+            Some(5),
+        ))) {
+            Response::Query(q) => q,
+            other => panic!("{other:?}"),
+        };
+        assert!(!ok.cached);
+        core.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_typed() {
+        let core = small_core(ServerConfig::default());
+        core.shutdown();
+        core.shutdown();
+        match core.submit(bfs_query(0)) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::Shutdown),
+            other => panic!("{other:?}"),
+        }
+    }
+}

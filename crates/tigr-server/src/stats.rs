@@ -1,0 +1,251 @@
+//! Server-side observability: counters, a latency window, and the
+//! snapshot the `stats` protocol verb serializes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::cache::CacheCounters;
+use crate::json::{obj, Json};
+
+/// Size of the sliding latency window the percentiles are computed
+/// over. Old samples age out; the window is a recency estimate, not an
+/// all-time histogram.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Accumulates server metrics; shared by workers and the stats verb.
+pub struct StatsRecorder {
+    received: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    window: Mutex<LatencyWindow>,
+}
+
+struct LatencyWindow {
+    samples_us: Vec<u64>,
+    next: usize,
+}
+
+impl Default for StatsRecorder {
+    fn default() -> Self {
+        StatsRecorder {
+            received: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            window: Mutex::new(LatencyWindow {
+                samples_us: Vec::new(),
+                next: 0,
+            }),
+        }
+    }
+}
+
+impl StatsRecorder {
+    /// A query arrived (before admission).
+    pub fn record_received(&self) {
+        self.received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A query was refused admission (queue full / shutdown).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A query failed after admission (deadline, invalid plan, ...).
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A query completed successfully in `wall_us` microseconds
+    /// (end-to-end: admission wait + execution).
+    pub fn record_completed(&self, wall_us: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let mut w = self.window.lock().unwrap();
+        if w.samples_us.len() < LATENCY_WINDOW {
+            w.samples_us.push(wall_us);
+        } else {
+            let slot = w.next;
+            w.samples_us[slot] = wall_us;
+        }
+        w.next = (w.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// Builds the externally visible snapshot. `queue_depth`, `workers`
+    /// and the cache counters come from the server, which owns those
+    /// structures.
+    pub fn snapshot(&self, queue_depth: u64, workers: u64, cache: CacheCounters) -> StatsSnapshot {
+        let (p50_us, p95_us) = {
+            let w = self.window.lock().unwrap();
+            percentiles(&w.samples_us)
+        };
+        StatsSnapshot {
+            received: self.received.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            queue_depth,
+            workers,
+            p50_us,
+            p95_us,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_entries: cache.entries,
+        }
+    }
+}
+
+impl std::fmt::Debug for StatsRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatsRecorder")
+            .field("received", &self.received.load(Ordering::Relaxed))
+            .field("completed", &self.completed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// `(p50, p95)` over `samples` via nearest-rank on a sorted copy;
+/// `(0, 0)` when empty.
+fn percentiles(samples: &[u64]) -> (u64, u64) {
+    if samples.is_empty() {
+        return (0, 0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = |p: f64| {
+        let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx]
+    };
+    (rank(0.50), rank(0.95))
+}
+
+/// One point-in-time view of the server, as sent by the `stats` verb.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsSnapshot {
+    /// Queries received (including rejected ones).
+    pub received: u64,
+    /// Queries completed successfully.
+    pub completed: u64,
+    /// Queries refused admission.
+    pub rejected: u64,
+    /// Queries failed after admission.
+    pub failed: u64,
+    /// Jobs waiting in the admission queue right now.
+    pub queue_depth: u64,
+    /// Worker threads serving the queue.
+    pub workers: u64,
+    /// Median end-to-end latency over the recent window, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency over the recent window, microseconds.
+    pub p95_us: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Result-cache evictions.
+    pub cache_evictions: u64,
+    /// Result-cache resident entries.
+    pub cache_entries: u64,
+}
+
+impl StatsSnapshot {
+    /// `hits / (hits + misses)`, or 0 when nothing was looked up.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Serializes for the wire (numbers only — the ratio is derived
+    /// client-side so the snapshot stays integral and exact).
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("received", self.received.into()),
+            ("completed", self.completed.into()),
+            ("rejected", self.rejected.into()),
+            ("failed", self.failed.into()),
+            ("queue_depth", self.queue_depth.into()),
+            ("workers", self.workers.into()),
+            ("p50_us", self.p50_us.into()),
+            ("p95_us", self.p95_us.into()),
+            ("cache_hits", self.cache_hits.into()),
+            ("cache_misses", self.cache_misses.into()),
+            ("cache_evictions", self.cache_evictions.into()),
+            ("cache_entries", self.cache_entries.into()),
+        ])
+    }
+
+    /// Deserializes a snapshot object (the client side).
+    pub fn from_json(v: &Json) -> Option<Self> {
+        let field = |name: &str| v.get(name).and_then(Json::as_u64);
+        Some(StatsSnapshot {
+            received: field("received")?,
+            completed: field("completed")?,
+            rejected: field("rejected")?,
+            failed: field("failed")?,
+            queue_depth: field("queue_depth")?,
+            workers: field("workers")?,
+            p50_us: field("p50_us")?,
+            p95_us: field("p95_us")?,
+            cache_hits: field("cache_hits")?,
+            cache_misses: field("cache_misses")?,
+            cache_evictions: field("cache_evictions")?,
+            cache_entries: field("cache_entries")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        assert_eq!(percentiles(&[]), (0, 0));
+        assert_eq!(percentiles(&[10]), (10, 10));
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentiles(&samples), (50, 95));
+    }
+
+    #[test]
+    fn window_wraps_and_forgets_old_samples() {
+        let rec = StatsRecorder::default();
+        // Fill the window with slow samples, then overwrite with fast.
+        for _ in 0..LATENCY_WINDOW {
+            rec.record_completed(1_000_000);
+        }
+        for _ in 0..LATENCY_WINDOW {
+            rec.record_completed(100);
+        }
+        let snap = rec.snapshot(0, 1, CacheCounters::default());
+        assert_eq!(snap.p50_us, 100);
+        assert_eq!(snap.p95_us, 100);
+        assert_eq!(snap.completed, 2 * LATENCY_WINDOW as u64);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let rec = StatsRecorder::default();
+        rec.record_received();
+        rec.record_received();
+        rec.record_rejected();
+        rec.record_completed(250);
+        let snap = rec.snapshot(
+            3,
+            4,
+            CacheCounters {
+                hits: 5,
+                misses: 5,
+                evictions: 1,
+                entries: 2,
+            },
+        );
+        let back = StatsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        assert!((back.cache_hit_ratio() - 0.5).abs() < 1e-9);
+    }
+}

@@ -22,6 +22,11 @@ cargo run --release -p tigr-bench --bin ablation_cpu_schedule -- --smoke
 echo "== direction ablation smoke =="
 cargo run --release -p tigr-bench --bin ablation_direction -- --smoke
 
+echo "== serve ablation smoke =="
+# Also the compile check for the ablation_serve bin; asserts the
+# result-cache hit speedup and cross-cell checksum agreement itself.
+cargo run --release -p tigr-bench --bin ablation_serve -- --smoke
+
 echo "== prepared-graph cache smoke =="
 # A warmed cache must make the second run pure load: cache hit, zero
 # transform/transpose/overlay construction.
@@ -39,6 +44,30 @@ echo "$warm" | grep -q "cache           hit" \
 echo "$warm" | grep -q "prep work       0 transforms, 0 transposes, 0 overlays" \
     || { echo "cache smoke: second run rebuilt derived views"; echo "$warm"; exit 1; }
 echo "cache smoke: warm run loaded every view from the artifact"
+
+echo "== serve smoke =="
+# One query per served algorithm against an ephemeral-port daemon; the
+# stats verb must account for exactly those five queries.
+port_file="$cache_dir/port.txt"
+cargo run --release -q -p tigr-cli --bin tigr -- serve --graph "$graph_file" --name smoke \
+    --port 0 --port-file "$port_file" --workers 2 > /dev/null &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$cache_dir"' EXIT
+for _ in $(seq 1 100); do [ -s "$port_file" ] && break; sleep 0.1; done
+[ -s "$port_file" ] || { echo "serve smoke: port file never appeared"; exit 1; }
+addr="$(cat "$port_file")"
+tigr_query() { cargo run --release -q -p tigr-cli --bin tigr -- query "$@" --addr "$addr"; }
+tigr_query bfs  --graph-name smoke --source 0 > /dev/null
+tigr_query sssp --graph-name smoke --source 0 > /dev/null
+tigr_query sswp --graph-name smoke --source 0 > /dev/null
+tigr_query cc   --graph-name smoke > /dev/null
+tigr_query pr   --graph-name smoke > /dev/null
+stats="$(tigr_query stats)"
+echo "$stats" | grep -q "5 received / 5 completed / 0 rejected / 0 failed" \
+    || { echo "serve smoke: unexpected stats"; echo "$stats"; exit 1; }
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+echo "serve smoke: five analytics served and accounted"
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -10,6 +10,7 @@
 //! | [`core`] | `tigr-core` | split transformations (clique/circular/star/**UDT**), dumb weights, **virtual node arrays**, edge-array coalescing, correctness checks |
 //! | [`engine`] | `tigr-engine` | push/pull vertex-centric engine, worklist + relaxation, BFS/CC/SSSP/SSWP/BC/PR |
 //! | [`baselines`] | `tigr-baselines` | Maximum Warp, CuSha, Gunrock re-implementations |
+//! | [`server`] | `tigr-server` | concurrent query serving over prepared graphs (TCP/Unix socket) |
 //!
 //! The most common items are also re-exported at the crate root.
 //!
@@ -45,6 +46,7 @@ pub use tigr_baselines as baselines;
 pub use tigr_core as core;
 pub use tigr_engine as engine;
 pub use tigr_graph as graph;
+pub use tigr_server as server;
 pub use tigr_sim as sim;
 
 pub use tigr_baselines::Baseline;

@@ -1,0 +1,218 @@
+//! Integration tests of the serving subsystem against the acceptance
+//! bar: 64 concurrent in-flight queries over an ephemeral TCP socket on
+//! a scale-16 RMAT graph with every answer byte-equal to a direct
+//! sequential engine run, typed queue-full rejections under a tiny
+//! admission queue, cancelled runs leaving no partial state observable
+//! through the cache, and the `stats` verb reporting it all.
+
+use std::sync::{Arc, Barrier, OnceLock};
+
+use tigr::core::{GraphStore, PrepareSpec, PreparedGraph};
+use tigr::engine::BackendKind;
+use tigr::server::{
+    Algo, Client, ClientError, ErrorCode, QueryRequest, Server, ServerAddr, ServerConfig,
+    ServerCore,
+};
+use tigr::{Engine, MonotoneProgram, NodeId};
+
+const MIX: [Algo; 4] = [Algo::Bfs, Algo::Sssp, Algo::Sswp, Algo::Cc];
+
+/// The scale-16 RMAT analog every test shares (prepared once; the
+/// server only ever reads it through an `Arc`).
+fn shared_graph() -> Arc<PreparedGraph> {
+    static GRAPH: OnceLock<Arc<PreparedGraph>> = OnceLock::new();
+    Arc::clone(GRAPH.get_or_init(|| {
+        let spec = PrepareSpec::generated("rmat:16:16", 2018).with_uniform_weights(1, 64, 2018);
+        Arc::new(GraphStore::disabled().prepare(&spec).unwrap())
+    }))
+}
+
+/// Sixteen sources spread across the id space.
+fn sources(prepared: &PreparedGraph) -> Vec<u32> {
+    let stride = (prepared.graph().num_nodes() / 16).max(1) as u32;
+    (0..16u32).map(|i| i * stride).collect()
+}
+
+/// What `tigr run <algo> --backend sequential` would print: a direct
+/// single-threaded engine run with the server's exact plan.
+fn expected_values(prepared: &PreparedGraph, algo: Algo, source: Option<u32>) -> Vec<u32> {
+    let engine = Engine::default()
+        .with_backend(BackendKind::Sequential)
+        .with_device_memory(u64::MAX);
+    let prog = match algo {
+        Algo::Bfs => MonotoneProgram::BFS,
+        Algo::Sssp => MonotoneProgram::SSSP,
+        Algo::Sswp => MonotoneProgram::SSWP,
+        Algo::Cc => MonotoneProgram::CC,
+        Algo::Pr => unreachable!("monotone analytics only"),
+    };
+    let out = engine
+        .run_prepared(prepared, prog, source.map(NodeId::new))
+        .unwrap();
+    match prepared.transformed() {
+        Some(t) => t.project_values(&out.values),
+        None => out.values,
+    }
+}
+
+#[test]
+fn sixty_four_concurrent_queries_match_sequential_runs() {
+    let prepared = shared_graph();
+    let sources = sources(&prepared);
+    let core = ServerCore::new(ServerConfig {
+        workers: 4,
+        queue_capacity: 128,
+        cache_capacity: 256,
+        default_deadline_ms: None,
+    });
+    core.add_graph("rmat16", Arc::clone(&prepared));
+    let server = Server::bind_tcp(core, "127.0.0.1:0").unwrap();
+    let addr = match server.addr() {
+        ServerAddr::Tcp(a) => a.to_string(),
+        other => panic!("{other:?}"),
+    };
+
+    // 64 distinct (algo, source) cells, one connection each, all
+    // released at once so all 64 are in flight together.
+    let barrier = Arc::new(Barrier::new(64));
+    let handles: Vec<_> = (0..64usize)
+        .map(|i| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            let algo = MIX[i / 16];
+            // CC is global: the protocol rejects a source for it, so its
+            // 16 cells are deliberately identical concurrent queries.
+            let source = (algo != Algo::Cc).then(|| sources[i % 16]);
+            std::thread::spawn(move || {
+                let mut client = Client::connect_tcp(&addr).unwrap();
+                barrier.wait();
+                let mut query = QueryRequest::new("rmat16", algo, source);
+                query.include_values = true;
+                let r = client.query(query).unwrap();
+                (algo, source, r)
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for (algo, source, r) in results {
+        let expect = expected_values(&prepared, algo, source);
+        assert_eq!(r.nodes as usize, expect.len());
+        assert_eq!(
+            r.values.as_deref(),
+            Some(expect.as_slice()),
+            "{}/{source:?}: served values diverged from the sequential run",
+            algo.label()
+        );
+    }
+
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.received, 64);
+    assert_eq!(stats.completed, 64);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.workers, 4);
+    assert!(stats.p95_us >= stats.p50_us);
+    server.shutdown();
+}
+
+#[test]
+fn overflowing_the_admission_queue_rejects_with_typed_errors() {
+    let prepared = shared_graph();
+    let sources = sources(&prepared);
+    let core = ServerCore::new(ServerConfig {
+        workers: 1,
+        queue_capacity: 2,
+        cache_capacity: 0,
+        default_deadline_ms: None,
+    });
+    core.add_graph("rmat16", Arc::clone(&prepared));
+
+    let barrier = Arc::new(Barrier::new(24));
+    let handles: Vec<_> = (0..24usize)
+        .map(|i| {
+            let core = Arc::clone(&core);
+            let barrier = Arc::clone(&barrier);
+            let source = sources[i % sources.len()];
+            std::thread::spawn(move || {
+                let mut client = Client::local(core);
+                barrier.wait();
+                client.query(QueryRequest::new("rmat16", Algo::Sssp, Some(source)))
+            })
+        })
+        .collect();
+    let mut completed = 0u64;
+    let mut rejected = 0u64;
+    for h in handles {
+        match h.join().unwrap() {
+            Ok(r) => {
+                completed += 1;
+                let expect = expected_values(&prepared, Algo::Sssp, r.source);
+                assert_eq!(r.checksum, tigr::server::checksum(&expect));
+            }
+            Err(ClientError::Protocol(p)) => {
+                assert_eq!(p.code, ErrorCode::QueueFull, "{p:?}");
+                assert!(!p.message.is_empty());
+                rejected += 1;
+            }
+            Err(other) => panic!("{other}"),
+        }
+    }
+    assert_eq!(completed + rejected, 24);
+    assert!(
+        rejected >= 1,
+        "24 racing clients never overflowed a 2-slot queue"
+    );
+
+    let mut client = Client::local(Arc::clone(&core));
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.rejected, rejected);
+    assert_eq!(stats.completed, completed);
+    core.shutdown();
+}
+
+/// Satellite: a deadline-cancelled SSSP must leave no partially-written
+/// state observable through a subsequent cached query — the next query
+/// is a cache miss (cancelled runs are never inserted) and its values
+/// are the complete sequential answer.
+#[test]
+fn cancelled_sssp_leaves_no_partial_state_in_the_cache() {
+    let prepared = shared_graph();
+    let source = sources(&prepared)[3];
+    let core = ServerCore::new(ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_capacity: 64,
+        default_deadline_ms: None,
+    });
+    core.add_graph("rmat16", Arc::clone(&prepared));
+    let mut client = Client::local(core);
+
+    // A scale-16 SSSP takes ~10ms sequentially; a 1ms deadline fires at
+    // an early iteration boundary, after partial distances exist
+    // internally.
+    let mut doomed = QueryRequest::new("rmat16", Algo::Sssp, Some(source));
+    doomed.deadline_ms = Some(1);
+    match client.query(doomed) {
+        Err(ClientError::Protocol(p)) => assert_eq!(p.code, ErrorCode::DeadlineExceeded, "{p:?}"),
+        other => panic!("1ms SSSP unexpectedly finished: {other:?}"),
+    }
+
+    let full = client
+        .query(QueryRequest::new("rmat16", Algo::Sssp, Some(source)))
+        .unwrap();
+    assert!(
+        !full.cached,
+        "cancelled run leaked a cache entry for source {source}"
+    );
+    let expect = expected_values(&prepared, Algo::Sssp, Some(source));
+    assert_eq!(full.checksum, tigr::server::checksum(&expect));
+
+    let warm = client
+        .query(QueryRequest::new("rmat16", Algo::Sssp, Some(source)))
+        .unwrap();
+    assert!(warm.cached);
+    assert_eq!(warm.checksum, full.checksum);
+}
