@@ -1,20 +1,29 @@
 //! Ablation of the serving subsystem: closed-loop query throughput
-//! against worker-thread count with the result cache on versus off,
-//! plus the repeated-source cold-vs-hit latency comparison the cache
-//! exists for.
+//! against worker-thread count with the result cache and the batch
+//! former each on versus off, plus the repeated-source cold-vs-hit
+//! latency comparison the cache exists for.
 //!
 //! Each throughput cell spins up a fresh in-process [`ServerCore`] and
-//! drives it with one closed-loop client thread per server worker
-//! (every client keeps exactly one query in flight), cycling BFS, SSSP,
-//! SSWP, and CC over a fixed pool of sources. Checksums are collected
-//! per (algorithm, source) and every cell must agree with the first —
-//! caching and concurrency may change speed, never answers.
+//! drives it with closed-loop client threads (every client keeps
+//! exactly one query in flight), cycling BFS, SSSP, SSWP, and CC over
+//! a fixed pool of sources. Clients arrive in cohorts of four sharing
+//! one request stream — the hot-key skew that both the result cache
+//! and batch coalescing exist to exploit; every cell replays the same
+//! workload shape, only the server configuration changes. Unbatched
+//! cells run one client per worker; batched cells run eight (a batch
+//! former needs queue depth to have anything to fuse). Checksums are
+//! collected per (algorithm, source) and every cell must agree with a
+//! single-worker uncached reference — batching, caching, and
+//! concurrency may change speed, never answers.
 //!
-//! The cold-vs-hit workload then measures the server-reported
-//! end-to-end latency of first-touch (miss) versus repeated-source
-//! (hit) SSSP queries; the committed acceptance bar is a ≥5x median
-//! speedup for hits (asserted in the full configuration, relaxed to
-//! ≥2x under `--smoke` where the cold runs are already tiny).
+//! Two acceptance bars are asserted in-process:
+//!
+//! * **batch scale-up**: cache-off throughput at the widest worker
+//!   count with batching on must be at least 2x the 1-worker unbatched
+//!   figure (relaxed to 1x under `--smoke`, where queries are too
+//!   small to amortise anything);
+//! * **cold vs hit**: repeated-source SSSP hits must be at least a 5x
+//!   median speedup over first-touch misses (2x under `--smoke`).
 //!
 //! Output goes both to stdout (aligned tables) and to a
 //! machine-readable JSON file: `BENCH_serve.json` at the workspace root
@@ -28,7 +37,7 @@ use std::time::Instant;
 
 use tigr_bench::{prepare_input, print_table};
 use tigr_core::PreparedGraph;
-use tigr_server::{Algo, Client, QueryRequest, ServerConfig, ServerCore};
+use tigr_server::{Algo, Client, QueryRequest, Request, Response, ServerConfig, ServerCore};
 
 /// Query mix for the throughput cells: every monotone analytic the
 /// protocol serves. PageRank is excluded here (it is a fixed-cost full
@@ -36,31 +45,54 @@ use tigr_server::{Algo, Client, QueryRequest, ServerConfig, ServerCore};
 /// the checksum cross-check instead.
 const MIX: [Algo; 4] = [Algo::Bfs, Algo::Sssp, Algo::Sswp, Algo::Cc];
 const GRAPH_NAME: &str = "bench";
+/// Clients per shared request stream: the duplication factor of the
+/// workload's hot keys.
+const COHORT: usize = 4;
+/// Closed-loop clients per server worker in batched cells: a batch
+/// former only has something to fuse when the offered load keeps the
+/// admission queue deeper than the worker pool.
+const CLIENT_FANOUT: usize = 8;
 
 /// (algo label, source) -> FNV-1a64 value checksum.
 type ChecksumMap = BTreeMap<(String, Option<u32>), u64>;
 
-/// One measured (workers, cache) throughput cell.
+/// One measured (workers, clients, cache, batch) throughput cell.
 struct Cell {
     workers: usize,
+    clients: usize,
     cache: bool,
+    batch: bool,
     completed: u64,
     rejected: u64,
     cache_hits: u64,
+    batches: u64,
+    batched_queries: u64,
+    max_batch: u64,
     wall_s: f64,
     qps: f64,
 }
 
 impl Cell {
+    fn occupancy(&self) -> f64 {
+        self.batched_queries as f64 / (self.batches.max(1)) as f64
+    }
+
     fn json(&self) -> String {
         format!(
-            "{{\"workers\": {}, \"cache\": {}, \"completed\": {}, \"rejected\": {}, \
-             \"cache_hits\": {}, \"wall_s\": {:.4}, \"qps\": {:.1}}}",
+            "{{\"workers\": {}, \"clients\": {}, \"cache\": {}, \"batch\": {}, \
+             \"completed\": {}, \"rejected\": {}, \"cache_hits\": {}, \
+             \"batches\": {}, \"batched_queries\": {}, \"max_batch\": {}, \
+             \"wall_s\": {:.4}, \"qps\": {:.1}}}",
             self.workers,
+            self.clients,
             self.cache,
+            self.batch,
             self.completed,
             self.rejected,
             self.cache_hits,
+            self.batches,
+            self.batched_queries,
+            self.max_batch,
             self.wall_s,
             self.qps
         )
@@ -69,24 +101,32 @@ impl Cell {
     fn row(&self) -> Vec<String> {
         vec![
             self.workers.to_string(),
+            self.clients.to_string(),
             if self.cache { "on" } else { "off" }.to_string(),
+            if self.batch { "on" } else { "off" }.to_string(),
             self.completed.to_string(),
             self.rejected.to_string(),
             self.cache_hits.to_string(),
+            format!("{:.2}", self.occupancy()),
+            self.max_batch.to_string(),
             format!("{:.3}", self.wall_s),
             format!("{:.0}", self.qps),
         ]
     }
 }
 
-/// Runs one closed-loop cell: `workers` server workers, `workers`
+/// Runs one closed-loop cell: `workers` server workers, `clients`
 /// client threads, `per_thread` queries each over `sources`. Returns
 /// the cell plus the (algo, source) -> checksum map it observed.
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
     prepared: &Arc<PreparedGraph>,
     workers: usize,
+    clients: usize,
     cache: bool,
+    batch: bool,
     per_thread: usize,
+    batch_wait_us: u64,
     sources: &[u32],
 ) -> (Cell, ChecksumMap) {
     let core = ServerCore::new(ServerConfig {
@@ -94,13 +134,20 @@ fn run_cell(
         queue_capacity: 1024,
         cache_capacity: if cache { 1024 } else { 0 },
         default_deadline_ms: None,
+        // batch_max 1 disables the former entirely; batched cells get
+        // room for every in-flight client plus a linger so stragglers
+        // and resubmissions from a just-answered cohort can still fuse
+        // (without it, concurrent workers shred a burst into
+        // singletons before any of them can form a batch).
+        batch_max: if batch { clients.max(8) } else { 1 },
+        batch_wait_us: if batch { batch_wait_us } else { 0 },
     });
     core.add_graph(GRAPH_NAME, Arc::clone(prepared));
 
     let checksums: Arc<Mutex<ChecksumMap>> = Arc::new(Mutex::new(BTreeMap::new()));
     let rejected = Arc::new(std::sync::atomic::AtomicU64::new(0));
     let t = Instant::now();
-    let handles: Vec<_> = (0..workers)
+    let handles: Vec<_> = (0..clients)
         .map(|tid| {
             let core = Arc::clone(&core);
             let sources = sources.to_vec();
@@ -110,11 +157,15 @@ fn run_cell(
                 let mut client = Client::local(core);
                 let mut completed = 0u64;
                 let mut hits = 0u64;
+                // Each cohort of four clients replays one request
+                // stream; streams stride across the source pool so the
+                // cell still touches different graph regions.
+                let stream = tid / COHORT;
                 for q in 0..per_thread {
-                    let algo = MIX[(tid + q) % MIX.len()];
+                    let algo = MIX[q % MIX.len()];
                     // CC is global: the protocol rejects a source for it.
                     let source =
-                        (algo != Algo::Cc).then(|| sources[(tid * per_thread + q) % sources.len()]);
+                        (algo != Algo::Cc).then(|| sources[(stream * 5 + q) % sources.len()]);
                     let mut request = QueryRequest::new(GRAPH_NAME, algo, source);
                     request.cache = cache;
                     match client.query(request) {
@@ -134,7 +185,7 @@ fn run_cell(
                         {
                             rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         }
-                        Err(e) => panic!("workers={workers} cache={cache}: {e}"),
+                        Err(e) => panic!("workers={workers} cache={cache} batch={batch}: {e}"),
                     }
                 }
                 (completed, hits)
@@ -149,12 +200,21 @@ fn run_cell(
         cache_hits += hits;
     }
     let wall_s = t.elapsed().as_secs_f64();
+    let stats = match core.submit(Request::Stats) {
+        Response::Stats(s) => s,
+        other => panic!("stats request answered with {other:?}"),
+    };
     let cell = Cell {
         workers,
+        clients,
         cache,
+        batch,
         completed,
         rejected: rejected.load(std::sync::atomic::Ordering::Relaxed),
         cache_hits,
+        batches: stats.batches,
+        batched_queries: stats.batched_queries,
+        max_batch: stats.max_batch,
         wall_s,
         qps: completed as f64 / wall_s.max(1e-9),
     };
@@ -181,10 +241,13 @@ fn main() {
     };
     // Smoke: tiny graph, short sweep — a CI-speed regression gate.
     // Full: a 65k-node power-law graph, the published configuration.
-    let (scale, per_thread, num_sources, hit_repeats) = if smoke {
-        (11u32, 16usize, 8usize, 4usize)
+    // The batch linger scales with the query size: ~10% of a full-mode
+    // query, barely a blip next to it, but long enough for a worker
+    // holding a stray job to pick up its cohort's matching arrivals.
+    let (scale, per_thread, num_sources, hit_repeats, batch_wait_us) = if smoke {
+        (11u32, 16usize, 8usize, 4usize, 100u64)
     } else {
-        (16, 48, 16, 8)
+        (16, 48, 16, 8, 10_000)
     };
     let max_workers: usize = flag("--threads")
         .and_then(|s| s.parse().ok())
@@ -226,12 +289,13 @@ fn main() {
 
     // Exhaustive answer key: every (algo, source) pair, computed once
     // through a single-worker uncached core. Each throughput cell is
-    // checked against it — caching and concurrency may change speed,
-    // never answers.
+    // checked against it — batching, caching, and concurrency may
+    // change speed, never answers.
     let reference: ChecksumMap = {
         let core = ServerCore::new(ServerConfig {
             workers: 1,
             cache_capacity: 0,
+            batch_max: 1,
             ..ServerConfig::default()
         });
         core.add_graph(GRAPH_NAME, Arc::clone(&prepared));
@@ -249,21 +313,36 @@ fn main() {
         map
     };
 
-    // --- Closed-loop throughput: workers x cache on/off -------------
+    // --- Closed-loop throughput: workers x cache x batch ------------
     let mut cells: Vec<Cell> = Vec::new();
     let mut workers = 1;
     while workers <= max_workers {
-        for cache in [false, true] {
+        for (cache, batch) in [(false, false), (false, true), (true, false), (true, true)] {
+            let clients = if batch {
+                workers * CLIENT_FANOUT
+            } else {
+                workers
+            };
             eprintln!(
-                "cell: {workers} worker(s), cache {}",
-                if cache { "on" } else { "off" }
+                "cell: {workers} worker(s), {clients} client(s), cache {}, batch {}",
+                if cache { "on" } else { "off" },
+                if batch { "on" } else { "off" }
             );
-            let (cell, checksums) = run_cell(&prepared, workers, cache, per_thread, &sources);
+            let (cell, checksums) = run_cell(
+                &prepared,
+                workers,
+                clients,
+                cache,
+                batch,
+                per_thread,
+                batch_wait_us,
+                &sources,
+            );
             for (key, sum) in &checksums {
                 assert_eq!(
                     reference.get(key),
                     Some(sum),
-                    "{key:?}: checksum diverged at workers={workers} cache={cache}"
+                    "{key:?}: checksum diverged at workers={workers} cache={cache} batch={batch}"
                 );
             }
             cells.push(cell);
@@ -274,14 +353,45 @@ fn main() {
         "closed-loop throughput",
         &[
             "workers",
+            "clients",
             "cache",
+            "batch",
             "completed",
             "rejected",
             "hits",
+            "occ",
+            "widest",
             "wall s",
             "qps",
         ],
         &cells.iter().map(Cell::row).collect::<Vec<_>>(),
+    );
+
+    // --- Batch scale-up gate ----------------------------------------
+    // The committed acceptance bar: with the cache off, the widest
+    // batched configuration must out-serve the 1-worker unbatched
+    // baseline. The gain is work reduction — coalesced duplicate lanes
+    // and reused arenas — so the bar holds even on a single core.
+    let top = cells.iter().map(|c| c.workers).max().unwrap();
+    let base = cells
+        .iter()
+        .find(|c| c.workers == 1 && !c.cache && !c.batch)
+        .expect("1-worker unbatched cache-off cell");
+    let peak = cells
+        .iter()
+        .find(|c| c.workers == top && !c.cache && c.batch)
+        .expect("widest batched cache-off cell");
+    let scaleup = peak.qps / base.qps.max(1e-9);
+    let gate = if smoke { 1.0 } else { 2.0 };
+    println!(
+        "\nbatch scale-up (cache off): {scaleup:.2}x — {top} workers batched {:.0} qps \
+         vs 1 worker unbatched {:.0} qps (gate {gate:.1}x)",
+        peak.qps, base.qps
+    );
+    assert!(
+        scaleup >= gate,
+        "batched cache-off throughput at {top} workers scaled only {scaleup:.2}x \
+         over the 1-worker unbatched figure (gate {gate:.1}x)"
     );
 
     // PageRank checksum cross-check: cached snapshot must be bit-equal
@@ -350,7 +460,10 @@ fn main() {
         "{{\n  \"bench\": \"serve\",\n  \"smoke\": {smoke},\n  \"graph\": \
          {{\"generator\": \"rmat\", \"scale\": {scale}, \"nodes\": {}, \"edges\": {}}},\n  \
          \"queries_per_client\": {per_thread},\n  \"sources\": {},\n  \
-         \"throughput\": [\n    {}\n  ],\n  \"cold_vs_hit\": {{\"algo\": \"sssp\", \
+         \"throughput\": [\n    {}\n  ],\n  \"batch_scaling\": {{\"workers\": {top}, \
+         \"clients\": {}, \"base_qps\": {:.1}, \"batched_qps\": {:.1}, \
+         \"scaleup\": {scaleup:.2}, \"gate\": {gate:.1}}},\n  \
+         \"cold_vs_hit\": {{\"algo\": \"sssp\", \
          \"cold_samples\": {}, \"hit_samples\": {}, \"median_cold_us\": {median_cold_us}, \
          \"median_hit_us\": {median_hit_us}, \"speedup\": {speedup:.2}}}\n}}\n",
         g.num_nodes(),
@@ -361,6 +474,9 @@ fn main() {
             .map(Cell::json)
             .collect::<Vec<_>>()
             .join(",\n    "),
+        peak.clients,
+        base.qps,
+        peak.qps,
         cold_us.len(),
         hit_us.len(),
     );

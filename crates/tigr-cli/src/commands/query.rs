@@ -29,7 +29,8 @@ pub fn run(args: &Args) -> CmdResult {
                 "queries         {} received / {} completed / {} rejected / {} failed\n\
                  queue depth     {} (workers {})\n\
                  latency         p50 {} us / p95 {} us\n\
-                 cache           {} hits / {} misses / {} evictions ({} resident, ratio {:.2})\n",
+                 cache           {} hits / {} misses / {} evictions ({} resident, ratio {:.2})\n\
+                 batches         {} executed / {} queries (occupancy {:.2}, widest {})\n",
                 s.received,
                 s.completed,
                 s.rejected,
@@ -43,6 +44,10 @@ pub fn run(args: &Args) -> CmdResult {
                 s.cache_evictions,
                 s.cache_entries,
                 s.cache_hit_ratio(),
+                s.batches,
+                s.batched_queries,
+                s.batch_occupancy(),
+                s.max_batch,
             ))
         }
         algo_label => {

@@ -38,9 +38,14 @@ pub fn run(args: &Args) -> CmdResult {
             .flag("default-deadline-ms")
             .map(|v| v.parse().map_err(|_| "invalid --default-deadline-ms"))
             .transpose()?,
+        batch_max: args.flag_or("batch-max", ServerConfig::default().batch_max)?,
+        batch_wait_us: args.flag_or("batch-wait-us", ServerConfig::default().batch_wait_us)?,
     };
     if config.workers == 0 {
         return Err("--workers must be at least 1".into());
+    }
+    if config.batch_max == 0 {
+        return Err("--batch-max must be at least 1 (1 disables batching)".into());
     }
 
     let mut spec = PrepareSpec::from_file(&path);
@@ -79,8 +84,12 @@ pub fn run(args: &Args) -> CmdResult {
     // so the startup banner cannot wait for the returned CmdResult.
     println!(
         "serving {name} ({nodes} nodes, {edges} edges) on {addr_text}\n\
-         workers {} | queue {} | cache {} entries",
-        config.workers, config.queue_capacity, config.cache_capacity
+         workers {} | queue {} | cache {} entries | batch {} (wait {} us)",
+        config.workers,
+        config.queue_capacity,
+        config.cache_capacity,
+        config.batch_max,
+        config.batch_wait_us
     );
     let _ = std::io::stdout().flush();
 
@@ -108,6 +117,7 @@ pub fn run(args: &Args) -> CmdResult {
 const USAGE: &str = "usage: tigr serve --graph <file> [--name N] \
 [--port P | --socket PATH] [--port-file PATH] [--workers N] [--queue N] \
 [--cache-capacity N] [--default-deadline-ms MS] \
+[--batch-max N] [--batch-wait-us US] \
 [--virtual K [--coalesced]] [--duration SECS] [--cache-dir DIR]";
 
 #[cfg(test)]
@@ -137,6 +147,8 @@ mod tests {
         assert!(err.contains("--workers"));
         let err = run(&parse(&format!("--graph {path} --duration never"))).unwrap_err();
         assert!(err.contains("invalid --duration"));
+        let err = run(&parse(&format!("--graph {path} --batch-max 0"))).unwrap_err();
+        assert!(err.contains("--batch-max"));
     }
 
     #[test]

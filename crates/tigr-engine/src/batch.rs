@@ -1,0 +1,564 @@
+//! Batched multi-source execution: K same-program runs fused into one
+//! sequence of sweeps over the CSR.
+//!
+//! The serving workload runs the *same* monotone program from many
+//! sources over one shared graph. Executed one query at a time, every
+//! run streams the whole edge array again — which is why serving
+//! throughput stays flat as workers are added on a memory-bound host.
+//! This module applies the "multiple frontiers" idea (Gunrock): give
+//! each query its own **lane** — a private value array, frontier
+//! builder, and worklist — and advance all lanes in lockstep, merging
+//! their sorted active lists node-major so each node's adjacency range
+//! is hot in cache for every lane that needs it in a sweep.
+//!
+//! The contract is strict **byte-equality** with the single-source
+//! reference: each lane replicates the state machine of the sequential
+//! push backend exactly — the same pre-iteration checks in the same
+//! order, the same ascending relaxation order (per-lane active lists
+//! are ascending, and the node-major merge preserves that per lane),
+//! and a private value array — so a lane's `values`, iteration count,
+//! `converged`, `cancelled`, and `edges_touched` are identical to what
+//! a solo run would have produced. Duplicate sources are just duplicate
+//! lanes; `K = 1` degenerates to the solo schedule (and is how the
+//! server runs *all* monotone queries, so the arena's allocation reuse
+//! benefits the non-batched path too).
+//!
+//! Lane layout is SoA (one value array per lane) rather than
+//! interleaved `values[v * K + k]`: lanes of one batch converge at
+//! different iterations, and SoA lets finished lanes drop out of the
+//! sweep without leaving holes, keeps `snapshot` a straight copy, and
+//! lets [`BatchArena`] recycle arrays across batches of different
+//! widths. See DESIGN.md §12 for the measured comparison.
+
+use tigr_core::CancelToken;
+use tigr_graph::{Csr, NodeId};
+use tigr_sim::SimReport;
+
+use crate::frontier::FrontierBuilder;
+use crate::kernel::{csr_edges, push_relax, NoMirror};
+use crate::plan::Direction;
+use crate::program::MonotoneProgram;
+use crate::push::{MonotoneOutput, PushOptions};
+use crate::representation::Representation;
+use crate::state::AtomicValues;
+
+/// One query's slot in a batch: its source and its own cancellation
+/// token, so a deadline poisons only this lane.
+#[derive(Clone, Debug)]
+pub struct BatchLane {
+    /// Source node (`None` for source-free programs like CC).
+    pub source: Option<NodeId>,
+    /// Per-lane cancellation, polled at the lane's iteration
+    /// boundaries exactly like the solo driver polls the plan token.
+    pub cancel: CancelToken,
+}
+
+impl BatchLane {
+    /// A lane with no deadline.
+    pub fn new(source: Option<NodeId>) -> Self {
+        BatchLane {
+            source,
+            cancel: CancelToken::never(),
+        }
+    }
+
+    /// A lane carrying its own cancellation token.
+    pub fn with_cancel(source: Option<NodeId>, cancel: CancelToken) -> Self {
+        BatchLane { source, cancel }
+    }
+}
+
+/// K runs of one monotone program, executed as a single multi-source
+/// sweep sequence.
+#[derive(Clone, Debug)]
+pub struct BatchProgram {
+    /// The shared vertex program (batch compatibility: all lanes run
+    /// the same program over the same representation).
+    pub prog: MonotoneProgram,
+    /// One lane per query; duplicates are allowed.
+    pub lanes: Vec<BatchLane>,
+}
+
+impl BatchProgram {
+    /// A batch of `prog` from the given sources, no deadlines.
+    pub fn from_sources(
+        prog: MonotoneProgram,
+        sources: impl IntoIterator<Item = Option<NodeId>>,
+    ) -> Self {
+        BatchProgram {
+            prog,
+            lanes: sources.into_iter().map(BatchLane::new).collect(),
+        }
+    }
+}
+
+/// Result of a batched run: one [`MonotoneOutput`] per lane, in lane
+/// order, each byte-equal to the solo sequential push run.
+#[derive(Debug)]
+pub struct BatchOutput {
+    /// Per-lane outputs (same order as [`BatchProgram::lanes`]).
+    pub lanes: Vec<MonotoneOutput>,
+    /// Fused sweeps executed — one per round in which at least one lane
+    /// ran an iteration. `max` over lanes of their iteration count.
+    pub sweeps: usize,
+}
+
+/// Reusable per-lane storage (value arrays, frontier builders,
+/// worklists), so a worker thread executing a stream of batches stops
+/// allocating per query. Slots are grown lazily to the widest batch
+/// seen and rebuilt only when the slot count of the graph changes.
+#[derive(Debug, Default)]
+pub struct BatchArena {
+    slots: Vec<LaneSlot>,
+}
+
+#[derive(Debug)]
+struct LaneSlot {
+    values: AtomicValues,
+    next: FrontierBuilder,
+    active: Vec<u32>,
+}
+
+impl BatchArena {
+    /// An empty arena; storage appears on first use.
+    pub fn new() -> Self {
+        BatchArena::default()
+    }
+
+    /// Ensures `k` lane slots sized for `n` value slots exist.
+    fn ensure(&mut self, k: usize, n: usize) {
+        self.slots.retain(|s| s.values.len() == n);
+        while self.slots.len() < k {
+            self.slots.push(LaneSlot {
+                values: AtomicValues::new(n, 0),
+                next: FrontierBuilder::new(n),
+                active: Vec::new(),
+            });
+        }
+    }
+}
+
+/// The per-lane run state while a batch is in flight.
+struct LaneRun<'a> {
+    values: &'a AtomicValues,
+    next: &'a FrontierBuilder,
+    active: &'a mut Vec<u32>,
+    cancel: &'a CancelToken,
+    /// Position in `active` during the node-major merge.
+    cursor: usize,
+    iterations: usize,
+    edges_touched: u64,
+    changed: bool,
+    converged: bool,
+    cancelled: bool,
+    done: bool,
+    runnable: bool,
+}
+
+impl LaneRun<'_> {
+    /// One scatter relaxation of `slot` in this lane — the body of the
+    /// solo sequential push sweep, verbatim.
+    fn relax(&mut self, g: &Csr, prog: MonotoneProgram) {
+        let slot = if let Some(&v) = self.active.get(self.cursor) {
+            v as usize
+        } else {
+            return;
+        };
+        self.relax_slot(g, prog, slot);
+    }
+
+    fn relax_slot(&mut self, g: &Csr, prog: MonotoneProgram, slot: usize) {
+        let v = NodeId::from_index(slot);
+        let d = self.values.load(slot);
+        let next = self.next;
+        let mut changed = false;
+        let touched = push_relax(
+            &mut NoMirror,
+            prog,
+            self.values,
+            None,
+            d,
+            csr_edges(g, g.edge_start(v)..g.edge_end(v)),
+            |_, t| {
+                changed = true;
+                next.activate(t);
+            },
+        );
+        self.edges_touched += touched;
+        if changed {
+            self.changed = true;
+        }
+    }
+}
+
+/// Runs `batch` over `rep` with the deterministic single-threaded push
+/// schedule, all lanes in lockstep. Every lane's output is byte-equal
+/// to what the sequential backend's push driver returns for that
+/// source alone under the same `options`.
+///
+/// # Panics
+///
+/// Panics if the program needs a source and a lane has none, or a
+/// lane's source is out of range — the same contract as
+/// [`MonotoneProgram::initial_values`].
+pub fn run_batch_sequential_push(
+    rep: &Representation<'_>,
+    batch: &BatchProgram,
+    options: &PushOptions,
+    arena: &mut BatchArena,
+) -> BatchOutput {
+    let g = rep.graph();
+    let n = rep.num_value_slots();
+    let prog = batch.prog;
+    let k = batch.lanes.len();
+    arena.ensure(k, n);
+
+    // Wire each lane to its arena slot and re-initialize in place:
+    // values and the seed worklist exactly as `initial_values` /
+    // `initial_frontier` produce them, without the per-query
+    // allocations.
+    let mut lanes: Vec<LaneRun<'_>> = arena
+        .slots
+        .iter_mut()
+        .take(k)
+        .zip(&batch.lanes)
+        .map(|(slot, lane)| {
+            let LaneSlot {
+                values,
+                next,
+                active,
+            } = slot;
+            init_lane(prog, lane.source, n, values, active);
+            next.clear();
+            LaneRun {
+                values,
+                next,
+                active,
+                cancel: &lane.cancel,
+                cursor: 0,
+                iterations: 0,
+                edges_touched: 0,
+                changed: false,
+                converged: false,
+                cancelled: false,
+                done: false,
+                runnable: false,
+            }
+        })
+        .collect();
+
+    let mut sweeps = 0usize;
+    loop {
+        // Per-lane pre-iteration checks, in the solo driver's order:
+        // iteration cap, worklist emptiness (convergence), then the
+        // cancellation poll.
+        let mut any = false;
+        for lane in &mut lanes {
+            lane.runnable = false;
+            if lane.done {
+                continue;
+            }
+            if lane.iterations == options.max_iterations {
+                lane.done = true;
+                continue;
+            }
+            if options.worklist && lane.active.is_empty() {
+                lane.converged = true;
+                lane.done = true;
+                continue;
+            }
+            if lane.cancel.is_cancelled() {
+                lane.cancelled = true;
+                lane.done = true;
+                continue;
+            }
+            lane.iterations += 1;
+            lane.changed = false;
+            lane.cursor = 0;
+            lane.runnable = true;
+            any = true;
+        }
+        if !any {
+            break;
+        }
+        sweeps += 1;
+
+        if options.worklist {
+            // Node-major k-way merge of the per-lane sorted worklists:
+            // each node's adjacency range is walked back-to-back for
+            // every lane in which it is active, and each lane still
+            // sees its nodes in ascending order.
+            loop {
+                let mut cur: Option<u32> = None;
+                for lane in lanes.iter().filter(|l| l.runnable) {
+                    if let Some(&v) = lane.active.get(lane.cursor) {
+                        cur = Some(cur.map_or(v, |c| c.min(v)));
+                    }
+                }
+                let Some(v) = cur else { break };
+                for lane in lanes.iter_mut().filter(|l| l.runnable) {
+                    if lane.active.get(lane.cursor) == Some(&v) {
+                        lane.relax(g, prog);
+                        lane.cursor += 1;
+                    }
+                }
+            }
+        } else {
+            // Full sweeps: every slot, every runnable lane.
+            for slot in 0..n {
+                for lane in lanes.iter_mut().filter(|l| l.runnable) {
+                    lane.relax_slot(g, prog, slot);
+                }
+            }
+        }
+
+        for lane in lanes.iter_mut().filter(|l| l.runnable) {
+            lane.active.clear();
+            lane.next.drain_into(lane.active);
+            if !lane.changed {
+                lane.converged = true;
+                lane.done = true;
+            }
+        }
+    }
+
+    let outputs = lanes
+        .into_iter()
+        .map(|lane| MonotoneOutput {
+            values: lane.values.snapshot(),
+            report: SimReport::new(),
+            converged: lane.converged,
+            edges_touched: lane.edges_touched,
+            directions: vec![Direction::Push; lane.iterations],
+            cancelled: lane.cancelled,
+        })
+        .collect();
+    BatchOutput {
+        lanes: outputs,
+        sweeps,
+    }
+}
+
+/// In-place lane initialization: the allocation-free twin of
+/// [`MonotoneProgram::initial_values`] + `initial_frontier`.
+fn init_lane(
+    prog: MonotoneProgram,
+    source: Option<NodeId>,
+    n: usize,
+    values: &AtomicValues,
+    active: &mut Vec<u32>,
+) {
+    use crate::program::InitKind;
+    active.clear();
+    match prog.init {
+        InitKind::OwnId => {
+            for i in 0..n {
+                values.store(i, i as u32);
+            }
+            active.extend(0..n as u32);
+        }
+        InitKind::SourceZero | InitKind::SourceMax => {
+            let src = source.expect("program requires a source node");
+            assert!(src.index() < n, "source out of range");
+            let (src_val, rest) = match prog.init {
+                InitKind::SourceZero => (0, u32::MAX),
+                _ => (u32::MAX, 0),
+            };
+            values.fill(rest);
+            values.store(src.index(), src_val);
+            active.push(src.raw());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Backend, Sequential};
+    use crate::plan::ExecutionPlan;
+    use tigr_graph::generators::{barabasi_albert, with_uniform_weights, BarabasiAlbertConfig};
+
+    fn fixture() -> Csr {
+        let g = barabasi_albert(
+            &BarabasiAlbertConfig {
+                num_nodes: 300,
+                edges_per_node: 3,
+                symmetric: false,
+            },
+            7,
+        );
+        with_uniform_weights(&g, 1, 31, 5)
+    }
+
+    fn solo(
+        rep: &Representation<'_>,
+        prog: MonotoneProgram,
+        source: Option<u32>,
+    ) -> MonotoneOutput {
+        Sequential
+            .run_monotone(
+                rep,
+                prog,
+                source.map(NodeId::new),
+                &ExecutionPlan::default(),
+            )
+            .unwrap()
+    }
+
+    fn assert_lane_equal(lane: &MonotoneOutput, solo: &MonotoneOutput, label: &str) {
+        assert_eq!(lane.values, solo.values, "{label}: values");
+        assert_eq!(lane.directions, solo.directions, "{label}: iterations");
+        assert_eq!(lane.converged, solo.converged, "{label}: converged");
+        assert_eq!(lane.cancelled, solo.cancelled, "{label}: cancelled");
+        assert_eq!(
+            lane.edges_touched, solo.edges_touched,
+            "{label}: edges_touched"
+        );
+    }
+
+    #[test]
+    fn batched_lanes_match_solo_runs_including_duplicates() {
+        let g = fixture();
+        let rep = Representation::Original(&g);
+        let sources = [0u32, 17, 17, 250, 3];
+        for prog in [
+            MonotoneProgram::BFS,
+            MonotoneProgram::SSSP,
+            MonotoneProgram::SSWP,
+        ] {
+            let batch =
+                BatchProgram::from_sources(prog, sources.iter().map(|&s| Some(NodeId::new(s))));
+            let mut arena = BatchArena::new();
+            let out = run_batch_sequential_push(&rep, &batch, &PushOptions::default(), &mut arena);
+            assert_eq!(out.lanes.len(), sources.len());
+            for (i, &s) in sources.iter().enumerate() {
+                let reference = solo(&rep, prog, Some(s));
+                assert_lane_equal(&out.lanes[i], &reference, &format!("{}/{s}", prog.name));
+            }
+            assert_eq!(
+                out.sweeps,
+                out.lanes
+                    .iter()
+                    .map(|l| l.directions.len())
+                    .max()
+                    .unwrap_or(0)
+            );
+        }
+    }
+
+    #[test]
+    fn source_free_cc_lanes_match() {
+        let g = fixture();
+        let rep = Representation::Original(&g);
+        let batch = BatchProgram::from_sources(MonotoneProgram::CC, [None, None]);
+        let mut arena = BatchArena::new();
+        let out = run_batch_sequential_push(&rep, &batch, &PushOptions::default(), &mut arena);
+        let reference = solo(&rep, MonotoneProgram::CC, None);
+        assert_lane_equal(&out.lanes[0], &reference, "cc lane 0");
+        assert_lane_equal(&out.lanes[1], &reference, "cc lane 1");
+    }
+
+    #[test]
+    fn degenerate_single_lane_matches_and_arena_is_reused() {
+        let g = fixture();
+        let rep = Representation::Original(&g);
+        let mut arena = BatchArena::new();
+        // A stream of K=1 batches through one arena — the server's
+        // non-batched fast path. Byte-equal every time, no state leaks
+        // between runs.
+        for &s in &[5u32, 42, 5, 299] {
+            let batch = BatchProgram::from_sources(MonotoneProgram::SSSP, [Some(NodeId::new(s))]);
+            let out = run_batch_sequential_push(&rep, &batch, &PushOptions::default(), &mut arena);
+            let reference = solo(&rep, MonotoneProgram::SSSP, Some(s));
+            assert_lane_equal(&out.lanes[0], &reference, &format!("sssp/{s}"));
+        }
+    }
+
+    #[test]
+    fn iteration_cap_applies_per_lane() {
+        let g = fixture();
+        let rep = Representation::Original(&g);
+        let options = PushOptions {
+            max_iterations: 2,
+            ..PushOptions::default()
+        };
+        let plan = ExecutionPlan {
+            push: options,
+            ..ExecutionPlan::default()
+        };
+        let batch = BatchProgram::from_sources(
+            MonotoneProgram::SSSP,
+            [Some(NodeId::new(0)), Some(NodeId::new(100))],
+        );
+        let mut arena = BatchArena::new();
+        let out = run_batch_sequential_push(&rep, &batch, &options, &mut arena);
+        for (lane, src) in out.lanes.iter().zip([0u32, 100]) {
+            let reference = Sequential
+                .run_monotone(&rep, MonotoneProgram::SSSP, Some(NodeId::new(src)), &plan)
+                .unwrap();
+            assert_lane_equal(lane, &reference, &format!("capped/{src}"));
+            assert!(lane.directions.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn cancelled_lane_stops_alone() {
+        let g = fixture();
+        let rep = Representation::Original(&g);
+        let doomed = CancelToken::new();
+        doomed.cancel();
+        let batch = BatchProgram {
+            prog: MonotoneProgram::BFS,
+            lanes: vec![
+                BatchLane::with_cancel(Some(NodeId::new(0)), doomed),
+                BatchLane::new(Some(NodeId::new(1))),
+            ],
+        };
+        let mut arena = BatchArena::new();
+        let out = run_batch_sequential_push(&rep, &batch, &PushOptions::default(), &mut arena);
+        assert!(out.lanes[0].cancelled && !out.lanes[0].converged);
+        // Pre-cancelled lane holds exactly its initial values.
+        assert_eq!(out.lanes[0].values[0], 0);
+        assert!(out.lanes[0].values[1..].iter().all(|&v| v == u32::MAX));
+        // The surviving lane is untouched by its neighbor's fate.
+        let reference = solo(&rep, MonotoneProgram::BFS, Some(1));
+        assert_lane_equal(&out.lanes[1], &reference, "survivor");
+    }
+
+    #[test]
+    fn full_sweep_mode_matches_solo() {
+        let g = fixture();
+        let rep = Representation::Original(&g);
+        let options = PushOptions {
+            worklist: false,
+            ..PushOptions::default()
+        };
+        let plan = ExecutionPlan {
+            push: options,
+            ..ExecutionPlan::default()
+        };
+        let batch = BatchProgram::from_sources(
+            MonotoneProgram::SSSP,
+            [Some(NodeId::new(0)), Some(NodeId::new(9))],
+        );
+        let mut arena = BatchArena::new();
+        let out = run_batch_sequential_push(&rep, &batch, &options, &mut arena);
+        for (lane, src) in out.lanes.iter().zip([0u32, 9]) {
+            let reference = Sequential
+                .run_monotone(&rep, MonotoneProgram::SSSP, Some(NodeId::new(src)), &plan)
+                .unwrap();
+            assert_lane_equal(lane, &reference, &format!("dense/{src}"));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let g = fixture();
+        let rep = Representation::Original(&g);
+        let batch = BatchProgram::from_sources(MonotoneProgram::BFS, []);
+        let mut arena = BatchArena::new();
+        let out = run_batch_sequential_push(&rep, &batch, &PushOptions::default(), &mut arena);
+        assert!(out.lanes.is_empty());
+        assert_eq!(out.sweeps, 0);
+    }
+}

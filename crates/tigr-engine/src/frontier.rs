@@ -237,6 +237,15 @@ impl FrontierBuilder {
         }
     }
 
+    /// Resets every bit without materializing the active ids — the
+    /// defensive re-initialization arenas run before reusing a builder.
+    pub fn clear(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        for word in &self.bits {
+            word.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Drains the builder into a [`Frontier`], clearing all bits.
     pub fn take(&self, mode: FrontierMode) -> Frontier {
         let mut active = Vec::with_capacity(self.count.swap(0, Ordering::Relaxed));

@@ -271,6 +271,52 @@ impl Engine {
         }
     }
 
+    /// Runs a batched multi-source monotone program: every lane of
+    /// `batch` advances in lockstep through one fused sequence of
+    /// sweeps over `rep`, sharing each node's adjacency walk across
+    /// lanes (see [`crate::batch`]). Per-lane outputs are byte-equal to
+    /// the single-source sequential push plan; per-lane cancellation
+    /// comes from the lanes themselves, not the engine's plan token.
+    ///
+    /// The batch path always executes the deterministic sequential push
+    /// schedule: the plan is validated with the backend pinned to
+    /// [`BackendKind::Sequential`] and the direction to
+    /// [`Direction::Push`], whatever the builder configured.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run_program`].
+    pub fn run_batch(
+        &self,
+        rep: &Representation<'_>,
+        batch: &crate::batch::BatchProgram,
+        arena: &mut crate::batch::BatchArena,
+    ) -> Result<crate::batch::BatchOutput, EngineError> {
+        self.check_footprint(rep)?;
+        let mut plan = self.plan.clone();
+        plan.backend = BackendKind::Sequential;
+        plan.direction = Direction::Push;
+        plan.validate(rep, &batch.prog)?;
+        Ok(crate::batch::run_batch_sequential_push(
+            rep, batch, &plan.push, arena,
+        ))
+    }
+
+    /// Runs a batched multi-source monotone program over a
+    /// [`PreparedGraph`] (see [`Engine::run_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run_program`].
+    pub fn run_prepared_batch(
+        &self,
+        prepared: &PreparedGraph,
+        batch: &crate::batch::BatchProgram,
+        arena: &mut crate::batch::BatchArena,
+    ) -> Result<crate::batch::BatchOutput, EngineError> {
+        self.run_batch(&Representation::from_prepared(prepared), batch, arena)
+    }
+
     /// PageRank over a [`PreparedGraph`]. Pull mode gathers along
     /// in-edges: the prepared transpose (and mirrored overlay) is used
     /// when present, and built on the fly otherwise.

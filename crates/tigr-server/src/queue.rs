@@ -8,6 +8,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
@@ -22,6 +23,10 @@ pub enum PushError<T> {
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// A [`Bounded::pop_batch`] caller is currently forming a batch;
+    /// other batch formers hold off so the burst fuses into one batch
+    /// instead of shredding across every idle consumer.
+    forming: bool,
 }
 
 /// A bounded MPMC queue: non-blocking producers, blocking consumers.
@@ -38,6 +43,7 @@ impl<T> Bounded<T> {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
                 closed: false,
+                forming: false,
             }),
             ready: Condvar::new(),
             capacity: capacity.max(1),
@@ -71,7 +77,11 @@ impl<T> Bounded<T> {
         }
         inner.items.push_back(item);
         drop(inner);
-        self.ready.notify_one();
+        // Waiters are heterogeneous — [`Bounded::pop`] blockers and
+        // lingering [`Bounded::pop_batch`] batch formers share the
+        // condvar — so a single wake could land on a former whose
+        // compatibility check rejects the new item and be lost.
+        self.ready.notify_all();
         Ok(())
     }
 
@@ -87,6 +97,67 @@ impl<T> Bounded<T> {
                 return None;
             }
             inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Blocks like [`Bounded::pop`] until a job is available, then
+    /// takes it *together with* up to `max - 1` further queued jobs
+    /// compatible with it (per `compat(head, candidate)`), preserving
+    /// relative order; non-matching jobs keep their positions. With a
+    /// non-zero `wait`, lingers for late-arriving compatible jobs
+    /// until the batch is full or `wait` elapses. Returns `None` once
+    /// the queue is closed and empty.
+    ///
+    /// Formation is **serialized**: only one `pop_batch` caller forms
+    /// a batch at a time, and the others hold off from taking a head
+    /// until it returns. Without this, N idle consumers each grab one
+    /// job from a burst of N compatible arrivals and the batch former
+    /// fuses nothing — formation shreds exactly when fusing matters
+    /// most. Execution stays parallel: the forming window is bounded
+    /// by `wait`, while consumers run the batches they formed outside
+    /// the queue. Plain [`Bounded::pop`] ignores the formation gate;
+    /// don't mix it with `pop_batch` on the same queue.
+    pub fn pop_batch(
+        &self,
+        max: usize,
+        wait: Duration,
+        mut compat: impl FnMut(&T, &T) -> bool,
+    ) -> Option<Vec<T>> {
+        let max = max.max(1);
+        let mut inner = self.inner.lock().unwrap();
+        let head = loop {
+            if !inner.forming {
+                if let Some(item) = inner.items.pop_front() {
+                    inner.forming = true;
+                    break item;
+                }
+                if inner.closed {
+                    return None;
+                }
+            }
+            inner = self.ready.wait(inner).unwrap();
+        };
+        let mut out = vec![head];
+        let deadline = Instant::now() + wait;
+        loop {
+            let mut i = 0;
+            while i < inner.items.len() && out.len() < max {
+                if compat(&out[0], &inner.items[i]) {
+                    out.extend(inner.items.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            let now = Instant::now();
+            if out.len() >= max || inner.closed || now >= deadline {
+                inner.forming = false;
+                drop(inner);
+                // Wake the formers held off by the formation gate (and
+                // any pop blockers) so the next batch starts forming.
+                self.ready.notify_all();
+                return Some(out);
+            }
+            inner = self.ready.wait_timeout(inner, deadline - now).unwrap().0;
         }
     }
 
@@ -161,6 +232,90 @@ mod tests {
         q.try_push("b").unwrap();
         assert_eq!(q.close(), vec!["a", "b"]);
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_batch_takes_head_plus_compatible_in_order() {
+        let q = Bounded::new(16);
+        for v in [1, 2, 3, 4, 5, 6] {
+            q.try_push(v).unwrap();
+        }
+        // Head is 1 (odd); same-parity followers fuse, up to `max`.
+        let odds = q.pop_batch(3, Duration::ZERO, |a, b| a % 2 == b % 2);
+        assert_eq!(odds, Some(vec![1, 3, 5]));
+        // Non-matching jobs keep their relative order for the next
+        // consumer, which fuses them in turn.
+        let evens = q.pop_batch(8, Duration::ZERO, |a, b| a % 2 == b % 2);
+        assert_eq!(evens, Some(vec![2, 4, 6]));
+    }
+
+    #[test]
+    fn pop_batch_max_one_is_plain_pop() {
+        let q = Bounded::new(4);
+        q.try_push(9).unwrap();
+        q.try_push(8).unwrap();
+        // max 1 never fuses and never lingers, whatever `wait` says.
+        let t = Instant::now();
+        assert_eq!(
+            q.pop_batch(1, Duration::from_secs(60), |_, _| true),
+            Some(vec![9])
+        );
+        assert!(t.elapsed() < Duration::from_secs(1));
+        assert_eq!(q.pop(), Some(8));
+    }
+
+    #[test]
+    fn pop_batch_lingers_for_late_compatible_arrivals() {
+        let q = Arc::new(Bounded::new(16));
+        q.try_push(1u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(5));
+                q.try_push(7u32).unwrap();
+            })
+        };
+        let got = q.pop_batch(2, Duration::from_secs(5), |_, _| true);
+        producer.join().unwrap();
+        assert_eq!(got, Some(vec![1, 7]));
+    }
+
+    #[test]
+    fn pop_batch_formation_is_serialized() {
+        // A lingering former owns the queue head: a second former must
+        // not steal the arrival the first one is waiting for.
+        let q = Arc::new(Bounded::new(16));
+        q.try_push(1u32).unwrap();
+        let first = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop_batch(2, Duration::from_secs(5), |_, _| true))
+        };
+        thread::sleep(Duration::from_millis(20));
+        let second = {
+            let q = Arc::clone(&q);
+            // Zero linger: without the formation gate this would return
+            // `Some(vec![2])` immediately, shredding the first batch.
+            thread::spawn(move || q.pop_batch(2, Duration::ZERO, |_, _| true))
+        };
+        thread::sleep(Duration::from_millis(20));
+        q.try_push(2u32).unwrap();
+        assert_eq!(first.join().unwrap(), Some(vec![1, 2]));
+        thread::sleep(Duration::from_millis(5));
+        assert!(q.close().is_empty());
+        assert_eq!(second.join().unwrap(), None);
+    }
+
+    #[test]
+    fn pop_batch_returns_on_close() {
+        let q: Arc<Bounded<u32>> = Arc::new(Bounded::new(4));
+        let former = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop_batch(2, Duration::from_secs(60), |_, _| true))
+        };
+        thread::sleep(Duration::from_millis(5));
+        // No head ever arrives: the blocked former observes the close.
+        assert!(q.close().is_empty());
+        assert_eq!(former.join().unwrap(), None);
     }
 
     #[test]

@@ -7,14 +7,18 @@
 //!    and offers the job to the bounded [`Bounded`] queue. A full queue
 //!    is a typed `queue-full` rejection, never a block — that is the
 //!    backpressure contract.
-//! 2. *Plan*: a worker builds a per-request [`ExecutionPlan`] (the
-//!    deterministic `Sequential` backend, push direction) carrying the
-//!    cancel token.
-//! 3. *Backend*: the engine runs the analytic over the shared
-//!    [`PreparedGraph`]; the token is polled at iteration boundaries,
-//!    so an expired deadline surfaces as a consistent monotone prefix
-//!    that the server then *discards* — clients get `deadline-exceeded`,
-//!    never partial values.
+//! 2. *Plan*: a worker pops one job and drains compatible queued jobs
+//!    (same graph × same algorithm, up to `batch_max`) into one fused
+//!    batch; every monotone query — batched or singleton — executes
+//!    the deterministic `Sequential` push schedule, each lane carrying
+//!    its own cancel token.
+//! 3. *Backend*: the engine advances all lanes of the batch in
+//!    lockstep over the shared [`PreparedGraph`] (see
+//!    [`tigr_engine::batch`]); tokens are polled at iteration
+//!    boundaries, so an expired deadline surfaces as a consistent
+//!    monotone prefix that the server then *discards* — that client
+//!    gets `deadline-exceeded`, never partial values, and its
+//!    batchmates are unaffected.
 //! 4. *Cache*: converged results are published to the source-keyed LRU;
 //!    hits skip straight from admission to reply.
 //!
@@ -35,7 +39,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tigr_core::{CancelToken, PreparedGraph};
-use tigr_engine::{pr, BackendKind, Engine, EngineError};
+use tigr_engine::{pr, BackendKind, BatchArena, BatchLane, BatchProgram, Engine, EngineError};
 use tigr_graph::NodeId;
 
 use crate::cache::{CacheKey, CachedResult, ResultCache};
@@ -63,6 +67,12 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Deadline applied to queries that don't carry their own.
     pub default_deadline_ms: Option<u64>,
+    /// Widest fused batch a worker may form (1 disables batching).
+    pub batch_max: usize,
+    /// How long a worker lingers on the queue collecting compatible
+    /// jobs before executing a non-full batch, in microseconds. Zero
+    /// means batches form only from jobs already queued.
+    pub batch_wait_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +82,8 @@ impl Default for ServerConfig {
             queue_capacity: 128,
             cache_capacity: 256,
             default_deadline_ms: None,
+            batch_max: 8,
+            batch_wait_us: 0,
         }
     }
 }
@@ -80,6 +92,10 @@ impl Default for ServerConfig {
 struct Job {
     request: QueryRequest,
     token: CancelToken,
+    /// Whether `token` carries a deadline. Deadline-free duplicates may
+    /// share a batch lane; a deadline-carrying job always gets a
+    /// private lane so its cancellation poisons nobody else's answer.
+    has_deadline: bool,
     received: Instant,
     slot: Arc<ReplySlot>,
 }
@@ -234,6 +250,7 @@ impl ServerCore {
         let job = Job {
             request: query,
             token,
+            has_deadline: deadline_ms.is_some(),
             received: Instant::now(),
             slot: Arc::clone(&slot),
         };
@@ -254,14 +271,215 @@ impl ServerCore {
     }
 
     fn worker_loop(&self) {
-        while let Some(job) = self.queue.pop() {
-            let slot = Arc::clone(&job.slot);
-            let outcome = catch_unwind(AssertUnwindSafe(|| self.execute(job)));
-            let response = outcome.unwrap_or_else(|_| {
+        // Per-worker reusable lane storage: value arrays, frontier
+        // builders, and worklists survive across queries and batches,
+        // so the steady-state path performs no per-query allocation.
+        let mut arena = BatchArena::new();
+        let wait = Duration::from_micros(self.config.batch_wait_us);
+        // The whole batch forms inside one queue operation: the head
+        // job plus every queued job compatible with it (same graph
+        // name × same algorithm), lingering up to `batch_wait_us` for
+        // stragglers. Atomicity matters — popping the head and
+        // draining followers as two separate steps lets concurrent
+        // workers shred a burst of compatible queries into singleton
+        // batches. Incompatible jobs stay queued for other workers.
+        while let Some(batch) = self.queue.pop_batch(self.config.batch_max, wait, |a, b| {
+            a.request.algo != Algo::Pr
+                && a.request.algo == b.request.algo
+                && a.request.graph == b.request.graph
+        }) {
+            if batch[0].request.algo == Algo::Pr {
+                // PageRank is not a monotone program and cannot share a
+                // fused sweep; it keeps the solo executor. The compat
+                // check above never fuses anything with it.
+                let job = batch.into_iter().next().expect("non-empty batch");
+                let slot = Arc::clone(&job.slot);
+                let outcome = catch_unwind(AssertUnwindSafe(|| self.execute(job)));
+                let response = outcome.unwrap_or_else(|_| {
+                    self.stats.record_failed();
+                    Response::error(ErrorCode::Internal, "query execution panicked")
+                });
+                slot.set(response);
+                continue;
+            }
+            self.execute_batch(batch, &mut arena);
+        }
+    }
+
+    /// Executes one compatible batch of monotone queries as a single
+    /// fused multi-source run and demultiplexes per-lane results to the
+    /// waiting clients. Answers are byte-equal to the solo path: same
+    /// values, iteration counts, and checksums.
+    ///
+    /// Per-job admission checks (expired-while-queued, cache hits) run
+    /// before lanes form. Deadline-free jobs with identical sources
+    /// coalesce onto one shared lane; a job carrying a deadline gets a
+    /// private lane so its cancellation fails only its own reply.
+    fn execute_batch(&self, jobs: Vec<Job>, arena: &mut BatchArena) {
+        let algo = jobs[0].request.algo;
+        let graph_name = jobs[0].request.graph.clone();
+        let mut pending: Vec<Job> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            if job.token.is_cancelled() {
                 self.stats.record_failed();
-                Response::error(ErrorCode::Internal, "query execution panicked")
-            });
-            slot.set(response);
+                job.slot.set(Response::error(
+                    ErrorCode::DeadlineExceeded,
+                    "deadline expired while queued",
+                ));
+                continue;
+            }
+            if job.request.cache {
+                let key = CacheKey {
+                    graph: graph_name.clone(),
+                    algo,
+                    source: job.request.source,
+                    plan: PLAN_FINGERPRINT,
+                };
+                if let Some(hit) = self.cache.get(&key) {
+                    let wall_us = job.received.elapsed().as_micros() as u64;
+                    self.stats.record_completed(wall_us);
+                    job.slot.set(Response::Query(QueryResult {
+                        algo,
+                        graph: graph_name.clone(),
+                        source: job.request.source,
+                        nodes: hit.values.len() as u64,
+                        iterations: hit.iterations,
+                        checksum: hit.checksum,
+                        cached: true,
+                        wall_us,
+                        values: job
+                            .request
+                            .include_values
+                            .then(|| hit.values.as_ref().clone()),
+                    }));
+                    continue;
+                }
+            }
+            pending.push(job);
+        }
+        if pending.is_empty() {
+            return;
+        }
+        let prepared = match self.graphs.lock().unwrap().get(&graph_name) {
+            Some(p) => Arc::clone(p),
+            None => {
+                for job in pending {
+                    self.stats.record_failed();
+                    job.slot.set(Response::error(
+                        ErrorCode::UnknownGraph,
+                        format!("graph {graph_name:?} was unregistered"),
+                    ));
+                }
+                return;
+            }
+        };
+        let prog = match algo {
+            Algo::Bfs => tigr_engine::MonotoneProgram::BFS,
+            Algo::Sssp => tigr_engine::MonotoneProgram::SSSP,
+            Algo::Sswp => tigr_engine::MonotoneProgram::SSWP,
+            Algo::Cc => tigr_engine::MonotoneProgram::CC,
+            Algo::Pr => unreachable!("pagerank never enters the batch path"),
+        };
+        let mut lanes: Vec<BatchLane> = Vec::new();
+        let mut lane_jobs: Vec<Vec<Job>> = Vec::new();
+        let mut shared: HashMap<Option<u32>, usize> = HashMap::new();
+        for job in pending {
+            let source = job.request.source.map(NodeId::new);
+            if job.has_deadline {
+                lanes.push(BatchLane::with_cancel(source, job.token.clone()));
+                lane_jobs.push(vec![job]);
+            } else if let Some(&lane) = shared.get(&job.request.source) {
+                lane_jobs[lane].push(job);
+            } else {
+                shared.insert(job.request.source, lanes.len());
+                lanes.push(BatchLane::new(source));
+                lane_jobs.push(vec![job]);
+            }
+        }
+        self.stats
+            .record_batch(lane_jobs.iter().map(Vec::len).sum::<usize>() as u64);
+        let batch = BatchProgram { prog, lanes };
+        let engine = Engine::default()
+            .with_backend(BackendKind::Sequential)
+            .with_device_memory(u64::MAX);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            engine.run_prepared_batch(&prepared, &batch, arena)
+        }));
+        let out = match outcome {
+            Ok(Ok(out)) => out,
+            Ok(Err(e)) => {
+                for job in lane_jobs.into_iter().flatten() {
+                    self.stats.record_failed();
+                    job.slot.set(match &e {
+                        EngineError::InvalidPlan(p) => {
+                            Response::error(ErrorCode::InvalidPlan, p.to_string())
+                        }
+                        other => Response::error(ErrorCode::Internal, other.to_string()),
+                    });
+                }
+                return;
+            }
+            Err(_) => {
+                for job in lane_jobs.into_iter().flatten() {
+                    self.stats.record_failed();
+                    job.slot.set(Response::error(
+                        ErrorCode::Internal,
+                        "query execution panicked",
+                    ));
+                }
+                return;
+            }
+        };
+        for (lane_out, jobs) in out.lanes.into_iter().zip(lane_jobs) {
+            if lane_out.cancelled {
+                // The poisoned lane is discarded and never cached; its
+                // batchmates are unaffected.
+                for job in jobs {
+                    self.stats.record_failed();
+                    job.slot.set(Response::error(
+                        ErrorCode::DeadlineExceeded,
+                        "deadline expired during execution; partial state discarded",
+                    ));
+                }
+                continue;
+            }
+            let iterations = lane_out.directions.len() as u64;
+            let values = match prepared.transformed() {
+                Some(t) => t.project_values(&lane_out.values),
+                None => lane_out.values,
+            };
+            let sum = checksum(&values);
+            let values = Arc::new(values);
+            if jobs.iter().any(|j| j.request.cache) {
+                self.cache.insert(
+                    CacheKey {
+                        graph: graph_name.clone(),
+                        algo,
+                        source: jobs[0].request.source,
+                        plan: PLAN_FINGERPRINT,
+                    },
+                    CachedResult {
+                        values: Arc::clone(&values),
+                        iterations,
+                        checksum: sum,
+                    },
+                );
+            }
+            for job in jobs {
+                let wall_us = job.received.elapsed().as_micros() as u64;
+                self.stats.record_completed(wall_us);
+                job.slot.set(Response::Query(QueryResult {
+                    algo,
+                    graph: graph_name.clone(),
+                    source: job.request.source,
+                    nodes: values.len() as u64,
+                    iterations,
+                    checksum: sum,
+                    cached: false,
+                    wall_us,
+                    values: job.request.include_values.then(|| values.as_ref().clone()),
+                }));
+            }
         }
     }
 

@@ -18,6 +18,9 @@ pub struct StatsRecorder {
     completed: AtomicU64,
     rejected: AtomicU64,
     failed: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+    max_batch: AtomicU64,
     window: Mutex<LatencyWindow>,
 }
 
@@ -33,6 +36,9 @@ impl Default for StatsRecorder {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
             window: Mutex::new(LatencyWindow {
                 samples_us: Vec::new(),
                 next: 0,
@@ -55,6 +61,15 @@ impl StatsRecorder {
     /// A query failed after admission (deadline, invalid plan, ...).
     pub fn record_failed(&self) {
         self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker executed one fused batch carrying `queries` queries
+    /// (singleton batches count: occupancy = `batched_queries /
+    /// batches` is then the true average batch width).
+    pub fn record_batch(&self, queries: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_queries.fetch_add(queries, Ordering::Relaxed);
+        self.max_batch.fetch_max(queries, Ordering::Relaxed);
     }
 
     /// A query completed successfully in `wall_us` microseconds
@@ -92,6 +107,9 @@ impl StatsRecorder {
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
             cache_entries: cache.entries,
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_queries: self.batched_queries.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
         }
     }
 }
@@ -147,6 +165,13 @@ pub struct StatsSnapshot {
     pub cache_evictions: u64,
     /// Result-cache resident entries.
     pub cache_entries: u64,
+    /// Fused batches executed by the worker pool (singletons included).
+    pub batches: u64,
+    /// Queries served through batches (`batched_queries / batches` is
+    /// the average batch occupancy).
+    pub batched_queries: u64,
+    /// Widest batch executed so far.
+    pub max_batch: u64,
 }
 
 impl StatsSnapshot {
@@ -157,6 +182,15 @@ impl StatsSnapshot {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Average queries per executed batch, or 0 before the first batch.
+    pub fn batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_queries as f64 / self.batches as f64
         }
     }
 
@@ -176,6 +210,9 @@ impl StatsSnapshot {
             ("cache_misses", self.cache_misses.into()),
             ("cache_evictions", self.cache_evictions.into()),
             ("cache_entries", self.cache_entries.into()),
+            ("batches", self.batches.into()),
+            ("batched_queries", self.batched_queries.into()),
+            ("max_batch", self.max_batch.into()),
         ])
     }
 
@@ -195,6 +232,9 @@ impl StatsSnapshot {
             cache_misses: field("cache_misses")?,
             cache_evictions: field("cache_evictions")?,
             cache_entries: field("cache_entries")?,
+            batches: field("batches")?,
+            batched_queries: field("batched_queries")?,
+            max_batch: field("max_batch")?,
         })
     }
 }
@@ -234,6 +274,8 @@ mod tests {
         rec.record_received();
         rec.record_rejected();
         rec.record_completed(250);
+        rec.record_batch(3);
+        rec.record_batch(1);
         let snap = rec.snapshot(
             3,
             4,
@@ -247,5 +289,18 @@ mod tests {
         let back = StatsSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);
         assert!((back.cache_hit_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(back.batches, 2);
+        assert_eq!(back.batched_queries, 4);
+        assert_eq!(back.max_batch, 3);
+        assert!((back.batch_occupancy() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_occupancy_is_zero_before_any_batch() {
+        let rec = StatsRecorder::default();
+        let snap = rec.snapshot(0, 1, CacheCounters::default());
+        assert_eq!(snap.batches, 0);
+        assert_eq!(snap.max_batch, 0);
+        assert_eq!(snap.batch_occupancy(), 0.0);
     }
 }

@@ -64,6 +64,8 @@ fn sixty_four_concurrent_queries_match_sequential_runs() {
         queue_capacity: 128,
         cache_capacity: 256,
         default_deadline_ms: None,
+        batch_max: 8,
+        batch_wait_us: 0,
     });
     core.add_graph("rmat16", Arc::clone(&prepared));
     let server = Server::bind_tcp(core, "127.0.0.1:0").unwrap();
@@ -122,11 +124,15 @@ fn sixty_four_concurrent_queries_match_sequential_runs() {
 fn overflowing_the_admission_queue_rejects_with_typed_errors() {
     let prepared = shared_graph();
     let sources = sources(&prepared);
+    // Batching stays on: a typed queue-full rejection must survive
+    // workers draining the queue in batches.
     let core = ServerCore::new(ServerConfig {
         workers: 1,
         queue_capacity: 2,
         cache_capacity: 0,
         default_deadline_ms: None,
+        batch_max: 8,
+        batch_wait_us: 0,
     });
     core.add_graph("rmat16", Arc::clone(&prepared));
 
@@ -186,6 +192,8 @@ fn cancelled_sssp_leaves_no_partial_state_in_the_cache() {
         queue_capacity: 8,
         cache_capacity: 64,
         default_deadline_ms: None,
+        batch_max: 8,
+        batch_wait_us: 0,
     });
     core.add_graph("rmat16", Arc::clone(&prepared));
     let mut client = Client::local(core);
@@ -215,4 +223,209 @@ fn cancelled_sssp_leaves_no_partial_state_in_the_cache() {
         .unwrap();
     assert!(warm.cached);
     assert_eq!(warm.checksum, full.checksum);
+}
+
+/// Satellite: mixed-algorithm traffic is partitioned into compatible
+/// batches — a burst of BFS/SSSP/SSWP/CC queries released while the
+/// single worker is pinned by a PageRank blocker must come back as one
+/// fused batch per algorithm (CC's identical deadline-free queries
+/// additionally coalesce onto one lane), every answer byte-equal to
+/// the sequential reference.
+#[test]
+fn mixed_algorithm_burst_partitions_into_per_algorithm_batches() {
+    let prepared = shared_graph();
+    let sources = sources(&prepared);
+    let core = ServerCore::new(ServerConfig {
+        workers: 1,
+        queue_capacity: 128,
+        cache_capacity: 0,
+        default_deadline_ms: None,
+        batch_max: 8,
+        batch_wait_us: 0,
+    });
+    core.add_graph("rmat16", Arc::clone(&prepared));
+
+    // PageRank never enters the batch path; it pins the lone worker
+    // long enough for the whole burst to queue up behind it.
+    let blocker = {
+        let core = Arc::clone(&core);
+        std::thread::spawn(move || {
+            Client::local(core)
+                .query(QueryRequest::new("rmat16", Algo::Pr, None))
+                .unwrap()
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    let barrier = Arc::new(Barrier::new(16));
+    let handles: Vec<_> = (0..16usize)
+        .map(|i| {
+            let core = Arc::clone(&core);
+            let barrier = Arc::clone(&barrier);
+            let algo = MIX[i % 4];
+            let source = (algo != Algo::Cc).then(|| sources[i / 4]);
+            std::thread::spawn(move || {
+                let mut client = Client::local(core);
+                barrier.wait();
+                let r = client
+                    .query(QueryRequest::new("rmat16", algo, source))
+                    .unwrap();
+                (algo, source, r)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (algo, source, r) = h.join().unwrap();
+        let expect = expected_values(&prepared, algo, source);
+        assert_eq!(
+            r.checksum,
+            tigr::server::checksum(&expect),
+            "{}/{source:?} diverged inside a mixed batch",
+            algo.label()
+        );
+        assert!(!r.cached);
+    }
+    blocker.join().unwrap();
+
+    let stats = Client::local(Arc::clone(&core)).stats().unwrap();
+    assert_eq!(stats.completed, 17);
+    assert_eq!(stats.failed, 0);
+    // 16 monotone queries in 4 single-algorithm batches of 4 — the
+    // partitioner must neither fuse across algorithms (which would
+    // break the compatibility rule) nor fall back to singletons.
+    assert_eq!(stats.batched_queries, 16);
+    assert_eq!(stats.batches, 4, "burst was not fused per algorithm");
+    assert_eq!(stats.max_batch, 4);
+    core.shutdown();
+}
+
+/// Satellite: a deadline-cancelled query sharing a batch with a
+/// healthy one poisons only its own lane — its cell is never cached,
+/// while its batchmate's answer is correct and cached.
+#[test]
+fn cancelled_query_in_a_batch_poisons_only_its_own_lane() {
+    let prepared = shared_graph();
+    let sources = sources(&prepared);
+    let (doomed_src, healthy_src) = (sources[5], sources[9]);
+    let core = ServerCore::new(ServerConfig {
+        workers: 1,
+        queue_capacity: 16,
+        cache_capacity: 64,
+        default_deadline_ms: None,
+        batch_max: 8,
+        batch_wait_us: 0,
+    });
+    core.add_graph("rmat16", Arc::clone(&prepared));
+
+    // Pin the worker so both SSSP queries queue up and are drained into
+    // one batch; the doomed one's deadline fires while it waits or
+    // during the fused run — both must surface as `deadline-exceeded`.
+    let blocker = {
+        let core = Arc::clone(&core);
+        std::thread::spawn(move || {
+            Client::local(core)
+                .query(QueryRequest::new("rmat16", Algo::Pr, None))
+                .unwrap()
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    let doomed = {
+        let core = Arc::clone(&core);
+        std::thread::spawn(move || {
+            let mut q = QueryRequest::new("rmat16", Algo::Sssp, Some(doomed_src));
+            q.deadline_ms = Some(60);
+            Client::local(core).query(q)
+        })
+    };
+    let healthy = {
+        let core = Arc::clone(&core);
+        std::thread::spawn(move || {
+            Client::local(core).query(QueryRequest::new("rmat16", Algo::Sssp, Some(healthy_src)))
+        })
+    };
+    match doomed.join().unwrap() {
+        Err(ClientError::Protocol(p)) => {
+            assert_eq!(p.code, ErrorCode::DeadlineExceeded, "{p:?}")
+        }
+        other => panic!("doomed query was not cancelled: {other:?}"),
+    }
+    let healthy = healthy.join().unwrap().unwrap();
+    let expect = expected_values(&prepared, Algo::Sssp, Some(healthy_src));
+    assert_eq!(healthy.checksum, tigr::server::checksum(&expect));
+    blocker.join().unwrap();
+
+    let mut client = Client::local(Arc::clone(&core));
+    // The healthy lane was cached despite its batchmate's cancellation…
+    let warm = client
+        .query(QueryRequest::new("rmat16", Algo::Sssp, Some(healthy_src)))
+        .unwrap();
+    assert!(warm.cached, "healthy lane lost its cache entry");
+    assert_eq!(warm.checksum, healthy.checksum);
+    // …and the cancelled lane never reached the cache.
+    let fresh = client
+        .query(QueryRequest::new("rmat16", Algo::Sssp, Some(doomed_src)))
+        .unwrap();
+    assert!(!fresh.cached, "cancelled lane leaked a cache entry");
+    let expect = expected_values(&prepared, Algo::Sssp, Some(doomed_src));
+    assert_eq!(fresh.checksum, tigr::server::checksum(&expect));
+    core.shutdown();
+}
+
+/// Satellite: the same workload is byte-identical across runs and
+/// worker counts — batching and scheduling change only throughput,
+/// never a single checksum.
+#[test]
+fn checksums_are_identical_across_runs_and_worker_counts() {
+    let prepared = shared_graph();
+    let sources = sources(&prepared);
+    let mut observed: Vec<std::collections::BTreeMap<(String, Option<u32>), u64>> = Vec::new();
+    // Two worker counts, two runs each: four complete traversals of the
+    // same 12-cell mix, all through the batched path with caching off.
+    for &workers in &[1usize, 4] {
+        let core = ServerCore::new(ServerConfig {
+            workers,
+            queue_capacity: 128,
+            cache_capacity: 0,
+            default_deadline_ms: None,
+            batch_max: 8,
+            batch_wait_us: 0,
+        });
+        core.add_graph("rmat16", Arc::clone(&prepared));
+        for _run in 0..2 {
+            let barrier = Arc::new(Barrier::new(12));
+            let handles: Vec<_> = (0..12usize)
+                .map(|i| {
+                    let core = Arc::clone(&core);
+                    let barrier = Arc::clone(&barrier);
+                    let algo = MIX[i % 4];
+                    let source = (algo != Algo::Cc).then(|| sources[i / 4]);
+                    std::thread::spawn(move || {
+                        let mut client = Client::local(core);
+                        barrier.wait();
+                        let r = client
+                            .query(QueryRequest::new("rmat16", algo, source))
+                            .unwrap();
+                        ((algo.label().to_string(), source), r.checksum)
+                    })
+                })
+                .collect();
+            observed.push(handles.into_iter().map(|h| h.join().unwrap()).collect());
+        }
+        core.shutdown();
+    }
+    for later in &observed[1..] {
+        assert_eq!(
+            &observed[0], later,
+            "same workload produced different checksums across runs/worker counts"
+        );
+    }
+    for ((algo, source), sum) in &observed[0] {
+        let expect = expected_values(&prepared, Algo::parse(algo).unwrap(), *source);
+        assert_eq!(
+            *sum,
+            tigr::server::checksum(&expect),
+            "{algo}/{source:?} diverged from the sequential reference"
+        );
+    }
 }
