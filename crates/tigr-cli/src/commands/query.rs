@@ -30,7 +30,8 @@ pub fn run(args: &Args) -> CmdResult {
                  queue depth     {} (workers {})\n\
                  latency         p50 {} us / p95 {} us\n\
                  cache           {} hits / {} misses / {} evictions ({} resident, ratio {:.2})\n\
-                 batches         {} executed / {} queries (occupancy {:.2}, widest {})\n",
+                 batches         {} executed / {} queries (occupancy {:.2}, widest {})\n\
+                 formation wait  {} us total\n",
                 s.received,
                 s.completed,
                 s.rejected,
@@ -48,6 +49,7 @@ pub fn run(args: &Args) -> CmdResult {
                 s.batched_queries,
                 s.batch_occupancy(),
                 s.max_batch,
+                s.formation_wait_us,
             ))
         }
         algo_label => {

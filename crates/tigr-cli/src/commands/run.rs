@@ -64,8 +64,9 @@ pub fn run(args: &Args) -> CmdResult {
 
     // Describe everything this run derives from the input as one
     // PrepareSpec, so the store can cache it all in a single artifact.
-    // The CPU engine builds its own overlay from CpuOptions and never
-    // pulls, so its spec is just the loaded graph.
+    // The CPU engine builds its own overlay from CpuOptions and its
+    // own transpose lazily on the first pull sweep, so its spec is
+    // just the loaded graph.
     let needs_transpose = !cpu
         && match analytic {
             "bfs" | "sssp" | "sswp" | "cc" => direction != Direction::Push,
@@ -106,13 +107,15 @@ pub fn run(args: &Args) -> CmdResult {
     }
 
     if cpu {
-        if direction == Direction::Pull {
+        if direction == Direction::Pull && matches!(analytic, "pr" | "pagerank") {
             return Err(
-                "the CPU engine has no pull execution path; drop --cpu or use --direction push/auto"
+                "pull-mode PageRank runs on the simulator; drop --cpu or use --direction push"
                     .into(),
             );
         }
-        let mut out = run_cpu(args, g, analytic, source, worklist, schedule, &cancel)?;
+        let mut out = run_cpu(
+            args, g, analytic, source, worklist, schedule, direction, &cancel,
+        )?;
         if args.switch("stats") {
             out.push_str(&format_prepare_report(prepared.report()));
         }
@@ -259,6 +262,7 @@ pub fn run(args: &Args) -> CmdResult {
 }
 
 /// The `--cpu` branch: wall-clock execution with a scheduling policy.
+#[allow(clippy::too_many_arguments)]
 fn run_cpu(
     args: &Args,
     g: &Csr,
@@ -266,6 +270,7 @@ fn run_cpu(
     source: NodeId,
     frontier: bool,
     schedule: Option<CpuSchedule>,
+    direction: Direction,
     cancel: &CancelToken,
 ) -> CmdResult {
     let mut cpu = CpuOptions {
@@ -283,6 +288,13 @@ fn run_cpu(
     let engine = Engine::default()
         .with_cpu_options(cpu)
         .with_cancel(cancel.clone());
+
+    // Pull and auto route through the pool backend's gather side (the
+    // batched executor's one-lane case) instead of the push-only solo
+    // CPU driver.
+    if direction != Direction::Push && matches!(analytic, "bfs" | "sssp" | "sswp" | "cc") {
+        return run_cpu_directed(args, g, analytic, source, engine, direction);
+    }
 
     let mut out = String::new();
     let (iterations, edges, elapsed, sched) = match analytic {
@@ -366,6 +378,77 @@ fn run_cpu(
     ));
     if args.switch("stats") {
         out.push_str(&format_schedule_stats(&sched));
+    }
+    Ok(out)
+}
+
+/// The `--cpu` branch for pull/auto monotone runs: the CpuPool backend
+/// executes the plan (gather sweeps, Beamer switching), timed here
+/// since the backend reports no wall clock of its own.
+fn run_cpu_directed(
+    args: &Args,
+    g: &Csr,
+    analytic: &str,
+    source: NodeId,
+    engine: Engine,
+    direction: Direction,
+) -> CmdResult {
+    let prog = match analytic {
+        "bfs" => MonotoneProgram::BFS,
+        "sssp" => MonotoneProgram::SSSP,
+        "sswp" => MonotoneProgram::SSWP,
+        _ => MonotoneProgram::CC,
+    };
+    let src = prog.needs_source().then_some(source);
+    let engine = engine
+        .with_backend(tigr_engine::BackendKind::CpuPool)
+        .with_direction(direction);
+    let start = std::time::Instant::now();
+    let result = engine
+        .run_program(&Representation::Original(g), prog, src)
+        .map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    if result.cancelled {
+        return Err(timeout_message(format!(
+            "{analytic} on cpu stopped after {} iterations",
+            result.directions.len()
+        )));
+    }
+    let finite = result
+        .values
+        .iter()
+        .filter(|&&v| v != u32::MAX && v != 0)
+        .count();
+    let pulls = result
+        .directions
+        .iter()
+        .filter(|&&d| d == Direction::Pull)
+        .count();
+    let direction_line = match direction {
+        Direction::Auto => format!(
+            "auto ({} push / {} pull)",
+            result.directions.len() - pulls,
+            pulls
+        ),
+        other => other.label().to_string(),
+    };
+    let secs = elapsed.as_secs_f64();
+    let meps = if secs > 0.0 {
+        result.edges_touched as f64 / secs / 1e6
+    } else {
+        0.0
+    };
+    let mut out = format!(
+        "{analytic} on cpu: {finite} nodes with non-trivial values\ndirection       {direction_line}\nschedule        {}\nthreads         {}\niterations      {}\nedges touched   {}\nwall time       {:.3} ms ({:.1} Medges/s)\n",
+        engine.cpu_options().schedule.label(),
+        engine.cpu_options().threads,
+        result.directions.len(),
+        result.edges_touched,
+        secs * 1e3,
+        meps,
+    );
+    if args.switch("stats") {
+        out.push_str("steals          n/a (batched executor)\n");
     }
     Ok(out)
 }
@@ -523,15 +606,37 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_direction_and_cpu_pull() {
+    fn rejects_bad_direction_and_cpu_pull_pagerank() {
         let path = fixture();
         let err = run(&parse(&format!("bfs --graph {path} --direction sideways"))).unwrap_err();
         assert!(err.contains("invalid --direction"));
-        let err = run(&parse(&format!(
-            "bfs --graph {path} --cpu --direction pull"
-        )))
-        .unwrap_err();
-        assert!(err.contains("no pull execution path"));
+        // PageRank has no CPU gather side; the monotone analytics do.
+        let err = run(&parse(&format!("pr --graph {path} --cpu --direction pull"))).unwrap_err();
+        assert!(err.contains("pull-mode PageRank"));
+    }
+
+    #[test]
+    fn cpu_pull_and_auto_match_the_simulator() {
+        let path = fixture();
+        let values = |s: &str| -> u64 {
+            s.lines()
+                .find(|l| l.contains("non-trivial values"))
+                .and_then(|l| l.split(':').nth(1))
+                .and_then(|l| l.split_whitespace().next())
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let reference = run(&parse(&format!("bfs --graph {path}"))).unwrap();
+        for d in ["pull", "auto"] {
+            let out = run(&parse(&format!(
+                "bfs --graph {path} --cpu --threads 2 --direction {d} --stats"
+            )))
+            .unwrap();
+            assert!(out.contains("on cpu"), "{out}");
+            assert!(out.contains(&format!("direction       {d}")), "{out}");
+            assert_eq!(values(&out), values(&reference), "--direction {d}");
+        }
     }
 
     #[test]

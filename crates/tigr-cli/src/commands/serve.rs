@@ -32,6 +32,8 @@ pub fn run(args: &Args) -> CmdResult {
     };
     let config = ServerConfig {
         workers: args.flag_or("workers", ServerConfig::default().workers)?,
+        executors: args.flag_or("executors", ServerConfig::default().executors)?,
+        kernel_threads: args.flag_or("kernel-threads", ServerConfig::default().kernel_threads)?,
         queue_capacity: args.flag_or("queue", ServerConfig::default().queue_capacity)?,
         cache_capacity: args.flag_or("cache-capacity", ServerConfig::default().cache_capacity)?,
         default_deadline_ms: args
@@ -46,6 +48,9 @@ pub fn run(args: &Args) -> CmdResult {
     }
     if config.batch_max == 0 {
         return Err("--batch-max must be at least 1 (1 disables batching)".into());
+    }
+    if config.kernel_threads == 0 {
+        return Err("--kernel-threads must be at least 1 (1 runs the sequential plan)".into());
     }
 
     let mut spec = PrepareSpec::from_file(&path);
@@ -84,8 +89,10 @@ pub fn run(args: &Args) -> CmdResult {
     // so the startup banner cannot wait for the returned CmdResult.
     println!(
         "serving {name} ({nodes} nodes, {edges} edges) on {addr_text}\n\
-         workers {} | queue {} | cache {} entries | batch {} (wait {} us)",
-        config.workers,
+         executors {} x {} kernel threads ({}) | queue {} | cache {} entries | batch {} (wait {} us)",
+        config.executor_count(),
+        config.kernel_threads,
+        config.plan_fingerprint(),
         config.queue_capacity,
         config.cache_capacity,
         config.batch_max,
@@ -115,7 +122,8 @@ pub fn run(args: &Args) -> CmdResult {
 }
 
 const USAGE: &str = "usage: tigr serve --graph <file> [--name N] \
-[--port P | --socket PATH] [--port-file PATH] [--workers N] [--queue N] \
+[--port P | --socket PATH] [--port-file PATH] [--workers N] \
+[--executors N] [--kernel-threads N] [--queue N] \
 [--cache-capacity N] [--default-deadline-ms MS] \
 [--batch-max N] [--batch-wait-us US] \
 [--virtual K [--coalesced]] [--duration SECS] [--cache-dir DIR]";
@@ -149,6 +157,45 @@ mod tests {
         assert!(err.contains("invalid --duration"));
         let err = run(&parse(&format!("--graph {path} --batch-max 0"))).unwrap_err();
         assert!(err.contains("--batch-max"));
+        let err = run(&parse(&format!("--graph {path} --kernel-threads 0"))).unwrap_err();
+        assert!(err.contains("--kernel-threads"));
+    }
+
+    #[test]
+    fn parallel_daemon_serves_queries() {
+        let (path, dir) = fixture("tigr_cli_serve_parallel_test");
+        let port_file = dir.join("port.txt");
+        let pf = port_file.to_str().unwrap().to_string();
+        let serve_args = parse(&format!(
+            "--graph {path} --name demo --duration 0.4 --port-file {pf} \
+             --executors 2 --kernel-threads 2"
+        ));
+        let handle = std::thread::spawn(move || run(&serve_args));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                let text = text.trim().to_string();
+                if !text.is_empty() {
+                    break text;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "port file never appeared"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let mut client = tigr_server::Client::connect_tcp(&addr).unwrap();
+        let result = client
+            .query(tigr_server::QueryRequest::new(
+                "demo",
+                tigr_server::Algo::Sssp,
+                Some(0),
+            ))
+            .unwrap();
+        assert!(result.checksum != 0);
+        let out = handle.join().unwrap().unwrap();
+        assert!(out.contains("served 1 queries"), "{out}");
     }
 
     #[test]

@@ -369,8 +369,10 @@ impl Backend for WarpSim {
 }
 
 /// The wall-clock CPU backend over the persistent work-stealing pool.
-/// Push-only (plan validation rejects pull); architectural metrics are
-/// absent, so the returned report is empty.
+/// Push runs the dedicated solo engine; pull and auto route through the
+/// one-lane case of the parallel batched executor, which carries the
+/// pool's gather side and the Beamer density switch. Architectural
+/// metrics are absent, so the returned report is empty.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CpuPool;
 
@@ -388,11 +390,21 @@ impl Backend for CpuPool {
     ) -> Result<MonotoneOutput, EngineError> {
         let mut plan = plan.clone();
         plan.backend = BackendKind::CpuPool;
-        // Auto has no CPU pull side: run the push schedule.
-        if plan.direction == Direction::Auto {
-            plan.direction = Direction::Push;
-        }
         plan.validate(rep, &prog)?;
+        if plan.direction != Direction::Push {
+            // Pull and auto share the batched executor's gather side;
+            // K = 1 degenerates to a solo run.
+            let batch = crate::batch::BatchProgram {
+                prog,
+                lanes: vec![crate::batch::BatchLane::with_cancel(
+                    source,
+                    plan.cancel.clone(),
+                )],
+            };
+            let mut arena = crate::batch::BatchArena::new();
+            let mut out = crate::batch::run_batch_cpu_pool(rep, None, &batch, &plan, &mut arena);
+            return Ok(out.lanes.pop().expect("one lane in, one lane out"));
+        }
         let cancel = &plan.cancel;
         let out = match rep {
             Representation::Virtual { graph, overlay } => {
@@ -754,19 +766,35 @@ mod tests {
     }
 
     #[test]
-    fn cpu_pool_rejects_pull_via_plan() {
+    fn cpu_pool_pull_and_auto_match_sequential_values() {
         let g = fixture();
-        let err = CpuPool
+        let src = NodeId::new(0);
+        let rep = Representation::Original(&g);
+        let reference = Sequential
             .run_monotone(
-                &Representation::Original(&g),
+                &rep,
                 MonotoneProgram::SSSP,
-                Some(NodeId::new(0)),
-                &ExecutionPlan {
-                    direction: Direction::Pull,
-                    ..ExecutionPlan::default()
-                },
+                Some(src),
+                &ExecutionPlan::default(),
             )
-            .unwrap_err();
-        assert!(err.to_string().contains("no pull execution path"));
+            .unwrap();
+        for direction in [Direction::Pull, Direction::Auto] {
+            let out = CpuPool
+                .run_monotone(
+                    &rep,
+                    MonotoneProgram::SSSP,
+                    Some(src),
+                    &ExecutionPlan {
+                        direction,
+                        ..ExecutionPlan::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(out.values, reference.values, "{direction:?}");
+            assert!(out.converged && !out.cancelled, "{direction:?}");
+            if direction == Direction::Pull {
+                assert!(out.directions.iter().all(|&d| d == Direction::Pull));
+            }
+        }
     }
 }

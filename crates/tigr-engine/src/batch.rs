@@ -23,22 +23,40 @@
 //! server runs *all* monotone queries, so the arena's allocation reuse
 //! benefits the non-batched path too).
 //!
-//! Lane layout is SoA (one value array per lane) rather than
-//! interleaved `values[v * K + k]`: lanes of one batch converge at
-//! different iterations, and SoA lets finished lanes drop out of the
-//! sweep without leaving holes, keeps `snapshot` a straight copy, and
-//! lets [`BatchArena`] recycle arrays across batches of different
-//! widths. See DESIGN.md §12 for the measured comparison.
+//! Two executors share the lane abstraction:
+//!
+//! * [`run_batch_sequential_push`] — the deterministic reference. Lane
+//!   layout is SoA (one value array per lane): lanes converge at
+//!   different iterations, SoA lets finished lanes drop out without
+//!   holes, and `snapshot` is a straight copy.
+//! * [`run_batch_cpu_pool`] — the parallel executor (DESIGN.md §13).
+//!   Values are interleaved **lane-major per node**
+//!   (`values[v * K + lane]`), so one edge walk relaxes every live
+//!   lane over contiguous memory; sweeps run on the work-stealing pool
+//!   under any [`crate::cpu_parallel::CpuSchedule`], the per-sweep
+//!   direction follows the Beamer density rule over the **merged**
+//!   live-lane frontier (one transpose pass gathers for all lanes when
+//!   it is dense), and per-worker scratch lives in [`BatchArena`].
+//!   Its contract is *value* equality with the solo sequential run —
+//!   `values`, checksum, `converged`, `cancelled` — while iteration
+//!   and edge counts reflect the fused schedule, exactly like the solo
+//!   CpuPool backend relative to Sequential.
 
-use tigr_core::CancelToken;
-use tigr_graph::{Csr, NodeId};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use tigr_core::{CancelToken, VirtualGraph};
+use tigr_graph::{reverse::transpose, Csr, NodeId};
 use tigr_sim::SimReport;
 
+use crate::cpu_parallel::{balanced_cuts, count_bounds, CpuSchedule};
 use crate::frontier::FrontierBuilder;
-use crate::kernel::{csr_edges, push_relax, NoMirror};
-use crate::plan::Direction;
-use crate::program::MonotoneProgram;
-use crate::push::{MonotoneOutput, PushOptions};
+use crate::kernel::{csr_edges, pull_gather_lanes, push_relax, push_relax_lanes, NoMirror};
+use crate::plan::{Direction, ExecutionPlan};
+use crate::pool::{with_pool, EpochRunner};
+use crate::program::{InitKind, MonotoneProgram};
+use crate::push::{MonotoneOutput, PushOptions, SyncMode};
 use crate::representation::Representation;
 use crate::state::AtomicValues;
 
@@ -103,13 +121,36 @@ pub struct BatchOutput {
     pub sweeps: usize,
 }
 
-/// Reusable per-lane storage (value arrays, frontier builders,
-/// worklists), so a worker thread executing a stream of batches stops
-/// allocating per query. Slots are grown lazily to the widest batch
-/// seen and rebuilt only when the slot count of the graph changes.
-#[derive(Debug, Default)]
+/// Reusable batch storage, so a worker thread executing a stream of
+/// batches stops allocating per query: per-lane slots (value array,
+/// frontier builder, worklist) for the sequential executor, plus the
+/// interleaved lane-major value buffer, merged-frontier structures,
+/// and per-worker scratch rows of the parallel executor. Storage grows
+/// lazily to the widest batch seen; a retain cap (see
+/// [`BatchArena::with_retain_cap`]) bounds what survives a wide batch
+/// so alternating wide/narrow batches cannot ratchet peak memory.
+#[derive(Debug)]
 pub struct BatchArena {
     slots: Vec<LaneSlot>,
+    /// Interleaved values for the parallel path: lane `l` of node `v`
+    /// lives at `v * k + l`. May be retained larger than `n * k`; only
+    /// the prefix is used (stride is always the current batch width).
+    lane_major: AtomicValues,
+    /// Merged next-frontier collector (union over live lanes).
+    union_next: FrontierBuilder,
+    /// Node count `union_next` was built for.
+    union_n: usize,
+    /// Merged current-frontier node list, ascending.
+    union_active: Vec<u32>,
+    /// Merged current-frontier bitmap (pull-sweep source filter).
+    union_bits: Vec<u64>,
+    /// Expanded work items (virtual-node schedule).
+    items: Vec<u32>,
+    /// Per-worker scratch rows (hoisted lane values, gather folds,
+    /// per-lane edge counters).
+    workers: Vec<Mutex<WorkerScratch>>,
+    /// Max lane slots retained across batches; 0 = unbounded.
+    retain_cap: usize,
 }
 
 #[derive(Debug)]
@@ -119,21 +160,120 @@ struct LaneSlot {
     active: Vec<u32>,
 }
 
+/// One pool worker's private scratch: reused across sweeps so the hot
+/// loops never allocate.
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    /// Live lanes with a non-identity value at the node being relaxed.
+    lanes: Vec<u32>,
+    /// Hoisted per-lane source values, parallel to `lanes` (push), or
+    /// gather start values parallel to the live list (pull).
+    dv: Vec<u32>,
+    /// Per-lane gather folds (pull).
+    best: Vec<u32>,
+    /// Per-lane edges-touched accumulators, flushed after the run.
+    edges: Vec<u64>,
+}
+
+impl Default for BatchArena {
+    fn default() -> Self {
+        BatchArena {
+            slots: Vec::new(),
+            lane_major: AtomicValues::new(0, 0),
+            union_next: FrontierBuilder::new(0),
+            union_n: 0,
+            union_active: Vec::new(),
+            union_bits: Vec::new(),
+            items: Vec::new(),
+            workers: Vec::new(),
+            retain_cap: 0,
+        }
+    }
+}
+
 impl BatchArena {
     /// An empty arena; storage appears on first use.
     pub fn new() -> Self {
         BatchArena::default()
     }
 
-    /// Ensures `k` lane slots sized for `n` value slots exist.
+    /// An empty arena that, between batches, retains storage for at
+    /// most `cap` lanes (a batch wider than `cap` still runs; the
+    /// excess is released when the next batch begins). `0` retains
+    /// everything. Servers pass ~2× their `batch_max` so one wide
+    /// burst does not pin peak memory forever.
+    pub fn with_retain_cap(cap: usize) -> Self {
+        BatchArena {
+            retain_cap: cap,
+            ..BatchArena::default()
+        }
+    }
+
+    /// The configured retain cap (0 = unbounded).
+    pub fn retain_cap(&self) -> usize {
+        self.retain_cap
+    }
+
+    /// Lane slots currently held for the sequential executor.
+    pub fn retained_lanes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total `u32` value slots currently held (sequential lane arrays
+    /// plus the parallel interleaved buffer) — the figure the retain
+    /// cap bounds between batches.
+    pub fn retained_values(&self) -> usize {
+        self.slots.iter().map(|s| s.values.len()).sum::<usize>() + self.lane_major.len()
+    }
+
+    /// Lane budget storage may occupy after sizing for a `k`-lane
+    /// batch.
+    fn lane_budget(&self, k: usize) -> usize {
+        if self.retain_cap == 0 {
+            usize::MAX
+        } else {
+            self.retain_cap.max(k)
+        }
+    }
+
+    /// Ensures `k` lane slots sized for `n` value slots exist,
+    /// releasing retained slots beyond the cap first.
     fn ensure(&mut self, k: usize, n: usize) {
         self.slots.retain(|s| s.values.len() == n);
+        self.slots.truncate(self.lane_budget(k));
         while self.slots.len() < k {
             self.slots.push(LaneSlot {
                 values: AtomicValues::new(n, 0),
                 next: FrontierBuilder::new(n),
                 active: Vec::new(),
             });
+        }
+    }
+
+    /// Sizes the parallel-path storage for a `k`-lane batch over `n`
+    /// value slots swept by `threads` workers.
+    fn ensure_parallel(&mut self, k: usize, n: usize, threads: usize) {
+        let needed = n * k;
+        let budget = n.saturating_mul(self.lane_budget(k));
+        if self.lane_major.len() < needed || self.lane_major.len() > budget {
+            self.lane_major = AtomicValues::new(needed, 0);
+        }
+        if self.union_n != n {
+            self.union_next = FrontierBuilder::new(n);
+            self.union_n = n;
+        } else {
+            self.union_next.clear();
+        }
+        if self.workers.len() < threads {
+            self.workers.resize_with(threads, Mutex::default);
+        }
+        for ws in self.workers.iter_mut().take(threads) {
+            let ws = ws.get_mut().unwrap();
+            ws.lanes.clear();
+            ws.dv.clear();
+            ws.best.clear();
+            ws.edges.clear();
+            ws.edges.resize(k, 0);
         }
     }
 }
@@ -348,7 +488,6 @@ fn init_lane(
     values: &AtomicValues,
     active: &mut Vec<u32>,
 ) {
-    use crate::program::InitKind;
     active.clear();
     match prog.init {
         InitKind::OwnId => {
@@ -369,6 +508,555 @@ fn init_lane(
             active.push(src.raw());
         }
     }
+}
+
+/// Sweep-body dispatch codes for [`BatchSweepState::process`]: the pool
+/// body is fixed at spawn, so the driver publishes the mode of each
+/// epoch through an atomic (the CPU PageRank driver's phase pattern).
+const MODE_PUSH_LIST: u8 = 0;
+const MODE_PUSH_FULL: u8 = 1;
+const MODE_PUSH_VLIST: u8 = 2;
+const MODE_PUSH_VFULL: u8 = 3;
+const MODE_PULL_LIST: u8 = 4;
+const MODE_PULL_FULL: u8 = 5;
+
+/// Shared state of one parallel batched run. Workers read the epoch's
+/// mode, live-lane list, work items, and merged-frontier bitmap; the
+/// driver rewrites them between epochs while the pool is parked at the
+/// barrier.
+struct BatchSweepState<'a> {
+    g: &'a Csr,
+    overlay: Option<&'a VirtualGraph>,
+    /// Caller-supplied transpose (prepared graphs).
+    rev_ext: Option<&'a Csr>,
+    /// Transpose built lazily by the driver before the first pull
+    /// epoch.
+    rev_built: RwLock<Option<Csr>>,
+    prog: MonotoneProgram,
+    k: usize,
+    /// The combine identity: lanes holding it at a node have nothing
+    /// to push from there.
+    identity: u32,
+    /// Interleaved lane-major values, `values[v * k + lane]`.
+    values: &'a AtomicValues,
+    /// Lanes running this sweep, ascending.
+    live: RwLock<Vec<u32>>,
+    /// Work items of the current epoch (merged active nodes, or
+    /// expanded virtual-node indices).
+    items: RwLock<Vec<u32>>,
+    /// Merged current-frontier bitmap (pull-sweep source filter).
+    bits: RwLock<Vec<u64>>,
+    /// Per-lane "improved something this sweep" flags.
+    changed: Vec<AtomicBool>,
+    /// Merged next-frontier collector.
+    union_next: &'a FrontierBuilder,
+    /// Whether sweeps track the next frontier (worklist mode).
+    track: bool,
+    mode: AtomicU8,
+    workers: &'a [Mutex<WorkerScratch>],
+}
+
+impl BatchSweepState<'_> {
+    fn process(&self, w: usize, r: Range<usize>) {
+        match self.mode.load(Ordering::Relaxed) {
+            MODE_PUSH_LIST => self.push_sweep(w, r, true, false),
+            MODE_PUSH_FULL => self.push_sweep(w, r, false, false),
+            MODE_PUSH_VLIST => self.push_sweep(w, r, true, true),
+            MODE_PUSH_VFULL => self.push_sweep(w, r, false, true),
+            MODE_PULL_LIST => self.pull_sweep(w, r, true),
+            _ => self.pull_sweep(w, r, false),
+        }
+    }
+
+    /// One push chunk: for each item, hoist the live lanes' source
+    /// values (skipping lanes still at the identity — they have no
+    /// path to push), then walk the adjacency once for all of them.
+    fn push_sweep(&self, w: usize, r: Range<usize>, list: bool, vnodes: bool) {
+        let live = self.live.read().unwrap();
+        let items = self.items.read().unwrap();
+        let mut guard = self.workers[w].lock().unwrap();
+        let WorkerScratch {
+            lanes, dv, edges, ..
+        } = &mut *guard;
+        let k = self.k;
+        let g = self.g;
+        let on_improve = |lane: usize, t: usize| {
+            self.changed[lane].store(true, Ordering::Relaxed);
+            if self.track {
+                self.union_next.activate(t);
+            }
+        };
+        for idx in r {
+            let item = if list { items[idx] as usize } else { idx };
+            let (v, vn) = if vnodes {
+                let vn = self
+                    .overlay
+                    .expect("virtual mode requires an overlay")
+                    .vnode(item);
+                if vn.count == 0 {
+                    continue;
+                }
+                (vn.physical.index(), Some(vn))
+            } else {
+                (item, None)
+            };
+            // Hoist per-lane source values once per item.
+            lanes.clear();
+            dv.clear();
+            let base = v * k;
+            for &lane in live.iter() {
+                let d = self.values.load(base + lane as usize);
+                if d != self.identity {
+                    lanes.push(lane);
+                    dv.push(d);
+                }
+            }
+            if lanes.is_empty() {
+                continue;
+            }
+            let touched = match vn {
+                Some(vn) if vn.stride == 1 => {
+                    let lo = vn.first_edge as usize;
+                    push_relax_lanes(
+                        self.prog,
+                        self.values,
+                        k,
+                        lanes,
+                        dv,
+                        csr_edges(g, lo..lo + vn.count as usize),
+                        &on_improve,
+                    )
+                }
+                Some(vn) => push_relax_lanes(
+                    self.prog,
+                    self.values,
+                    k,
+                    lanes,
+                    dv,
+                    csr_edges(g, vn.edge_indices()),
+                    &on_improve,
+                ),
+                None => {
+                    let node = NodeId::from_index(v);
+                    push_relax_lanes(
+                        self.prog,
+                        self.values,
+                        k,
+                        lanes,
+                        dv,
+                        csr_edges(g, g.edge_start(node)..g.edge_end(node)),
+                        &on_improve,
+                    )
+                }
+            };
+            for &lane in lanes.iter() {
+                edges[lane as usize] += touched;
+            }
+        }
+    }
+
+    /// One pull chunk: every node in the range gathers over its
+    /// transpose in-edges once for all live lanes, folding locally and
+    /// publishing at most one atomic per lane.
+    fn pull_sweep(&self, w: usize, r: Range<usize>, filtered: bool) {
+        let live = self.live.read().unwrap();
+        let bits_guard = self.bits.read().unwrap();
+        let bits: Option<&[u64]> = if filtered { Some(&bits_guard) } else { None };
+        let rev_guard = self.rev_built.read().unwrap();
+        let rev: &Csr = match self.rev_ext {
+            Some(r) => r,
+            None => rev_guard
+                .as_ref()
+                .expect("driver publishes the transpose before a pull epoch"),
+        };
+        let mut guard = self.workers[w].lock().unwrap();
+        let WorkerScratch {
+            dv, best, edges, ..
+        } = &mut *guard;
+        let k = self.k;
+        for v in r {
+            let base = v * k;
+            dv.clear();
+            best.clear();
+            for &lane in live.iter() {
+                let s = self.values.load(base + lane as usize);
+                dv.push(s);
+                best.push(s);
+            }
+            let node = NodeId::from_index(v);
+            let touched = pull_gather_lanes(
+                self.prog,
+                self.values,
+                k,
+                &live,
+                csr_edges(rev, rev.edge_start(node)..rev.edge_end(node)),
+                bits,
+                best,
+            );
+            if touched > 0 {
+                for &lane in live.iter() {
+                    edges[lane as usize] += touched;
+                }
+            }
+            for (i, &lane) in live.iter().enumerate() {
+                if best[i] != dv[i]
+                    && self
+                        .values
+                        .try_improve(base + lane as usize, best[i], self.prog.combine)
+                {
+                    self.changed[lane as usize].store(true, Ordering::Relaxed);
+                    if self.track {
+                        self.union_next.activate(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Driver-side per-lane bookkeeping of the parallel executor.
+struct LaneCtl {
+    iterations: usize,
+    dirs: Vec<Direction>,
+    converged: bool,
+    cancelled: bool,
+    done: bool,
+}
+
+/// Runs `batch` over `rep` on the work-stealing CPU pool: one fused
+/// sweep over the merged live-lane frontier relaxes every lane per
+/// edge through the interleaved lane-major value buffer, partitioned
+/// by the plan's [`CpuSchedule`], with the per-sweep direction chosen
+/// by the Beamer α/β density rule over the merged frontier (when the
+/// plan says [`Direction::Auto`] and the representation licenses a
+/// pull side — the same rules as the solo auto driver). `pull`
+/// supplies a prebuilt transpose; otherwise one is built lazily on the
+/// first pull sweep.
+///
+/// The contract is **value equality** with the solo sequential run:
+/// per-lane `values`, `converged`, and `cancelled` match, while
+/// iteration and edge counts reflect the fused schedule (merged
+/// frontiers, relaxed intra-sweep visibility, direction switching) —
+/// exactly the solo CpuPool backend's contract versus Sequential.
+/// Callers are expected to have validated the plan
+/// ([`ExecutionPlan::validate`]) against this representation first.
+///
+/// # Panics
+///
+/// Panics if the program needs a source and a lane has none, or a
+/// lane's source is out of range.
+pub fn run_batch_cpu_pool(
+    rep: &Representation<'_>,
+    pull: Option<&Csr>,
+    batch: &BatchProgram,
+    plan: &ExecutionPlan,
+    arena: &mut BatchArena,
+) -> BatchOutput {
+    let g = rep.graph();
+    let n = rep.num_value_slots();
+    let prog = batch.prog;
+    let k = batch.lanes.len();
+    if k == 0 || n == 0 {
+        // Degenerate shapes carry no parallel work; the sequential
+        // executor's byte-exact handling is the better answer.
+        return run_batch_sequential_push(rep, batch, &plan.push, arena);
+    }
+    let threads = plan.cpu.threads.max(1);
+    let worklist = plan.push.worklist;
+
+    // Direction capabilities, mirroring the solo auto driver: pull
+    // needs the whole-node gather (Original) or Theorem 3 associativity
+    // over virtual views; physical splits and on-the-fly mapping have
+    // no CPU gather side.
+    let can_pull = match rep {
+        Representation::Original(_) => true,
+        Representation::Virtual { .. } => prog.associative,
+        Representation::Physical(_) | Representation::OnTheFly { .. } => false,
+    };
+    let forced = match plan.direction {
+        // A forced pull was licensed by plan validation.
+        Direction::Pull => Direction::Pull,
+        Direction::Auto
+            if worklist && plan.push.sync != SyncMode::Bsp && can_pull && plan.auto.alpha > 0.0 =>
+        {
+            Direction::Auto
+        }
+        _ => Direction::Push,
+    };
+
+    // Virtual-node scheduling: the representation's own overlay, or
+    // one built for the virtual schedule over a flat representation.
+    let built_overlay;
+    let overlay: Option<&VirtualGraph> = match rep {
+        Representation::Virtual { overlay, .. } => Some(overlay),
+        _ if plan.cpu.schedule == CpuSchedule::Virtual => {
+            built_overlay = VirtualGraph::new(g, plan.cpu.virtual_k.max(1));
+            Some(&built_overlay)
+        }
+        _ => None,
+    };
+    let edge_balanced = plan.cpu.schedule == CpuSchedule::EdgeBalanced;
+
+    arena.ensure_parallel(k, n, threads);
+    let BatchArena {
+        lane_major,
+        union_next,
+        union_active,
+        union_bits,
+        items,
+        workers,
+        ..
+    } = arena;
+    let values: &AtomicValues = lane_major;
+
+    // Initialize the interleaved values and the merged seed frontier.
+    match prog.init {
+        InitKind::OwnId => {
+            for v in 0..n {
+                let base = v * k;
+                for l in 0..k {
+                    values.store(base + l, v as u32);
+                }
+            }
+            union_active.clear();
+            union_active.extend(0..n as u32);
+        }
+        InitKind::SourceZero | InitKind::SourceMax => {
+            let (src_val, rest) = match prog.init {
+                InitKind::SourceZero => (0, u32::MAX),
+                _ => (u32::MAX, 0),
+            };
+            values.fill(rest);
+            union_active.clear();
+            for (l, lane) in batch.lanes.iter().enumerate() {
+                let src = lane.source.expect("program requires a source node");
+                assert!(src.index() < n, "source out of range");
+                values.store(src.index() * k + l, src_val);
+                union_active.push(src.raw());
+            }
+            union_active.sort_unstable();
+            union_active.dedup();
+        }
+    }
+
+    let state = BatchSweepState {
+        g,
+        overlay,
+        rev_ext: pull,
+        rev_built: RwLock::new(None),
+        prog,
+        k,
+        identity: prog.combine.identity(),
+        values,
+        live: RwLock::new(Vec::new()),
+        items: RwLock::new(std::mem::take(items)),
+        bits: RwLock::new(std::mem::take(union_bits)),
+        changed: (0..k).map(|_| AtomicBool::new(false)).collect(),
+        union_next,
+        track: worklist,
+        mode: AtomicU8::new(MODE_PUSH_LIST),
+        workers: &workers[..threads],
+    };
+
+    let mut ctl: Vec<LaneCtl> = (0..k)
+        .map(|_| LaneCtl {
+            iterations: 0,
+            dirs: Vec::new(),
+            converged: false,
+            cancelled: false,
+            done: false,
+        })
+        .collect();
+
+    let mut sweeps = 0usize;
+    let mut bounds = vec![(0usize, 0usize); threads];
+    let mut live_buf: Vec<u32> = Vec::new();
+    let mut degree_prefix: Vec<u64> = Vec::new();
+    let mut fwd_prefix: Option<Vec<u64>> = None;
+    let mut rev_prefix: Option<Vec<u64>> = None;
+    // Out-edges not yet owned by any merged frontier: the denominator
+    // of the density switch.
+    let mut remaining = g.num_edges() as u64;
+    let out_edges = |nodes: &[u32]| -> u64 {
+        nodes
+            .iter()
+            .map(|&v| g.out_degree(NodeId::new(v)) as u64)
+            .sum()
+    };
+
+    let body = |w: usize, r: Range<usize>| state.process(w, r);
+    with_pool(threads, &body, |pool| {
+        loop {
+            // Per-lane pre-sweep checks, the solo driver's order:
+            // iteration cap, then the cancellation poll. (Worklist
+            // emptiness is per-lane `changed` at sweep end here — a
+            // lane that improved nothing has an empty own-frontier.)
+            live_buf.clear();
+            for (l, c) in ctl.iter_mut().enumerate() {
+                if c.done {
+                    continue;
+                }
+                if c.iterations == plan.push.max_iterations {
+                    c.done = true;
+                    continue;
+                }
+                if batch.lanes[l].cancel.is_cancelled() {
+                    c.cancelled = true;
+                    c.done = true;
+                    continue;
+                }
+                live_buf.push(l as u32);
+            }
+            if live_buf.is_empty() {
+                break;
+            }
+            if worklist && union_active.is_empty() {
+                // Unreachable in practice (lanes retire the sweep they
+                // stop improving), but never sweep an empty frontier.
+                break;
+            }
+
+            let dir = match forced {
+                Direction::Auto => {
+                    let frontier_edges = out_edges(union_active);
+                    let pull_now = frontier_edges as f64 * plan.auto.alpha > remaining as f64
+                        && union_active.len() > n.div_ceil(plan.auto.beta.max(1.0) as usize).max(1);
+                    if pull_now {
+                        Direction::Pull
+                    } else {
+                        Direction::Push
+                    }
+                }
+                d => d,
+            };
+            sweeps += 1;
+            for &l in &live_buf {
+                let c = &mut ctl[l as usize];
+                c.iterations += 1;
+                c.dirs.push(dir);
+                state.changed[l as usize].store(false, Ordering::Relaxed);
+            }
+            state.live.write().unwrap().clone_from(&live_buf);
+
+            // Partition the epoch and publish its mode.
+            match dir {
+                Direction::Pull => {
+                    if state.rev_ext.is_none() && state.rev_built.read().unwrap().is_none() {
+                        let rev = transpose(g);
+                        *state.rev_built.write().unwrap() = Some(rev);
+                    }
+                    if edge_balanced && rev_prefix.is_none() {
+                        let guard = state.rev_built.read().unwrap();
+                        let rev = state.rev_ext.or(guard.as_ref()).expect("transpose exists");
+                        rev_prefix = Some(rev.row_ptr().iter().map(|&e| e as u64).collect());
+                    }
+                    match &rev_prefix {
+                        Some(p) => balanced_cuts(p, &mut bounds),
+                        None => count_bounds(n, &mut bounds),
+                    }
+                    if worklist {
+                        let mut bits = state.bits.write().unwrap();
+                        bits.clear();
+                        bits.resize(n.div_ceil(64), 0);
+                        for &v in union_active.iter() {
+                            bits[v as usize / 64] |= 1 << (v % 64);
+                        }
+                        state.mode.store(MODE_PULL_LIST, Ordering::Relaxed);
+                    } else {
+                        state.mode.store(MODE_PULL_FULL, Ordering::Relaxed);
+                    }
+                }
+                _ => {
+                    if worklist {
+                        if let Some(ov) = overlay {
+                            let mut it = state.items.write().unwrap();
+                            ov.expand_active_into(union_active, &mut it);
+                            let nitems = it.len();
+                            drop(it);
+                            count_bounds(nitems, &mut bounds);
+                            state.mode.store(MODE_PUSH_VLIST, Ordering::Relaxed);
+                        } else {
+                            if edge_balanced {
+                                degree_prefix.clear();
+                                degree_prefix.push(0);
+                                let mut acc = 0u64;
+                                for &v in union_active.iter() {
+                                    acc += g.out_degree(NodeId::new(v)) as u64;
+                                    degree_prefix.push(acc);
+                                }
+                                balanced_cuts(&degree_prefix, &mut bounds);
+                            } else {
+                                count_bounds(union_active.len(), &mut bounds);
+                            }
+                            let mut it = state.items.write().unwrap();
+                            it.clear();
+                            it.extend_from_slice(union_active);
+                            drop(it);
+                            state.mode.store(MODE_PUSH_LIST, Ordering::Relaxed);
+                        }
+                    } else {
+                        match overlay {
+                            Some(ov) => {
+                                count_bounds(ov.num_virtual_nodes(), &mut bounds);
+                                state.mode.store(MODE_PUSH_VFULL, Ordering::Relaxed);
+                            }
+                            None => {
+                                if edge_balanced {
+                                    let p = fwd_prefix.get_or_insert_with(|| {
+                                        g.row_ptr().iter().map(|&e| e as u64).collect()
+                                    });
+                                    balanced_cuts(p, &mut bounds);
+                                } else {
+                                    count_bounds(n, &mut bounds);
+                                }
+                                state.mode.store(MODE_PUSH_FULL, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            }
+            pool.run_epoch(&bounds);
+
+            if worklist {
+                state.union_next.drain_into(union_active);
+                if forced == Direction::Auto {
+                    remaining = remaining.saturating_sub(out_edges(union_active));
+                }
+            }
+            for &l in &live_buf {
+                if !state.changed[l as usize].load(Ordering::Relaxed) {
+                    let c = &mut ctl[l as usize];
+                    c.converged = true;
+                    c.done = true;
+                }
+            }
+        }
+    });
+
+    // Return the scratch vectors to the arena for the next batch.
+    *items = state.items.into_inner().unwrap();
+    *union_bits = state.bits.into_inner().unwrap();
+
+    let mut lane_edges = vec![0u64; k];
+    for ws in workers.iter().take(threads) {
+        let s = ws.lock().unwrap();
+        for (l, &e) in s.edges.iter().enumerate() {
+            lane_edges[l] += e;
+        }
+    }
+    let lanes = ctl
+        .into_iter()
+        .enumerate()
+        .map(|(l, c)| MonotoneOutput {
+            values: (0..n).map(|v| values.load(v * k + l)).collect(),
+            report: SimReport::new(),
+            converged: c.converged,
+            edges_touched: lane_edges[l],
+            directions: c.dirs,
+            cancelled: c.cancelled,
+        })
+        .collect();
+    BatchOutput { lanes, sweeps }
 }
 
 #[cfg(test)]
@@ -471,6 +1159,117 @@ mod tests {
             let out = run_batch_sequential_push(&rep, &batch, &PushOptions::default(), &mut arena);
             let reference = solo(&rep, MonotoneProgram::SSSP, Some(s));
             assert_lane_equal(&out.lanes[0], &reference, &format!("sssp/{s}"));
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_solo_values_across_directions_and_schedules() {
+        use crate::cpu_parallel::{CpuOptions, CpuSchedule};
+        use crate::plan::{BackendKind, Direction};
+        let g = fixture();
+        let rep = Representation::Original(&g);
+        let sources = [0u32, 17, 17, 250];
+        for prog in [MonotoneProgram::SSSP, MonotoneProgram::SSWP] {
+            let batch =
+                BatchProgram::from_sources(prog, sources.iter().map(|&s| Some(NodeId::new(s))));
+            let references: Vec<MonotoneOutput> =
+                sources.iter().map(|&s| solo(&rep, prog, Some(s))).collect();
+            for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+                for sched in [
+                    CpuSchedule::NodeChunk,
+                    CpuSchedule::EdgeBalanced,
+                    CpuSchedule::Virtual,
+                ] {
+                    let plan = ExecutionPlan {
+                        backend: BackendKind::CpuPool,
+                        direction: dir,
+                        cpu: CpuOptions {
+                            threads: 2,
+                            schedule: sched,
+                            ..CpuOptions::default()
+                        },
+                        ..ExecutionPlan::default()
+                    };
+                    let mut arena = BatchArena::new();
+                    let out = run_batch_cpu_pool(&rep, None, &batch, &plan, &mut arena);
+                    for (i, reference) in references.iter().enumerate() {
+                        let label = format!("{}/{}/{dir:?}/{sched:?}", prog.name, sources[i]);
+                        // The parallel sweep reaches the same unique
+                        // fixpoint; iteration and edge counts may
+                        // differ from the solo schedule.
+                        assert_eq!(out.lanes[i].values, reference.values, "{label}: values");
+                        assert!(out.lanes[i].converged, "{label}: converged");
+                        assert!(!out.lanes[i].cancelled, "{label}: cancelled");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retain_cap_releases_wide_batch_storage_on_the_next_batch() {
+        use crate::cpu_parallel::CpuOptions;
+        use crate::plan::BackendKind;
+        let g = fixture();
+        let rep = Representation::Original(&g);
+        let n = g.num_nodes();
+        let cap = 4;
+        let wide = || {
+            BatchProgram::from_sources(
+                MonotoneProgram::BFS,
+                (0..12u32).map(|i| Some(NodeId::new(i * 7))),
+            )
+        };
+        let narrow = || {
+            BatchProgram::from_sources(
+                MonotoneProgram::BFS,
+                [Some(NodeId::new(1)), Some(NodeId::new(2))],
+            )
+        };
+
+        // Uncapped: the wide burst's 12 lanes stay resident forever.
+        let mut unbounded = BatchArena::new();
+        run_batch_sequential_push(&rep, &wide(), &PushOptions::default(), &mut unbounded);
+        run_batch_sequential_push(&rep, &narrow(), &PushOptions::default(), &mut unbounded);
+        assert_eq!(unbounded.retained_lanes(), 12);
+
+        // Capped: alternating wide/narrow batches settle at the cap
+        // instead of ratcheting peak memory to the widest batch ever
+        // seen.
+        let mut arena = BatchArena::with_retain_cap(cap);
+        assert_eq!(arena.retain_cap(), cap);
+        for round in 0..3 {
+            run_batch_sequential_push(&rep, &wide(), &PushOptions::default(), &mut arena);
+            run_batch_sequential_push(&rep, &narrow(), &PushOptions::default(), &mut arena);
+            assert_eq!(arena.retained_lanes(), cap, "round {round}");
+            assert!(
+                arena.retained_values() <= cap * n,
+                "round {round}: retained {} value slots, cap allows {}",
+                arena.retained_values(),
+                cap * n
+            );
+        }
+
+        // The parallel path's interleaved lane-major buffer obeys the
+        // same budget.
+        let plan = ExecutionPlan {
+            backend: BackendKind::CpuPool,
+            cpu: CpuOptions {
+                threads: 2,
+                ..CpuOptions::default()
+            },
+            ..ExecutionPlan::default()
+        };
+        let mut par = BatchArena::with_retain_cap(cap);
+        for round in 0..3 {
+            run_batch_cpu_pool(&rep, None, &wide(), &plan, &mut par);
+            run_batch_cpu_pool(&rep, None, &narrow(), &plan, &mut par);
+            assert!(
+                par.retained_values() <= cap * n,
+                "round {round}: parallel retained {} value slots, cap allows {}",
+                par.retained_values(),
+                cap * n
+            );
         }
     }
 

@@ -569,7 +569,8 @@ fn drive_monotone(
 }
 
 /// Contiguous equal-item-count partition — the legacy node-chunk split.
-fn count_bounds(total: usize, bounds: &mut [(usize, usize)]) {
+/// Shared with the batched executor ([`crate::batch`]).
+pub(crate) fn count_bounds(total: usize, bounds: &mut [(usize, usize)]) {
     let chunk = total.div_ceil(bounds.len()).max(1);
     for (w, b) in bounds.iter_mut().enumerate() {
         *b = ((w * chunk).min(total), ((w + 1) * chunk).min(total));
@@ -579,7 +580,8 @@ fn count_bounds(total: usize, bounds: &mut [(usize, usize)]) {
 /// Contiguous partition of `prefix.len() - 1` items so every part covers
 /// ≈ equal weight, where `prefix[i]` is the total weight of items
 /// `0..i` (e.g. `Csr::row_ptr`: equal *edge* counts per part).
-fn balanced_cuts(prefix: &[u64], bounds: &mut [(usize, usize)]) {
+/// Shared with the batched executor ([`crate::batch`]).
+pub(crate) fn balanced_cuts(prefix: &[u64], bounds: &mut [(usize, usize)]) {
     let parts = bounds.len();
     let items = prefix.len() - 1;
     let total = prefix[items];

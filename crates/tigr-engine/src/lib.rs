@@ -60,7 +60,9 @@ pub use algorithms::dobfs::{self, DoBfsOptions, DoBfsOutput};
 pub use algorithms::pr::{self, PrMode, PrOptions, PrOutput};
 pub use algorithms::{bfs, cc, sssp, sswp, Analytic};
 pub use backend::{Backend, CpuPool, Sequential, WarpSim};
-pub use batch::{run_batch_sequential_push, BatchArena, BatchLane, BatchOutput, BatchProgram};
+pub use batch::{
+    run_batch_cpu_pool, run_batch_sequential_push, BatchArena, BatchLane, BatchOutput, BatchProgram,
+};
 pub use cpu_parallel::{
     default_threads, run_cpu, run_cpu_pr, run_cpu_pr_cancellable, run_cpu_virtual,
     run_cpu_virtual_cancellable, run_cpu_with, run_cpu_with_cancellable, CpuOptions, CpuPrOutput,

@@ -171,11 +171,6 @@ impl ExecutionPlan {
                 {
                     return Err(PlanError::PullNeedsAssociativity { program: prog.name });
                 }
-                if self.backend == BackendKind::CpuPool {
-                    return Err(PlanError::PullUnsupportedOnBackend {
-                        backend: self.backend.label(),
-                    });
-                }
             }
             // Auto degrades to push where pull would be invalid, so it
             // never errors on direction grounds.
@@ -211,7 +206,9 @@ pub enum PlanError {
     /// (`virtual_k == 0`) and no virtual representation supplied:
     /// there is nothing to chunk by.
     VirtualScheduleWithoutView,
-    /// The chosen backend has no pull path.
+    /// The chosen backend has no pull path. No built-in backend
+    /// triggers this today (the CPU pool gained a pull side with the
+    /// batched executor); retained for future backends.
     PullUnsupportedOnBackend {
         /// Label of the backend that cannot pull.
         backend: &'static str,
@@ -355,17 +352,29 @@ mod tests {
     }
 
     #[test]
-    fn cpu_pool_cannot_pull() {
+    fn cpu_pool_pull_is_licensed() {
+        // The pool gained a gather side with the batched executor:
+        // pull over an unsplit representation validates like
+        // Sequential, and the Theorem 3 obligations still apply over
+        // split views.
         let g = star_graph(8);
         let plan = ExecutionPlan {
             backend: BackendKind::CpuPool,
             direction: Direction::Pull,
             ..ExecutionPlan::default()
         };
-        let err = plan
+        assert!(plan
             .validate(&Representation::Original(&g), &MonotoneProgram::BFS)
-            .unwrap_err();
-        assert!(err.to_string().contains("no pull execution path"));
+            .is_ok());
+        let ov = VirtualGraph::new(&g, 4);
+        let rep = Representation::Virtual {
+            graph: &g,
+            overlay: &ov,
+        };
+        assert!(matches!(
+            plan.validate(&rep, &non_associative()),
+            Err(PlanError::PullNeedsAssociativity { .. })
+        ));
     }
 
     #[test]

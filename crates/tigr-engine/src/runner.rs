@@ -272,16 +272,21 @@ impl Engine {
     }
 
     /// Runs a batched multi-source monotone program: every lane of
-    /// `batch` advances in lockstep through one fused sequence of
-    /// sweeps over `rep`, sharing each node's adjacency walk across
-    /// lanes (see [`crate::batch`]). Per-lane outputs are byte-equal to
-    /// the single-source sequential push plan; per-lane cancellation
-    /// comes from the lanes themselves, not the engine's plan token.
+    /// `batch` advances through one fused sequence of sweeps over
+    /// `rep`, sharing each node's adjacency walk across lanes (see
+    /// [`crate::batch`]). Per-lane cancellation comes from the lanes
+    /// themselves, not the engine's plan token.
     ///
-    /// The batch path always executes the deterministic sequential push
-    /// schedule: the plan is validated with the backend pinned to
-    /// [`BackendKind::Sequential`] and the direction to
-    /// [`Direction::Push`], whatever the builder configured.
+    /// The plan's backend picks the executor. [`BackendKind::CpuPool`]
+    /// runs the parallel lane-fused executor
+    /// ([`crate::batch::run_batch_cpu_pool`]): sweeps on the
+    /// work-stealing pool, per-sweep Beamer direction switching over
+    /// the merged frontier, lane outputs *value*-equal to solo runs.
+    /// Any other backend runs the deterministic sequential reference —
+    /// push (and auto, whose fixpoint equals push's) via the fused
+    /// [`crate::batch::run_batch_sequential_push`] with lane outputs
+    /// **byte**-equal to solo sequential push runs; a forced pull plan
+    /// runs each lane's solo sequential pull schedule.
     ///
     /// # Errors
     ///
@@ -292,18 +297,12 @@ impl Engine {
         batch: &crate::batch::BatchProgram,
         arena: &mut crate::batch::BatchArena,
     ) -> Result<crate::batch::BatchOutput, EngineError> {
-        self.check_footprint(rep)?;
-        let mut plan = self.plan.clone();
-        plan.backend = BackendKind::Sequential;
-        plan.direction = Direction::Push;
-        plan.validate(rep, &batch.prog)?;
-        Ok(crate::batch::run_batch_sequential_push(
-            rep, batch, &plan.push, arena,
-        ))
+        self.run_batch_inner(rep, None, batch, arena)
     }
 
     /// Runs a batched multi-source monotone program over a
-    /// [`PreparedGraph`] (see [`Engine::run_batch`]).
+    /// [`PreparedGraph`] (see [`Engine::run_batch`]); a prepared
+    /// transpose feeds the parallel executor's pull sweeps directly.
     ///
     /// # Errors
     ///
@@ -314,7 +313,38 @@ impl Engine {
         batch: &crate::batch::BatchProgram,
         arena: &mut crate::batch::BatchArena,
     ) -> Result<crate::batch::BatchOutput, EngineError> {
-        self.run_batch(&Representation::from_prepared(prepared), batch, arena)
+        self.run_batch_inner(
+            &Representation::from_prepared(prepared),
+            prepared.transpose(),
+            batch,
+            arena,
+        )
+    }
+
+    fn run_batch_inner(
+        &self,
+        rep: &Representation<'_>,
+        pull: Option<&Csr>,
+        batch: &crate::batch::BatchProgram,
+        arena: &mut crate::batch::BatchArena,
+    ) -> Result<crate::batch::BatchOutput, EngineError> {
+        self.check_footprint(rep)?;
+        let mut plan = self.plan.clone();
+        if plan.backend == BackendKind::WarpSim {
+            // The simulator has no batched path; the sequential
+            // reference preserves its per-lane semantics.
+            plan.backend = BackendKind::Sequential;
+        }
+        plan.validate(rep, &batch.prog)?;
+        match plan.backend {
+            BackendKind::CpuPool => Ok(crate::batch::run_batch_cpu_pool(
+                rep, pull, batch, &plan, arena,
+            )),
+            _ if plan.direction == Direction::Pull => run_lanes_solo(rep, batch, &plan),
+            _ => Ok(crate::batch::run_batch_sequential_push(
+                rep, batch, &plan.push, arena,
+            )),
+        }
     }
 
     /// PageRank over a [`PreparedGraph`]. Pull mode gathers along
@@ -488,6 +518,25 @@ impl Engine {
         self.check_footprint(rep)?;
         Ok(bc::run(&self.sim, rep, source))
     }
+}
+
+/// Sequential batch fallback for plans with no fused executor (forced
+/// pull): each lane runs its solo sequential schedule under its own
+/// cancellation token, so outputs are trivially byte-equal to solo
+/// runs.
+fn run_lanes_solo(
+    rep: &Representation<'_>,
+    batch: &crate::batch::BatchProgram,
+    plan: &ExecutionPlan,
+) -> Result<crate::batch::BatchOutput, EngineError> {
+    let mut lanes = Vec::with_capacity(batch.lanes.len());
+    for lane in &batch.lanes {
+        let mut lane_plan = plan.clone();
+        lane_plan.cancel = lane.cancel.clone();
+        lanes.push(Sequential.run_monotone(rep, batch.prog, lane.source, &lane_plan)?);
+    }
+    let sweeps = lanes.iter().map(|l| l.directions.len()).max().unwrap_or(0);
+    Ok(crate::batch::BatchOutput { lanes, sweeps })
 }
 
 #[cfg(test)]

@@ -174,7 +174,7 @@ impl Client {
     /// See [`Client::query`].
     pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
         match self.request(&Request::Stats)? {
-            Response::Stats(snapshot) => Ok(snapshot),
+            Response::Stats(snapshot) => Ok(*snapshot),
             Response::Error(error) => Err(ClientError::Protocol(error)),
             other => Err(ClientError::Protocol(ProtocolError::new(
                 crate::protocol::ErrorCode::BadRequest,

@@ -221,8 +221,9 @@ pub struct QueryResult {
 pub enum Response {
     /// Query succeeded.
     Query(QueryResult),
-    /// Stats snapshot.
-    Stats(StatsSnapshot),
+    /// Stats snapshot (boxed: the snapshot is by far the widest
+    /// payload, and every non-stats reply moves through channels).
+    Stats(Box<StatsSnapshot>),
     /// Ping reply.
     Pong,
     /// Typed failure.
@@ -414,9 +415,9 @@ pub fn decode_response(line: &str) -> Result<Response, ProtocolError> {
         return Ok(Response::Pong);
     }
     if let Some(s) = v.get("stats") {
-        return Ok(Response::Stats(
+        return Ok(Response::Stats(Box::new(
             StatsSnapshot::from_json(s).ok_or_else(|| bad("bad stats payload"))?,
-        ));
+        )));
     }
     let algo = v
         .get("algo")

@@ -104,9 +104,13 @@ impl<T> Bounded<T> {
     /// takes it *together with* up to `max - 1` further queued jobs
     /// compatible with it (per `compat(head, candidate)`), preserving
     /// relative order; non-matching jobs keep their positions. With a
-    /// non-zero `wait`, lingers for late-arriving compatible jobs
-    /// until the batch is full or `wait` elapses. Returns `None` once
-    /// the queue is closed and empty.
+    /// non-zero `wait`, lingers for late-arriving compatible jobs —
+    /// but only while *other* jobs remain queued behind the batch: the
+    /// batch ships early the moment it reaches `max` or the queue
+    /// drains, so an idle server never holds a ready batch open just
+    /// to burn its linger budget. Returns the batch together with the
+    /// formation wait (time from taking the head to shipping the
+    /// batch), or `None` once the queue is closed and empty.
     ///
     /// Formation is **serialized**: only one `pop_batch` caller forms
     /// a batch at a time, and the others hold off from taking a head
@@ -122,7 +126,7 @@ impl<T> Bounded<T> {
         max: usize,
         wait: Duration,
         mut compat: impl FnMut(&T, &T) -> bool,
-    ) -> Option<Vec<T>> {
+    ) -> Option<(Vec<T>, Duration)> {
         let max = max.max(1);
         let mut inner = self.inner.lock().unwrap();
         let head = loop {
@@ -137,8 +141,9 @@ impl<T> Bounded<T> {
             }
             inner = self.ready.wait(inner).unwrap();
         };
+        let formed = Instant::now();
         let mut out = vec![head];
-        let deadline = Instant::now() + wait;
+        let deadline = formed + wait;
         loop {
             let mut i = 0;
             while i < inner.items.len() && out.len() < max {
@@ -149,13 +154,13 @@ impl<T> Bounded<T> {
                 }
             }
             let now = Instant::now();
-            if out.len() >= max || inner.closed || now >= deadline {
+            if out.len() >= max || inner.items.is_empty() || inner.closed || now >= deadline {
                 inner.forming = false;
                 drop(inner);
                 // Wake the formers held off by the formation gate (and
                 // any pop blockers) so the next batch starts forming.
                 self.ready.notify_all();
-                return Some(out);
+                return Some((out, now.duration_since(formed)));
             }
             inner = self.ready.wait_timeout(inner, deadline - now).unwrap().0;
         }
@@ -241,12 +246,16 @@ mod tests {
             q.try_push(v).unwrap();
         }
         // Head is 1 (odd); same-parity followers fuse, up to `max`.
-        let odds = q.pop_batch(3, Duration::ZERO, |a, b| a % 2 == b % 2);
-        assert_eq!(odds, Some(vec![1, 3, 5]));
+        let (odds, _) = q
+            .pop_batch(3, Duration::ZERO, |a, b| a % 2 == b % 2)
+            .unwrap();
+        assert_eq!(odds, vec![1, 3, 5]);
         // Non-matching jobs keep their relative order for the next
         // consumer, which fuses them in turn.
-        let evens = q.pop_batch(8, Duration::ZERO, |a, b| a % 2 == b % 2);
-        assert_eq!(evens, Some(vec![2, 4, 6]));
+        let (evens, _) = q
+            .pop_batch(8, Duration::ZERO, |a, b| a % 2 == b % 2)
+            .unwrap();
+        assert_eq!(evens, vec![2, 4, 6]);
     }
 
     #[test]
@@ -256,18 +265,40 @@ mod tests {
         q.try_push(8).unwrap();
         // max 1 never fuses and never lingers, whatever `wait` says.
         let t = Instant::now();
-        assert_eq!(
-            q.pop_batch(1, Duration::from_secs(60), |_, _| true),
-            Some(vec![9])
-        );
+        let (batch, waited) = q
+            .pop_batch(1, Duration::from_secs(60), |_, _| true)
+            .unwrap();
+        assert_eq!(batch, vec![9]);
         assert!(t.elapsed() < Duration::from_secs(1));
+        assert!(waited < Duration::from_secs(1));
         assert_eq!(q.pop(), Some(8));
+    }
+
+    #[test]
+    fn pop_batch_returns_once_the_queue_drains() {
+        // Once everything compatible is taken and nothing else is
+        // queued, the batch ships immediately — the linger budget is
+        // for fusing against a backlog, not for idling a ready batch.
+        let q = Bounded::new(16);
+        q.try_push(1u32).unwrap();
+        q.try_push(3u32).unwrap();
+        let t = Instant::now();
+        let (batch, waited) = q
+            .pop_batch(8, Duration::from_secs(60), |_, _| true)
+            .unwrap();
+        assert_eq!(batch, vec![1, 3]);
+        assert!(t.elapsed() < Duration::from_secs(5));
+        assert!(waited < Duration::from_secs(5));
     }
 
     #[test]
     fn pop_batch_lingers_for_late_compatible_arrivals() {
         let q = Arc::new(Bounded::new(16));
         q.try_push(1u32).unwrap();
+        // An incompatible survivor keeps the batch open: with a backlog
+        // behind it, the former spends its linger budget waiting for a
+        // late same-parity arrival instead of shipping a singleton.
+        q.try_push(4u32).unwrap();
         let producer = {
             let q = Arc::clone(&q);
             thread::spawn(move || {
@@ -275,9 +306,13 @@ mod tests {
                 q.try_push(7u32).unwrap();
             })
         };
-        let got = q.pop_batch(2, Duration::from_secs(5), |_, _| true);
+        let got = q.pop_batch(2, Duration::from_secs(5), |a, b| a % 2 == b % 2);
         producer.join().unwrap();
-        assert_eq!(got, Some(vec![1, 7]));
+        let (batch, waited) = got.unwrap();
+        assert_eq!(batch, vec![1, 7]);
+        assert!(waited < Duration::from_secs(5));
+        // The incompatible job is still queued for the next consumer.
+        assert_eq!(q.pop(), Some(4));
     }
 
     #[test]
@@ -286,23 +321,30 @@ mod tests {
         // not steal the arrival the first one is waiting for.
         let q = Arc::new(Bounded::new(16));
         q.try_push(1u32).unwrap();
+        q.try_push(4u32).unwrap(); // incompatible: keeps the first former lingering
+        let compat = |a: &u32, b: &u32| a % 2 == b % 2;
         let first = {
             let q = Arc::clone(&q);
-            thread::spawn(move || q.pop_batch(2, Duration::from_secs(5), |_, _| true))
+            thread::spawn(move || q.pop_batch(2, Duration::from_secs(5), compat))
         };
         thread::sleep(Duration::from_millis(20));
         let second = {
             let q = Arc::clone(&q);
-            // Zero linger: without the formation gate this would return
-            // `Some(vec![2])` immediately, shredding the first batch.
-            thread::spawn(move || q.pop_batch(2, Duration::ZERO, |_, _| true))
+            // Without the formation gate this would grab the queued
+            // incompatible job — or worse, the late arrival the first
+            // former is waiting for — shredding the first batch.
+            thread::spawn(move || q.pop_batch(2, Duration::from_secs(5), compat))
         };
         thread::sleep(Duration::from_millis(20));
-        q.try_push(2u32).unwrap();
-        assert_eq!(first.join().unwrap(), Some(vec![1, 2]));
-        thread::sleep(Duration::from_millis(5));
+        q.try_push(3u32).unwrap();
+        let (batch, waited) = first.join().unwrap().unwrap();
+        assert_eq!(batch, vec![1, 3]);
+        assert!(waited >= Duration::from_millis(10));
+        // The held-off second former then takes what remains and ships
+        // straight away — the queue is drained after its head.
+        let (batch, _) = second.join().unwrap().unwrap();
+        assert_eq!(batch, vec![4]);
         assert!(q.close().is_empty());
-        assert_eq!(second.join().unwrap(), None);
     }
 
     #[test]

@@ -7,11 +7,14 @@
 //!    and offers the job to the bounded [`Bounded`] queue. A full queue
 //!    is a typed `queue-full` rejection, never a block — that is the
 //!    backpressure contract.
-//! 2. *Plan*: a worker pops one job and drains compatible queued jobs
-//!    (same graph × same algorithm, up to `batch_max`) into one fused
-//!    batch; every monotone query — batched or singleton — executes
-//!    the deterministic `Sequential` push schedule, each lane carrying
-//!    its own cancel token.
+//! 2. *Plan*: a batch executor pops one job and drains compatible
+//!    queued jobs (same graph × same algorithm, up to `batch_max`)
+//!    into one fused batch; every monotone query — batched or
+//!    singleton — carries its own cancel token into a lane. With
+//!    `kernel_threads = 1` the batch executes the deterministic
+//!    `Sequential` push schedule; with more, it runs on the parallel
+//!    `CpuPool` backend with per-iteration push/pull direction
+//!    selection (values identical, iteration counts may differ).
 //! 3. *Backend*: the engine advances all lanes of the batch in
 //!    lockstep over the shared [`PreparedGraph`] (see
 //!    [`tigr_engine::batch`]); tokens are polled at iteration
@@ -39,7 +42,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tigr_core::{CancelToken, PreparedGraph};
-use tigr_engine::{pr, BackendKind, BatchArena, BatchLane, BatchProgram, Engine, EngineError};
+use tigr_engine::{
+    pr, BackendKind, BatchArena, BatchLane, BatchProgram, CpuOptions, Direction, Engine,
+    EngineError,
+};
 use tigr_graph::NodeId;
 
 use crate::cache::{CacheKey, CachedResult, ResultCache};
@@ -50,16 +56,26 @@ use crate::protocol::{
 use crate::queue::{Bounded, PushError};
 use crate::stats::StatsRecorder;
 
-/// Plan fingerprint for the cache key: the server always executes with
-/// the deterministic sequential push backend, so results are
-/// reproducible across runs and byte-comparable with `tigr run`.
-const PLAN_FINGERPRINT: &str = "sequential:push";
-
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
-    /// Worker threads executing queries.
+    /// Total thread budget for query execution. With `executors = 0`
+    /// this is divided by `kernel_threads` to derive the executor
+    /// count, so raising `kernel_threads` trades executor concurrency
+    /// for per-batch parallelism inside a fixed budget.
     pub workers: usize,
+    /// Batch executors pulling from the admission queue (`0` = derive
+    /// from `workers / kernel_threads`, min 1). Each executor owns its
+    /// own [`BatchArena`] and, when `kernel_threads > 1`, its own
+    /// kernel thread pool.
+    pub executors: usize,
+    /// Kernel threads per executor. `1` (the default) runs the
+    /// deterministic sequential push schedule — byte-identical to
+    /// `tigr run`. `> 1` runs batches on the parallel `CpuPool`
+    /// backend with per-iteration push/pull direction selection;
+    /// values still match the sequential path exactly, but iteration
+    /// counts may differ (see `tigr_engine::batch`).
+    pub kernel_threads: usize,
     /// Bounded admission-queue capacity; pushes beyond it are rejected
     /// with `queue-full`.
     pub queue_capacity: usize,
@@ -67,9 +83,9 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Deadline applied to queries that don't carry their own.
     pub default_deadline_ms: Option<u64>,
-    /// Widest fused batch a worker may form (1 disables batching).
+    /// Widest fused batch an executor may form (1 disables batching).
     pub batch_max: usize,
-    /// How long a worker lingers on the queue collecting compatible
+    /// How long an executor lingers on the queue collecting compatible
     /// jobs before executing a non-full batch, in microseconds. Zero
     /// means batches form only from jobs already queued.
     pub batch_wait_us: u64,
@@ -79,11 +95,37 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             workers: 4,
+            executors: 0,
+            kernel_threads: 1,
             queue_capacity: 128,
             cache_capacity: 256,
             default_deadline_ms: None,
             batch_max: 8,
             batch_wait_us: 0,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Batch executors actually spawned: `executors` when non-zero,
+    /// otherwise `workers / kernel_threads` (min 1) so the total
+    /// thread budget stays near `workers`.
+    pub fn executor_count(&self) -> usize {
+        if self.executors > 0 {
+            self.executors
+        } else {
+            (self.workers / self.kernel_threads.max(1)).max(1)
+        }
+    }
+
+    /// The cache-key plan fingerprint for this configuration. Results
+    /// from the two execution plans are value-identical but carry
+    /// different iteration counts, so they never share cache entries.
+    pub fn plan_fingerprint(&self) -> &'static str {
+        if self.kernel_threads > 1 {
+            "cpupool:auto"
+        } else {
+            "sequential:push"
         }
     }
 }
@@ -156,7 +198,7 @@ impl ServerCore {
             closed: AtomicBool::new(false),
         });
         let mut workers = core.workers.lock().unwrap();
-        for i in 0..config.workers.max(1) {
+        for i in 0..config.executor_count() {
             let core = Arc::clone(&core);
             workers.push(
                 std::thread::Builder::new()
@@ -193,11 +235,11 @@ impl ServerCore {
     pub fn submit(&self, request: Request) -> Response {
         match request {
             Request::Ping => Response::Pong,
-            Request::Stats => Response::Stats(self.stats.snapshot(
+            Request::Stats => Response::Stats(Box::new(self.stats.snapshot(
                 self.queue.len() as u64,
-                self.config.workers.max(1) as u64,
+                self.config.executor_count() as u64,
                 self.cache.counters(),
-            )),
+            ))),
             Request::Query(query) => self.submit_query(query),
         }
     }
@@ -271,10 +313,14 @@ impl ServerCore {
     }
 
     fn worker_loop(&self) {
-        // Per-worker reusable lane storage: value arrays, frontier
+        // Per-executor reusable lane storage: value arrays, frontier
         // builders, and worklists survive across queries and batches,
         // so the steady-state path performs no per-query allocation.
-        let mut arena = BatchArena::new();
+        // The retain cap bounds what an unusually wide batch leaves
+        // behind: after it, the arena shrinks back to at most
+        // `2 * batch_max` lanes instead of pinning the peak footprint
+        // for the life of the executor.
+        let mut arena = BatchArena::with_retain_cap(2 * self.config.batch_max.max(1));
         let wait = Duration::from_micros(self.config.batch_wait_us);
         // The whole batch forms inside one queue operation: the head
         // job plus every queued job compatible with it (same graph
@@ -283,11 +329,15 @@ impl ServerCore {
         // draining followers as two separate steps lets concurrent
         // workers shred a burst of compatible queries into singleton
         // batches. Incompatible jobs stay queued for other workers.
-        while let Some(batch) = self.queue.pop_batch(self.config.batch_max, wait, |a, b| {
-            a.request.algo != Algo::Pr
-                && a.request.algo == b.request.algo
-                && a.request.graph == b.request.graph
-        }) {
+        while let Some((batch, formed_in)) =
+            self.queue.pop_batch(self.config.batch_max, wait, |a, b| {
+                a.request.algo != Algo::Pr
+                    && a.request.algo == b.request.algo
+                    && a.request.graph == b.request.graph
+            })
+        {
+            self.stats
+                .record_formation_wait(formed_in.as_micros() as u64);
             if batch[0].request.algo == Algo::Pr {
                 // PageRank is not a monotone program and cannot share a
                 // fused sweep; it keeps the solo executor. The compat
@@ -333,7 +383,7 @@ impl ServerCore {
                     graph: graph_name.clone(),
                     algo,
                     source: job.request.source,
-                    plan: PLAN_FINGERPRINT,
+                    plan: self.config.plan_fingerprint(),
                 };
                 if let Some(hit) = self.cache.get(&key) {
                     let wall_us = job.received.elapsed().as_micros() as u64;
@@ -399,9 +449,24 @@ impl ServerCore {
         self.stats
             .record_batch(lane_jobs.iter().map(Vec::len).sum::<usize>() as u64);
         let batch = BatchProgram { prog, lanes };
-        let engine = Engine::default()
-            .with_backend(BackendKind::Sequential)
-            .with_device_memory(u64::MAX);
+        let threads = self.config.kernel_threads.max(1);
+        let engine = if threads > 1 {
+            // Parallel direction-aware executor: one CpuPool sweep
+            // relaxes every live lane, switching push/pull per
+            // iteration on aggregate frontier density.
+            Engine::default()
+                .with_backend(BackendKind::CpuPool)
+                .with_direction(Direction::Auto)
+                .with_cpu_options(CpuOptions {
+                    threads,
+                    ..CpuOptions::default()
+                })
+                .with_device_memory(u64::MAX)
+        } else {
+            Engine::default()
+                .with_backend(BackendKind::Sequential)
+                .with_device_memory(u64::MAX)
+        };
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             engine.run_prepared_batch(&prepared, &batch, arena)
         }));
@@ -456,7 +521,7 @@ impl ServerCore {
                         graph: graph_name.clone(),
                         algo,
                         source: jobs[0].request.source,
-                        plan: PLAN_FINGERPRINT,
+                        plan: self.config.plan_fingerprint(),
                     },
                     CachedResult {
                         values: Arc::clone(&values),
@@ -493,7 +558,7 @@ impl ServerCore {
             graph: query.graph.clone(),
             algo: query.algo,
             source: query.source,
-            plan: PLAN_FINGERPRINT,
+            plan: self.config.plan_fingerprint(),
         };
         if query.cache {
             if let Some(hit) = self.cache.get(&key) {
@@ -967,6 +1032,67 @@ mod tests {
         };
         assert!(!ok.cached);
         core.shutdown();
+    }
+
+    #[test]
+    fn parallel_kernel_threads_match_sequential_answers() {
+        let seq = small_core(ServerConfig {
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        });
+        let par = small_core(ServerConfig {
+            executors: 2,
+            kernel_threads: 2,
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        });
+        assert_eq!(par.config().executor_count(), 2);
+        assert_eq!(par.config().plan_fingerprint(), "cpupool:auto");
+        for (algo, source) in [
+            (Algo::Bfs, Some(3)),
+            (Algo::Sssp, Some(3)),
+            (Algo::Sswp, Some(3)),
+            (Algo::Cc, None),
+        ] {
+            let mut req = QueryRequest::new("rmat8", algo, source);
+            req.include_values = true;
+            let a = match seq.submit(Request::Query(req.clone())) {
+                Response::Query(q) => q,
+                other => panic!("{other:?}"),
+            };
+            let b = match par.submit(Request::Query(req)) {
+                Response::Query(q) => q,
+                other => panic!("{other:?}"),
+            };
+            // Same fixpoint, whatever the schedule: values (and hence
+            // checksums) are byte-equal; iteration counts may differ.
+            assert_eq!(a.values, b.values, "{algo:?}");
+            assert_eq!(a.checksum, b.checksum, "{algo:?}");
+        }
+        let stats = match par.submit(Request::Stats) {
+            Response::Stats(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(stats.workers, 2);
+        par.shutdown();
+        seq.shutdown();
+    }
+
+    #[test]
+    fn derived_executor_count_divides_the_thread_budget() {
+        let cfg = ServerConfig {
+            workers: 8,
+            kernel_threads: 4,
+            ..ServerConfig::default()
+        };
+        assert_eq!(cfg.executor_count(), 2);
+        // The budget never derives to zero executors.
+        let cfg = ServerConfig {
+            workers: 1,
+            kernel_threads: 8,
+            ..ServerConfig::default()
+        };
+        assert_eq!(cfg.executor_count(), 1);
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub struct StatsRecorder {
     batches: AtomicU64,
     batched_queries: AtomicU64,
     max_batch: AtomicU64,
+    formation_wait_us: AtomicU64,
     window: Mutex<LatencyWindow>,
 }
 
@@ -39,6 +40,7 @@ impl Default for StatsRecorder {
             batches: AtomicU64::new(0),
             batched_queries: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
+            formation_wait_us: AtomicU64::new(0),
             window: Mutex::new(LatencyWindow {
                 samples_us: Vec::new(),
                 next: 0,
@@ -70,6 +72,13 @@ impl StatsRecorder {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_queries.fetch_add(queries, Ordering::Relaxed);
         self.max_batch.fetch_max(queries, Ordering::Relaxed);
+    }
+
+    /// A batch former spent `us` microseconds between taking the queue
+    /// head and shipping the batch (the admission queue's formation
+    /// wait). Cumulative; divide by `batches` for the mean linger.
+    pub fn record_formation_wait(&self, us: u64) {
+        self.formation_wait_us.fetch_add(us, Ordering::Relaxed);
     }
 
     /// A query completed successfully in `wall_us` microseconds
@@ -110,6 +119,7 @@ impl StatsRecorder {
             batches: self.batches.load(Ordering::Relaxed),
             batched_queries: self.batched_queries.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
+            formation_wait_us: self.formation_wait_us.load(Ordering::Relaxed),
         }
     }
 }
@@ -172,6 +182,9 @@ pub struct StatsSnapshot {
     pub batched_queries: u64,
     /// Widest batch executed so far.
     pub max_batch: u64,
+    /// Cumulative microseconds batch formers spent holding batches
+    /// open waiting for late compatible arrivals.
+    pub formation_wait_us: u64,
 }
 
 impl StatsSnapshot {
@@ -213,6 +226,7 @@ impl StatsSnapshot {
             ("batches", self.batches.into()),
             ("batched_queries", self.batched_queries.into()),
             ("max_batch", self.max_batch.into()),
+            ("formation_wait_us", self.formation_wait_us.into()),
         ])
     }
 
@@ -235,6 +249,7 @@ impl StatsSnapshot {
             batches: field("batches")?,
             batched_queries: field("batched_queries")?,
             max_batch: field("max_batch")?,
+            formation_wait_us: field("formation_wait_us")?,
         })
     }
 }
@@ -276,6 +291,8 @@ mod tests {
         rec.record_completed(250);
         rec.record_batch(3);
         rec.record_batch(1);
+        rec.record_formation_wait(120);
+        rec.record_formation_wait(80);
         let snap = rec.snapshot(
             3,
             4,
@@ -292,6 +309,7 @@ mod tests {
         assert_eq!(back.batches, 2);
         assert_eq!(back.batched_queries, 4);
         assert_eq!(back.max_batch, 3);
+        assert_eq!(back.formation_wait_us, 200);
         assert!((back.batch_occupancy() - 2.0).abs() < 1e-9);
     }
 

@@ -71,11 +71,14 @@ echo "serve smoke: five analytics served and accounted"
 
 echo "== batch smoke =="
 # Byte-equality across the batch former: the same query cells answered
-# by an unbatched daemon (--batch-max 1) and by a batching daemon fed
+# by an unbatched daemon (--batch-max 1), by a batching daemon fed
 # concurrently (--batch-max 8, generous linger so the in-flight burst
-# fuses) must print identical checksum lines.
+# fuses), and by a parallel batching daemon (--kernel-threads 2, the
+# CpuPool direction-switching plan) must print identical checksum
+# lines.
 ub_port_file="$cache_dir/ub_port.txt"
 b_port_file="$cache_dir/b_port.txt"
+p_port_file="$cache_dir/p_port.txt"
 cargo run --release -q -p tigr-cli --bin tigr -- serve --graph "$graph_file" --name smoke \
     --port 0 --port-file "$ub_port_file" --workers 1 --batch-max 1 > /dev/null &
 ub_pid=$!
@@ -83,13 +86,18 @@ cargo run --release -q -p tigr-cli --bin tigr -- serve --graph "$graph_file" --n
     --port 0 --port-file "$b_port_file" --workers 1 --batch-max 8 --batch-wait-us 300000 \
     > /dev/null &
 b_pid=$!
-trap 'kill "$ub_pid" "$b_pid" 2>/dev/null || true; rm -rf "$cache_dir"' EXIT
-for f in "$ub_port_file" "$b_port_file"; do
+cargo run --release -q -p tigr-cli --bin tigr -- serve --graph "$graph_file" --name smoke \
+    --port 0 --port-file "$p_port_file" --executors 1 --kernel-threads 2 --batch-max 8 \
+    --batch-wait-us 300000 > /dev/null &
+p_pid=$!
+trap 'kill "$ub_pid" "$b_pid" "$p_pid" 2>/dev/null || true; rm -rf "$cache_dir"' EXIT
+for f in "$ub_port_file" "$b_port_file" "$p_port_file"; do
     for _ in $(seq 1 100); do [ -s "$f" ] && break; sleep 0.1; done
     [ -s "$f" ] || { echo "batch smoke: port file never appeared"; exit 1; }
 done
 ub_addr="$(cat "$ub_port_file")"
 b_addr="$(cat "$b_port_file")"
+p_addr="$(cat "$p_port_file")"
 cells="bfs:0 bfs:9 sssp:0 sssp:9 sswp:4 cc:-"
 cell_args() { [ "$1" = "-" ] && echo "" || echo "--source $1"; }
 # Reference answers from the unbatched daemon, one at a time.
@@ -100,37 +108,44 @@ for cell in $cells; do
         $(cell_args "$src") --no-cache --addr "$ub_addr" \
         | grep "^checksum" > "$cache_dir/ref_${algo}_${src}.txt"
 done
-# The same cells against the batching daemon, all in flight at once so
-# its single worker must answer them through fused batches.
-qpids=""
-for cell in $cells; do
-    algo="${cell%%:*}"; src="${cell##*:}"
-    # shellcheck disable=SC2046
-    cargo run --release -q -p tigr-cli --bin tigr -- query "$algo" --graph-name smoke \
-        $(cell_args "$src") --no-cache --addr "$b_addr" \
-        | grep "^checksum" > "$cache_dir/got_${algo}_${src}.txt" &
-    qpids="$qpids $!"
-done
-for p in $qpids; do
-    wait "$p" || { echo "batch smoke: a concurrent query failed"; exit 1; }
-done
-for cell in $cells; do
-    algo="${cell%%:*}"; src="${cell##*:}"
-    [ -s "$cache_dir/ref_${algo}_${src}.txt" ] && [ -s "$cache_dir/got_${algo}_${src}.txt" ] \
-        || { echo "batch smoke: missing checksum for $algo source $src"; exit 1; }
-    cmp -s "$cache_dir/ref_${algo}_${src}.txt" "$cache_dir/got_${algo}_${src}.txt" || {
-        echo "batch smoke: checksum diverged for $algo source $src"
-        paste "$cache_dir/ref_${algo}_${src}.txt" "$cache_dir/got_${algo}_${src}.txt"
-        exit 1
-    }
+# The same cells against the sequential and the parallel batching
+# daemons, all in flight at once so each single executor must answer
+# them through fused batches.
+for kind in got par; do
+    case "$kind" in got) addr="$b_addr" ;; par) addr="$p_addr" ;; esac
+    qpids=""
+    for cell in $cells; do
+        algo="${cell%%:*}"; src="${cell##*:}"
+        # shellcheck disable=SC2046
+        cargo run --release -q -p tigr-cli --bin tigr -- query "$algo" --graph-name smoke \
+            $(cell_args "$src") --no-cache --addr "$addr" \
+            | grep "^checksum" > "$cache_dir/${kind}_${algo}_${src}.txt" &
+        qpids="$qpids $!"
+    done
+    for p in $qpids; do
+        wait "$p" || { echo "batch smoke: a concurrent query failed ($kind)"; exit 1; }
+    done
+    for cell in $cells; do
+        algo="${cell%%:*}"; src="${cell##*:}"
+        [ -s "$cache_dir/ref_${algo}_${src}.txt" ] && [ -s "$cache_dir/${kind}_${algo}_${src}.txt" ] \
+            || { echo "batch smoke: missing checksum for $algo source $src ($kind)"; exit 1; }
+        cmp -s "$cache_dir/ref_${algo}_${src}.txt" "$cache_dir/${kind}_${algo}_${src}.txt" || {
+            echo "batch smoke: checksum diverged for $algo source $src ($kind)"
+            paste "$cache_dir/ref_${algo}_${src}.txt" "$cache_dir/${kind}_${algo}_${src}.txt"
+            exit 1
+        }
+    done
 done
 b_stats="$(cargo run --release -q -p tigr-cli --bin tigr -- query stats --addr "$b_addr")"
 echo "$b_stats" | grep -q "6 received / 6 completed / 0 rejected / 0 failed" \
     || { echo "batch smoke: unexpected stats"; echo "$b_stats"; exit 1; }
 echo "$b_stats" | grep "^batches"
-kill "$ub_pid" "$b_pid"
-wait "$ub_pid" "$b_pid" 2>/dev/null || true
-echo "batch smoke: batched answers byte-equal to the unbatched daemon"
+p_stats="$(cargo run --release -q -p tigr-cli --bin tigr -- query stats --addr "$p_addr")"
+echo "$p_stats" | grep -q "6 received / 6 completed / 0 rejected / 0 failed" \
+    || { echo "batch smoke: unexpected parallel-daemon stats"; echo "$p_stats"; exit 1; }
+kill "$ub_pid" "$b_pid" "$p_pid"
+wait "$ub_pid" "$b_pid" "$p_pid" 2>/dev/null || true
+echo "batch smoke: batched answers (sequential and kernel-threads 2) byte-equal to the unbatched daemon"
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,19 +1,33 @@
-//! Differential proptest harness for batched multi-source execution:
-//! a K-lane [`BatchProgram`] run over a random graph must be **byte
-//! equal**, lane for lane, to K independent sequential single-source
-//! runs — same value arrays, same iteration counts, same convergence
-//! flags, same `edges_touched`, same FNV-1a64 checksums. Duplicate
-//! sources inside one batch, the K=1 degenerate batch, arena reuse
-//! across batches, and determinism across repeated runs are all part
-//! of the property.
+//! Differential proptest harness for batched multi-source execution,
+//! with two equality regimes:
+//!
+//! - **Byte equality** for the sequential push batch: a K-lane
+//!   [`BatchProgram`] run over a random graph must match K independent
+//!   sequential single-source runs observable-for-observable — same
+//!   value arrays, same iteration counts, same convergence flags, same
+//!   `edges_touched`, same FNV-1a64 checksums.
+//! - **Value equality** for every other cell of the execution matrix
+//!   ({Sequential, CpuPool} × {push, pull, auto} × {node-chunk,
+//!   edge-balanced, virtual} × thread counts): same fixpoint values,
+//!   checksums, and convergence, while iteration and edge counts are
+//!   schedule-dependent (merged frontiers, relaxed intra-sweep
+//!   visibility). Parallel cells must also reproduce their values
+//!   exactly on re-run through a warm arena.
+//!
+//! Duplicate sources inside one batch, the K=1 degenerate batch, arena
+//! reuse across batches, and typed plan errors (virtual schedule
+//! without a view, pull needing associativity) are all part of the
+//! property set.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 use tigr::engine::batch::{BatchArena, BatchLane, BatchOutput, BatchProgram};
-use tigr::engine::{BackendKind, MonotoneOutput};
+use tigr::engine::{
+    BackendKind, CpuOptions, CpuSchedule, Direction, EngineError, MonotoneOutput, PlanError,
+};
 use tigr::server::checksum;
-use tigr::{Csr, CsrBuilder, Edge, Engine, MonotoneProgram, NodeId, Representation};
+use tigr::{Csr, CsrBuilder, Edge, Engine, MonotoneProgram, NodeId, Representation, VirtualGraph};
 
 const PROGRAMS: [MonotoneProgram; 4] = [
     MonotoneProgram::BFS,
@@ -93,6 +107,57 @@ fn lane_sources(prog: MonotoneProgram, picks: &[u32], nodes: u32) -> Vec<Option<
         .map(|&p| prog.needs_source().then(|| NodeId::new(p % nodes)))
         .collect()
 }
+
+/// One batched run through a fully specified execution-plan cell of
+/// the matrix: backend × direction × CPU schedule × thread count.
+#[allow(clippy::too_many_arguments)]
+fn batched_cell(
+    g: &Csr,
+    prog: MonotoneProgram,
+    sources: &[Option<NodeId>],
+    backend: BackendKind,
+    direction: Direction,
+    schedule: CpuSchedule,
+    threads: usize,
+    arena: &mut BatchArena,
+) -> Result<BatchOutput, EngineError> {
+    let batch = BatchProgram {
+        prog,
+        lanes: sources.iter().map(|&s| BatchLane::new(s)).collect(),
+    };
+    Engine::default()
+        .with_backend(backend)
+        .with_direction(direction)
+        .with_cpu_options(CpuOptions {
+            threads,
+            schedule,
+            ..CpuOptions::default()
+        })
+        .run_batch(&Representation::Original(g), &batch, arena)
+}
+
+/// Value-level equality: the lane reached the reference fixpoint with
+/// the same convergence outcome. Iteration and edge counts are *not*
+/// compared — merged frontiers and relaxed intra-sweep visibility make
+/// them schedule-dependent (only the pure sequential push batch is
+/// byte-equal; see [`assert_byte_equal`]).
+fn assert_value_equal(lane: &MonotoneOutput, reference: &MonotoneOutput, label: &str) {
+    assert_eq!(lane.values, reference.values, "{label}: values");
+    assert_eq!(
+        checksum(&lane.values),
+        checksum(&reference.values),
+        "{label}: checksum"
+    );
+    assert_eq!(lane.converged, reference.converged, "{label}: converged");
+    assert_eq!(lane.cancelled, reference.cancelled, "{label}: cancelled");
+}
+
+const DIRECTIONS: [Direction; 3] = [Direction::Push, Direction::Pull, Direction::Auto];
+const SCHEDULES: [CpuSchedule; 3] = [
+    CpuSchedule::NodeChunk,
+    CpuSchedule::EdgeBalanced,
+    CpuSchedule::Virtual,
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -179,6 +244,67 @@ proptest! {
         for i in 0..sources.len() {
             assert_byte_equal(&second.lanes[i], &first.lanes[i], "rerun/warm");
             assert_byte_equal(&fresh.lanes[i], &first.lanes[i], "rerun/fresh");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The execution matrix: {Sequential, CpuPool} × {push, pull,
+    /// auto} × {node-chunk, edge-balanced, virtual} × random source
+    /// vectors. Every cell must reach the sequential push reference
+    /// fixpoint per lane (values, checksums, convergence); the
+    /// parallel cells are additionally re-run through a warm arena and
+    /// must reproduce their values exactly — determinism does not
+    /// depend on thread count or retained state.
+    #[test]
+    fn execution_matrix_reaches_the_sequential_fixpoint(
+        g in arb_graph(30, 120),
+        algo in 0usize..4,
+        picks in vec(0u32..10_000, 1..6),
+        threads in 1usize..3,
+    ) {
+        let prog = PROGRAMS[algo];
+        let sources = lane_sources(prog, &picks, g.num_nodes() as u32);
+        let refs: Vec<MonotoneOutput> = sources.iter().map(|&s| solo(&g, prog, s)).collect();
+        for direction in DIRECTIONS {
+            // Sequential backend (schedule-independent): push and auto
+            // take the lockstep batched sweep, pull runs lanes solo.
+            let mut arena = BatchArena::new();
+            let out = batched_cell(
+                &g, prog, &sources,
+                BackendKind::Sequential, direction, CpuSchedule::EdgeBalanced, 1,
+                &mut arena,
+            ).unwrap();
+            for (i, reference) in refs.iter().enumerate() {
+                let label = format!("sequential/{}/{direction:?} lane {i}", prog.name);
+                assert_value_equal(&out.lanes[i], reference, &label);
+            }
+            for schedule in SCHEDULES {
+                let mut arena = BatchArena::new();
+                let out = batched_cell(
+                    &g, prog, &sources,
+                    BackendKind::CpuPool, direction, schedule, threads,
+                    &mut arena,
+                ).unwrap();
+                let again = batched_cell(
+                    &g, prog, &sources,
+                    BackendKind::CpuPool, direction, schedule, threads,
+                    &mut arena,
+                ).unwrap();
+                for (i, reference) in refs.iter().enumerate() {
+                    let label = format!(
+                        "cpupool/{}/{direction:?}/{schedule:?}/t{threads} lane {i}",
+                        prog.name
+                    );
+                    assert_value_equal(&out.lanes[i], reference, &label);
+                    prop_assert_eq!(
+                        &out.lanes[i].values, &again.lanes[i].values,
+                        "{} rerun determinism", label
+                    );
+                }
+            }
         }
     }
 }
@@ -312,5 +438,73 @@ mod seed_corpus {
                 &format!("clique lane {i}"),
             );
         }
+    }
+
+    /// An unplannable batch fails with the same typed error as a solo
+    /// run, before any lane executes: a virtual chunking schedule with
+    /// overlay construction disabled and no virtual view to chunk by.
+    #[test]
+    fn virtual_schedule_without_view_is_a_typed_error() {
+        let g = path_graph(8);
+        let batch = BatchProgram {
+            prog: MonotoneProgram::BFS,
+            lanes: vec![BatchLane::new(Some(NodeId::new(0)))],
+        };
+        let err = Engine::default()
+            .with_backend(BackendKind::CpuPool)
+            .with_cpu_options(CpuOptions {
+                threads: 2,
+                schedule: CpuSchedule::Virtual,
+                virtual_k: 0,
+                ..CpuOptions::default()
+            })
+            .run_batch(
+                &Representation::Original(&g),
+                &batch,
+                &mut BatchArena::new(),
+            );
+        assert!(
+            matches!(
+                err,
+                Err(EngineError::InvalidPlan(
+                    PlanError::VirtualScheduleWithoutView
+                ))
+            ),
+            "{err:?}"
+        );
+    }
+
+    /// Pull over a virtual split partitions a node's in-edge fold
+    /// across threads; a non-associative combine must be refused with
+    /// the Theorem 3 plan error, not silently computed wrong.
+    #[test]
+    fn pull_over_a_virtual_view_needs_associativity() {
+        let g = path_graph(8);
+        let overlay = VirtualGraph::new(&g, 2);
+        let rep = Representation::Virtual {
+            graph: &g,
+            overlay: &overlay,
+        };
+        let prog = MonotoneProgram {
+            associative: false,
+            ..MonotoneProgram::SSSP
+        };
+        let batch = BatchProgram {
+            prog,
+            lanes: vec![BatchLane::new(Some(NodeId::new(0)))],
+        };
+        let err = Engine::default()
+            .with_backend(BackendKind::CpuPool)
+            .with_direction(Direction::Pull)
+            .run_batch(&rep, &batch, &mut BatchArena::new());
+        assert!(
+            matches!(
+                err,
+                Err(EngineError::InvalidPlan(
+                    PlanError::PullNeedsAssociativity { program: "sssp" }
+                ))
+            ),
+            "{err:?}"
+        );
     }
 }

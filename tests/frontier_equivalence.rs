@@ -291,29 +291,17 @@ proptest! {
                     }
                 }
 
-                // CPU pool: direction × schedule. Pull has no CPU
-                // execution path and must be rejected by plan validation.
+                // CPU pool: direction × schedule. Pull and auto run
+                // through the batched executor's gather side (every
+                // program here has an associative combine, so pull is
+                // licensed on all three representations).
                 for direction in Direction::ALL {
                     for schedule in CpuSchedule::ALL {
                         let engine = Engine::new(GpuConfig::tiny())
                             .with_backend(BackendKind::CpuPool)
                             .with_direction(direction)
                             .with_cpu_options(cpu_opts(2, true, schedule));
-                        let result = engine.run_program(rep, prog, source);
-                        if direction == Direction::Pull {
-                            prop_assert!(
-                                matches!(
-                                    result,
-                                    Err(EngineError::InvalidPlan(
-                                        PlanError::PullUnsupportedOnBackend { .. }
-                                    ))
-                                ),
-                                "cpupool/{}/{}/pull must be a typed plan error",
-                                prog.name, label
-                            );
-                            continue;
-                        }
-                        let out = result.unwrap();
+                        let out = engine.run_program(rep, prog, source).unwrap();
                         prop_assert_eq!(
                             &out.values, &reference.values,
                             "cpupool/{}/{}/{}/{} diverged",
