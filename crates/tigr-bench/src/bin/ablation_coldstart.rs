@@ -1,0 +1,418 @@
+//! Cold-start ablation of the zero-copy storage layer: how fast a
+//! prepared artifact opens by owned decode versus memory map, across
+//! graph scales.
+//!
+//! For each R-MAT scale the harness builds a full artifact once (CSR +
+//! uniform weights + coalesced virtual overlay + transpose + mirrored
+//! reverse overlay), then repeatedly re-opens it three ways through
+//! [`GraphStore::prepare`] cache hits:
+//!
+//! * **decoded** — `--mmap off`: the whole container is read, every
+//!   payload hashed, and every section copied into owned heap arrays;
+//! * **mapped eager** — `--mmap auto --verify eager`: the artifact is
+//!   `mmap`ed, payload checksums are verified in place, and the CSR and
+//!   overlay tables borrow the mapping without copying;
+//! * **mapped lazy** — `--mmap auto --verify lazy`: only the header and
+//!   section table are validated; the open is O(table), independent of
+//!   graph size.
+//!
+//! Correctness is not taken on faith: at every scale, BFS / SSSP / SSWP
+//! / CC are run over the decoded, eager-mapped, and lazy-mapped views
+//! on all three backends (WarpSim, CpuPool, Sequential), and every run
+//! must produce the same FNV-1a64 value checksum — mapped storage may
+//! change where bytes live, never answers.
+//!
+//! Acceptance bar asserted in-process: at the largest benched scale the
+//! median lazy-mapped open must be at least **5x** faster than the
+//! median decoded open (1x under `--smoke`, whose artifacts are too
+//! small for the ratio to be meaningful).
+//!
+//! Output goes to stdout (aligned table) and to a machine-readable JSON
+//! file: `BENCH_coldstart.json` at the workspace root by default,
+//! `target/BENCH_coldstart.smoke.json` under `--smoke`; `--out <path>`
+//! overrides the destination. Peak RSS (`VmHWM`) and resident set
+//! (`VmRSS`) are sampled from `/proc/self/status` where available
+//! (best-effort; 0 elsewhere).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tigr_bench::print_table;
+use tigr_core::{GraphStore, MmapMode, OpenMode, PrepareSpec, PreparedGraph};
+use tigr_engine::{BackendKind, Engine, MonotoneProgram};
+use tigr_graph::io::VerifyMode;
+use tigr_graph::NodeId;
+use tigr_sim::GpuConfig;
+
+const SEED: u64 = 2018;
+
+/// FNV-1a over the little-endian bytes of `values` (the serving
+/// protocol's wire checksum, recomputed here so the bench stands alone).
+fn checksum(values: &[u32]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// `(VmRSS, VmHWM)` in kilobytes from `/proc/self/status`; `(0, 0)`
+/// where the file or the fields are unavailable.
+fn rss_kb() -> (u64, u64) {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return (0, 0);
+    };
+    let field = |name: &str| {
+        status
+            .lines()
+            .find(|l| l.starts_with(name))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    (field("VmRSS:"), field("VmHWM:"))
+}
+
+fn median_us(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// One way of opening the artifact, measured over repeated cache hits.
+struct OpenSeries {
+    label: &'static str,
+    mode: String,
+    median_us: u64,
+    open_us: Vec<u64>,
+    mapped_bytes: usize,
+    heap_bytes: usize,
+    rss_kb: u64,
+}
+
+/// Everything measured at one graph scale.
+struct ScaleResult {
+    scale: u32,
+    nodes: usize,
+    edges: usize,
+    artifact_bytes: u64,
+    build_us: u64,
+    decoded: OpenSeries,
+    eager: OpenSeries,
+    lazy: OpenSeries,
+    peak_rss_kb: u64,
+}
+
+impl ScaleResult {
+    fn speedup(&self, series: &OpenSeries) -> f64 {
+        self.decoded.median_us as f64 / series.median_us.max(1) as f64
+    }
+
+    fn row(&self) -> Vec<String> {
+        vec![
+            self.scale.to_string(),
+            self.nodes.to_string(),
+            self.edges.to_string(),
+            format!("{:.1}", self.artifact_bytes as f64 / (1024.0 * 1024.0)),
+            self.decoded.median_us.to_string(),
+            self.eager.median_us.to_string(),
+            self.lazy.median_us.to_string(),
+            format!("{:.1}", self.speedup(&self.eager)),
+            format!("{:.1}", self.speedup(&self.lazy)),
+            format!("{:.1}", self.lazy.mapped_bytes as f64 / (1024.0 * 1024.0)),
+        ]
+    }
+
+    fn json(&self) -> String {
+        let series = |s: &OpenSeries| {
+            format!(
+                "{{\"mode\": \"{}\", \"median_us\": {}, \"opens_us\": {:?}, \
+                 \"mapped_bytes\": {}, \"heap_bytes\": {}, \"rss_kb\": {}}}",
+                s.mode, s.median_us, s.open_us, s.mapped_bytes, s.heap_bytes, s.rss_kb
+            )
+        };
+        format!(
+            "{{\"scale\": {}, \"nodes\": {}, \"edges\": {}, \"artifact_bytes\": {}, \
+             \"build_us\": {}, \"decoded\": {}, \"mapped_eager\": {}, \"mapped_lazy\": {}, \
+             \"eager_speedup\": {:.2}, \"lazy_speedup\": {:.2}, \"peak_rss_kb\": {}}}",
+            self.scale,
+            self.nodes,
+            self.edges,
+            self.artifact_bytes,
+            self.build_us,
+            series(&self.decoded),
+            series(&self.eager),
+            series(&self.lazy),
+            self.speedup(&self.eager),
+            self.speedup(&self.lazy),
+            self.peak_rss_kb,
+        )
+    }
+}
+
+/// The spec benched at `scale`: every optional view, so the artifact
+/// carries CSR, transpose, and both overlay tables.
+fn spec_at(scale: u32, cache_dir: PathBuf) -> (GraphStore, PrepareSpec) {
+    let spec = PrepareSpec::generated(format!("rmat:{scale}:16"), SEED)
+        .with_uniform_weights(1, 64, SEED)
+        .with_virtual(8, true)
+        .with_transpose(true);
+    (GraphStore::new(Some(cache_dir)), spec)
+}
+
+/// Re-opens the already-warmed artifact `reps` times with the given
+/// policy, returning the measured series and the last opened graph.
+fn open_series(
+    store: &GraphStore,
+    spec: &PrepareSpec,
+    label: &'static str,
+    reps: usize,
+) -> (OpenSeries, PreparedGraph) {
+    let mut opens = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let p = store
+            .prepare(spec)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        let wall_us = t.elapsed().as_micros() as u64;
+        assert_eq!(
+            p.report().cache,
+            tigr_core::CacheStatus::Hit,
+            "{label}: open must be a cache hit"
+        );
+        opens.push(wall_us);
+        last = Some(p);
+    }
+    let p = last.expect("at least one rep");
+    let (_, hwm) = rss_kb();
+    let series = OpenSeries {
+        label,
+        mode: p.open_info().mode.label().to_string(),
+        median_us: median_us(&mut opens.clone()),
+        open_us: opens,
+        mapped_bytes: p.open_info().mapped_bytes,
+        heap_bytes: p.open_info().heap_bytes,
+        rss_kb: hwm,
+    };
+    (series, p)
+}
+
+/// Runs every analytic on every backend over `prepared` and checks each
+/// value checksum against `reference` (filling it on the first pass).
+fn check_answers(
+    prepared: &PreparedGraph,
+    label: &str,
+    reference: &mut Vec<((&'static str, &'static str), u64)>,
+) {
+    let programs = [
+        ("bfs", MonotoneProgram::BFS),
+        ("sssp", MonotoneProgram::SSSP),
+        ("sswp", MonotoneProgram::SSWP),
+        ("cc", MonotoneProgram::CC),
+    ];
+    let backends = [
+        ("warpsim", BackendKind::WarpSim),
+        ("cpupool", BackendKind::CpuPool),
+        ("sequential", BackendKind::Sequential),
+    ];
+    let mut fresh = reference.is_empty();
+    for (prog_label, prog) in programs {
+        let source = (prog_label != "cc").then(|| NodeId::new(0));
+        for (backend_label, backend) in backends {
+            let engine = Engine::parallel(GpuConfig::default()).with_backend(backend);
+            let out = engine
+                .run_prepared(prepared, prog, source)
+                .unwrap_or_else(|e| panic!("{label}/{prog_label}/{backend_label}: {e}"));
+            let sum = checksum(&out.values);
+            let key = (prog_label, backend_label);
+            if fresh {
+                reference.push((key, sum));
+            } else {
+                let (_, expect) = reference
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .expect("reference filled on first pass");
+                assert_eq!(
+                    sum, *expect,
+                    "{label}: {prog_label} on {backend_label} diverged"
+                );
+            }
+        }
+    }
+    fresh = false;
+    let _ = fresh;
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    // Smoke: tiny scales, few reps — a CI-speed compile-and-run gate.
+    // Full: up to 65k nodes / ~1M edges, where the decode cost the map
+    // avoids is unambiguous.
+    let (scales, reps): (&[u32], usize) = if smoke {
+        (&[8, 10], 3)
+    } else {
+        (&[12, 14, 16], 7)
+    };
+    let gate = if smoke { 1.0 } else { 5.0 };
+    let out_path = flag("--out").unwrap_or_else(|| {
+        if smoke {
+            "target/BENCH_coldstart.smoke.json".to_string()
+        } else {
+            "BENCH_coldstart.json".to_string()
+        }
+    });
+
+    let mut results: Vec<ScaleResult> = Vec::new();
+    for &scale in scales {
+        let dir =
+            std::env::temp_dir().join(format!("tigr_coldstart_s{scale}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let (base_store, spec) = spec_at(scale, dir.clone());
+
+        // Build the artifact once (the cold miss every open then hits).
+        let t = Instant::now();
+        let built = base_store.prepare(&spec).expect("build artifact");
+        let build_us = t.elapsed().as_micros() as u64;
+        let (nodes, edges) = (built.graph().num_nodes(), built.graph().num_edges());
+        let artifact_bytes = std::fs::metadata(built.report().artifact.as_ref().unwrap())
+            .expect("artifact written")
+            .len();
+        eprintln!(
+            "scale {scale}: {nodes} nodes, {edges} edges, artifact {:.1} MiB, built in {:.1?}",
+            artifact_bytes as f64 / (1024.0 * 1024.0),
+            t.elapsed()
+        );
+        drop(built);
+
+        let (decoded, decoded_p) = open_series(
+            &base_store.clone().with_mmap(MmapMode::Off),
+            &spec,
+            "decoded",
+            reps,
+        );
+        let (eager, eager_p) = open_series(
+            &base_store.clone().with_verify(VerifyMode::Eager),
+            &spec,
+            "mapped-eager",
+            reps,
+        );
+        let (lazy, lazy_p) = open_series(
+            &base_store.clone().with_verify(VerifyMode::Lazy),
+            &spec,
+            "mapped-lazy",
+            reps,
+        );
+        assert_eq!(decoded_p.open_info().mode, OpenMode::Decoded);
+        if cfg!(all(
+            unix,
+            target_pointer_width = "64",
+            target_endian = "little"
+        )) {
+            assert_eq!(eager_p.open_info().mode, OpenMode::Mapped);
+            assert_eq!(lazy_p.open_info().mode, OpenMode::Mapped);
+            assert_eq!(decoded_p.open_info().mapped_bytes, 0);
+            assert!(lazy_p.open_info().mapped_bytes > 0);
+        }
+
+        // Value-checksum equivalence: mapped and decoded views must be
+        // indistinguishable to every analytic on every backend.
+        let mut reference = Vec::new();
+        for (label, p) in [
+            ("decoded", &decoded_p),
+            ("mapped-eager", &eager_p),
+            ("mapped-lazy", &lazy_p),
+        ] {
+            check_answers(p, label, &mut reference);
+        }
+        eprintln!(
+            "scale {scale}: {} (algo x backend x open-mode) runs agree on value checksums",
+            reference.len() * 3
+        );
+
+        let (_, peak_rss_kb) = rss_kb();
+        results.push(ScaleResult {
+            scale,
+            nodes,
+            edges,
+            artifact_bytes,
+            build_us,
+            decoded,
+            eager,
+            lazy,
+            peak_rss_kb,
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    print_table(
+        "cold-start: artifact open time by policy (median us)",
+        &[
+            "scale",
+            "nodes",
+            "edges",
+            "MiB",
+            "decoded",
+            "eager",
+            "lazy",
+            "eager x",
+            "lazy x",
+            "mapped MiB",
+        ],
+        &results.iter().map(ScaleResult::row).collect::<Vec<_>>(),
+    );
+
+    // --- Map-is-faster gate ------------------------------------------
+    let largest = results.last().expect("at least one scale");
+    let lazy_speedup = largest.speedup(&largest.lazy);
+    let eager_speedup = largest.speedup(&largest.eager);
+    println!(
+        "\ncold-start gate at scale {}: decoded {} us vs lazy-mapped {} us = {lazy_speedup:.1}x \
+         (eager-mapped {} us = {eager_speedup:.1}x; committed gate {gate:.1}x{})",
+        largest.scale,
+        largest.decoded.median_us,
+        largest.lazy.median_us,
+        largest.eager.median_us,
+        if smoke { ", smoke" } else { "" },
+    );
+    assert!(
+        lazy_speedup >= gate,
+        "lazy-mapped open at scale {} is only {lazy_speedup:.2}x faster than decoded \
+         (gate {gate:.1}x)",
+        largest.scale
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"coldstart\",\n  \"smoke\": {smoke},\n  \"reps\": {reps},\n  \
+         \"gate\": {{\"at_scale\": {}, \"lazy_speedup\": {lazy_speedup:.2}, \
+         \"eager_speedup\": {eager_speedup:.2}, \"required\": {gate:.1}}},\n  \
+         \"scales\": [\n    {}\n  ]\n}}\n",
+        largest.scale,
+        results
+            .iter()
+            .map(ScaleResult::json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write JSON output");
+    println!("\nwrote {out_path}");
+    // The label field keeps panic messages self-describing; read it so
+    // the struct field is exercised even on the happy path.
+    for r in &results {
+        debug_assert_eq!(r.decoded.label, "decoded");
+    }
+}

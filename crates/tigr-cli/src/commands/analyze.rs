@@ -17,7 +17,7 @@ pub fn run(args: &Args) -> CmdResult {
     if k < 2 {
         return Err("--k must be at least 2".into());
     }
-    let prepared = store_from_args(args)
+    let prepared = store_from_args(args)?
         .prepare(&PrepareSpec::from_file(path))
         .map_err(|e| format!("cannot load {path}: {e}"))?;
     let g = prepared.graph();

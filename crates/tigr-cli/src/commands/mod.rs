@@ -2,6 +2,7 @@
 //! commands are unit-testable without spawning processes.
 
 use tigr_core::GraphStore;
+use tigr_graph::io::VerifyMode;
 
 use crate::args::Args;
 
@@ -32,27 +33,62 @@ pub fn timeout_message(detail: impl std::fmt::Display) -> String {
 
 /// The artifact store every graph-consuming command resolves inputs
 /// through: `--cache-dir DIR` wins, then the `TIGR_CACHE_DIR`
-/// environment variable; with neither, caching is off.
-pub fn store_from_args(args: &Args) -> GraphStore {
-    match args.flag("cache-dir") {
-        Some(dir) => GraphStore::new(Some(dir.into())),
+/// environment variable; with neither, caching is off. `--mmap
+/// on|off|auto` sets the map-vs-decode policy (over the `TIGR_MMAP`
+/// environment default) and `--verify eager|lazy` the artifact
+/// verification level (over `TIGR_VERIFY`).
+///
+/// # Errors
+///
+/// Returns a message for an unrecognized `--mmap` or `--verify` value.
+pub fn store_from_args(args: &Args) -> Result<GraphStore, String> {
+    let mut store = match args.flag("cache-dir") {
+        Some(dir) => {
+            // An explicit cache dir still honours the environment's map
+            // and verify policy as the baseline.
+            GraphStore::from_env().with_cache_dir(Some(dir.into()))
+        }
         None => GraphStore::from_env(),
+    };
+    if let Some(v) = args.flag("mmap") {
+        let mode = tigr_core::MmapMode::parse(v)
+            .ok_or_else(|| format!("invalid value `{v}` for --mmap (expected on|off|auto)"))?;
+        store = store.with_mmap(mode);
     }
+    if let Some(v) = args.flag("verify") {
+        let mode = VerifyMode::parse(v)
+            .ok_or_else(|| format!("invalid value `{v}` for --verify (expected eager|lazy)"))?;
+        store = store.with_verify(mode);
+    }
+    Ok(store)
 }
 
 /// Renders the cache/prep-work report lines appended under `--stats`:
-/// cache outcome, the cache key, the resolved artifact path, and the
-/// derivation-work counters — everything an operator needs to pre-warm
-/// a server's cache deterministically.
-pub fn format_prepare_report(report: &tigr_core::PrepareReport) -> String {
+/// cache outcome, the cache key, how the artifact was opened
+/// (mapped/decoded/built, verify level, wall time, mapped-vs-heap byte
+/// split), the resolved artifact path, and the derivation-work counters
+/// — everything an operator needs to pre-warm a server's cache
+/// deterministically.
+///
+/// Every line that can differ between a cold and a warm run of the same
+/// spec starts with `cache` or `prep work`, so byte-equality checks can
+/// strip them by prefix.
+pub fn format_prepare_report(prepared: &tigr_core::PreparedGraph) -> String {
+    let report = prepared.report();
+    let open = prepared.open_info();
     let artifact = match &report.artifact {
         Some(path) => path.display().to_string(),
         None => "none (caching disabled; set --cache-dir or TIGR_CACHE_DIR)".to_string(),
     };
     format!(
-        "cache           {} (key {})\nartifact        {artifact}\nprep work       {} transforms, {} transposes, {} overlays\n",
+        "cache           {} (key {})\ncache open      {} (verify {}) in {} us\ncache bytes     {} mapped, {} heap\nartifact        {artifact}\nprep work       {} transforms, {} transposes, {} overlays\n",
         report.cache.label(),
         report.key,
+        open.mode.label(),
+        open.verify.label(),
+        open.open_us,
+        open.mapped_bytes,
+        open.heap_bytes,
         report.transforms_built,
         report.transposes_built,
         report.overlays_built,

@@ -60,7 +60,7 @@ pub fn run(args: &Args) -> CmdResult {
         }
         None => CancelToken::never(),
     };
-    let store = store_from_args(args);
+    let store = store_from_args(args)?;
     let prepared = store
         .prepare_cancellable(&spec, &cancel)
         .map_err(|e| match e {
@@ -100,13 +100,14 @@ pub fn run(args: &Args) -> CmdResult {
         } else {
             views.join(", ")
         },
-        format_prepare_report(prepared.report()),
+        format_prepare_report(&prepared),
     ))
 }
 
 const USAGE: &str = "usage: tigr prepare --graph <file> [--virtual K [--coalesced]] \
 [--transform udt|star|recursive-star|circular|clique [--k K] [--dumb zero|inf|none]] \
-[--direction push|pull|auto] [--deadline-ms MS] [--cache-dir DIR]";
+[--direction push|pull|auto] [--deadline-ms MS] [--cache-dir DIR] \
+[--mmap on|off|auto] [--verify eager|lazy]";
 
 #[cfg(test)]
 mod tests {

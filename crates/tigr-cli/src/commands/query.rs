@@ -25,7 +25,7 @@ pub fn run(args: &Args) -> CmdResult {
         }
         "stats" => {
             let s = client.stats().map_err(render_client_error)?;
-            Ok(format!(
+            let mut out = format!(
                 "queries         {} received / {} completed / {} rejected / {} failed\n\
                  queue depth     {} (workers {})\n\
                  latency         p50 {} us / p95 {} us\n\
@@ -50,7 +50,14 @@ pub fn run(args: &Args) -> CmdResult {
                 s.batch_occupancy(),
                 s.max_batch,
                 s.formation_wait_us,
-            ))
+            );
+            for g in &s.graphs {
+                out.push_str(&format!(
+                    "graph {:<9} {} (verify {}) opened in {} us, {} bytes mapped / {} heap\n",
+                    g.name, g.open, g.verify, g.open_us, g.mapped_bytes, g.heap_bytes,
+                ));
+            }
+            Ok(out)
         }
         algo_label => {
             let algo = Algo::parse(algo_label)
@@ -169,6 +176,10 @@ mod tests {
         let stats = run(&parse(&format!("stats --addr {addr}"))).unwrap();
         assert!(stats.contains("2 completed"), "{stats}");
         assert!(stats.contains("1 hits"), "{stats}");
+        // The registry section reports how each graph was opened; the
+        // fixture builds without a cache, so the demo graph is `built`.
+        assert!(stats.contains("graph demo      built"), "{stats}");
+        assert!(stats.contains("opened in"), "{stats}");
         server.shutdown();
     }
 

@@ -89,7 +89,7 @@ pub fn run(args: &Args) -> CmdResult {
         }
         None => CancelToken::never(),
     };
-    let prepared = store_from_args(args)
+    let prepared = store_from_args(args)?
         .prepare_cancellable(&spec, &cancel)
         .map_err(|e| match e {
             tigr_graph::GraphError::Cancelled => {
@@ -117,7 +117,7 @@ pub fn run(args: &Args) -> CmdResult {
             args, g, analytic, source, worklist, schedule, direction, &cancel,
         )?;
         if args.switch("stats") {
-            out.push_str(&format_prepare_report(prepared.report()));
+            out.push_str(&format_prepare_report(&prepared));
         }
         return Ok(out);
     }
@@ -247,7 +247,7 @@ pub fn run(args: &Args) -> CmdResult {
         100.0 * report.warp_efficiency(),
     ));
     if args.switch("stats") {
-        out.push_str(&format_prepare_report(prepared.report()));
+        out.push_str(&format_prepare_report(&prepared));
     }
     if args.switch("report") {
         out.push_str("per-iteration cycles:\n");
@@ -467,7 +467,7 @@ fn format_schedule_stats(sched: &ScheduleStats) -> String {
 const USAGE: &str = "usage: tigr run <bfs|sssp|sswp|cc|pr|bc> --graph <file> \
 [--source N] [--virtual K [--coalesced]] [--direction push|pull|auto] \
 [--frontier auto|dense|sparse|off] [--deadline-ms MS] [--report] [--stats] \
-[--cache-dir DIR] \
+[--cache-dir DIR] [--mmap on|off|auto] [--verify eager|lazy] \
 [--cpu [--cpu-schedule node-chunk|edge-balanced|virtual] [--threads N]]";
 
 #[cfg(test)]

@@ -58,7 +58,7 @@ pub fn run(args: &Args) -> CmdResult {
         let k: u32 = k.parse().map_err(|_| "invalid --virtual K".to_string())?;
         spec = spec.with_virtual(k, args.switch("coalesced"));
     }
-    let prepared = store_from_args(args)
+    let prepared = store_from_args(args)?
         .prepare(&spec)
         .map_err(|e| format!("cannot load {path}: {e}"))?;
     let nodes = prepared.graph().num_nodes();
@@ -126,7 +126,8 @@ const USAGE: &str = "usage: tigr serve --graph <file> [--name N] \
 [--executors N] [--kernel-threads N] [--queue N] \
 [--cache-capacity N] [--default-deadline-ms MS] \
 [--batch-max N] [--batch-wait-us US] \
-[--virtual K [--coalesced]] [--duration SECS] [--cache-dir DIR]";
+[--virtual K [--coalesced]] [--duration SECS] [--cache-dir DIR] \
+[--mmap on|off|auto] [--verify eager|lazy]";
 
 #[cfg(test)]
 mod tests {

@@ -29,7 +29,7 @@ pub fn run(args: &Args) -> CmdResult {
     };
 
     let spec = PrepareSpec::from_file(&input).with_transform(kind, k, dumb);
-    let prepared = store_from_args(args)
+    let prepared = store_from_args(args)?
         .prepare(&spec)
         .map_err(|e| format!("cannot load {input}: {e}"))?;
     let g = prepared.graph();
@@ -51,7 +51,7 @@ pub fn run(args: &Args) -> CmdResult {
         100.0 * t.space_cost_ratio(g),
     );
     if args.switch("stats") {
-        out.push_str(&format_prepare_report(prepared.report()));
+        out.push_str(&format_prepare_report(&prepared));
     }
     Ok(out)
 }

@@ -58,7 +58,7 @@ pub use split::{
     TransformedGraph,
 };
 pub use store::{
-    CacheStatus, GraphSource, GraphStore, PrepareReport, PrepareSpec, PreparedGraph, TransformKind,
-    TransformSpec,
+    CacheStatus, GraphSource, GraphStore, MmapMode, OpenInfo, OpenMode, PrepareReport, PrepareSpec,
+    PreparedGraph, TransformKind, TransformSpec,
 };
 pub use virtual_graph::{EdgeCursor, OnTheFlyMapper, VirtualGraph, VirtualNode};

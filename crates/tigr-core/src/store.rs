@@ -30,13 +30,15 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use tigr_graph::io::{
-    self, find_section, fnv1a64, Section, SECTION_CSR, SECTION_OVERLAY, SECTION_REV_OVERLAY,
-    SECTION_SPEC, SECTION_TRANSFORM, SECTION_TRANSPOSE,
+    self, find_section, fnv1a64, MappedContainer, Section, VerifyMode, SECTION_CSR,
+    SECTION_OVERLAY, SECTION_REV_OVERLAY, SECTION_SPEC, SECTION_TRANSFORM, SECTION_TRANSPOSE,
 };
 use tigr_graph::reverse::transpose;
-use tigr_graph::{generators, Csr, GraphError, Result};
+use tigr_graph::{generators, Csr, GraphError, Result, Segment};
 
 use crate::cancel::CancelToken;
 use crate::dumb_weights::DumbWeight;
@@ -246,6 +248,83 @@ impl PrepareSpec {
     }
 }
 
+/// Map-vs-decode policy for opening cached artifacts (see
+/// [`GraphStore::with_mmap`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MmapMode {
+    /// Always serve cache hits from a memory mapping, and re-open the
+    /// freshly written artifact by map after a miss so the process ends
+    /// up on mapped storage either way.
+    On,
+    /// Never map: cache hits are decoded into owned heap arrays.
+    Off,
+    /// Map on cache hit, keep the in-memory views just built on a miss
+    /// (skipping a redundant re-open). The default.
+    #[default]
+    Auto,
+}
+
+impl MmapMode {
+    /// Parses `on` / `off` / `auto` (as accepted by `--mmap` and the
+    /// `TIGR_MMAP` environment variable).
+    pub fn parse(s: &str) -> Option<MmapMode> {
+        match s {
+            "on" => Some(MmapMode::On),
+            "off" => Some(MmapMode::Off),
+            "auto" => Some(MmapMode::Auto),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling (`on` / `off` / `auto`).
+    pub fn label(self) -> &'static str {
+        match self {
+            MmapMode::On => "on",
+            MmapMode::Off => "off",
+            MmapMode::Auto => "auto",
+        }
+    }
+}
+
+/// How a [`PreparedGraph`]'s views ended up in memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpenMode {
+    /// Views borrow a memory-mapped artifact; payload bytes were never
+    /// copied onto the heap.
+    Mapped,
+    /// Views were decoded from an artifact into owned heap arrays.
+    Decoded,
+    /// Views were derived from the source (cache miss or caching off).
+    Built,
+}
+
+impl OpenMode {
+    /// Stable lowercase label (`mapped`/`decoded`/`built`).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpenMode::Mapped => "mapped",
+            OpenMode::Decoded => "decoded",
+            OpenMode::Built => "built",
+        }
+    }
+}
+
+/// How a [`PreparedGraph`] was opened: mode, verification level, wall
+/// time, and where its view bytes live (mapped segment vs heap).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpenInfo {
+    /// How the views came to be (mapped / decoded / built).
+    pub mode: OpenMode,
+    /// Verification level the open used (meaningless for `Built`).
+    pub verify: VerifyMode,
+    /// Wall-clock microseconds the open (or build) took.
+    pub open_us: u64,
+    /// View bytes served from a mapped segment.
+    pub mapped_bytes: usize,
+    /// View bytes owned on the heap.
+    pub heap_bytes: usize,
+}
+
 /// Outcome of the cache consultation for one [`GraphStore::prepare`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CacheStatus {
@@ -304,6 +383,10 @@ pub struct PreparedGraph {
     rev_overlay: Option<VirtualGraph>,
     transformed: Option<TransformedGraph>,
     report: PrepareReport,
+    /// Backing segment when views borrow a mapped (or owned-container)
+    /// artifact; keeps the mapping alive for the views' lifetime.
+    segment: Option<Arc<Segment>>,
+    open: OpenInfo,
 }
 
 impl PreparedGraph {
@@ -338,6 +421,58 @@ impl PreparedGraph {
         &self.report
     }
 
+    /// How the views were opened (mode, wall time, byte accounting).
+    pub fn open_info(&self) -> &OpenInfo {
+        &self.open
+    }
+
+    /// `true` when the views borrow a memory-mapped artifact.
+    pub fn is_mapped(&self) -> bool {
+        self.open.mode == OpenMode::Mapped
+    }
+
+    /// The artifact segment backing mapped views, when there is one.
+    pub fn segment(&self) -> Option<&Arc<Segment>> {
+        self.segment.as_ref()
+    }
+
+    /// Sums mapped-vs-heap bytes across every view.
+    fn tally_bytes(&self) -> (usize, usize) {
+        let mut mapped = self.graph.mapped_bytes();
+        let mut heap = self.graph.heap_bytes();
+        if let Some(t) = &self.transpose {
+            mapped += t.mapped_bytes();
+            heap += t.heap_bytes();
+        }
+        for vg in [&self.overlay, &self.rev_overlay].into_iter().flatten() {
+            mapped += vg.mapped_bytes();
+            heap += vg.heap_bytes();
+        }
+        if let Some(t) = &self.transformed {
+            heap += t.graph().heap_bytes();
+        }
+        (mapped, heap)
+    }
+
+    /// Installs the open record, deriving the byte tallies and
+    /// downgrading `Mapped` to `Decoded` when the views did not actually
+    /// end up borrowing a mapping (alignment or platform fallback).
+    fn finish_open(&mut self, mode: OpenMode, verify: VerifyMode, started: Instant) {
+        let (mapped_bytes, heap_bytes) = self.tally_bytes();
+        let mode = if mode == OpenMode::Mapped && mapped_bytes == 0 {
+            OpenMode::Decoded
+        } else {
+            mode
+        };
+        self.open = OpenInfo {
+            mode,
+            verify,
+            open_us: started.elapsed().as_micros() as u64,
+            mapped_bytes,
+            heap_bytes,
+        };
+    }
+
     /// Consumes the prepared graph, returning the owned base CSR (for
     /// callers that only need the graph itself).
     pub fn into_graph(self) -> Csr {
@@ -354,6 +489,7 @@ impl fmt::Debug for PreparedGraph {
             .field("overlay", &self.overlay.is_some())
             .field("transformed", &self.transformed.is_some())
             .field("cache", &self.report.cache)
+            .field("open", &self.open.mode)
             .finish()
     }
 }
@@ -363,29 +499,82 @@ impl fmt::Debug for PreparedGraph {
 #[derive(Clone, Debug)]
 pub struct GraphStore {
     cache_dir: Option<PathBuf>,
+    mmap: MmapMode,
+    verify: VerifyMode,
 }
 
 impl GraphStore {
-    /// Store caching under `cache_dir` (`None` disables caching).
+    /// Store caching under `cache_dir` (`None` disables caching), with
+    /// the default map policy ([`MmapMode::Auto`]) and eager
+    /// verification.
     pub fn new(cache_dir: Option<PathBuf>) -> Self {
-        GraphStore { cache_dir }
+        GraphStore {
+            cache_dir,
+            mmap: MmapMode::default(),
+            verify: VerifyMode::default(),
+        }
     }
 
     /// Store with caching disabled.
     pub fn disabled() -> Self {
-        GraphStore { cache_dir: None }
+        GraphStore::new(None)
     }
 
-    /// Store configured from the `TIGR_CACHE_DIR` environment variable.
+    /// Store configured from the environment: `TIGR_CACHE_DIR` for the
+    /// cache directory, `TIGR_MMAP` (`on`/`off`/`auto`) for the map
+    /// policy, and `TIGR_VERIFY` (`eager`/`lazy`) for artifact
+    /// verification. Unset or unrecognized values fall back to the
+    /// defaults.
     pub fn from_env() -> Self {
+        let mmap = std::env::var("TIGR_MMAP")
+            .ok()
+            .and_then(|s| MmapMode::parse(&s))
+            .unwrap_or_default();
+        let verify = std::env::var("TIGR_VERIFY")
+            .ok()
+            .and_then(|s| VerifyMode::parse(&s))
+            .unwrap_or_default();
         GraphStore {
             cache_dir: std::env::var_os("TIGR_CACHE_DIR").map(PathBuf::from),
+            mmap,
+            verify,
         }
+    }
+
+    /// Replaces the cache directory, keeping the map and verify policy.
+    #[must_use]
+    pub fn with_cache_dir(mut self, cache_dir: Option<PathBuf>) -> Self {
+        self.cache_dir = cache_dir;
+        self
+    }
+
+    /// Sets the map-vs-decode policy for artifact opens.
+    #[must_use]
+    pub fn with_mmap(mut self, mode: MmapMode) -> Self {
+        self.mmap = mode;
+        self
+    }
+
+    /// Sets the verification level for artifact opens.
+    #[must_use]
+    pub fn with_verify(mut self, verify: VerifyMode) -> Self {
+        self.verify = verify;
+        self
     }
 
     /// The configured cache directory, if any.
     pub fn cache_dir(&self) -> Option<&Path> {
         self.cache_dir.as_deref()
+    }
+
+    /// The configured map-vs-decode policy.
+    pub fn mmap(&self) -> MmapMode {
+        self.mmap
+    }
+
+    /// The configured verification level.
+    pub fn verify(&self) -> VerifyMode {
+        self.verify
     }
 
     /// Resolves `spec` into a [`PreparedGraph`]: loads a cached artifact
@@ -441,7 +630,13 @@ impl GraphStore {
 
         if let Some(path) = &artifact {
             if path.exists() {
-                match load_artifact(path, spec, &canonical) {
+                match load_artifact(
+                    path,
+                    spec,
+                    &canonical,
+                    self.mmap != MmapMode::Off,
+                    self.verify,
+                ) {
                     Ok(mut prepared) => {
                         prepared.report = PrepareReport {
                             cache: CacheStatus::Hit,
@@ -479,6 +674,7 @@ impl GraphStore {
         if cancel.is_cancelled() {
             return Err(GraphError::Cancelled);
         }
+        let build_started = Instant::now();
         let mut graph = match &spec.source {
             GraphSource::File(path) => parse_graph_bytes(path, &file_bytes.unwrap())?,
             GraphSource::Generated { tag, seed } => generate_from_tag(tag, *seed)?,
@@ -530,26 +726,56 @@ impl GraphStore {
             _ => None,
         };
 
-        let prepared = PreparedGraph {
+        let mut prepared = PreparedGraph {
             graph,
             transpose: rev,
             overlay,
             rev_overlay,
             transformed,
             report,
+            segment: None,
+            open: PLACEHOLDER_OPEN,
         };
+        prepared.finish_open(OpenMode::Built, self.verify, build_started);
 
         if let Some(path) = &artifact {
-            if let Err(e) = write_artifact(path, &prepared, &canonical) {
-                eprintln!(
+            match write_artifact(path, &prepared, &canonical) {
+                Ok(()) if self.mmap == MmapMode::On => {
+                    // The policy demands mapped storage: swap the just
+                    // built heap views for borrowed views of the artifact
+                    // that was just written. Any failure keeps the built
+                    // views — the result is identical either way.
+                    match load_artifact(path, spec, &canonical, true, self.verify) {
+                        Ok(mut mapped) => {
+                            mapped.report = prepared.report.clone();
+                            return Ok(mapped);
+                        }
+                        Err(e) => eprintln!(
+                            "tigr: could not re-open artifact {} by map ({e}); keeping built views",
+                            path.display()
+                        ),
+                    }
+                }
+                Ok(()) => {}
+                Err(e) => eprintln!(
                     "tigr: failed to write cache artifact {} ({e})",
                     path.display()
-                );
+                ),
             }
         }
         Ok(prepared)
     }
 }
+
+/// Open record used while a [`PreparedGraph`] is under construction,
+/// before [`PreparedGraph::finish_open`] installs the real one.
+const PLACEHOLDER_OPEN: OpenInfo = OpenInfo {
+    mode: OpenMode::Built,
+    verify: VerifyMode::Eager,
+    open_us: 0,
+    mapped_bytes: 0,
+    heap_bytes: 0,
+};
 
 /// Parses graph bytes using the format implied by `path`'s extension
 /// (mirrors `tigr_graph::io::load_path`, but over already-read bytes).
@@ -619,7 +845,132 @@ fn generate_from_tag(tag: &str, seed: u64) -> Result<Csr> {
 /// Loads and validates a cached artifact against `spec`: the embedded
 /// canonical string must match, and every view the spec requires must be
 /// present. Any failure is an error the caller downgrades to a miss.
-fn load_artifact(path: &Path, spec: &PrepareSpec, canonical: &str) -> Result<PreparedGraph> {
+///
+/// With `mmap` the artifact is opened through [`MappedContainer`] and
+/// the CSR/overlay views borrow the mapping in place (on 64-bit
+/// little-endian targets; elsewhere the container transparently decodes
+/// into owned arrays). Without it the artifact is read and decoded onto
+/// the heap as before.
+fn load_artifact(
+    path: &Path,
+    spec: &PrepareSpec,
+    canonical: &str,
+    mmap: bool,
+    verify: VerifyMode,
+) -> Result<PreparedGraph> {
+    if mmap {
+        load_artifact_mapped(path, spec, canonical, verify)
+    } else {
+        load_artifact_decoded(path, spec, canonical)
+    }
+}
+
+/// Placeholder report installed by the load paths; the caller overwrites
+/// it with the real cache outcome.
+fn placeholder_report() -> PrepareReport {
+    PrepareReport {
+        cache: CacheStatus::Hit,
+        key: String::new(),
+        artifact: None,
+        transforms_built: 0,
+        transposes_built: 0,
+        overlays_built: 0,
+    }
+}
+
+/// The zero-copy open path: map the artifact, validate the section table
+/// (and, under eager verification, every payload checksum), then borrow
+/// the CSR and overlay tables directly from the mapping.
+fn load_artifact_mapped(
+    path: &Path,
+    spec: &PrepareSpec,
+    canonical: &str,
+    verify: VerifyMode,
+) -> Result<PreparedGraph> {
+    let started = Instant::now();
+    let container = MappedContainer::open(path, verify)?;
+    let stale = |what: &str| GraphError::InvalidFormat(format!("artifact {what}"));
+    let invalid = GraphError::InvalidFormat;
+
+    let echoed = container
+        .section_bytes(SECTION_SPEC)
+        .ok_or_else(|| stale("has no spec section"))?;
+    if echoed != canonical.as_bytes() {
+        return Err(stale("spec echo mismatch (stale or hash collision)"));
+    }
+    let graph = container
+        .csr(SECTION_CSR)?
+        .ok_or_else(|| stale("has no CSR section"))?;
+    let rev = if spec.transpose {
+        Some(
+            container
+                .csr(SECTION_TRANSPOSE)?
+                .ok_or_else(|| stale("lacks required transpose section"))?,
+        )
+    } else {
+        None
+    };
+    let deep_validate = verify == VerifyMode::Eager;
+    let overlay = if spec.virtual_k.is_some() {
+        let vg = VirtualGraph::from_container(&container, SECTION_OVERLAY, deep_validate)
+            .map_err(invalid)?
+            .ok_or_else(|| stale("lacks required overlay section"))?;
+        if vg.num_physical_nodes() != graph.num_nodes() {
+            return Err(stale("overlay does not match CSR"));
+        }
+        Some(vg)
+    } else {
+        None
+    };
+    let rev_overlay = match (&rev, spec.virtual_k) {
+        (Some(rev), Some(_)) => {
+            let vg = VirtualGraph::from_container(&container, SECTION_REV_OVERLAY, deep_validate)
+                .map_err(invalid)?
+                .ok_or_else(|| stale("lacks required reverse-overlay section"))?;
+            if vg.num_physical_nodes() != rev.num_nodes() {
+                return Err(stale("reverse overlay does not match transpose"));
+            }
+            Some(vg)
+        }
+        _ => None,
+    };
+    let transformed = if spec.transform.is_some() {
+        let bytes = container
+            .section_bytes(SECTION_TRANSFORM)
+            .ok_or_else(|| stale("lacks required transform section"))?;
+        Some(TransformedGraph::from_section_bytes(bytes).map_err(invalid)?)
+    } else {
+        None
+    };
+
+    let mode = if container.is_mapped() {
+        OpenMode::Mapped
+    } else {
+        OpenMode::Decoded
+    };
+    let mut prepared = PreparedGraph {
+        graph,
+        transpose: rev,
+        overlay,
+        rev_overlay,
+        transformed,
+        report: placeholder_report(),
+        segment: Some(Arc::clone(container.segment())),
+        open: PLACEHOLDER_OPEN,
+    };
+    prepared.finish_open(mode, verify, started);
+    Ok(prepared)
+}
+
+/// The classic open path: read the whole artifact and decode every
+/// section into owned heap arrays. Always verifies eagerly —
+/// [`io::read_container`] hashes every payload as part of parsing.
+fn load_artifact_decoded(
+    path: &Path,
+    spec: &PrepareSpec,
+    canonical: &str,
+) -> Result<PreparedGraph> {
+    let started = Instant::now();
     let sections = io::read_container(fs::File::open(path)?)?;
     let stale = |what: &str| GraphError::InvalidFormat(format!("artifact {what}"));
 
@@ -670,22 +1021,18 @@ fn load_artifact(path: &Path, spec: &PrepareSpec, canonical: &str) -> Result<Pre
         None
     };
 
-    Ok(PreparedGraph {
+    let mut prepared = PreparedGraph {
         graph,
         transpose: rev,
         overlay,
         rev_overlay,
         transformed,
-        // Placeholder; the caller installs the real report.
-        report: PrepareReport {
-            cache: CacheStatus::Hit,
-            key: String::new(),
-            artifact: None,
-            transforms_built: 0,
-            transposes_built: 0,
-            overlays_built: 0,
-        },
-    })
+        report: placeholder_report(),
+        segment: None,
+        open: PLACEHOLDER_OPEN,
+    };
+    prepared.finish_open(OpenMode::Decoded, VerifyMode::Eager, started);
+    Ok(prepared)
 }
 
 /// Monotone counter distinguishing concurrent temp files within one
@@ -721,8 +1068,20 @@ fn write_artifact(path: &Path, prepared: &PreparedGraph, canonical: &str) -> Res
         std::process::id(),
         TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
     ));
-    io::write_container(&sections, fs::File::create(&tmp)?)?;
+    // Durability, not just atomicity: fsync the temp file before the
+    // rename (so the rename never publishes a name for unwritten data)
+    // and fsync the directory after it (so the rename itself survives a
+    // crash). Without these a power loss can leave a valid-looking path
+    // whose artifact bytes were lost with the page cache — exactly the
+    // kind of torn artifact the checksum layer would then reject on
+    // every subsequent open.
+    let file = fs::File::create(&tmp)?;
+    io::write_container(&sections, &file)?;
+    file.sync_all()?;
     fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        fs::File::open(dir)?.sync_all()?;
+    }
     Ok(())
 }
 
@@ -971,6 +1330,104 @@ mod tests {
         assert_send_sync::<PreparedGraph>();
         assert_send_sync::<GraphStore>();
         assert_send_sync::<PrepareReport>();
+    }
+
+    /// Whether this target supports the zero-copy open path at all
+    /// (elsewhere the container transparently decodes).
+    fn zero_copy_target() -> bool {
+        cfg!(all(
+            unix,
+            target_pointer_width = "64",
+            target_endian = "little"
+        ))
+    }
+
+    #[test]
+    fn mode_labels_round_trip() {
+        for mode in [MmapMode::On, MmapMode::Off, MmapMode::Auto] {
+            assert_eq!(MmapMode::parse(mode.label()), Some(mode));
+        }
+        assert_eq!(MmapMode::parse("sometimes"), None);
+        assert_eq!(MmapMode::default(), MmapMode::Auto);
+        assert_eq!(OpenMode::Mapped.label(), "mapped");
+        assert_eq!(OpenMode::Decoded.label(), "decoded");
+        assert_eq!(OpenMode::Built.label(), "built");
+    }
+
+    #[test]
+    fn mapped_hit_equals_decoded_hit() {
+        let dir = temp_dir("mmap_equiv");
+        let spec = full_spec().with_transform(TransformKind::Udt, Some(4), DumbWeight::Zero);
+
+        let off = GraphStore::new(Some(dir.clone())).with_mmap(MmapMode::Off);
+        let built = off.prepare(&spec).unwrap();
+        assert_eq!(built.open_info().mode, OpenMode::Built);
+        assert!(built.segment().is_none());
+
+        let decoded = off.prepare(&spec).unwrap();
+        assert_eq!(decoded.report().cache, CacheStatus::Hit);
+        assert_eq!(decoded.open_info().mode, OpenMode::Decoded);
+        assert_eq!(decoded.open_info().mapped_bytes, 0);
+        assert!(decoded.segment().is_none());
+
+        let auto = GraphStore::new(Some(dir.clone()));
+        let mapped = auto.prepare(&spec).unwrap();
+        assert_eq!(mapped.report().cache, CacheStatus::Hit);
+        if zero_copy_target() {
+            assert_eq!(mapped.open_info().mode, OpenMode::Mapped);
+            assert!(mapped.open_info().mapped_bytes > 0);
+            assert!(mapped.segment().is_some());
+            assert!(mapped.graph().is_mapped());
+            assert!(mapped.transpose().unwrap().is_mapped());
+            assert!(mapped.overlay().unwrap().is_mapped());
+            assert!(mapped.rev_overlay().unwrap().is_mapped());
+        }
+
+        // The views are value-identical regardless of where the bytes
+        // live.
+        assert_eq!(mapped.graph(), decoded.graph());
+        assert_eq!(mapped.transpose(), decoded.transpose());
+        assert_eq!(mapped.overlay(), decoded.overlay());
+        assert_eq!(mapped.rev_overlay(), decoded.rev_overlay());
+        assert_eq!(
+            mapped.transformed().unwrap().graph(),
+            decoded.transformed().unwrap().graph()
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mmap_on_reopens_mapped_after_miss() {
+        let dir = temp_dir("mmap_on");
+        let store = GraphStore::new(Some(dir.clone())).with_mmap(MmapMode::On);
+        let p = store.prepare(&full_spec()).unwrap();
+        // The miss still reports the build work, but the views come back
+        // mapped from the artifact that was just written.
+        assert_eq!(p.report().cache, CacheStatus::Miss);
+        assert!(p.report().work_items() > 0);
+        if zero_copy_target() {
+            assert_eq!(p.open_info().mode, OpenMode::Mapped);
+            assert!(p.is_mapped());
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lazy_verify_hit_matches_eager_hit() {
+        let dir = temp_dir("lazy");
+        let spec = full_spec();
+        let eager = GraphStore::new(Some(dir.clone()));
+        let reference = eager.prepare(&spec).unwrap();
+
+        let lazy = GraphStore::new(Some(dir.clone())).with_verify(VerifyMode::Lazy);
+        let fast = lazy.prepare(&spec).unwrap();
+        assert_eq!(fast.report().cache, CacheStatus::Hit);
+        assert_eq!(fast.open_info().verify, VerifyMode::Lazy);
+        assert_eq!(fast.graph(), reference.graph());
+        assert_eq!(fast.transpose(), reference.transpose());
+        assert_eq!(fast.overlay(), reference.overlay());
+        assert_eq!(fast.rev_overlay(), reference.rev_overlay());
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

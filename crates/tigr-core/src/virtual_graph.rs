@@ -14,7 +14,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use tigr_graph::{Csr, NodeId};
+use tigr_graph::io::binary::MappedContainer;
+use tigr_graph::{ArcSlice, Csr, NodeId, Plain};
 
 /// One entry of the virtual node array.
 ///
@@ -24,6 +25,7 @@ use tigr_graph::{Csr, NodeId};
 /// uses `stride == family size` so that warp lanes running sibling
 /// virtual nodes touch adjacent memory each step (Figure 12).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(C)]
 pub struct VirtualNode {
     /// The physical node this virtual node maps to (`map_v`, §4.1).
     pub physical: NodeId,
@@ -34,6 +36,12 @@ pub struct VirtualNode {
     /// Number of covered edges (`≤ K`).
     pub count: u32,
 }
+
+// SAFETY: `#[repr(C)]` over four 4-byte fields — 16 bytes, no padding,
+// and every bit pattern is a valid `VirtualNode` (`NodeId` is a
+// transparent `u32`). This is what lets the overlay section be
+// reinterpreted in place from a mapped artifact.
+unsafe impl Plain for VirtualNode {}
 
 impl VirtualNode {
     /// Iterator over the flat edge indices this virtual node covers.
@@ -51,10 +59,10 @@ impl VirtualNode {
 /// keeps both arrays on device.
 #[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VirtualGraph {
-    vnodes: Vec<VirtualNode>,
+    vnodes: ArcSlice<VirtualNode>,
     /// `first_vnode[v]..first_vnode[v+1]` indexes the virtual nodes of
     /// physical node `v` (families are contiguous in `vnodes`).
-    first_vnode: Vec<u32>,
+    first_vnode: ArcSlice<u32>,
     physical_nodes: usize,
     physical_edges: usize,
     k: u32,
@@ -132,8 +140,8 @@ impl VirtualGraph {
 
         first_vnode.push(vnodes.len() as u32);
         VirtualGraph {
-            vnodes,
-            first_vnode,
+            vnodes: vnodes.into(),
+            first_vnode: first_vnode.into(),
             physical_nodes: g.num_nodes(),
             physical_edges: g.num_edges(),
             k,
@@ -227,6 +235,29 @@ impl VirtualGraph {
             .unwrap_or(0)
     }
 
+    /// `true` when both overlay tables borrow a memory-mapped segment
+    /// rather than owned heap allocations.
+    pub fn is_mapped(&self) -> bool {
+        self.vnodes.is_mapped() && self.first_vnode.is_mapped()
+    }
+
+    /// Heap bytes owned by the overlay tables (zero when fully mapped).
+    pub fn heap_bytes(&self) -> usize {
+        self.vnodes.heap_bytes() + self.first_vnode.heap_bytes()
+    }
+
+    /// Bytes served from a mapped segment (zero when fully owned).
+    pub fn mapped_bytes(&self) -> usize {
+        let vnode_bytes = self.vnodes.len() * std::mem::size_of::<VirtualNode>();
+        let index_bytes = self.first_vnode.len() * std::mem::size_of::<u32>();
+        match (self.vnodes.is_mapped(), self.first_vnode.is_mapped()) {
+            (true, true) => vnode_bytes + index_bytes,
+            (true, false) => vnode_bytes,
+            (false, true) => index_bytes,
+            (false, false) => 0,
+        }
+    }
+
     /// Size in bytes of the virtual node array under the paper's
     /// accounting: 8 bytes per entry (physical id + edge pointer) for the
     /// consecutive layout, 12 bytes (physical id + offset + stride) for
@@ -258,13 +289,13 @@ impl VirtualGraph {
         buf.put_u64_le(self.physical_nodes as u64);
         buf.put_u64_le(self.physical_edges as u64);
         buf.put_u64_le(self.vnodes.len() as u64);
-        for vn in &self.vnodes {
+        for vn in self.vnodes.iter() {
             buf.put_u32_le(vn.physical.raw());
             buf.put_u32_le(vn.first_edge);
             buf.put_u32_le(vn.stride);
             buf.put_u32_le(vn.count);
         }
-        for &f in &self.first_vnode {
+        for &f in self.first_vnode.iter() {
             buf.put_u32_le(f);
         }
         buf
@@ -323,13 +354,97 @@ impl VirtualGraph {
             return Err("inconsistent overlay family index".into());
         }
         Ok(VirtualGraph {
-            vnodes,
-            first_vnode,
+            vnodes: vnodes.into(),
+            first_vnode: first_vnode.into(),
             physical_nodes,
             physical_edges,
             k,
             coalesced,
         })
+    }
+
+    /// Opens an overlay directly over a mapped container section: the
+    /// vnode table and family index borrow the artifact's bytes instead
+    /// of being decoded (little-endian targets; elsewhere, or when
+    /// alignment defeats the reinterpret, the owned decoder runs).
+    /// Returns `Ok(None)` when the section is absent.
+    ///
+    /// With `validate` the same family-index invariants as
+    /// [`VirtualGraph::from_section_bytes`] are checked; without, the
+    /// `O(|vnodes|)` scan is skipped for lazy-verify opens of trusted
+    /// artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violation on malformed input.
+    pub fn from_container(
+        container: &MappedContainer,
+        section_id: u32,
+        validate: bool,
+    ) -> Result<Option<Self>, String> {
+        use bytes::Buf;
+        let Some(r) = container.section(section_id) else {
+            return Ok(None);
+        };
+        let payload = container
+            .section_bytes(section_id)
+            .expect("section just found");
+        #[cfg(target_endian = "little")]
+        {
+            let mut cur = payload;
+            if cur.len() < 32 {
+                return Err("truncated overlay section".into());
+            }
+            let k = cur.get_u32_le();
+            let coalesced = match cur.get_u32_le() {
+                0 => false,
+                1 => true,
+                other => return Err(format!("bad coalesced flag {other}")),
+            };
+            let physical_nodes = cur.get_u64_le() as usize;
+            let physical_edges = cur.get_u64_le() as usize;
+            let count = cur.get_u64_le() as usize;
+            let need = count as u128 * 16 + (physical_nodes as u128 + 1) * 4;
+            if cur.remaining() as u128 != need {
+                return Err(format!(
+                    "overlay payload size mismatch: need {need} bytes, have {}",
+                    cur.remaining()
+                ));
+            }
+            if k == 0 {
+                return Err("overlay has K = 0".into());
+            }
+            let seg = container.segment();
+            let vn_off = r.offset + 32;
+            let fv_off = vn_off + count * 16;
+            let views = (
+                ArcSlice::<VirtualNode>::from_segment(std::sync::Arc::clone(seg), vn_off, count),
+                ArcSlice::<u32>::from_segment(
+                    std::sync::Arc::clone(seg),
+                    fv_off,
+                    physical_nodes + 1,
+                ),
+            );
+            if let (Some(vnodes), Some(first_vnode)) = views {
+                if validate
+                    && (first_vnode.first() != Some(&0)
+                        || first_vnode.last() != Some(&(count as u32))
+                        || first_vnode.windows(2).any(|w| w[0] > w[1])
+                        || vnodes.iter().any(|v| v.physical.index() >= physical_nodes))
+                {
+                    return Err("inconsistent overlay family index".into());
+                }
+                return Ok(Some(VirtualGraph {
+                    vnodes,
+                    first_vnode,
+                    physical_nodes,
+                    physical_edges,
+                    k,
+                    coalesced,
+                }));
+            }
+        }
+        Self::from_section_bytes(payload).map(Some)
     }
 
     /// Checks the overlay against its physical graph: every physical edge
@@ -348,7 +463,7 @@ impl VirtualGraph {
             ));
         }
         let mut covered = vec![0u8; g.num_edges()];
-        for vn in &self.vnodes {
+        for vn in self.vnodes.iter() {
             let (lo, hi) = (g.edge_start(vn.physical), g.edge_end(vn.physical));
             for e in vn.edge_indices() {
                 if e < lo || e >= hi {
@@ -717,6 +832,36 @@ mod tests {
         let fv_start = bytes.len() - (vg.num_physical_nodes() + 1) * 4;
         bad_index[fv_start] = 3;
         assert!(VirtualGraph::from_section_bytes(&bad_index).is_err());
+    }
+
+    #[test]
+    fn overlay_opens_zero_copy_from_a_container_section() {
+        use tigr_graph::io::binary::{write_container, Section, VerifyMode, SECTION_OVERLAY};
+        use tigr_graph::Segment;
+
+        let g = rmat(&RmatConfig::graph500(9, 8), 7);
+        let vg = VirtualGraph::coalesced(&g, 6);
+        let mut buf = Vec::new();
+        write_container(
+            &[Section::new(SECTION_OVERLAY, vg.to_section_bytes())],
+            &mut buf,
+        )
+        .unwrap();
+        let c = MappedContainer::from_segment(
+            std::sync::Arc::new(Segment::from(buf)),
+            VerifyMode::Eager,
+        )
+        .unwrap();
+        for validate in [true, false] {
+            let back = VirtualGraph::from_container(&c, SECTION_OVERLAY, validate)
+                .unwrap()
+                .unwrap();
+            assert_eq!(back, vg);
+            back.validate_against(&g).unwrap();
+        }
+        assert!(VirtualGraph::from_container(&c, 99, true)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::edge::{Edge, NodeId, Weight};
+use crate::segment::ArcSlice;
 
 /// An immutable directed graph in compressed-sparse-row (CSR) form.
 ///
@@ -34,9 +35,9 @@ use crate::edge::{Edge, NodeId, Weight};
 /// ```
 #[derive(Clone, PartialEq, Eq)]
 pub struct Csr {
-    row_ptr: Vec<usize>,
-    col_idx: Vec<NodeId>,
-    weights: Option<Vec<Weight>>,
+    row_ptr: ArcSlice<usize>,
+    col_idx: ArcSlice<NodeId>,
+    weights: Option<ArcSlice<Weight>>,
 }
 
 impl Csr {
@@ -55,6 +56,21 @@ impl Csr {
         row_ptr: Vec<usize>,
         col_idx: Vec<NodeId>,
         weights: Option<Vec<Weight>>,
+    ) -> Self {
+        Csr::from_views(row_ptr.into(), col_idx.into(), weights.map(ArcSlice::from))
+    }
+
+    /// Assembles a CSR from typed views, which may borrow a mapped
+    /// [`Segment`](crate::Segment) instead of owning heap arrays. Same
+    /// validation and panics as [`Csr::from_parts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are inconsistent (see [`Csr::from_parts`]).
+    pub fn from_views(
+        row_ptr: ArcSlice<usize>,
+        col_idx: ArcSlice<NodeId>,
+        weights: Option<ArcSlice<Weight>>,
     ) -> Self {
         assert!(!row_ptr.is_empty(), "row_ptr must have at least one entry");
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
@@ -75,6 +91,26 @@ impl Csr {
             col_idx.iter().all(|c| c.index() < n),
             "col_idx entries must be < num_nodes"
         );
+        Csr {
+            row_ptr,
+            col_idx,
+            weights,
+        }
+    }
+
+    /// Assembles a CSR from views without re-validating the invariants.
+    ///
+    /// Reserved for the lazy-verify mapped open path, where the caller
+    /// explicitly trades the `O(n + m)` invariant scan for open speed on
+    /// an artifact this process (or a trusted peer) wrote. All reads
+    /// still go through bounds-checked slices, so a malformed artifact
+    /// can at worst panic or mis-answer — never touch invalid memory.
+    pub(crate) fn from_views_unchecked(
+        row_ptr: ArcSlice<usize>,
+        col_idx: ArcSlice<NodeId>,
+        weights: Option<ArcSlice<Weight>>,
+    ) -> Self {
+        assert!(!row_ptr.is_empty(), "row_ptr must have at least one entry");
         Csr {
             row_ptr,
             col_idx,
@@ -165,6 +201,37 @@ impl Csr {
         self.weights.as_deref()
     }
 
+    /// `true` when every array borrows a memory-mapped segment (the
+    /// zero-copy open path) rather than owning heap storage.
+    pub fn is_mapped(&self) -> bool {
+        self.row_ptr.is_mapped()
+            && self.col_idx.is_mapped()
+            && self.weights.as_ref().is_none_or(ArcSlice::is_mapped)
+    }
+
+    /// Bytes of CSR array data resident on the heap. Mapped arrays
+    /// count zero: their pages live in the page cache and are
+    /// reclaimable.
+    pub fn heap_bytes(&self) -> usize {
+        self.row_ptr.heap_bytes()
+            + self.col_idx.heap_bytes()
+            + self.weights.as_ref().map_or(0, ArcSlice::heap_bytes)
+    }
+
+    /// Bytes of CSR array data borrowed from mapped segments.
+    pub fn mapped_bytes(&self) -> usize {
+        let view_bytes = |mapped: bool, bytes: usize| if mapped { bytes } else { 0 };
+        view_bytes(
+            self.row_ptr.is_mapped(),
+            self.row_ptr.len() * std::mem::size_of::<usize>(),
+        ) + view_bytes(
+            self.col_idx.is_mapped(),
+            self.col_idx.len() * std::mem::size_of::<NodeId>(),
+        ) + self.weights.as_ref().map_or(0, |w| {
+            view_bytes(w.is_mapped(), w.len() * std::mem::size_of::<Weight>())
+        })
+    }
+
     /// Iterator over all node identifiers, `0..num_nodes()`.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.num_nodes() as u32).map(NodeId::new)
@@ -213,11 +280,11 @@ impl Csr {
     /// Returns a copy of this graph with every weight replaced by values
     /// drawn from `f(edge_index)`. Used to attach synthetic weights.
     pub fn with_weights_from(&self, f: impl FnMut(usize) -> Weight) -> Csr {
-        let weights = (0..self.num_edges()).map(f).collect();
+        let weights: Vec<Weight> = (0..self.num_edges()).map(f).collect();
         Csr {
             row_ptr: self.row_ptr.clone(),
             col_idx: self.col_idx.clone(),
-            weights: Some(weights),
+            weights: Some(weights.into()),
         }
     }
 

@@ -31,6 +31,14 @@ pub enum GraphError {
         /// Section id whose payload hash did not match the table entry.
         section: u32,
     },
+    /// A size or offset read from a container does not fit the
+    /// platform's `usize` (e.g. a 64-bit artifact on a 32-bit host).
+    Overflow {
+        /// The value that failed to convert.
+        value: u64,
+        /// What the value was being read as (e.g. `"node count"`).
+        what: &'static str,
+    },
     /// The operation requires a non-empty graph.
     EmptyGraph,
     /// A cooperative cancellation token fired before the operation
@@ -54,6 +62,9 @@ impl fmt::Display for GraphError {
             GraphError::InvalidFormat(msg) => write!(f, "invalid format: {msg}"),
             GraphError::Checksum { section } => {
                 write!(f, "checksum mismatch in container section {section}")
+            }
+            GraphError::Overflow { value, what } => {
+                write!(f, "container {what} {value} exceeds this platform's usize")
             }
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
             GraphError::Cancelled => write!(f, "operation cancelled before completion"),
@@ -94,6 +105,10 @@ mod tests {
             },
             GraphError::InvalidFormat("bad magic".into()),
             GraphError::Checksum { section: 1 },
+            GraphError::Overflow {
+                value: u64::MAX,
+                what: "node count",
+            },
             GraphError::EmptyGraph,
             GraphError::Cancelled,
         ];

@@ -50,12 +50,14 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut};
 
 use crate::csr::Csr;
 use crate::edge::NodeId;
 use crate::error::GraphError;
+use crate::segment::{ArcSlice, Segment};
 use crate::Result;
 
 const MAGIC_V1: &[u8; 8] = b"TIGRCSR1";
@@ -110,6 +112,13 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 
 fn align8(x: usize) -> usize {
     x.div_ceil(8) * 8
+}
+
+/// Checked `u64 → usize` conversion for values read from container
+/// headers; a value too large for the platform surfaces as a typed
+/// [`GraphError::Overflow`] instead of silently truncating.
+fn to_usize(value: u64, what: &'static str) -> Result<usize> {
+    usize::try_from(value).map_err(|_| GraphError::Overflow { value, what })
 }
 
 /// Writes `sections` as a `TIGRCSR2` container.
@@ -176,6 +185,42 @@ pub fn read_container<R: Read>(reader: R) -> Result<Vec<Section>> {
 ///
 /// See [`read_container`].
 pub fn parse_container(bytes: &[u8]) -> Result<Vec<Section>> {
+    let refs = parse_section_table(bytes)?;
+    let mut sections = Vec::with_capacity(refs.len());
+    for r in refs {
+        let payload = bytes[r.offset..r.offset + r.len].to_vec();
+        if fnv1a64(&payload) != r.checksum {
+            return Err(GraphError::Checksum { section: r.id });
+        }
+        sections.push(Section { id: r.id, payload });
+    }
+    Ok(sections)
+}
+
+/// A validated section-table entry: where a payload lives inside the
+/// container, without the payload itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SectionRef {
+    /// Section type tag (`SECTION_*`).
+    pub id: u32,
+    /// Payload start, in bytes from the container start (8-aligned).
+    pub offset: usize,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// Declared FNV-1a-64 checksum of the payload.
+    pub checksum: u64,
+}
+
+/// Parses and fully validates a `TIGRCSR2` header and section table
+/// (magic, version, count bound, alignment, in-bounds ranges) without
+/// touching — or hashing — any payload bytes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidFormat`] for bad magic/version/table
+/// geometry and [`GraphError::Overflow`] for offsets that do not fit
+/// the platform's `usize`.
+pub fn parse_section_table(bytes: &[u8]) -> Result<Vec<SectionRef>> {
     if bytes.len() < HEADER_LEN {
         return Err(GraphError::InvalidFormat(
             "truncated container header".into(),
@@ -206,7 +251,7 @@ pub fn parse_container(bytes: &[u8]) -> Result<Vec<Section>> {
         return Err(GraphError::InvalidFormat("truncated section table".into()));
     }
 
-    let mut sections = Vec::with_capacity(count as usize);
+    let mut refs = Vec::with_capacity(count as usize);
     for i in 0..count {
         let id = cur.get_u32_le();
         let _reserved = cur.get_u32_le();
@@ -221,19 +266,224 @@ pub fn parse_container(bytes: &[u8]) -> Result<Vec<Section>> {
         // Wide arithmetic: a corrupted table must fail the bounds check,
         // not overflow past it.
         let end = offset as u128 + len as u128;
-        if (offset as usize) < table_end || end > bytes.len() as u128 {
+        let offset = to_usize(offset, "section offset")?;
+        if offset < table_end || end > bytes.len() as u128 {
             return Err(GraphError::InvalidFormat(format!(
                 "section {i} range [{offset}, {end}) escapes container of {} bytes",
                 bytes.len()
             )));
         }
-        let payload = bytes[offset as usize..(offset + len) as usize].to_vec();
-        if fnv1a64(&payload) != checksum {
-            return Err(GraphError::Checksum { section: id });
-        }
-        sections.push(Section { id, payload });
+        refs.push(SectionRef {
+            id,
+            offset,
+            // In bounds per the check above, so it fits a usize.
+            len: len as usize,
+            checksum,
+        });
     }
-    Ok(sections)
+    Ok(refs)
+}
+
+/// How much of a container's payload bytes an open validates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Hash every payload against its table checksum and fully validate
+    /// decoded structures — corruption surfaces at open time.
+    #[default]
+    Eager,
+    /// Validate only the header and section table; skip payload hashing
+    /// and the `O(n + m)` structural scans for instant opens of trusted
+    /// artifacts. Reads stay bounds-checked, so a corrupt artifact can
+    /// at worst panic or mis-answer — never touch invalid memory.
+    Lazy,
+}
+
+impl VerifyMode {
+    /// Parses `eager` / `lazy` (as accepted by `--verify`).
+    pub fn parse(s: &str) -> Option<VerifyMode> {
+        match s {
+            "eager" => Some(VerifyMode::Eager),
+            "lazy" => Some(VerifyMode::Lazy),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling (`eager` / `lazy`).
+    pub fn label(self) -> &'static str {
+        match self {
+            VerifyMode::Eager => "eager",
+            VerifyMode::Lazy => "lazy",
+        }
+    }
+}
+
+/// A `TIGRCSR2` container opened over a shared [`Segment`] — typically
+/// a memory-mapped artifact file — from which typed views borrow
+/// payload bytes without copying.
+#[derive(Debug)]
+pub struct MappedContainer {
+    segment: Arc<Segment>,
+    sections: Vec<SectionRef>,
+    verify: VerifyMode,
+}
+
+impl MappedContainer {
+    /// Memory-maps the container at `path` (owned read fallback where
+    /// the platform lacks `mmap`) and validates its section table. With
+    /// [`VerifyMode::Eager`] every payload is hashed against its table
+    /// checksum; [`VerifyMode::Lazy`] skips payload hashing entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Io`] on open/map failure, plus everything
+    /// [`parse_section_table`] and the eager checksum pass can raise.
+    pub fn open(path: impl AsRef<Path>, verify: VerifyMode) -> Result<MappedContainer> {
+        let mut file = File::open(path)?;
+        let segment = Segment::map_file(&mut file)?;
+        MappedContainer::from_segment(Arc::new(segment), verify)
+    }
+
+    /// Opens a container over an existing segment.
+    ///
+    /// # Errors
+    ///
+    /// See [`MappedContainer::open`].
+    pub fn from_segment(segment: Arc<Segment>, verify: VerifyMode) -> Result<MappedContainer> {
+        let sections = parse_section_table(segment.as_bytes())?;
+        if verify == VerifyMode::Eager {
+            let bytes = segment.as_bytes();
+            for r in &sections {
+                if fnv1a64(&bytes[r.offset..r.offset + r.len]) != r.checksum {
+                    return Err(GraphError::Checksum { section: r.id });
+                }
+            }
+        }
+        Ok(MappedContainer {
+            segment,
+            sections,
+            verify,
+        })
+    }
+
+    /// The backing segment.
+    pub fn segment(&self) -> &Arc<Segment> {
+        &self.segment
+    }
+
+    /// `true` when the backing bytes are memory-mapped (zero-copy views
+    /// possible) rather than heap-resident.
+    pub fn is_mapped(&self) -> bool {
+        self.segment.is_mapped()
+    }
+
+    /// The verification mode the container was opened with.
+    pub fn verify_mode(&self) -> VerifyMode {
+        self.verify
+    }
+
+    /// The validated section table.
+    pub fn sections(&self) -> &[SectionRef] {
+        &self.sections
+    }
+
+    /// The first section with the given id, if present.
+    pub fn section(&self, id: u32) -> Option<SectionRef> {
+        self.sections.iter().find(|s| s.id == id).copied()
+    }
+
+    /// The payload bytes of the first section with the given id.
+    pub fn section_bytes(&self, id: u32) -> Option<&[u8]> {
+        self.section(id)
+            .map(|r| &self.segment.as_bytes()[r.offset..r.offset + r.len])
+    }
+
+    /// Decodes the CSR-shaped section `id` into a [`Csr`] whose arrays
+    /// borrow this container's segment where the platform allows it
+    /// (64-bit little-endian; elsewhere, or when alignment defeats the
+    /// reinterpret, the owned decoder runs instead). Returns `None`
+    /// when the section is absent.
+    ///
+    /// Under [`VerifyMode::Eager`] the borrowed arrays get the same
+    /// structural validation as the owned decoder; under
+    /// [`VerifyMode::Lazy`] the scan is skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidFormat`] for malformed payloads and
+    /// [`GraphError::Overflow`] for counts beyond the platform.
+    pub fn csr(&self, id: u32) -> Result<Option<Csr>> {
+        let Some(r) = self.section(id) else {
+            return Ok(None);
+        };
+        let bytes = &self.segment.as_bytes()[r.offset..r.offset + r.len];
+        let mut cur = bytes;
+        if cur.len() < 24 {
+            return Err(GraphError::InvalidFormat("truncated CSR section".into()));
+        }
+        let flags = cur.get_u64_le();
+        let weighted = flags & FLAG_WEIGHTED as u64 != 0;
+        let n = to_usize(cur.get_u64_le(), "node count")?;
+        let m = to_usize(cur.get_u64_le(), "edge count")?;
+        let need = (n as u128 + 1) * 8 + (m as u128) * 4 + if weighted { m as u128 * 4 } else { 0 };
+        if cur.remaining() as u128 != need {
+            return Err(GraphError::InvalidFormat(format!(
+                "CSR payload size mismatch: need {need} bytes, have {}",
+                cur.remaining()
+            )));
+        }
+        if n == 0 && m > 0 {
+            return Err(GraphError::InvalidFormat(
+                "edges present in zero-node graph".into(),
+            ));
+        }
+        #[cfg(all(target_endian = "little", target_pointer_width = "64"))]
+        {
+            // On-disk u64/u32 little-endian arrays are byte-identical to
+            // in-memory usize/NodeId arrays here, so borrow them in
+            // place. `from_segment` re-checks alignment and bounds; an
+            // owned (non-page-aligned) backing can legitimately fail the
+            // alignment check, in which case the copying decoder below
+            // takes over.
+            let row_off = r.offset + 24;
+            let col_off = row_off + (n + 1) * 8;
+            let w_off = col_off + m * 4;
+            let seg = || Arc::clone(&self.segment);
+            let views = (
+                ArcSlice::<usize>::from_segment(seg(), row_off, n + 1),
+                ArcSlice::<NodeId>::from_segment(seg(), col_off, m),
+                weighted.then(|| ArcSlice::<u32>::from_segment(seg(), w_off, m)),
+            );
+            if let (Some(row_ptr), Some(col_idx), weights) = views {
+                let weights = match weights {
+                    Some(Some(w)) => Some(w),
+                    Some(None) => None, // alignment failure: fall through
+                    None => None,
+                };
+                if !weighted || weights.is_some() {
+                    if self.verify == VerifyMode::Eager {
+                        validate_csr_views(&row_ptr, &col_idx, n, m)?;
+                    }
+                    return Ok(Some(Csr::from_views_unchecked(row_ptr, col_idx, weights)));
+                }
+            }
+        }
+        decode_csr(bytes).map(Some)
+    }
+}
+
+/// The owned decoder's structural checks, applied to borrowed views:
+/// monotone `row_ptr` anchored at `0` and `m`, every target in range.
+fn validate_csr_views(row_ptr: &[usize], col_idx: &[NodeId], n: usize, m: usize) -> Result<()> {
+    if row_ptr.first() != Some(&0)
+        || row_ptr.last() != Some(&m)
+        || row_ptr.windows(2).any(|w| w[0] > w[1])
+        || col_idx.iter().any(|c| c.index() >= n.max(1))
+    {
+        return Err(GraphError::InvalidFormat(
+            "inconsistent CSR arrays in binary container".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Returns the first section with the given id, if present.
@@ -285,8 +535,8 @@ pub fn decode_csr(payload: &[u8]) -> Result<Csr> {
     }
     let flags = cur.get_u64_le();
     let weighted = flags & FLAG_WEIGHTED as u64 != 0;
-    let n = cur.get_u64_le() as usize;
-    let m = cur.get_u64_le() as usize;
+    let n = to_usize(cur.get_u64_le(), "node count")?;
+    let m = to_usize(cur.get_u64_le(), "edge count")?;
     read_csr_arrays(cur, n, m, weighted, true)
 }
 
@@ -306,7 +556,7 @@ fn read_csr_arrays(mut cur: &[u8], n: usize, m: usize, weighted: bool, exact: bo
 
     let mut row_ptr = Vec::with_capacity(n + 1);
     for _ in 0..=n {
-        row_ptr.push(cur.get_u64_le() as usize);
+        row_ptr.push(to_usize(cur.get_u64_le(), "row offset")?);
     }
     let mut col_idx = Vec::with_capacity(m);
     for _ in 0..m {
@@ -432,8 +682,8 @@ fn read_binary_v1(bytes: &[u8]) -> Result<Csr> {
     }
     let flags = cur.get_u8();
     let weighted = flags & FLAG_WEIGHTED != 0;
-    let n = cur.get_u64_le() as usize;
-    let m = cur.get_u64_le() as usize;
+    let n = to_usize(cur.get_u64_le(), "node count")?;
+    let m = to_usize(cur.get_u64_le(), "edge count")?;
     read_csr_arrays(cur, n, m, weighted, false)
 }
 
@@ -635,6 +885,100 @@ mod tests {
         save_binary(&g, &path).unwrap();
         assert_eq!(load_binary(&path).unwrap(), g);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_open_matches_owned_decode() {
+        let dir = std::env::temp_dir().join("tigr_graph_bin_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, weighted) in [("map_w.bin", true), ("map_u.bin", false)] {
+            let path = dir.join(name);
+            let g = sample(weighted);
+            save_binary(&g, &path).unwrap();
+            for verify in [VerifyMode::Eager, VerifyMode::Lazy] {
+                let c = MappedContainer::open(&path, verify).unwrap();
+                let mapped = c.csr(SECTION_CSR).unwrap().unwrap();
+                assert_eq!(mapped, g, "verify={verify:?}");
+                if cfg!(all(
+                    unix,
+                    target_endian = "little",
+                    target_pointer_width = "64"
+                )) {
+                    assert!(c.is_mapped());
+                    assert!(mapped.is_mapped());
+                    assert_eq!(mapped.heap_bytes(), 0);
+                    assert!(mapped.mapped_bytes() > 0);
+                }
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn mapped_open_missing_section_is_none() {
+        let mut buf = Vec::new();
+        write_container(&[Section::new(SECTION_SPEC, b"spec".to_vec())], &mut buf).unwrap();
+        let c =
+            MappedContainer::from_segment(Arc::new(Segment::from(buf)), VerifyMode::Eager).unwrap();
+        assert!(c.csr(SECTION_CSR).unwrap().is_none());
+        assert_eq!(c.section_bytes(SECTION_SPEC).unwrap(), b"spec");
+    }
+
+    #[test]
+    fn eager_mapped_open_catches_corruption_lazy_defers_it() {
+        let mut buf = Vec::new();
+        write_binary(&sample(true), &mut buf).unwrap();
+        let idx = buf.len() - 1;
+        buf[idx] ^= 0xFF;
+        let seg = Arc::new(Segment::from(buf));
+        assert!(matches!(
+            MappedContainer::from_segment(Arc::clone(&seg), VerifyMode::Eager).unwrap_err(),
+            GraphError::Checksum {
+                section: SECTION_CSR
+            }
+        ));
+        // Lazy skips hashing: the open succeeds and reads stay
+        // bounds-checked; the corruption shows up as wrong data, which
+        // is exactly the documented trade.
+        let c = MappedContainer::from_segment(seg, VerifyMode::Lazy).unwrap();
+        assert!(c.csr(SECTION_CSR).is_ok());
+    }
+
+    #[test]
+    fn mapped_open_rejects_bad_tables() {
+        let mut buf = Vec::new();
+        write_binary(&sample(false), &mut buf).unwrap();
+        // Misalign the payload offset.
+        let mut bad = buf.clone();
+        bad[16 + 8] = bad[16 + 8].wrapping_add(1);
+        assert!(matches!(
+            MappedContainer::from_segment(Arc::new(Segment::from(bad)), VerifyMode::Lazy)
+                .unwrap_err(),
+            GraphError::InvalidFormat(_)
+        ));
+        // Truncate mid-payload: the section range escapes the file.
+        let mut short = buf.clone();
+        short.truncate(short.len() - 4);
+        assert!(
+            MappedContainer::from_segment(Arc::new(Segment::from(short)), VerifyMode::Lazy)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn oversized_counts_surface_as_typed_overflow() {
+        // A v2 CSR payload claiming u64::MAX nodes: on 64-bit hosts the
+        // byte budget rejects it; the checked conversion is what guards
+        // 32-bit hosts. Either way the error is typed, never a panic.
+        let g = sample(false);
+        let mut payload = encode_csr(&g);
+        payload[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = decode_csr(&payload).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::InvalidFormat(_) | GraphError::Overflow { .. }
+        ));
+        assert!(!err.to_string().is_empty());
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   diameter estimation).
 //! * [`properties`] — reference oracles (reachability, connected
 //!   components, path recovery) used to validate the transformations.
+//! * [`segment`] — immutable byte segments (owned or `mmap`ed) and the
+//!   [`ArcSlice`] typed views that let a [`Csr`] borrow artifact bytes
+//!   directly instead of decoding them.
 //!
 //! # Example
 //!
@@ -54,6 +57,7 @@ pub mod io;
 pub mod partition;
 pub mod properties;
 pub mod reverse;
+pub mod segment;
 pub mod stats;
 pub mod subgraph;
 
@@ -61,6 +65,7 @@ pub use builder::CsrBuilder;
 pub use csr::Csr;
 pub use edge::{Edge, NodeId, Weight, INFINITE_WEIGHT};
 pub use error::GraphError;
+pub use segment::{ArcSlice, Plain, Segment};
 
 /// Crate-wide result alias carrying a [`GraphError`].
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -64,4 +64,4 @@ pub use protocol::{
 };
 pub use queue::{Bounded, PushError};
 pub use server::{Server, ServerAddr, ServerConfig, ServerCore};
-pub use stats::{StatsRecorder, StatsSnapshot};
+pub use stats::{GraphOpenStat, StatsRecorder, StatsSnapshot};

@@ -54,7 +54,7 @@ use crate::protocol::{
     Response,
 };
 use crate::queue::{Bounded, PushError};
-use crate::stats::StatsRecorder;
+use crate::stats::{GraphOpenStat, StatsRecorder};
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -229,6 +229,32 @@ impl ServerCore {
         names
     }
 
+    /// Per-graph open records for the `stats` verb, sorted by name: how
+    /// each registered graph's views were opened (mapped / decoded /
+    /// built), at what verification level, how long the open took, and
+    /// where its bytes live.
+    fn graph_open_stats(&self) -> Vec<GraphOpenStat> {
+        let mut stats: Vec<GraphOpenStat> = self
+            .graphs
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, prepared)| {
+                let open = prepared.open_info();
+                GraphOpenStat {
+                    name: name.clone(),
+                    open: open.mode.label().to_owned(),
+                    verify: open.verify.label().to_owned(),
+                    open_us: open.open_us,
+                    mapped_bytes: open.mapped_bytes as u64,
+                    heap_bytes: open.heap_bytes as u64,
+                }
+            })
+            .collect();
+        stats.sort_by(|a, b| a.name.cmp(&b.name));
+        stats
+    }
+
     /// Handles one request synchronously: `stats` and `ping` answer
     /// inline; queries go through admission and block until a worker
     /// replies. Safe to call from many threads at once.
@@ -239,6 +265,7 @@ impl ServerCore {
                 self.queue.len() as u64,
                 self.config.executor_count() as u64,
                 self.cache.counters(),
+                self.graph_open_stats(),
             ))),
             Request::Query(query) => self.submit_query(query),
         }

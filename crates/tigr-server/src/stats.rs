@@ -95,10 +95,16 @@ impl StatsRecorder {
         w.next = (w.next + 1) % LATENCY_WINDOW;
     }
 
-    /// Builds the externally visible snapshot. `queue_depth`, `workers`
-    /// and the cache counters come from the server, which owns those
-    /// structures.
-    pub fn snapshot(&self, queue_depth: u64, workers: u64, cache: CacheCounters) -> StatsSnapshot {
+    /// Builds the externally visible snapshot. `queue_depth`, `workers`,
+    /// the cache counters, and the per-graph open records come from the
+    /// server, which owns those structures.
+    pub fn snapshot(
+        &self,
+        queue_depth: u64,
+        workers: u64,
+        cache: CacheCounters,
+        graphs: Vec<GraphOpenStat>,
+    ) -> StatsSnapshot {
         let (p50_us, p95_us) = {
             let w = self.window.lock().unwrap();
             percentiles(&w.samples_us)
@@ -120,7 +126,54 @@ impl StatsRecorder {
             batched_queries: self.batched_queries.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
             formation_wait_us: self.formation_wait_us.load(Ordering::Relaxed),
+            graphs,
         }
+    }
+}
+
+/// How one registered graph's views were opened — the storage-layer
+/// counterpart of the query counters, surfaced through the `stats` verb
+/// so operators can see which graphs are served zero-copy from a mapped
+/// artifact and what each cold start cost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphOpenStat {
+    /// Registry name the graph is queried under.
+    pub name: String,
+    /// Open mode label (`mapped` / `decoded` / `built`).
+    pub open: String,
+    /// Verification level the open used (`eager` / `lazy`).
+    pub verify: String,
+    /// Wall-clock microseconds the open (or build) took.
+    pub open_us: u64,
+    /// View bytes served from a mapped segment.
+    pub mapped_bytes: u64,
+    /// View bytes owned on the heap.
+    pub heap_bytes: u64,
+}
+
+impl GraphOpenStat {
+    /// Serializes one registry entry.
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("name", self.name.as_str().into()),
+            ("open", self.open.as_str().into()),
+            ("verify", self.verify.as_str().into()),
+            ("open_us", self.open_us.into()),
+            ("mapped_bytes", self.mapped_bytes.into()),
+            ("heap_bytes", self.heap_bytes.into()),
+        ])
+    }
+
+    /// Deserializes one registry entry.
+    pub fn from_json(v: &Json) -> Option<Self> {
+        Some(GraphOpenStat {
+            name: v.get("name")?.as_str()?.to_owned(),
+            open: v.get("open")?.as_str()?.to_owned(),
+            verify: v.get("verify")?.as_str()?.to_owned(),
+            open_us: v.get("open_us")?.as_u64()?,
+            mapped_bytes: v.get("mapped_bytes")?.as_u64()?,
+            heap_bytes: v.get("heap_bytes")?.as_u64()?,
+        })
     }
 }
 
@@ -185,6 +238,9 @@ pub struct StatsSnapshot {
     /// Cumulative microseconds batch formers spent holding batches
     /// open waiting for late compatible arrivals.
     pub formation_wait_us: u64,
+    /// Per-graph open records for every registered graph, sorted by
+    /// name (mode, verify level, open time, byte residency).
+    pub graphs: Vec<GraphOpenStat>,
 }
 
 impl StatsSnapshot {
@@ -227,6 +283,10 @@ impl StatsSnapshot {
             ("batched_queries", self.batched_queries.into()),
             ("max_batch", self.max_batch.into()),
             ("formation_wait_us", self.formation_wait_us.into()),
+            (
+                "graphs",
+                Json::Arr(self.graphs.iter().map(GraphOpenStat::to_json).collect()),
+            ),
         ])
     }
 
@@ -250,6 +310,15 @@ impl StatsSnapshot {
             batched_queries: field("batched_queries")?,
             max_batch: field("max_batch")?,
             formation_wait_us: field("formation_wait_us")?,
+            // Absent from snapshots sent by older servers: default to
+            // an empty registry listing rather than failing the parse.
+            graphs: match v.get("graphs").and_then(Json::as_arr) {
+                Some(items) => items
+                    .iter()
+                    .map(GraphOpenStat::from_json)
+                    .collect::<Option<Vec<_>>>()?,
+                None => Vec::new(),
+            },
         })
     }
 }
@@ -276,7 +345,7 @@ mod tests {
         for _ in 0..LATENCY_WINDOW {
             rec.record_completed(100);
         }
-        let snap = rec.snapshot(0, 1, CacheCounters::default());
+        let snap = rec.snapshot(0, 1, CacheCounters::default(), Vec::new());
         assert_eq!(snap.p50_us, 100);
         assert_eq!(snap.p95_us, 100);
         assert_eq!(snap.completed, 2 * LATENCY_WINDOW as u64);
@@ -302,9 +371,20 @@ mod tests {
                 evictions: 1,
                 entries: 2,
             },
+            vec![GraphOpenStat {
+                name: "rmat8".into(),
+                open: "mapped".into(),
+                verify: "eager".into(),
+                open_us: 1234,
+                mapped_bytes: 65536,
+                heap_bytes: 0,
+            }],
         );
         let back = StatsSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);
+        assert_eq!(back.graphs.len(), 1);
+        assert_eq!(back.graphs[0].open, "mapped");
+        assert_eq!(back.graphs[0].mapped_bytes, 65536);
         assert!((back.cache_hit_ratio() - 0.5).abs() < 1e-9);
         assert_eq!(back.batches, 2);
         assert_eq!(back.batched_queries, 4);
@@ -316,7 +396,7 @@ mod tests {
     #[test]
     fn batch_occupancy_is_zero_before_any_batch() {
         let rec = StatsRecorder::default();
-        let snap = rec.snapshot(0, 1, CacheCounters::default());
+        let snap = rec.snapshot(0, 1, CacheCounters::default(), Vec::new());
         assert_eq!(snap.batches, 0);
         assert_eq!(snap.max_batch, 0);
         assert_eq!(snap.batch_occupancy(), 0.0);

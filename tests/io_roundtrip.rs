@@ -4,11 +4,30 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use tigr::graph::io::{
-    parse_dimacs, parse_edge_list, parse_matrix_market, read_binary, write_binary, write_binary_v1,
-    write_dimacs, write_edge_list, write_matrix_market,
+    parse_dimacs, parse_edge_list, parse_matrix_market, parse_section_table, read_binary,
+    write_binary, write_binary_v1, write_dimacs, write_edge_list, write_matrix_market,
+    MappedContainer, VerifyMode, SECTION_CSR,
 };
 use tigr::{Csr, CsrBuilder, Edge, NodeId};
+
+static TMP_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Writes `bytes` to a unique temp file (mapped opens need a real
+/// file); callers remove it when done.
+fn temp_container(bytes: &[u8]) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("tigr_it_io_mapped");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!(
+        "{}_{}.tigr",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
 
 fn arb_graph() -> impl Strategy<Value = Csr> {
     (2usize..40, any::<bool>()).prop_flat_map(|(nodes, weighted)| {
@@ -85,6 +104,68 @@ proptest! {
         if g.is_weighted() {
             prop_assert_eq!(back, g);
         }
+    }
+
+    #[test]
+    fn mapped_open_equals_decoded_read(g in arb_graph()) {
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let decoded = read_binary(buf.as_slice()).unwrap();
+        let path = temp_container(&buf);
+        for verify in [VerifyMode::Eager, VerifyMode::Lazy] {
+            let c = MappedContainer::open(&path, verify).unwrap();
+            let mapped = c.csr(SECTION_CSR).unwrap().expect("CSR section present");
+            prop_assert_eq!(&mapped, &decoded);
+            prop_assert_eq!(&mapped, &g);
+            if cfg!(all(unix, target_pointer_width = "64")) {
+                prop_assert!(c.is_mapped());
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_container_fails_cleanly(g in arb_graph(), keep_pct in 0usize..100) {
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let keep = buf.len() * keep_pct / 100;
+        let truncated = &buf[..keep];
+        // The table parse must reject the cut (a section range now
+        // escapes the container) or, at worst, fail later without
+        // panicking — truncation is never UB.
+        if let Err(e) = parse_section_table(truncated) {
+            let _ = e.to_string();
+        }
+        let path = temp_container(truncated);
+        for verify in [VerifyMode::Eager, VerifyMode::Lazy] {
+            match MappedContainer::open(&path, verify) {
+                Ok(c) => {
+                    let _ = c.csr(SECTION_CSR);
+                }
+                Err(e) => {
+                    let _ = e.to_string();
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn misaligned_section_offset_is_rejected(g in arb_graph(), nudge in 1u64..8) {
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Nudge the first section entry's offset field (bytes 24..32:
+        // 16-byte header, then id + reserved) off 8-byte alignment.
+        let old = u64::from_le_bytes(buf[24..32].try_into().unwrap());
+        buf[24..32].copy_from_slice(&(old + nudge).to_le_bytes());
+        let err = parse_section_table(&buf).unwrap_err();
+        prop_assert!(err.to_string().contains("aligned"), "{}", err);
+        // Both verify modes validate the table, so neither maps it.
+        let path = temp_container(&buf);
+        for verify in [VerifyMode::Eager, VerifyMode::Lazy] {
+            prop_assert!(MappedContainer::open(&path, verify).is_err());
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Integration tests of the device-memory model: footprints, budgets,
-//! and the Table 4 OOM pattern.
+//! the Table 4 OOM pattern, and the zero-copy guarantee of mapped
+//! artifact opens.
 
 use tigr::baselines::{Baseline, CushaMode};
+use tigr::core::{GraphStore, OpenMode, PrepareSpec};
 use tigr::engine::MonotoneProgram;
 use tigr::graph::datasets;
 use tigr::{Engine, NodeId, Representation, VirtualGraph};
@@ -65,6 +67,54 @@ fn oom_error_is_reported_not_panicked() {
         )
         .unwrap_err();
     assert!(err.to_string().contains("out of device memory"));
+}
+
+/// A mapped artifact open must not copy payload bytes: every CSR and
+/// overlay table borrows the file mapping in place, so the views report
+/// zero heap bytes and their slices point into the segment's address
+/// range.
+#[test]
+fn mapped_open_does_not_copy_payload_bytes() {
+    if !cfg!(all(
+        unix,
+        target_pointer_width = "64",
+        target_endian = "little"
+    )) {
+        return; // owned-decode fallback targets copy by design
+    }
+    let dir = std::env::temp_dir().join("tigr_it_mapped_zero_copy");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = GraphStore::new(Some(dir)); // default policy: map on hit
+    let spec = PrepareSpec::generated("rmat:8:8", 11)
+        .with_uniform_weights(1, 9, 5)
+        .with_virtual(8, true)
+        .with_transpose(true);
+    store.prepare(&spec).unwrap();
+    let warm = store.prepare(&spec).unwrap();
+
+    assert_eq!(warm.open_info().mode, OpenMode::Mapped);
+    assert!(warm.open_info().mapped_bytes > 0);
+    assert_eq!(warm.graph().heap_bytes(), 0, "CSR payload was copied");
+    assert_eq!(warm.transpose().unwrap().heap_bytes(), 0);
+    assert_eq!(warm.overlay().unwrap().heap_bytes(), 0);
+    assert_eq!(warm.rev_overlay().unwrap().heap_bytes(), 0);
+
+    // The borrowed slices must point inside the mapped file bytes.
+    let seg = warm.segment().expect("mapped open keeps its segment");
+    let bytes = seg.as_bytes();
+    let range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+    for (label, ptr) in [
+        ("row_ptr", warm.graph().row_ptr().as_ptr() as usize),
+        ("col_idx", warm.graph().col_idx().as_ptr() as usize),
+        ("weights", warm.graph().weights().unwrap().as_ptr() as usize),
+        (
+            "transpose col_idx",
+            warm.transpose().unwrap().col_idx().as_ptr() as usize,
+        ),
+    ] {
+        assert!(range.contains(&ptr), "{label} escaped the mapping");
+    }
 }
 
 #[test]

@@ -6,8 +6,9 @@
 
 use std::fs;
 
-use tigr::core::{CacheStatus, GraphStore, PrepareSpec, TransformKind};
+use tigr::core::{CacheStatus, GraphStore, MmapMode, OpenMode, PrepareSpec, TransformKind};
 use tigr::engine::{BackendKind, MonotoneProgram};
+use tigr::graph::io::VerifyMode;
 use tigr::{DumbWeight, Engine, GpuConfig, NodeId};
 
 fn temp_store(name: &str) -> GraphStore {
@@ -15,6 +16,17 @@ fn temp_store(name: &str) -> GraphStore {
     fs::remove_dir_all(&dir).ok();
     fs::create_dir_all(&dir).unwrap();
     GraphStore::new(Some(dir))
+}
+
+/// `true` where artifact opens can borrow the file mapping in place
+/// (64-bit little-endian Unix); elsewhere the store falls back to owned
+/// decodes and the mapped-mode assertions are skipped.
+fn zero_copy_target() -> bool {
+    cfg!(all(
+        unix,
+        target_pointer_width = "64",
+        target_endian = "little"
+    ))
 }
 
 /// A spec exercising every optional view: weights, coalesced virtual
@@ -86,6 +98,109 @@ fn built_and_loaded_views_agree_on_every_backend() {
             }
         }
     }
+}
+
+/// The mapped×decoded equivalence matrix: the same artifact opened as
+/// built views, owned decode, eager map, and lazy map must return
+/// byte-identical values for every algorithm on every backend.
+#[test]
+fn mapped_and_decoded_opens_agree_on_every_algorithm_and_backend() {
+    let store = temp_store("tigr_it_prepared_mmap_matrix");
+    let spec = base_spec();
+    let built = store.prepare(&spec).unwrap();
+    assert_eq!(built.open_info().mode, OpenMode::Built);
+
+    let decoded = store
+        .clone()
+        .with_mmap(MmapMode::Off)
+        .prepare(&spec)
+        .unwrap();
+    let eager = store.prepare(&spec).unwrap();
+    let lazy = store
+        .clone()
+        .with_verify(VerifyMode::Lazy)
+        .prepare(&spec)
+        .unwrap();
+    for (label, p) in [("decoded", &decoded), ("eager", &eager), ("lazy", &lazy)] {
+        assert_eq!(p.report().cache, CacheStatus::Hit, "{label}");
+        assert_eq!(p.report().work_items(), 0, "{label}");
+    }
+    assert_eq!(decoded.open_info().mode, OpenMode::Decoded);
+    assert_eq!(decoded.open_info().mapped_bytes, 0);
+    if zero_copy_target() {
+        assert_eq!(eager.open_info().mode, OpenMode::Mapped);
+        assert_eq!(lazy.open_info().mode, OpenMode::Mapped);
+        assert_eq!(eager.open_info().verify, VerifyMode::Eager);
+        assert_eq!(lazy.open_info().verify, VerifyMode::Lazy);
+        assert!(lazy.open_info().mapped_bytes > 0);
+    }
+
+    let programs = [
+        ("bfs", MonotoneProgram::BFS),
+        ("sssp", MonotoneProgram::SSSP),
+        ("sswp", MonotoneProgram::SSWP),
+        ("cc", MonotoneProgram::CC),
+    ];
+    let backends = [
+        BackendKind::WarpSim,
+        BackendKind::CpuPool,
+        BackendKind::Sequential,
+    ];
+    for (prog_label, prog) in programs {
+        let src = (prog_label != "cc").then(|| NodeId::new(0));
+        let mut reference: Option<Vec<u32>> = None;
+        for (label, prepared) in [
+            ("built", &built),
+            ("decoded", &decoded),
+            ("eager", &eager),
+            ("lazy", &lazy),
+        ] {
+            for backend in backends {
+                let engine = Engine::parallel(GpuConfig::default()).with_backend(backend);
+                let out = engine.run_prepared(prepared, prog, src).unwrap();
+                match &reference {
+                    None => reference = Some(out.values.clone()),
+                    Some(expect) => assert_eq!(
+                        &out.values, expect,
+                        "{prog_label}: {label}/{backend:?} diverged"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// With `--mmap on` a miss builds, writes, and re-opens mapped; payload
+/// corruption is still a typed miss that rebuilds back to a mapped
+/// artifact.
+#[test]
+fn mmap_on_corruption_is_a_miss_that_rebuilds_to_mapped() {
+    let store = temp_store("tigr_it_prepared_mmap_corrupt").with_mmap(MmapMode::On);
+    let spec = base_spec();
+    let cold = store.prepare(&spec).unwrap();
+    assert_eq!(cold.report().cache, CacheStatus::Miss);
+    assert!(cold.report().work_items() > 0, "miss must report its work");
+    if zero_copy_target() {
+        assert_eq!(cold.open_info().mode, OpenMode::Mapped);
+        assert!(cold.is_mapped());
+    }
+
+    let artifact = cold.report().artifact.clone().unwrap();
+    let mut bytes = fs::read(&artifact).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    fs::write(&artifact, &bytes).unwrap();
+
+    let rebuilt = store.prepare(&spec).unwrap();
+    assert_eq!(rebuilt.report().cache, CacheStatus::Miss);
+    assert!(rebuilt.report().work_items() > 0);
+    if zero_copy_target() {
+        assert_eq!(rebuilt.open_info().mode, OpenMode::Mapped);
+    }
+    assert_eq!(rebuilt.graph(), cold.graph());
+    let again = store.prepare(&spec).unwrap();
+    assert_eq!(again.report().cache, CacheStatus::Hit);
+    assert_eq!(again.graph(), cold.graph());
 }
 
 #[test]
