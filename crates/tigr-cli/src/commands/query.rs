@@ -51,6 +51,9 @@ pub fn run(args: &Args) -> CmdResult {
                 s.max_batch,
                 s.formation_wait_us,
             );
+            for (label, count) in &s.algo_completed {
+                out.push_str(&format!("algo {:<10} {count} completed\n", label));
+            }
             for g in &s.graphs {
                 out.push_str(&format!(
                     "graph {:<9} {} (verify {}) opened in {} us, {} bytes mapped / {} heap\n",
@@ -60,8 +63,12 @@ pub fn run(args: &Args) -> CmdResult {
             Ok(out)
         }
         algo_label => {
-            let algo = Algo::parse(algo_label)
-                .ok_or_else(|| format!("unknown query verb `{algo_label}`\n{USAGE}"))?;
+            let algo = Algo::parse(algo_label).ok_or_else(|| {
+                format!(
+                    "unknown query verb `{algo_label}` (known: {})\n{USAGE}",
+                    Algo::known_labels()
+                )
+            })?;
             let graph: String = args.require("graph-name").map_err(|_| USAGE.to_string())?;
             let source = if algo.needs_source() {
                 Some(args.flag_or("source", 0u32)?)
@@ -69,6 +76,18 @@ pub fn run(args: &Args) -> CmdResult {
                 None
             };
             let mut query = QueryRequest::new(graph, algo, source);
+            if algo.needs_limit() {
+                let limit_name = algo.limit_name().unwrap_or("limit");
+                let raw = args
+                    .flag("limit")
+                    .ok_or_else(|| format!("{} requires --limit ({limit_name})", algo.label()))?;
+                query.limit = Some(
+                    raw.parse()
+                        .map_err(|_| format!("invalid --limit ({limit_name})"))?,
+                );
+            } else if args.flag("limit").is_some() {
+                return Err(format!("{} takes no --limit", algo.label()));
+            }
             query.deadline_ms = args
                 .flag("deadline-ms")
                 .map(|v| v.parse().map_err(|_| "invalid --deadline-ms"))
@@ -126,9 +145,9 @@ fn render_client_error(e: ClientError) -> String {
     }
 }
 
-const USAGE: &str = "usage: tigr query <bfs|sssp|sswp|cc|pr|stats|ping> \
+const USAGE: &str = "usage: tigr query <bfs|sssp|sswp|cc|pr|bc|khop|paths|lp|tc|stats|ping> \
 (--addr HOST:PORT | --socket PATH) [--graph-name NAME] [--source N] \
-[--deadline-ms MS] [--no-cache] [--values]";
+[--limit K|RADIUS|ROUNDS] [--deadline-ms MS] [--no-cache] [--values]";
 
 #[cfg(test)]
 mod tests {
@@ -180,6 +199,62 @@ mod tests {
         // fixture builds without a cache, so the demo graph is `built`.
         assert!(stats.contains("graph demo      built"), "{stats}");
         assert!(stats.contains("opened in"), "{stats}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn new_workloads_query_over_tcp_with_per_algo_stats() {
+        let (server, addr) = ephemeral_server();
+        let khop = run(&parse(&format!(
+            "khop --addr {addr} --graph-name demo --source 2 --limit 2"
+        )))
+        .unwrap();
+        assert!(khop.contains("khop on demo from 2"), "{khop}");
+        let warm = run(&parse(&format!(
+            "khop --addr {addr} --graph-name demo --source 2 --limit 2"
+        )))
+        .unwrap();
+        assert!(warm.contains("cache           hit"), "{warm}");
+        let paths = run(&parse(&format!(
+            "paths --addr {addr} --graph-name demo --source 2 --limit 30"
+        )))
+        .unwrap();
+        assert!(paths.contains("paths on demo from 2"), "{paths}");
+        let lp = run(&parse(&format!(
+            "lp --addr {addr} --graph-name demo --limit 3"
+        )))
+        .unwrap();
+        assert!(lp.contains("lp on demo:"), "{lp}");
+        let tc = run(&parse(&format!("tc --addr {addr} --graph-name demo"))).unwrap();
+        assert!(tc.contains("tc on demo:"), "{tc}");
+        let bc = run(&parse(&format!(
+            "bc --addr {addr} --graph-name demo --source 2"
+        )))
+        .unwrap();
+        assert!(bc.contains("bc on demo from 2"), "{bc}");
+        let stats = run(&parse(&format!("stats --addr {addr}"))).unwrap();
+        assert!(stats.contains("algo khop       2 completed"), "{stats}");
+        assert!(stats.contains("algo paths      1 completed"), "{stats}");
+        assert!(stats.contains("algo lp         1 completed"), "{stats}");
+        assert!(stats.contains("algo tc         1 completed"), "{stats}");
+        assert!(stats.contains("algo bc         1 completed"), "{stats}");
+        assert!(stats.contains("algo bfs        0 completed"), "{stats}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn limit_arity_is_enforced_client_side() {
+        let (server, addr) = ephemeral_server();
+        let err = run(&parse(&format!(
+            "khop --addr {addr} --graph-name demo --source 2"
+        )))
+        .unwrap_err();
+        assert!(err.contains("requires --limit (k)"), "{err}");
+        let err = run(&parse(&format!(
+            "bfs --addr {addr} --graph-name demo --source 2 --limit 4"
+        )))
+        .unwrap_err();
+        assert!(err.contains("takes no --limit"), "{err}");
         server.shutdown();
     }
 

@@ -10,8 +10,8 @@
 
 use tigr_core::{CancelToken, PrepareSpec};
 use tigr_engine::{
-    default_threads, pr, CpuOptions, CpuSchedule, Direction, Engine, FrontierMode, MonotoneProgram,
-    PrMode, PushOptions, Representation, ScheduleStats,
+    default_threads, pr, Algo, CpuOptions, CpuSchedule, Direction, Engine, FrontierMode,
+    MonotoneProgram, Pipeline, PrMode, PushOptions, Representation, ScheduleStats,
 };
 use tigr_graph::{Csr, NodeId};
 use tigr_sim::GpuConfig;
@@ -22,7 +22,31 @@ use crate::commands::{format_prepare_report, store_from_args, timeout_message, C
 /// Runs the `run` command.
 pub fn run(args: &Args) -> CmdResult {
     let analytic = args.positional(0).ok_or(USAGE)?;
+    // One shared verb table ([`tigr_engine::Algo`]) names every
+    // analytic across `tigr run`, `tigr query`, and the server.
+    let algo = Algo::parse(analytic).ok_or_else(|| {
+        format!(
+            "unknown analytic `{analytic}` (known: {})\n{USAGE}",
+            Algo::known_labels()
+        )
+    })?;
     let path: String = args.require("graph").map_err(|_| USAGE.to_string())?;
+    // --limit carries the algo-specific bound: k for khop, radius for
+    // paths, rounds for lp. Arity is enforced by the shared table.
+    let limit: Option<u32> = match args.flag("limit") {
+        Some(s) => Some(s.parse().map_err(|_| "invalid --limit".to_string())?),
+        None => None,
+    };
+    if algo.needs_limit() && limit.is_none() {
+        return Err(format!(
+            "{} requires --limit ({})",
+            algo.label(),
+            algo.limit_name().unwrap_or("limit"),
+        ));
+    }
+    if !algo.needs_limit() && limit.is_some() {
+        return Err(format!("{} takes no --limit", algo.label()));
+    }
 
     // --frontier selects the worklist scheduling policy: auto (default),
     // dense, sparse, or off (full sweeps every iteration).
@@ -68,9 +92,11 @@ pub fn run(args: &Args) -> CmdResult {
     // own transpose lazily on the first pull sweep, so its spec is
     // just the loaded graph.
     let needs_transpose = !cpu
-        && match analytic {
-            "bfs" | "sssp" | "sswp" | "cc" => direction != Direction::Push,
-            "pr" | "pagerank" => direction == Direction::Pull,
+        && match algo {
+            Algo::Bfs | Algo::Sssp | Algo::Sswp | Algo::Cc | Algo::Khop | Algo::Paths => {
+                direction != Direction::Push
+            }
+            Algo::Pr => direction == Direction::Pull,
             _ => false,
         };
     let mut spec = PrepareSpec::from_file(&path).with_transpose(needs_transpose);
@@ -107,14 +133,14 @@ pub fn run(args: &Args) -> CmdResult {
     }
 
     if cpu {
-        if direction == Direction::Pull && matches!(analytic, "pr" | "pagerank") {
+        if direction == Direction::Pull && algo == Algo::Pr {
             return Err(
                 "pull-mode PageRank runs on the simulator; drop --cpu or use --direction push"
                     .into(),
             );
         }
         let mut out = run_cpu(
-            args, g, analytic, source, worklist, schedule, direction, &cancel,
+            args, g, algo, source, worklist, schedule, direction, &cancel,
         )?;
         if args.switch("stats") {
             out.push_str(&format_prepare_report(&prepared));
@@ -132,13 +158,81 @@ pub fn run(args: &Args) -> CmdResult {
         .with_cancel(cancel.clone());
     let rep = Representation::from_prepared(&prepared);
 
+    // The operator-pipeline workloads (k-hop, bounded paths, label
+    // propagation, triangle counting) report value summaries and
+    // iteration counts; the six paper analytics below keep their full
+    // simulator reports.
+    if matches!(algo, Algo::Khop | Algo::Paths | Algo::Lp | Algo::Tc) {
+        let pipeline = Pipeline::for_algo(algo, limit).map_err(|e| e.to_string())?;
+        let src = algo.needs_source().then_some(source);
+        let result = engine
+            .run_prepared_pipeline(&prepared, &pipeline, src)
+            .map_err(|e| e.to_string())?;
+        if result.cancelled {
+            return Err(timeout_message(format!(
+                "{} stopped after {} iterations",
+                algo.label(),
+                result.iterations
+            )));
+        }
+        let mut out = String::new();
+        match algo {
+            Algo::Khop => {
+                let k = limit.expect("arity checked above");
+                let reached = result.values.iter().filter(|&&v| v != u32::MAX).count();
+                out.push_str(&format!(
+                    "khop from {source}: {reached} nodes within {k} hops\n"
+                ));
+            }
+            Algo::Paths => {
+                let n = result.values.len() / 2;
+                let (dist, pred) = result.values.split_at(n);
+                let reached = dist.iter().filter(|&&d| d != u32::MAX).count();
+                let tree_edges = (0..n)
+                    .filter(|&v| dist[v] != u32::MAX && pred[v] != v as u32)
+                    .count();
+                out.push_str(&format!(
+                    "paths from {source}: {reached} nodes within cost {}, {tree_edges} tree edges\n",
+                    limit.expect("arity checked above"),
+                ));
+            }
+            Algo::Lp => {
+                let mut labels = result.values.clone();
+                labels.sort_unstable();
+                labels.dedup();
+                out.push_str(&format!(
+                    "lp after {} rounds: {} distinct labels\n",
+                    limit.expect("arity checked above"),
+                    labels.len()
+                ));
+            }
+            Algo::Tc => {
+                let corners: u64 = result.values.iter().map(|&c| u64::from(c)).sum();
+                out.push_str(&format!(
+                    "tc: {} triangles ({corners} corner incidences)\n",
+                    corners / 3
+                ));
+            }
+            _ => unreachable!(),
+        }
+        out.push_str(&format!(
+            "representation  {}\niterations      {}\n",
+            rep.label(),
+            result.iterations
+        ));
+        if args.switch("stats") {
+            out.push_str(&format_prepare_report(&prepared));
+        }
+        return Ok(out);
+    }
+
     let mut out = String::new();
-    let report = match analytic {
-        "bfs" | "sssp" | "sswp" | "cc" => {
-            let prog = match analytic {
-                "bfs" => MonotoneProgram::BFS,
-                "sssp" => MonotoneProgram::SSSP,
-                "sswp" => MonotoneProgram::SSWP,
+    let report = match algo {
+        Algo::Bfs | Algo::Sssp | Algo::Sswp | Algo::Cc => {
+            let prog = match algo {
+                Algo::Bfs => MonotoneProgram::BFS,
+                Algo::Sssp => MonotoneProgram::SSSP,
+                Algo::Sswp => MonotoneProgram::SSWP,
                 _ => MonotoneProgram::CC,
             };
             let src = prog.needs_source().then_some(source);
@@ -180,7 +274,7 @@ pub fn run(args: &Args) -> CmdResult {
             ));
             result.report
         }
-        "pr" | "pagerank" => {
+        Algo::Pr => {
             // Pull-mode PR gathers along in-edges: the prepared
             // transpose (and mirrored overlay) feeds it directly
             // (PageRank has no density switch, so auto means push here).
@@ -217,7 +311,7 @@ pub fn run(args: &Args) -> CmdResult {
             ));
             result.report
         }
-        "bc" => {
+        Algo::Bc => {
             let result = engine
                 .betweenness(&rep, source)
                 .map_err(|e| e.to_string())?;
@@ -235,7 +329,7 @@ pub fn run(args: &Args) -> CmdResult {
             }
             result.report
         }
-        other => return Err(format!("unknown analytic `{other}`\n{USAGE}")),
+        _ => unreachable!("pipeline workloads returned above"),
     };
 
     out.push_str(&format!(
@@ -266,7 +360,7 @@ pub fn run(args: &Args) -> CmdResult {
 fn run_cpu(
     args: &Args,
     g: &Csr,
-    analytic: &str,
+    algo: Algo,
     source: NodeId,
     frontier: bool,
     schedule: Option<CpuSchedule>,
@@ -292,24 +386,27 @@ fn run_cpu(
     // Pull and auto route through the pool backend's gather side (the
     // batched executor's one-lane case) instead of the push-only solo
     // CPU driver.
-    if direction != Direction::Push && matches!(analytic, "bfs" | "sssp" | "sswp" | "cc") {
-        return run_cpu_directed(args, g, analytic, source, engine, direction);
+    if direction != Direction::Push
+        && matches!(algo, Algo::Bfs | Algo::Sssp | Algo::Sswp | Algo::Cc)
+    {
+        return run_cpu_directed(args, g, algo, source, engine, direction);
     }
 
     let mut out = String::new();
-    let (iterations, edges, elapsed, sched) = match analytic {
-        "bfs" | "sssp" | "sswp" | "cc" => {
-            let prog = match analytic {
-                "bfs" => MonotoneProgram::BFS,
-                "sssp" => MonotoneProgram::SSSP,
-                "sswp" => MonotoneProgram::SSWP,
+    let (iterations, edges, elapsed, sched) = match algo {
+        Algo::Bfs | Algo::Sssp | Algo::Sswp | Algo::Cc => {
+            let prog = match algo {
+                Algo::Bfs => MonotoneProgram::BFS,
+                Algo::Sssp => MonotoneProgram::SSSP,
+                Algo::Sswp => MonotoneProgram::SSWP,
                 _ => MonotoneProgram::CC,
             };
             let src = prog.needs_source().then_some(source);
             let result = engine.run_cpu(g, prog, src);
             if result.cancelled {
                 return Err(timeout_message(format!(
-                    "{analytic} on cpu stopped after {} iterations",
+                    "{} on cpu stopped after {} iterations",
+                    algo.label(),
                     result.iterations
                 )));
             }
@@ -319,7 +416,8 @@ fn run_cpu(
                 .filter(|&&v| v != u32::MAX && v != 0)
                 .count();
             out.push_str(&format!(
-                "{analytic} on cpu: {finite} nodes with non-trivial values\n"
+                "{} on cpu: {finite} nodes with non-trivial values\n",
+                algo.label()
             ));
             (
                 result.iterations,
@@ -328,7 +426,7 @@ fn run_cpu(
                 result.sched,
             )
         }
-        "pr" | "pagerank" => {
+        Algo::Pr => {
             let result = engine.cpu_pagerank(g, &pr::PrOptions::default());
             if result.cancelled {
                 return Err(timeout_message(format!(
@@ -355,7 +453,8 @@ fn run_cpu(
         }
         other => {
             return Err(format!(
-                "analytic `{other}` is not supported on the CPU path\n{USAGE}"
+                "analytic `{}` is not supported on the CPU path\n{USAGE}",
+                other.label()
             ))
         }
     };
@@ -388,15 +487,15 @@ fn run_cpu(
 fn run_cpu_directed(
     args: &Args,
     g: &Csr,
-    analytic: &str,
+    algo: Algo,
     source: NodeId,
     engine: Engine,
     direction: Direction,
 ) -> CmdResult {
-    let prog = match analytic {
-        "bfs" => MonotoneProgram::BFS,
-        "sssp" => MonotoneProgram::SSSP,
-        "sswp" => MonotoneProgram::SSWP,
+    let prog = match algo {
+        Algo::Bfs => MonotoneProgram::BFS,
+        Algo::Sssp => MonotoneProgram::SSSP,
+        Algo::Sswp => MonotoneProgram::SSWP,
         _ => MonotoneProgram::CC,
     };
     let src = prog.needs_source().then_some(source);
@@ -410,7 +509,8 @@ fn run_cpu_directed(
     let elapsed = start.elapsed();
     if result.cancelled {
         return Err(timeout_message(format!(
-            "{analytic} on cpu stopped after {} iterations",
+            "{} on cpu stopped after {} iterations",
+            algo.label(),
             result.directions.len()
         )));
     }
@@ -439,7 +539,8 @@ fn run_cpu_directed(
         0.0
     };
     let mut out = format!(
-        "{analytic} on cpu: {finite} nodes with non-trivial values\ndirection       {direction_line}\nschedule        {}\nthreads         {}\niterations      {}\nedges touched   {}\nwall time       {:.3} ms ({:.1} Medges/s)\n",
+        "{} on cpu: {finite} nodes with non-trivial values\ndirection       {direction_line}\nschedule        {}\nthreads         {}\niterations      {}\nedges touched   {}\nwall time       {:.3} ms ({:.1} Medges/s)\n",
+        algo.label(),
         engine.cpu_options().schedule.label(),
         engine.cpu_options().threads,
         result.directions.len(),
@@ -464,8 +565,9 @@ fn format_schedule_stats(sched: &ScheduleStats) -> String {
     )
 }
 
-const USAGE: &str = "usage: tigr run <bfs|sssp|sswp|cc|pr|bc> --graph <file> \
-[--source N] [--virtual K [--coalesced]] [--direction push|pull|auto] \
+const USAGE: &str = "usage: tigr run <bfs|sssp|sswp|cc|pr|bc|khop|paths|lp|tc> --graph <file> \
+[--source N] [--limit K|RADIUS|ROUNDS] [--virtual K [--coalesced]] \
+[--direction push|pull|auto] \
 [--frontier auto|dense|sparse|off] [--deadline-ms MS] [--report] [--stats] \
 [--cache-dir DIR] [--mmap on|off|auto] [--verify eager|lazy] \
 [--cpu [--cpu-schedule node-chunk|edge-balanced|virtual] [--threads N]]";
@@ -724,5 +826,49 @@ mod tests {
         let path = fixture();
         let err = run(&parse(&format!("coloring --graph {path}"))).unwrap_err();
         assert!(err.contains("unknown analytic"));
+        // The rejection names the shared verb table.
+        assert!(err.contains("khop"), "{err}");
+        assert!(err.contains("tc"), "{err}");
+    }
+
+    #[test]
+    fn pipeline_workloads_run_from_the_cli() {
+        let path = fixture();
+        let out = run(&parse(&format!("khop --graph {path} --source 0 --limit 2"))).unwrap();
+        assert!(out.contains("khop from 0:"), "{out}");
+        assert!(out.contains("within 2 hops"), "{out}");
+        let out = run(&parse(&format!(
+            "paths --graph {path} --source 0 --limit 40"
+        )))
+        .unwrap();
+        assert!(out.contains("paths from 0:"), "{out}");
+        assert!(out.contains("tree edges"), "{out}");
+        let out = run(&parse(&format!("lp --graph {path} --limit 3"))).unwrap();
+        assert!(out.contains("lp after 3 rounds:"), "{out}");
+        assert!(out.contains("distinct labels"), "{out}");
+        let out = run(&parse(&format!("tc --graph {path}"))).unwrap();
+        assert!(out.contains("tc: "), "{out}");
+        assert!(out.contains("triangles"), "{out}");
+    }
+
+    #[test]
+    fn khop_widens_with_k_and_limit_arity_is_enforced() {
+        let path = fixture();
+        let reached = |out: &str| -> u64 {
+            out.lines()
+                .next()
+                .and_then(|l| l.split(':').nth(1))
+                .and_then(|l| l.split_whitespace().next())
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let narrow = run(&parse(&format!("khop --graph {path} --source 0 --limit 1"))).unwrap();
+        let wide = run(&parse(&format!("khop --graph {path} --source 0 --limit 8"))).unwrap();
+        assert!(reached(&narrow) < reached(&wide), "{narrow}\n{wide}");
+        let err = run(&parse(&format!("khop --graph {path} --source 0"))).unwrap_err();
+        assert!(err.contains("requires --limit (k)"), "{err}");
+        let err = run(&parse(&format!("bfs --graph {path} --limit 2"))).unwrap_err();
+        assert!(err.contains("takes no --limit"), "{err}");
     }
 }

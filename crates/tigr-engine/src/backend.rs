@@ -172,10 +172,14 @@ fn transpose_overlay(rev: &Csr, forward: &VirtualGraph) -> VirtualGraph {
 /// each value exactly once to its final level, so skipping claimed slots
 /// and stopping at the first improving parent is exact.
 fn bottom_up_exact(prog: &MonotoneProgram, g: &Csr) -> bool {
-    prog.edge_op == EdgeOp::AddWeight
-        && prog.combine == Combine::Min
-        && prog.init == InitKind::SourceZero
-        && g.weights().is_none()
+    let unit_distance = match prog.edge_op {
+        // Unweighted min-plus: every edge contributes 1.
+        EdgeOp::AddWeight => g.weights().is_none(),
+        // Hop counting ignores weights entirely.
+        EdgeOp::AddUnit => true,
+        _ => false,
+    };
+    unit_distance && prog.combine == Combine::Min && prog.init == InitKind::SourceZero
 }
 
 /// The generalized direction-optimizing driver: worklist push iterations
@@ -480,6 +484,12 @@ fn sequential_push(
     let mut iterations = 0usize;
     let mut converged = false;
     let mut cancelled = false;
+    // BSP double buffering mirrors the simulator driver: reads see only
+    // the previous iteration's values.
+    let mut prev_snapshot: Option<Vec<u32>> = match plan.push.sync {
+        SyncMode::Bsp => Some(values.snapshot()),
+        SyncMode::Relaxed => None,
+    };
     for _ in 0..plan.push.max_iterations {
         if plan.push.worklist && active.is_empty() {
             converged = true;
@@ -491,14 +501,18 @@ fn sequential_push(
         }
         iterations += 1;
         let mut changed = false;
+        let prev = prev_snapshot.as_deref();
         let mut relax = |slot: usize| {
             let v = NodeId::from_index(slot);
-            let d = values.load(slot);
+            let d = match prev {
+                Some(p) => p[slot],
+                None => values.load(slot),
+            };
             edges_touched += push_relax(
                 &mut NoMirror,
                 prog,
                 &values,
-                None,
+                prev,
                 d,
                 csr_edges(g, g.edge_start(v)..g.edge_end(v)),
                 |_, t| {
@@ -521,6 +535,9 @@ fn sequential_push(
         if !changed {
             converged = true;
             break;
+        }
+        if let Some(snapshot) = &mut prev_snapshot {
+            *snapshot = values.snapshot();
         }
     }
     MonotoneOutput {

@@ -46,6 +46,7 @@ pub mod batch;
 pub mod cpu_parallel;
 pub mod frontier;
 pub mod kernel;
+pub mod operators;
 pub mod plan;
 pub mod pool;
 mod program;
@@ -72,6 +73,10 @@ pub use frontier::{Frontier, FrontierBuilder, FrontierMode, FrontierRep, DENSE_F
 pub use kernel::{
     csr_edges, pull_gather, push_relax, relax_kernel, slice_edges, walk_segments, AccessMirror,
     EdgeFlow, EdgeRef, GatherFilter, LaneMirror, NoMirror,
+};
+pub use operators::{
+    AdvanceRelax, AdvanceSpace, Algo, ComputeStep, GraphOperator, OperatorCaps, Pipeline,
+    PipelineOutput, PipelineSpecError,
 };
 pub use plan::{AutoOptions, BackendKind, Direction, ExecutionPlan, PlanError};
 pub use program::{EdgeOp, InitKind, MonotoneProgram};

@@ -24,9 +24,12 @@ use std::fmt;
 use tigr_core::CancelToken;
 
 use crate::cpu_parallel::{CpuOptions, CpuSchedule};
+use crate::operators::Pipeline;
 use crate::program::MonotoneProgram;
 use crate::push::PushOptions;
 use crate::representation::Representation;
+
+use tigr_graph::NodeId;
 
 /// Traversal direction of a plan: which side of each edge does the work.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -185,6 +188,38 @@ impl ExecutionPlan {
         }
         Ok(())
     }
+
+    /// Checks the plan against a [`Pipeline`]'s typed operator
+    /// capabilities: source arity, split-invariance over physical
+    /// representations (Corollary 2/3), then — for monotone-bodied
+    /// pipelines — the per-program rules of [`ExecutionPlan::validate`]
+    /// (Theorem 3 and friends).
+    pub fn validate_pipeline(
+        &self,
+        rep: &Representation<'_>,
+        pipeline: &Pipeline,
+        source: Option<NodeId>,
+    ) -> Result<(), PlanError> {
+        if pipeline.needs_source() && source.is_none() {
+            return Err(PlanError::MissingSource {
+                pipeline: pipeline.name(),
+            });
+        }
+        if !pipeline.needs_source() && source.is_some() {
+            return Err(PlanError::UnexpectedSource {
+                pipeline: pipeline.name(),
+            });
+        }
+        if !pipeline.caps().split_invariant && matches!(rep, Representation::Physical(_)) {
+            return Err(PlanError::NotSplitInvariant {
+                pipeline: pipeline.name(),
+            });
+        }
+        if let Some(prog) = pipeline.monotone_program() {
+            self.validate(rep, &prog)?;
+        }
+        Ok(())
+    }
 }
 
 /// A plan combination the paper's theorems do not license.
@@ -213,6 +248,25 @@ pub enum PlanError {
         /// Label of the backend that cannot pull.
         backend: &'static str,
     },
+    /// The pipeline needs a source node and none was supplied.
+    MissingSource {
+        /// Name of the offending pipeline.
+        pipeline: &'static str,
+    },
+    /// The pipeline takes no source node but one was supplied.
+    UnexpectedSource {
+        /// Name of the offending pipeline.
+        pipeline: &'static str,
+    },
+    /// The pipeline is not split-invariant — no dumb-weight assignment
+    /// preserves its answer (an [`crate::EdgeOp::AddUnit`] advance, a
+    /// compute step reading the original adjacency, or a fixed-round
+    /// snapshot), so running it over a physically split (UDT)
+    /// representation would compute a different result.
+    NotSplitInvariant {
+        /// Name of the offending pipeline.
+        pipeline: &'static str,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -237,6 +291,17 @@ impl fmt::Display for PlanError {
             PlanError::PullUnsupportedOnBackend { backend } => {
                 write!(f, "backend `{backend}` has no pull execution path")
             }
+            PlanError::MissingSource { pipeline } => {
+                write!(f, "pipeline `{pipeline}` requires a source node")
+            }
+            PlanError::UnexpectedSource { pipeline } => {
+                write!(f, "pipeline `{pipeline}` takes no source node")
+            }
+            PlanError::NotSplitInvariant { pipeline } => write!(
+                f,
+                "pipeline `{pipeline}` is not split-invariant: no dumb-weight assignment \
+                 preserves its answer over a physically split (UDT) representation"
+            ),
         }
     }
 }
@@ -375,6 +440,79 @@ mod tests {
             plan.validate(&rep, &non_associative()),
             Err(PlanError::PullNeedsAssociativity { .. })
         ));
+    }
+
+    #[test]
+    fn pipeline_source_arity_is_typed() {
+        use crate::operators::Pipeline;
+        let g = star_graph(8);
+        let rep = Representation::Original(&g);
+        let plan = ExecutionPlan::default();
+        assert_eq!(
+            plan.validate_pipeline(&rep, &Pipeline::bfs(), None),
+            Err(PlanError::MissingSource { pipeline: "bfs" })
+        );
+        let err = plan
+            .validate_pipeline(&rep, &Pipeline::cc(), Some(NodeId::new(0)))
+            .unwrap_err();
+        assert_eq!(err, PlanError::UnexpectedSource { pipeline: "cc" });
+        assert!(err.to_string().contains("takes no source"));
+        assert!(plan
+            .validate_pipeline(&rep, &Pipeline::bfs(), Some(NodeId::new(0)))
+            .is_ok());
+        assert!(plan.validate_pipeline(&rep, &Pipeline::cc(), None).is_ok());
+    }
+
+    #[test]
+    fn non_split_invariant_pipelines_rejected_on_physical() {
+        use crate::operators::Pipeline;
+        let g = star_graph(32);
+        let t = tigr_core::udt_transform(&g, 4, tigr_core::DumbWeight::Zero);
+        let phys = Representation::Physical(&t);
+        let plan = ExecutionPlan::default();
+        for (p, src) in [
+            (Pipeline::khop(2), Some(NodeId::new(0))),
+            (Pipeline::bounded_paths(10), Some(NodeId::new(0))),
+            (Pipeline::label_propagation(3), None),
+            (Pipeline::triangle_count(), None),
+        ] {
+            let err = plan.validate_pipeline(&phys, &p, src).unwrap_err();
+            assert!(
+                matches!(err, PlanError::NotSplitInvariant { .. }),
+                "{}: {err}",
+                p.name()
+            );
+            assert!(err.to_string().contains("split-invariant"));
+            // The same pipelines are licensed over unsplit views.
+            assert!(plan
+                .validate_pipeline(&Representation::Original(&g), &p, src)
+                .is_ok());
+        }
+        // Split-invariant analytics still pass over physical splits.
+        assert!(plan
+            .validate_pipeline(&phys, &Pipeline::sssp(), Some(NodeId::new(0)))
+            .is_ok());
+    }
+
+    #[test]
+    fn pipeline_validation_delegates_monotone_rules() {
+        use crate::operators::Pipeline;
+        let g = star_graph(32);
+        let t = tigr_core::udt_transform(&g, 4, tigr_core::DumbWeight::Zero);
+        let plan = ExecutionPlan {
+            direction: Direction::Pull,
+            ..ExecutionPlan::default()
+        };
+        // BFS is split-invariant, so the pipeline check falls through to
+        // the per-program Corollary 4 rule.
+        assert_eq!(
+            plan.validate_pipeline(
+                &Representation::Physical(&t),
+                &Pipeline::bfs(),
+                Some(NodeId::new(0))
+            ),
+            Err(PlanError::PullOverPhysical)
+        );
     }
 
     #[test]

@@ -24,6 +24,19 @@ pub enum EdgeOp {
     MinWeight,
     /// `candidate = value`: label propagation for CC; weights ignored.
     Copy,
+    /// `candidate = value + 1` (saturating), weight ignored: true hop
+    /// counts (k-hop neighborhoods) even on weighted graphs. Unlike
+    /// [`EdgeOp::AddWeight`] there is no inert dumb weight, so physical
+    /// splits inflate the count by one per split edge — plan validation
+    /// rejects it over UDT representations.
+    AddUnit,
+    /// `candidate = value + weight`, but candidates above the cap
+    /// collapse to `∞`: bounded-cost reachability (SSSP with a radius
+    /// cutoff). With non-negative weights every prefix of a within-cap
+    /// path is itself within the cap, so the fixpoint equals plain SSSP
+    /// clamped at the radius. Zero dumb weights stay inert
+    /// (`∞ + 0 = ∞`, and a within-cap value survives adding zero).
+    AddWeightCapped(u32),
 }
 
 impl EdgeOp {
@@ -33,7 +46,24 @@ impl EdgeOp {
             EdgeOp::AddWeight => value.saturating_add(weight),
             EdgeOp::MinWeight => value.min(weight),
             EdgeOp::Copy => value,
+            EdgeOp::AddUnit => value.saturating_add(1),
+            EdgeOp::AddWeightCapped(cap) => {
+                let cand = value.saturating_add(weight);
+                if cand > cap {
+                    u32::MAX
+                } else {
+                    cand
+                }
+            }
         }
+    }
+
+    /// Whether the op admits an inert dumb-weight assignment (Corollary
+    /// 2/3): a physically split graph with that assignment computes the
+    /// same fixpoint. [`EdgeOp::AddUnit`] charges every edge — split
+    /// edges included — so no assignment keeps it exact.
+    pub fn split_invariant(self) -> bool {
+        !matches!(self, EdgeOp::AddUnit)
     }
 }
 
@@ -94,6 +124,18 @@ impl MonotoneProgram {
         edge_op: EdgeOp::MinWeight,
         combine: Combine::Max,
         init: InitKind::SourceMax,
+        associative: true,
+    };
+
+    /// Hop counts regardless of edge weights: every relaxation adds one
+    /// ([`EdgeOp::AddUnit`]). The k-hop pipeline masks values above `k`
+    /// afterwards; the fixpoint itself is `k`-independent, which is what
+    /// lets mixed-`k` queries share a fused batch lane.
+    pub const KHOP: MonotoneProgram = MonotoneProgram {
+        name: "khop",
+        edge_op: EdgeOp::AddUnit,
+        combine: Combine::Min,
+        init: InitKind::SourceZero,
         associative: true,
     };
 
@@ -158,6 +200,25 @@ mod tests {
         assert_eq!(EdgeOp::MinWeight.apply(5, 3), 3);
         assert_eq!(EdgeOp::MinWeight.apply(2, 9), 2);
         assert_eq!(EdgeOp::Copy.apply(7, 100), 7);
+        assert_eq!(EdgeOp::AddUnit.apply(4, 100), 5, "weight ignored");
+        assert_eq!(EdgeOp::AddUnit.apply(u32::MAX, 1), u32::MAX, "∞ absorbs");
+        assert_eq!(EdgeOp::AddWeightCapped(10).apply(5, 3), 8);
+        assert_eq!(
+            EdgeOp::AddWeightCapped(10).apply(5, 6),
+            u32::MAX,
+            "over cap"
+        );
+        assert_eq!(EdgeOp::AddWeightCapped(10).apply(10, 0), 10, "at cap");
+        assert_eq!(EdgeOp::AddWeightCapped(10).apply(u32::MAX, 0), u32::MAX);
+    }
+
+    #[test]
+    fn split_invariance_flags() {
+        assert!(EdgeOp::AddWeight.split_invariant());
+        assert!(EdgeOp::MinWeight.split_invariant());
+        assert!(EdgeOp::Copy.split_invariant());
+        assert!(EdgeOp::AddWeightCapped(7).split_invariant());
+        assert!(!EdgeOp::AddUnit.split_invariant());
     }
 
     #[test]

@@ -18,9 +18,12 @@ use crate::cpu_parallel::{
     CpuSchedule,
 };
 use crate::frontier::FrontierMode;
+use crate::operators::{
+    mask_above, predecessors, triangle_counts, ComputeStep, Pipeline, PipelineBody, PipelineOutput,
+};
 use crate::plan::{BackendKind, Direction, ExecutionPlan, PlanError};
 use crate::program::MonotoneProgram;
-use crate::push::{MonotoneOutput, PushOptions};
+use crate::push::{MonotoneOutput, PushOptions, SyncMode};
 use crate::representation::Representation;
 
 /// Errors an engine run can produce.
@@ -226,12 +229,26 @@ impl Engine {
     ) -> Result<MonotoneOutput, EngineError> {
         self.check_footprint(rep)?;
         self.plan.validate(rep, &prog)?;
+        self.dispatch_monotone(rep, None, prog, source)
+    }
+
+    /// The one backend dispatch every monotone entry point — legacy
+    /// programs and operator pipelines alike — funnels through, so
+    /// pipeline-built analytics are byte-equal to the pre-operator
+    /// engines by construction.
+    fn dispatch_monotone(
+        &self,
+        rep: &Representation<'_>,
+        pull_side: Option<PullSide<'_>>,
+        prog: MonotoneProgram,
+        source: Option<NodeId>,
+    ) -> Result<MonotoneOutput, EngineError> {
         match self.plan.backend {
             // The engine owns the simulator, so it dispatches directly
             // rather than constructing a throwaway WarpSim.
-            BackendKind::WarpSim => {
-                Ok(run_sim_plan(&self.sim, rep, None, prog, source, &self.plan))
-            }
+            BackendKind::WarpSim => Ok(run_sim_plan(
+                &self.sim, rep, pull_side, prog, source, &self.plan,
+            )),
             BackendKind::CpuPool => CpuPool.run_monotone(rep, prog, source, &self.plan),
             BackendKind::Sequential => Sequential.run_monotone(rep, prog, source, &self.plan),
         }
@@ -256,18 +273,164 @@ impl Engine {
         let rep = Representation::from_prepared(prepared);
         self.check_footprint(&rep)?;
         self.plan.validate(&rep, &prog)?;
-        match self.plan.backend {
-            BackendKind::WarpSim => {
-                let pull_side = prepared.transpose().map(|reverse| PullSide {
-                    reverse,
-                    overlay: prepared.rev_overlay(),
-                });
-                Ok(run_sim_plan(
-                    &self.sim, &rep, pull_side, prog, source, &self.plan,
-                ))
+        let pull_side = prepared.transpose().map(|reverse| PullSide {
+            reverse,
+            overlay: prepared.rev_overlay(),
+        });
+        self.dispatch_monotone(&rep, pull_side, prog, source)
+    }
+
+    /// Runs an operator [`Pipeline`] under the assembled plan: the
+    /// algorithm-as-data entry point. Monotone pipelines lower onto the
+    /// exact dispatch [`Engine::run_program`] uses (byte-identical
+    /// outputs); PR/BC pipelines run their dedicated drivers with
+    /// results reinterpreted as bit patterns; compute-only pipelines
+    /// (triangle counting) never traverse at all.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::OutOfMemory`] on budget overflow, or
+    /// [`EngineError::InvalidPlan`] when the pipeline's typed
+    /// capabilities reject the representation/plan combination (see
+    /// [`crate::ExecutionPlan::validate_pipeline`]).
+    pub fn run_pipeline(
+        &self,
+        rep: &Representation<'_>,
+        pipeline: &Pipeline,
+        source: Option<NodeId>,
+    ) -> Result<PipelineOutput, EngineError> {
+        self.check_footprint(rep)?;
+        self.plan.validate_pipeline(rep, pipeline, source)?;
+        self.run_pipeline_validated(rep, None, pipeline, source)
+    }
+
+    /// Runs an operator [`Pipeline`] over a [`PreparedGraph`]; prepared
+    /// transpose/overlay views feed the pull and auto paths directly
+    /// (see [`Engine::run_prepared`] and [`Engine::pagerank_prepared`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run_pipeline`].
+    pub fn run_prepared_pipeline(
+        &self,
+        prepared: &PreparedGraph,
+        pipeline: &Pipeline,
+        source: Option<NodeId>,
+    ) -> Result<PipelineOutput, EngineError> {
+        let rep = Representation::from_prepared(prepared);
+        self.check_footprint(&rep)?;
+        self.plan.validate_pipeline(&rep, pipeline, source)?;
+        if let PipelineBody::PageRank(options) = &pipeline.body {
+            let out = self.pagerank_prepared(prepared, options)?;
+            return Ok(PipelineOutput {
+                values: float_bits(&out.ranks),
+                iterations: out.report.num_iterations() as u64,
+                converged: out.converged,
+                cancelled: out.cancelled,
+            });
+        }
+        let pull_side = prepared.transpose().map(|reverse| PullSide {
+            reverse,
+            overlay: prepared.rev_overlay(),
+        });
+        self.run_pipeline_validated(&rep, pull_side, pipeline, source)
+    }
+
+    fn run_pipeline_validated(
+        &self,
+        rep: &Representation<'_>,
+        pull_side: Option<PullSide<'_>>,
+        pipeline: &Pipeline,
+        source: Option<NodeId>,
+    ) -> Result<PipelineOutput, EngineError> {
+        match &pipeline.body {
+            PipelineBody::Monotone { prog, rounds, post } => {
+                let out = match rounds {
+                    None => self.dispatch_monotone(rep, pull_side, *prog, source)?,
+                    Some(rounds) => self.run_rounds(rep, *prog, source, *rounds)?,
+                };
+                let mut values = out.values;
+                match post {
+                    None => {}
+                    Some(ComputeStep::MaskAbove(bound)) => mask_above(&mut values, *bound),
+                    Some(ComputeStep::Predecessors) => {
+                        let src = source.expect("validated: paths requires a source");
+                        let preds = predecessors(rep.graph(), prog.edge_op, &values, src);
+                        values.extend_from_slice(&preds);
+                    }
+                    Some(step) => unreachable!("{step:?} is not a monotone post-pass"),
+                }
+                Ok(PipelineOutput {
+                    values,
+                    iterations: out.directions.len() as u64,
+                    converged: out.converged,
+                    cancelled: out.cancelled,
+                })
             }
-            BackendKind::CpuPool => CpuPool.run_monotone(&rep, prog, source, &self.plan),
-            BackendKind::Sequential => Sequential.run_monotone(&rep, prog, source, &self.plan),
+            PipelineBody::PageRank(options) => {
+                let g = rep.graph();
+                let degrees = pr::out_degrees(g);
+                let out = if options.mode == pr::PrMode::Pull {
+                    // The pull driver gathers over the transpose; build
+                    // it here (the prepared path reuses cached views).
+                    let rev = tigr_graph::reverse::transpose(g);
+                    self.pagerank(&Representation::Original(&rev), &degrees, options)?
+                } else {
+                    self.pagerank(rep, &degrees, options)?
+                };
+                Ok(PipelineOutput {
+                    values: float_bits(&out.ranks),
+                    iterations: out.report.num_iterations() as u64,
+                    converged: out.converged,
+                    cancelled: out.cancelled,
+                })
+            }
+            PipelineBody::Betweenness => {
+                let src = source.expect("validated: bc requires a source");
+                let out = self.betweenness(rep, src)?;
+                Ok(PipelineOutput {
+                    values: float_bits(&out.centrality),
+                    iterations: out.report.num_iterations() as u64,
+                    converged: true,
+                    cancelled: false,
+                })
+            }
+            PipelineBody::ComputeOnly(ComputeStep::TriangleCount) => Ok(PipelineOutput {
+                values: triangle_counts(rep.graph()),
+                iterations: 0,
+                converged: true,
+                cancelled: false,
+            }),
+            PipelineBody::ComputeOnly(step) => {
+                unreachable!("{step:?} is not a standalone pipeline")
+            }
+        }
+    }
+
+    /// Runs a monotone program for exactly `rounds` synchronous (BSP)
+    /// full sweeps — the label-propagation schedule. The pipeline pins
+    /// push + BSP + no worklist so the per-round state is the classic
+    /// Jacobi iteration on every backend; the CPU pool (whose sweeps
+    /// are relaxed-only) degrades to the sequential reference, exactly
+    /// as the batch former degrades the simulator.
+    fn run_rounds(
+        &self,
+        rep: &Representation<'_>,
+        prog: MonotoneProgram,
+        source: Option<NodeId>,
+        rounds: usize,
+    ) -> Result<MonotoneOutput, EngineError> {
+        let mut plan = self.plan.clone();
+        plan.direction = Direction::Push;
+        plan.push.worklist = false;
+        plan.push.sync = SyncMode::Bsp;
+        plan.push.max_iterations = rounds;
+        if plan.backend == BackendKind::CpuPool {
+            plan.backend = BackendKind::Sequential;
+        }
+        match plan.backend {
+            BackendKind::WarpSim => Ok(run_sim_plan(&self.sim, rep, None, prog, source, &plan)),
+            _ => Sequential.run_monotone(rep, prog, source, &plan),
         }
     }
 
@@ -518,6 +681,13 @@ impl Engine {
         self.check_footprint(rep)?;
         Ok(bc::run(&self.sim, rep, source))
     }
+}
+
+/// Reinterprets `f32` results as `u32` bit patterns
+/// ([`ComputeStep::FloatBits`]): PR/BC travel the same wire format as
+/// the monotone analytics.
+fn float_bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
 }
 
 /// Sequential batch fallback for plans with no fused executor (forced

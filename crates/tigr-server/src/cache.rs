@@ -24,8 +24,11 @@ pub struct CacheKey {
     pub graph: String,
     /// Analytic.
     pub algo: Algo,
-    /// Source node (`None` for CC / PR).
+    /// Source node (`None` for the sourceless analytics).
     pub source: Option<u32>,
+    /// Algo-specific bound (`k` / `radius` / `rounds`; `None` for
+    /// unlimited analytics) — part of the answer, so part of the key.
+    pub limit: Option<u32>,
     /// Execution-plan fingerprint (backend × direction), so results
     /// from different plans never alias.
     pub plan: &'static str,
@@ -183,6 +186,7 @@ mod tests {
             graph: graph.into(),
             algo: Algo::Bfs,
             source: Some(source),
+            limit: None,
             plan: "sequential:push",
         }
     }
@@ -232,6 +236,12 @@ mod tests {
         let mut other_plan = key("g", 0);
         other_plan.plan = "cpupool:push";
         assert!(cache.get(&other_plan).is_none(), "plan aliased");
+        let mut limited = key("g", 0);
+        limited.algo = Algo::Khop;
+        cache.insert(limited.clone(), result(2));
+        let mut other_limit = limited.clone();
+        other_limit.limit = Some(3);
+        assert!(cache.get(&other_limit).is_none(), "limit aliased");
     }
 
     #[test]

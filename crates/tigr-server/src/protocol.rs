@@ -1,12 +1,17 @@
 //! The wire protocol: line-delimited JSON requests and responses.
 //!
-//! Grammar (one JSON object per line, newline-terminated):
+//! Grammar (one JSON object per line, newline-terminated; the `algo`
+//! alternatives and `code` list are asserted against
+//! [`Algo::ALL`]/[`ErrorCode`] by `grammar_doc_matches_algo_table`, so a
+//! new verb registered in the shared [`Algo`] table must update this
+//! comment — and nothing else — to ship):
 //!
 //! ```text
 //! request  = query | stats | ping
-//! query    = {"op":"query", "graph":<name>, "algo":"bfs"|"sssp"|"sswp"|"cc"|"pr",
-//!             "source":<u32>?, "deadline_ms":<u64>?, "cache":<bool>?,
-//!             "values":<bool>?}
+//! query    = {"op":"query", "graph":<name>,
+//!             "algo":"bfs"|"sssp"|"sswp"|"cc"|"pr"|"bc"|"khop"|"paths"|"lp"|"tc",
+//!             "source":<u32>?, "limit":<u32>?, "deadline_ms":<u64>?,
+//!             "cache":<bool>?, "values":<bool>?}
 //! stats    = {"op":"stats"}
 //! ping     = {"op":"ping"}
 //!
@@ -16,62 +21,30 @@
 //!             "cached":<bool>, "wall_us":<u64>, "values":[<u32>...]?}
 //! error    = {"ok":false, "error":{"code":<code>, "message":<text>}}
 //! code     = "queue-full" | "deadline-exceeded" | "bad-request"
-//!          | "unknown-graph" | "invalid-plan" | "internal" | "shutdown"
+//!          | "unknown-algo" | "unknown-graph" | "invalid-plan"
+//!          | "internal" | "shutdown"
 //! ```
 //!
-//! All node values travel as `u32`; PageRank ranks are sent as the IEEE
-//! 754 bit patterns of their `f32` values (`f32::to_bits`), so results
-//! compare byte-for-byte with a local run — no float formatting drift.
+//! `source` is required iff the algo takes one ([`Algo::needs_source`]);
+//! `limit` is required iff the algo takes one ([`Algo::needs_limit`] —
+//! `k` for `khop`, `radius` for `paths`, `rounds` for `lp`). An
+//! `unknown-algo` error's message lists every known verb.
+//!
+//! All node values travel as `u32`; PageRank ranks and betweenness
+//! scores are sent as the IEEE 754 bit patterns of their `f32` values
+//! (`f32::to_bits`), so results compare byte-for-byte with a local run —
+//! no float formatting drift. Bounded-path (`paths`) responses carry
+//! `2n` values: distances followed by predecessors.
 
 use std::fmt;
 
 use crate::json::{obj, parse, Json};
 use crate::stats::StatsSnapshot;
 
-/// The analytics the server can execute.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum Algo {
-    /// Breadth-first search (hop counts).
-    Bfs,
-    /// Single-source shortest paths.
-    Sssp,
-    /// Single-source widest paths.
-    Sswp,
-    /// Connected components (no source).
-    Cc,
-    /// PageRank snapshot (no source; ranks as `f32` bit patterns).
-    Pr,
-}
-
-impl Algo {
-    /// Stable lowercase label.
-    pub fn label(self) -> &'static str {
-        match self {
-            Algo::Bfs => "bfs",
-            Algo::Sssp => "sssp",
-            Algo::Sswp => "sswp",
-            Algo::Cc => "cc",
-            Algo::Pr => "pr",
-        }
-    }
-
-    /// Parses a label.
-    pub fn parse(s: &str) -> Option<Self> {
-        match s.to_ascii_lowercase().as_str() {
-            "bfs" => Some(Algo::Bfs),
-            "sssp" => Some(Algo::Sssp),
-            "sswp" => Some(Algo::Sswp),
-            "cc" => Some(Algo::Cc),
-            "pr" | "pagerank" => Some(Algo::Pr),
-            _ => None,
-        }
-    }
-
-    /// Whether this analytic takes a source node.
-    pub fn needs_source(self) -> bool {
-        matches!(self, Algo::Bfs | Algo::Sssp | Algo::Sswp)
-    }
-}
+/// The shared algorithm table: the CLI, the server, and this protocol
+/// all dispatch through [`tigr_engine::Algo`], so a verb is registered
+/// in exactly one place.
+pub use tigr_engine::Algo;
 
 /// A single algorithm query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -82,6 +55,10 @@ pub struct QueryRequest {
     pub algo: Algo,
     /// Source node (required iff [`Algo::needs_source`]).
     pub source: Option<u32>,
+    /// Algo-specific bound (required iff [`Algo::needs_limit`]): `k`
+    /// for k-hop, `radius` for bounded paths, `rounds` for label
+    /// propagation.
+    pub limit: Option<u32>,
     /// Per-request deadline; `None` uses the server default.
     pub deadline_ms: Option<u64>,
     /// Consult/populate the result cache (default `true`).
@@ -98,10 +75,17 @@ impl QueryRequest {
             graph: graph.into(),
             algo,
             source,
+            limit: None,
             deadline_ms: None,
             cache: true,
             include_values: false,
         }
+    }
+
+    /// Sets the algo-specific limit (builder style).
+    pub fn with_limit(mut self, limit: u32) -> Self {
+        self.limit = Some(limit);
+        self
     }
 }
 
@@ -126,6 +110,9 @@ pub enum ErrorCode {
     DeadlineExceeded,
     /// The request line failed to parse or validate.
     BadRequest,
+    /// The requested algo verb is not in the [`Algo`] table; the error
+    /// message lists every known verb.
+    UnknownAlgo,
     /// No graph is registered under the requested name.
     UnknownGraph,
     /// The requested execution plan is invalid for this graph/program.
@@ -143,6 +130,7 @@ impl ErrorCode {
             ErrorCode::QueueFull => "queue-full",
             ErrorCode::DeadlineExceeded => "deadline-exceeded",
             ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownAlgo => "unknown-algo",
             ErrorCode::UnknownGraph => "unknown-graph",
             ErrorCode::InvalidPlan => "invalid-plan",
             ErrorCode::Internal => "internal",
@@ -156,6 +144,7 @@ impl ErrorCode {
             "queue-full" => Some(ErrorCode::QueueFull),
             "deadline-exceeded" => Some(ErrorCode::DeadlineExceeded),
             "bad-request" => Some(ErrorCode::BadRequest),
+            "unknown-algo" => Some(ErrorCode::UnknownAlgo),
             "unknown-graph" => Some(ErrorCode::UnknownGraph),
             "invalid-plan" => Some(ErrorCode::InvalidPlan),
             "internal" => Some(ErrorCode::Internal),
@@ -264,6 +253,9 @@ pub fn encode_request(req: &Request) -> String {
             if let Some(s) = q.source {
                 pairs.push(("source".to_owned(), s.into()));
             }
+            if let Some(l) = q.limit {
+                pairs.push(("limit".to_owned(), l.into()));
+            }
             if let Some(d) = q.deadline_ms {
                 pairs.push(("deadline_ms".to_owned(), d.into()));
             }
@@ -301,8 +293,15 @@ pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
                 .get("algo")
                 .and_then(Json::as_str)
                 .ok_or_else(|| bad("query requires \"algo\""))?;
-            let algo = Algo::parse(algo_label)
-                .ok_or_else(|| bad(&format!("unknown algo {algo_label:?}")))?;
+            let algo = Algo::parse(algo_label).ok_or_else(|| {
+                ProtocolError::new(
+                    ErrorCode::UnknownAlgo,
+                    format!(
+                        "unknown algo {algo_label:?}; known: {}",
+                        Algo::known_labels()
+                    ),
+                )
+            })?;
             let source = match v.get("source") {
                 None | Some(Json::Null) => None,
                 Some(s) => Some(
@@ -316,6 +315,24 @@ pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
             }
             if !algo.needs_source() && source.is_some() {
                 return Err(bad(&format!("{} takes no \"source\"", algo.label())));
+            }
+            let limit = match v.get("limit") {
+                None | Some(Json::Null) => None,
+                Some(l) => Some(
+                    l.as_u64()
+                        .filter(|&n| n <= u64::from(u32::MAX))
+                        .ok_or_else(|| bad("\"limit\" must be a u32"))? as u32,
+                ),
+            };
+            if algo.needs_limit() && limit.is_none() {
+                return Err(bad(&format!(
+                    "{} requires \"limit\" ({})",
+                    algo.label(),
+                    algo.limit_name().unwrap_or("limit"),
+                )));
+            }
+            if !algo.needs_limit() && limit.is_some() {
+                return Err(bad(&format!("{} takes no \"limit\"", algo.label())));
             }
             let deadline_ms = match v.get("deadline_ms") {
                 None | Some(Json::Null) => None,
@@ -338,6 +355,7 @@ pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
                 graph,
                 algo,
                 source,
+                limit,
                 deadline_ms,
                 cache,
                 include_values,
@@ -476,10 +494,15 @@ mod tests {
             graph: "road".into(),
             algo: Algo::Sssp,
             source: Some(17),
+            limit: None,
             deadline_ms: Some(250),
             cache: false,
             include_values: true,
         });
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+
+        // A limited verb round-trips its limit.
+        let req = Request::Query(QueryRequest::new("road", Algo::Khop, Some(4)).with_limit(3));
         assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
 
         let resp = Response::Query(QueryResult {
@@ -523,18 +546,103 @@ mod tests {
     }
 
     #[test]
+    fn limit_rules_enforced() {
+        // Missing limit on a limited verb names the parameter.
+        let err =
+            decode_request(r#"{"op":"query","graph":"g","algo":"khop","source":0}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("(k)"), "{}", err.message);
+        // Limit on an unlimited verb.
+        let err = decode_request(r#"{"op":"query","graph":"g","algo":"bfs","source":0,"limit":3}"#)
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        // Non-u32 limit.
+        let err =
+            decode_request(r#"{"op":"query","graph":"g","algo":"lp","limit":-2}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        // Every limited verb decodes with one.
+        for line in [
+            r#"{"op":"query","graph":"g","algo":"khop","source":0,"limit":2}"#,
+            r#"{"op":"query","graph":"g","algo":"paths","source":0,"limit":9}"#,
+            r#"{"op":"query","graph":"g","algo":"lp","limit":5}"#,
+        ] {
+            assert!(decode_request(line).is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn unknown_verbs_list_the_table() {
+        let err = decode_request(r#"{"op":"query","graph":"g","algo":"warp"}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownAlgo);
+        for algo in Algo::ALL {
+            assert!(
+                err.message.contains(algo.label()),
+                "unknown-algo message misses {:?}: {}",
+                algo.label(),
+                err.message
+            );
+        }
+    }
+
+    #[test]
     fn malformed_lines_are_bad_request() {
         for line in [
             "",
             "not json",
             "{}",
             r#"{"op":"nope"}"#,
-            r#"{"op":"query","graph":"g","algo":"warp"}"#,
             r#"{"op":"query","graph":"g","algo":"bfs","source":-1}"#,
             r#"{"op":"query","graph":"g","algo":"bfs","source":1.5}"#,
         ] {
             let err = decode_request(line).unwrap_err();
             assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
+        }
+    }
+
+    /// The grammar doc comment at the top of this file is contract, not
+    /// prose: its `"algo":` alternatives must be exactly [`Algo::ALL`]
+    /// (in order) and its `code` list must cover every [`ErrorCode`].
+    #[test]
+    fn grammar_doc_matches_algo_table() {
+        let doc: Vec<&str> = include_str!("protocol.rs")
+            .lines()
+            .take_while(|l| l.starts_with("//!"))
+            .collect();
+
+        let algo_line = doc
+            .iter()
+            .find(|l| l.contains(r#""algo":"#))
+            .expect("grammar doc lost its \"algo\": line");
+        let advertised: Vec<&str> = algo_line
+            .split(r#""algo":"#)
+            .nth(1)
+            .unwrap()
+            .trim_end_matches(',')
+            .split('|')
+            .map(|v| v.trim().trim_matches('"'))
+            .collect();
+        let table: Vec<&str> = Algo::ALL.iter().map(|a| a.label()).collect();
+        assert_eq!(
+            advertised, table,
+            "protocol.rs grammar doc disagrees with the Algo table"
+        );
+
+        let code_region = doc.join("\n");
+        for code in [
+            ErrorCode::QueueFull,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownAlgo,
+            ErrorCode::UnknownGraph,
+            ErrorCode::InvalidPlan,
+            ErrorCode::Internal,
+            ErrorCode::Shutdown,
+        ] {
+            assert!(
+                code_region.contains(&format!("\"{}\"", code.label())),
+                "grammar doc's code list misses {:?}",
+                code.label()
+            );
         }
     }
 

@@ -43,8 +43,8 @@ use std::time::{Duration, Instant};
 
 use tigr_core::{CancelToken, PreparedGraph};
 use tigr_engine::{
-    pr, BackendKind, BatchArena, BatchLane, BatchProgram, CpuOptions, Direction, Engine,
-    EngineError,
+    operators, BackendKind, BatchArena, BatchLane, BatchProgram, CpuOptions, Direction, Engine,
+    EngineError, Pipeline,
 };
 use tigr_graph::NodeId;
 
@@ -300,6 +300,26 @@ impl ServerCore {
                 format!("{} takes no source", query.algo.label()),
             );
         }
+        // Limit arity likewise: the wire decoder already rejects these,
+        // but in-process clients deserve the same typed answer.
+        if query.algo.needs_limit() && query.limit.is_none() {
+            self.stats.record_failed();
+            return Response::error(
+                ErrorCode::BadRequest,
+                format!(
+                    "{} requires a limit ({})",
+                    query.algo.label(),
+                    query.algo.limit_name().unwrap_or("limit"),
+                ),
+            );
+        }
+        if !query.algo.needs_limit() && query.limit.is_some() {
+            self.stats.record_failed();
+            return Response::error(
+                ErrorCode::BadRequest,
+                format!("{} takes no limit", query.algo.label()),
+            );
+        }
         if let Some(source) = query.source {
             let nodes = prepared.graph().num_nodes();
             if source as usize >= nodes {
@@ -358,17 +378,19 @@ impl ServerCore {
         // batches. Incompatible jobs stay queued for other workers.
         while let Some((batch, formed_in)) =
             self.queue.pop_batch(self.config.batch_max, wait, |a, b| {
-                a.request.algo != Algo::Pr
+                a.request.algo.batchable()
                     && a.request.algo == b.request.algo
                     && a.request.graph == b.request.graph
             })
         {
             self.stats
                 .record_formation_wait(formed_in.as_micros() as u64);
-            if batch[0].request.algo == Algo::Pr {
-                // PageRank is not a monotone program and cannot share a
-                // fused sweep; it keeps the solo executor. The compat
-                // check above never fuses anything with it.
+            if !batch[0].request.algo.batchable() {
+                // Non-monotone or post-processed analytics (PR, BC,
+                // paths, lp, tc) cannot share a fused sweep; they keep
+                // the solo executor. The compat check above never fuses
+                // anything with them. (khop batches: its fixpoint is
+                // k-independent, so mixed-k jobs fuse and mask per job.)
                 let job = batch.into_iter().next().expect("non-empty batch");
                 let slot = Arc::clone(&job.slot);
                 let outcome = catch_unwind(AssertUnwindSafe(|| self.execute(job)));
@@ -410,11 +432,12 @@ impl ServerCore {
                     graph: graph_name.clone(),
                     algo,
                     source: job.request.source,
+                    limit: job.request.limit,
                     plan: self.config.plan_fingerprint(),
                 };
                 if let Some(hit) = self.cache.get(&key) {
                     let wall_us = job.received.elapsed().as_micros() as u64;
-                    self.stats.record_completed(wall_us);
+                    self.stats.record_completed(algo, wall_us);
                     job.slot.set(Response::Query(QueryResult {
                         algo,
                         graph: graph_name.clone(),
@@ -455,7 +478,11 @@ impl ServerCore {
             Algo::Sssp => tigr_engine::MonotoneProgram::SSSP,
             Algo::Sswp => tigr_engine::MonotoneProgram::SSWP,
             Algo::Cc => tigr_engine::MonotoneProgram::CC,
-            Algo::Pr => unreachable!("pagerank never enters the batch path"),
+            // The k-hop fixpoint is k-independent (true hop counts);
+            // each job masks its own k after projection, so mixed-k
+            // jobs share lanes like any other monotone batch.
+            Algo::Khop => tigr_engine::MonotoneProgram::KHOP,
+            other => unreachable!("{other:?} never enters the batch path"),
         };
         let mut lanes: Vec<BatchLane> = Vec::new();
         let mut lane_jobs: Vec<Vec<Job>> = Vec::new();
@@ -536,30 +563,53 @@ impl ServerCore {
                 continue;
             }
             let iterations = lane_out.directions.len() as u64;
-            let values = match prepared.transformed() {
+            let base = match prepared.transformed() {
                 Some(t) => t.project_values(&lane_out.values),
                 None => lane_out.values,
             };
-            let sum = checksum(&values);
-            let values = Arc::new(values);
-            if jobs.iter().any(|j| j.request.cache) {
-                self.cache.insert(
-                    CacheKey {
-                        graph: graph_name.clone(),
-                        algo,
-                        source: jobs[0].request.source,
-                        plan: self.config.plan_fingerprint(),
-                    },
-                    CachedResult {
-                        values: Arc::clone(&values),
-                        iterations,
-                        checksum: sum,
-                    },
-                );
-            }
+            let base_sum = checksum(&base);
+            let base = Arc::new(base);
+            // Per-k variants of this lane's answer (khop only): the
+            // fused run computed unbounded hop counts, so jobs with
+            // different k share a lane and each mask is applied here,
+            // after projection (masking and projection commute
+            // pointwise).
+            let mut variants: Vec<(u32, Arc<Vec<u32>>, u64)> = Vec::new();
             for job in jobs {
+                let (values, sum) = if algo == Algo::Khop {
+                    let k = job.request.limit.expect("khop admission requires a limit");
+                    match variants.iter().find(|(limit, ..)| *limit == k) {
+                        Some((_, v, s)) => (Arc::clone(v), *s),
+                        None => {
+                            let mut v = base.as_ref().clone();
+                            operators::mask_above(&mut v, k);
+                            let s = checksum(&v);
+                            let v = Arc::new(v);
+                            variants.push((k, Arc::clone(&v), s));
+                            (v, s)
+                        }
+                    }
+                } else {
+                    (Arc::clone(&base), base_sum)
+                };
+                if job.request.cache {
+                    self.cache.insert(
+                        CacheKey {
+                            graph: graph_name.clone(),
+                            algo,
+                            source: job.request.source,
+                            limit: job.request.limit,
+                            plan: self.config.plan_fingerprint(),
+                        },
+                        CachedResult {
+                            values: Arc::clone(&values),
+                            iterations,
+                            checksum: sum,
+                        },
+                    );
+                }
                 let wall_us = job.received.elapsed().as_micros() as u64;
-                self.stats.record_completed(wall_us);
+                self.stats.record_completed(algo, wall_us);
                 job.slot.set(Response::Query(QueryResult {
                     algo,
                     graph: graph_name.clone(),
@@ -585,12 +635,13 @@ impl ServerCore {
             graph: query.graph.clone(),
             algo: query.algo,
             source: query.source,
+            limit: query.limit,
             plan: self.config.plan_fingerprint(),
         };
         if query.cache {
             if let Some(hit) = self.cache.get(&key) {
                 let wall_us = job.received.elapsed().as_micros() as u64;
-                self.stats.record_completed(wall_us);
+                self.stats.record_completed(query.algo, wall_us);
                 return Response::Query(QueryResult {
                     algo: query.algo,
                     graph: query.graph.clone(),
@@ -616,7 +667,13 @@ impl ServerCore {
                 );
             }
         };
-        match run_query(&prepared, query.algo, query.source, job.token.clone()) {
+        match run_query(
+            &prepared,
+            query.algo,
+            query.source,
+            query.limit,
+            job.token.clone(),
+        ) {
             Ok((values, iterations)) => {
                 let sum = checksum(&values);
                 let values = Arc::new(values);
@@ -631,7 +688,7 @@ impl ServerCore {
                     );
                 }
                 let wall_us = job.received.elapsed().as_micros() as u64;
-                self.stats.record_completed(wall_us);
+                self.stats.record_completed(query.algo, wall_us);
                 Response::Query(QueryResult {
                     algo: query.algo,
                     graph: query.graph.clone(),
@@ -688,61 +745,51 @@ impl Drop for ServerCore {
 }
 
 /// Executes one analytic over a prepared graph with the server's
-/// deterministic plan. Returns per-original-node values (physical
-/// transforms are projected back) and the iteration count, or a typed
-/// error response.
+/// deterministic plan, by lowering the shared [`Algo`] verb onto its
+/// operator [`Pipeline`] — every verb the protocol speaks is served by
+/// this one path. Returns per-original-node values (physical transforms
+/// are projected back) and the iteration count, or a typed error
+/// response.
 fn run_query(
     prepared: &PreparedGraph,
     algo: Algo,
     source: Option<u32>,
+    limit: Option<u32>,
     token: CancelToken,
 ) -> Result<(Vec<u32>, u64), Response> {
     let engine = Engine::default()
         .with_backend(BackendKind::Sequential)
         .with_device_memory(u64::MAX)
-        .with_cancel(token);
+        .with_cancel(token.clone());
     let deadline = || {
         Response::error(
             ErrorCode::DeadlineExceeded,
             "deadline expired during execution; partial state discarded",
         )
     };
-    let map_engine_err = |e: EngineError| match e {
-        EngineError::InvalidPlan(p) => Response::error(ErrorCode::InvalidPlan, p.to_string()),
-        other => Response::error(ErrorCode::Internal, other.to_string()),
-    };
-    if algo == Algo::Pr {
-        let out = engine
-            .pagerank_prepared(prepared, &pr::PrOptions::default())
-            .map_err(map_engine_err)?;
-        if out.cancelled {
-            return Err(deadline());
-        }
-        let bits: Vec<u32> = out.ranks.iter().map(|r| r.to_bits()).collect();
-        let values = match prepared.transformed() {
-            Some(t) => t.project_values(&bits),
-            None => bits,
-        };
-        return Ok((values, out.report.num_iterations() as u64));
-    }
-    let prog = match algo {
-        Algo::Bfs => tigr_engine::MonotoneProgram::BFS,
-        Algo::Sssp => tigr_engine::MonotoneProgram::SSSP,
-        Algo::Sswp => tigr_engine::MonotoneProgram::SSWP,
-        Algo::Cc => tigr_engine::MonotoneProgram::CC,
-        Algo::Pr => unreachable!(),
-    };
+    let pipeline = Pipeline::for_algo(algo, limit)
+        .map_err(|e| Response::error(ErrorCode::BadRequest, e.to_string()))?;
     let out = engine
-        .run_prepared(prepared, prog, source.map(NodeId::new))
-        .map_err(map_engine_err)?;
-    if out.cancelled {
+        .run_prepared_pipeline(prepared, &pipeline, source.map(NodeId::new))
+        .map_err(|e| match e {
+            EngineError::InvalidPlan(p) => Response::error(ErrorCode::InvalidPlan, p.to_string()),
+            other => Response::error(ErrorCode::Internal, other.to_string()),
+        })?;
+    // Betweenness runs to completion without polling the token, so an
+    // expired deadline is checked after the fact; monotone and PR
+    // pipelines surface cancellation through the output itself.
+    if out.cancelled || (algo == Algo::Bc && token.is_cancelled()) {
         return Err(deadline());
     }
+    // Pipelines whose post-pass appends extra sections (bounded paths:
+    // distances then predecessors) are only valid on representations
+    // that keep original node identity, which `validate_pipeline`
+    // enforces — so projecting here is always section-safe.
     let values = match prepared.transformed() {
         Some(t) => t.project_values(&out.values),
         None => out.values,
     };
-    Ok((values, out.directions.len() as u64))
+    Ok((values, out.iterations))
 }
 
 /// Where a [`Server`] is listening.
@@ -1120,6 +1167,162 @@ mod tests {
             ..ServerConfig::default()
         };
         assert_eq!(cfg.executor_count(), 1);
+    }
+
+    #[test]
+    fn new_workloads_run_and_cache() {
+        let core = small_core(ServerConfig::default());
+        for (algo, source, limit) in [
+            (Algo::Bc, Some(3), None),
+            (Algo::Khop, Some(3), Some(2)),
+            (Algo::Paths, Some(3), Some(90)),
+            (Algo::Lp, None, Some(4)),
+            (Algo::Tc, None, None),
+        ] {
+            let mut req = QueryRequest::new("rmat8", algo, source);
+            req.limit = limit;
+            req.include_values = true;
+            let first = match core.submit(Request::Query(req.clone())) {
+                Response::Query(q) => q,
+                other => panic!("{algo:?}: {other:?}"),
+            };
+            assert!(!first.cached, "{algo:?}");
+            let second = match core.submit(Request::Query(req)) {
+                Response::Query(q) => q,
+                other => panic!("{algo:?}: {other:?}"),
+            };
+            assert!(second.cached, "{algo:?}");
+            assert_eq!(first.checksum, second.checksum, "{algo:?}");
+            assert_eq!(first.values, second.values, "{algo:?}");
+        }
+        let stats = match core.submit(Request::Stats) {
+            Response::Stats(s) => s,
+            other => panic!("{other:?}"),
+        };
+        for (label, count) in &stats.algo_completed {
+            let expected = if ["bc", "khop", "paths", "lp", "tc"].contains(&label.as_str()) {
+                2
+            } else {
+                0
+            };
+            assert_eq!(*count, expected, "{label}");
+        }
+        core.shutdown();
+    }
+
+    #[test]
+    fn limit_arity_and_aliasing_are_enforced() {
+        let core = small_core(ServerConfig::default());
+        // khop without a limit: typed rejection naming the parameter.
+        match core.submit(Request::Query(QueryRequest::new(
+            "rmat8",
+            Algo::Khop,
+            Some(0),
+        ))) {
+            Response::Error(e) => {
+                assert_eq!(e.code, ErrorCode::BadRequest);
+                assert!(e.message.contains("(k)"), "{}", e.message);
+            }
+            other => panic!("{other:?}"),
+        }
+        // bfs with a limit: typed rejection.
+        let req = QueryRequest::new("rmat8", Algo::Bfs, Some(0)).with_limit(2);
+        match core.submit(Request::Query(req)) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest),
+            other => panic!("{other:?}"),
+        }
+        // Different k never aliases in the cache: k=1 then k=8 from the
+        // same source must answer differently (rmat8 has >1 level).
+        let ask = |k: u32| {
+            let mut req = QueryRequest::new("rmat8", Algo::Khop, Some(3)).with_limit(k);
+            req.include_values = true;
+            match core.submit(Request::Query(req)) {
+                Response::Query(q) => q,
+                other => panic!("{other:?}"),
+            }
+        };
+        let one = ask(1);
+        let eight = ask(8);
+        assert!(!eight.cached, "k=8 must not hit k=1's entry");
+        assert_ne!(one.checksum, eight.checksum);
+        core.shutdown();
+    }
+
+    #[test]
+    fn paths_response_carries_distances_then_predecessors() {
+        let core = small_core(ServerConfig::default());
+        let mut req = QueryRequest::new("rmat8", Algo::Paths, Some(3)).with_limit(120);
+        req.include_values = true;
+        let served = match core.submit(Request::Query(req)) {
+            Response::Query(q) => q,
+            other => panic!("{other:?}"),
+        };
+        let values = served.values.unwrap();
+        let n = values.len() / 2;
+        assert_eq!(values.len(), 2 * n);
+        assert_eq!(served.nodes as usize, 2 * n);
+        let (dist, pred) = values.split_at(n);
+        assert_eq!(dist[3], 0);
+        assert_eq!(pred[3], 3, "the source is its own parent");
+        for v in 0..n {
+            if dist[v] == u32::MAX {
+                assert_eq!(pred[v], u32::MAX, "unreached node {v} has a parent");
+            } else {
+                assert!(dist[v] <= 120, "distance above the radius survived");
+                assert!((pred[v] as usize) < n);
+            }
+        }
+        core.shutdown();
+    }
+
+    #[test]
+    fn khop_batch_path_masks_each_job_and_matches_solo() {
+        let core = small_core(ServerConfig::default());
+        // Solo (pipeline-path) references, cache off so the batch path
+        // below computes fresh.
+        let solo = |k: u32, source: u32| {
+            let mut req = QueryRequest::new("rmat8", Algo::Khop, Some(source)).with_limit(k);
+            req.cache = false;
+            req.include_values = true;
+            match core.submit(Request::Query(req)) {
+                Response::Query(q) => q,
+                other => panic!("{other:?}"),
+            }
+        };
+        let expect: Vec<_> = [(2, 3), (5, 3), (2, 7)]
+            .into_iter()
+            .map(|(k, s)| solo(k, s))
+            .collect();
+        // Drive execute_batch directly with a mixed-k fused batch: two
+        // jobs share source 3 (one lane) with different k.
+        let jobs: Vec<Job> = [(2u32, 3u32), (5, 3), (2, 7)]
+            .into_iter()
+            .map(|(k, s)| {
+                let mut request = QueryRequest::new("rmat8", Algo::Khop, Some(s)).with_limit(k);
+                request.cache = false;
+                request.include_values = true;
+                Job {
+                    request,
+                    token: CancelToken::never(),
+                    has_deadline: false,
+                    received: Instant::now(),
+                    slot: ReplySlot::new(),
+                }
+            })
+            .collect();
+        let slots: Vec<Arc<ReplySlot>> = jobs.iter().map(|j| Arc::clone(&j.slot)).collect();
+        let mut arena = BatchArena::with_retain_cap(4);
+        core.execute_batch(jobs, &mut arena);
+        for (slot, reference) in slots.iter().zip(expect) {
+            let got = match slot.wait() {
+                Response::Query(q) => q,
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(got.values, reference.values);
+            assert_eq!(got.checksum, reference.checksum);
+            assert_eq!(got.iterations, reference.iterations);
+        }
+        core.shutdown();
     }
 
     #[test]

@@ -4,6 +4,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use tigr_engine::Algo;
+
 use crate::cache::CacheCounters;
 use crate::json::{obj, Json};
 
@@ -22,6 +24,9 @@ pub struct StatsRecorder {
     batched_queries: AtomicU64,
     max_batch: AtomicU64,
     formation_wait_us: AtomicU64,
+    /// Completed-query counters per algo verb, indexed by the verb's
+    /// position in [`Algo::ALL`].
+    algo_completed: [AtomicU64; Algo::ALL.len()],
     window: Mutex<LatencyWindow>,
 }
 
@@ -41,6 +46,7 @@ impl Default for StatsRecorder {
             batched_queries: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
             formation_wait_us: AtomicU64::new(0),
+            algo_completed: std::array::from_fn(|_| AtomicU64::new(0)),
             window: Mutex::new(LatencyWindow {
                 samples_us: Vec::new(),
                 next: 0,
@@ -81,10 +87,15 @@ impl StatsRecorder {
         self.formation_wait_us.fetch_add(us, Ordering::Relaxed);
     }
 
-    /// A query completed successfully in `wall_us` microseconds
-    /// (end-to-end: admission wait + execution).
-    pub fn record_completed(&self, wall_us: u64) {
+    /// A query for `algo` completed successfully in `wall_us`
+    /// microseconds (end-to-end: admission wait + execution).
+    pub fn record_completed(&self, algo: Algo, wall_us: u64) {
         self.completed.fetch_add(1, Ordering::Relaxed);
+        let idx = Algo::ALL
+            .iter()
+            .position(|a| *a == algo)
+            .expect("every Algo appears in Algo::ALL");
+        self.algo_completed[idx].fetch_add(1, Ordering::Relaxed);
         let mut w = self.window.lock().unwrap();
         if w.samples_us.len() < LATENCY_WINDOW {
             w.samples_us.push(wall_us);
@@ -126,6 +137,11 @@ impl StatsRecorder {
             batched_queries: self.batched_queries.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
             formation_wait_us: self.formation_wait_us.load(Ordering::Relaxed),
+            algo_completed: Algo::ALL
+                .iter()
+                .zip(&self.algo_completed)
+                .map(|(a, c)| (a.label().to_owned(), c.load(Ordering::Relaxed)))
+                .collect(),
             graphs,
         }
     }
@@ -238,6 +254,10 @@ pub struct StatsSnapshot {
     /// Cumulative microseconds batch formers spent holding batches
     /// open waiting for late compatible arrivals.
     pub formation_wait_us: u64,
+    /// Completed-query counts per algo verb, one `(label, count)` pair
+    /// per entry of [`Algo::ALL`] in table order (zero entries
+    /// included, so every served verb is visible).
+    pub algo_completed: Vec<(String, u64)>,
     /// Per-graph open records for every registered graph, sorted by
     /// name (mode, verify level, open time, byte residency).
     pub graphs: Vec<GraphOpenStat>,
@@ -284,6 +304,15 @@ impl StatsSnapshot {
             ("max_batch", self.max_batch.into()),
             ("formation_wait_us", self.formation_wait_us.into()),
             (
+                "algos",
+                Json::Obj(
+                    self.algo_completed
+                        .iter()
+                        .map(|(label, count)| (label.clone(), (*count).into()))
+                        .collect(),
+                ),
+            ),
+            (
                 "graphs",
                 Json::Arr(self.graphs.iter().map(GraphOpenStat::to_json).collect()),
             ),
@@ -310,6 +339,19 @@ impl StatsSnapshot {
             batched_queries: field("batched_queries")?,
             max_batch: field("max_batch")?,
             formation_wait_us: field("formation_wait_us")?,
+            // Tolerant of snapshots sent by older servers: an absent
+            // "algos" object reads as all-zero counts.
+            algo_completed: Algo::ALL
+                .iter()
+                .map(|a| {
+                    let count = v
+                        .get("algos")
+                        .and_then(|o| o.get(a.label()))
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0);
+                    (a.label().to_owned(), count)
+                })
+                .collect(),
             // Absent from snapshots sent by older servers: default to
             // an empty registry listing rather than failing the parse.
             graphs: match v.get("graphs").and_then(Json::as_arr) {
@@ -340,10 +382,10 @@ mod tests {
         let rec = StatsRecorder::default();
         // Fill the window with slow samples, then overwrite with fast.
         for _ in 0..LATENCY_WINDOW {
-            rec.record_completed(1_000_000);
+            rec.record_completed(Algo::Bfs, 1_000_000);
         }
         for _ in 0..LATENCY_WINDOW {
-            rec.record_completed(100);
+            rec.record_completed(Algo::Bfs, 100);
         }
         let snap = rec.snapshot(0, 1, CacheCounters::default(), Vec::new());
         assert_eq!(snap.p50_us, 100);
@@ -357,7 +399,7 @@ mod tests {
         rec.record_received();
         rec.record_received();
         rec.record_rejected();
-        rec.record_completed(250);
+        rec.record_completed(Algo::Khop, 250);
         rec.record_batch(3);
         rec.record_batch(1);
         rec.record_formation_wait(120);
@@ -391,6 +433,12 @@ mod tests {
         assert_eq!(back.max_batch, 3);
         assert_eq!(back.formation_wait_us, 200);
         assert!((back.batch_occupancy() - 2.0).abs() < 1e-9);
+        // Every verb is present in table order; only khop counted.
+        assert_eq!(back.algo_completed.len(), Algo::ALL.len());
+        for ((label, count), algo) in back.algo_completed.iter().zip(Algo::ALL) {
+            assert_eq!(label, algo.label());
+            assert_eq!(*count, u64::from(algo == Algo::Khop), "{label}");
+        }
     }
 
     #[test]

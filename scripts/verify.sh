@@ -27,6 +27,12 @@ echo "== serve ablation smoke =="
 # result-cache hit speedup and cross-cell checksum agreement itself.
 cargo run --release -p tigr-bench --bin ablation_serve -- --smoke
 
+echo "== operator ablation smoke =="
+# Compile-and-run gate for the pipeline layer: values byte-equal to the
+# legacy entry points and the (smoke-relaxed) dispatch-overhead gate,
+# both asserted by the bin itself.
+cargo run --release -p tigr-bench --bin ablation_operators -- --smoke
+
 echo "== prepared-graph cache smoke =="
 # A warmed cache must make the second run pure load: cache hit, zero
 # transform/transpose/overlay construction.
@@ -68,6 +74,50 @@ echo "$stats" | grep -q "5 received / 5 completed / 0 rejected / 0 failed" \
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 echo "serve smoke: five analytics served and accounted"
+
+echo "== workload smoke =="
+# The four operator-only workloads (plus single-source BC) served over
+# TCP, each answer pinned to a committed FNV-1a64 checksum: the results
+# are deterministic functions of the seed graph (generate er, default
+# seed), so any drift in the operator pipelines shows up here as a
+# checksum mismatch. Runs against its own daemon so the serve smoke's
+# pinned five-query stats line stays untouched.
+w_port_file="$cache_dir/w_port.txt"
+cargo run --release -q -p tigr-cli --bin tigr -- serve --graph "$graph_file" --name smoke \
+    --port 0 --port-file "$w_port_file" --workers 2 > /dev/null &
+w_pid=$!
+trap 'kill "$w_pid" 2>/dev/null || true; rm -rf "$cache_dir"' EXIT
+for _ in $(seq 1 100); do [ -s "$w_port_file" ] && break; sleep 0.1; done
+[ -s "$w_port_file" ] || { echo "workload smoke: port file never appeared"; exit 1; }
+w_addr="$(cat "$w_port_file")"
+check_workload() {
+    local label="$1" expect="$2"
+    shift 2
+    local out sum
+    out="$(cargo run --release -q -p tigr-cli --bin tigr -- query "$@" \
+        --graph-name smoke --addr "$w_addr")"
+    sum="$(echo "$out" | grep "^checksum" | awk '{print $2}')"
+    [ "$sum" = "$expect" ] || {
+        echo "workload smoke: $label checksum ${sum:-<none>}, expected $expect"
+        echo "$out"
+        exit 1
+    }
+}
+check_workload "khop(k=2)"    c77b23437990f3a2 khop --source 0 --limit 2
+check_workload "paths(r=40)"  c702c9e40ec90731 paths --source 0 --limit 40
+check_workload "lp(rounds=4)" bae36c08b4cc2b9d lp --limit 4
+check_workload "tc"           ea33e45a1ecf79d6 tc
+check_workload "bc(src=0)"    0589ea599dc7bce9 bc --source 0
+w_stats="$(cargo run --release -q -p tigr-cli --bin tigr -- query stats --addr "$w_addr")"
+for line in "algo khop       1 completed" "algo paths      1 completed" \
+            "algo lp         1 completed" "algo tc         1 completed" \
+            "algo bc         1 completed"; do
+    echo "$w_stats" | grep -qF "$line" \
+        || { echo "workload smoke: missing stats line: $line"; echo "$w_stats"; exit 1; }
+done
+kill "$w_pid"
+wait "$w_pid" 2>/dev/null || true
+echo "workload smoke: khop/paths/lp/tc/bc served with reference checksums"
 
 echo "== batch smoke =="
 # Byte-equality across the batch former: the same query cells answered

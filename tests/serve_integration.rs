@@ -44,7 +44,8 @@ fn expected_values(prepared: &PreparedGraph, algo: Algo, source: Option<u32>) ->
         Algo::Sssp => MonotoneProgram::SSSP,
         Algo::Sswp => MonotoneProgram::SSWP,
         Algo::Cc => MonotoneProgram::CC,
-        Algo::Pr => unreachable!("monotone analytics only"),
+        Algo::Khop => MonotoneProgram::KHOP,
+        other => unreachable!("{other:?}: monotone analytics only"),
     };
     let out = engine
         .run_prepared(prepared, prog, source.map(NodeId::new))
