@@ -204,6 +204,7 @@ fn run_cell(
         default_deadline_ms: None,
         batch_max,
         batch_wait_us: if batch { batch_wait_us } else { 0 },
+        compact_threshold: 0,
     });
     core.add_graph(GRAPH_NAME, Arc::clone(prepared));
 

@@ -23,6 +23,7 @@ const SWITCHES: &[&str] = &[
     "stats",
     "no-cache",
     "values",
+    "mutable",
 ];
 
 impl Args {

@@ -8,6 +8,8 @@ use crate::args::Args;
 
 pub mod analyze;
 pub mod generate;
+pub mod ingest;
+pub mod mutate;
 pub mod prepare;
 pub mod query;
 pub mod run;

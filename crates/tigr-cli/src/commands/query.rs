@@ -51,6 +51,19 @@ pub fn run(args: &Args) -> CmdResult {
                 s.max_batch,
                 s.formation_wait_us,
             );
+            out.push_str(&format!(
+                "mutations       {} batches / {} applied / {} skipped\n\
+                 overlay         {} wal records / {} delta edges (generation {})\n\
+                 compactions     {} (last {} ms)\n",
+                s.mutate_batches,
+                s.mutations_applied,
+                s.mutations_skipped,
+                s.mutation.wal_len,
+                s.mutation.delta_edges,
+                s.mutation.overlay_generation,
+                s.mutation.compactions,
+                s.mutation.last_compaction_ms,
+            ));
             for (label, count) in &s.algo_completed {
                 out.push_str(&format!("algo {:<10} {count} completed\n", label));
             }
@@ -239,6 +252,42 @@ mod tests {
         assert!(stats.contains("algo tc         1 completed"), "{stats}");
         assert!(stats.contains("algo bc         1 completed"), "{stats}");
         assert!(stats.contains("algo bfs        0 completed"), "{stats}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_report_mutation_counters() {
+        let store = GraphStore::disabled();
+        let prepared = store
+            .prepare(&PrepareSpec::generated("rmat:7:6", 3).with_uniform_weights(1, 9, 4))
+            .unwrap();
+        let mutable = tigr_core::MutableGraph::open(store, prepared).unwrap();
+        let core = ServerCore::new(ServerConfig::default());
+        core.add_mutable_graph("demo", Arc::new(mutable));
+        let server = Server::bind_tcp(core, "127.0.0.1:0").unwrap();
+        let addr = match server.addr() {
+            tigr_server::ServerAddr::Tcp(a) => a.to_string(),
+            other => panic!("{other:?}"),
+        };
+        let mut client = tigr_server::Client::connect_tcp(&addr).unwrap();
+        client
+            .mutate(
+                "demo",
+                vec![
+                    tigr_server::MutationOp::AddNode { nodes: 129 },
+                    tigr_server::MutationOp::AddEdge { u: 0, v: 128, w: 2 },
+                    tigr_server::MutationOp::AddEdge { u: 0, v: 128, w: 2 },
+                ],
+            )
+            .unwrap();
+        let stats = run(&parse(&format!("stats --addr {addr}"))).unwrap();
+        assert!(
+            stats.contains("mutations       1 batches / 2 applied / 1 skipped"),
+            "{stats}"
+        );
+        assert!(stats.contains("wal records"), "{stats}");
+        assert!(stats.contains("delta edges"), "{stats}");
+        assert!(stats.contains("compactions     0"), "{stats}");
         server.shutdown();
     }
 

@@ -13,7 +13,7 @@
 use std::io::Write as _;
 use std::sync::Arc;
 
-use tigr_core::PrepareSpec;
+use tigr_core::{MutableGraph, PrepareSpec};
 use tigr_server::{Server, ServerAddr, ServerConfig, ServerCore};
 
 use crate::args::Args;
@@ -42,7 +42,15 @@ pub fn run(args: &Args) -> CmdResult {
             .transpose()?,
         batch_max: args.flag_or("batch-max", ServerConfig::default().batch_max)?,
         batch_wait_us: args.flag_or("batch-wait-us", ServerConfig::default().batch_wait_us)?,
+        compact_threshold: args.flag_or(
+            "compact-threshold",
+            ServerConfig::default().compact_threshold,
+        )?,
     };
+    let mutable = args.switch("mutable");
+    if config.compact_threshold > 0 && !mutable {
+        return Err("--compact-threshold requires --mutable".into());
+    }
     if config.workers == 0 {
         return Err("--workers must be at least 1".into());
     }
@@ -58,14 +66,21 @@ pub fn run(args: &Args) -> CmdResult {
         let k: u32 = k.parse().map_err(|_| "invalid --virtual K".to_string())?;
         spec = spec.with_virtual(k, args.switch("coalesced"));
     }
-    let prepared = store_from_args(args)?
+    let store = store_from_args(args)?;
+    let prepared = store
         .prepare(&spec)
         .map_err(|e| format!("cannot load {path}: {e}"))?;
     let nodes = prepared.graph().num_nodes();
     let edges = prepared.graph().num_edges();
 
     let core = ServerCore::new(config);
-    core.add_graph(&name, Arc::new(prepared));
+    if mutable {
+        let graph = MutableGraph::open(store, prepared)
+            .map_err(|e| format!("cannot open {name} for mutation: {e}"))?;
+        core.add_mutable_graph(&name, Arc::new(graph));
+    } else {
+        core.add_graph(&name, Arc::new(prepared));
+    }
 
     let server = match args.flag("socket") {
         Some(socket_path) => Server::bind_unix(Arc::clone(&core), socket_path)
@@ -87,8 +102,9 @@ pub fn run(args: &Args) -> CmdResult {
 
     // Announce readiness immediately: the command blocks from here on,
     // so the startup banner cannot wait for the returned CmdResult.
+    let mode = if mutable { " [mutable]" } else { "" };
     println!(
-        "serving {name} ({nodes} nodes, {edges} edges) on {addr_text}\n\
+        "serving {name} ({nodes} nodes, {edges} edges){mode} on {addr_text}\n\
          executors {} x {} kernel threads ({}) | queue {} | cache {} entries | batch {} (wait {} us)",
         config.executor_count(),
         config.kernel_threads,
@@ -126,6 +142,7 @@ const USAGE: &str = "usage: tigr serve --graph <file> [--name N] \
 [--executors N] [--kernel-threads N] [--queue N] \
 [--cache-capacity N] [--default-deadline-ms MS] \
 [--batch-max N] [--batch-wait-us US] \
+[--mutable [--compact-threshold N]] \
 [--virtual K [--coalesced]] [--duration SECS] [--cache-dir DIR] \
 [--mmap on|off|auto] [--verify eager|lazy]";
 
@@ -160,6 +177,51 @@ mod tests {
         assert!(err.contains("--batch-max"));
         let err = run(&parse(&format!("--graph {path} --kernel-threads 0"))).unwrap_err();
         assert!(err.contains("--kernel-threads"));
+        let err = run(&parse(&format!("--graph {path} --compact-threshold 4"))).unwrap_err();
+        assert!(err.contains("--mutable"));
+    }
+
+    #[test]
+    fn mutable_daemon_accepts_mutations() {
+        let (path, dir) = fixture("tigr_cli_serve_mutable_test");
+        let port_file = dir.join("port.txt");
+        let pf = port_file.to_str().unwrap().to_string();
+        let serve_args = parse(&format!(
+            "--graph {path} --name demo --mutable --duration 0.5 --port-file {pf}"
+        ));
+        let handle = std::thread::spawn(move || run(&serve_args));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                let text = text.trim().to_string();
+                if !text.is_empty() {
+                    break text;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "port file never appeared"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let mut client = tigr_server::Client::connect_tcp(&addr).unwrap();
+        let applied = client
+            .mutate(
+                "demo",
+                vec![tigr_server::MutationOp::AddNode { nodes: 129 }],
+            )
+            .unwrap();
+        assert_eq!(applied.applied, 1);
+        assert!(applied.epoch >= 1);
+        let result = client
+            .query(tigr_server::QueryRequest::new(
+                "demo",
+                tigr_server::Algo::Bfs,
+                Some(0),
+            ))
+            .unwrap();
+        assert!(result.checksum != 0);
+        handle.join().unwrap().unwrap();
     }
 
     #[test]

@@ -47,6 +47,8 @@ fn dispatch(raw: &[String]) -> commands::CmdResult {
         "run" => commands::run::run(&args),
         "serve" => commands::serve::run(&args),
         "query" => commands::query::run(&args),
+        "mutate" => commands::mutate::run(&args),
+        "ingest" => commands::ingest::run(&args),
         "convert" => convert(&args),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(format!("unknown command `{other}`\n{HELP}")),
@@ -76,10 +78,13 @@ commands:
   run <analytic> --graph <file>          bfs | sssp | sswp | cc | pr | bc
   serve --graph <file>                   long-lived query daemon (TCP/Unix socket)
   query <verb> --addr HOST:PORT          bfs | sssp | sswp | cc | pr | stats | ping
+  mutate <op> --addr HOST:PORT           add-edge | remove-edge | add-node | set-weight | compact
+  ingest --file <edges> --addr H:P       bulk-append an edge list into a mutable graph
   convert -i <in> -o <out>               formats by extension: .txt .mtx .gr .bin
 
 formats: edge list (.txt), MatrixMarket (.mtx), DIMACS (.gr), binary (.bin/.tigr)
 caching: --cache-dir DIR (or TIGR_CACHE_DIR) stores prepared TIGRCSR2 artifacts
+mutation: serve --mutable accepts mutate/ingest (WAL + delta overlay); mutate compact folds the delta
 deadlines: run/prepare/query accept --deadline-ms; expiry exits with code 3
 ";
 

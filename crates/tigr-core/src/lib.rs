@@ -45,6 +45,7 @@ pub mod analysis;
 pub mod cancel;
 pub mod correctness;
 pub mod k_select;
+pub mod mutation;
 pub mod split;
 pub mod store;
 mod virtual_graph;
@@ -53,12 +54,16 @@ mod dumb_weights;
 
 pub use cancel::CancelToken;
 pub use dumb_weights::DumbWeight;
+pub use mutation::{
+    CompactionStats, DeltaOverlay, GraphSnapshot, MutableGraph, MutationError, MutationOp,
+    OverlayView, Wal,
+};
 pub use split::{
     circular_transform, clique_transform, recursive_star_transform, star_transform, udt_transform,
     TransformedGraph,
 };
 pub use store::{
     CacheStatus, GraphSource, GraphStore, MmapMode, OpenInfo, OpenMode, PrepareReport, PrepareSpec,
-    PreparedGraph, TransformKind, TransformSpec,
+    PreparedGraph, TransformKind, TransformSpec, ViewPlan,
 };
 pub use virtual_graph::{EdgeCursor, OnTheFlyMapper, VirtualGraph, VirtualNode};

@@ -248,6 +248,49 @@ impl PrepareSpec {
     }
 }
 
+/// The derived views a graph carries, detached from any source spec —
+/// what compaction must rebuild when it materializes a mutated CSR into
+/// a fresh [`PreparedGraph`]. Physical split transforms are deliberately
+/// absent: a physically transformed graph renumbers nodes, so the
+/// mutation layer refuses to mutate one rather than guess a mapping.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ViewPlan {
+    /// Rebuild a virtual overlay with this degree bound `K` (re-splitting
+    /// nodes whose degree crossed `K` since the base was prepared, per
+    /// §4.1's split rule).
+    pub virtual_k: Option<u32>,
+    /// Use the coalesced (`Tigr-V+`) overlay layout.
+    pub coalesced: bool,
+    /// Rebuild the transpose (and mirrored overlay).
+    pub transpose: bool,
+}
+
+impl ViewPlan {
+    /// The plan that reproduces `p`'s derived views.
+    pub fn from_prepared(p: &PreparedGraph) -> Self {
+        ViewPlan {
+            virtual_k: p.overlay().map(VirtualGraph::k),
+            coalesced: p.overlay().is_some_and(VirtualGraph::is_coalesced),
+            transpose: p.transpose().is_some(),
+        }
+    }
+
+    /// Canonical artifact-spec string for a materialized CSR with this
+    /// plan; `csr_hash` is an FNV-1a of the encoded CSR bytes, so the
+    /// key tracks graph content exactly like file-source prepare keys.
+    pub(crate) fn canonical(self, csr_hash: u64) -> String {
+        let overlay = match self.virtual_k {
+            Some(k) if self.coalesced => format!("{k}:coalesced"),
+            Some(k) => format!("{k}:consecutive"),
+            None => "none".into(),
+        };
+        format!(
+            "tigr-compact-v1|csr={csr_hash:016x}|virtual={overlay}|transpose={}",
+            self.transpose as u8
+        )
+    }
+}
+
 /// Map-vs-decode policy for opening cached artifacts (see
 /// [`GraphStore::with_mmap`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -646,6 +689,11 @@ impl GraphStore {
                             transposes_built: 0,
                             overlays_built: 0,
                         };
+                        // A half-created cache entry (artifact renamed
+                        // into place, WAL directory lost with the crash)
+                        // must open cleanly: recreate the WAL dir
+                        // idempotently on every hit.
+                        ensure_wal_dir(path);
                         return Ok(prepared);
                     }
                     Err(e) => {
@@ -739,6 +787,7 @@ impl GraphStore {
         prepared.finish_open(OpenMode::Built, self.verify, build_started);
 
         if let Some(path) = &artifact {
+            ensure_wal_dir(path);
             match write_artifact(path, &prepared, &canonical) {
                 Ok(()) if self.mmap == MmapMode::On => {
                     // The policy demands mapped storage: swap the just
@@ -764,6 +813,134 @@ impl GraphStore {
             }
         }
         Ok(prepared)
+    }
+
+    /// Materializes an in-memory CSR into a [`PreparedGraph`], rebuilding
+    /// the derived views `plan` names and — when caching is enabled —
+    /// sealing the result into a fresh `TIGRCSR2` artifact (with its WAL
+    /// directory) keyed by the CSR's content. This is the compaction
+    /// path: base+delta has already been merged into `graph`, and the
+    /// virtual overlay is rebuilt from scratch, so nodes whose degree
+    /// crossed `K` under mutation are re-split exactly as a cold prepare
+    /// of the merged edge list would split them.
+    pub fn materialize(&self, graph: Csr, plan: ViewPlan) -> Result<PreparedGraph> {
+        let started = Instant::now();
+        let canonical = plan.canonical(fnv1a64(&io::encode_csr(&graph)));
+        let key = format!("{:016x}", fnv1a64(canonical.as_bytes()));
+        let artifact = self
+            .cache_dir
+            .as_ref()
+            .map(|d| d.join(format!("{key}.tigr")));
+
+        let overlay = plan.virtual_k.map(|k| {
+            if plan.coalesced {
+                VirtualGraph::coalesced(&graph, k)
+            } else {
+                VirtualGraph::new(&graph, k)
+            }
+        });
+        let rev = if plan.transpose {
+            Some(transpose(&graph))
+        } else {
+            None
+        };
+        let rev_overlay = match (&rev, plan.virtual_k) {
+            (Some(rev), Some(k)) => Some(if plan.coalesced {
+                VirtualGraph::coalesced(rev, k)
+            } else {
+                VirtualGraph::new(rev, k)
+            }),
+            _ => None,
+        };
+
+        let report = PrepareReport {
+            cache: if artifact.is_some() {
+                CacheStatus::Miss
+            } else {
+                CacheStatus::Disabled
+            },
+            key,
+            artifact: artifact.clone(),
+            transforms_built: 0,
+            transposes_built: rev.is_some() as u32,
+            overlays_built: overlay.is_some() as u32 + rev_overlay.is_some() as u32,
+        };
+        let mut prepared = PreparedGraph {
+            graph,
+            transpose: rev,
+            overlay,
+            rev_overlay,
+            transformed: None,
+            report,
+            segment: None,
+            open: PLACEHOLDER_OPEN,
+        };
+        prepared.finish_open(OpenMode::Built, self.verify, started);
+
+        if let Some(path) = &artifact {
+            ensure_wal_dir(path);
+            if let Err(e) = write_artifact(path, &prepared, &canonical) {
+                eprintln!(
+                    "tigr: failed to write compacted artifact {} ({e})",
+                    path.display()
+                );
+            }
+        }
+        Ok(prepared)
+    }
+
+    /// Re-opens an artifact previously sealed by [`GraphStore::materialize`]
+    /// (compaction's MANIFEST redirect path). The embedded spec echo must
+    /// match `canonical` — a mismatch (stale manifest, evicted-and-reused
+    /// key) is an error the caller downgrades to replaying the full WAL
+    /// over the original base.
+    pub(crate) fn open_materialized(
+        &self,
+        artifact: &Path,
+        plan: ViewPlan,
+        canonical: &str,
+    ) -> Result<PreparedGraph> {
+        let mut spec = PrepareSpec::generated("materialized", 0).with_transpose(plan.transpose);
+        if let Some(k) = plan.virtual_k {
+            spec = spec.with_virtual(k, plan.coalesced);
+        }
+        let mut prepared = load_artifact(
+            artifact,
+            &spec,
+            canonical,
+            self.mmap != MmapMode::Off,
+            self.verify,
+        )?;
+        prepared.report = PrepareReport {
+            cache: CacheStatus::Hit,
+            key: artifact
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_string(),
+            artifact: Some(artifact.to_path_buf()),
+            transforms_built: 0,
+            transposes_built: 0,
+            overlays_built: 0,
+        };
+        ensure_wal_dir(artifact);
+        Ok(prepared)
+    }
+}
+
+/// The WAL directory paired with an artifact path: `<key>.tigr` keeps
+/// its mutation log under `<key>.wal/`.
+pub fn wal_dir_for(artifact: &Path) -> PathBuf {
+    artifact.with_extension("wal")
+}
+
+/// Creates the artifact's WAL directory idempotently (`mkdir` is atomic:
+/// concurrent racers all succeed). Failure is reported but never fails
+/// the open — a read-only cache still serves immutable graphs.
+fn ensure_wal_dir(artifact: &Path) {
+    let dir = wal_dir_for(artifact);
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("tigr: could not create WAL dir {} ({e})", dir.display());
     }
 }
 
@@ -1427,6 +1604,63 @@ mod tests {
         assert_eq!(fast.transpose(), reference.transpose());
         assert_eq!(fast.overlay(), reference.overlay());
         assert_eq!(fast.rev_overlay(), reference.rev_overlay());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_dir_created_alongside_artifact_and_restored_on_hit() {
+        let dir = temp_dir("waldir");
+        let store = GraphStore::new(Some(dir.clone()));
+        let spec = PrepareSpec::generated("star:16", 0);
+        let p = store.prepare(&spec).unwrap();
+        let wal = wal_dir_for(p.report().artifact.as_ref().unwrap());
+        assert!(wal.is_dir(), "miss must create the WAL dir");
+
+        // Half-created cache entry: artifact present, WAL dir missing
+        // (e.g. a crash between the rename and the mkdir of an older
+        // writer). The entry opens cleanly and the dir comes back.
+        fs::remove_dir_all(&wal).unwrap();
+        let hit = store.prepare(&spec).unwrap();
+        assert_eq!(hit.report().cache, CacheStatus::Hit);
+        assert!(wal.is_dir(), "hit must restore a missing WAL dir");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn materialize_matches_from_scratch_prepare() {
+        // A CSR materialized from memory must be indistinguishable from
+        // preparing the same edges from a file: same CSR, same overlay
+        // split points, same transpose.
+        let dir = temp_dir("materialize");
+        let input = dir.join("g.el");
+        fs::write(&input, "0 1\n0 2\n0 3\n1 2\n3 0\n").unwrap();
+        let store = GraphStore::new(Some(dir.clone()));
+        let spec = PrepareSpec::from_file(&input)
+            .with_virtual(2, true)
+            .with_transpose(true);
+        let scratch = store.prepare(&spec).unwrap();
+
+        let plan = ViewPlan::from_prepared(&scratch);
+        assert_eq!(
+            plan,
+            ViewPlan {
+                virtual_k: Some(2),
+                coalesced: true,
+                transpose: true
+            }
+        );
+        let materialized = store.materialize(scratch.graph().clone(), plan).unwrap();
+        assert_eq!(materialized.graph(), scratch.graph());
+        assert_eq!(materialized.transpose(), scratch.transpose());
+        assert_eq!(materialized.overlay(), scratch.overlay());
+        assert_eq!(materialized.rev_overlay(), scratch.rev_overlay());
+
+        // The compacted artifact landed under its own content key with
+        // a WAL dir beside it.
+        let artifact = materialized.report().artifact.clone().unwrap();
+        assert!(artifact.exists());
+        assert_ne!(materialized.report().key, scratch.report().key);
+        assert!(wal_dir_for(&artifact).is_dir());
         fs::remove_dir_all(&dir).ok();
     }
 

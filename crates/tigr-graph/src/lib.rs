@@ -60,12 +60,14 @@ pub mod reverse;
 pub mod segment;
 pub mod stats;
 pub mod subgraph;
+pub mod view;
 
 pub use builder::CsrBuilder;
 pub use csr::Csr;
 pub use edge::{Edge, NodeId, Weight, INFINITE_WEIGHT};
 pub use error::GraphError;
 pub use segment::{ArcSlice, Plain, Segment};
+pub use view::GraphView;
 
 /// Crate-wide result alias carrying a [`GraphError`].
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -32,6 +32,10 @@ pub struct CacheKey {
     /// Execution-plan fingerprint (backend × direction), so results
     /// from different plans never alias.
     pub plan: &'static str,
+    /// Overlay generation the query was pinned to (`0` for static
+    /// graphs) — a mutation bumps the epoch, so stale results are
+    /// unreachable rather than invalidated.
+    pub epoch: u64,
 }
 
 /// A complete cached answer.
@@ -188,6 +192,7 @@ mod tests {
             source: Some(source),
             limit: None,
             plan: "sequential:push",
+            epoch: 0,
         }
     }
 
@@ -242,6 +247,9 @@ mod tests {
         let mut other_limit = limited.clone();
         other_limit.limit = Some(3);
         assert!(cache.get(&other_limit).is_none(), "limit aliased");
+        let mut other_epoch = key("g", 0);
+        other_epoch.epoch = 1;
+        assert!(cache.get(&other_epoch).is_none(), "epoch aliased");
     }
 
     #[test]

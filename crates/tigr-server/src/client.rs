@@ -12,7 +12,8 @@ use std::path::Path;
 use std::sync::Arc;
 
 use crate::protocol::{
-    decode_response, encode_request, ProtocolError, QueryRequest, QueryResult, Request, Response,
+    decode_response, encode_request, CompactResult, MutateResult, MutationOp, ProtocolError,
+    QueryRequest, QueryResult, Request, Response,
 };
 use crate::server::ServerCore;
 use crate::stats::StatsSnapshot;
@@ -159,6 +160,49 @@ impl Client {
     pub fn query(&mut self, query: QueryRequest) -> Result<QueryResult, ClientError> {
         match self.request(&Request::Query(query))? {
             Response::Query(result) => Ok(result),
+            Response::Error(error) => Err(ClientError::Protocol(error)),
+            other => Err(ClientError::Protocol(ProtocolError::new(
+                crate::protocol::ErrorCode::BadRequest,
+                format!("unexpected response {other:?}"),
+            ))),
+        }
+    }
+
+    /// Applies one atomic mutation batch to a mutable graph, folding
+    /// typed rejections (`immutable-graph`, `bad-request`, ...) into
+    /// the error.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::query`].
+    pub fn mutate(
+        &mut self,
+        graph: impl Into<String>,
+        ops: Vec<MutationOp>,
+    ) -> Result<MutateResult, ClientError> {
+        match self.request(&Request::Mutate {
+            graph: graph.into(),
+            ops,
+        })? {
+            Response::Mutate(result) => Ok(result),
+            Response::Error(error) => Err(ClientError::Protocol(error)),
+            other => Err(ClientError::Protocol(ProtocolError::new(
+                crate::protocol::ErrorCode::BadRequest,
+                format!("unexpected response {other:?}"),
+            ))),
+        }
+    }
+
+    /// Forces a synchronous compaction of a mutable graph.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::query`].
+    pub fn compact(&mut self, graph: impl Into<String>) -> Result<CompactResult, ClientError> {
+        match self.request(&Request::Compact {
+            graph: graph.into(),
+        })? {
+            Response::Compact(result) => Ok(result),
             Response::Error(error) => Err(ClientError::Protocol(error)),
             other => Err(ClientError::Protocol(ProtocolError::new(
                 crate::protocol::ErrorCode::BadRequest,

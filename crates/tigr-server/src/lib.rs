@@ -17,6 +17,13 @@
 //! * [`Client`] — the same protocol from the client side, plus an
 //!   in-process transport used by benchmarks.
 //!
+//! Graphs registered via [`ServerCore::add_mutable_graph`] additionally
+//! accept online mutation: `mutate` batches append to a WAL and delta
+//! overlay ([`tigr_core::MutableGraph`]), every query pins a
+//! snapshot-isolated epoch at admission, and `compact` (or the
+//! configured threshold) folds the overlay into a fresh base artifact
+//! without dropping in-flight queries.
+//!
 //! Deadlines ride the [`tigr_core::CancelToken`] plumbing: tokens are
 //! polled at BSP iteration boundaries, so an expired query stops at a
 //! consistent monotone prefix which the server discards — clients see
@@ -59,9 +66,10 @@ mod client;
 pub use cache::{CacheCounters, CacheKey, CachedResult, ResultCache};
 pub use client::{Client, ClientError};
 pub use protocol::{
-    checksum, decode_request, decode_response, encode_request, encode_response, Algo, ErrorCode,
-    ProtocolError, QueryRequest, QueryResult, Request, Response,
+    checksum, decode_request, decode_response, encode_request, encode_response, Algo,
+    CompactResult, ErrorCode, MutateResult, MutationOp, ProtocolError, QueryRequest, QueryResult,
+    Request, Response,
 };
 pub use queue::{Bounded, PushError};
 pub use server::{Server, ServerAddr, ServerConfig, ServerCore};
-pub use stats::{GraphOpenStat, StatsRecorder, StatsSnapshot};
+pub use stats::{GraphOpenStat, MutationGauges, StatsRecorder, StatsSnapshot};

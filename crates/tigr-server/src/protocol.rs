@@ -7,28 +7,46 @@
 //! comment — and nothing else — to ship):
 //!
 //! ```text
-//! request  = query | stats | ping
+//! request  = query | mutate | compact | stats | ping
 //! query    = {"op":"query", "graph":<name>,
 //!             "algo":"bfs"|"sssp"|"sswp"|"cc"|"pr"|"bc"|"khop"|"paths"|"lp"|"tc",
 //!             "source":<u32>?, "limit":<u32>?, "deadline_ms":<u64>?,
 //!             "cache":<bool>?, "values":<bool>?}
+//! mutate   = {"op":"mutate", "graph":<name>, "ops":[mut-op, ...]}
+//! mut-op   = {"kind":"add-edge", "u":<u32>, "v":<u32>, "w":<u32>?}
+//!          | {"kind":"remove-edge", "u":<u32>, "v":<u32>}
+//!          | {"kind":"add-node", "nodes":<u32>}
+//!          | {"kind":"set-weight", "u":<u32>, "v":<u32>, "w":<u32>}
+//! compact  = {"op":"compact", "graph":<name>}
 //! stats    = {"op":"stats"}
 //! ping     = {"op":"ping"}
 //!
-//! response = ok-query | ok-stats | pong | error
-//! ok-query = {"ok":true, "algo":..., "graph":..., "source":<u32>|null,
+//! response   = ok-query | ok-mutate | ok-compact | ok-stats | pong | error
+//! ok-query   = {"ok":true, "algo":..., "graph":..., "source":<u32>|null,
 //!             "nodes":<u64>, "iterations":<u64>, "checksum":"<16 hex>",
 //!             "cached":<bool>, "wall_us":<u64>, "values":[<u32>...]?}
+//! ok-mutate  = {"ok":true, "mutated":true, "graph":..., "applied":<u64>,
+//!             "skipped":<u64>, "wal_len":<u64>, "epoch":<u64>}
+//! ok-compact = {"ok":true, "compacted":true, "graph":..., "wall_ms":<u64>,
+//!             "delta_edges_before":<u64>, "delta_edges_after":<u64>,
+//!             "epoch":<u64>}
 //! error    = {"ok":false, "error":{"code":<code>, "message":<text>}}
 //! code     = "queue-full" | "deadline-exceeded" | "bad-request"
 //!          | "unknown-algo" | "unknown-graph" | "invalid-plan"
-//!          | "internal" | "shutdown"
+//!          | "immutable-graph" | "internal" | "shutdown"
 //! ```
 //!
 //! `source` is required iff the algo takes one ([`Algo::needs_source`]);
 //! `limit` is required iff the algo takes one ([`Algo::needs_limit`] —
 //! `k` for `khop`, `radius` for `paths`, `rounds` for `lp`). An
 //! `unknown-algo` error's message lists every known verb.
+//!
+//! A `mutate` batch is atomic: every op validates against the current
+//! snapshot or none apply. `add-edge` defaults `w` to 1 (the only legal
+//! weight on unweighted graphs); `add-node` carries the *target* node
+//! count, not an increment; `set-weight` is weighted-graphs-only.
+//! Graphs registered read-only (or physically transformed ones, whose
+//! node ids were renumbered at prepare time) answer `immutable-graph`.
 //!
 //! All node values travel as `u32`; PageRank ranks and betweenness
 //! scores are sent as the IEEE 754 bit patterns of their `f32` values
@@ -45,6 +63,10 @@ use crate::stats::StatsSnapshot;
 /// all dispatch through [`tigr_engine::Algo`], so a verb is registered
 /// in exactly one place.
 pub use tigr_engine::Algo;
+
+/// The shared mutation-op table: the wire protocol ships the same ops
+/// the WAL persists, so a batch decodes straight into an applyable log.
+pub use tigr_core::MutationOp;
 
 /// A single algorithm query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -94,6 +116,20 @@ impl QueryRequest {
 pub enum Request {
     /// Run an analytic.
     Query(QueryRequest),
+    /// Apply a batch of mutations to a mutable graph (atomic: all ops
+    /// validate against the current snapshot or none apply).
+    Mutate {
+        /// Registered graph name.
+        graph: String,
+        /// Mutation batch, applied in order.
+        ops: Vec<MutationOp>,
+    },
+    /// Force a synchronous compaction of a mutable graph's delta
+    /// overlay into a fresh base artifact.
+    Compact {
+        /// Registered graph name.
+        graph: String,
+    },
     /// Return a [`StatsSnapshot`].
     Stats,
     /// Liveness check.
@@ -117,6 +153,9 @@ pub enum ErrorCode {
     UnknownGraph,
     /// The requested execution plan is invalid for this graph/program.
     InvalidPlan,
+    /// The graph is registered read-only, or was physically transformed
+    /// at prepare time (renumbered node ids), so mutations are refused.
+    ImmutableGraph,
     /// The server failed internally (e.g. out of device memory).
     Internal,
     /// The server is shutting down; the query was not run.
@@ -133,6 +172,7 @@ impl ErrorCode {
             ErrorCode::UnknownAlgo => "unknown-algo",
             ErrorCode::UnknownGraph => "unknown-graph",
             ErrorCode::InvalidPlan => "invalid-plan",
+            ErrorCode::ImmutableGraph => "immutable-graph",
             ErrorCode::Internal => "internal",
             ErrorCode::Shutdown => "shutdown",
         }
@@ -147,6 +187,7 @@ impl ErrorCode {
             "unknown-algo" => Some(ErrorCode::UnknownAlgo),
             "unknown-graph" => Some(ErrorCode::UnknownGraph),
             "invalid-plan" => Some(ErrorCode::InvalidPlan),
+            "immutable-graph" => Some(ErrorCode::ImmutableGraph),
             "internal" => Some(ErrorCode::Internal),
             "shutdown" => Some(ErrorCode::Shutdown),
             _ => None,
@@ -205,11 +246,48 @@ pub struct QueryResult {
     pub values: Option<Vec<u32>>,
 }
 
+/// A successful mutation batch: what the WAL durably holds afterwards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutateResult {
+    /// Graph the batch applied to.
+    pub graph: String,
+    /// Ops that changed the visible graph.
+    pub applied: u64,
+    /// Ops skipped as no-ops (duplicate adds, absent removes); skips
+    /// are still logged so replay stays faithful to the batch.
+    pub skipped: u64,
+    /// WAL records on disk after the batch (fsync'd before this reply).
+    pub wal_len: u64,
+    /// Overlay generation after the batch; queries pinned to earlier
+    /// epochs keep their snapshot.
+    pub epoch: u64,
+}
+
+/// A finished compaction: the delta overlay folded into a fresh base.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompactResult {
+    /// Graph that compacted.
+    pub graph: String,
+    /// Wall time of the compaction, milliseconds.
+    pub wall_ms: u64,
+    /// Delta edges in the overlay when the compaction pinned its input.
+    pub delta_edges_before: u64,
+    /// Delta edges left after the swap (mutations racing the
+    /// compaction survive as the new overlay).
+    pub delta_edges_after: u64,
+    /// Overlay generation after the swap.
+    pub epoch: u64,
+}
+
 /// A decoded server response.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
     /// Query succeeded.
     Query(QueryResult),
+    /// Mutation batch applied (and durably logged).
+    Mutate(MutateResult),
+    /// Compaction finished.
+    Compact(CompactResult),
     /// Stats snapshot (boxed: the snapshot is by far the widest
     /// payload, and every non-stats reply moves through channels).
     Stats(Box<StatsSnapshot>),
@@ -239,11 +317,85 @@ pub fn checksum(values: &[u32]) -> u64 {
     hash
 }
 
+fn encode_op(op: &MutationOp) -> Json {
+    match *op {
+        MutationOp::AddEdge { u, v, w } => obj([
+            ("kind", "add-edge".into()),
+            ("u", u.into()),
+            ("v", v.into()),
+            ("w", w.into()),
+        ]),
+        MutationOp::RemoveEdge { u, v } => obj([
+            ("kind", "remove-edge".into()),
+            ("u", u.into()),
+            ("v", v.into()),
+        ]),
+        MutationOp::AddNode { nodes } => {
+            obj([("kind", "add-node".into()), ("nodes", nodes.into())])
+        }
+        MutationOp::SetWeight { u, v, w } => obj([
+            ("kind", "set-weight".into()),
+            ("u", u.into()),
+            ("v", v.into()),
+            ("w", w.into()),
+        ]),
+    }
+}
+
+fn decode_op(v: &Json) -> Result<MutationOp, ProtocolError> {
+    let bad = |m: String| ProtocolError::new(ErrorCode::BadRequest, m);
+    let field = |name: &str| -> Result<u32, ProtocolError> {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .filter(|&n| n <= u64::from(u32::MAX))
+            .ok_or_else(|| bad(format!("mutation op needs u32 \"{name}\"")))
+            .map(|n| n as u32)
+    };
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("mutation op needs \"kind\"".into()))?;
+    match kind {
+        "add-edge" => Ok(MutationOp::AddEdge {
+            u: field("u")?,
+            v: field("v")?,
+            w: match v.get("w") {
+                None | Some(Json::Null) => 1,
+                Some(_) => field("w")?,
+            },
+        }),
+        "remove-edge" => Ok(MutationOp::RemoveEdge {
+            u: field("u")?,
+            v: field("v")?,
+        }),
+        "add-node" => Ok(MutationOp::AddNode {
+            nodes: field("nodes")?,
+        }),
+        "set-weight" => Ok(MutationOp::SetWeight {
+            u: field("u")?,
+            v: field("v")?,
+            w: field("w")?,
+        }),
+        other => Err(bad(format!(
+            "unknown mutation kind {other:?}; known: add-edge, remove-edge, add-node, set-weight"
+        ))),
+    }
+}
+
 /// Encodes a request as one JSON line (no trailing newline).
 pub fn encode_request(req: &Request) -> String {
     match req {
         Request::Ping => obj([("op", "ping".into())]).to_string(),
         Request::Stats => obj([("op", "stats".into())]).to_string(),
+        Request::Mutate { graph, ops } => obj([
+            ("op", "mutate".into()),
+            ("graph", graph.as_str().into()),
+            ("ops", Json::Arr(ops.iter().map(encode_op).collect())),
+        ])
+        .to_string(),
+        Request::Compact { graph } => {
+            obj([("op", "compact".into()), ("graph", graph.as_str().into())]).to_string()
+        }
         Request::Query(q) => {
             let mut pairs = vec![
                 ("op".to_owned(), Json::from("query")),
@@ -283,6 +435,30 @@ pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
     match op {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "mutate" => {
+            let graph = v
+                .get("graph")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("mutate requires \"graph\""))?
+                .to_owned();
+            let items = v
+                .get("ops")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("mutate requires an \"ops\" array"))?;
+            if items.is_empty() {
+                return Err(bad("mutate requires at least one op"));
+            }
+            let ops = items.iter().map(decode_op).collect::<Result<_, _>>()?;
+            Ok(Request::Mutate { graph, ops })
+        }
+        "compact" => {
+            let graph = v
+                .get("graph")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("compact requires \"graph\""))?
+                .to_owned();
+            Ok(Request::Compact { graph })
+        }
         "query" => {
             let graph = v
                 .get("graph")
@@ -370,6 +546,26 @@ pub fn encode_response(resp: &Response) -> String {
     match resp {
         Response::Pong => obj([("ok", true.into()), ("pong", true.into())]).to_string(),
         Response::Stats(s) => obj([("ok", true.into()), ("stats", s.to_json())]).to_string(),
+        Response::Mutate(m) => obj([
+            ("ok", true.into()),
+            ("mutated", true.into()),
+            ("graph", m.graph.as_str().into()),
+            ("applied", m.applied.into()),
+            ("skipped", m.skipped.into()),
+            ("wal_len", m.wal_len.into()),
+            ("epoch", m.epoch.into()),
+        ])
+        .to_string(),
+        Response::Compact(c) => obj([
+            ("ok", true.into()),
+            ("compacted", true.into()),
+            ("graph", c.graph.as_str().into()),
+            ("wall_ms", c.wall_ms.into()),
+            ("delta_edges_before", c.delta_edges_before.into()),
+            ("delta_edges_after", c.delta_edges_after.into()),
+            ("epoch", c.epoch.into()),
+        ])
+        .to_string(),
         Response::Error(e) => obj([
             ("ok", false.into()),
             (
@@ -431,6 +627,36 @@ pub fn decode_response(line: &str) -> Result<Response, ProtocolError> {
     }
     if v.get("pong").is_some() {
         return Ok(Response::Pong);
+    }
+    if v.get("mutated").is_some() {
+        let graph = v
+            .get("graph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing \"graph\""))?
+            .to_owned();
+        let num = |name: &str| v.get(name).and_then(Json::as_u64).unwrap_or(0);
+        return Ok(Response::Mutate(MutateResult {
+            graph,
+            applied: num("applied"),
+            skipped: num("skipped"),
+            wal_len: num("wal_len"),
+            epoch: num("epoch"),
+        }));
+    }
+    if v.get("compacted").is_some() {
+        let graph = v
+            .get("graph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing \"graph\""))?
+            .to_owned();
+        let num = |name: &str| v.get(name).and_then(Json::as_u64).unwrap_or(0);
+        return Ok(Response::Compact(CompactResult {
+            graph,
+            wall_ms: num("wall_ms"),
+            delta_edges_before: num("delta_edges_before"),
+            delta_edges_after: num("delta_edges_after"),
+            epoch: num("epoch"),
+        }));
     }
     if let Some(s) = v.get("stats") {
         return Ok(Response::Stats(Box::new(
@@ -635,6 +861,7 @@ mod tests {
             ErrorCode::UnknownAlgo,
             ErrorCode::UnknownGraph,
             ErrorCode::InvalidPlan,
+            ErrorCode::ImmutableGraph,
             ErrorCode::Internal,
             ErrorCode::Shutdown,
         ] {
@@ -643,6 +870,66 @@ mod tests {
                 "grammar doc's code list misses {:?}",
                 code.label()
             );
+        }
+    }
+
+    #[test]
+    fn mutate_and_compact_round_trip() {
+        let req = Request::Mutate {
+            graph: "road".into(),
+            ops: vec![
+                MutationOp::AddNode { nodes: 70 },
+                MutationOp::AddEdge { u: 65, v: 0, w: 3 },
+                MutationOp::RemoveEdge { u: 1, v: 2 },
+                MutationOp::SetWeight { u: 0, v: 1, w: 9 },
+            ],
+        };
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        let req = Request::Compact {
+            graph: "road".into(),
+        };
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+
+        let resp = Response::Mutate(MutateResult {
+            graph: "road".into(),
+            applied: 3,
+            skipped: 1,
+            wal_len: 12,
+            epoch: 5,
+        });
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        let resp = Response::Compact(CompactResult {
+            graph: "road".into(),
+            wall_ms: 42,
+            delta_edges_before: 12,
+            delta_edges_after: 0,
+            epoch: 6,
+        });
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn mutate_decode_rules() {
+        // add-edge without a weight defaults to 1.
+        let line = r#"{"op":"mutate","graph":"g","ops":[{"kind":"add-edge","u":0,"v":1}]}"#;
+        match decode_request(line).unwrap() {
+            Request::Mutate { ops, .. } => {
+                assert_eq!(ops, vec![MutationOp::AddEdge { u: 0, v: 1, w: 1 }]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Empty batches, missing fields, and unknown kinds are rejected.
+        for line in [
+            r#"{"op":"mutate","graph":"g","ops":[]}"#,
+            r#"{"op":"mutate","graph":"g"}"#,
+            r#"{"op":"mutate","ops":[{"kind":"add-node","nodes":3}]}"#,
+            r#"{"op":"mutate","graph":"g","ops":[{"kind":"add-edge","u":0}]}"#,
+            r#"{"op":"mutate","graph":"g","ops":[{"kind":"grow","u":0,"v":1}]}"#,
+            r#"{"op":"mutate","graph":"g","ops":[{"kind":"set-weight","u":0,"v":1}]}"#,
+            r#"{"op":"compact"}"#,
+        ] {
+            let err = decode_request(line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
         }
     }
 

@@ -41,20 +41,22 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tigr_core::{CancelToken, PreparedGraph};
+use tigr_core::{
+    CancelToken, GraphSnapshot, MutableGraph, MutationError, MutationOp, PreparedGraph,
+};
 use tigr_engine::{
-    operators, BackendKind, BatchArena, BatchLane, BatchProgram, CpuOptions, Direction, Engine,
-    EngineError, Pipeline,
+    operators, run_monotone_view, BackendKind, BatchArena, BatchLane, BatchProgram, CpuOptions,
+    Direction, Engine, EngineError, MonotoneProgram, Pipeline,
 };
 use tigr_graph::NodeId;
 
 use crate::cache::{CacheKey, CachedResult, ResultCache};
 use crate::protocol::{
-    checksum, decode_request, encode_response, Algo, ErrorCode, QueryRequest, QueryResult, Request,
-    Response,
+    checksum, decode_request, encode_response, Algo, CompactResult, ErrorCode, MutateResult,
+    QueryRequest, QueryResult, Request, Response,
 };
 use crate::queue::{Bounded, PushError};
-use crate::stats::{GraphOpenStat, StatsRecorder};
+use crate::stats::{GraphOpenStat, MutationGauges, StatsRecorder};
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -89,6 +91,10 @@ pub struct ServerConfig {
     /// jobs before executing a non-full batch, in microseconds. Zero
     /// means batches form only from jobs already queued.
     pub batch_wait_us: u64,
+    /// Delta-edge count at which a mutate batch triggers a background
+    /// compaction of that mutable graph (`0` disables automatic
+    /// compaction; the `compact` verb still forces one synchronously).
+    pub compact_threshold: usize,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +108,7 @@ impl Default for ServerConfig {
             default_deadline_ms: None,
             batch_max: 8,
             batch_wait_us: 0,
+            compact_threshold: 0,
         }
     }
 }
@@ -130,6 +137,14 @@ impl ServerConfig {
     }
 }
 
+/// One registry entry: a frozen prepared graph, or a mutable graph
+/// whose WAL + delta overlay accept online mutations.
+#[derive(Clone)]
+enum GraphEntry {
+    Static(Arc<PreparedGraph>),
+    Mutable(Arc<MutableGraph>),
+}
+
 /// One admitted query waiting for a worker.
 struct Job {
     request: QueryRequest,
@@ -140,6 +155,27 @@ struct Job {
     has_deadline: bool,
     received: Instant,
     slot: Arc<ReplySlot>,
+    /// The snapshot this query pinned at admission (mutable graphs
+    /// only). Holding the `Arc` is the isolation mechanism: mutations
+    /// and compaction swaps that land after admission cannot touch the
+    /// epoch this query reads.
+    pinned: Option<Arc<GraphSnapshot>>,
+}
+
+impl Job {
+    /// Cache-key epoch: the pinned overlay generation, `0` for static
+    /// graphs. Also the batch-compatibility key — jobs only fuse when
+    /// they observe the same epoch.
+    fn epoch(&self) -> u64 {
+        self.pinned.as_ref().map_or(0, |s| s.epoch())
+    }
+
+    /// Whether this job pinned a snapshot with live delta edges, which
+    /// excludes it from the fused-batch path (the base CSR alone is the
+    /// wrong graph).
+    fn is_dirty(&self) -> bool {
+        self.pinned.as_ref().is_some_and(|s| !s.is_clean())
+    }
 }
 
 /// A one-shot rendezvous between the submitting thread and the worker.
@@ -177,7 +213,7 @@ impl ReplySlot {
 /// [`crate::Client`] both drive it through [`ServerCore::submit`].
 pub struct ServerCore {
     config: ServerConfig,
-    graphs: Mutex<HashMap<String, Arc<PreparedGraph>>>,
+    graphs: Mutex<HashMap<String, GraphEntry>>,
     queue: Bounded<Job>,
     cache: ResultCache,
     stats: StatsRecorder,
@@ -216,10 +252,34 @@ impl ServerCore {
         &self.config
     }
 
-    /// Registers `prepared` under `name`, replacing any previous graph
-    /// of that name. Queries refer to graphs by this name.
+    /// Registers `prepared` under `name` as a read-only graph,
+    /// replacing any previous graph of that name. Queries refer to
+    /// graphs by this name; `mutate` against it answers
+    /// `immutable-graph`.
     pub fn add_graph(&self, name: impl Into<String>, prepared: Arc<PreparedGraph>) {
-        self.graphs.lock().unwrap().insert(name.into(), prepared);
+        self.graphs
+            .lock()
+            .unwrap()
+            .insert(name.into(), GraphEntry::Static(prepared));
+    }
+
+    /// Registers a mutable graph under `name`: `mutate` batches append
+    /// to its WAL and delta overlay, queries pin snapshots of it, and
+    /// `compact` (or the configured `compact_threshold`) folds the
+    /// overlay into a fresh base artifact.
+    pub fn add_mutable_graph(&self, name: impl Into<String>, graph: Arc<MutableGraph>) {
+        self.graphs
+            .lock()
+            .unwrap()
+            .insert(name.into(), GraphEntry::Mutable(graph));
+    }
+
+    /// The mutable graph registered under `name`, if any.
+    pub fn mutable_graph(&self, name: &str) -> Option<Arc<MutableGraph>> {
+        match self.graphs.lock().unwrap().get(name) {
+            Some(GraphEntry::Mutable(m)) => Some(Arc::clone(m)),
+            _ => None,
+        }
     }
 
     /// Names of the registered graphs, sorted.
@@ -239,7 +299,15 @@ impl ServerCore {
             .lock()
             .unwrap()
             .iter()
-            .map(|(name, prepared)| {
+            .map(|(name, entry)| {
+                let base;
+                let prepared = match entry {
+                    GraphEntry::Static(p) => p,
+                    GraphEntry::Mutable(m) => {
+                        base = Arc::clone(m.snapshot().base());
+                        &base
+                    }
+                };
                 let open = prepared.open_info();
                 GraphOpenStat {
                     name: name.clone(),
@@ -255,9 +323,27 @@ impl ServerCore {
         stats
     }
 
-    /// Handles one request synchronously: `stats` and `ping` answer
-    /// inline; queries go through admission and block until a worker
-    /// replies. Safe to call from many threads at once.
+    /// Aggregates the live WAL / delta / compaction gauges over every
+    /// mutable graph: sums for the additive counters, maxima for the
+    /// overlay generation and the last-compaction clock.
+    fn mutation_gauges(&self) -> MutationGauges {
+        let mut g = MutationGauges::default();
+        for entry in self.graphs.lock().unwrap().values() {
+            if let GraphEntry::Mutable(m) = entry {
+                g.wal_len += m.wal_len();
+                g.delta_edges += m.delta_edges() as u64;
+                g.overlay_generation = g.overlay_generation.max(m.epoch());
+                g.compactions += m.compactions();
+                g.last_compaction_ms = g.last_compaction_ms.max(m.last_compaction_ms());
+            }
+        }
+        g
+    }
+
+    /// Handles one request synchronously: `stats`, `ping`, `mutate`,
+    /// and `compact` answer inline; queries go through admission and
+    /// block until a worker replies. Safe to call from many threads at
+    /// once.
     pub fn submit(&self, request: Request) -> Response {
         match request {
             Request::Ping => Response::Pong,
@@ -266,22 +352,102 @@ impl ServerCore {
                 self.config.executor_count() as u64,
                 self.cache.counters(),
                 self.graph_open_stats(),
+                self.mutation_gauges(),
             ))),
             Request::Query(query) => self.submit_query(query),
+            Request::Mutate { graph, ops } => self.submit_mutate(&graph, &ops),
+            Request::Compact { graph } => self.submit_compact(&graph),
+        }
+    }
+
+    /// Applies one mutation batch to a mutable graph. Runs inline on
+    /// the submitting thread — the WAL fsync and overlay update are
+    /// serialized per graph anyway, and bypassing the queue keeps
+    /// admission capacity for queries.
+    fn submit_mutate(&self, graph: &str, ops: &[MutationOp]) -> Response {
+        let mutable = match self.graphs.lock().unwrap().get(graph) {
+            None => {
+                return Response::error(
+                    ErrorCode::UnknownGraph,
+                    format!("no graph registered as {graph:?}"),
+                );
+            }
+            Some(GraphEntry::Static(_)) => {
+                return Response::error(
+                    ErrorCode::ImmutableGraph,
+                    format!("graph {graph:?} is registered read-only; register it as mutable to accept mutations"),
+                );
+            }
+            Some(GraphEntry::Mutable(m)) => Arc::clone(m),
+        };
+        match mutable.apply(ops) {
+            Ok(summary) => {
+                self.stats
+                    .record_mutation(summary.applied as u64, summary.skipped as u64);
+                if self.config.compact_threshold > 0 {
+                    mutable.maybe_spawn_compaction(self.config.compact_threshold);
+                }
+                Response::Mutate(MutateResult {
+                    graph: graph.to_owned(),
+                    applied: summary.applied as u64,
+                    skipped: summary.skipped as u64,
+                    wal_len: summary.wal_len,
+                    epoch: summary.epoch,
+                })
+            }
+            Err(e) => mutation_error(e),
+        }
+    }
+
+    /// Forces a synchronous compaction of a mutable graph.
+    fn submit_compact(&self, graph: &str) -> Response {
+        let mutable = match self.graphs.lock().unwrap().get(graph) {
+            None => {
+                return Response::error(
+                    ErrorCode::UnknownGraph,
+                    format!("no graph registered as {graph:?}"),
+                );
+            }
+            Some(GraphEntry::Static(_)) => {
+                return Response::error(
+                    ErrorCode::ImmutableGraph,
+                    format!("graph {graph:?} is registered read-only; nothing to compact"),
+                );
+            }
+            Some(GraphEntry::Mutable(m)) => Arc::clone(m),
+        };
+        match mutable.compact() {
+            Ok(stats) => Response::Compact(CompactResult {
+                graph: graph.to_owned(),
+                wall_ms: stats.wall_ms,
+                delta_edges_before: stats.delta_edges_before as u64,
+                delta_edges_after: stats.delta_edges_after as u64,
+                epoch: stats.epoch,
+            }),
+            Err(e) => mutation_error(e),
         }
     }
 
     fn submit_query(&self, query: QueryRequest) -> Response {
         self.stats.record_received();
         // Validate against the registry before spending a queue slot.
-        let prepared = match self.graphs.lock().unwrap().get(&query.graph) {
-            Some(p) => Arc::clone(p),
+        // Mutable graphs pin their snapshot here, at admission: the
+        // epoch this query observes is fixed before it ever queues.
+        let entry = match self.graphs.lock().unwrap().get(&query.graph) {
+            Some(e) => e.clone(),
             None => {
                 self.stats.record_failed();
                 return Response::error(
                     ErrorCode::UnknownGraph,
                     format!("no graph registered as {:?}", query.graph),
                 );
+            }
+        };
+        let (num_nodes, pinned) = match &entry {
+            GraphEntry::Static(p) => (p.graph().num_nodes(), None),
+            GraphEntry::Mutable(m) => {
+                let snapshot = m.snapshot();
+                (snapshot.num_nodes(), Some(snapshot))
             }
         };
         // Enforce source arity here, not just in the wire decoder, so
@@ -321,12 +487,11 @@ impl ServerCore {
             );
         }
         if let Some(source) = query.source {
-            let nodes = prepared.graph().num_nodes();
-            if source as usize >= nodes {
+            if source as usize >= num_nodes {
                 self.stats.record_failed();
                 return Response::error(
                     ErrorCode::BadRequest,
-                    format!("source {source} out of range (graph has {nodes} nodes)"),
+                    format!("source {source} out of range (graph has {num_nodes} nodes)"),
                 );
             }
         }
@@ -342,6 +507,7 @@ impl ServerCore {
             has_deadline: deadline_ms.is_some(),
             received: Instant::now(),
             slot: Arc::clone(&slot),
+            pinned,
         };
         match self.queue.try_push(job) {
             Ok(()) => slot.wait(),
@@ -381,24 +547,31 @@ impl ServerCore {
                 a.request.algo.batchable()
                     && a.request.algo == b.request.algo
                     && a.request.graph == b.request.graph
+                    && a.epoch() == b.epoch()
             })
         {
             self.stats
                 .record_formation_wait(formed_in.as_micros() as u64);
-            if !batch[0].request.algo.batchable() {
+            if !batch[0].request.algo.batchable() || batch[0].is_dirty() {
                 // Non-monotone or post-processed analytics (PR, BC,
                 // paths, lp, tc) cannot share a fused sweep; they keep
                 // the solo executor. The compat check above never fuses
                 // anything with them. (khop batches: its fixpoint is
                 // k-independent, so mixed-k jobs fuse and mask per job.)
-                let job = batch.into_iter().next().expect("non-empty batch");
-                let slot = Arc::clone(&job.slot);
-                let outcome = catch_unwind(AssertUnwindSafe(|| self.execute(job)));
-                let response = outcome.unwrap_or_else(|_| {
-                    self.stats.record_failed();
-                    Response::error(ErrorCode::Internal, "query execution panicked")
-                });
-                slot.set(response);
+                // Jobs pinned to a dirty snapshot also go solo: their
+                // graph is base + delta, which the fused engine (keyed
+                // to the base CSR alone) cannot see. They fuse with
+                // each other at the queue level (same epoch), but
+                // execute one by one through the overlay view.
+                for job in batch {
+                    let slot = Arc::clone(&job.slot);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| self.execute(job)));
+                    let response = outcome.unwrap_or_else(|_| {
+                        self.stats.record_failed();
+                        Response::error(ErrorCode::Internal, "query execution panicked")
+                    });
+                    slot.set(response);
+                }
                 continue;
             }
             self.execute_batch(batch, &mut arena);
@@ -434,6 +607,7 @@ impl ServerCore {
                     source: job.request.source,
                     limit: job.request.limit,
                     plan: self.config.plan_fingerprint(),
+                    epoch: job.epoch(),
                 };
                 if let Some(hit) = self.cache.get(&key) {
                     let wall_us = job.received.elapsed().as_micros() as u64;
@@ -460,18 +634,26 @@ impl ServerCore {
         if pending.is_empty() {
             return;
         }
-        let prepared = match self.graphs.lock().unwrap().get(&graph_name) {
-            Some(p) => Arc::clone(p),
-            None => {
-                for job in pending {
-                    self.stats.record_failed();
-                    job.slot.set(Response::error(
-                        ErrorCode::UnknownGraph,
-                        format!("graph {graph_name:?} was unregistered"),
-                    ));
+        // Jobs pinned to a (clean) snapshot run over its base — the
+        // pin, not the registry, is authoritative, so a compaction
+        // swapping the registry entry mid-flight changes nothing here.
+        let pinned_base = pending[0].pinned.as_ref().map(|s| Arc::clone(s.base()));
+        let prepared = match pinned_base {
+            Some(base) => base,
+            None => match self.graphs.lock().unwrap().get(&graph_name) {
+                Some(GraphEntry::Static(p)) => Arc::clone(p),
+                Some(GraphEntry::Mutable(m)) => Arc::clone(m.snapshot().base()),
+                None => {
+                    for job in pending {
+                        self.stats.record_failed();
+                        job.slot.set(Response::error(
+                            ErrorCode::UnknownGraph,
+                            format!("graph {graph_name:?} was unregistered"),
+                        ));
+                    }
+                    return;
                 }
-                return;
-            }
+            },
         };
         let prog = match algo {
             Algo::Bfs => tigr_engine::MonotoneProgram::BFS,
@@ -600,6 +782,7 @@ impl ServerCore {
                             source: job.request.source,
                             limit: job.request.limit,
                             plan: self.config.plan_fingerprint(),
+                            epoch: job.epoch(),
                         },
                         CachedResult {
                             values: Arc::clone(&values),
@@ -637,6 +820,7 @@ impl ServerCore {
             source: query.source,
             limit: query.limit,
             plan: self.config.plan_fingerprint(),
+            epoch: job.epoch(),
         };
         if query.cache {
             if let Some(hit) = self.cache.get(&key) {
@@ -655,20 +839,103 @@ impl ServerCore {
                 });
             }
         }
-        // The registry was checked at admission; the graph may have been
-        // replaced since, but a re-resolved Arc is still a valid target.
-        let prepared = match self.graphs.lock().unwrap().get(&query.graph) {
-            Some(p) => Arc::clone(p),
-            None => {
-                self.stats.record_failed();
-                return Response::error(
-                    ErrorCode::UnknownGraph,
-                    format!("graph {:?} was unregistered", query.graph),
-                );
+        // A dirty pinned snapshot is base + delta: monotone verbs
+        // stream the overlay view directly (zero-copy); everything else
+        // lazily materializes the merged graph, cached on the snapshot.
+        if let Some(snapshot) = job.pinned.as_ref().filter(|s| !s.is_clean()) {
+            if let Some(prog) = monotone_program(query.algo) {
+                return self.execute_view(&job, snapshot, prog, key);
             }
+            let merged = match snapshot.merged() {
+                Ok(m) => m,
+                Err(e) => {
+                    self.stats.record_failed();
+                    return mutation_error(e);
+                }
+            };
+            return self.execute_prepared(&job, &merged, key);
+        }
+        // Clean snapshots run over their pinned base; static graphs
+        // re-resolve from the registry (the graph may have been
+        // replaced since admission, but a fresh Arc is still valid).
+        let prepared = match job.pinned.as_ref() {
+            Some(snapshot) => Arc::clone(snapshot.base()),
+            None => match self.graphs.lock().unwrap().get(&query.graph) {
+                Some(GraphEntry::Static(p)) => Arc::clone(p),
+                Some(GraphEntry::Mutable(m)) => Arc::clone(m.snapshot().base()),
+                None => {
+                    self.stats.record_failed();
+                    return Response::error(
+                        ErrorCode::UnknownGraph,
+                        format!("graph {:?} was unregistered", query.graph),
+                    );
+                }
+            },
         };
+        self.execute_prepared(&job, &prepared, key)
+    }
+
+    /// Runs a monotone query over a dirty snapshot's overlay view and
+    /// publishes the result. Values are byte-equal to preparing the
+    /// merged edge list from scratch — the fixpoint is order-
+    /// independent, so streaming base edges before delta edges changes
+    /// nothing (see `tigr_engine::view_exec`).
+    fn execute_view(
+        &self,
+        job: &Job,
+        snapshot: &GraphSnapshot,
+        prog: MonotoneProgram,
+        key: CacheKey,
+    ) -> Response {
+        let query = &job.request;
+        let view = snapshot.view().expect("dirty snapshot has a view");
+        let out = run_monotone_view(&view, prog, query.source.map(NodeId::new));
+        // The view driver doesn't poll the token mid-run; an expired
+        // deadline is honored after the fact (same contract as BC) and
+        // the complete-but-late answer is discarded, never cached.
+        if job.token.is_cancelled() {
+            self.stats.record_failed();
+            return Response::error(
+                ErrorCode::DeadlineExceeded,
+                "deadline expired during execution; partial state discarded",
+            );
+        }
+        let mut values = out.values;
+        if query.algo == Algo::Khop {
+            let k = query.limit.expect("khop admission requires a limit");
+            operators::mask_above(&mut values, k);
+        }
+        let sum = checksum(&values);
+        let values = Arc::new(values);
+        if query.cache {
+            self.cache.insert(
+                key,
+                CachedResult {
+                    values: Arc::clone(&values),
+                    iterations: out.iterations,
+                    checksum: sum,
+                },
+            );
+        }
+        let wall_us = job.received.elapsed().as_micros() as u64;
+        self.stats.record_completed(query.algo, wall_us);
+        Response::Query(QueryResult {
+            algo: query.algo,
+            graph: query.graph.clone(),
+            source: query.source,
+            nodes: values.len() as u64,
+            iterations: out.iterations,
+            checksum: sum,
+            cached: false,
+            wall_us,
+            values: query.include_values.then(|| values.as_ref().clone()),
+        })
+    }
+
+    fn execute_prepared(&self, job: &Job, prepared: &PreparedGraph, key: CacheKey) -> Response {
+        let query = &job.request;
         match run_query(
-            &prepared,
+            prepared,
             query.algo,
             query.source,
             query.limit,
@@ -790,6 +1057,34 @@ fn run_query(
         None => out.values,
     };
     Ok((values, out.iterations))
+}
+
+/// The monotone program behind an [`Algo`] verb, when it has one —
+/// exactly the verbs the overlay-view executor can serve without
+/// materializing the merged graph.
+fn monotone_program(algo: Algo) -> Option<MonotoneProgram> {
+    match algo {
+        Algo::Bfs => Some(MonotoneProgram::BFS),
+        Algo::Sssp => Some(MonotoneProgram::SSSP),
+        Algo::Sswp => Some(MonotoneProgram::SSWP),
+        Algo::Cc => Some(MonotoneProgram::CC),
+        // True hop counts; each request masks its own k afterwards.
+        Algo::Khop => Some(MonotoneProgram::KHOP),
+        _ => None,
+    }
+}
+
+/// Folds a [`MutationError`] into the typed protocol vocabulary.
+fn mutation_error(e: MutationError) -> Response {
+    match e {
+        MutationError::Invalid(m) => Response::error(ErrorCode::BadRequest, m),
+        MutationError::Immutable(m) => Response::error(ErrorCode::ImmutableGraph, m),
+        MutationError::Busy => Response::error(
+            ErrorCode::Internal,
+            "a compaction is already in progress on this graph",
+        ),
+        other => Response::error(ErrorCode::Internal, other.to_string()),
+    }
 }
 
 /// Where a [`Server`] is listening.
@@ -1307,6 +1602,7 @@ mod tests {
                     has_deadline: false,
                     received: Instant::now(),
                     slot: ReplySlot::new(),
+                    pinned: None,
                 }
             })
             .collect();
@@ -1322,6 +1618,197 @@ mod tests {
             assert_eq!(got.checksum, reference.checksum);
             assert_eq!(got.iterations, reference.iterations);
         }
+        core.shutdown();
+    }
+
+    fn mutable_core(config: ServerConfig) -> Arc<ServerCore> {
+        let store = GraphStore::disabled();
+        let spec = PrepareSpec::generated("rmat:8:8", 42).with_uniform_weights(1, 64, 7);
+        let prepared = store.prepare(&spec).unwrap();
+        let mutable = MutableGraph::open(store, prepared).unwrap();
+        let core = ServerCore::new(config);
+        core.add_mutable_graph("rmat8", Arc::new(mutable));
+        core
+    }
+
+    #[test]
+    fn static_graphs_reject_mutation_with_a_typed_error() {
+        let core = small_core(ServerConfig::default());
+        let resp = core.submit(Request::Mutate {
+            graph: "rmat8".into(),
+            ops: vec![MutationOp::AddEdge { u: 0, v: 1, w: 1 }],
+        });
+        match resp {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::ImmutableGraph),
+            other => panic!("{other:?}"),
+        }
+        let resp = core.submit(Request::Compact {
+            graph: "rmat8".into(),
+        });
+        match resp {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::ImmutableGraph),
+            other => panic!("{other:?}"),
+        }
+        let resp = core.submit(Request::Mutate {
+            graph: "nope".into(),
+            ops: vec![MutationOp::AddEdge { u: 0, v: 1, w: 1 }],
+        });
+        match resp {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::UnknownGraph),
+            other => panic!("{other:?}"),
+        }
+        core.shutdown();
+    }
+
+    #[test]
+    fn mutations_bump_the_epoch_so_cached_answers_never_leak() {
+        let core = mutable_core(ServerConfig::default());
+        let first = match core.submit(bfs_query(0)) {
+            Response::Query(q) => q,
+            other => panic!("{other:?}"),
+        };
+        assert!(!first.cached);
+        let warm = match core.submit(bfs_query(0)) {
+            Response::Query(q) => q,
+            other => panic!("{other:?}"),
+        };
+        assert!(warm.cached, "same epoch: the cache entry must hit");
+        // Grow the graph: node 256 hangs off node 0.
+        let resp = core.submit(Request::Mutate {
+            graph: "rmat8".into(),
+            ops: vec![
+                MutationOp::AddNode { nodes: 257 },
+                MutationOp::AddEdge { u: 0, v: 256, w: 1 },
+            ],
+        });
+        let mutated = match resp {
+            Response::Mutate(m) => m,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(mutated.applied, 2);
+        assert_eq!(mutated.skipped, 0);
+        assert!(mutated.epoch > 0);
+        // The epoch key changed: the stale cached answer (without node
+        // 256) is unreachable, and the fresh run sees the new edge.
+        let mut req = QueryRequest::new("rmat8", Algo::Bfs, Some(0));
+        req.include_values = true;
+        let after = match core.submit(Request::Query(req)) {
+            Response::Query(q) => q,
+            other => panic!("{other:?}"),
+        };
+        assert!(!after.cached, "stale epoch's entry must not hit");
+        let values = after.values.unwrap();
+        assert_eq!(values.len(), 257);
+        assert_eq!(values[256], 1, "the added edge reaches the new node");
+        assert_ne!(after.checksum, first.checksum);
+        core.shutdown();
+    }
+
+    #[test]
+    fn dirty_snapshots_serve_every_verb_and_match_the_merged_graph() {
+        let core = mutable_core(ServerConfig::default());
+        let mutable = core.mutable_graph("rmat8").unwrap();
+        match core.submit(Request::Mutate {
+            graph: "rmat8".into(),
+            ops: vec![
+                MutationOp::AddNode { nodes: 257 },
+                MutationOp::AddEdge { u: 0, v: 256, w: 2 },
+                MutationOp::AddEdge { u: 256, v: 1, w: 5 },
+                MutationOp::RemoveEdge { u: 0, v: 0 },
+            ],
+        }) {
+            Response::Mutate(m) => assert_eq!(m.applied + m.skipped, 4),
+            other => panic!("{other:?}"),
+        }
+        // Reference: the snapshot's merged graph (itself differentially
+        // tested against a from-scratch prepare in tigr-core) run
+        // through the standard engine.
+        let merged = mutable.snapshot().merged().unwrap();
+        let engine = Engine::default()
+            .with_backend(BackendKind::Sequential)
+            .with_device_memory(u64::MAX);
+        for (algo, prog, source) in [
+            (Algo::Bfs, MonotoneProgram::BFS, Some(3)),
+            (Algo::Sssp, MonotoneProgram::SSSP, Some(3)),
+            (Algo::Sswp, MonotoneProgram::SSWP, Some(3)),
+            (Algo::Cc, MonotoneProgram::CC, None),
+        ] {
+            let mut req = QueryRequest::new("rmat8", algo, source);
+            req.include_values = true;
+            let served = match core.submit(Request::Query(req)) {
+                Response::Query(q) => q,
+                other => panic!("{algo:?}: {other:?}"),
+            };
+            let direct = engine
+                .run_prepared(&merged, prog, source.map(NodeId::new))
+                .unwrap();
+            assert_eq!(
+                served.values.as_deref(),
+                Some(direct.values.as_slice()),
+                "{algo:?} view path diverged from the merged graph"
+            );
+        }
+        // Non-monotone verbs take the merged-materialization path.
+        let mut req = QueryRequest::new("rmat8", Algo::Pr, None);
+        req.include_values = true;
+        let served = match core.submit(Request::Query(req)) {
+            Response::Query(q) => q,
+            other => panic!("{other:?}"),
+        };
+        let values = served.values.unwrap();
+        assert_eq!(values.len(), 257);
+        let sum: f64 = values
+            .iter()
+            .map(|&bits| f64::from(f32::from_bits(bits)))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-3, "ranks sum to {sum}");
+        core.shutdown();
+    }
+
+    #[test]
+    fn compaction_preserves_answers_and_drains_the_delta() {
+        let core = mutable_core(ServerConfig::default());
+        match core.submit(Request::Mutate {
+            graph: "rmat8".into(),
+            ops: vec![
+                MutationOp::AddNode { nodes: 257 },
+                MutationOp::AddEdge { u: 0, v: 256, w: 3 },
+                MutationOp::AddEdge { u: 256, v: 7, w: 2 },
+            ],
+        }) {
+            Response::Mutate(m) => assert_eq!(m.applied, 3),
+            other => panic!("{other:?}"),
+        }
+        let ask = |core: &Arc<ServerCore>, algo: Algo, source: Option<u32>| {
+            let mut req = QueryRequest::new("rmat8", algo, source);
+            req.cache = false;
+            match core.submit(Request::Query(req)) {
+                Response::Query(q) => q.checksum,
+                other => panic!("{other:?}"),
+            }
+        };
+        let before_bfs = ask(&core, Algo::Bfs, Some(0));
+        let before_sssp = ask(&core, Algo::Sssp, Some(0));
+        let compacted = match core.submit(Request::Compact {
+            graph: "rmat8".into(),
+        }) {
+            Response::Compact(c) => c,
+            other => panic!("{other:?}"),
+        };
+        assert!(compacted.delta_edges_before > 0);
+        assert_eq!(compacted.delta_edges_after, 0);
+        assert_eq!(ask(&core, Algo::Bfs, Some(0)), before_bfs);
+        assert_eq!(ask(&core, Algo::Sssp, Some(0)), before_sssp);
+        let stats = match core.submit(Request::Stats) {
+            Response::Stats(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(stats.mutate_batches, 1);
+        assert_eq!(stats.mutations_applied, 3);
+        assert_eq!(stats.mutation.compactions, 1);
+        assert_eq!(stats.mutation.delta_edges, 0);
+        assert_eq!(stats.mutation.wal_len, 0, "compaction resets the WAL");
+        assert!(stats.mutation.overlay_generation >= 2);
         core.shutdown();
     }
 

@@ -27,6 +27,9 @@ pub struct StatsRecorder {
     /// Completed-query counters per algo verb, indexed by the verb's
     /// position in [`Algo::ALL`].
     algo_completed: [AtomicU64; Algo::ALL.len()],
+    mutate_batches: AtomicU64,
+    mutations_applied: AtomicU64,
+    mutations_skipped: AtomicU64,
     window: Mutex<LatencyWindow>,
 }
 
@@ -47,6 +50,9 @@ impl Default for StatsRecorder {
             max_batch: AtomicU64::new(0),
             formation_wait_us: AtomicU64::new(0),
             algo_completed: std::array::from_fn(|_| AtomicU64::new(0)),
+            mutate_batches: AtomicU64::new(0),
+            mutations_applied: AtomicU64::new(0),
+            mutations_skipped: AtomicU64::new(0),
             window: Mutex::new(LatencyWindow {
                 samples_us: Vec::new(),
                 next: 0,
@@ -106,15 +112,24 @@ impl StatsRecorder {
         w.next = (w.next + 1) % LATENCY_WINDOW;
     }
 
+    /// A mutate batch applied `applied` ops and skipped `skipped`
+    /// no-ops.
+    pub fn record_mutation(&self, applied: u64, skipped: u64) {
+        self.mutate_batches.fetch_add(1, Ordering::Relaxed);
+        self.mutations_applied.fetch_add(applied, Ordering::Relaxed);
+        self.mutations_skipped.fetch_add(skipped, Ordering::Relaxed);
+    }
+
     /// Builds the externally visible snapshot. `queue_depth`, `workers`,
-    /// the cache counters, and the per-graph open records come from the
-    /// server, which owns those structures.
+    /// the cache counters, the per-graph open records, and the mutation
+    /// gauges come from the server, which owns those structures.
     pub fn snapshot(
         &self,
         queue_depth: u64,
         workers: u64,
         cache: CacheCounters,
         graphs: Vec<GraphOpenStat>,
+        mutation: MutationGauges,
     ) -> StatsSnapshot {
         let (p50_us, p95_us) = {
             let w = self.window.lock().unwrap();
@@ -143,7 +158,54 @@ impl StatsRecorder {
                 .map(|(a, c)| (a.label().to_owned(), c.load(Ordering::Relaxed)))
                 .collect(),
             graphs,
+            mutate_batches: self.mutate_batches.load(Ordering::Relaxed),
+            mutations_applied: self.mutations_applied.load(Ordering::Relaxed),
+            mutations_skipped: self.mutations_skipped.load(Ordering::Relaxed),
+            mutation,
         }
+    }
+}
+
+/// Live mutation-subsystem gauges, aggregated over every mutable graph
+/// in the registry at snapshot time (sums for the additive counters,
+/// maxima for the generation and the last-compaction clock).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MutationGauges {
+    /// WAL records durably on disk across all mutable graphs.
+    pub wal_len: u64,
+    /// Delta-overlay entries (added + removed + reweighted edges) not
+    /// yet folded into a base artifact.
+    pub delta_edges: u64,
+    /// Highest overlay generation (snapshot epoch) in the registry.
+    pub overlay_generation: u64,
+    /// Compactions completed since the server started.
+    pub compactions: u64,
+    /// Wall time of the most recent compaction, milliseconds.
+    pub last_compaction_ms: u64,
+}
+
+impl MutationGauges {
+    /// Serializes the gauge block.
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("wal_len", self.wal_len.into()),
+            ("delta_edges", self.delta_edges.into()),
+            ("overlay_generation", self.overlay_generation.into()),
+            ("compactions", self.compactions.into()),
+            ("last_compaction_ms", self.last_compaction_ms.into()),
+        ])
+    }
+
+    /// Deserializes the gauge block.
+    pub fn from_json(v: &Json) -> Option<Self> {
+        let field = |name: &str| v.get(name).and_then(Json::as_u64);
+        Some(MutationGauges {
+            wal_len: field("wal_len")?,
+            delta_edges: field("delta_edges")?,
+            overlay_generation: field("overlay_generation")?,
+            compactions: field("compactions")?,
+            last_compaction_ms: field("last_compaction_ms")?,
+        })
     }
 }
 
@@ -261,6 +323,15 @@ pub struct StatsSnapshot {
     /// Per-graph open records for every registered graph, sorted by
     /// name (mode, verify level, open time, byte residency).
     pub graphs: Vec<GraphOpenStat>,
+    /// Mutate batches accepted.
+    pub mutate_batches: u64,
+    /// Mutation ops that changed a graph.
+    pub mutations_applied: u64,
+    /// Mutation ops skipped as no-ops.
+    pub mutations_skipped: u64,
+    /// Live WAL / delta-overlay / compaction gauges, aggregated over
+    /// the mutable graphs at snapshot time.
+    pub mutation: MutationGauges,
 }
 
 impl StatsSnapshot {
@@ -316,6 +387,10 @@ impl StatsSnapshot {
                 "graphs",
                 Json::Arr(self.graphs.iter().map(GraphOpenStat::to_json).collect()),
             ),
+            ("mutate_batches", self.mutate_batches.into()),
+            ("mutations_applied", self.mutations_applied.into()),
+            ("mutations_skipped", self.mutations_skipped.into()),
+            ("mutation", self.mutation.to_json()),
         ])
     }
 
@@ -361,6 +436,15 @@ impl StatsSnapshot {
                     .collect::<Option<Vec<_>>>()?,
                 None => Vec::new(),
             },
+            // Mutation counters are likewise absent from older servers'
+            // snapshots: default to zero rather than failing the parse.
+            mutate_batches: field("mutate_batches").unwrap_or(0),
+            mutations_applied: field("mutations_applied").unwrap_or(0),
+            mutations_skipped: field("mutations_skipped").unwrap_or(0),
+            mutation: v
+                .get("mutation")
+                .and_then(MutationGauges::from_json)
+                .unwrap_or_default(),
         })
     }
 }
@@ -387,7 +471,13 @@ mod tests {
         for _ in 0..LATENCY_WINDOW {
             rec.record_completed(Algo::Bfs, 100);
         }
-        let snap = rec.snapshot(0, 1, CacheCounters::default(), Vec::new());
+        let snap = rec.snapshot(
+            0,
+            1,
+            CacheCounters::default(),
+            Vec::new(),
+            MutationGauges::default(),
+        );
         assert_eq!(snap.p50_us, 100);
         assert_eq!(snap.p95_us, 100);
         assert_eq!(snap.completed, 2 * LATENCY_WINDOW as u64);
@@ -404,6 +494,7 @@ mod tests {
         rec.record_batch(1);
         rec.record_formation_wait(120);
         rec.record_formation_wait(80);
+        rec.record_mutation(5, 1);
         let snap = rec.snapshot(
             3,
             4,
@@ -421,9 +512,22 @@ mod tests {
                 mapped_bytes: 65536,
                 heap_bytes: 0,
             }],
+            MutationGauges {
+                wal_len: 6,
+                delta_edges: 4,
+                overlay_generation: 2,
+                compactions: 1,
+                last_compaction_ms: 37,
+            },
         );
         let back = StatsSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);
+        assert_eq!(back.mutate_batches, 1);
+        assert_eq!(back.mutations_applied, 5);
+        assert_eq!(back.mutations_skipped, 1);
+        assert_eq!(back.mutation.wal_len, 6);
+        assert_eq!(back.mutation.overlay_generation, 2);
+        assert_eq!(back.mutation.last_compaction_ms, 37);
         assert_eq!(back.graphs.len(), 1);
         assert_eq!(back.graphs[0].open, "mapped");
         assert_eq!(back.graphs[0].mapped_bytes, 65536);
@@ -444,9 +548,36 @@ mod tests {
     #[test]
     fn batch_occupancy_is_zero_before_any_batch() {
         let rec = StatsRecorder::default();
-        let snap = rec.snapshot(0, 1, CacheCounters::default(), Vec::new());
+        let snap = rec.snapshot(
+            0,
+            1,
+            CacheCounters::default(),
+            Vec::new(),
+            MutationGauges::default(),
+        );
         assert_eq!(snap.batches, 0);
         assert_eq!(snap.max_batch, 0);
         assert_eq!(snap.batch_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn snapshots_without_mutation_counters_still_parse() {
+        // An older server's snapshot has no mutation block: every
+        // mutation field defaults to zero instead of failing the parse.
+        let rec = StatsRecorder::default();
+        let snap = rec.snapshot(
+            0,
+            1,
+            CacheCounters::default(),
+            Vec::new(),
+            MutationGauges::default(),
+        );
+        let mut json = snap.to_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs.retain(|k, _| !k.starts_with("mutat"));
+        }
+        let back = StatsSnapshot::from_json(&json).unwrap();
+        assert_eq!(back.mutate_batches, 0);
+        assert_eq!(back.mutation, MutationGauges::default());
     }
 }

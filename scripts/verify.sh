@@ -250,6 +250,50 @@ kill "$d_pid" "$m_pid"
 wait "$d_pid" "$m_pid" 2>/dev/null || true
 echo "mmap smoke: mapped run and mapped serve answer byte-equal to the decoded reference"
 
+echo "== mutation smoke =="
+# A --mutable daemon must serve the delta (the checksum moves off the
+# freshly-prepared reference after a mutation), survive a forced
+# compaction with byte-equal answers and a drained overlay, and account
+# for it all in `query stats`.
+mu_port_file="$cache_dir/mu_port.txt"
+cargo run --release -q -p tigr-cli --bin tigr -- serve --graph "$graph_file" --name smoke \
+    --port 0 --port-file "$mu_port_file" --workers 1 --mutable > /dev/null &
+mu_pid=$!
+trap 'kill "$mu_pid" 2>/dev/null || true; rm -rf "$cache_dir"' EXIT
+for _ in $(seq 1 100); do [ -s "$mu_port_file" ] && break; sleep 0.1; done
+[ -s "$mu_port_file" ] || { echo "mutation smoke: port file never appeared"; exit 1; }
+mu_addr="$(cat "$mu_port_file")"
+mu_query() { cargo run --release -q -p tigr-cli --bin tigr -- query "$@" --addr "$mu_addr"; }
+mu_mutate() { cargo run --release -q -p tigr-cli --bin tigr -- mutate "$@" --addr "$mu_addr" --graph-name smoke; }
+fresh_sum="$(mu_query bfs --graph-name smoke --source 0 --no-cache | grep '^checksum')"
+mu_mutate add-node --nodes 2001 > /dev/null
+mu_mutate add-edge --u 0 --v 2000 --w 1 > /dev/null
+printf '2000 0 1\n0 2000 1\n' > "$cache_dir/delta_edges.txt"
+ingest_out="$(cargo run --release -q -p tigr-cli --bin tigr -- ingest --file "$cache_dir/delta_edges.txt" \
+    --addr "$mu_addr" --graph-name smoke)"
+echo "$ingest_out" | grep -q "ingested 2 edges into smoke" \
+    || { echo "mutation smoke: unexpected ingest output"; echo "$ingest_out"; exit 1; }
+delta_sum="$(mu_query bfs --graph-name smoke --source 0 --no-cache | grep '^checksum')"
+[ "$fresh_sum" != "$delta_sum" ] \
+    || { echo "mutation smoke: mutation did not change the served answer"; exit 1; }
+mu_stats="$(mu_query stats)"
+echo "$mu_stats" | grep -qE "overlay         [1-9][0-9]* wal records / [1-9][0-9]* delta edges" \
+    || { echo "mutation smoke: stats show no delta"; echo "$mu_stats"; exit 1; }
+compact_out="$(mu_mutate compact)"
+echo "$compact_out" | grep -q -- "-> 0" \
+    || { echo "mutation smoke: compaction left delta edges"; echo "$compact_out"; exit 1; }
+post_sum="$(mu_query bfs --graph-name smoke --source 0 --no-cache | grep '^checksum')"
+[ "$delta_sum" = "$post_sum" ] \
+    || { echo "mutation smoke: compaction changed answers"; echo "$delta_sum vs $post_sum"; exit 1; }
+post_stats="$(mu_query stats)"
+echo "$post_stats" | grep -q "overlay         0 wal records / 0 delta edges" \
+    || { echo "mutation smoke: delta not drained"; echo "$post_stats"; exit 1; }
+echo "$post_stats" | grep -q "compactions     1 (last" \
+    || { echo "mutation smoke: compaction not counted"; echo "$post_stats"; exit 1; }
+kill "$mu_pid"
+wait "$mu_pid" 2>/dev/null || true
+echo "mutation smoke: delta served, compaction preserved answers and drained the overlay"
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,428 @@
+//! Integration tests of the online-mutation subsystem against the
+//! acceptance bar: WAL replay recovers the longest valid prefix at
+//! every byte-boundary truncation of the tail record, pinned snapshots
+//! are isolated from later mutations, the compacted artifact answers
+//! {bfs, sssp, cc, pr} byte-equal to preparing the final edge list from
+//! scratch across every backend, and concurrent mutate+query load leaks
+//! no overlay generations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use tigr::core::{GraphStore, MutableGraph, MutationOp, PrepareSpec, PreparedGraph, Wal};
+use tigr::engine::{run_monotone_view, Algo, BackendKind, Pipeline};
+use tigr::{Edge, Engine, MonotoneProgram, NodeId};
+
+/// A unique scratch directory per call (no timestamps: process id +
+/// counter keep parallel test binaries apart).
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "tigr-mutation-it-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Decodes a generated `(kind, a, b, w)` tuple into a mutation op.
+fn op_from(kind: u8, a: u32, b: u32, w: u32) -> MutationOp {
+    match kind % 4 {
+        0 => MutationOp::AddEdge { u: a, v: b, w },
+        1 => MutationOp::RemoveEdge { u: a, v: b },
+        2 => MutationOp::AddNode { nodes: a + 1 },
+        _ => MutationOp::SetWeight { u: a, v: b, w },
+    }
+}
+
+/// Writes `ops` into a fresh WAL and returns the log's bytes plus the
+/// byte offset where each record starts (record `i` spans
+/// `starts[i]..starts[i + 1]`, the last one runs to the end).
+fn written_wal(dir: &std::path::Path, ops: &[MutationOp]) -> (Vec<u8>, Vec<usize>) {
+    let path = dir.join("log.wal");
+    let (mut wal, recovery) = Wal::open(&path).unwrap();
+    assert!(recovery.ops.is_empty() && recovery.truncated_bytes == 0);
+    wal.append_batch(ops).unwrap();
+    drop(wal);
+    let bytes = std::fs::read(&path).unwrap();
+    // Record layout: 20-byte header + encoded payload. Derive the file
+    // header length from the total instead of hard-coding it.
+    let record_lens: Vec<usize> = ops.iter().map(|op| 20 + op.encode().len()).collect();
+    let header = bytes.len() - record_lens.iter().sum::<usize>();
+    let mut starts = Vec::with_capacity(ops.len());
+    let mut off = header;
+    for len in record_lens {
+        starts.push(off);
+        off += len;
+    }
+    assert_eq!(off, bytes.len());
+    (bytes, starts)
+}
+
+/// Replays a (possibly truncated) WAL image and asserts it recovers
+/// exactly the first `expect` ops, stays appendable, and reports the
+/// discarded tail bytes.
+fn assert_recovers(dir: &std::path::Path, image: &[u8], ops: &[MutationOp], expect: usize) {
+    let path = dir.join("cut.wal");
+    std::fs::write(&path, image).unwrap();
+    let (mut wal, recovery) = Wal::open(&path).unwrap();
+    let recovered: Vec<MutationOp> = recovery.ops.iter().map(|&(_, op)| op).collect();
+    assert_eq!(
+        recovered,
+        ops[..expect],
+        "prefix diverged at cut {}",
+        image.len()
+    );
+    let seqs: Vec<u64> = recovery.ops.iter().map(|&(seq, _)| seq).collect();
+    assert_eq!(seqs, (1..=expect as u64).collect::<Vec<_>>());
+    assert_eq!(wal.len(), expect as u64);
+    // The recovered log accepts new records where the tail was cut.
+    wal.append_batch(&[MutationOp::AddNode { nodes: 1 }])
+        .unwrap();
+    let (_, reread) = Wal::open(&path).unwrap();
+    assert_eq!(reread.ops.len(), expect + 1);
+    assert_eq!(reread.truncated_bytes, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Crash recovery: for a random mutation log, truncating the file at
+    /// every byte boundary of the tail record recovers exactly the
+    /// records before it — never a panic, never a torn op.
+    #[test]
+    fn wal_replay_recovers_the_longest_valid_prefix_at_every_tail_cut(
+        raw in vec((0..4u8, 0..40u32, 0..40u32, 1..16u32), 1..12),
+    ) {
+        let ops: Vec<MutationOp> =
+            raw.into_iter().map(|(k, a, b, w)| op_from(k, a, b, w)).collect();
+        let dir = scratch_dir("proptest");
+        let (bytes, starts) = written_wal(&dir, &ops);
+        let tail_start = *starts.last().unwrap();
+        for cut in tail_start..bytes.len() {
+            assert_recovers(&dir, &bytes[..cut], &ops, ops.len() - 1);
+        }
+        assert_recovers(&dir, &bytes, &ops, ops.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The committed regression corpus (see
+/// `mutation_integration.proptest-regressions`): op logs that stress
+/// replay edge cases — a single record, duplicate no-op adds, the
+/// maximum-width record, and interleaved removes — each truncated at
+/// *every* byte of the file, not just the tail record.
+#[test]
+fn wal_replay_regression_corpus() {
+    let corpus: Vec<Vec<MutationOp>> = vec![
+        vec![MutationOp::AddNode { nodes: 1 }],
+        vec![
+            MutationOp::AddEdge { u: 0, v: 1, w: 1 },
+            MutationOp::AddEdge { u: 0, v: 1, w: 1 },
+            MutationOp::RemoveEdge { u: 0, v: 1 },
+        ],
+        vec![
+            MutationOp::AddEdge {
+                u: u32::MAX,
+                v: u32::MAX,
+                w: u32::MAX,
+            },
+            MutationOp::SetWeight {
+                u: u32::MAX,
+                v: 0,
+                w: u32::MAX,
+            },
+        ],
+        vec![
+            MutationOp::AddNode { nodes: 9 },
+            MutationOp::RemoveEdge { u: 3, v: 3 },
+            MutationOp::AddEdge { u: 3, v: 3, w: 2 },
+            MutationOp::RemoveEdge { u: 3, v: 3 },
+        ],
+    ];
+    for ops in corpus {
+        let dir = scratch_dir("corpus");
+        let (bytes, starts) = written_wal(&dir, &ops);
+        for cut in 0..bytes.len() {
+            // Records wholly contained in the cut image survive replay.
+            let whole = starts
+                .iter()
+                .enumerate()
+                .take_while(|&(i, _)| starts.get(i + 1).copied().unwrap_or(bytes.len()) <= cut)
+                .count();
+            assert_recovers(&dir, &bytes[..cut], &ops, whole);
+        }
+        assert_recovers(&dir, &bytes, &ops, ops.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Opens a weighted RMAT base as a mutable graph over a cache-less
+/// store (ephemeral WAL).
+fn mutable_fixture(tag: &str, seed: u64) -> Arc<MutableGraph> {
+    let spec = PrepareSpec::generated(tag, seed).with_uniform_weights(1, 32, seed + 1);
+    let prepared = GraphStore::disabled().prepare(&spec).unwrap();
+    Arc::new(MutableGraph::open(GraphStore::disabled(), prepared).unwrap())
+}
+
+#[test]
+fn pinned_snapshots_are_isolated_from_later_mutations() {
+    let mutable = mutable_fixture("rmat:9:8", 11);
+    let before = mutable.snapshot();
+    let nodes = before.num_nodes() as u32;
+    let engine = Engine::default()
+        .with_backend(BackendKind::Sequential)
+        .with_device_memory(u64::MAX);
+    let baseline = engine
+        .run_prepared(before.base(), MonotoneProgram::BFS, Some(NodeId::new(0)))
+        .unwrap()
+        .values;
+
+    mutable
+        .apply(&[
+            MutationOp::AddNode { nodes: nodes + 1 },
+            MutationOp::AddEdge {
+                u: 0,
+                v: nodes,
+                w: 1,
+            },
+        ])
+        .unwrap();
+    let after = mutable.snapshot();
+
+    // The pre-mutation snapshot still answers over the old world...
+    assert!(before.is_clean());
+    assert_eq!(before.num_nodes(), nodes as usize);
+    assert!(before.epoch() < after.epoch());
+    let replay = engine
+        .run_prepared(before.base(), MonotoneProgram::BFS, Some(NodeId::new(0)))
+        .unwrap()
+        .values;
+    assert_eq!(replay, baseline);
+
+    // ...while the post-mutation snapshot sees the new node, and its
+    // zero-copy view agrees with the materialized merged graph.
+    assert_eq!(after.num_nodes(), nodes as usize + 1);
+    let viewed = run_monotone_view(
+        &after.view().expect("dirty snapshot has a view"),
+        MonotoneProgram::BFS,
+        Some(NodeId::new(0)),
+    )
+    .values;
+    let merged = after.merged().unwrap();
+    let materialized = engine
+        .run_prepared(&merged, MonotoneProgram::BFS, Some(NodeId::new(0)))
+        .unwrap()
+        .values;
+    assert_eq!(viewed, materialized);
+    assert_eq!(viewed[..nodes as usize], baseline[..]);
+    assert_eq!(viewed[nodes as usize], 1, "new leaf hangs off the source");
+}
+
+/// Runs `algo` over `prepared` on `backend` and returns the wire
+/// values (PR ranks as bit patterns).
+fn pipeline_values(prepared: &PreparedGraph, algo: Algo, backend: BackendKind) -> Vec<u32> {
+    let engine = Engine::default()
+        .with_backend(backend)
+        .with_device_memory(u64::MAX);
+    let pipeline = Pipeline::for_algo(algo, None).unwrap();
+    let source = algo.needs_source().then(|| NodeId::new(0));
+    engine
+        .run_prepared_pipeline(prepared, &pipeline, source)
+        .unwrap()
+        .values
+}
+
+/// The differential guarantee behind compaction: replayed WAL →
+/// compacted artifact → query answers byte-equal to preparing the
+/// final edge list from scratch, across {bfs, sssp, cc, pr} ×
+/// {Sequential, CpuPool, WarpSim}.
+#[test]
+fn compacted_artifact_matches_a_from_scratch_prepare() {
+    let mutable = mutable_fixture("rmat:9:8", 5);
+    let base = Arc::clone(mutable.snapshot().base());
+    let nodes = base.graph().num_nodes() as u32;
+
+    // Pick two base edges whose (src, dst) pair occurs exactly once so
+    // remove/set-weight have an unambiguous from-scratch mirror.
+    let edges: Vec<Edge> = base.graph().edges().collect();
+    let unique: Vec<Edge> = edges
+        .iter()
+        .filter(|e| {
+            edges
+                .iter()
+                .filter(|o| o.src == e.src && o.dst == e.dst)
+                .count()
+                == 1
+        })
+        .take(2)
+        .copied()
+        .collect();
+    let [removed, reweighted] = unique[..] else {
+        panic!("fixture has no unique edges")
+    };
+
+    let ops = [
+        MutationOp::AddNode { nodes: nodes + 3 },
+        MutationOp::AddEdge {
+            u: nodes,
+            v: nodes + 1,
+            w: 3,
+        },
+        MutationOp::AddEdge {
+            u: nodes + 1,
+            v: nodes + 2,
+            w: 4,
+        },
+        MutationOp::AddEdge {
+            u: 0,
+            v: nodes,
+            w: 2,
+        },
+        MutationOp::AddEdge {
+            u: nodes + 2,
+            v: 0,
+            w: 5,
+        },
+        MutationOp::RemoveEdge {
+            u: removed.src.index() as u32,
+            v: removed.dst.index() as u32,
+        },
+        MutationOp::SetWeight {
+            u: reweighted.src.index() as u32,
+            v: reweighted.dst.index() as u32,
+            w: 17,
+        },
+    ];
+    let summary = mutable.apply(&ops).unwrap();
+    assert_eq!(summary.applied, ops.len());
+    let stats = mutable.compact().unwrap();
+    assert_eq!(stats.delta_edges_after, 0);
+    let compacted = mutable.snapshot();
+    assert!(compacted.is_clean());
+
+    // The from-scratch mirror: edit a plain edge list the way the ops
+    // say, then prepare it through the same derived-view plan.
+    let mut final_edges = edges;
+    let pos = final_edges
+        .iter()
+        .position(|e| e.src == removed.src && e.dst == removed.dst)
+        .unwrap();
+    final_edges.remove(pos);
+    for e in &mut final_edges {
+        if e.src == reweighted.src && e.dst == reweighted.dst {
+            e.weight = 17;
+        }
+    }
+    final_edges.push(Edge::new(NodeId::new(nodes), NodeId::new(nodes + 1), 3));
+    final_edges.push(Edge::new(NodeId::new(nodes + 1), NodeId::new(nodes + 2), 4));
+    final_edges.push(Edge::new(NodeId::new(0), NodeId::new(nodes), 2));
+    final_edges.push(Edge::new(NodeId::new(nodes + 2), NodeId::new(0), 5));
+    let mut builder = tigr::CsrBuilder::from_edges(nodes as usize + 3, final_edges);
+    builder.force_weighted(true);
+    let reference = GraphStore::disabled()
+        .materialize(builder.build(), mutable.plan())
+        .unwrap();
+
+    for algo in [Algo::Bfs, Algo::Sssp, Algo::Cc, Algo::Pr] {
+        for backend in [
+            BackendKind::Sequential,
+            BackendKind::CpuPool,
+            BackendKind::WarpSim,
+        ] {
+            let got = pipeline_values(compacted.base(), algo, backend);
+            let want = pipeline_values(&reference, algo, backend);
+            assert_eq!(
+                tigr::server::checksum(&got),
+                tigr::server::checksum(&want),
+                "{algo:?}/{backend:?}: checksum diverged"
+            );
+            assert_eq!(got, want, "{algo:?}/{backend:?}: values diverged");
+        }
+    }
+}
+
+/// Concurrent mutate + query stress: every query thread pins its own
+/// snapshot mid-mutation, no run panics or loses its epoch, and once
+/// the snapshots drop the overlay generations are freed (no leak).
+#[test]
+fn concurrent_mutation_and_queries_leak_no_epochs() {
+    let mutable = mutable_fixture("rmat:8:8", 29);
+    let nodes = mutable.snapshot().num_nodes() as u32;
+
+    let mutator = {
+        let mutable = Arc::clone(&mutable);
+        std::thread::spawn(move || {
+            for i in 0..40u32 {
+                mutable
+                    .apply(&[
+                        MutationOp::AddNode {
+                            nodes: nodes + i + 1,
+                        },
+                        MutationOp::AddEdge {
+                            u: i % nodes,
+                            v: nodes + i,
+                            w: 1 + (i % 7),
+                        },
+                    ])
+                    .unwrap();
+                if i % 16 == 15 {
+                    mutable.compact().unwrap();
+                }
+            }
+        })
+    };
+    let readers: Vec<_> = (0..4u32)
+        .map(|r| {
+            let mutable = Arc::clone(&mutable);
+            std::thread::spawn(move || {
+                for q in 0..25u32 {
+                    let snapshot = mutable.snapshot();
+                    let values = match snapshot.view() {
+                        Some(view) => {
+                            run_monotone_view(
+                                &view,
+                                MonotoneProgram::BFS,
+                                Some(NodeId::new((r * 25 + q) % nodes)),
+                            )
+                            .values
+                        }
+                        None => {
+                            Engine::default()
+                                .with_backend(BackendKind::Sequential)
+                                .with_device_memory(u64::MAX)
+                                .run_prepared(
+                                    snapshot.base(),
+                                    MonotoneProgram::BFS,
+                                    Some(NodeId::new((r * 25 + q) % nodes)),
+                                )
+                                .unwrap()
+                                .values
+                        }
+                    };
+                    assert_eq!(values.len(), snapshot.num_nodes());
+                    assert_eq!(values[((r * 25 + q) % nodes) as usize], 0);
+                }
+            })
+        })
+        .collect();
+    mutator.join().unwrap();
+    for reader in readers {
+        reader.join().unwrap();
+    }
+
+    // All pins are dropped; nothing but the mutable graph's own cached
+    // snapshot may keep a generation alive.
+    assert!(
+        mutable.live_snapshots() <= 1,
+        "epochs leaked: {} snapshots still alive",
+        mutable.live_snapshots()
+    );
+    let final_snapshot = mutable.snapshot();
+    assert_eq!(final_snapshot.num_nodes(), nodes as usize + 40);
+}

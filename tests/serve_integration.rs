@@ -69,6 +69,7 @@ fn sixty_four_concurrent_queries_match_sequential_runs() {
         kernel_threads: 1,
         batch_max: 8,
         batch_wait_us: 0,
+        compact_threshold: 0,
     });
     core.add_graph("rmat16", Arc::clone(&prepared));
     let server = Server::bind_tcp(core, "127.0.0.1:0").unwrap();
@@ -138,6 +139,7 @@ fn overflowing_the_admission_queue_rejects_with_typed_errors() {
         kernel_threads: 1,
         batch_max: 8,
         batch_wait_us: 0,
+        compact_threshold: 0,
     });
     core.add_graph("rmat16", Arc::clone(&prepared));
 
@@ -201,6 +203,7 @@ fn cancelled_sssp_leaves_no_partial_state_in_the_cache() {
         kernel_threads: 1,
         batch_max: 8,
         batch_wait_us: 0,
+        compact_threshold: 0,
     });
     core.add_graph("rmat16", Arc::clone(&prepared));
     let mut client = Client::local(core);
@@ -251,6 +254,7 @@ fn mixed_algorithm_burst_partitions_into_per_algorithm_batches() {
         kernel_threads: 1,
         batch_max: 8,
         batch_wait_us: 0,
+        compact_threshold: 0,
     });
     core.add_graph("rmat16", Arc::clone(&prepared));
 
@@ -325,6 +329,7 @@ fn cancelled_query_in_a_batch_poisons_only_its_own_lane() {
         kernel_threads: 1,
         batch_max: 8,
         batch_wait_us: 0,
+        compact_threshold: 0,
     });
     core.add_graph("rmat16", Arc::clone(&prepared));
 
@@ -403,6 +408,7 @@ fn checksums_are_identical_across_runs_and_worker_counts() {
             kernel_threads: 1,
             batch_max: 8,
             batch_wait_us: 0,
+            compact_threshold: 0,
         });
         core.add_graph("rmat16", Arc::clone(&prepared));
         for _run in 0..2 {
